@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment dataset (the regenerated ~1,500-run campaign) is built
+once per session and shared by the table/figure benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchlib.kb_builder import ExperimentDataset, build_dataset
+
+
+@pytest.fixture(scope="session")
+def dataset() -> ExperimentDataset:
+    """The paper's ~1,500-run knowledge-base campaign."""
+    return build_dataset(n_runs=1500, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> ExperimentDataset:
+    """A reduced 300-run dataset for the cheaper ablations."""
+    return build_dataset(n_runs=300, seed=1)

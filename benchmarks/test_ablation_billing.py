@@ -1,0 +1,137 @@
+"""Ablation: pro-rata vs whole-hour billing.
+
+Algorithm 1 prices a deploy as ``hour_cost * time`` (pro-rata).  Real
+2016 EC2 billed whole instance-hours, which penalises many-node short
+runs: the same 10-minute job on 8 VMs bills 8 full hours.  This bench
+shows how the billing granularity changes which configuration is
+cheapest, and by how much the pro-rata assumption underestimates real
+2016 bills.
+"""
+
+import numpy as np
+
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingModel
+from repro.disar.eeb import EEBType, SimulationSettings, estimate_complexity
+from repro.benchlib.kb_builder import sample_parameters
+from repro.stochastic.rng import generator_from
+
+
+def _cheapest_feasible(work, performance, billing, tmax, max_nodes=8):
+    """The cheapest (type, n) whose *true* time meets the deadline.
+
+    Without a deadline every billing model trivially picks one node
+    (parallelism only adds overhead cost); the granularity question only
+    bites when the deadline forces multi-node configurations.
+    """
+    best = None
+    fallback = None
+    for instance_type in INSTANCE_CATALOG.values():
+        for n_nodes in range(1, max_nodes + 1):
+            seconds = performance.expected_seconds(work, instance_type, n_nodes)
+            cost = billing.cost(instance_type, seconds, n_nodes).cost_usd
+            if fallback is None or seconds < fallback[3]:
+                fallback = (cost, instance_type.api_name, n_nodes, seconds)
+            if seconds <= tmax and (best is None or cost < best[0]):
+                best = (cost, instance_type.api_name, n_nodes, seconds)
+    return best if best is not None else fallback
+
+
+def _evaluate(n_cases: int = 40):
+    rng = generator_from(31)
+    settings = SimulationSettings(n_outer=1000, n_inner=50)
+    performance = PerformanceModel(noise_sigma=0.0)
+    second_billing = BillingModel("second")
+    hour_billing = BillingModel("hour")
+
+    changed = 0
+    underestimates = []
+    hourly_node_counts = []
+    prorata_node_counts = []
+    for _ in range(n_cases):
+        params = sample_parameters(rng)
+        work = estimate_complexity(params, settings, EEBType.ALM)
+        # A deadline at ~60% of the fastest single VM's time forces
+        # multi-node deploys.
+        single_best = min(
+            performance.expected_seconds(work, it, 1)
+            for it in INSTANCE_CATALOG.values()
+        )
+        tmax = 0.6 * single_best
+        pro_cost, pro_type, pro_n, pro_seconds = _cheapest_feasible(
+            work, performance, second_billing, tmax
+        )
+        _, hour_type, hour_n, _ = _cheapest_feasible(
+            work, performance, hour_billing, tmax
+        )
+        if (pro_type, pro_n) != (hour_type, hour_n):
+            changed += 1
+        # What the pro-rata-optimal config really bills under hourly.
+        it = INSTANCE_CATALOG[pro_type]
+        real_bill = hour_billing.cost(it, pro_seconds, pro_n).cost_usd
+        underestimates.append(real_bill / pro_cost)
+        hourly_node_counts.append(hour_n)
+        prorata_node_counts.append(pro_n)
+    return {
+        "changed": changed,
+        "n_cases": n_cases,
+        "mean_underestimate": float(np.mean(underestimates)),
+        "mean_nodes_hourly": float(np.mean(hourly_node_counts)),
+        "mean_nodes_prorata": float(np.mean(prorata_node_counts)),
+    }
+
+
+def _hour_boundary_divergence():
+    """Count work sizes where the two billing models disagree.
+
+    Sub-hour runs rank identically under both models (every config
+    rounds to one hour, so both minimise roughly n x price); divergence
+    appears when single-node times straddle the hour boundary while
+    multi-node times duck under it.  Sweep work sizes around that
+    boundary and count optimum changes.
+    """
+    performance = PerformanceModel(noise_sigma=0.0)
+    second_billing = BillingModel("second")
+    hour_billing = BillingModel("hour")
+    disagreements = 0
+    sweep = np.linspace(1.5e7, 6e7, 25)  # single-VM times ~0.5h .. ~2.5h
+    for work in sweep:
+        single_best = min(
+            performance.expected_seconds(work, it, 1)
+            for it in INSTANCE_CATALOG.values()
+        )
+        tmax = 0.9 * single_best
+        _, pro_type, pro_n, _ = _cheapest_feasible(
+            work, performance, second_billing, tmax
+        )
+        _, hour_type, hour_n, _ = _cheapest_feasible(
+            work, performance, hour_billing, tmax
+        )
+        if (pro_type, pro_n) != (hour_type, hour_n):
+            disagreements += 1
+    return disagreements, len(sweep)
+
+
+def test_billing_granularity(benchmark):
+    stats = benchmark.pedantic(lambda: _evaluate(), rounds=1, iterations=1)
+    disagreements, n_sweep = _hour_boundary_divergence()
+    print()
+    print(f"  pro-rata cost underestimates the 2016 hourly bill by "
+          f"{stats['mean_underestimate']:.1f}x on average (sub-hour runs)")
+    print(f"  mean optimal node count: pro-rata "
+          f"{stats['mean_nodes_prorata']:.1f} vs hourly "
+          f"{stats['mean_nodes_hourly']:.1f}")
+    print(f"  optimum changes near the hour boundary in "
+          f"{disagreements}/{n_sweep} swept work sizes")
+
+    # For the paper's sub-hour simulations the *choice* is billing-
+    # robust (both models rank configs the same way)...
+    assert stats["changed"] <= stats["n_cases"] // 4
+    assert stats["mean_nodes_hourly"] <= stats["mean_nodes_prorata"]
+    # ...but whole-hour rounding inflates the actual bills severely,
+    assert stats["mean_underestimate"] > 1.5
+    # ...and around the hour boundary the two models genuinely diverge
+    # (the divergence exists but is rare — the headline effect of 2016
+    # billing is the bill inflation, not a different choice).
+    assert disagreements >= 1

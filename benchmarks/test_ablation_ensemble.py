@@ -1,0 +1,42 @@
+"""Ablation: the six-model ensemble average vs each single model.
+
+Algorithm 1 averages the six predictors "to reduce the impact of
+prediction errors by some of the models".  This bench measures the test
+mean-absolute-error of the ensemble against every individual member.
+"""
+
+import numpy as np
+
+from repro.benchlib.kb_builder import split_indices
+from repro.core.predictor import PredictorFamily
+from repro.ml.metrics import mean_absolute_error
+from repro.stochastic.rng import generator_from
+
+
+def _evaluate(dataset):
+    rng = generator_from(7)
+    train_idx, test_idx = split_indices(dataset.n_runs, 0.4, rng)
+    family = PredictorFamily(seed=7)
+    family.fit_arrays(dataset.features[train_idx], dataset.targets[train_idx])
+    per_model = family.predict_matrix(dataset.features[test_idx])
+    ensemble = np.mean(np.vstack(list(per_model.values())), axis=0)
+    actual = dataset.targets[test_idx]
+    maes = {name: mean_absolute_error(pred, actual)
+            for name, pred in per_model.items()}
+    maes["ensemble"] = mean_absolute_error(ensemble, actual)
+    return maes
+
+
+def test_ensemble_vs_single_models(dataset, benchmark):
+    maes = benchmark.pedantic(lambda: _evaluate(dataset), rounds=1, iterations=1)
+    print()
+    for name in sorted(maes, key=maes.get):
+        print(f"  {name:>9s} MAE = {maes[name]:8.1f}s")
+
+    singles = [v for k, v in maes.items() if k != "ensemble"]
+    # The ensemble's purpose is robustness, not peak accuracy: it must
+    # beat the average member and stay far from the worst one, but it
+    # will generally not beat the single best model (which you cannot
+    # identify a priori on a growing knowledge base).
+    assert maes["ensemble"] < np.mean(singles)
+    assert maes["ensemble"] < 0.6 * max(singles)

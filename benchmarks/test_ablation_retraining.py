@@ -1,0 +1,82 @@
+"""Ablation: self-optimizing retraining vs a frozen initial model.
+
+The paper retrains the models after every execution so "every
+computation that is carried out by a company is used as well to give
+better predictions for later deploys".  This bench compares the
+prediction error of a continuously retrained deploy system against one
+frozen after its bootstrap phase, on a drifting workload stream (small
+campaigns early, large ones later) where the frozen model must
+extrapolate.
+"""
+
+import numpy as np
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.provider import SimulatedEC2
+from repro.core.deploy import TransparentDeploySystem
+from repro.disar.eeb import SimulationSettings
+from repro.workload.campaign import CampaignGenerator
+from repro.workload.portfolio_gen import PortfolioGenerator
+
+
+def _drifting_workloads(n_runs: int):
+    """Small workloads first, then a drift to much larger ones."""
+    settings = SimulationSettings(n_outer=1000, n_inner=50)
+    small_gen = PortfolioGenerator(n_contracts_range=(5, 60), seed=21)
+    large_gen = PortfolioGenerator(n_contracts_range=(150, 300), seed=22)
+    workloads = []
+    for i in range(n_runs):
+        gen = small_gen if i < n_runs // 2 else large_gen
+        portfolio = gen.generate(f"drift-{i}")
+        workloads.append(portfolio.split_into_eebs(1, settings=settings))
+    return workloads
+
+
+def _run(retrain: bool, workloads):
+    system = TransparentDeploySystem(
+        cluster_manager=StarClusterManager(
+            provider=SimulatedEC2(seed=9), performance=PerformanceModel()
+        ),
+        bootstrap_runs=10,
+        epsilon=0.0,
+        max_nodes=4,
+        retrain_every=1 if retrain else 10**9,
+        seed=9,
+    )
+    errors = []
+    for i, blocks in enumerate(workloads):
+        outcome = system.run_simulation(blocks, tmax_seconds=3600.0)
+        if i == 9:
+            # End of bootstrap: both variants get one trained model.
+            system.retrain()
+        if not outcome.bootstrap and np.isfinite(
+            outcome.choice.predicted_seconds
+        ):
+            errors.append(
+                (abs(outcome.prediction_error_seconds), outcome.measured_seconds)
+            )
+    abs_err = np.array([e for e, _ in errors])
+    measured = np.array([m for _, m in errors])
+    # Relative error over the drifted (second) half of the stream.
+    half = len(abs_err) // 2
+    return float(np.mean(abs_err[half:] / measured[half:]))
+
+
+def test_retraining_vs_frozen(benchmark):
+    workloads = _drifting_workloads(40)
+
+    def run_both():
+        return {
+            "retrained": _run(True, workloads),
+            "frozen": _run(False, workloads),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"  drifted-half relative |error|: {results}")
+
+    # Continuous retraining must track the drift much better than the
+    # frozen bootstrap-only model.
+    assert results["retrained"] < results["frozen"]
+    assert results["retrained"] < 0.5

@@ -1,0 +1,31 @@
+"""Figure 2: predicted vs real execution time scatter.
+
+The paper's point cloud clusters along the theoretical y=x line for all
+six models.  We quantify that with per-model Pearson correlations and
+the relative RMS distance from the diagonal.
+"""
+
+from repro.benchlib.fig2 import run_fig2
+
+
+def test_fig2_predicted_vs_real(dataset, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2(dataset, train_fraction=0.4, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    assert set(result.predicted) == {"MLP", "RT", "RF", "IBk", "KStar", "DT"}
+
+    # Clustered along the diagonal: strong positive correlation for
+    # every model and bounded relative off-diagonal scatter.
+    for model in result.predicted:
+        assert result.correlation(model) > 0.7, model
+        assert result.diagonal_rms(model) < 0.6, model
+
+    # The execution-time range covers the paper's plot scale
+    # (hundreds to thousands of seconds).
+    assert result.real.min() < 500.0
+    assert result.real.max() > 1000.0

@@ -1,0 +1,31 @@
+"""Figure 3: distribution of the prediction error.
+
+Paper: the histogram of (predicted - real) is centred near zero and
+"around 80% of the predictions have an absolute error smaller than 200
+seconds".
+"""
+
+from repro.benchlib.fig3 import run_fig3
+
+
+def test_fig3_error_distribution(dataset, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(dataset, train_fraction=0.4, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # The paper's headline: at least ~80% of predictions within 200s.
+    assert result.fraction_within(200.0) >= 0.75
+
+    # The distribution is centred: |mean error| far below the 200s band.
+    assert abs(result.mean_error()) < 100.0
+
+    # Histogram percentages integrate to ~100% and peak near zero.
+    percentages, edges = result.histogram(bin_width=200.0)
+    assert abs(percentages.sum() - 100.0) < 1e-6
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    peak_center = centers[percentages.argmax()]
+    assert abs(peak_center) <= 300.0

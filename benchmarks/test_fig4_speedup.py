@@ -1,0 +1,33 @@
+"""Figure 4: speedup of the cloud-based execution vs the sequential one.
+
+Paper: single-cluster speedups between roughly 2x and 9x, with the
+bigger machines of each family ahead of the smaller ones.
+"""
+
+from repro.benchlib.fig4 import run_fig4
+
+
+def test_fig4_cloud_speedup(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+
+    assert set(result.speedups) == {"c3.4", "c3.8", "c4.4", "c4.8", "m4.4",
+                                    "m4.10"}
+
+    # Paper band: non-negligible speedups, bounded by ~10x.
+    for name, speedup in result.speedups.items():
+        assert 2.0 < speedup < 10.0, (name, speedup)
+
+    # Within each family, the bigger machine is faster.
+    assert result.speedups["c3.8"] > result.speedups["c3.4"]
+    assert result.speedups["c4.8"] > result.speedups["c4.4"]
+    assert result.speedups["m4.10"] > result.speedups["m4.4"]
+
+    # Compute-optimised beats general-purpose at equal vCPU count.
+    assert result.speedups["c4.4"] > result.speedups["m4.4"]
+
+    # Cloud times are consistent with the reported speedups.
+    for name, speedup in result.speedups.items():
+        reconstructed = result.sequential_seconds / result.cloud_seconds[name]
+        assert abs(reconstructed - speedup) < 1e-9

@@ -1,0 +1,37 @@
+"""Table I: signed mean error delta-bar per classifier per instance type.
+
+Paper values are tens to low hundreds of seconds (relative to runs up
+to several hours); the reproduction must show the same shape: small
+signed errors relative to the mean execution time, for every one of the
+six classifiers on every one of the six per-type test sets.
+"""
+
+from repro.benchlib.table1 import run_table1
+
+
+def test_table1_prediction_error(dataset, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(dataset, train_fraction=0.4, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # Six models x six instance types, as in the paper.
+    assert len(result.models()) == 6
+    assert len(result.instance_types()) == 6
+
+    # 40%-60% split.
+    assert abs(result.n_train / (result.n_train + result.n_test) - 0.4) < 0.01
+
+    # Shape claim: every |delta-bar| stays small relative to the mean
+    # execution time (the paper's worst cells are ~300s on runs of up to
+    # hours; we require < 50% of the mean test time for every cell).
+    bound = 0.5 * result.test_mean_seconds
+    for model in result.models():
+        for instance_type, value in result.delta_bar[model].items():
+            assert abs(value) < bound, (model, instance_type, value)
+
+    # And the table-wide worst error is far below the mean runtime.
+    assert result.worst_abs_error() < result.test_mean_seconds

@@ -1,0 +1,34 @@
+"""Table II: per-simulation average cost on each instance type.
+
+Paper: m4.4 $0.052, m4.10 $0.120, c3.4 $0.041, c3.8 $0.121, c4.4
+$0.066, c4.8 $0.086; whole 1,500-run campaign $128.  The reproduction
+must land in the same cost band and preserve the headline orderings:
+c3.4 among the cheapest, m4.10 the most expensive band.
+"""
+
+from repro.benchlib.table2 import PAPER_TABLE2, run_table2
+
+
+def test_table2_per_simulation_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(repetitions=10, seed=3), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    # All six types covered.
+    assert set(result.average_cost) == set(PAPER_TABLE2)
+
+    # Cost band: every per-simulation average within [0.5x, 2x] of the
+    # paper's figure for that type.
+    for name, paper_cost in PAPER_TABLE2.items():
+        measured = result.average_cost[name]
+        assert 0.4 * paper_cost < measured < 2.0 * paper_cost, (name, measured)
+
+    # Headline orderings.
+    assert result.average_cost["c3.4xlarge"] < result.average_cost["m4.4xlarge"]
+    assert result.most_expensive() == "m4.10xlarge"
+    assert result.average_cost["m4.10xlarge"] > 2 * result.average_cost["c3.4xlarge"]
+
+    # Campaign outlay: same order of magnitude as the paper's $128.
+    assert 50.0 < result.projected_campaign_cost < 260.0

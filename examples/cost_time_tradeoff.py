@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Cost/time trade-off exploration across the configuration space.
+
+For one large Solvency II workload this example:
+
+1. tabulates the predicted execution time and cost of every
+   ``(instance type, node count)`` configuration — the space Algorithm 1
+   enumerates;
+2. sweeps the deadline ``Tmax`` and shows how the selected configuration
+   moves along the cost/time frontier as the constraint tightens;
+3. reproduces the paper's closing comparison against the forced
+   higher-end and most cost-effective single-VM policies.
+
+Run with::
+
+    python examples/cost_time_tradeoff.py
+"""
+
+from repro.benchlib.kb_builder import build_dataset
+from repro.benchlib.tradeoff import run_tradeoff
+from repro.core.predictor import PredictorFamily
+from repro.core.selection import ConfigurationSelector
+from repro.disar.eeb import CharacteristicParameters
+
+
+def main() -> None:
+    print("Building the knowledge base (1,000 simulated runs) and "
+          "training the model family ...")
+    dataset = build_dataset(n_runs=1000, seed=1)
+    family = PredictorFamily(seed=1).fit_arrays(
+        dataset.features, dataset.targets
+    )
+    selector = ConfigurationSelector(family, max_nodes=6, epsilon=0.0, seed=1)
+
+    workload = CharacteristicParameters(
+        n_contracts=250, max_horizon=35, n_fund_assets=350, n_risk_factors=6
+    )
+    print(f"\nWorkload: {workload}\n")
+
+    print("Configuration space (predicted seconds / dollars):")
+    choices = selector.evaluate_all(workload, tmax_seconds=float("inf"))
+    by_type: dict[str, list] = {}
+    for choice in choices:
+        by_type.setdefault(choice.instance_type.short_name, []).append(choice)
+    header = "  nodes:" + "".join(f"{n:>14d}" for n in range(1, 7))
+    print(header)
+    for short_name in sorted(by_type):
+        row = sorted(by_type[short_name], key=lambda c: c.n_nodes)
+        cells = "".join(
+            f"  {c.predicted_seconds:5,.0f}s/${c.predicted_cost_usd:5.2f}"
+            for c in row
+        )
+        print(f"  {short_name:>6s}{cells}")
+
+    print("\nDeadline sweep (Algorithm 1's choice as Tmax tightens):")
+    for tmax in (3600.0, 1800.0, 1200.0, 900.0, 600.0, 400.0, 300.0):
+        choice = selector.select(workload, tmax_seconds=tmax)
+        marker = "" if choice.feasible else "  <- deadline unattainable"
+        print(f"  Tmax {tmax:6,.0f}s -> {choice.describe()}{marker}")
+
+    print("\nPaper's closing comparison on 25 large workloads:")
+    result = run_tradeoff(dataset, n_cases=25, seed=4)
+    print(result.to_text())
+
+
+if __name__ == "__main__":
+    main()

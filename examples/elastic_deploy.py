@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's main workflow: self-optimizing elastic cloud provisioning.
+
+A stream of Solvency II simulation campaigns is pushed through the
+transparent deploy system:
+
+- the first runs bootstrap the knowledge base on random configurations
+  (the paper's manual early-training phase);
+- after that, Algorithm 1 picks the cheapest configuration whose
+  predicted time meets the deadline, with a small epsilon of
+  exploration;
+- every measured execution retrains the six Weka-style models, so the
+  prediction error falls as the knowledge base grows.
+
+Run with::
+
+    python examples/elastic_deploy.py
+"""
+
+import numpy as np
+
+from repro.core import SelfOptimizingLoop, TransparentDeploySystem
+from repro.disar import SimulationSettings
+from repro.workload import CampaignGenerator
+
+
+def main() -> None:
+    settings = SimulationSettings(n_outer=1000, n_inner=50)  # paper sizes
+    generator = CampaignGenerator(seed=2016)
+    workloads = [[generator.random_block(settings)] for _ in range(50)]
+
+    system = TransparentDeploySystem(
+        bootstrap_runs=12,
+        epsilon=0.05,
+        max_nodes=8,
+        seed=2016,
+    )
+    loop = SelfOptimizingLoop(system)
+    tmax = 900.0  # the Solvency II deadline per campaign, seconds
+
+    print(f"Running {len(workloads)} campaigns with Tmax = {tmax:.0f}s ...\n")
+    report = loop.run(workloads, tmax_seconds=tmax)
+
+    print(report.summary())
+    print()
+
+    print("Per-run view (B = bootstrap, E = exploration):")
+    for i, outcome in enumerate(report.outcomes):
+        tag = "B" if outcome.bootstrap else (
+            "E" if outcome.choice.explored else " "
+        )
+        predicted = outcome.choice.predicted_seconds
+        predicted_text = f"{predicted:7,.0f}s" if np.isfinite(predicted) else "      ?"
+        print(
+            f"  {i + 1:3d} [{tag}] {outcome.choice.n_nodes} x "
+            f"{outcome.choice.instance_type.api_name:<12s} "
+            f"predicted {predicted_text}  measured "
+            f"{outcome.measured_seconds:7,.0f}s  ${outcome.cost_usd:.3f}"
+        )
+
+    errors = report.error_trajectory()
+    if errors.size >= 10:
+        first = errors[: errors.size // 2].mean()
+        second = errors[errors.size // 2:].mean()
+        print(
+            f"\nMean |prediction error|: first half {first:,.0f}s -> "
+            f"second half {second:,.0f}s"
+        )
+    print(f"Knowledge base size: {len(system.knowledge_base)} runs; "
+          f"total outlay ${system.total_cost():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A quarterly reporting season, end to end.
+
+Solvency II work is periodic: each quarter the company faces a *queue*
+of simulations under one budget.  This example shows the seasonal
+workflow the library supports on top of the paper's per-run loop:
+
+1. Q1 — the knowledge base is young: runs bootstrap, models retrain,
+   and the base is *persisted* at the end of the quarter;
+2. Q2 — the knowledge base is reloaded (nothing is relearned from
+   scratch), the whole quarter is *planned* against a dollar budget with
+   Algorithm 1, and leftover budget is spent accelerating the slowest
+   runs;
+3. the planned season is executed and compared against the plan.
+
+Run with::
+
+    python examples/reporting_season.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import (
+    ReportingSeasonPlanner,
+    TransparentDeploySystem,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.core.selection import ConfigurationSelector
+from repro.disar import SimulationSettings
+from repro.workload import CampaignGenerator
+
+
+def main() -> None:
+    settings = SimulationSettings(n_outer=1000, n_inner=50)
+    generator = CampaignGenerator(seed=2026)
+    kb_path = Path(tempfile.gettempdir()) / "repro_season_kb.json"
+
+    print("=== Q1: bootstrap quarter ===")
+    q1 = TransparentDeploySystem(bootstrap_runs=12, epsilon=0.1, seed=1)
+    for _ in range(18):
+        q1.run_simulation([generator.random_block(settings)], 1200.0)
+    print(f"  {len(q1.knowledge_base)} runs, ${q1.total_cost():.2f} spent")
+    rows = save_knowledge_base(q1.knowledge_base, kb_path)
+    print(f"  knowledge base persisted: {rows} rows -> {kb_path}\n")
+
+    print("=== Q2: planned quarter ===")
+    knowledge_base = load_knowledge_base(kb_path)
+    q2 = TransparentDeploySystem(
+        knowledge_base=knowledge_base, bootstrap_runs=0, epsilon=0.0, seed=2
+    )
+    q2.retrain()
+    print(f"  reloaded {len(knowledge_base)} historical runs; models "
+          f"retrained without any new bootstrap cost")
+
+    workloads = [[generator.random_block(settings)] for _ in range(10)]
+    params = [q2.aggregate_parameters(blocks) for blocks in workloads]
+    selector = ConfigurationSelector(
+        q2.predictor, max_nodes=8, epsilon=0.0, seed=3
+    )
+    planner = ReportingSeasonPlanner(selector)
+    budget = 3.00  # dollars for the whole quarter
+    plan = planner.plan(params, tmax_seconds=1200.0, budget_usd=budget)
+    print(plan.summary())
+    print()
+
+    print("  executing the plan:")
+    total_cost = 0.0
+    total_seconds = 0.0
+    for run, blocks in zip(plan.runs, workloads):
+        outcome = q2.run_simulation(blocks, 1200.0, force=run.choice)
+        total_cost += outcome.cost_usd
+        total_seconds += outcome.measured_seconds
+        tag = "^" if run.upgraded else " "
+        print(f"   {tag} run {run.index}: {outcome.describe()}")
+    print()
+    print(f"  plan said   ${plan.total_cost:.2f} / {plan.total_seconds:,.0f}s")
+    print(f"  reality was ${total_cost:.2f} / {total_seconds:,.0f}s "
+          f"(budget ${budget:.2f})")
+    print(
+        "\nNote the systematic cost gap: Algorithm 1 prices a deploy as\n"
+        "hour_cost x predicted_time (the paper's formula), but real bills\n"
+        "also cover the 60-120s boot latency of every VM — a blind spot\n"
+        "that grows with the node count and argues for folding boot time\n"
+        "into the cost model when planning tight budgets."
+    )
+
+
+if __name__ == "__main__":
+    main()

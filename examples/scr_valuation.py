@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""SCR valuation of a profit-sharing portfolio: nested MC vs LSMC.
+
+Reproduces the actuarial workflow behind DISAR's type-B elaborations on
+one synthetic segregated fund:
+
+- a full nested Monte Carlo run (outer real-world x inner risk-neutral)
+  with the 99.5% Value-at-Risk SCR and its statistical diagnostics;
+- the Least-Squares Monte Carlo variant, calibrated on a small nested
+  sample and evaluated on many more outer scenarios;
+- a convergence mini-study of the SCR in the number of outer scenarios.
+
+Run with::
+
+    python examples/scr_valuation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.financial import ContractKind, PolicyContract, SegregatedFund
+from repro.montecarlo import LSMCEngine, NestedMonteCarloEngine, SCRCalculator
+from repro.stochastic import RiskDriverSpec
+
+
+def build_portfolio() -> list[PolicyContract]:
+    """A stylised in-force portfolio: mixed guarantees and horizons."""
+    return [
+        PolicyContract(ContractKind.PURE_ENDOWMENT, age=45, gender="M",
+                       term=15, insured_sum=100_000, participation=0.85,
+                       technical_rate=0.03, multiplicity=120),
+        PolicyContract(ContractKind.ENDOWMENT, age=52, gender="F",
+                       term=10, insured_sum=80_000, participation=0.80,
+                       technical_rate=0.02, multiplicity=90),
+        PolicyContract(ContractKind.TERM, age=38, gender="M",
+                       term=20, insured_sum=150_000, participation=0.80,
+                       technical_rate=0.0, multiplicity=60),
+        PolicyContract(ContractKind.WHOLE_LIFE_ANNUITY, age=67, gender="F",
+                       term=25, insured_sum=12_000, participation=0.90,
+                       technical_rate=0.025, multiplicity=40),
+    ]
+
+
+def main() -> None:
+    spec = RiskDriverSpec.standard(n_equities=2, rho=0.3)
+    fund = SegregatedFund()
+    contracts = build_portfolio()
+    engine = NestedMonteCarloEngine(spec, fund, contracts)
+    scr = SCRCalculator(level=0.995)
+
+    print("=== Full nested Monte Carlo ===")
+    t0 = time.perf_counter()
+    nested = engine.run(n_outer=150, n_inner=60, rng=42)
+    elapsed = time.perf_counter() - t0
+    print(scr.from_nested(nested).summary())
+    print(f"(host time: {elapsed:.1f}s for "
+          f"{nested.n_outer} x {nested.n_inner} scenarios)\n")
+
+    print("=== LSMC (reduced inner stage) ===")
+    t0 = time.perf_counter()
+    lsmc = LSMCEngine(engine, degree=2).run(
+        n_outer=2000, n_outer_cal=150, n_inner_cal=60, rng=42
+    )
+    elapsed = time.perf_counter() - t0
+    losses = lsmc.outer_values * float(
+        np.mean(lsmc.calibration.outer_discount)
+    ) - lsmc.calibration.base_value
+    report = scr.from_losses(
+        losses,
+        base_value=lsmc.calibration.base_value,
+        base_own_funds=lsmc.calibration.base_assets
+        - lsmc.calibration.base_value,
+        n_inner=60,
+    )
+    print(report.summary())
+    print(f"(host time: {elapsed:.1f}s for {lsmc.n_outer} proxy-valued "
+          f"outer scenarios, in-sample R^2 = {lsmc.in_sample_r2:.3f})\n")
+
+    print("=== SCR convergence in the outer sample size ===")
+    for n_outer in (50, 100, 200, 400):
+        result = engine.run(n_outer=n_outer, n_inner=40, rng=7)
+        report = scr.from_nested(result)
+        width = report.loss_ci_high - report.loss_ci_low
+        print(f"  nP={n_outer:4d}: SCR = {report.scr:>14,.0f}   "
+              f"95% CI width = {width:>13,.0f}")
+
+
+if __name__ == "__main__":
+    main()

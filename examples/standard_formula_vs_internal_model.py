@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Standard formula vs. internal model on the same portfolio.
+
+The Solvency II Directive lets undertakings compute the SCR with the
+prescribed *standard formula* or with an approved *internal model*; the
+paper's whole premise is that the internal-model route (DISAR's nested
+Monte Carlo) is far more computationally demanding — which is why it
+needs elastic cloud resources.  This example quantifies the comparison
+on one synthetic portfolio:
+
+- the standard formula: eleven deterministic stress revaluations plus
+  correlation aggregation;
+- the internal model: a full nested Monte Carlo (outer real-world x
+  inner risk-neutral) with the empirical 99.5% VaR.
+
+Run with::
+
+    python examples/standard_formula_vs_internal_model.py
+"""
+
+import time
+
+from repro.montecarlo import NestedMonteCarloEngine, SCRCalculator
+from repro.solvency import StandardFormulaCalculator
+from repro.workload import PortfolioGenerator
+
+
+def main() -> None:
+    portfolio = PortfolioGenerator(
+        n_contracts_range=(25, 40), horizon_range=(12, 18), seed=11
+    ).generate("compare", company="Esempio Vita S.p.A.")
+    print(portfolio.describe())
+    print()
+
+    print("=== Standard formula (prescribed stresses) ===")
+    t0 = time.perf_counter()
+    sf = StandardFormulaCalculator(
+        portfolio.spec, portfolio.fund, portfolio.contracts,
+        n_scenarios=300, seed=5,
+    ).compute()
+    sf_seconds = time.perf_counter() - t0
+    print(sf.summary())
+    print(f"(host time: {sf_seconds:.1f}s — eleven deterministic "
+          f"revaluations)\n")
+
+    print("=== Internal model (nested Monte Carlo, 99.5% VaR) ===")
+    engine = NestedMonteCarloEngine(
+        portfolio.spec, portfolio.fund, portfolio.contracts
+    )
+    t0 = time.perf_counter()
+    nested = engine.run(n_outer=120, n_inner=50, rng=5,
+                        initial_assets=sf.base_assets)
+    im_seconds = time.perf_counter() - t0
+    report = SCRCalculator().from_nested(nested)
+    print(report.summary())
+    print(f"(host time: {im_seconds:.1f}s — "
+          f"{nested.n_outer} x {nested.n_inner} nested scenarios)\n")
+
+    print("=== Comparison ===")
+    ratio = report.scr / sf.bscr if sf.bscr else float("nan")
+    print(f"  standard formula BSCR : {sf.bscr:>14,.0f}")
+    print(f"  internal model SCR    : {report.scr:>14,.0f}"
+          f"  ({ratio:.2f}x the standard formula)")
+    print(f"  compute cost ratio    : {im_seconds / max(sf_seconds, 1e-9):.1f}x "
+          f"host time for the internal model")
+
+    # Technical provisions also carry a risk margin: 6% cost of capital
+    # on the projected future SCRs (exposure-driver simplification).
+    from repro.solvency import cost_of_capital_risk_margin
+    from repro.stochastic.term_structure import FlatYieldCurve
+
+    blocks = portfolio.split_into_eebs(3)
+    margin = cost_of_capital_risk_margin(
+        scr_now=report.scr, blocks=blocks, curve=FlatYieldCurve(0.02)
+    )
+    print(f"  {margin.summary()}")
+    print("\nThe internal model is the computationally heavy route — the "
+          "reason the paper offloads it to elastic cloud resources.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Reproduction of *Machine Learning-based Elastic Cloud Resource
+Provisioning in the Solvency II Framework* (La Rizza et al., ICDCS 2016).
+
+The package is organised bottom-up:
+
+- :mod:`repro.stochastic` — risk-driver models and scenario generation,
+- :mod:`repro.financial` — profit-sharing policy and segregated-fund maths,
+- :mod:`repro.montecarlo` — nested Monte Carlo, LSMC and SCR engines,
+- :mod:`repro.disar` — a clean-room DISAR-like valuation system,
+- :mod:`repro.cluster` — a simulated-MPI message-passing runtime,
+- :mod:`repro.cloud` — a simulated EC2 provider and cluster manager,
+- :mod:`repro.ml` — from-scratch Weka-equivalent regression learners,
+- :mod:`repro.core` — the paper's contribution: the ML-based transparent
+  deploy system (knowledge base, predictor family, Algorithm 1 selection,
+  self-optimizing loop),
+- :mod:`repro.workload` — synthetic Solvency II workload generation,
+- :mod:`repro.benchlib` — shared drivers for the table/figure benchmarks.
+
+The most common entry points are re-exported lazily here (PEP 562), so
+importing :mod:`repro` stays cheap and sub-packages can be used in
+isolation.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# name -> (module, attribute) for lazy re-export.
+_EXPORTS = {
+    "TransparentDeploySystem": ("repro.core.deploy", "TransparentDeploySystem"),
+    "KnowledgeBase": ("repro.core.knowledge_base", "KnowledgeBase"),
+    "RunRecord": ("repro.core.knowledge_base", "RunRecord"),
+    "ConfigurationSelector": ("repro.core.selection", "ConfigurationSelector"),
+    "DeployChoice": ("repro.core.selection", "DeployChoice"),
+    "CampaignGenerator": ("repro.workload.campaign", "CampaignGenerator"),
+}
+
+__all__ = list(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

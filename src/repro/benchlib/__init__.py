@@ -1,0 +1,48 @@
+"""Shared drivers for the paper's tables and figures.
+
+Each module reproduces one artefact of the paper's Section IV:
+
+- :mod:`repro.benchlib.kb_builder` — the ~1,500-run experiment campaign
+  that populates the knowledge base (the substrate for Tables I-II and
+  Figures 2-3);
+- :mod:`repro.benchlib.table1` — Table I: signed mean error (delta-bar)
+  of each classifier on each per-instance-type test set, 40/60 split;
+- :mod:`repro.benchlib.table2` — Table II: per-simulation average cost
+  per instance type;
+- :mod:`repro.benchlib.fig2` — Figure 2: predicted-vs-real scatter;
+- :mod:`repro.benchlib.fig3` — Figure 3: error-distribution histogram;
+- :mod:`repro.benchlib.fig4` — Figure 4: cloud-vs-sequential speedups;
+- :mod:`repro.benchlib.tradeoff` — the closing forced-configuration
+  comparison (cost -54% vs the high-end VM, time -48% vs the most
+  cost-effective one);
+- :mod:`repro.benchlib.render` — ASCII rendering of the figures
+  (matplotlib is unavailable offline; the benches emit data series plus
+  text plots).
+"""
+
+from repro.benchlib.kb_builder import ExperimentDataset, build_dataset
+from repro.benchlib.table1 import Table1Result, run_table1
+from repro.benchlib.table2 import Table2Result, run_table2
+from repro.benchlib.fig2 import Fig2Result, run_fig2
+from repro.benchlib.fig3 import Fig3Result, run_fig3
+from repro.benchlib.fig4 import Fig4Result, run_fig4
+from repro.benchlib.tradeoff import TradeoffResult, run_tradeoff
+from repro.benchlib.report import generate_report
+
+__all__ = [
+    "generate_report",
+    "ExperimentDataset",
+    "build_dataset",
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "TradeoffResult",
+    "run_tradeoff",
+]

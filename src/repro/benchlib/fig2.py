@@ -1,0 +1,73 @@
+"""Figure 2: predicted versus real execution time.
+
+The paper plots, per model, the predicted time against the real one;
+the point cloud clusters along the theoretical y=x line.  We reproduce
+the same scatter on the held-out 60% of the knowledge base and quantify
+"clustered along the diagonal" with the Pearson correlation and the
+relative RMS distance from the diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchlib.kb_builder import ExperimentDataset, split_indices
+from repro.benchlib.render import ascii_scatter
+from repro.core.predictor import PredictorFamily
+from repro.stochastic.rng import generator_from
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Per-model (real, predicted) series on the test split."""
+
+    real: np.ndarray
+    predicted: dict[str, np.ndarray]
+
+    def correlation(self, model: str) -> float:
+        """Pearson correlation between real and predicted times."""
+        return float(np.corrcoef(self.real, self.predicted[model])[0, 1])
+
+    def diagonal_rms(self, model: str) -> float:
+        """RMS distance from y=x, relative to the mean real time."""
+        residual = self.predicted[model] - self.real
+        return float(np.sqrt(np.mean(residual**2)) / self.real.mean())
+
+    def pooled(self) -> tuple[np.ndarray, np.ndarray]:
+        """All models' points pooled (as the paper's single panel)."""
+        reals = np.concatenate([self.real] * len(self.predicted))
+        preds = np.concatenate(list(self.predicted.values()))
+        return reals, preds
+
+    def to_text(self, max_points: int = 400) -> str:
+        reals, preds = self.pooled()
+        if reals.size > max_points:
+            step = reals.size // max_points
+            reals, preds = reals[::step], preds[::step]
+        plot = ascii_scatter(
+            reals, preds, x_label="real time (s)", y_label="predicted time (s)"
+        )
+        stats = [
+            f"{name}: corr={self.correlation(name):.3f}, "
+            f"rel RMS off-diagonal={self.diagonal_rms(name):.3f}"
+            for name in self.predicted
+        ]
+        return plot + "\n" + "\n".join(stats)
+
+
+def run_fig2(
+    dataset: ExperimentDataset,
+    train_fraction: float = 0.4,
+    seed: int = 0,
+) -> Fig2Result:
+    """Train on the 40% split and scatter predictions on the rest."""
+    rng = generator_from(seed)
+    train_idx, test_idx = split_indices(dataset.n_runs, train_fraction, rng)
+    family = PredictorFamily(seed=seed)
+    family.fit_arrays(dataset.features[train_idx], dataset.targets[train_idx])
+    predicted = family.predict_matrix(dataset.features[test_idx])
+    return Fig2Result(real=dataset.targets[test_idx], predicted=predicted)

@@ -1,0 +1,66 @@
+"""Figure 3: distribution of the prediction error.
+
+The paper histograms ``predicted - real`` over the used prediction
+models and observes that "around 80% of the predictions have an absolute
+error smaller than 200 seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchlib.fig2 import run_fig2
+from repro.benchlib.kb_builder import ExperimentDataset
+from repro.benchlib.render import ascii_histogram
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    """Pooled signed errors of all models on the test split."""
+
+    errors: np.ndarray
+
+    def fraction_within(self, seconds: float) -> float:
+        """Share of predictions with ``|error| < seconds``."""
+        if seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {seconds}")
+        return float(np.mean(np.abs(self.errors) < seconds))
+
+    def mean_error(self) -> float:
+        return float(self.errors.mean())
+
+    def histogram(self, bin_width: float = 200.0) -> tuple[np.ndarray, np.ndarray]:
+        """(percentages, bin_edges) matching the paper's plot style."""
+        span = max(abs(self.errors.min()), abs(self.errors.max()), bin_width)
+        edge = np.ceil(span / bin_width) * bin_width
+        bins = np.arange(-edge, edge + bin_width, bin_width)
+        counts, edges = np.histogram(self.errors, bins=bins)
+        return 100.0 * counts / self.errors.size, edges
+
+    def to_text(self) -> str:
+        span = max(abs(self.errors.min()), abs(self.errors.max()), 200.0)
+        edge = np.ceil(span / 200.0) * 200.0
+        bins = np.arange(-edge, edge + 200.0, 200.0)
+        plot = ascii_histogram(self.errors, bins, label="predicted - real (s)")
+        return (
+            plot
+            + f"\nwithin +-200s: {self.fraction_within(200.0):.1%} "
+            f"(paper: ~80%)"
+        )
+
+
+def run_fig3(
+    dataset: ExperimentDataset,
+    train_fraction: float = 0.4,
+    seed: int = 0,
+) -> Fig3Result:
+    """Pool all six models' signed test errors."""
+    fig2 = run_fig2(dataset, train_fraction=train_fraction, seed=seed)
+    errors = np.concatenate(
+        [predicted - fig2.real for predicted in fig2.predicted.values()]
+    )
+    return Fig3Result(errors=errors)

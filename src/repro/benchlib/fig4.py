@@ -1,0 +1,68 @@
+"""Figure 4: speedup of the cloud-based execution vs the sequential one.
+
+The paper runs its campaign on a single VM of each of the six types and
+reports the speedup over a sequential execution; the bars range between
+roughly 2x and 9x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchlib.render import ascii_bars
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cloud.performance import PerformanceModel
+from repro.disar.eeb import ElementaryElaborationBlock
+from repro.workload.campaign import CampaignGenerator
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+#: Display order of the paper's Figure 4 x-axis.
+FIG4_ORDER = ["c3.4", "c3.8", "c4.4", "c4.8", "m4.4", "m4.10"]
+
+
+@dataclass
+class Fig4Result:
+    """Speedup per instance type (one cluster node, paper setup)."""
+
+    speedups: dict[str, float]
+    sequential_seconds: float
+    cloud_seconds: dict[str, float]
+
+    def to_text(self) -> str:
+        labels = [name for name in FIG4_ORDER if name in self.speedups]
+        values = np.array([self.speedups[name] for name in labels])
+        bars = ascii_bars(
+            labels, values,
+            title="Fig 4: speedup of cloud execution vs sequential",
+        )
+        return bars + f"\nsequential baseline: {self.sequential_seconds:,.0f}s"
+
+
+def run_fig4(
+    blocks: list[ElementaryElaborationBlock] | None = None,
+    performance: PerformanceModel | None = None,
+    n_nodes: int = 1,
+    seed: int = 42,
+) -> Fig4Result:
+    """Compute the per-type speedups for the paper campaign."""
+    if blocks is None:
+        blocks = CampaignGenerator(seed=seed).paper_campaign().blocks
+    performance = performance if performance is not None else PerformanceModel(
+        noise_sigma=0.0
+    )
+    work = performance.campaign_units(blocks)
+    sequential = performance.sequential_seconds(work)
+    speedups: dict[str, float] = {}
+    cloud_seconds: dict[str, float] = {}
+    for instance_type in INSTANCE_CATALOG.values():
+        seconds = performance.expected_seconds(work, instance_type, n_nodes)
+        cloud_seconds[instance_type.short_name] = seconds
+        speedups[instance_type.short_name] = sequential / seconds
+    return Fig4Result(
+        speedups=speedups,
+        sequential_seconds=sequential,
+        cloud_seconds=cloud_seconds,
+    )

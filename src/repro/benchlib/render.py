@@ -1,0 +1,81 @@
+"""ASCII rendering of figures.
+
+matplotlib is unavailable in the offline environment, so the figure
+benches emit their data series plus text renderings that preserve the
+visual shape of the paper's plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_histogram", "ascii_bars"]
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    diagonal: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Text scatter plot; ``diagonal`` overlays the y=x reference line."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("x and y must be equal-length non-empty arrays")
+    low = min(x.min(), y.min())
+    high = max(x.max(), y.max())
+    span = high - low if high > low else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for col in range(width):
+            row = height - 1 - int(col / max(width - 1, 1) * (height - 1))
+            grid[row][col] = "."
+    for xi, yi in zip(x, y):
+        col = int((xi - low) / span * (width - 1))
+        row = height - 1 - int((yi - low) / span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    header = f"{y_label} (vertical) vs {x_label} (horizontal); '.'=ideal y=x"
+    footer = f"range [{low:,.0f}, {high:,.0f}]"
+    return "\n".join([header, *lines, footer])
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: np.ndarray,
+    width: int = 50,
+    label: str = "value",
+) -> str:
+    """Text histogram with percentage bars (like the paper's Figure 3)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot render an empty histogram")
+    counts, edges = np.histogram(values, bins=bins)
+    percentages = 100.0 * counts / values.size
+    peak = percentages.max() if percentages.max() > 0 else 1.0
+    lines = [f"histogram of {label} ({values.size} samples)"]
+    for i, pct in enumerate(percentages):
+        bar = "#" * int(round(pct / peak * width))
+        lines.append(
+            f"[{edges[i]:>8,.0f}, {edges[i + 1]:>8,.0f}) "
+            f"{pct:5.1f}% {bar}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: list[str], values: np.ndarray, width: int = 40,
+               title: str = "") -> str:
+    """Horizontal bar chart (like the paper's Figure 4)."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.size or values.size == 0:
+        raise ValueError("labels and values must match and be non-empty")
+    peak = values.max() if values.max() > 0 else 1.0
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label:>8s} {value:6.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""One-shot regeneration of every paper artefact.
+
+``generate_report()`` runs all six table/figure drivers against a fresh
+knowledge-base campaign and assembles the full paper-vs-measured text —
+the programmatic equivalent of ``pytest benchmarks/ --benchmark-only -s``
+for maintainers updating EXPERIMENTS.md after a calibration change.
+Available from the command line as ``repro bench all``.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib.fig2 import run_fig2
+from repro.benchlib.fig3 import run_fig3
+from repro.benchlib.fig4 import run_fig4
+from repro.benchlib.kb_builder import ExperimentDataset, build_dataset
+from repro.benchlib.table1 import run_table1
+from repro.benchlib.table2 import run_table2
+from repro.benchlib.tradeoff import run_tradeoff
+
+__all__ = ["generate_report"]
+
+_RULE = "=" * 72
+
+
+def generate_report(
+    n_runs: int = 1500,
+    seed: int = 0,
+    dataset: ExperimentDataset | None = None,
+) -> str:
+    """Run every table/figure driver and return the combined text."""
+    if dataset is None:
+        dataset = build_dataset(n_runs=n_runs, seed=seed)
+    sections = [
+        f"{_RULE}\nReproduction report — knowledge base of "
+        f"{dataset.n_runs} runs (seed {seed})\n{_RULE}",
+        run_table1(dataset, seed=seed + 1).to_text(),
+        run_table2(seed=seed + 3).to_text(),
+        "Figure 2 — predicted vs real execution time\n"
+        + run_fig2(dataset, seed=seed + 1).to_text(),
+        "Figure 3 — distribution of the prediction error\n"
+        + run_fig3(dataset, seed=seed + 1).to_text(),
+        run_fig4(seed=seed + 42).to_text(),
+        run_tradeoff(dataset, seed=seed + 2).to_text(),
+    ]
+    return ("\n\n" + _RULE + "\n\n").join(sections)

@@ -1,0 +1,104 @@
+"""Table II: per-simulation average cost per instance type.
+
+The paper reports the average dollar cost of one simulation on each of
+the six virtualized architectures (m4.4 $0.052, m4.10 $0.120, c3.4
+$0.041, c3.8 $0.121, c4.4 $0.066, c4.8 $0.086), and notes that the
+whole ~1,500-run campaign cost 128 $.
+
+A "simulation" here is one campaign EEB of the paper's Section IV setup
+(3 portfolios, 15 EEBs, n_Q=50, n_P=1000) executed on a single VM, so
+this driver generates paper-campaign blocks and bills single-node runs
+of each block on each architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingModel
+from repro.stochastic.rng import generator_from
+from repro.workload.campaign import CampaignGenerator
+
+__all__ = ["Table2Result", "run_table2", "PAPER_TABLE2"]
+
+#: The paper's Table II, dollars per simulation.
+PAPER_TABLE2: dict[str, float] = {
+    "m4.4xlarge": 0.052,
+    "m4.10xlarge": 0.120,
+    "c3.4xlarge": 0.041,
+    "c3.8xlarge": 0.121,
+    "c4.4xlarge": 0.066,
+    "c4.8xlarge": 0.086,
+}
+
+
+@dataclass
+class Table2Result:
+    """Average per-simulation cost per instance type, in dollars."""
+
+    average_cost: dict[str, float]
+    run_counts: dict[str, int]
+    projected_campaign_cost: float
+
+    def cheapest(self) -> str:
+        return min(self.average_cost, key=self.average_cost.get)
+
+    def most_expensive(self) -> str:
+        return max(self.average_cost, key=self.average_cost.get)
+
+    def to_text(self) -> str:
+        lines = [
+            "Table II: per-simulation average cost (measured vs paper)",
+            f"{'type':>12s} {'measured $':>11s} {'paper $':>9s} {'runs':>6s}",
+        ]
+        for name in sorted(self.average_cost):
+            lines.append(
+                f"{name:>12s} {self.average_cost[name]:>11.3f} "
+                f"{PAPER_TABLE2.get(name, float('nan')):>9.3f} "
+                f"{self.run_counts[name]:>6d}"
+            )
+        lines.append(
+            f"projected cost of a 1500-run campaign: "
+            f"${self.projected_campaign_cost:.2f} (paper: $128)"
+        )
+        return "\n".join(lines)
+
+
+def run_table2(
+    repetitions: int = 10,
+    performance: PerformanceModel | None = None,
+    seed: int = 0,
+) -> Table2Result:
+    """Average single-VM per-simulation costs over the paper campaign.
+
+    Every one of the campaign's 15 EEBs is executed ``repetitions``
+    times (fresh noise each time) on one VM of each of the six types.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    rng = generator_from(seed)
+    performance = performance if performance is not None else PerformanceModel()
+    billing = BillingModel()
+    blocks = CampaignGenerator(seed=rng.integers(0, 2**63)).paper_campaign().blocks
+
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for instance_type in INSTANCE_CATALOG.values():
+        name = instance_type.api_name
+        sums[name] = 0.0
+        counts[name] = 0
+        for block in blocks:
+            work = performance.workload_units(block)
+            for _ in range(repetitions):
+                seconds = performance.measured_seconds(work, instance_type, 1, rng)
+                sums[name] += billing.expected_cost(instance_type, seconds, 1)
+                counts[name] += 1
+    average = {name: sums[name] / counts[name] for name in sums}
+    overall = sum(sums.values()) / sum(counts.values())
+    return Table2Result(
+        average_cost=average,
+        run_counts=counts,
+        projected_campaign_cost=1500.0 * overall,
+    )

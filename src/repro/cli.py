@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Installs as the ``repro`` console command with four subcommands:
+
+- ``repro scr`` — value a synthetic portfolio and print the SCR report;
+- ``repro deploy`` — run simulation campaigns through the self-optimizing
+  elastic deploy loop;
+- ``repro bench`` — regenerate one of the paper's tables or figures;
+- ``repro kb`` — build an experiment knowledge base and save it (JSON
+  and/or Weka ARFF).
+
+Every subcommand is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ML-based elastic cloud provisioning for Solvency II "
+            "(ICDCS 2016 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scr = sub.add_parser("scr", help="value a synthetic portfolio (SCR)")
+    scr.add_argument("--contracts", type=int, default=30,
+                     help="representative contracts (default 30)")
+    scr.add_argument("--outer", type=int, default=150,
+                     help="outer real-world scenarios n_P (default 150)")
+    scr.add_argument("--inner", type=int, default=40,
+                     help="inner risk-neutral scenarios n_Q (default 40)")
+    scr.add_argument("--seed", type=int, default=0)
+
+    deploy = sub.add_parser(
+        "deploy", help="run campaigns through the elastic deploy loop"
+    )
+    deploy.add_argument("--runs", type=int, default=25,
+                        help="number of campaigns (default 25)")
+    deploy.add_argument("--tmax", type=float, default=900.0,
+                        help="Solvency II deadline per campaign, seconds")
+    deploy.add_argument("--epsilon", type=float, default=0.05,
+                        help="exploration probability (default 0.05)")
+    deploy.add_argument("--bootstrap", type=int, default=10,
+                        help="bootstrap runs before ML selection")
+    deploy.add_argument("--max-nodes", type=int, default=8)
+    deploy.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument(
+        "target",
+        choices=["table1", "table2", "fig2", "fig3", "fig4", "tradeoff",
+                 "all"],
+    )
+    bench.add_argument("--runs", type=int, default=1500,
+                       help="knowledge-base size (default 1500)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default=None,
+                       help="also write the output to this file")
+
+    kb = sub.add_parser("kb", help="build and save a knowledge base")
+    kb.add_argument("--runs", type=int, default=500)
+    kb.add_argument("--json", dest="json_path", default=None,
+                    help="write the knowledge base as JSON")
+    kb.add_argument("--arff", dest="arff_path", default=None,
+                    help="export the training matrices as Weka ARFF")
+    kb.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_scr(args: argparse.Namespace) -> int:
+    from repro.montecarlo import NestedMonteCarloEngine, SCRCalculator
+    from repro.workload import PortfolioGenerator
+
+    portfolio = PortfolioGenerator(
+        n_contracts_range=(args.contracts, args.contracts + 1),
+        seed=args.seed,
+    ).generate("cli")
+    print(portfolio.describe())
+    engine = NestedMonteCarloEngine(
+        portfolio.spec, portfolio.fund, portfolio.contracts
+    )
+    result = engine.run(n_outer=args.outer, n_inner=args.inner, rng=args.seed)
+    print()
+    print(SCRCalculator().from_nested(result).summary())
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.core import SelfOptimizingLoop, TransparentDeploySystem
+    from repro.disar import SimulationSettings
+    from repro.workload import CampaignGenerator
+
+    settings = SimulationSettings(n_outer=1000, n_inner=50)
+    generator = CampaignGenerator(seed=args.seed)
+    workloads = [[generator.random_block(settings)] for _ in range(args.runs)]
+    system = TransparentDeploySystem(
+        bootstrap_runs=args.bootstrap,
+        epsilon=args.epsilon,
+        max_nodes=args.max_nodes,
+        seed=args.seed,
+    )
+    report = SelfOptimizingLoop(system).run(workloads, tmax_seconds=args.tmax)
+    print(report.summary())
+    print(f"last run: {report.outcomes[-1].describe()}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchlib import (
+        build_dataset,
+        run_fig2,
+        run_fig3,
+        run_fig4,
+        run_table1,
+        run_table2,
+        run_tradeoff,
+    )
+
+    if args.target == "all":
+        from repro.benchlib.report import generate_report
+
+        text = generate_report(n_runs=args.runs, seed=args.seed)
+    elif args.target == "table2":
+        text = run_table2(seed=args.seed).to_text()
+    elif args.target == "fig4":
+        text = run_fig4(seed=args.seed).to_text()
+    else:
+        dataset = build_dataset(n_runs=args.runs, seed=args.seed)
+        if args.target == "table1":
+            text = run_table1(dataset, seed=args.seed + 1).to_text()
+        elif args.target == "fig2":
+            text = run_fig2(dataset, seed=args.seed + 1).to_text()
+        elif args.target == "fig3":
+            text = run_fig3(dataset, seed=args.seed + 1).to_text()
+        else:  # tradeoff
+            text = run_tradeoff(dataset, seed=args.seed + 1).to_text()
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_kb(args: argparse.Namespace) -> int:
+    from repro.benchlib import build_dataset
+    from repro.core.persistence import export_arff, save_knowledge_base
+
+    dataset = build_dataset(n_runs=args.runs, seed=args.seed)
+    print(
+        f"built knowledge base: {dataset.n_runs} runs, "
+        f"${dataset.total_cost():.2f} simulated outlay"
+    )
+    if args.json_path:
+        count = save_knowledge_base(dataset.knowledge_base, args.json_path)
+        print(f"wrote {count} rows to {args.json_path}")
+    if args.arff_path:
+        count = export_arff(dataset.knowledge_base, args.arff_path)
+        print(f"exported {count} ARFF instances to {args.arff_path}")
+    if not args.json_path and not args.arff_path:
+        print("(pass --json and/or --arff to persist it)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro`` console command."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "scr": _cmd_scr,
+        "deploy": _cmd_deploy,
+        "bench": _cmd_bench,
+        "kb": _cmd_kb,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

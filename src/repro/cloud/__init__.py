@@ -1,0 +1,43 @@
+"""Simulated Amazon EC2 substrate.
+
+The paper's evaluation ran on real EC2 via StarCluster.  This package
+substitutes a calibrated simulation:
+
+- :mod:`repro.cloud.instance_types` — the six 2016-era instance types of
+  the paper with their vCPU/RAM specs, on-demand prices and relative
+  per-core speeds;
+- :mod:`repro.cloud.pricing` — the billing model (pro-rata per second,
+  optional whole-hour rounding as 2016 EC2 actually billed);
+- :mod:`repro.cloud.performance` — the execution-time model mapping an
+  EEB workload and a deploy configuration ``(instance type, n nodes)``
+  to a wall-clock time, with Amdahl-style scaling, per-family core
+  speeds, MPI overheads and multiplicative cloud noise;
+- :mod:`repro.cloud.provider` — a discrete-event EC2 provider (launch /
+  run / terminate, boot latency, a virtual clock, per-instance billing);
+- :mod:`repro.cloud.cluster` — a StarCluster-like manager that
+  activates homogeneous VM clusters and runs DISAR campaigns on them.
+"""
+
+from repro.cloud.instance_types import (
+    INSTANCE_CATALOG,
+    InstanceType,
+    get_instance_type,
+)
+from repro.cloud.pricing import BillingModel, BillingRecord
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.provider import SimulatedEC2, SimulatedInstance, VirtualClock
+from repro.cloud.cluster import ClusterHandle, StarClusterManager
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "get_instance_type",
+    "BillingModel",
+    "BillingRecord",
+    "PerformanceModel",
+    "VirtualClock",
+    "SimulatedEC2",
+    "SimulatedInstance",
+    "ClusterHandle",
+    "StarClusterManager",
+]

@@ -1,0 +1,230 @@
+"""StarCluster-like cluster manager.
+
+The paper bases its transparent deploy on StarCluster, "a tool which
+allows to activate any number of VMs on Amazon EC2".  The
+:class:`StarClusterManager` plays that role against the simulated
+provider: it activates homogeneous clusters, runs DISAR elaboration
+campaigns on them (timing comes from the calibrated
+:class:`repro.cloud.performance.PerformanceModel`; the numerical results
+can optionally be computed for real through the message-passing DISAR
+engines), and tears the clusters down, producing billing records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingRecord
+from repro.cloud.provider import SimulatedEC2, SimulatedInstance
+from repro.disar.eeb import ElementaryElaborationBlock
+from repro.disar.master import DisarMasterService, ElaborationReport
+
+__all__ = [
+    "ClusterHandle",
+    "StarClusterManager",
+    "CloudRunResult",
+    "MixedCloudRunResult",
+]
+
+
+@dataclass
+class ClusterHandle:
+    """A running homogeneous cluster."""
+
+    name: str
+    instance_type: InstanceType
+    instances: list[SimulatedInstance]
+    started_at: float
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.instances)
+
+
+@dataclass
+class CloudRunResult:
+    """Outcome of one cloud-deployed elaboration campaign."""
+
+    cluster_name: str
+    instance_type: InstanceType
+    n_nodes: int
+    work_units: float
+    execution_seconds: float
+    billing: BillingRecord
+    report: ElaborationReport | None = None
+
+    @property
+    def cost_usd(self) -> float:
+        return self.billing.cost_usd
+
+
+@dataclass
+class StarClusterManager:
+    """Activates clusters and runs DISAR campaigns on them."""
+
+    provider: SimulatedEC2 = field(default_factory=SimulatedEC2)
+    performance: PerformanceModel = field(default_factory=PerformanceModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._clusters: dict[str, ClusterHandle] = {}
+        self._counter = 0
+
+    # -- cluster lifecycle ------------------------------------------------------
+
+    def start_cluster(
+        self, instance_type: InstanceType, n_nodes: int
+    ) -> ClusterHandle:
+        """Activate ``n_nodes`` VMs of ``instance_type``."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        instances = self.provider.launch(instance_type, n_nodes)
+        self._counter += 1
+        handle = ClusterHandle(
+            name=f"cluster-{self._counter:04d}",
+            instance_type=instance_type,
+            instances=instances,
+            started_at=self.provider.clock.now,
+        )
+        self._clusters[handle.name] = handle
+        return handle
+
+    def terminate_cluster(self, handle: ClusterHandle) -> BillingRecord:
+        """Tear the cluster down and bill its usage."""
+        if handle.name not in self._clusters:
+            raise ValueError(f"unknown or already-terminated cluster {handle.name!r}")
+        del self._clusters[handle.name]
+        return self.provider.terminate(handle.instances)
+
+    def active_clusters(self) -> list[ClusterHandle]:
+        return list(self._clusters.values())
+
+    # -- campaign execution --------------------------------------------------------
+
+    def run_blocks(
+        self,
+        handle: ClusterHandle,
+        blocks: list[ElementaryElaborationBlock],
+        compute_results: bool = False,
+    ) -> tuple[float, ElaborationReport | None]:
+        """Run ``blocks`` on the cluster; returns ``(seconds, report)``.
+
+        The wall-clock time comes from the performance model (noisy,
+        like a real measurement) and advances the provider clock.  With
+        ``compute_results=True`` the actual DISAR numbers are also
+        produced by running the message-passing engines locally — the
+        simulated time remains the performance-model one, since host
+        Python speed is not representative of the modelled C++ engines.
+        """
+        if handle.name not in self._clusters:
+            raise ValueError(f"cluster {handle.name!r} is not active")
+        if not blocks:
+            raise ValueError("no blocks to run")
+        work = self.performance.campaign_units(blocks)
+        seconds = self.performance.measured_seconds(
+            work, handle.instance_type, handle.n_nodes, self._rng
+        )
+        self.provider.clock.advance(seconds)
+        report = None
+        if compute_results:
+            master = DisarMasterService()
+            report = master.execute(
+                blocks,
+                n_units=min(handle.n_nodes, 8),
+                distribute_alm=handle.n_nodes > 1,
+            )
+        return seconds, report
+
+    def run_campaign(
+        self,
+        instance_type: InstanceType,
+        n_nodes: int,
+        blocks: list[ElementaryElaborationBlock],
+        compute_results: bool = False,
+    ) -> CloudRunResult:
+        """Full lifecycle: start cluster, run ``blocks``, terminate, bill."""
+        handle = self.start_cluster(instance_type, n_nodes)
+        try:
+            seconds, report = self.run_blocks(
+                handle, blocks, compute_results=compute_results
+            )
+        finally:
+            billing = self.terminate_cluster(handle)
+        return CloudRunResult(
+            cluster_name=handle.name,
+            instance_type=instance_type,
+            n_nodes=n_nodes,
+            work_units=self.performance.campaign_units(blocks),
+            execution_seconds=seconds,
+            billing=billing,
+            report=report,
+        )
+
+    def run_campaign_mixed(
+        self,
+        spec,
+        blocks: list[ElementaryElaborationBlock],
+        compute_results: bool = False,
+    ) -> "MixedCloudRunResult":
+        """Run ``blocks`` on a heterogeneous cluster (future-work mode).
+
+        ``spec`` is a :class:`repro.cloud.heterogeneous.MixedClusterSpec`;
+        each instance-type group is launched and billed separately and
+        the wall-clock time comes from the mixed-cluster performance
+        model.
+        """
+        from repro.cloud.heterogeneous import (
+            HeterogeneousPerformanceModel,
+            MixedClusterSpec,
+        )
+
+        if not isinstance(spec, MixedClusterSpec):
+            raise TypeError(
+                f"spec must be a MixedClusterSpec, got {type(spec).__name__}"
+            )
+        if not blocks:
+            raise ValueError("no blocks to run")
+        hetero = HeterogeneousPerformanceModel(base=self.performance)
+        work = self.performance.campaign_units(blocks)
+        groups = [
+            self.provider.launch(instance_type, count)
+            for instance_type, count in spec.groups
+        ]
+        seconds = hetero.measured_seconds(work, spec, self._rng)
+        self.provider.clock.advance(seconds)
+        report = None
+        if compute_results:
+            master = DisarMasterService()
+            report = master.execute(
+                blocks,
+                n_units=min(spec.n_nodes, 8),
+                distribute_alm=spec.n_nodes > 1,
+            )
+        billing = [self.provider.terminate(group) for group in groups]
+        return MixedCloudRunResult(
+            spec=spec,
+            work_units=work,
+            execution_seconds=seconds,
+            billing=billing,
+            report=report,
+        )
+
+
+@dataclass
+class MixedCloudRunResult:
+    """Outcome of one heterogeneous cloud campaign."""
+
+    spec: "object"
+    work_units: float
+    execution_seconds: float
+    billing: list[BillingRecord]
+    report: ElaborationReport | None = None
+
+    @property
+    def cost_usd(self) -> float:
+        return float(sum(record.cost_usd for record in self.billing))

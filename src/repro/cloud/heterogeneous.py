@@ -1,0 +1,171 @@
+"""Heterogeneous (mixed-instance-type) deployments.
+
+The paper closes with: "So far, our system considers homogeneous
+deploys, namely it does not consider the possibility of employing VMs
+instantiated using different virtualized hardware configurations.
+Introducing this additional variability aspect will be the subject of
+future work."  This module implements that future work:
+
+- :class:`MixedClusterSpec` — a deploy made of several homogeneous
+  groups (e.g. ``2 x c4.8xlarge + 3 x c3.4xlarge``);
+- timing for mixed clusters on top of the calibrated
+  :class:`~repro.cloud.performance.PerformanceModel`, assuming the
+  speed-proportional work partitioning DiMaS's complexity-based
+  scheduling provides (each node receives work proportional to its
+  throughput, so all finish together up to the coordination loss);
+- billing (each group billed at its own hourly price).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingModel
+
+__all__ = ["MixedClusterSpec", "HeterogeneousPerformanceModel"]
+
+
+@dataclass(frozen=True)
+class MixedClusterSpec:
+    """A deploy configuration with one or more instance-type groups.
+
+    ``groups`` maps each :class:`InstanceType` to its node count; a
+    single-entry spec degenerates to the paper's homogeneous case.
+    """
+
+    groups: tuple[tuple[InstanceType, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a mixed cluster needs at least one group")
+        seen = set()
+        for instance_type, count in self.groups:
+            if count < 1:
+                raise ValueError(
+                    f"group {instance_type.api_name} has count {count}"
+                )
+            if instance_type.api_name in seen:
+                raise ValueError(
+                    f"duplicate group for {instance_type.api_name}"
+                )
+            seen.add(instance_type.api_name)
+
+    @classmethod
+    def homogeneous(cls, instance_type: InstanceType, n_nodes: int) -> "MixedClusterSpec":
+        return cls(groups=((instance_type, n_nodes),))
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(count for _, count in self.groups)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self.groups) == 1
+
+    def hourly_price(self) -> float:
+        """Total cluster price per hour."""
+        return sum(it.hourly_price_usd * count for it, count in self.groups)
+
+    def total_vcpus(self) -> int:
+        return sum(it.vcpus * count for it, count in self.groups)
+
+    def mean_core_speed(self) -> float:
+        """vCPU-weighted mean relative core speed (an ML feature)."""
+        total = self.total_vcpus()
+        return (
+            sum(it.relative_core_speed * it.vcpus * count for it, count in self.groups)
+            / total
+        )
+
+    def describe(self) -> str:
+        parts = " + ".join(
+            f"{count} x {it.api_name}" for it, count in self.groups
+        )
+        return parts
+
+
+class HeterogeneousPerformanceModel:
+    """Mixed-cluster timing on top of the homogeneous model.
+
+    The serial fraction runs on the fastest core present; the parallel
+    share is divided speed-proportionally across all effective cores
+    (DiMaS already schedules by complexity, so the idle-node waste the
+    paper warns about does not reappear); the coordination loss and the
+    startup cost grow with the *total* node count exactly as in the
+    homogeneous model, plus a small heterogeneity penalty for the load
+    imbalance that speed-proportional partitioning cannot fully remove.
+    """
+
+    def __init__(
+        self,
+        base: PerformanceModel | None = None,
+        imbalance_penalty: float = 0.03,
+    ) -> None:
+        if imbalance_penalty < 0:
+            raise ValueError(
+                f"imbalance_penalty must be non-negative, got {imbalance_penalty}"
+            )
+        self.base = base if base is not None else PerformanceModel()
+        self.imbalance_penalty = float(imbalance_penalty)
+
+    def _heterogeneity(self, spec: MixedClusterSpec) -> float:
+        """Coefficient-of-variation-like measure of speed dispersion."""
+        speeds = np.array(
+            [it.relative_core_speed for it, count in spec.groups
+             for _ in range(count)]
+        )
+        if speeds.size <= 1:
+            return 0.0
+        return float(speeds.std() / speeds.mean())
+
+    def expected_seconds(self, work_units: float, spec: MixedClusterSpec) -> float:
+        """Noise-free execution time of ``work_units`` on ``spec``."""
+        if work_units < 0:
+            raise ValueError(f"work_units must be non-negative, got {work_units}")
+        base = self.base
+        fastest_rate = base.reference_rate * max(
+            it.relative_core_speed for it, _ in spec.groups
+        )
+        serial_time = base.serial_fraction * work_units / fastest_rate
+
+        capacity = 0.0
+        for instance_type, count in spec.groups:
+            rate = base.reference_rate * instance_type.relative_core_speed
+            capacity += rate * base.effective_cores(instance_type) * count
+        efficiency = base.parallel_efficiency(spec.n_nodes)
+        efficiency /= 1.0 + self.imbalance_penalty * self._heterogeneity(spec)
+        parallel_time = (1.0 - base.serial_fraction) * work_units / (
+            capacity * efficiency
+        )
+        startup = base.startup_seconds * (1.0 + np.log2(spec.n_nodes))
+        return serial_time + parallel_time + startup
+
+    def measured_seconds(
+        self,
+        work_units: float,
+        spec: MixedClusterSpec,
+        rng: np.random.Generator,
+    ) -> float:
+        """One noisy 'measured' execution time."""
+        expected = self.expected_seconds(work_units, spec)
+        sigma = self.base.noise_sigma
+        if sigma == 0.0:
+            return expected
+        return expected * float(np.exp(rng.normal(-0.5 * sigma**2, sigma)))
+
+    def cost(
+        self,
+        spec: MixedClusterSpec,
+        seconds: float,
+        billing: BillingModel | None = None,
+    ) -> float:
+        """Dollar cost of running ``spec`` for ``seconds``."""
+        billing = billing if billing is not None else BillingModel()
+        total = 0.0
+        for instance_type, count in spec.groups:
+            total += billing.expected_cost(instance_type, seconds, count)
+        return total

@@ -1,0 +1,86 @@
+"""The virtualized architectures of the paper's evaluation.
+
+Specs are the real EC2 ones the paper lists (Section IV); prices are the
+2016 us-east-1 Linux on-demand rates.  ``relative_core_speed`` encodes
+the per-core throughput differences between the families on Monte Carlo
+workloads: m4 ran 2.4 GHz Broadwell/Haswell, c3 2.8 GHz Ivy Bridge, c4
+2.9 GHz Haswell with higher IPC — compute-optimised families are
+meaningfully faster per vCPU, which is exactly the trade-off that makes
+the paper's cost-based configuration selection non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InstanceType", "INSTANCE_CATALOG", "get_instance_type"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One virtualized architecture ``m`` of the paper's set ``M``."""
+
+    api_name: str
+    vcpus: int
+    memory_gib: float
+    hourly_price_usd: float
+    relative_core_speed: float
+    family: str
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ValueError(f"vcpus must be positive, got {self.vcpus}")
+        if self.memory_gib <= 0:
+            raise ValueError(f"memory_gib must be positive, got {self.memory_gib}")
+        if self.hourly_price_usd <= 0:
+            raise ValueError(
+                f"hourly_price_usd must be positive, got {self.hourly_price_usd}"
+            )
+        if self.relative_core_speed <= 0:
+            raise ValueError(
+                f"relative_core_speed must be positive, got "
+                f"{self.relative_core_speed}"
+            )
+
+    @property
+    def short_name(self) -> str:
+        """Compact label used in the paper's tables, e.g. ``c3.4``."""
+        family, size = self.api_name.split(".")
+        return f"{family}.{size.replace('xlarge', '')}"
+
+    def price_per_second(self) -> float:
+        return self.hourly_price_usd / 3600.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.api_name} ({self.vcpus} vCPU, {self.memory_gib:g} GiB, "
+            f"${self.hourly_price_usd}/h)"
+        )
+
+
+#: The six instance types of the paper (Section IV), keyed by API name.
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    it.api_name: it
+    for it in (
+        InstanceType("m4.4xlarge", 16, 64.0, 0.958, 1.00, "m4"),
+        InstanceType("m4.10xlarge", 40, 160.0, 2.394, 1.00, "m4"),
+        InstanceType("c3.4xlarge", 16, 30.0, 0.840, 1.10, "c3"),
+        InstanceType("c3.8xlarge", 32, 60.0, 1.680, 1.10, "c3"),
+        InstanceType("c4.4xlarge", 16, 30.0, 0.838, 1.22, "c4"),
+        InstanceType("c4.8xlarge", 36, 60.0, 1.675, 1.22, "c4"),
+    )
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by API name (``m4.4xlarge``) or short
+    name (``m4.4``)."""
+    if name in INSTANCE_CATALOG:
+        return INSTANCE_CATALOG[name]
+    for instance_type in INSTANCE_CATALOG.values():
+        if instance_type.short_name == name:
+            return instance_type
+    raise KeyError(
+        f"unknown instance type {name!r}; available: "
+        f"{sorted(INSTANCE_CATALOG)}"
+    )

@@ -1,0 +1,176 @@
+"""Execution-time model for distributed DISAR runs on virtual clusters.
+
+This is the substitution for the real EC2 measurements of the paper: a
+calibrated analytical model mapping ``(workload, instance type, node
+count)`` to a wall-clock time, with
+
+- **Amdahl scaling** — a serial fraction (EEB setup, calibration, result
+  gathering) bounds the achievable speedup;
+- **per-family core speeds** — c4 > c3 > m4 per vCPU, so the cheapest
+  time is not always on the biggest machine;
+- **hyper-threading discount** — EC2 vCPUs are hyper-threads; doubling
+  vCPUs on the same cores does not double Monte Carlo throughput;
+- **MPI overheads** — a per-node coordination cost and a startup cost
+  growing with the cluster size, which make over-provisioning
+  counterproductive exactly as the paper observes ("configurations which
+  involve a large number of nodes which are idle most of the time");
+- **multiplicative lognormal noise** — cloud performance variability,
+  the irreducible error floor of the ML predictors.
+
+Calibration targets the *shape* of the paper's results: single-VM
+simulation times of a few hundred seconds on the paper's campaign
+(Table II costs), speedups between ~2 and ~9 versus a sequential
+single-core run (Figure 4), and execution times up to a few thousand
+seconds across the knowledge base (Figures 2-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.disar.eeb import ElementaryElaborationBlock
+
+__all__ = ["PerformanceModel"]
+
+
+class PerformanceModel:
+    """Calibrated wall-clock model for cloud deploys.
+
+    Parameters
+    ----------
+    reference_rate:
+        Work units per second of one reference core (an m4-class vCPU's
+        physical core running one thread).
+    serial_fraction:
+        Amdahl serial share of the workload.
+    ht_efficiency:
+        Throughput of the second hyper-thread of a core relative to the
+        first (0 = useless, 1 = a full core).
+    coordination_per_node:
+        Relative parallel-efficiency loss per additional node.
+    startup_seconds:
+        Fixed per-run MPI/cluster setup cost, plus this much again per
+        ``log2(n)`` (tree-structured startup).
+    noise_sigma:
+        Sigma of the lognormal multiplicative noise (0 disables noise).
+    """
+
+    def __init__(
+        self,
+        reference_rate: float = 1200.0,
+        serial_fraction: float = 0.10,
+        ht_efficiency: float = 0.30,
+        coordination_per_node: float = 0.035,
+        startup_seconds: float = 6.0,
+        noise_sigma: float = 0.05,
+    ) -> None:
+        if reference_rate <= 0:
+            raise ValueError(f"reference_rate must be positive, got {reference_rate}")
+        if not 0.0 <= serial_fraction < 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1), got {serial_fraction}"
+            )
+        if not 0.0 <= ht_efficiency <= 1.0:
+            raise ValueError(f"ht_efficiency must be in [0, 1], got {ht_efficiency}")
+        if coordination_per_node < 0:
+            raise ValueError(
+                f"coordination_per_node must be non-negative, got "
+                f"{coordination_per_node}"
+            )
+        if startup_seconds < 0:
+            raise ValueError(
+                f"startup_seconds must be non-negative, got {startup_seconds}"
+            )
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        self.reference_rate = float(reference_rate)
+        self.serial_fraction = float(serial_fraction)
+        self.ht_efficiency = float(ht_efficiency)
+        self.coordination_per_node = float(coordination_per_node)
+        self.startup_seconds = float(startup_seconds)
+        self.noise_sigma = float(noise_sigma)
+
+    # -- capacity ------------------------------------------------------------
+
+    def effective_cores(self, instance_type: InstanceType) -> float:
+        """Single-thread-equivalent cores of one instance.
+
+        EC2 vCPUs are hyper-threads: ``vcpus/2`` physical cores, each
+        contributing ``1 + ht_efficiency`` thread-equivalents.
+        """
+        physical = instance_type.vcpus / 2.0
+        return physical * (1.0 + self.ht_efficiency)
+
+    def parallel_efficiency(self, n_nodes: int) -> float:
+        """Scaling efficiency of an ``n_nodes`` MPI job."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        return 1.0 / (1.0 + self.coordination_per_node * (n_nodes - 1))
+
+    # -- workload ------------------------------------------------------------
+
+    @staticmethod
+    def workload_units(block: ElementaryElaborationBlock) -> float:
+        """Abstract work units of one EEB (delegates to the complexity
+        estimate DiMaS uses, keeping master scheduling and timing
+        consistent)."""
+        return block.complexity()
+
+    def campaign_units(self, blocks: list[ElementaryElaborationBlock]) -> float:
+        """Total work of a set of blocks."""
+        return float(sum(self.workload_units(block) for block in blocks))
+
+    # -- timing ----------------------------------------------------------------
+
+    def sequential_seconds(self, work_units: float) -> float:
+        """Time of a sequential run on one reference core (no noise)."""
+        if work_units < 0:
+            raise ValueError(f"work_units must be non-negative, got {work_units}")
+        return work_units / self.reference_rate
+
+    def expected_seconds(
+        self,
+        work_units: float,
+        instance_type: InstanceType,
+        n_nodes: int,
+    ) -> float:
+        """Noise-free execution time of the deploy ``(m, n)``."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if work_units < 0:
+            raise ValueError(f"work_units must be non-negative, got {work_units}")
+        rate = self.reference_rate * instance_type.relative_core_speed
+        serial_time = self.serial_fraction * work_units / rate
+        capacity = (
+            self.effective_cores(instance_type)
+            * n_nodes
+            * self.parallel_efficiency(n_nodes)
+        )
+        parallel_time = (1.0 - self.serial_fraction) * work_units / (rate * capacity)
+        startup = self.startup_seconds * (1.0 + np.log2(n_nodes))
+        return serial_time + parallel_time + startup
+
+    def measured_seconds(
+        self,
+        work_units: float,
+        instance_type: InstanceType,
+        n_nodes: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """One noisy 'measured' execution time (what a real run records)."""
+        expected = self.expected_seconds(work_units, instance_type, n_nodes)
+        if self.noise_sigma == 0.0:
+            return expected
+        noise = float(
+            np.exp(rng.normal(-0.5 * self.noise_sigma**2, self.noise_sigma))
+        )
+        return expected * noise
+
+    def speedup(
+        self, work_units: float, instance_type: InstanceType, n_nodes: int
+    ) -> float:
+        """Expected speedup of the deploy versus the sequential baseline."""
+        return self.sequential_seconds(work_units) / self.expected_seconds(
+            work_units, instance_type, n_nodes
+        )

@@ -1,0 +1,161 @@
+"""Discrete-event simulated EC2 provider.
+
+A :class:`SimulatedEC2` owns a :class:`VirtualClock` and a fleet of
+:class:`SimulatedInstance` records.  Instances are launched with a boot
+latency, accumulate billable time until terminated, and the provider
+keeps a complete billing ledger.  No real time passes — the clock only
+advances when callers run work or explicitly sleep, so thousand-run
+experiment campaigns finish in seconds of host time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.cloud.pricing import BillingModel, BillingRecord
+
+__all__ = ["VirtualClock", "SimulatedInstance", "SimulatedEC2"]
+
+
+class VirtualClock:
+    """A monotonically advancing simulated wall clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative seconds ({seconds})")
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class SimulatedInstance:
+    """One running (or terminated) VM."""
+
+    instance_id: str
+    instance_type: InstanceType
+    launched_at: float
+    ready_at: float
+    terminated_at: float | None = None
+
+    @property
+    def is_running(self) -> bool:
+        return self.terminated_at is None
+
+    def uptime(self, now: float) -> float:
+        """Billable seconds from launch to termination (or ``now``)."""
+        end = self.terminated_at if self.terminated_at is not None else now
+        return max(0.0, end - self.launched_at)
+
+
+@dataclass
+class SimulatedEC2:
+    """The provider: launch, terminate, bill.
+
+    Parameters
+    ----------
+    billing:
+        The billing model applied at termination time.
+    boot_latency_range:
+        Uniform range of simulated boot latencies, seconds.  2016-era
+        EC2 Linux instances became reachable in roughly 60-120 s.
+    seed:
+        Seed for the boot-latency draws.
+    """
+
+    billing: BillingModel = field(default_factory=BillingModel)
+    boot_latency_range: tuple[float, float] = (60.0, 120.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        low, high = self.boot_latency_range
+        if low < 0 or high < low:
+            raise ValueError(
+                f"invalid boot_latency_range {self.boot_latency_range}"
+            )
+        self.clock = VirtualClock()
+        self._rng = np.random.default_rng(self.seed)
+        self._ids = itertools.count(1)
+        self._instances: dict[str, SimulatedInstance] = {}
+        self._ledger: list[BillingRecord] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def launch(
+        self, instance_type: InstanceType, count: int = 1
+    ) -> list[SimulatedInstance]:
+        """Launch ``count`` instances; the clock advances to the moment
+        the slowest one is ready (cluster-style blocking launch)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        low, high = self.boot_latency_range
+        launched_at = self.clock.now
+        instances = []
+        worst_boot = 0.0
+        for _ in range(count):
+            boot = float(self._rng.uniform(low, high))
+            worst_boot = max(worst_boot, boot)
+            instance = SimulatedInstance(
+                instance_id=f"i-{next(self._ids):08x}",
+                instance_type=instance_type,
+                launched_at=launched_at,
+                ready_at=launched_at + boot,
+            )
+            self._instances[instance.instance_id] = instance
+            instances.append(instance)
+        self.clock.advance(worst_boot)
+        return instances
+
+    def terminate(self, instances: list[SimulatedInstance]) -> BillingRecord:
+        """Terminate ``instances`` now and append the bill to the ledger.
+
+        All instances must share one type (homogeneous deploys, as the
+        paper's system assumes); heterogeneous fleets are future work in
+        the paper and are billed per call here.
+        """
+        if not instances:
+            raise ValueError("no instances to terminate")
+        types = {i.instance_type.api_name for i in instances}
+        if len(types) != 1:
+            raise ValueError(
+                f"terminate expects a homogeneous group, got {sorted(types)}"
+            )
+        now = self.clock.now
+        seconds = 0.0
+        for instance in instances:
+            stored = self._instances.get(instance.instance_id)
+            if stored is None or not stored.is_running:
+                raise ValueError(
+                    f"instance {instance.instance_id} is not running"
+                )
+            stored.terminated_at = now
+            seconds = max(seconds, stored.uptime(now))
+        record = self.billing.cost(
+            instances[0].instance_type, seconds, n_instances=len(instances)
+        )
+        self._ledger.append(record)
+        return record
+
+    # -- queries ------------------------------------------------------------------
+
+    def running_instances(self) -> list[SimulatedInstance]:
+        return [i for i in self._instances.values() if i.is_running]
+
+    def ledger(self) -> list[BillingRecord]:
+        """All billing records so far (terminated usage only)."""
+        return list(self._ledger)
+
+    def total_cost(self) -> float:
+        """Dollars billed so far."""
+        return float(sum(record.cost_usd for record in self._ledger))

@@ -1,0 +1,23 @@
+"""Simulated-MPI message-passing runtime.
+
+DISAR distributes its type-B (ALM) elaborations with Message Passing
+primitives (the paper cites MPI explicitly): work units are scattered to
+the nodes, each node computes local averages concurrently, and the
+results are gathered and combined at the end.  This package provides an
+MPI-flavoured communicator — point-to-point ``send``/``recv`` plus the
+collectives ``bcast``, ``scatter``, ``gather``, ``allgather``,
+``reduce``, ``allreduce`` and ``barrier`` — running the ranks as threads
+of one process, which is faithful to the programming model while staying
+runnable anywhere.
+"""
+
+from repro.cluster.comm import Communicator, MessagePassingError, run_spmd
+from repro.cluster.partition import chunk_sizes, split_evenly
+
+__all__ = [
+    "Communicator",
+    "MessagePassingError",
+    "run_spmd",
+    "split_evenly",
+    "chunk_sizes",
+]

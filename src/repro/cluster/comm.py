@@ -1,0 +1,239 @@
+"""MPI-style communicator over in-process threads.
+
+``run_spmd(size, fn)`` launches ``size`` ranks, each executing
+``fn(comm, *args)`` in its own thread with a :class:`Communicator` bound
+to its rank.  Point-to-point messages travel through per-rank mailboxes
+with ``(source, tag)`` matching; collectives are built from them the way
+small MPI implementations do.
+
+The communicator is deliberately synchronous (``send`` enqueues and
+returns, ``recv`` blocks), matching the blocking MPI primitives DISAR's
+scatter/gather phases need.  A global timeout converts deadlocks into
+:class:`MessagePassingError` instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["Communicator", "MessagePassingError", "run_spmd"]
+
+#: Matches any source rank in :meth:`Communicator.recv`.
+ANY_SOURCE = -1
+
+
+class MessagePassingError(RuntimeError):
+    """A rank misused the API, timed out, or a peer rank failed."""
+
+
+class _SharedState:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes = [queue.Queue() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.failure = threading.Event()
+
+
+class Communicator:
+    """Rank-local handle to the message-passing runtime."""
+
+    def __init__(self, rank: int, shared: _SharedState) -> None:
+        self._rank = rank
+        self._shared = shared
+        # Messages received but not yet matched by (source, tag).
+        self._pending: list[tuple[int, int, Any]] = []
+
+    @property
+    def rank(self) -> int:
+        """This process's rank, in ``[0, size)``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._shared.size
+
+    def _check_peer(self, rank: int, action: str) -> None:
+        if not 0 <= rank < self.size:
+            raise MessagePassingError(
+                f"rank {self._rank} cannot {action} rank {rank}: "
+                f"communicator has {self.size} ranks"
+            )
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Send ``payload`` to rank ``dest`` (non-blocking enqueue)."""
+        self._check_peer(dest, "send to")
+        self._shared.mailboxes[dest].put((self._rank, tag, payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        """Receive the next message matching ``(source, tag)``; blocks.
+
+        ``source=ANY_SOURCE`` matches any sender.  Raises
+        :class:`MessagePassingError` on timeout (deadlock guard) or when
+        a peer rank has already failed.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source, "receive from")
+        for i, (src, msg_tag, payload) in enumerate(self._pending):
+            if (source in (ANY_SOURCE, src)) and msg_tag == tag:
+                del self._pending[i]
+                return payload
+        while True:
+            if self._shared.failure.is_set():
+                raise MessagePassingError(
+                    f"rank {self._rank}: a peer rank failed during the run"
+                )
+            try:
+                src, msg_tag, payload = self._shared.mailboxes[self._rank].get(
+                    timeout=min(0.1, self._shared.timeout)
+                )
+            except queue.Empty:
+                continue
+            if (source in (ANY_SOURCE, src)) and msg_tag == tag:
+                return payload
+            self._pending.append((src, msg_tag, payload))
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        try:
+            self._shared.barrier.wait(timeout=self._shared.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MessagePassingError(
+                f"rank {self._rank}: barrier broken (peer failure or timeout)"
+            ) from exc
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root`` to every rank."""
+        self._check_peer(root, "broadcast from")
+        tag = -101
+        if self._rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(payload, dest, tag=tag)
+            return payload
+        return self.recv(source=root, tag=tag)
+
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one chunk per rank from ``root``.
+
+        On ``root``, ``chunks`` must have exactly ``size`` elements; other
+        ranks pass ``None``.
+        """
+        self._check_peer(root, "scatter from")
+        tag = -102
+        if self._rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise MessagePassingError(
+                    f"scatter needs exactly {self.size} chunks, got "
+                    f"{None if chunks is None else len(chunks)}"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(chunks[dest], dest, tag=tag)
+            return chunks[root]
+        return self.recv(source=root, tag=tag)
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root`` (rank order preserved).
+
+        Returns the list on ``root`` and ``None`` elsewhere.
+        """
+        self._check_peer(root, "gather at")
+        tag = -103
+        if self._rank == root:
+            values: list[Any] = [None] * self.size
+            values[root] = payload
+            for source in range(self.size):
+                if source != root:
+                    values[source] = self.recv(source=source, tag=tag)
+            return values
+        self.send(payload, root, tag=tag)
+        return None
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Gather at rank 0 and broadcast the full list back."""
+        values = self.gather(payload, root=0)
+        return self.bcast(values, root=0)
+
+    def reduce(
+        self,
+        payload: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+    ) -> Any | None:
+        """Reduce values with binary ``op`` at ``root`` (rank order)."""
+        values = self.gather(payload, root=root)
+        if values is None:
+            return None
+        result = values[0]
+        for value in values[1:]:
+            result = op(result, value)
+        return result
+
+    def allreduce(self, payload: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce and broadcast the result to every rank."""
+        result = self.reduce(payload, op, root=0)
+        return self.bcast(result, root=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(rank={self._rank}, size={self.size})"
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 60.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
+
+    Any exception in a rank aborts the whole run (other ranks' blocking
+    calls raise :class:`MessagePassingError`) and the first failure is
+    re-raised in the caller.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    shared = _SharedState(size, timeout)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def _worker(rank: int) -> None:
+        comm = Communicator(rank, shared)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with lock:
+                errors.append((rank, exc))
+            shared.failure.set()
+            shared.barrier.abort()
+
+    threads = [
+        threading.Thread(target=_worker, args=(rank,), name=f"rank-{rank}")
+        for rank in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            shared.failure.set()
+            shared.barrier.abort()
+            raise MessagePassingError(
+                f"{thread.name} did not finish within {timeout}s (deadlock?)"
+            )
+    if errors:
+        rank, exc = min(errors, key=lambda pair: pair[0])
+        if isinstance(exc, MessagePassingError):
+            raise exc
+        raise MessagePassingError(f"rank {rank} failed: {exc!r}") from exc
+    return results

@@ -1,0 +1,38 @@
+"""Work-partitioning helpers for scatter/gather computations."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["split_evenly", "chunk_sizes"]
+
+
+def chunk_sizes(total: int, parts: int) -> list[int]:
+    """Sizes of ``parts`` near-equal chunks of ``total`` items.
+
+    The first ``total % parts`` chunks get one extra item, which is how
+    MPI's block distribution balances remainders.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def split_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into ``parts`` contiguous near-equal chunks.
+
+    Chunks may be empty when there are fewer items than parts; the
+    concatenation of the chunks always equals ``items``.
+    """
+    sizes = chunk_sizes(len(items), parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for size in sizes:
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks

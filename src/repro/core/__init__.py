@@ -1,0 +1,55 @@
+"""The paper's contribution: the ML-based transparent deploy system.
+
+Four cooperating pieces (Section III of the paper):
+
+- :class:`KnowledgeBase` — the database of past runs: characteristic
+  parameters, deploy configuration and measured execution time;
+- :class:`PredictorFamily` — the family ``P`` of prediction models
+  ``p_x : M x N x F -> R+`` built with the six ML algorithms, combined
+  by averaging to absorb individual model errors;
+- :class:`ConfigurationSelector` — Algorithm 1: enumerate every
+  ``(instance type, node count)`` pair, discard those whose predicted
+  time violates the deadline ``Tmax``, pick the cheapest survivor, and
+  explore a random feasible configuration with probability ``epsilon``;
+- :class:`TransparentDeploySystem` — the self-optimizing loop gluing
+  DISAR, the cloud and the predictors together: every simulation run by
+  a company is also a training sample for later deploys.
+"""
+
+from repro.core.knowledge_base import KnowledgeBase, RunRecord
+from repro.core.predictor import PredictorFamily
+from repro.core.selection import ConfigurationSelector, DeployChoice
+from repro.core.hetero_selection import (
+    HeterogeneousSelector,
+    MixedDeployChoice,
+    encode_mixed_features,
+)
+from repro.core.deploy import DeployOutcome, TransparentDeploySystem
+from repro.core.planner import CampaignPlan, PlannedRun, ReportingSeasonPlanner
+from repro.core.persistence import (
+    export_arff,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.core.self_optimizing import LoopReport, SelfOptimizingLoop
+
+__all__ = [
+    "KnowledgeBase",
+    "RunRecord",
+    "PredictorFamily",
+    "ConfigurationSelector",
+    "DeployChoice",
+    "HeterogeneousSelector",
+    "MixedDeployChoice",
+    "encode_mixed_features",
+    "TransparentDeploySystem",
+    "DeployOutcome",
+    "SelfOptimizingLoop",
+    "LoopReport",
+    "ReportingSeasonPlanner",
+    "CampaignPlan",
+    "PlannedRun",
+    "save_knowledge_base",
+    "load_knowledge_base",
+    "export_arff",
+]

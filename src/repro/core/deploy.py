@@ -1,0 +1,307 @@
+"""The transparent deploy system.
+
+"Whenever the user of DISAR starts a new simulation, the interface
+automatically activates the required number of VMs" (paper, Section
+III).  :class:`TransparentDeploySystem` is that glue: given a set of
+type-B EEBs and the Solvency II deadline it
+
+1. derives the characteristic parameters of the workload,
+2. picks a deploy configuration — with Algorithm 1 once enough
+   knowledge exists, with random/manual bootstrap configurations before
+   that (the paper's "early manual training phase"),
+3. activates the cluster through the StarCluster-like manager, runs the
+   campaign and tears the cluster down,
+4. stores the measured execution time in the knowledge base and
+   retrains the prediction models (the self-optimizing loop),
+
+all behind one call, so the cloud migration is invisible to DiInt users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.instance_types import INSTANCE_CATALOG, InstanceType
+from repro.core.knowledge_base import KnowledgeBase, RunRecord
+from repro.core.predictor import PredictorFamily
+from repro.core.selection import ConfigurationSelector, DeployChoice
+from repro.disar.eeb import CharacteristicParameters, ElementaryElaborationBlock
+from repro.disar.master import ElaborationReport
+from repro.stochastic.rng import generator_from
+
+__all__ = ["TransparentDeploySystem", "DeployOutcome"]
+
+
+@dataclass
+class DeployOutcome:
+    """Everything one transparent cloud run produced."""
+
+    choice: DeployChoice
+    measured_seconds: float
+    cost_usd: float
+    deadline_seconds: float
+    report: ElaborationReport | None
+    knowledge_base_size: int
+    bootstrap: bool
+
+    @property
+    def deadline_met(self) -> bool:
+        return self.measured_seconds <= self.deadline_seconds
+
+    @property
+    def prediction_error_seconds(self) -> float:
+        """Signed error (predicted - measured) of the chosen config."""
+        return self.choice.predicted_seconds - self.measured_seconds
+
+    def describe(self) -> str:
+        mode = "bootstrap" if self.bootstrap else "ML-selected"
+        status = "met" if self.deadline_met else "VIOLATED"
+        return (
+            f"[{mode}] {self.choice.n_nodes} x "
+            f"{self.choice.instance_type.api_name}: measured "
+            f"{self.measured_seconds:,.0f}s (predicted "
+            f"{self.choice.predicted_seconds:,.0f}s), cost "
+            f"${self.cost_usd:.3f}, deadline {status}"
+        )
+
+
+class TransparentDeploySystem:
+    """ML-driven elastic provisioning for DISAR campaigns."""
+
+    def __init__(
+        self,
+        cluster_manager: StarClusterManager | None = None,
+        knowledge_base: KnowledgeBase | None = None,
+        predictor: PredictorFamily | None = None,
+        catalog: dict[str, InstanceType] | None = None,
+        max_nodes: int = 8,
+        epsilon: float = 0.05,
+        bootstrap_runs: int = 12,
+        retrain_every: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if bootstrap_runs < 0:
+            raise ValueError(f"bootstrap_runs must be >= 0, got {bootstrap_runs}")
+        if retrain_every < 1:
+            raise ValueError(f"retrain_every must be >= 1, got {retrain_every}")
+        self.manager = (
+            cluster_manager if cluster_manager is not None else StarClusterManager()
+        )
+        self.knowledge_base = (
+            knowledge_base if knowledge_base is not None else KnowledgeBase()
+        )
+        self.predictor = predictor if predictor is not None else PredictorFamily(
+            seed=seed
+        )
+        self.catalog = dict(catalog) if catalog is not None else dict(INSTANCE_CATALOG)
+        self.selector = ConfigurationSelector(
+            self.predictor,
+            catalog=self.catalog,
+            max_nodes=max_nodes,
+            epsilon=epsilon,
+            seed=generator_from(seed).integers(0, 2**63),
+        )
+        self.bootstrap_runs = int(bootstrap_runs)
+        self.retrain_every = int(retrain_every)
+        self._rng = generator_from(seed + 1 if isinstance(seed, int) else seed)
+        self._runs_since_retrain = 0
+        self._history: list[DeployOutcome] = []
+
+    # -- workload characterisation ------------------------------------------------
+
+    @staticmethod
+    def aggregate_parameters(
+        blocks: list[ElementaryElaborationBlock],
+    ) -> CharacteristicParameters:
+        """Characteristic parameters of a whole campaign.
+
+        Contract counts add up across blocks; horizon, fund size and
+        risk-factor count take the maximum (they bound the per-trajectory
+        cost).
+        """
+        if not blocks:
+            raise ValueError("no blocks to characterise")
+        per_block = [block.characteristic_parameters for block in blocks]
+        return CharacteristicParameters(
+            n_contracts=sum(p.n_contracts for p in per_block),
+            max_horizon=max(p.max_horizon for p in per_block),
+            n_fund_assets=max(p.n_fund_assets for p in per_block),
+            n_risk_factors=max(p.n_risk_factors for p in per_block),
+        )
+
+    # -- configuration choice ---------------------------------------------------------
+
+    @property
+    def in_bootstrap(self) -> bool:
+        """Whether the system is still in the manual-training phase."""
+        return len(self.knowledge_base) < self.bootstrap_runs
+
+    def _bootstrap_choice(self, params: CharacteristicParameters) -> DeployChoice:
+        """Random configuration for the early training phase.
+
+        The paper allows superseding the ML choice to "artificially grow
+        the knowledge base at the beginning of the lifetime of the
+        system"; uniform random coverage of (m, n) is the neutral way to
+        do that.
+        """
+        names = sorted(self.catalog)
+        instance_type = self.catalog[names[int(self._rng.integers(0, len(names)))]]
+        n_nodes = int(self._rng.integers(1, self.selector.max_nodes + 1))
+        predicted = float("nan")
+        if self.predictor.is_fitted:
+            predicted = self.predictor.predict(params, instance_type, n_nodes)
+        return DeployChoice(
+            instance_type=instance_type,
+            n_nodes=n_nodes,
+            predicted_seconds=predicted,
+            predicted_cost_usd=float("nan"),
+            feasible=True,
+            explored=True,
+        )
+
+    def choose(
+        self,
+        params: CharacteristicParameters,
+        tmax_seconds: float,
+        force: DeployChoice | None = None,
+    ) -> tuple[DeployChoice, bool]:
+        """Pick the deploy configuration; returns ``(choice, bootstrap)``."""
+        if force is not None:
+            return force, False
+        if self.in_bootstrap or not self.predictor.is_fitted:
+            return self._bootstrap_choice(params), True
+        return self.selector.select(params, tmax_seconds), False
+
+    # -- the transparent run -----------------------------------------------------------
+
+    def run_simulation(
+        self,
+        blocks: list[ElementaryElaborationBlock],
+        tmax_seconds: float,
+        compute_results: bool = False,
+        force: DeployChoice | None = None,
+    ) -> DeployOutcome:
+        """Deploy and run one simulation campaign transparently.
+
+        ``force`` overrides the configuration choice (manual training,
+        or the paper's closing forced-configuration comparison).
+        """
+        if tmax_seconds <= 0:
+            raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
+        params = self.aggregate_parameters(blocks)
+        choice, bootstrap = self.choose(params, tmax_seconds, force=force)
+
+        result = self.manager.run_campaign(
+            choice.instance_type,
+            choice.n_nodes,
+            blocks,
+            compute_results=compute_results,
+        )
+
+        record = RunRecord(
+            params=params,
+            instance_type=choice.instance_type.api_name,
+            n_nodes=choice.n_nodes,
+            execution_seconds=result.execution_seconds,
+            cost_usd=result.cost_usd,
+            predicted_seconds=choice.predicted_seconds,
+            virtual_timestamp=self.manager.provider.clock.now,
+        )
+        self.knowledge_base.add(record)
+
+        self._runs_since_retrain += 1
+        if self._runs_since_retrain >= self.retrain_every:
+            self.retrain()
+
+        outcome = DeployOutcome(
+            choice=choice,
+            measured_seconds=result.execution_seconds,
+            cost_usd=result.cost_usd,
+            deadline_seconds=tmax_seconds,
+            report=result.report,
+            knowledge_base_size=len(self.knowledge_base),
+            bootstrap=bootstrap,
+        )
+        self._history.append(outcome)
+        return outcome
+
+    def run_simulation_mixed(
+        self,
+        blocks: list[ElementaryElaborationBlock],
+        tmax_seconds: float,
+        max_nodes: int | None = None,
+        compute_results: bool = False,
+    ):
+        """Deploy one campaign over the *heterogeneous* configuration
+        space (the paper's future work).
+
+        Requires a fitted predictor (run a few homogeneous simulations
+        or bootstrap first).  The measured run is stored in the
+        knowledge base through its mixed-feature encoding, so subsequent
+        retraining learns from heterogeneous history too.  Returns a
+        :class:`repro.core.hetero_selection.MixedDeployChoice`-based
+        outcome tuple ``(choice, measured_seconds, cost_usd, report)``.
+        """
+        from repro.core.hetero_selection import (
+            HeterogeneousSelector,
+            encode_mixed_features,
+        )
+
+        if tmax_seconds <= 0:
+            raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
+        if not self.predictor.is_fitted:
+            raise RuntimeError(
+                "heterogeneous deploys need a fitted predictor; run "
+                "homogeneous simulations first or call retrain()"
+            )
+        params = self.aggregate_parameters(blocks)
+        selector = HeterogeneousSelector(
+            self.predictor,
+            catalog=self.catalog,
+            max_nodes=max_nodes if max_nodes is not None else self.selector.max_nodes,
+            epsilon=self.selector.epsilon,
+            seed=self._rng,
+        )
+        choice = selector.select(params, tmax_seconds)
+        result = self.manager.run_campaign_mixed(
+            choice.spec, blocks, compute_results=compute_results
+        )
+        self.knowledge_base.add_encoded(
+            encode_mixed_features(params, choice.spec),
+            result.execution_seconds,
+            label=choice.spec.describe(),
+        )
+        self._runs_since_retrain += 1
+        if self._runs_since_retrain >= self.retrain_every:
+            self.retrain()
+        return choice, result.execution_seconds, result.cost_usd, result.report
+
+    def retrain(self) -> None:
+        """Retrain the prediction models on the current knowledge base."""
+        if len(self.knowledge_base) == 0:
+            return
+        self.predictor.fit(self.knowledge_base)
+        self._runs_since_retrain = 0
+
+    # -- monitoring ----------------------------------------------------------------------
+
+    def history(self) -> list[DeployOutcome]:
+        return list(self._history)
+
+    def total_cost(self) -> float:
+        """Dollars spent across all runs so far."""
+        return float(sum(outcome.cost_usd for outcome in self._history))
+
+    def prediction_errors(self) -> np.ndarray:
+        """Signed (predicted - measured) errors of the non-bootstrap runs."""
+        return np.array(
+            [
+                outcome.prediction_error_seconds
+                for outcome in self._history
+                if not outcome.bootstrap
+                and np.isfinite(outcome.choice.predicted_seconds)
+            ]
+        )

@@ -1,0 +1,111 @@
+"""Knowledge-base persistence.
+
+The paper's knowledge base lives in DISAR's database server and
+accumulates across simulation campaigns — and even across *companies*,
+since the characteristic parameters carry no client-identifying data.
+This module makes the in-memory knowledge base durable:
+
+- JSON save/load (the native format, lossless for both structured and
+  encoded heterogeneous rows);
+- ARFF export (the format of Weka, which the paper used to build its
+  models) so the regenerated datasets can be loaded into the original
+  toolchain for cross-validation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.knowledge_base import (
+    FEATURE_NAMES,
+    KnowledgeBase,
+    RunRecord,
+)
+from repro.disar.eeb import CharacteristicParameters
+
+__all__ = ["save_knowledge_base", "load_knowledge_base", "export_arff"]
+
+_FORMAT_VERSION = 1
+
+
+def save_knowledge_base(knowledge_base: KnowledgeBase, path: str | Path) -> int:
+    """Serialise the knowledge base to JSON; returns the row count."""
+    rows = knowledge_base.database.all("knowledge_base")
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "feature_names": FEATURE_NAMES,
+        "rows": [
+            {key: value for key, value in row.items() if key != "_id"}
+            for row in rows
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1))
+    return len(rows)
+
+
+def load_knowledge_base(path: str | Path) -> KnowledgeBase:
+    """Load a knowledge base previously saved with
+    :func:`save_knowledge_base`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported knowledge-base format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    knowledge_base = KnowledgeBase()
+    for row in payload["rows"]:
+        if "encoded" in row:
+            import numpy as np
+
+            knowledge_base.add_encoded(
+                np.asarray(row["encoded"], dtype=float),
+                row["execution_seconds"],
+                label=row.get("label", "mixed"),
+            )
+        else:
+            knowledge_base.add(
+                RunRecord(
+                    params=CharacteristicParameters(
+                        n_contracts=row["n_contracts"],
+                        max_horizon=row["max_horizon"],
+                        n_fund_assets=row["n_fund_assets"],
+                        n_risk_factors=row["n_risk_factors"],
+                    ),
+                    instance_type=row["instance_type"],
+                    n_nodes=row["n_nodes"],
+                    execution_seconds=row["execution_seconds"],
+                    cost_usd=row.get("cost_usd", float("nan")),
+                    predicted_seconds=row.get("predicted_seconds", float("nan")),
+                    virtual_timestamp=row.get("virtual_timestamp", 0.0),
+                )
+            )
+    return knowledge_base
+
+
+def export_arff(
+    knowledge_base: KnowledgeBase,
+    path: str | Path,
+    relation: str = "disar_execution_times",
+) -> int:
+    """Export the training matrices as a Weka ARFF file.
+
+    All rows (structured and encoded) are exported through the numeric
+    feature encoding, with ``execution_seconds`` as the numeric class
+    attribute — exactly the regression setup the paper ran in Weka.
+    """
+    features, targets = knowledge_base.training_matrices()
+    lines = [f"@RELATION {relation}", ""]
+    for name in FEATURE_NAMES:
+        lines.append(f"@ATTRIBUTE {name} NUMERIC")
+    lines.append("@ATTRIBUTE execution_seconds NUMERIC")
+    lines.append("")
+    lines.append("@DATA")
+    for row, target in zip(features, targets):
+        values = ",".join(f"{value:.6g}" for value in row)
+        lines.append(f"{values},{target:.6g}")
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(targets)

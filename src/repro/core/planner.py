@@ -1,0 +1,161 @@
+"""Reporting-season planning under a global budget.
+
+The paper's motivation is the *periodical* nature of Solvency II work:
+"companies are required to conduct consistent evaluation and continuous
+monitoring of risks", with quarterly and annual reporting peaks.  A
+reporting season is therefore a *queue* of simulations, and the natural
+management question is not per-run but seasonal: given the whole queue,
+the per-run deadline and a dollar budget, what should each run deploy
+on?
+
+:class:`ReportingSeasonPlanner` answers it in two steps:
+
+1. **baseline plan** — Algorithm 1's cheapest-feasible choice per run
+   (the per-run optimum; no plan can be cheaper while meeting the
+   deadlines);
+2. **budget-aware acceleration** — any leftover budget is spent
+   greedily on the configuration upgrades with the best
+   seconds-saved-per-extra-dollar ratio, shrinking the season's total
+   wall-clock time within the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.selection import ConfigurationSelector, DeployChoice
+from repro.disar.eeb import CharacteristicParameters
+
+__all__ = ["PlannedRun", "CampaignPlan", "ReportingSeasonPlanner"]
+
+
+@dataclass
+class PlannedRun:
+    """One queued simulation with its chosen deploy."""
+
+    index: int
+    params: CharacteristicParameters
+    choice: DeployChoice
+    upgraded: bool = False
+
+
+@dataclass
+class CampaignPlan:
+    """A full season's deployment plan."""
+
+    runs: list[PlannedRun]
+    budget_usd: float
+    tmax_seconds: float
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(run.choice.predicted_cost_usd for run in self.runs))
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(run.choice.predicted_seconds for run in self.runs))
+
+    @property
+    def within_budget(self) -> bool:
+        return self.total_cost <= self.budget_usd + 1e-9
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        return all(run.choice.feasible for run in self.runs)
+
+    @property
+    def n_upgraded(self) -> int:
+        return sum(run.upgraded for run in self.runs)
+
+    def summary(self) -> str:
+        lines = [
+            f"Season plan: {len(self.runs)} runs, "
+            f"${self.total_cost:.2f} of ${self.budget_usd:.2f} budget, "
+            f"{self.total_seconds:,.0f}s total predicted time",
+            f"  deadlines met : {self.all_deadlines_met}",
+            f"  upgraded runs : {self.n_upgraded}",
+        ]
+        return "\n".join(lines)
+
+
+class ReportingSeasonPlanner:
+    """Plans a queue of simulations against a seasonal budget."""
+
+    def __init__(self, selector: ConfigurationSelector) -> None:
+        self.selector = selector
+
+    def _cheapest_feasible(
+        self, params: CharacteristicParameters, tmax_seconds: float
+    ) -> DeployChoice:
+        choices = self.selector.evaluate_all(params, tmax_seconds)
+        feasible = [c for c in choices if c.feasible]
+        if feasible:
+            return min(feasible, key=lambda c: c.predicted_cost_usd)
+        return min(choices, key=lambda c: c.predicted_seconds)
+
+    def plan(
+        self,
+        workloads: list[CharacteristicParameters],
+        tmax_seconds: float,
+        budget_usd: float,
+        accelerate: bool = True,
+    ) -> CampaignPlan:
+        """Build the season plan.
+
+        The baseline assigns every run its cheapest feasible
+        configuration.  With ``accelerate=True`` the remaining budget is
+        spent on greedy upgrades (best seconds-per-dollar first) until
+        exhausted; acceleration never breaks the budget and never makes
+        a run infeasible.
+        """
+        if not workloads:
+            raise ValueError("no workloads to plan")
+        if budget_usd <= 0:
+            raise ValueError(f"budget_usd must be positive, got {budget_usd}")
+        runs = [
+            PlannedRun(
+                index=i,
+                params=params,
+                choice=self._cheapest_feasible(params, tmax_seconds),
+            )
+            for i, params in enumerate(workloads)
+        ]
+        plan = CampaignPlan(runs=runs, budget_usd=budget_usd,
+                            tmax_seconds=tmax_seconds)
+        if accelerate and plan.within_budget:
+            self._accelerate(plan)
+        return plan
+
+    def _accelerate(self, plan: CampaignPlan) -> None:
+        """Spend leftover budget on the best time-per-dollar upgrades."""
+        remaining = plan.budget_usd - plan.total_cost
+        # Candidate upgrades per run: every feasible configuration that
+        # is faster than the current choice.
+        while True:
+            best_ratio = 0.0
+            best: tuple[PlannedRun, DeployChoice] | None = None
+            for run in plan.runs:
+                current = run.choice
+                for candidate in self.selector.evaluate_all(
+                    run.params, plan.tmax_seconds
+                ):
+                    if not candidate.feasible and current.feasible:
+                        continue
+                    extra = candidate.predicted_cost_usd - current.predicted_cost_usd
+                    saved = current.predicted_seconds - candidate.predicted_seconds
+                    if saved <= 0 or extra <= 0 or extra > remaining:
+                        continue
+                    ratio = saved / extra
+                    if ratio > best_ratio:
+                        best_ratio = ratio
+                        best = (run, candidate)
+            if best is None:
+                return
+            run, candidate = best
+            remaining -= (
+                candidate.predicted_cost_usd - run.choice.predicted_cost_usd
+            )
+            run.choice = candidate
+            run.upgraded = True

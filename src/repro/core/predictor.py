@@ -1,0 +1,141 @@
+"""The prediction-model family ``P`` of the paper.
+
+One prediction model ``p_x : M x N x F -> R+`` per ML algorithm
+``x in {MLP, RT, RF, IBk, KStar, DT}``, all trained on the same
+knowledge base.  The deploy-time estimate for a configuration is the
+*average* of all the models' predictions, which "allows to reduce the
+impact of prediction errors by some of the models, a situation which is
+expected only at the beginning of the system's lifetime" (Section III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.core.knowledge_base import KnowledgeBase, encode_features
+from repro.disar.eeb import CharacteristicParameters
+from repro.ml import default_model_family
+from repro.ml.base import Regressor
+
+__all__ = ["PredictorFamily"]
+
+
+class PredictorFamily:
+    """The six per-algorithm execution-time predictors, plus the ensemble.
+
+    Parameters
+    ----------
+    models:
+        Mapping from algorithm name to an (unfitted) regressor; ``None``
+        builds the paper's default six-member family.
+    members:
+        Optional subset of model names to use (ablation studies restrict
+        the family to single members).
+    """
+
+    def __init__(
+        self,
+        models: dict[str, Regressor] | None = None,
+        members: list[str] | None = None,
+        seed: int = 0,
+    ) -> None:
+        models = models if models is not None else default_model_family(seed=seed)
+        if members is not None:
+            unknown = set(members) - set(models)
+            if unknown:
+                raise ValueError(f"unknown model names: {sorted(unknown)}")
+            models = {name: models[name] for name in members}
+        if not models:
+            raise ValueError("predictor family needs at least one model")
+        self._models = dict(models)
+        self._fitted = False
+        self._train_size = 0
+
+    @property
+    def model_names(self) -> list[str]:
+        return list(self._models)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def training_size(self) -> int:
+        """Number of knowledge-base samples at the last (re)training."""
+        return self._train_size
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, knowledge_base: KnowledgeBase) -> "PredictorFamily":
+        """(Re)train every member on the full knowledge base.
+
+        Called after every completed simulation — the paper's
+        self-optimizing re-training step.
+        """
+        features, targets = knowledge_base.training_matrices()
+        return self.fit_arrays(features, targets)
+
+    def fit_arrays(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> "PredictorFamily":
+        """(Re)train on explicit matrices (used by the benchmarks)."""
+        fresh = {name: model.clone() for name, model in self._models.items()}
+        for model in fresh.values():
+            model.fit(features, targets)
+        self._models = fresh
+        self._fitted = True
+        self._train_size = len(targets)
+        return self
+
+    # -- prediction ---------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("predictor family must be fitted first")
+
+    def predict_per_model(
+        self,
+        params: CharacteristicParameters,
+        instance_type: InstanceType,
+        n_nodes: int,
+    ) -> dict[str, float]:
+        """``p_x(m, n, f)`` for every member ``x``.
+
+        Predictions are floored at a small positive value: execution
+        times are positive by construction.
+        """
+        self._require_fitted()
+        features = encode_features(params, instance_type, n_nodes)[np.newaxis, :]
+        return {
+            name: max(float(model.predict(features)[0]), 1.0)
+            for name, model in self._models.items()
+        }
+
+    def predict(
+        self,
+        params: CharacteristicParameters,
+        instance_type: InstanceType,
+        n_nodes: int,
+    ) -> float:
+        """The ensemble-average time estimate used by Algorithm 1."""
+        per_model = self.predict_per_model(params, instance_type, n_nodes)
+        return float(np.mean(list(per_model.values())))
+
+    def predict_matrix(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Batch per-model predictions on raw feature rows."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        return {
+            name: np.clip(model.predict(features), 1.0, None)
+            for name, model in self._models.items()
+        }
+
+    def predict_ensemble_matrix(self, features: np.ndarray) -> np.ndarray:
+        """Batch ensemble-average predictions on raw feature rows."""
+        per_model = self.predict_matrix(features)
+        return np.mean(np.vstack(list(per_model.values())), axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"fitted on {self._train_size}" if self._fitted else "unfitted"
+        return f"PredictorFamily({self.model_names}, {state})"

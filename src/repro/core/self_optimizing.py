@@ -1,0 +1,116 @@
+"""The self-optimizing feedback loop.
+
+"We have organized our system as a self-optimizing loop, which allows us
+to use the data obtained while carrying out useful actual computations
+to enlarge the knowledge base used by our ML-based prediction models"
+(paper, Section I, citing the autonomic-computing MAPE loop of [7]).
+
+:class:`SelfOptimizingLoop` drives a stream of simulation campaigns
+through a :class:`TransparentDeploySystem` and tracks how the prediction
+quality, deadline compliance and cost evolve as the knowledge base
+grows — the behaviour Sections III-IV of the paper describe
+qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.deploy import DeployOutcome, TransparentDeploySystem
+from repro.disar.eeb import ElementaryElaborationBlock
+
+__all__ = ["SelfOptimizingLoop", "LoopReport"]
+
+
+@dataclass
+class LoopReport:
+    """Aggregated trajectory of one loop execution."""
+
+    outcomes: list[DeployOutcome] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_bootstrap(self) -> int:
+        return sum(outcome.bootstrap for outcome in self.outcomes)
+
+    def total_cost(self) -> float:
+        return float(sum(outcome.cost_usd for outcome in self.outcomes))
+
+    def deadline_compliance(self) -> float:
+        """Fraction of runs that met the deadline."""
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([outcome.deadline_met for outcome in self.outcomes]))
+
+    def error_trajectory(self) -> np.ndarray:
+        """Absolute prediction errors of the ML-selected runs, in order."""
+        return np.array(
+            [
+                abs(outcome.prediction_error_seconds)
+                for outcome in self.outcomes
+                if not outcome.bootstrap
+                and np.isfinite(outcome.choice.predicted_seconds)
+            ]
+        )
+
+    def mean_abs_error(self, tail_fraction: float = 1.0) -> float:
+        """Mean absolute prediction error over the trailing fraction of
+        ML-selected runs (``tail_fraction=0.5`` looks at the second half,
+        where the models should have converged)."""
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ValueError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction}"
+            )
+        errors = self.error_trajectory()
+        if errors.size == 0:
+            return float("nan")
+        start = int(np.floor((1.0 - tail_fraction) * errors.size))
+        return float(np.mean(errors[start:]))
+
+    def summary(self) -> str:
+        lines = [
+            f"Self-optimizing loop: {self.n_runs} runs "
+            f"({self.n_bootstrap} bootstrap)",
+            f"  total cost          : ${self.total_cost():.2f}",
+            f"  deadline compliance : {self.deadline_compliance():.1%}",
+        ]
+        errors = self.error_trajectory()
+        if errors.size:
+            lines.append(
+                f"  |error| first half  : {self.mean_abs_error(1.0):,.0f}s "
+                f"-> second half: {self.mean_abs_error(0.5):,.0f}s"
+            )
+        return "\n".join(lines)
+
+
+class SelfOptimizingLoop:
+    """Runs campaign streams through the deploy system."""
+
+    def __init__(self, deploy_system: TransparentDeploySystem) -> None:
+        self.deploy_system = deploy_system
+
+    def run(
+        self,
+        workloads: list[list[ElementaryElaborationBlock]],
+        tmax_seconds: float,
+        compute_results: bool = False,
+    ) -> LoopReport:
+        """Execute every workload in sequence, retraining as configured.
+
+        ``workloads`` is a list of campaigns (each a list of type-B
+        EEBs); ``tmax_seconds`` applies to each campaign individually.
+        """
+        if not workloads:
+            raise ValueError("no workloads to run")
+        report = LoopReport()
+        for blocks in workloads:
+            outcome = self.deploy_system.run_simulation(
+                blocks, tmax_seconds, compute_results=compute_results
+            )
+            report.outcomes.append(outcome)
+        return report

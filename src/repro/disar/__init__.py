@@ -1,0 +1,52 @@
+"""Clean-room DISAR-like Solvency II valuation system.
+
+Mirrors the architecture of Figure 1 of the paper:
+
+- :class:`DisarDatabase` — the database server holding portfolios, EEBs
+  and run history;
+- :class:`DisarMasterService` (DiMaS) — splits the input into elementary
+  elaboration blocks (EEBs), estimates their complexity, schedules them
+  onto the computing units and monitors progress;
+- :class:`DisarEngineService` (DiEng) — per-node service dispatching each
+  EEB to the right engine;
+- :class:`ActuarialEngine` (DiActEng) — type-A EEBs: probabilized
+  actuarial cash flows;
+- :class:`ALMEngine` (DiAlmEng) — type-B EEBs: market-consistent
+  valuation via (possibly distributed) nested Monte Carlo / LSMC;
+- :class:`DisarInterface` (DiInt) — the client used to set computation
+  parameters and monitor elaborations.
+"""
+
+from repro.disar.eeb import (
+    CharacteristicParameters,
+    EEBType,
+    ElementaryElaborationBlock,
+    SimulationSettings,
+)
+from repro.disar.portfolio import Portfolio
+from repro.disar.database import DisarDatabase
+from repro.disar.actuarial_engine import ActuarialEngine, ActuarialResult
+from repro.disar.alm_engine import ALMEngine, ALMResult
+from repro.disar.engine import DisarEngineService
+from repro.disar.master import DisarMasterService, ElaborationReport
+from repro.disar.monitoring import ProgressEvent, ProgressMonitor
+from repro.disar.interface import DisarInterface
+
+__all__ = [
+    "EEBType",
+    "CharacteristicParameters",
+    "SimulationSettings",
+    "ElementaryElaborationBlock",
+    "Portfolio",
+    "DisarDatabase",
+    "ActuarialEngine",
+    "ActuarialResult",
+    "ALMEngine",
+    "ALMResult",
+    "DisarEngineService",
+    "DisarMasterService",
+    "ElaborationReport",
+    "ProgressEvent",
+    "ProgressMonitor",
+    "DisarInterface",
+]

@@ -1,0 +1,119 @@
+"""The DISAR database server.
+
+A small in-memory relational-ish store: named tables of records with
+auto-incrementing ids, predicate queries and thread-safe access (the
+master and the engines may log concurrently).  It backs both DISAR's own
+bookkeeping (portfolios, EEBs, elaboration progress) and — crucially for
+the paper — the *knowledge base* of past execution times that the ML
+models are trained on.
+
+The paper notes the DB is **not** exported to the cloud: only anonymised
+inner-simulation work units travel to the VMs.  We honour that split:
+worker nodes never receive a database handle, only EEB payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable
+
+__all__ = ["DisarDatabase"]
+
+
+class DisarDatabase:
+    """Thread-safe in-memory table store."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[int, dict[str, Any]]] = {}
+        self._counters: dict[str, itertools.count] = {}
+        self._lock = threading.RLock()
+
+    def create_table(self, name: str) -> None:
+        """Create ``name`` if missing (idempotent)."""
+        with self._lock:
+            self._tables.setdefault(name, {})
+            self._counters.setdefault(name, itertools.count(1))
+
+    def tables(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tables)
+
+    def _require(self, name: str) -> dict[int, dict[str, Any]]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"table {name!r} does not exist; have {sorted(self._tables)}"
+            ) from None
+
+    def insert(self, table: str, record: dict[str, Any]) -> int:
+        """Insert a copy of ``record``; returns the assigned row id."""
+        with self._lock:
+            self.create_table(table)
+            row_id = next(self._counters[table])
+            self._tables[table][row_id] = {**record, "_id": row_id}
+            return row_id
+
+    def insert_many(self, table: str, records: Iterable[dict[str, Any]]) -> list[int]:
+        return [self.insert(table, record) for record in records]
+
+    def get(self, table: str, row_id: int) -> dict[str, Any]:
+        with self._lock:
+            rows = self._require(table)
+            try:
+                return dict(rows[row_id])
+            except KeyError:
+                raise KeyError(f"no row {row_id} in table {table!r}") from None
+
+    def update(self, table: str, row_id: int, **changes: Any) -> None:
+        """Merge ``changes`` into an existing row."""
+        with self._lock:
+            rows = self._require(table)
+            if row_id not in rows:
+                raise KeyError(f"no row {row_id} in table {table!r}")
+            rows[row_id].update(changes)
+
+    def delete(self, table: str, row_id: int) -> None:
+        with self._lock:
+            rows = self._require(table)
+            if rows.pop(row_id, None) is None:
+                raise KeyError(f"no row {row_id} in table {table!r}")
+
+    def query(
+        self,
+        table: str,
+        predicate: Callable[[dict[str, Any]], bool] | None = None,
+        **equals: Any,
+    ) -> list[dict[str, Any]]:
+        """Rows matching ``predicate`` and/or keyword equality filters.
+
+        Rows are returned as copies in insertion order.
+        """
+        with self._lock:
+            rows = self._require(table)
+            out = []
+            for row_id in sorted(rows):
+                row = rows[row_id]
+                if equals and any(row.get(k) != v for k, v in equals.items()):
+                    continue
+                if predicate is not None and not predicate(row):
+                    continue
+                out.append(dict(row))
+            return out
+
+    def count(self, table: str, **equals: Any) -> int:
+        return len(self.query(table, **equals))
+
+    def all(self, table: str) -> list[dict[str, Any]]:
+        return self.query(table)
+
+    def clear(self, table: str) -> None:
+        """Remove every row of ``table`` (the table itself remains)."""
+        with self._lock:
+            self._require(table).clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            sizes = {name: len(rows) for name, rows in self._tables.items()}
+        return f"DisarDatabase({sizes})"

@@ -1,0 +1,140 @@
+"""DiInt — the DISAR client interface.
+
+"A set of Clients, each hosting the Disar Interface (DiInt) that allows
+to set computational parameters and monitors the progress of the
+elaborations" (paper, Section II).
+
+The interface is the user-facing entry point: it registers portfolios,
+holds the computational parameters (Monte Carlo sizes, the Solvency II
+deadline ``Tmax``), launches campaigns through the master, and exposes
+the monitoring views.  The cloud-aware, ML-driven deployment wraps this
+class — see :class:`repro.core.deploy.TransparentDeploySystem` — so the
+cloud migration stays *transparent* to DiInt users, as the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disar.database import DisarDatabase
+from repro.disar.eeb import ElementaryElaborationBlock, SimulationSettings
+from repro.disar.master import DisarMasterService, ElaborationReport
+from repro.disar.portfolio import Portfolio
+
+__all__ = ["DisarInterface"]
+
+
+@dataclass
+class DisarInterface:
+    """Client-side facade over the DISAR system."""
+
+    database: DisarDatabase = field(default_factory=DisarDatabase)
+    settings: SimulationSettings = field(default_factory=SimulationSettings)
+    #: Solvency II reporting deadline for one campaign, in seconds.
+    tmax_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.tmax_seconds <= 0:
+            raise ValueError(f"tmax_seconds must be positive, got {self.tmax_seconds}")
+        self._portfolios: dict[str, Portfolio] = {}
+        self._master = DisarMasterService(self.database)
+        self._reports: list[ElaborationReport] = []
+
+    # -- parameter setting -----------------------------------------------------
+
+    def register_portfolio(self, portfolio: Portfolio) -> None:
+        """Add ``portfolio`` to the working set."""
+        if portfolio.name in self._portfolios:
+            raise ValueError(f"portfolio {portfolio.name!r} already registered")
+        self._portfolios[portfolio.name] = portfolio
+
+    def portfolios(self) -> list[Portfolio]:
+        return list(self._portfolios.values())
+
+    def set_simulation_settings(self, settings: SimulationSettings) -> None:
+        self.settings = settings
+
+    def set_deadline(self, tmax_seconds: float) -> None:
+        """Set the Solvency II time constraint ``Tmax``."""
+        if tmax_seconds <= 0:
+            raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
+        self.tmax_seconds = float(tmax_seconds)
+
+    # -- campaign execution -------------------------------------------------------
+
+    def build_blocks(
+        self, blocks_per_portfolio: int = 5
+    ) -> list[ElementaryElaborationBlock]:
+        """Decompose the registered portfolios into EEBs."""
+        if not self._portfolios:
+            raise ValueError("no portfolios registered")
+        return self._master.decompose(
+            list(self._portfolios.values()),
+            blocks_per_portfolio=blocks_per_portfolio,
+            settings=self.settings,
+        )
+
+    def run_campaign(
+        self,
+        n_units: int = 1,
+        blocks_per_portfolio: int = 5,
+        distribute_alm: bool = False,
+    ) -> ElaborationReport:
+        """Run a full elaboration campaign on the local grid."""
+        blocks = self.build_blocks(blocks_per_portfolio)
+        report = self._master.execute(
+            blocks, n_units=n_units, distribute_alm=distribute_alm
+        )
+        self._reports.append(report)
+        return report
+
+    def run_campaign_cloud(
+        self,
+        deploy_system,
+        blocks_per_portfolio: int = 5,
+        compute_results: bool = False,
+    ):
+        """Run the campaign on the cloud through a transparent deploy
+        system.
+
+        This is the paper's headline workflow seen from the client: the
+        DiInt user only ever sets the portfolios and the deadline; the
+        deploy system (a
+        :class:`repro.core.deploy.TransparentDeploySystem`) picks the VM
+        configuration, runs the type-B blocks remotely and learns from
+        the measured time.  Type-A blocks stay on the client (they are
+        cheap and the probabilized flows never need to leave the
+        premises).
+
+        Returns the :class:`repro.core.deploy.DeployOutcome`.
+        """
+        blocks = self.build_blocks(blocks_per_portfolio)
+        from repro.disar.eeb import EEBType
+
+        type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
+        type_b = [b for b in blocks if b.eeb_type is EEBType.ALM]
+        if type_a:
+            # Local actuarial stage (DiActEng on the client grid).
+            self._master.execute(type_a, n_units=1)
+        outcome = deploy_system.run_simulation(
+            type_b, self.tmax_seconds, compute_results=compute_results
+        )
+        if outcome.report is not None:
+            self._reports.append(outcome.report)
+        return outcome
+
+    # -- monitoring ---------------------------------------------------------------
+
+    @property
+    def master(self) -> DisarMasterService:
+        return self._master
+
+    def campaign_history(self) -> list[ElaborationReport]:
+        """Reports of the campaigns run through this interface."""
+        return list(self._reports)
+
+    def progress_summary(self) -> str:
+        """Human-readable monitoring view."""
+        if not self._reports:
+            return "No campaign run yet."
+        return self._reports[-1].summary()

@@ -1,0 +1,325 @@
+"""DiMaS — the DISAR master service.
+
+"DiMaS divides all the input data in EEBs, thus it acts as the
+orchestrator of the system.  It defines as well the elementary
+elaboration blocks, estimates the complexity of the elaborations,
+establishes the elaboration schedule, distributes the elementary
+requests to the processing units and monitors the process" (paper,
+Section II).
+
+The master performs four steps:
+
+1. **decompose** — split each portfolio into type-A and type-B EEBs;
+2. **schedule** — longest-processing-time-first assignment of blocks to
+   computing units, balancing the complexity estimates;
+3. **execute** — run the schedule: each computing unit is a rank of the
+   simulated-MPI runtime (type-A first, since the ALM stage consumes the
+   probabilized flows);
+4. **monitor** — progress and timing are recorded in the database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.comm import Communicator, run_spmd
+from repro.disar.actuarial_engine import ActuarialResult
+from repro.disar.alm_engine import ALMResult
+from repro.disar.database import DisarDatabase
+from repro.disar.eeb import EEBType, ElementaryElaborationBlock, SimulationSettings
+from repro.disar.engine import DisarEngineService
+from repro.disar.monitoring import ProgressMonitor
+from repro.disar.portfolio import Portfolio
+
+__all__ = ["DisarMasterService", "ElaborationReport"]
+
+
+@dataclass
+class ElaborationReport:
+    """Outcome of one full elaboration campaign."""
+
+    actuarial_results: dict[str, ActuarialResult]
+    alm_results: dict[str, ALMResult]
+    schedule: dict[int, list[str]]
+    elapsed_seconds: float
+    n_units: int
+
+    @property
+    def total_scr(self) -> float:
+        """Aggregate SCR across blocks (no inter-fund diversification)."""
+        return float(
+            sum(result.scr_report.scr for result in self.alm_results.values())
+        )
+
+    @property
+    def total_base_value(self) -> float:
+        return float(sum(result.base_value for result in self.alm_results.values()))
+
+    def summary(self) -> str:
+        lines = [
+            f"Elaboration campaign on {self.n_units} computing unit(s) "
+            f"in {self.elapsed_seconds:.2f}s",
+            f"  type-A blocks: {len(self.actuarial_results)}",
+            f"  type-B blocks: {len(self.alm_results)}",
+            f"  total V0     : {self.total_base_value:,.0f}",
+            f"  total SCR    : {self.total_scr:,.0f}",
+        ]
+        return "\n".join(lines)
+
+
+class DisarMasterService:
+    """Splits, schedules, executes and monitors DISAR elaborations."""
+
+    def __init__(self, database: DisarDatabase | None = None) -> None:
+        self.database = database if database is not None else DisarDatabase()
+        self.database.create_table("eebs")
+        self.database.create_table("elaborations")
+
+    # -- decomposition ---------------------------------------------------------
+
+    def decompose(
+        self,
+        portfolios: list[Portfolio],
+        blocks_per_portfolio: int = 5,
+        settings: SimulationSettings | None = None,
+    ) -> list[ElementaryElaborationBlock]:
+        """Split ``portfolios`` into paired type-A and type-B EEBs.
+
+        Every group of contracts yields one actuarial block and one ALM
+        block over the same contracts, mirroring DISAR's two-stage
+        pipeline.
+        """
+        if not portfolios:
+            raise ValueError("need at least one portfolio")
+        blocks: list[ElementaryElaborationBlock] = []
+        for portfolio in portfolios:
+            alm_blocks = portfolio.split_into_eebs(
+                blocks_per_portfolio, settings=settings, eeb_type=EEBType.ALM
+            )
+            for alm in alm_blocks:
+                blocks.append(
+                    ElementaryElaborationBlock(
+                        eeb_id=alm.eeb_id + "/act",
+                        eeb_type=EEBType.ACTUARIAL,
+                        contracts=alm.contracts,
+                        fund=alm.fund,
+                        spec=alm.spec,
+                        settings=alm.settings,
+                    )
+                )
+                blocks.append(alm)
+        for block in blocks:
+            self.database.insert(
+                "eebs",
+                {
+                    "eeb_id": block.eeb_id,
+                    "type": block.eeb_type.value,
+                    "complexity": block.complexity(),
+                    **block.characteristic_parameters.__dict__,
+                },
+            )
+        return blocks
+
+    # -- scheduling --------------------------------------------------------------
+
+    @staticmethod
+    def schedule(
+        blocks: list[ElementaryElaborationBlock],
+        n_units: int,
+        policy: str = "lpt",
+    ) -> dict[int, list[ElementaryElaborationBlock]]:
+        """Assign blocks to ``n_units`` computing units.
+
+        Policies:
+
+        - ``"lpt"`` (default, what DiMaS uses) — longest-processing-time
+          first: sort blocks by decreasing complexity estimate and
+          repeatedly hand the next block to the least-loaded unit;
+        - ``"round_robin"`` — complexity-blind cyclic assignment, the
+          naive baseline whose stragglers create exactly the idle-node
+          waste the paper warns about.
+        """
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        if policy not in ("lpt", "round_robin"):
+            raise ValueError(
+                f"policy must be 'lpt' or 'round_robin', got {policy!r}"
+            )
+        assignment: dict[int, list[ElementaryElaborationBlock]] = {
+            unit: [] for unit in range(n_units)
+        }
+        if policy == "round_robin":
+            for index, block in enumerate(blocks):
+                assignment[index % n_units].append(block)
+            return assignment
+        loads = np.zeros(n_units)
+        for block in sorted(blocks, key=lambda b: -b.complexity()):
+            unit = int(np.argmin(loads))
+            assignment[unit].append(block)
+            loads[unit] += block.complexity()
+        return assignment
+
+    @staticmethod
+    def makespan(
+        assignment: dict[int, list[ElementaryElaborationBlock]]
+    ) -> float:
+        """Complexity-estimate makespan of a schedule (max unit load)."""
+        if not assignment:
+            return 0.0
+        return max(
+            sum(block.complexity() for block in unit_blocks)
+            for unit_blocks in assignment.values()
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        blocks: list[ElementaryElaborationBlock],
+        n_units: int = 1,
+        distribute_alm: bool = False,
+        monitor: "ProgressMonitor | None" = None,
+        max_retries: int = 0,
+    ) -> ElaborationReport:
+        """Run an elaboration campaign on ``n_units`` computing units.
+
+        Two parallelisation regimes are supported, matching DISAR:
+
+        - ``distribute_alm=False`` — blocks are scheduled LPT across the
+          units; every block runs sequentially on its unit (the original
+          grid-of-workstations regime);
+        - ``distribute_alm=True`` — each type-B block is itself spread
+          over *all* units via the message-passing runtime (the regime
+          used on the cloud, where every VM runs part of the Monte Carlo
+          of the same block).
+
+        ``max_retries > 0`` turns on fault tolerance in the grid
+        regime: a failing block does not abort the campaign; the master
+        reschedules the failed blocks (up to ``max_retries`` extra
+        rounds) across the units, mirroring how DiMaS "monitors the
+        process" and recovers from flaky cloud nodes.  Blocks that keep
+        failing are reported missing from the results rather than
+        raised.
+        """
+        start = time.perf_counter()
+        type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
+        type_b = [b for b in blocks if b.eeb_type is EEBType.ALM]
+        if monitor is not None:
+            monitor.total_blocks = len(blocks)
+
+        actuarial_results: dict[str, ActuarialResult] = {}
+        alm_results: dict[str, ALMResult] = {}
+        schedule_view: dict[int, list[str]] = {}
+
+        if distribute_alm and n_units > 1:
+            # Type-A blocks are cheap: run them on the master.
+            service = DisarEngineService(node_name="master")
+            for block in type_a:
+                actuarial_results[block.eeb_id] = service.process(block)
+                if monitor is not None:
+                    monitor.record(0, block.eeb_id, "completed",
+                                   service.timing_log()[-1][2])
+            schedule_view = {unit: [] for unit in range(n_units)}
+            for block in type_b:
+                results = run_spmd(n_units, self._distributed_worker, block)
+                alm_results[block.eeb_id] = results[0]
+                if monitor is not None:
+                    monitor.record(0, block.eeb_id, "completed",
+                                   results[0].elapsed_seconds)
+                for unit in range(n_units):
+                    schedule_view[unit].append(block.eeb_id)
+        else:
+            pending = list(blocks)
+            fail_soft = max_retries > 0
+            rounds = 0
+            schedule_view = {}
+            while pending and rounds <= max_retries:
+                assignment = self.schedule(pending, n_units)
+                if rounds == 0:
+                    schedule_view = {
+                        unit: [b.eeb_id for b in unit_blocks]
+                        for unit, unit_blocks in assignment.items()
+                    }
+                per_unit = run_spmd(
+                    n_units, self._unit_worker, assignment, monitor, fail_soft
+                )
+                done: set[str] = set()
+                for unit_results in per_unit:
+                    for eeb_id, result in unit_results.items():
+                        done.add(eeb_id)
+                        if isinstance(result, ActuarialResult):
+                            actuarial_results[eeb_id] = result
+                        else:
+                            alm_results[eeb_id] = result
+                pending = [b for b in pending if b.eeb_id not in done]
+                rounds += 1
+                if not fail_soft:
+                    break
+
+        elapsed = time.perf_counter() - start
+        self.database.insert(
+            "elaborations",
+            {
+                "n_units": n_units,
+                "n_blocks": len(blocks),
+                "distribute_alm": distribute_alm,
+                "elapsed_seconds": elapsed,
+            },
+        )
+        return ElaborationReport(
+            actuarial_results=actuarial_results,
+            alm_results=alm_results,
+            schedule=schedule_view,
+            elapsed_seconds=elapsed,
+            n_units=n_units,
+        )
+
+    @staticmethod
+    def _unit_worker(
+        comm: Communicator,
+        assignment: dict[int, list[ElementaryElaborationBlock]],
+        monitor: "ProgressMonitor | None" = None,
+        fail_soft: bool = False,
+    ) -> dict[str, ActuarialResult | ALMResult]:
+        """Per-unit worker: process the unit's own blocks sequentially.
+
+        Type-A blocks are run before type-B blocks, since the ALM stage
+        logically consumes the probabilized flows.  With ``fail_soft``
+        a block failure is recorded and skipped instead of aborting the
+        whole campaign; the master reschedules the survivors.
+        """
+        service = DisarEngineService(node_name=f"unit-{comm.rank}")
+        my_blocks = assignment.get(comm.rank, [])
+        ordered = sorted(my_blocks, key=lambda b: b.eeb_type.value)
+        results: dict[str, ActuarialResult | ALMResult] = {}
+        for block in ordered:
+            if monitor is not None:
+                monitor.record(comm.rank, block.eeb_id, "started")
+            try:
+                results[block.eeb_id] = service.process(block)
+            except Exception:
+                if monitor is not None:
+                    monitor.record(comm.rank, block.eeb_id, "failed")
+                if not fail_soft:
+                    raise
+                continue
+            if monitor is not None:
+                monitor.record(
+                    comm.rank, block.eeb_id, "completed",
+                    service.timing_log()[-1][2],
+                )
+        comm.barrier()
+        return results
+
+    @staticmethod
+    def _distributed_worker(
+        comm: Communicator, block: ElementaryElaborationBlock
+    ) -> ALMResult | None:
+        """All ranks cooperate on one type-B block."""
+        service = DisarEngineService(node_name=f"vm-{comm.rank}")
+        result = service.process(block, comm=comm)
+        comm.barrier()
+        return result

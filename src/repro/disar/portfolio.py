@@ -1,0 +1,109 @@
+"""Portfolio data model: a segregated fund and its policy portfolio."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disar.eeb import (
+    EEBType,
+    ElementaryElaborationBlock,
+    SimulationSettings,
+)
+from repro.financial.contracts import PolicyContract
+from repro.financial.segregated_fund import SegregatedFund
+from repro.stochastic.scenario import RiskDriverSpec
+
+__all__ = ["Portfolio"]
+
+
+@dataclass
+class Portfolio:
+    """An insurance company's segregated fund with its policies.
+
+    DISAR operates per segregated fund: the fund's accounting rules and
+    management strategy determine the credited returns, and the policy
+    portfolio determines the liability cash flows.
+    """
+
+    name: str
+    fund: SegregatedFund
+    contracts: list[PolicyContract]
+    spec: RiskDriverSpec
+    company: str = "synthetic"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.contracts:
+            raise ValueError(f"portfolio {self.name!r} has no contracts")
+
+    @property
+    def n_policies(self) -> int:
+        """Total number of actual policies (sum of multiplicities)."""
+        return sum(contract.multiplicity for contract in self.contracts)
+
+    @property
+    def n_representative_contracts(self) -> int:
+        return len(self.contracts)
+
+    @property
+    def max_horizon(self) -> int:
+        return max(contract.term for contract in self.contracts)
+
+    def total_insured_sum(self) -> float:
+        """Aggregate nominal insured amount across the portfolio."""
+        return sum(
+            contract.insured_sum * contract.multiplicity
+            for contract in self.contracts
+        )
+
+    def split_into_eebs(
+        self,
+        n_blocks: int,
+        settings: SimulationSettings | None = None,
+        eeb_type: EEBType = EEBType.ALM,
+    ) -> list[ElementaryElaborationBlock]:
+        """Group the contracts into ``n_blocks`` EEBs.
+
+        Contracts are grouped by similarity (kind, then technical rate,
+        then term) so each block collects contracts that are "identical
+        from the point of view of risks", then the ordered list is cut
+        into contiguous near-equal chunks.
+        """
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        n_blocks = min(n_blocks, len(self.contracts))
+        settings = settings if settings is not None else SimulationSettings()
+        ordered = sorted(
+            self.contracts,
+            key=lambda c: (c.kind.value, c.technical_rate, c.term, c.age),
+        )
+        from repro.cluster.partition import split_evenly
+
+        blocks = []
+        for index, chunk in enumerate(split_evenly(ordered, n_blocks)):
+            if not chunk:
+                continue
+            blocks.append(
+                ElementaryElaborationBlock(
+                    eeb_id=f"{self.name}/eeb-{index:03d}",
+                    eeb_type=eeb_type,
+                    contracts=chunk,
+                    fund=self.fund,
+                    spec=self.spec,
+                    settings=settings,
+                )
+            )
+        return blocks
+
+    def describe(self) -> str:
+        """Multi-line summary for the DiInt client."""
+        lines = [
+            f"Portfolio {self.name!r} ({self.company})",
+            f"  representative contracts: {self.n_representative_contracts}",
+            f"  actual policies         : {self.n_policies}",
+            f"  max horizon             : {self.max_horizon} years",
+            f"  total insured sum       : {self.total_insured_sum():,.0f}",
+            f"  fund positions          : {self.fund.mix.n_positions}",
+            f"  financial risk factors  : {self.spec.n_financial_drivers}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Financial substrate: profit-sharing policy and segregated-fund maths.
+
+Implements the contract mathematics the paper lays out in Section II:
+the readjustment rate ``rho_t`` (Eq. 3), the readjustment factor ``Phi_T``
+(Eq. 2), the insured-sum recursion ``C_t`` (Eq. 5), the segregated fund
+whose *book-value* return ``I_t`` (Eq. 4) drives the profit sharing, and
+the pathwise valuation of liability cash flows.
+"""
+
+from repro.financial.readjustment import (
+    insured_sum_path,
+    readjustment_factor,
+    readjustment_rates,
+)
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.segregated_fund import (
+    AssetMix,
+    BookValueAccounting,
+    SegregatedFund,
+)
+from repro.financial.valuation import LiabilityValuator, PathwiseCashFlows
+
+__all__ = [
+    "readjustment_rates",
+    "readjustment_factor",
+    "insured_sum_path",
+    "ContractKind",
+    "PolicyContract",
+    "AssetMix",
+    "BookValueAccounting",
+    "SegregatedFund",
+    "LiabilityValuator",
+    "PathwiseCashFlows",
+]

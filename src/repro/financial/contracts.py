@@ -1,0 +1,119 @@
+"""Policy contracts of the profit-sharing (rivalutabile) family.
+
+DISAR evaluates portfolios of minimum-guaranteed profit-sharing life
+policies indexed to segregated-fund returns.  A
+:class:`PolicyContract` is a *representative contract* in the paper's
+sense: all policies with equal insurance parameters (same readjustment
+parameters, same age, gender, term, ...) are collapsed into one record
+with a multiplicity — this count is precisely the first characteristic
+parameter fed to the ML predictor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ContractKind", "PolicyContract"]
+
+
+class ContractKind(enum.Enum):
+    """Benefit structures supported by the valuation engines."""
+
+    #: Pays the (readjusted) insured sum at maturity if the insured survives.
+    PURE_ENDOWMENT = "pure_endowment"
+    #: Pays at maturity if alive, or the readjusted sum at death year-end.
+    ENDOWMENT = "endowment"
+    #: Pays the readjusted insured sum only on death before maturity.
+    TERM = "term"
+    #: Pays a readjusted annual annuity while the insured is alive.
+    WHOLE_LIFE_ANNUITY = "whole_life_annuity"
+
+
+@dataclass(frozen=True)
+class PolicyContract:
+    """A representative profit-sharing contract.
+
+    Parameters
+    ----------
+    kind:
+        Benefit structure.
+    age:
+        Age of the insured life at valuation time (years).
+    gender:
+        ``"M"`` or ``"F"``; selects the mortality table.
+    term:
+        Remaining term ``T`` in years.  Annuities use ``term`` as the
+        projection horizon.
+    insured_sum:
+        Initial insured sum ``C_0`` (or annual annuity amount).
+    participation:
+        Participation coefficient ``beta`` in ``(0, 1]``.
+    technical_rate:
+        Minimum guaranteed annual rate ``i``.
+    multiplicity:
+        Number of actual policies this representative contract stands
+        for.
+    surrender_charge:
+        Fraction of the current insured sum withheld on lapse.
+    """
+
+    kind: ContractKind
+    age: int
+    gender: str
+    term: int
+    insured_sum: float
+    participation: float = 0.8
+    technical_rate: float = 0.02
+    multiplicity: int = 1
+    surrender_charge: float = 0.02
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.age < 0 or self.age > 110:
+            raise ValueError(f"age must be in [0, 110], got {self.age}")
+        if self.gender not in ("M", "F"):
+            raise ValueError(f"gender must be 'M' or 'F', got {self.gender!r}")
+        if self.term <= 0:
+            raise ValueError(f"term must be positive, got {self.term}")
+        if self.insured_sum <= 0:
+            raise ValueError(f"insured_sum must be positive, got {self.insured_sum}")
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError(
+                f"participation must be in (0, 1], got {self.participation}"
+            )
+        if self.technical_rate < 0:
+            raise ValueError(
+                f"technical_rate must be non-negative, got {self.technical_rate}"
+            )
+        if self.multiplicity <= 0:
+            raise ValueError(f"multiplicity must be positive, got {self.multiplicity}")
+        if not 0.0 <= self.surrender_charge < 1.0:
+            raise ValueError(
+                f"surrender_charge must be in [0, 1), got {self.surrender_charge}"
+            )
+
+    @property
+    def maturity_age(self) -> int:
+        """Age of the insured at contract maturity."""
+        return self.age + self.term
+
+    def pays_on_survival(self) -> bool:
+        """Whether the contract has a maturity benefit."""
+        return self.kind in (
+            ContractKind.PURE_ENDOWMENT,
+            ContractKind.ENDOWMENT,
+            ContractKind.WHOLE_LIFE_ANNUITY,
+        )
+
+    def pays_on_death(self) -> bool:
+        """Whether the contract has a death benefit."""
+        return self.kind in (ContractKind.ENDOWMENT, ContractKind.TERM)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the DiInt client)."""
+        return (
+            f"{self.kind.value} x{self.multiplicity}: {self.gender}{self.age}, "
+            f"T={self.term}y, C0={self.insured_sum:,.0f}, "
+            f"beta={self.participation}, i={self.technical_rate:.2%}"
+        )

@@ -1,0 +1,79 @@
+"""Profit-sharing readjustment mathematics (paper Eqs. 2, 3 and 5).
+
+For a minimum-guaranteed profit-sharing policy with participation
+coefficient ``beta`` and technical rate ``i``:
+
+- the *readjustment rate* credited in year ``t`` is
+  ``rho_t = (max(beta * I_t, i) - i) / (1 + i)``  (Eq. 3);
+- the insured sum evolves as ``C_t = C_{t-1} * (1 + rho_t)``  (Eq. 5);
+- the *readjustment factor* over ``T`` years is
+  ``Phi_T = prod_t (1 + rho_t)
+         = (1 + i)^{-T} * prod_t (1 + max(beta * I_t, i))``  (Eq. 2).
+
+All functions are vectorised over a leading path axis so the same code
+values one deterministic trajectory or a Monte Carlo batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["readjustment_rates", "readjustment_factor", "insured_sum_path"]
+
+
+def _validate(beta: float, technical_rate: float) -> None:
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"participation coefficient beta must be in (0, 1], got {beta}")
+    if technical_rate < 0.0:
+        raise ValueError(f"technical rate must be non-negative, got {technical_rate}")
+
+
+def readjustment_rates(
+    fund_returns: np.ndarray, beta: float, technical_rate: float
+) -> np.ndarray:
+    """Annual readjustment rates ``rho_t`` from fund returns ``I_t`` (Eq. 3).
+
+    Parameters
+    ----------
+    fund_returns:
+        Array of fund returns, last axis indexing years ``1..T``.
+    beta, technical_rate:
+        Participation coefficient and technical rate of the contract.
+
+    Returns
+    -------
+    Array of the same shape with ``rho_t >= 0`` (the guarantee makes the
+    credited rate floor at the technical rate, so the readjustment is
+    never negative).
+    """
+    _validate(beta, technical_rate)
+    credited = np.maximum(beta * np.asarray(fund_returns, dtype=float), technical_rate)
+    return (credited - technical_rate) / (1.0 + technical_rate)
+
+
+def readjustment_factor(
+    fund_returns: np.ndarray, beta: float, technical_rate: float
+) -> np.ndarray:
+    """Cumulative readjustment factor ``Phi_T`` over the last axis (Eq. 2)."""
+    rho = readjustment_rates(fund_returns, beta, technical_rate)
+    return np.prod(1.0 + rho, axis=-1)
+
+
+def insured_sum_path(
+    initial_sum: float,
+    fund_returns: np.ndarray,
+    beta: float,
+    technical_rate: float,
+) -> np.ndarray:
+    """Insured-sum trajectory ``C_0..C_T`` along each path (Eq. 5).
+
+    ``fund_returns`` has shape ``(..., T)``; the result has shape
+    ``(..., T + 1)`` with ``C_0`` in the first column of the last axis.
+    """
+    if initial_sum <= 0:
+        raise ValueError(f"initial insured sum must be positive, got {initial_sum}")
+    rho = readjustment_rates(fund_returns, beta, technical_rate)
+    growth = np.cumprod(1.0 + rho, axis=-1)
+    prefix_shape = (*growth.shape[:-1], 1)
+    ones = np.ones(prefix_shape)
+    return initial_sum * np.concatenate([ones, growth], axis=-1)

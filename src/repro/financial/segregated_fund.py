@@ -1,0 +1,243 @@
+"""Segregated fund (gestione separata) with book-value accounting.
+
+The return ``I_t`` credited to Italian profit-sharing policies is the
+return of a *segregated fund* computed on **book values**, not market
+values (paper, Section II): the fund manager strategically realises
+capital gains so the credited return is smoother than the market one.
+This module models
+
+- the fund's asset mix (government bonds, corporate bonds, one or more
+  equity classes, an optional foreign-currency overlay),
+- its *market* return along each joint scenario path, and
+- the book-value accounting rule that transforms market returns into the
+  credited returns ``I_t`` of Eq. (4).
+
+The accounting rule is a stylised but standard description of segregated
+fund management: an exponential smoothing of market returns plus a
+capital-gains buffer that the manager releases to reach a target return
+whenever past unrealised gains allow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stochastic.scenario import ScenarioSet
+
+__all__ = ["AssetMix", "BookValueAccounting", "SegregatedFund"]
+
+
+@dataclass(frozen=True)
+class AssetMix:
+    """Class-level weights of the fund portfolio.
+
+    ``government_bonds + corporate_bonds + sum(equity_weights)`` must be 1.
+    ``foreign_fraction`` is an overlay: that fraction of the fund also
+    earns the FX return (unhedged non-EUR assets).  ``n_positions`` is the
+    number of individual asset lines the fund holds — it does not change
+    class-level returns but is the "segregated fund asset number"
+    characteristic parameter that drives computational cost in DISAR.
+    """
+
+    government_bonds: float = 0.55
+    corporate_bonds: float = 0.25
+    equity_weights: tuple[float, ...] = (0.15, 0.05)
+    foreign_fraction: float = 0.05
+    bond_maturity: float = 7.0
+    corporate_spread_duration: float = 4.0
+    n_positions: int = 100
+
+    def __post_init__(self) -> None:
+        weights = [self.government_bonds, self.corporate_bonds, *self.equity_weights]
+        if any(w < 0 for w in weights):
+            raise ValueError(f"asset weights must be non-negative, got {weights}")
+        total = sum(weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"asset weights must sum to 1, got {total}")
+        if not 0.0 <= self.foreign_fraction <= 1.0:
+            raise ValueError(
+                f"foreign_fraction must be in [0, 1], got {self.foreign_fraction}"
+            )
+        if self.bond_maturity <= 1.0:
+            raise ValueError(
+                f"bond_maturity must exceed 1 year, got {self.bond_maturity}"
+            )
+        if self.n_positions <= 0:
+            raise ValueError(f"n_positions must be positive, got {self.n_positions}")
+
+    @property
+    def n_equities(self) -> int:
+        return len(self.equity_weights)
+
+
+@dataclass(frozen=True)
+class BookValueAccounting:
+    """Book-value transformation of market returns.
+
+    Parameters
+    ----------
+    smoothing:
+        Exponential-smoothing weight on the previous book return; 0 means
+        mark-to-market, values near 1 mean very smooth credited returns.
+    target_return:
+        Return the manager tries to credit each year by releasing
+        unrealised gains from the buffer.
+    initial_buffer:
+        Unrealised-gains buffer at time 0, as a fraction of fund value.
+    """
+
+    smoothing: float = 0.5
+    target_return: float = 0.025
+    initial_buffer: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError(f"smoothing must be in [0, 1), got {self.smoothing}")
+        if self.initial_buffer < 0:
+            raise ValueError(
+                f"initial_buffer must be non-negative, got {self.initial_buffer}"
+            )
+
+    def apply(self, market_returns: np.ndarray) -> np.ndarray:
+        """Transform market returns into credited book returns ``I_t``.
+
+        ``market_returns`` has shape ``(n_paths, n_years)``.  For each
+        path the rule is, year by year:
+
+        1. the manager's *desired* return is the smoothed
+           ``raw_t = smoothing * I_{t-1} + (1-smoothing) * M_t``, floored
+           at ``max(target_return, 0)`` (a segregated fund's book return
+           should not be negative while unrealised gains remain);
+        2. the credited return is the desired one, capped by what the
+           unrealised-gains buffer can fund:
+           ``I_t = min(desired_t, M_t + buffer)``;
+        3. the buffer absorbs the difference:
+           ``buffer += M_t - I_t``.
+
+        By construction the buffer never goes negative (credited returns
+        are always funded by actual market returns plus past unrealised
+        gains) and return mass is conserved:
+        ``sum(I) + terminal_buffer == sum(M) + initial_buffer``.
+        """
+        market = np.asarray(market_returns, dtype=float)
+        if market.ndim != 2:
+            raise ValueError(f"expected (n_paths, n_years), got shape {market.shape}")
+        n_paths, n_years = market.shape
+        credited = np.empty_like(market)
+        buffer = np.full(n_paths, self.initial_buffer)
+        previous = np.full(n_paths, self.target_return)
+        floor = max(self.target_return, 0.0)
+        for t in range(n_years):
+            raw = self.smoothing * previous + (1.0 - self.smoothing) * market[:, t]
+            desired = np.maximum(raw, floor)
+            credited_t = np.minimum(desired, market[:, t] + buffer)
+            buffer = buffer + market[:, t] - credited_t
+            credited[:, t] = credited_t
+            previous = credited_t
+        return credited
+
+
+class SegregatedFund:
+    """A segregated fund driven by a joint :class:`ScenarioSet`.
+
+    The fund computes year-by-year *market* returns from the simulated
+    risk drivers and then applies :class:`BookValueAccounting` to obtain
+    the credited returns ``I_t`` that enter the readjustment rule.
+    """
+
+    def __init__(
+        self,
+        mix: AssetMix | None = None,
+        accounting: BookValueAccounting | None = None,
+        name: str = "fund",
+    ) -> None:
+        self.mix = mix if mix is not None else AssetMix()
+        self.accounting = accounting if accounting is not None else BookValueAccounting()
+        self.name = name
+
+    def _yearly_indices(self, scenario: ScenarioSet) -> np.ndarray:
+        """Grid indices that fall on integer years."""
+        steps_per_year = int(round(1.0 / scenario.dt))
+        if steps_per_year < 1 or abs(steps_per_year * scenario.dt - 1.0) > 1e-9:
+            raise ValueError(
+                "scenario grid must subdivide years evenly "
+                f"(dt={scenario.dt})"
+            )
+        indices = np.arange(0, scenario.n_steps + 1, steps_per_year)
+        if len(indices) < 2:
+            raise ValueError(
+                "scenario must cover at least one full year to compute "
+                "annual fund returns"
+            )
+        return indices
+
+    def market_returns(self, scenario: ScenarioSet) -> np.ndarray:
+        """Year-by-year market returns of the fund, shape ``(n_paths, n_years)``.
+
+        Bond returns are computed by rolling a constant-maturity zero
+        using the short-rate model's closed-form prices; corporate bonds
+        add the credit-spread carry and a duration-based mark-to-market
+        term; equity classes use the simulated index returns; the foreign
+        overlay multiplies in the FX return on ``foreign_fraction`` of the
+        fund.
+        """
+        if scenario.spec is None:
+            raise ValueError("scenario must carry its RiskDriverSpec")
+        mix = self.mix
+        spec = scenario.spec
+        if mix.n_equities > len(spec.equities):
+            raise ValueError(
+                f"asset mix has {mix.n_equities} equity classes but the "
+                f"scenario only simulates {len(spec.equities)}"
+            )
+        idx = self._yearly_indices(scenario)
+        years = len(idx) - 1
+        n_paths = scenario.n_paths
+
+        rate_y = scenario.short_rate[:, idx]
+        model = spec.short_rate
+        maturity = mix.bond_maturity
+        # Absolute valuation times per yearly column (curve-fitted
+        # short-rate models price along the initial curve).
+        times_y = scenario.times[idx][np.newaxis, :]
+        price_now = np.asarray(
+            model.bond_price(rate_y[:, :-1], maturity, t=times_y[:, :-1])
+        )
+        price_next = np.asarray(
+            model.bond_price(rate_y[:, 1:], maturity - 1.0, t=times_y[:, 1:])
+        )
+        gov_returns = price_next / price_now - 1.0
+
+        corp_returns = gov_returns.copy()
+        if scenario.credit_intensity is not None and spec.credit is not None:
+            lam_y = scenario.credit_intensity[:, idx]
+            loss_rate = 1.0 - spec.credit.recovery_rate
+            carry = loss_rate * lam_y[:, :-1]
+            mtm = -mix.corporate_spread_duration * loss_rate * np.diff(lam_y, axis=1)
+            corp_returns = gov_returns + carry + mtm
+
+        equity_returns = np.zeros((n_paths, years))
+        for weight, path in zip(mix.equity_weights, scenario.equity):
+            level_y = path[:, idx]
+            equity_returns += weight * (level_y[:, 1:] / level_y[:, :-1] - 1.0)
+
+        base = (
+            mix.government_bonds * gov_returns
+            + mix.corporate_bonds * corp_returns
+            + equity_returns
+        )
+
+        if scenario.fx is not None and mix.foreign_fraction > 0:
+            fx_y = scenario.fx[:, idx]
+            fx_returns = fx_y[:, 1:] / fx_y[:, :-1] - 1.0
+            base = base + mix.foreign_fraction * fx_returns * (1.0 + base)
+        return base
+
+    def credited_returns(self, scenario: ScenarioSet) -> np.ndarray:
+        """Book-value returns ``I_t`` (Eq. 4) credited to policyholders."""
+        return self.accounting.apply(self.market_returns(scenario))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SegregatedFund(name={self.name!r}, positions={self.mix.n_positions})"

@@ -1,0 +1,277 @@
+"""Pathwise valuation of profit-sharing liability cash flows.
+
+This is the mathematical core that DISAR's two engines split between
+them:
+
+- the *actuarial* part (type-A elementary elaboration blocks, DiActEng)
+  turns mortality and lapse models into **probabilized flows** — the
+  expected in-force, death and lapse fractions of a representative
+  contract year by year;
+- the *ALM* part (type-B blocks, DiAlmEng) combines those probabilized
+  flows with the simulated credited returns ``I_t`` and pathwise discount
+  factors to produce market-consistent values.
+
+Keeping the actuarial decrements deterministic per scenario matches the
+paper's statement that actuarial risks are independent of financial ones
+(actuarial *level* uncertainty is injected by shocking the mortality and
+lapse models across outer real-world scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.readjustment import insured_sum_path
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import MortalityModel
+
+__all__ = ["PathwiseCashFlows", "DecrementTable", "LiabilityValuator"]
+
+
+@dataclass
+class DecrementTable:
+    """Probabilized flows of a representative contract (type-A output).
+
+    All arrays are indexed by year ``1..T`` (length ``T``):
+
+    - ``in_force[t-1]`` — probability the policy is still in force at the
+      *end* of year ``t``;
+    - ``death[t-1]`` — probability the insured dies in year ``t`` while
+      the policy is in force (benefit paid at year end);
+    - ``lapse[t-1]`` — probability the policy lapses in year ``t``
+      (surrender value paid at year end).
+    """
+
+    in_force: np.ndarray
+    death: np.ndarray
+    lapse: np.ndarray
+
+    @property
+    def term(self) -> int:
+        return int(self.in_force.shape[-1])
+
+    def check_consistency(self, atol: float = 1e-9) -> None:
+        """Total probability must be conserved year by year."""
+        survival_prev = np.concatenate([[1.0], self.in_force[:-1]])
+        total = self.in_force + np.cumsum(self.death + self.lapse)
+        if not np.allclose(total, 1.0, atol=atol):
+            raise AssertionError("decrement probabilities do not sum to 1")
+        if np.any(self.in_force > survival_prev + atol):
+            raise AssertionError("in-force probabilities must be non-increasing")
+
+
+@dataclass
+class PathwiseCashFlows:
+    """Expected liability cash flows along each scenario path.
+
+    ``flows[p, t-1]`` is the expected payment of year ``t`` on path ``p``
+    (already weighted by the decrement probabilities and the contract
+    multiplicity).
+    """
+
+    flows: np.ndarray
+    contract: PolicyContract
+
+    @property
+    def n_paths(self) -> int:
+        return int(self.flows.shape[0])
+
+    @property
+    def term(self) -> int:
+        return int(self.flows.shape[1])
+
+    def present_value(self, discount_factors: np.ndarray) -> np.ndarray:
+        """Discount the flows pathwise.
+
+        ``discount_factors`` has shape ``(n_paths, T + 1)`` (or broadcastable),
+        column ``t`` discounting a year-``t`` cash flow; column 0 is 1.
+        """
+        df = np.asarray(discount_factors, dtype=float)
+        if df.shape[-1] != self.term + 1:
+            raise ValueError(
+                f"need {self.term + 1} discount columns, got {df.shape[-1]}"
+            )
+        return np.sum(self.flows * df[..., 1:], axis=-1)
+
+
+class LiabilityValuator:
+    """Computes probabilized flows and pathwise values for a contract."""
+
+    def __init__(self, mortality: MortalityModel, lapse: LapseModel) -> None:
+        self.mortality = mortality
+        self.lapse = lapse
+
+    def decrement_table(self, contract: PolicyContract) -> DecrementTable:
+        """Type-A elaboration: deterministic decrement probabilities.
+
+        Lapse and death within a year are resolved with the standard
+        "deaths first" convention on annual steps: a policy lapsing in
+        year ``t`` is one that survived the year.
+        """
+        term = contract.term
+        in_force = np.empty(term)
+        death = np.empty(term)
+        lapse = np.empty(term)
+        alive = 1.0
+        for t in range(1, term + 1):
+            age_t = contract.age + t - 1
+            q = self.mortality.death_probability(age_t, 1.0)
+            annual_lapse = float(np.asarray(self.lapse.annual_rate()))
+            # Lapses are not possible in the maturity year: the contract
+            # simply matures.
+            if t == term:
+                annual_lapse = 0.0
+            death_t = alive * q
+            lapse_t = alive * (1.0 - q) * annual_lapse
+            alive = alive - death_t - lapse_t
+            in_force[t - 1] = alive
+            death[t - 1] = death_t
+            lapse[t - 1] = lapse_t
+        return DecrementTable(in_force=in_force, death=death, lapse=lapse)
+
+    def cash_flows(
+        self,
+        contract: PolicyContract,
+        credited_returns: np.ndarray,
+        decrements: DecrementTable | None = None,
+    ) -> PathwiseCashFlows:
+        """Type-B elaboration: expected flows along each financial path.
+
+        ``credited_returns`` has shape ``(n_paths, >= term)``; extra years
+        beyond the contract term are ignored.
+        """
+        credited = np.asarray(credited_returns, dtype=float)
+        if credited.ndim != 2:
+            raise ValueError(
+                f"credited_returns must be (n_paths, years), got {credited.shape}"
+            )
+        term = contract.term
+        if credited.shape[1] < term:
+            raise ValueError(
+                f"contract needs {term} years of returns, got {credited.shape[1]}"
+            )
+        credited = credited[:, :term]
+        if decrements is None:
+            decrements = self.decrement_table(contract)
+        if decrements.term != term:
+            raise ValueError(
+                f"decrement table covers {decrements.term} years, contract "
+                f"term is {term}"
+            )
+
+        sums = insured_sum_path(
+            contract.insured_sum,
+            credited,
+            contract.participation,
+            contract.technical_rate,
+        )  # shape (n_paths, term + 1); sums[:, t] = C_t
+        n_paths = credited.shape[0]
+        flows = np.zeros((n_paths, term))
+
+        if contract.pays_on_death():
+            flows += sums[:, 1:] * decrements.death[np.newaxis, :]
+        # Surrender pays the current readjusted sum net of the charge.
+        flows += (
+            sums[:, 1:]
+            * (1.0 - contract.surrender_charge)
+            * decrements.lapse[np.newaxis, :]
+        )
+        if contract.kind is ContractKind.WHOLE_LIFE_ANNUITY:
+            # Annual annuity of the readjusted amount while in force.
+            flows += sums[:, 1:] * decrements.in_force[np.newaxis, :]
+        elif contract.pays_on_survival():
+            flows[:, -1] += sums[:, -1] * decrements.in_force[-1]
+
+        flows *= contract.multiplicity
+        return PathwiseCashFlows(flows=flows, contract=contract)
+
+    def cash_flows_dynamic(
+        self,
+        contract: PolicyContract,
+        credited_returns: np.ndarray,
+    ) -> PathwiseCashFlows:
+        """Type-B elaboration with *path-dependent* dynamic lapses.
+
+        Unlike :meth:`cash_flows` (deterministic decrements, the paper's
+        probabilized-flows pipeline), here the annual lapse rate of each
+        path reacts to the credited return of that path through the
+        lapse model's dynamic sensitivity: policyholders surrender more
+        when the credited return falls short of their guarantee.  With
+        ``dynamic_sensitivity == 0`` this reproduces :meth:`cash_flows`
+        exactly.
+        """
+        credited = np.asarray(credited_returns, dtype=float)
+        if credited.ndim != 2:
+            raise ValueError(
+                f"credited_returns must be (n_paths, years), got {credited.shape}"
+            )
+        term = contract.term
+        if credited.shape[1] < term:
+            raise ValueError(
+                f"contract needs {term} years of returns, got {credited.shape[1]}"
+            )
+        credited = credited[:, :term]
+        n_paths = credited.shape[0]
+        sums = insured_sum_path(
+            contract.insured_sum,
+            credited,
+            contract.participation,
+            contract.technical_rate,
+        )
+
+        flows = np.zeros((n_paths, term))
+        alive = np.ones(n_paths)
+        for t in range(1, term + 1):
+            age_t = contract.age + t - 1
+            q = self.mortality.death_probability(age_t, 1.0)
+            lapse_rate = np.asarray(
+                self.lapse.annual_rate(
+                    credited=credited[:, t - 1],
+                    benchmark=contract.technical_rate,
+                ),
+                dtype=float,
+            )
+            if t == term:
+                lapse_rate = np.zeros(n_paths)
+            death_t = alive * q
+            lapse_t = alive * (1.0 - q) * lapse_rate
+            alive = alive - death_t - lapse_t
+
+            sum_t = sums[:, t]
+            if contract.pays_on_death():
+                flows[:, t - 1] += sum_t * death_t
+            flows[:, t - 1] += (
+                sum_t * (1.0 - contract.surrender_charge) * lapse_t
+            )
+            if contract.kind is ContractKind.WHOLE_LIFE_ANNUITY:
+                flows[:, t - 1] += sum_t * alive
+            elif t == term and contract.pays_on_survival():
+                flows[:, t - 1] += sum_t * alive
+
+        flows *= contract.multiplicity
+        return PathwiseCashFlows(flows=flows, contract=contract)
+
+    def value(
+        self,
+        contract: PolicyContract,
+        credited_returns: np.ndarray,
+        discount_factors: np.ndarray,
+        decrements: DecrementTable | None = None,
+        dynamic_lapses: bool = False,
+    ) -> np.ndarray:
+        """Pathwise present value of the contract's liability.
+
+        ``dynamic_lapses=True`` switches to the path-dependent lapse
+        behaviour of :meth:`cash_flows_dynamic`.
+        """
+        if dynamic_lapses:
+            cash_flows = self.cash_flows_dynamic(contract, credited_returns)
+        else:
+            cash_flows = self.cash_flows(contract, credited_returns, decrements)
+        df = np.asarray(discount_factors, dtype=float)
+        if df.shape[-1] > contract.term + 1:
+            df = df[..., : contract.term + 1]
+        return cash_flows.present_value(df)

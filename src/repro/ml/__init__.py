@@ -1,0 +1,72 @@
+"""From-scratch machine-learning regressors (the Weka substitute).
+
+The paper builds its execution-time prediction models with Weka, using
+six learners: Multi-Layer Perceptron, Random Tree, Random Forest, IBk
+(k-nearest neighbours), KStar and Decision Table.  Weka is a Java
+framework, unavailable here, so this package re-implements the same six
+algorithm families in NumPy with a shared :class:`Regressor` API and
+Weka-flavoured defaults.
+
+All learners are deterministic given their ``seed`` argument.
+"""
+
+from repro.ml.base import Regressor
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, train_test_split
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_signed_error,
+    r_squared,
+    root_mean_squared_error,
+)
+from repro.ml.mlp import MultiLayerPerceptron
+from repro.ml.random_tree import RandomTree
+from repro.ml.random_forest import RandomForest
+from repro.ml.ibk import IBk
+from repro.ml.kstar import KStar
+from repro.ml.decision_table import DecisionTable
+from repro.ml.validation import CrossValidationResult, cross_validate, k_fold_indices
+from repro.ml.importance import FeatureImportance, permutation_importance
+
+#: The six learners of the paper, by Weka-style short name.
+ALGORITHMS: dict[str, type[Regressor]] = {
+    "MLP": MultiLayerPerceptron,
+    "RT": RandomTree,
+    "RF": RandomForest,
+    "IBk": IBk,
+    "KStar": KStar,
+    "DT": DecisionTable,
+}
+
+
+def default_model_family(seed: int = 0) -> dict[str, Regressor]:
+    """Fresh instances of all six learners with default hyperparameters.
+
+    This is the family ``X = {MLP, RT, RF, IBk, KStar, DT}`` of the
+    paper's Algorithm 1.
+    """
+    return {name: cls(seed=seed) for name, cls in ALGORITHMS.items()}
+
+
+__all__ = [
+    "Regressor",
+    "MultiLayerPerceptron",
+    "RandomTree",
+    "RandomForest",
+    "IBk",
+    "KStar",
+    "DecisionTable",
+    "ALGORITHMS",
+    "default_model_family",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "mean_signed_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r_squared",
+    "cross_validate",
+    "k_fold_indices",
+    "CrossValidationResult",
+    "permutation_importance",
+    "FeatureImportance",
+]

@@ -1,0 +1,94 @@
+"""Shared estimator API for the from-scratch learners."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Regressor", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+class Regressor(abc.ABC):
+    """Abstract regression learner with a minimal fit/predict contract.
+
+    Subclasses must set ``self._fitted = True`` at the end of ``fit`` and
+    may rely on :meth:`_validate_fit_args` / :meth:`_validate_predict_args`
+    for input checking.  Hyperparameters are plain constructor arguments;
+    :meth:`clone` builds an unfitted copy with the same hyperparameters,
+    which is what the self-optimizing loop uses for retraining.
+    """
+
+    #: Weka-style short name, overridden by subclasses.
+    name: str = "regressor"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._fitted = False
+        self._n_features: int | None = None
+
+    @abc.abstractmethod
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+        """Train on ``features`` of shape ``(n, d)`` and ``targets`` ``(n,)``."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` of shape ``(m, d)``."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def clone(self) -> "Regressor":
+        """An unfitted copy with identical hyperparameters."""
+        params = {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_")
+        }
+        return type(self)(**params)
+
+    def _validate_fit_args(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if targets.ndim != 1:
+            raise ValueError(f"targets must be 1-D, got shape {targets.shape}")
+        if len(features) != len(targets):
+            raise ValueError(
+                f"{len(features)} feature rows but {len(targets)} targets"
+            )
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(features)) or not np.all(np.isfinite(targets)):
+            raise ValueError("features and targets must be finite")
+        self._n_features = features.shape[1]
+        return features, targets
+
+    def _validate_predict_args(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before predict"
+            )
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[np.newaxis, :]
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if self._n_features is not None and features.shape[1] != self._n_features:
+            raise ValueError(
+                f"model was fitted with {self._n_features} features, "
+                f"got {features.shape[1]}"
+            )
+        return features
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({status})"

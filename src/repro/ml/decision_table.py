@@ -1,0 +1,176 @@
+"""Decision Table regressor (Kohavi 1995; Weka ``DecisionTable`` equivalent).
+
+A decision table is a lookup table over a *selected subset* of the
+attributes: numeric attributes are discretised into equal-frequency bins,
+every distinct bin combination becomes a table cell, and the cell
+predicts the mean target of the training instances that fall in it.
+Queries that hit an empty cell fall back to the global training mean
+(Weka's default; its ``-I`` option would fall back to IBk instead).
+
+The attribute subset is chosen with greedy forward best-first search,
+scored by leave-one-out cross-validation — computable in closed form for
+cell means, which keeps the search fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+__all__ = ["DecisionTable"]
+
+
+class DecisionTable(Regressor):
+    """Feature-subset lookup-table regressor.
+
+    Parameters
+    ----------
+    n_bins:
+        Equal-frequency bins per numeric attribute.
+    max_stale:
+        Best-first search stops after this many non-improving expansions
+        (Weka's ``-S`` stale limit, default 5).
+    """
+
+    name = "DT"
+
+    def __init__(self, n_bins: int = 6, max_stale: int = 5, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if max_stale < 1:
+            raise ValueError(f"max_stale must be >= 1, got {max_stale}")
+        self.n_bins = int(n_bins)
+        self.max_stale = int(max_stale)
+
+    # -- discretisation ----------------------------------------------------
+
+    def _fit_bins(self, features: np.ndarray) -> list[np.ndarray]:
+        """Equal-frequency bin edges per attribute (interior edges only)."""
+        edges = []
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        for j in range(features.shape[1]):
+            cuts = np.unique(np.quantile(features[:, j], quantiles))
+            edges.append(cuts)
+        return edges
+
+    def _discretise(self, features: np.ndarray) -> np.ndarray:
+        return np.column_stack(
+            [
+                np.searchsorted(self._edges[j], features[:, j], side="right")
+                for j in range(features.shape[1])
+            ]
+        ).astype(np.int64)
+
+    # -- leave-one-out scoring ---------------------------------------------
+
+    def _loo_error(self, binned: np.ndarray, targets: np.ndarray,
+                   subset: tuple[int, ...]) -> float:
+        """Closed-form leave-one-out MSE of the cell-mean table on ``subset``."""
+        if not subset:
+            # Empty table: every instance predicted by the global LOO mean.
+            n = len(targets)
+            if n < 2:
+                return float("inf")
+            loo_mean = (targets.sum() - targets) / (n - 1)
+            return float(np.mean((loo_mean - targets) ** 2))
+        keys = self._cell_keys(binned[:, subset])
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_y = targets[order]
+        _, starts, counts = np.unique(
+            sorted_keys, return_index=True, return_counts=True
+        )
+        sums = np.add.reduceat(sorted_y, starts)
+        cell_count = np.repeat(counts, counts)
+        cell_sum = np.repeat(sums, counts)
+        global_mean = float(targets.mean())
+        with np.errstate(invalid="ignore", divide="ignore"):
+            loo = (cell_sum - sorted_y) / (cell_count - 1)
+        # Singleton cells have no leave-one-out evidence: fall back to the
+        # global mean, mirroring the empty-cell prediction rule.
+        loo = np.where(cell_count > 1, loo, global_mean)
+        return float(np.mean((loo - sorted_y) ** 2))
+
+    @staticmethod
+    def _cell_keys(binned_subset: np.ndarray) -> np.ndarray:
+        """Collapse a (n, k) int matrix into one hashable int key per row."""
+        n, k = binned_subset.shape
+        keys = np.zeros(n, dtype=np.int64)
+        for j in range(k):
+            keys = keys * 1024 + binned_subset[:, j]
+        return keys
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTable":
+        features, targets = self._validate_fit_args(features, targets)
+        d = features.shape[1]
+        self._edges = self._fit_bins(features)
+        binned = self._discretise(features)
+
+        best_subset: tuple[int, ...] = ()
+        best_error = self._loo_error(binned, targets, best_subset)
+        current = best_subset
+        stale = 0
+        while stale < self.max_stale:
+            improvements = []
+            for j in range(d):
+                if j in current:
+                    continue
+                candidate = tuple(sorted((*current, j)))
+                error = self._loo_error(binned, targets, candidate)
+                improvements.append((error, candidate))
+            if not improvements:
+                break
+            error, candidate = min(improvements, key=lambda pair: pair[0])
+            current = candidate
+            if error < best_error - 1e-12:
+                best_error = error
+                best_subset = candidate
+                stale = 0
+            else:
+                stale += 1
+        self._subset = best_subset
+        self._global_mean = float(targets.mean())
+
+        self._table: dict[tuple[int, ...], float] = {}
+        if best_subset:
+            keys = binned[:, best_subset]
+            # Accumulate sums/counts cell by cell.
+            sums: dict[tuple[int, ...], float] = {}
+            counts: dict[tuple[int, ...], int] = {}
+            for row, y in zip(keys, targets):
+                cell = tuple(int(v) for v in row)
+                sums[cell] = sums.get(cell, 0.0) + float(y)
+                counts[cell] = counts.get(cell, 0) + 1
+            self._table = {cell: sums[cell] / counts[cell] for cell in sums}
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = self._validate_predict_args(features)
+        if not self._subset:
+            return np.full(len(features), self._global_mean)
+        binned = self._discretise(features)[:, self._subset]
+        out = np.empty(len(features))
+        for i, row in enumerate(binned):
+            out[i] = self._table.get(
+                tuple(int(v) for v in row), self._global_mean
+            )
+        return out
+
+    @property
+    def selected_features(self) -> tuple[int, ...]:
+        """Indices of the attributes the best-first search kept."""
+        if not self._fitted:
+            raise RuntimeError("model must be fitted first")
+        return self._subset
+
+    @property
+    def n_cells(self) -> int:
+        """Number of populated table cells."""
+        if not self._fitted:
+            raise RuntimeError("model must be fitted first")
+        return len(self._table)

@@ -1,0 +1,96 @@
+"""IBk: instance-based k-nearest-neighbour regression (Aha et al., 1991).
+
+Weka's ``IBk`` normalises every attribute into ``[0, 1]``, uses Euclidean
+distance and, for regression, averages the targets of the ``k`` nearest
+training instances (optionally weighting by inverse distance).  The
+defaults below — ``k=1``, no distance weighting — are Weka's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.ml.preprocessing import MinMaxScaler
+
+__all__ = ["IBk"]
+
+
+class IBk(Regressor):
+    """k-nearest-neighbour regressor with min-max normalised distances.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours (Weka default 1).
+    distance_weighting:
+        ``None`` (Weka default), ``"inverse"`` (weight ``1/d``) or
+        ``"similarity"`` (weight ``1 - d``).
+    """
+
+    name = "IBk"
+
+    def __init__(
+        self,
+        k: int = 1,
+        distance_weighting: str | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if distance_weighting not in (None, "inverse", "similarity"):
+            raise ValueError(
+                "distance_weighting must be None, 'inverse' or 'similarity', "
+                f"got {distance_weighting!r}"
+            )
+        self.k = int(k)
+        self.distance_weighting = distance_weighting
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "IBk":
+        features, targets = self._validate_fit_args(features, targets)
+        self._scaler = MinMaxScaler().fit(features)
+        self._train_x = self._scaler.transform(features)
+        self._train_y = targets.copy()
+        self._fitted = True
+        return self
+
+    def _neighbour_weights(self, distances: np.ndarray) -> np.ndarray:
+        if self.distance_weighting is None:
+            return np.ones_like(distances)
+        if self.distance_weighting == "inverse":
+            return 1.0 / np.clip(distances, 1e-12, None)
+        return np.clip(1.0 - distances, 1e-12, None)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = self._validate_predict_args(features)
+        x = self._scaler.transform(features)
+        k = min(self.k, len(self._train_y))
+        out = np.empty(len(x))
+        # Chunk the distance matrix so memory stays bounded for large
+        # query batches.
+        chunk = max(1, 4_000_000 // max(1, len(self._train_x)))
+        for start in range(0, len(x), chunk):
+            block = x[start : start + chunk]
+            sq = (
+                np.sum(block**2, axis=1)[:, np.newaxis]
+                - 2.0 * block @ self._train_x.T
+                + np.sum(self._train_x**2, axis=1)[np.newaxis, :]
+            )
+            distances = np.sqrt(np.clip(sq, 0.0, None))
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            rows = np.arange(len(block))[:, np.newaxis]
+            near_d = distances[rows, nearest]
+            weights = self._neighbour_weights(near_d)
+            values = self._train_y[nearest]
+            out[start : start + chunk] = (weights * values).sum(axis=1) / weights.sum(
+                axis=1
+            )
+        return out
+
+    @property
+    def n_instances(self) -> int:
+        """Number of stored training instances."""
+        if not self._fitted:
+            raise RuntimeError("model must be fitted first")
+        return len(self._train_y)

@@ -1,0 +1,65 @@
+"""Regression error metrics.
+
+The paper's headline accuracy metric (Table I) is the *signed* mean error
+
+    delta_bar = (1/N) * sum_i (predicted_i - real_i)
+
+which tells both the magnitude of the error and whether the model over-
+or under-estimates execution times — an under-estimate risks violating
+the Solvency II deadline, an over-estimate merely costs money.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_signed_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r_squared",
+]
+
+
+def _validate(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot compute a metric on empty arrays")
+    return predicted, actual
+
+
+def mean_signed_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """The paper's ``delta_bar`` (Eq. 6): mean of ``predicted - actual``."""
+    predicted, actual = _validate(predicted, actual)
+    return float(np.mean(predicted - actual))
+
+
+def mean_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean of ``|predicted - actual|``."""
+    predicted, actual = _validate(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def root_mean_squared_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root mean squared error."""
+    predicted, actual = _validate(predicted, actual)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def r_squared(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Coefficient of determination; 1 is perfect, 0 is the mean model.
+
+    Returns ``nan`` when the actual values are constant (the ratio is
+    undefined there).
+    """
+    predicted, actual = _validate(predicted, actual)
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    if total == 0.0:
+        return float("nan")
+    residual = float(np.sum((actual - predicted) ** 2))
+    return 1.0 - residual / total

@@ -1,0 +1,115 @@
+"""Feature scaling and dataset splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stochastic.rng import generator_from
+
+__all__ = ["StandardScaler", "MinMaxScaler", "train_test_split"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant features are left at zero after centring (their standard
+    deviation is replaced by 1 to avoid division by zero).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        self.scale_ = np.where(scale > 1e-12, scale, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        features = np.asarray(features, dtype=float)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.asarray(features, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scales features into ``[0, 1]``, Weka's default normalisation.
+
+    Constant features map to 0.  Values outside the training range are
+    clipped, matching the behaviour that instance-based Weka learners
+    (IBk, KStar) rely on.
+    """
+
+    def __init__(self, clip: bool = True) -> None:
+        self.clip = bool(clip)
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        self.min_ = features.min(axis=0)
+        span = features.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        scaled = (np.asarray(features, dtype=float) - self.min_) / self.range_
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    train_fraction: float = 0.4,
+    rng: np.random.Generator | int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split.
+
+    The default ``train_fraction=0.4`` matches the paper's Table I setup:
+    "a 40%-60% splitting percentage" (40% training, 60% testing).
+
+    Returns ``(train_features, test_features, train_targets, test_targets)``.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if len(features) != len(targets):
+        raise ValueError(
+            f"{len(features)} feature rows but {len(targets)} targets"
+        )
+    n = len(features)
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    rng = generator_from(rng)
+    order = rng.permutation(n)
+    n_train = max(1, int(round(train_fraction * n)))
+    n_train = min(n_train, n - 1)
+    train_idx, test_idx = order[:n_train], order[n_train:]
+    return (
+        features[train_idx],
+        features[test_idx],
+        targets[train_idx],
+        targets[test_idx],
+    )

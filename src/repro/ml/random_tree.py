@@ -1,0 +1,187 @@
+"""Random regression tree (Weka ``RandomTree`` equivalent).
+
+A CART-style regression tree that, at every node, considers only a random
+subset of ``K`` attributes (Weka default ``K = log2(n_features) + 1``) and
+splits on the variance-minimising threshold among them.  Trees are grown
+without pruning, down to ``min_leaf`` instances — high-variance weak
+learners, exactly what :class:`repro.ml.random_forest.RandomForest` bags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+__all__ = ["RandomTree"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RandomTree(Regressor):
+    """Unpruned regression tree with random per-node feature subsets.
+
+    Parameters
+    ----------
+    k_features:
+        Attributes examined per node; ``None`` uses Weka's default
+        ``int(log2(d)) + 1``.
+    min_leaf:
+        Minimum instances per leaf (Weka default 1).
+    max_depth:
+        Depth cap; ``None`` grows until purity or ``min_leaf``.
+    """
+
+    name = "RT"
+
+    def __init__(
+        self,
+        k_features: int | None = None,
+        min_leaf: int = 1,
+        max_depth: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if k_features is not None and k_features < 1:
+            raise ValueError(f"k_features must be >= 1, got {k_features}")
+        if min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1, got {min_leaf}")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.k_features = k_features
+        self.min_leaf = int(min_leaf)
+        self.max_depth = max_depth
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomTree":
+        features, targets = self._validate_fit_args(features, targets)
+        self._rng = np.random.default_rng(self.seed)
+        d = features.shape[1]
+        self._k = self.k_features or max(1, int(np.log2(d)) + 1)
+        self._k = min(self._k, d)
+        self._root = self._grow(features, targets, depth=0)
+        self._fitted = True
+        return self
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, score) among K random attributes.
+
+        The score is the total squared error after the split; lower is
+        better.  Returns ``None`` when no valid split exists.
+        """
+        d = features.shape[1]
+        candidates = self._rng.choice(d, size=self._k, replace=False)
+        best: tuple[int, float, float] | None = None
+        for feature in candidates:
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_x = column[order]
+            sorted_y = targets[order]
+            # Candidate thresholds between distinct consecutive values.
+            distinct = np.nonzero(np.diff(sorted_x) > 1e-12)[0]
+            if distinct.size == 0:
+                continue
+            # Prefix sums let us evaluate every threshold in O(n).
+            csum = np.cumsum(sorted_y)
+            csum2 = np.cumsum(sorted_y**2)
+            total_sum = csum[-1]
+            total_sum2 = csum2[-1]
+            n = len(sorted_y)
+            left_n = distinct + 1
+            right_n = n - left_n
+            valid = (left_n >= self.min_leaf) & (right_n >= self.min_leaf)
+            if not np.any(valid):
+                continue
+            left_sum = csum[distinct]
+            left_sum2 = csum2[distinct]
+            right_sum = total_sum - left_sum
+            right_sum2 = total_sum2 - left_sum2
+            sse = (
+                left_sum2
+                - left_sum**2 / left_n
+                + right_sum2
+                - right_sum**2 / right_n
+            )
+            sse = np.where(valid, sse, np.inf)
+            best_idx = int(np.argmin(sse))
+            score = float(sse[best_idx])
+            if np.isinf(score):
+                continue
+            cut = distinct[best_idx]
+            threshold = 0.5 * (sorted_x[cut] + sorted_x[cut + 1])
+            if best is None or score < best[2]:
+                best = (int(feature), float(threshold), score)
+        return best
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        prediction = float(targets.mean())
+        if (
+            len(targets) < 2 * self.min_leaf
+            or np.ptp(targets) < 1e-12
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return _Node(prediction=prediction)
+        split = self._best_split(features, targets)
+        if split is None:
+            return _Node(prediction=prediction)
+        feature, threshold, _ = split
+        mask = features[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return _Node(prediction=prediction)
+        return _Node(
+            prediction=prediction,
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(features[mask], targets[mask], depth + 1),
+            right=self._grow(features[~mask], targets[~mask], depth + 1),
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = self._validate_predict_args(features)
+        out = np.empty(len(features))
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        if not self._fitted:
+            raise RuntimeError("tree must be fitted first")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        if not self._fitted:
+            raise RuntimeError("tree must be fitted first")
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return _count(node.left) + _count(node.right)
+
+        return _count(self._root)

@@ -1,0 +1,45 @@
+"""Monte Carlo engines: nested simulation, LSMC and SCR computation.
+
+Implements the two-stage procedure of the paper's Section II:
+
+1. ``n_P`` outer paths of all risk drivers from ``t=0`` to ``t=1`` under
+   the real-world measure ``P``;
+2. for each outer path, ``n_Q`` inner paths from ``t=1`` to ``t=T`` under
+   the risk-neutral measure ``Q``, conditional on the outer state.
+
+The Least-Squares Monte Carlo variant replaces the full inner stage with
+a truncated orthonormal-polynomial expansion calibrated on a smaller
+``n'_P x n'_Q`` nested sample, exactly as described in the paper.
+"""
+
+from repro.montecarlo.quantile import (
+    empirical_quantile,
+    quantile_confidence_interval,
+    value_at_risk,
+)
+from repro.montecarlo.nested import NestedMonteCarloEngine, NestedResult
+from repro.montecarlo.lsmc import LSMCEngine, LSMCResult, PolynomialBasis
+from repro.montecarlo.scr import SCRCalculator, SCRReport
+from repro.montecarlo.convergence import (
+    ConvergencePoint,
+    inner_bias_study,
+    outer_error_study,
+    recommend_sample_sizes,
+)
+
+__all__ = [
+    "ConvergencePoint",
+    "inner_bias_study",
+    "outer_error_study",
+    "recommend_sample_sizes",
+    "empirical_quantile",
+    "quantile_confidence_interval",
+    "value_at_risk",
+    "NestedMonteCarloEngine",
+    "NestedResult",
+    "PolynomialBasis",
+    "LSMCEngine",
+    "LSMCResult",
+    "SCRCalculator",
+    "SCRReport",
+]

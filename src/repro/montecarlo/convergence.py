@@ -1,0 +1,159 @@
+"""Convergence diagnostics for nested-simulation SCR estimates.
+
+The paper (Section II): "The number of inner and outer simulations
+should be chosen in order to achieve an adequate precision on the 99.5%
+quantile of Y_t.  If n_Q is too small, a bias is introduced in the
+determination of the quantile of Y_t, while if n_P is too small the
+statistical error affecting the determination of the quantile is too
+large."
+
+This module quantifies both effects for a given portfolio:
+
+- :func:`inner_bias_study` — the SCR as a function of ``n_Q`` at fixed
+  ``n_P``: inner noise inflates the dispersion of the estimated
+  conditional values, biasing the tail quantile upward; the bias decays
+  roughly like ``1/n_Q``;
+- :func:`outer_error_study` — the sampling standard deviation of the
+  SCR across independent replications as a function of ``n_P``; it
+  decays roughly like ``1/sqrt(n_P)``;
+- :func:`recommend_sample_sizes` — the smallest ``(n_P, n_Q)`` on a
+  grid meeting a target relative precision, the decision the paper's
+  users face before submitting a cloud run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.montecarlo.nested import NestedMonteCarloEngine
+from repro.montecarlo.scr import SCRCalculator
+from repro.stochastic.rng import spawn_generators
+
+__all__ = [
+    "ConvergencePoint",
+    "inner_bias_study",
+    "outer_error_study",
+    "recommend_sample_sizes",
+]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One grid point of a convergence study."""
+
+    n_outer: int
+    n_inner: int
+    scr_mean: float
+    scr_std: float
+    n_replications: int
+
+    @property
+    def relative_error(self) -> float:
+        """Replication std relative to the mean SCR."""
+        if self.scr_mean == 0:
+            return float("inf")
+        return self.scr_std / abs(self.scr_mean)
+
+
+def _replicated_scr(
+    engine: NestedMonteCarloEngine,
+    n_outer: int,
+    n_inner: int,
+    n_replications: int,
+    seed: int,
+    level: float,
+) -> ConvergencePoint:
+    calculator = SCRCalculator(level=level)
+    rngs = spawn_generators(seed, n_replications)
+    values = np.array(
+        [
+            calculator.from_nested(
+                engine.run(n_outer=n_outer, n_inner=n_inner, rng=rng)
+            ).raw_quantile
+            for rng in rngs
+        ]
+    )
+    return ConvergencePoint(
+        n_outer=n_outer,
+        n_inner=n_inner,
+        scr_mean=float(values.mean()),
+        scr_std=float(values.std(ddof=1)) if n_replications > 1 else 0.0,
+        n_replications=n_replications,
+    )
+
+
+def inner_bias_study(
+    engine: NestedMonteCarloEngine,
+    inner_sizes: list[int],
+    n_outer: int = 200,
+    n_replications: int = 3,
+    seed: int = 0,
+    level: float = 0.995,
+) -> list[ConvergencePoint]:
+    """SCR vs ``n_Q`` at fixed ``n_P`` (inner-bias curve)."""
+    if not inner_sizes:
+        raise ValueError("inner_sizes must be non-empty")
+    return [
+        _replicated_scr(engine, n_outer, n_inner, n_replications,
+                        seed + 31 * n_inner, level)
+        for n_inner in sorted(inner_sizes)
+    ]
+
+
+def outer_error_study(
+    engine: NestedMonteCarloEngine,
+    outer_sizes: list[int],
+    n_inner: int = 50,
+    n_replications: int = 5,
+    seed: int = 0,
+    level: float = 0.995,
+) -> list[ConvergencePoint]:
+    """SCR replication noise vs ``n_P`` at fixed ``n_Q``."""
+    if not outer_sizes:
+        raise ValueError("outer_sizes must be non-empty")
+    if n_replications < 2:
+        raise ValueError("outer_error_study needs n_replications >= 2")
+    return [
+        _replicated_scr(engine, n_outer, n_inner, n_replications,
+                        seed + 17 * n_outer, level)
+        for n_outer in sorted(outer_sizes)
+    ]
+
+
+def recommend_sample_sizes(
+    engine: NestedMonteCarloEngine,
+    target_relative_error: float = 0.15,
+    outer_grid: tuple[int, ...] = (100, 200, 400),
+    inner_grid: tuple[int, ...] = (20, 50),
+    n_replications: int = 3,
+    seed: int = 0,
+) -> ConvergencePoint:
+    """Smallest grid point meeting the target relative SCR error.
+
+    Grid points are visited in increasing total-cost order
+    (``n_P * n_Q``); the first one whose replication error is within
+    target wins.  If none qualifies, the most precise point is returned
+    (callers can inspect ``relative_error``).
+    """
+    if target_relative_error <= 0:
+        raise ValueError(
+            f"target_relative_error must be positive, got {target_relative_error}"
+        )
+    grid = sorted(
+        ((n_outer, n_inner) for n_outer in outer_grid for n_inner in inner_grid),
+        key=lambda pair: pair[0] * pair[1],
+    )
+    best: ConvergencePoint | None = None
+    for n_outer, n_inner in grid:
+        point = _replicated_scr(
+            engine, n_outer, n_inner, n_replications,
+            seed + n_outer * 7 + n_inner, 0.995,
+        )
+        if best is None or point.relative_error < best.relative_error:
+            best = point
+        if point.relative_error <= target_relative_error:
+            return point
+    assert best is not None
+    return best

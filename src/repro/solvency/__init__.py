@@ -1,0 +1,58 @@
+"""Solvency II standard formula.
+
+The Directive offers two routes to the SCR: the *standard formula* —
+prescribed stress scenarios aggregated through fixed correlation
+matrices — and an *internal model* such as DISAR's nested Monte Carlo
+(paper, Section I: the computations "become significantly
+resource-intensive when the undertaking, in addition to the so-called
+standard formula approach detailed in the Directive, calculates
+technical provisions and SCR using an internal model").
+
+This package implements the standard-formula route on top of the same
+valuation substrate, so the two approaches can be compared on identical
+portfolios:
+
+- :mod:`repro.solvency.stresses` — the prescribed market and life
+  stresses (interest up/down, equity, spread, currency, mortality,
+  longevity, lapse up/down/mass, expense);
+- :mod:`repro.solvency.aggregation` — the Delegated-Regulation
+  correlation matrices and the square-root aggregation rule;
+- :mod:`repro.solvency.standard_formula` — the calculator: revalue the
+  portfolio under every stress (common random numbers against the base
+  run), take per-stress own-funds deltas, aggregate per module and then
+  across modules into the Basic SCR.
+"""
+
+from repro.solvency.stresses import (
+    LIFE_STRESSES,
+    MARKET_STRESSES,
+    StressDefinition,
+)
+from repro.solvency.aggregation import (
+    LIFE_CORRELATION,
+    MARKET_CORRELATION,
+    TOP_CORRELATION,
+    aggregate,
+)
+from repro.solvency.standard_formula import (
+    StandardFormulaCalculator,
+    StandardFormulaReport,
+)
+from repro.solvency.risk_margin import (
+    RiskMarginResult,
+    cost_of_capital_risk_margin,
+)
+
+__all__ = [
+    "RiskMarginResult",
+    "cost_of_capital_risk_margin",
+    "StressDefinition",
+    "MARKET_STRESSES",
+    "LIFE_STRESSES",
+    "MARKET_CORRELATION",
+    "LIFE_CORRELATION",
+    "TOP_CORRELATION",
+    "aggregate",
+    "StandardFormulaCalculator",
+    "StandardFormulaReport",
+]

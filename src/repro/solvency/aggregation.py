@@ -1,0 +1,70 @@
+"""Standard-formula correlation aggregation.
+
+The Delegated Regulation aggregates sub-module SCRs with fixed
+correlation matrices: ``SCR = sqrt(x' * Corr * x)`` where ``x`` is the
+vector of sub-module capital charges.  The matrices below are the
+regulation's, restricted to the sub-modules this engine computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MARKET_CORRELATION",
+    "LIFE_CORRELATION",
+    "TOP_CORRELATION",
+    "aggregate",
+]
+
+#: Market sub-module correlations (interest, equity, spread, currency).
+#: The regulation's matrix A (interest-down scenario binding) is used,
+#: since profit-sharing business is long liabilities.
+MARKET_CORRELATION: dict[str, dict[str, float]] = {
+    "interest": {"interest": 1.0, "equity": 0.5, "spread": 0.5, "currency": 0.25},
+    "equity": {"interest": 0.5, "equity": 1.0, "spread": 0.75, "currency": 0.25},
+    "spread": {"interest": 0.5, "equity": 0.75, "spread": 1.0, "currency": 0.25},
+    "currency": {"interest": 0.25, "equity": 0.25, "spread": 0.25, "currency": 1.0},
+}
+
+#: Life sub-module correlations (mortality, longevity, lapse, expense).
+LIFE_CORRELATION: dict[str, dict[str, float]] = {
+    "mortality": {"mortality": 1.0, "longevity": -0.25, "lapse": 0.0,
+                  "expense": 0.25},
+    "longevity": {"mortality": -0.25, "longevity": 1.0, "lapse": 0.25,
+                  "expense": 0.25},
+    "lapse": {"mortality": 0.0, "longevity": 0.25, "lapse": 1.0,
+              "expense": 0.5},
+    "expense": {"mortality": 0.25, "longevity": 0.25, "lapse": 0.5,
+                "expense": 1.0},
+}
+
+#: Top-level correlation between the market and life modules.
+TOP_CORRELATION: dict[str, dict[str, float]] = {
+    "market": {"market": 1.0, "life": 0.25},
+    "life": {"market": 0.25, "life": 1.0},
+}
+
+
+def aggregate(
+    charges: dict[str, float], correlation: dict[str, dict[str, float]]
+) -> float:
+    """``sqrt(x' Corr x)`` over the sub-module ``charges``.
+
+    Charges absent from ``correlation`` raise; charges are floored at 0
+    before aggregation (the regulation aggregates non-negative capital
+    requirements).
+    """
+    names = sorted(charges)
+    unknown = [n for n in names if n not in correlation]
+    if unknown:
+        raise KeyError(
+            f"charges {unknown} missing from the correlation matrix "
+            f"({sorted(correlation)})"
+        )
+    x = np.array([max(charges[n], 0.0) for n in names])
+    corr = np.array([[correlation[a][b] for b in names] for a in names])
+    value = float(x @ corr @ x)
+    # Numerical noise can push the quadratic form epsilon-negative when
+    # all charges are ~0.
+    return float(np.sqrt(max(value, 0.0)))

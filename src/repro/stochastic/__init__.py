@@ -1,0 +1,59 @@
+"""Stochastic substrate: risk-driver models and scenario generation.
+
+DISAR values profit-sharing life policies under several correlated sources
+of financial uncertainty (interest rate, equity, currency, credit/default)
+and independent actuarial risks (mortality/longevity and lapse).  This
+package provides those risk-driver models and the machinery to simulate
+them jointly under the real-world measure ``P`` and the risk-neutral
+measure ``Q``, as required by the nested Monte Carlo procedure of the
+paper (Section II).
+"""
+
+from repro.stochastic.rng import RandomState, spawn_generators
+from repro.stochastic.term_structure import (
+    FlatYieldCurve,
+    NelsonSiegelCurve,
+    YieldCurve,
+)
+from repro.stochastic.short_rate import CIRModel, ShortRateModel, VasicekModel
+from repro.stochastic.hull_white import HullWhiteModel
+from repro.stochastic.equity import EquityModel
+from repro.stochastic.currency import CurrencyModel
+from repro.stochastic.credit import CreditModel
+from repro.stochastic.correlation import (
+    CorrelationMatrix,
+    nearest_positive_definite,
+)
+from repro.stochastic.mortality import GompertzMakeham, LifeTable, MortalityModel
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.scenario import (
+    MarketScenario,
+    RiskDriverSpec,
+    ScenarioGenerator,
+    ScenarioSet,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_generators",
+    "YieldCurve",
+    "FlatYieldCurve",
+    "NelsonSiegelCurve",
+    "ShortRateModel",
+    "VasicekModel",
+    "CIRModel",
+    "HullWhiteModel",
+    "EquityModel",
+    "CurrencyModel",
+    "CreditModel",
+    "CorrelationMatrix",
+    "nearest_positive_definite",
+    "MortalityModel",
+    "GompertzMakeham",
+    "LifeTable",
+    "LapseModel",
+    "MarketScenario",
+    "RiskDriverSpec",
+    "ScenarioGenerator",
+    "ScenarioSet",
+]

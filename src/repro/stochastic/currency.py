@@ -1,0 +1,64 @@
+"""Currency risk driver.
+
+Segregated funds of Italian life insurers hold some non-EUR assets, so
+DISAR lists currency among its financial risk sources.  The exchange rate
+follows a lognormal diffusion whose risk-neutral drift is the differential
+between the domestic short rate and a (constant) foreign rate; under the
+real-world measure a currency risk premium is added.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CurrencyModel"]
+
+
+class CurrencyModel:
+    """Lognormal FX rate quoted as domestic units per foreign unit."""
+
+    def __init__(
+        self,
+        spot: float = 1.0,
+        volatility: float = 0.10,
+        foreign_rate: float = 0.015,
+        risk_premium: float = 0.01,
+    ) -> None:
+        if spot <= 0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        if volatility < 0:
+            raise ValueError(f"volatility must be non-negative, got {volatility}")
+        self.spot = float(spot)
+        self.volatility = float(volatility)
+        self.foreign_rate = float(foreign_rate)
+        self.risk_premium = float(risk_premium)
+
+    def drift(self, short_rate: np.ndarray, measure: str) -> np.ndarray:
+        """Interest-rate-parity drift, plus a premium under ``P``."""
+        if measure not in ("P", "Q"):
+            raise ValueError(f"measure must be 'P' or 'Q', got {measure!r}")
+        premium = self.risk_premium if measure == "P" else 0.0
+        return np.asarray(short_rate, dtype=float) - self.foreign_rate + premium
+
+    def step(
+        self,
+        level: np.ndarray,
+        short_rate: np.ndarray,
+        dt: float,
+        shocks: np.ndarray,
+        measure: str = "Q",
+    ) -> np.ndarray:
+        """Advance the FX rate by ``dt`` years with standard-normal ``shocks``."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        mu = self.drift(short_rate, measure)
+        exponent = (mu - 0.5 * self.volatility**2) * dt + self.volatility * np.sqrt(
+            dt
+        ) * np.asarray(shocks)
+        return np.asarray(level, dtype=float) * np.exp(exponent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CurrencyModel(spot={self.spot}, volatility={self.volatility}, "
+            f"foreign_rate={self.foreign_rate})"
+        )

@@ -1,0 +1,105 @@
+"""Equity risk driver: geometric Brownian motion with a risk premium.
+
+Under the risk-neutral measure ``Q`` the drift of each equity index equals
+the short rate (cash-account numeraire); under the real-world measure
+``P`` an equity risk premium is added.  The model supports a short-rate
+path as the stochastic drift so that rate and equity scenarios stay
+consistent inside a joint scenario set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EquityModel"]
+
+
+class EquityModel:
+    """Lognormal equity index.
+
+    Parameters
+    ----------
+    spot:
+        Initial index level, must be positive.
+    volatility:
+        Annualised lognormal volatility.
+    risk_premium:
+        Excess drift over the short rate under ``P`` (e.g. ``0.04`` for a
+        4% equity premium).  Ignored under ``Q``.
+    dividend_yield:
+        Continuously-paid dividend yield subtracted from the drift.
+    """
+
+    def __init__(
+        self,
+        spot: float = 100.0,
+        volatility: float = 0.18,
+        risk_premium: float = 0.04,
+        dividend_yield: float = 0.0,
+    ) -> None:
+        if spot <= 0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        if volatility < 0:
+            raise ValueError(f"volatility must be non-negative, got {volatility}")
+        self.spot = float(spot)
+        self.volatility = float(volatility)
+        self.risk_premium = float(risk_premium)
+        self.dividend_yield = float(dividend_yield)
+
+    def drift(self, short_rate: np.ndarray, measure: str) -> np.ndarray:
+        """Instantaneous drift given the prevailing ``short_rate``."""
+        if measure not in ("P", "Q"):
+            raise ValueError(f"measure must be 'P' or 'Q', got {measure!r}")
+        premium = self.risk_premium if measure == "P" else 0.0
+        return np.asarray(short_rate, dtype=float) + premium - self.dividend_yield
+
+    def step(
+        self,
+        level: np.ndarray,
+        short_rate: np.ndarray,
+        dt: float,
+        shocks: np.ndarray,
+        measure: str = "Q",
+    ) -> np.ndarray:
+        """Advance the index by ``dt`` years with standard-normal ``shocks``.
+
+        Uses the exact lognormal solution conditional on the (piecewise
+        constant over the step) short rate.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        mu = self.drift(short_rate, measure)
+        exponent = (mu - 0.5 * self.volatility**2) * dt + self.volatility * np.sqrt(
+            dt
+        ) * np.asarray(shocks)
+        return np.asarray(level, dtype=float) * np.exp(exponent)
+
+    def simulate(
+        self,
+        short_rate_paths: np.ndarray,
+        dt: float,
+        rng: np.random.Generator,
+        measure: str = "Q",
+        spot: float | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Simulate index paths alongside ``short_rate_paths``.
+
+        ``short_rate_paths`` has shape ``(n_paths, n_steps + 1)``; the
+        result has the same shape, with column 0 equal to the spot.
+        """
+        short_rate_paths = np.asarray(short_rate_paths, dtype=float)
+        n_paths, n_cols = short_rate_paths.shape
+        paths = np.empty_like(short_rate_paths)
+        paths[:, 0] = self.spot if spot is None else spot
+        for k in range(n_cols - 1):
+            shocks = rng.standard_normal(n_paths)
+            paths[:, k + 1] = self.step(
+                paths[:, k], short_rate_paths[:, k], dt, shocks, measure=measure
+            )
+        return paths
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EquityModel(spot={self.spot}, volatility={self.volatility}, "
+            f"risk_premium={self.risk_premium})"
+        )

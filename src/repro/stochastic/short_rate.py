@@ -1,0 +1,262 @@
+"""Short-rate models for the interest-rate risk driver.
+
+DISAR's stochastic framework simulates interest rates under both the
+real-world measure ``P`` (for the outer scenarios) and the risk-neutral
+measure ``Q`` (for the inner valuations).  We implement the two classic
+one-factor models used in Solvency II internal models:
+
+- :class:`VasicekModel` — Ornstein–Uhlenbeck dynamics with Gaussian exact
+  transitions and closed-form bond prices;
+- :class:`CIRModel` — square-root dynamics with non-negative rates, also
+  with closed-form bond prices.
+
+Changing measure is expressed through a market price of risk ``lambda``:
+under ``P`` the mean-reversion target is shifted, under ``Q`` the model
+uses its quoted parameters.  This matches the standard change-of-measure
+treatment in nested-simulation SCR computations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShortRateModel", "VasicekModel", "CIRModel"]
+
+
+class ShortRateModel(abc.ABC):
+    """Abstract one-factor short-rate model.
+
+    Subclasses implement the exact one-step transition (so coarse yearly
+    grids do not accumulate discretisation bias) and closed-form
+    zero-coupon bond prices.
+    """
+
+    def __init__(self, r0: float, market_price_of_risk: float = 0.0) -> None:
+        self.r0 = float(r0)
+        self.market_price_of_risk = float(market_price_of_risk)
+
+    @abc.abstractmethod
+    def step(
+        self,
+        rate: np.ndarray,
+        dt: float,
+        shocks: np.ndarray,
+        measure: str = "Q",
+        t: float = 0.0,
+    ) -> np.ndarray:
+        """Advance ``rate`` by ``dt`` years using standard-normal ``shocks``.
+
+        ``t`` is the absolute time at the *start* of the step; the
+        time-homogeneous models (Vasicek, CIR) ignore it, the
+        curve-fitted Hull–White model needs it for its deterministic
+        drift.
+        """
+
+    @abc.abstractmethod
+    def bond_price(
+        self,
+        rate: float | np.ndarray,
+        maturity: float,
+        t: float | np.ndarray = 0.0,
+    ) -> np.ndarray:
+        """Risk-neutral price at time ``t`` of a unit zero-coupon bond
+        maturing ``maturity`` years later.
+
+        Time-homogeneous models ignore ``t``; curve-fitted models price
+        differently along the initial curve.  ``t`` broadcasts against
+        ``rate``.
+        """
+
+    def simulate(
+        self,
+        n_paths: int,
+        horizon: float,
+        steps_per_year: int,
+        rng: np.random.Generator,
+        measure: str = "Q",
+        r0: float | None = None,
+    ) -> np.ndarray:
+        """Simulate ``n_paths`` short-rate paths on a regular grid.
+
+        Returns an array of shape ``(n_paths, n_steps + 1)`` including the
+        initial rate in column 0.
+        """
+        if n_paths <= 0:
+            raise ValueError(f"n_paths must be positive, got {n_paths}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        n_steps = int(round(horizon * steps_per_year))
+        dt = horizon / n_steps
+        paths = np.empty((n_paths, n_steps + 1))
+        paths[:, 0] = self.r0 if r0 is None else r0
+        for k in range(n_steps):
+            shocks = rng.standard_normal(n_paths)
+            paths[:, k + 1] = self.step(
+                paths[:, k], dt, shocks, measure=measure, t=k * dt
+            )
+        return paths
+
+    def _validate_measure(self, measure: str) -> None:
+        if measure not in ("P", "Q"):
+            raise ValueError(f"measure must be 'P' or 'Q', got {measure!r}")
+
+
+@dataclass
+class _VasicekParams:
+    kappa: float
+    theta: float
+    sigma: float
+
+
+class VasicekModel(ShortRateModel):
+    """Vasicek/Ornstein–Uhlenbeck short rate: ``dr = kappa(theta - r)dt + sigma dW``.
+
+    The exact Gaussian transition is used, so a yearly grid is unbiased.
+    Under ``P`` the long-run mean is shifted by
+    ``lambda * sigma / kappa`` (constant market price of risk), producing
+    real-world paths with a term premium relative to the risk-neutral ones.
+    """
+
+    def __init__(
+        self,
+        r0: float = 0.02,
+        kappa: float = 0.25,
+        theta: float = 0.03,
+        sigma: float = 0.01,
+        market_price_of_risk: float = 0.1,
+    ) -> None:
+        super().__init__(r0, market_price_of_risk)
+        if kappa <= 0 or sigma <= 0:
+            raise ValueError("kappa and sigma must be positive")
+        self.params = _VasicekParams(float(kappa), float(theta), float(sigma))
+
+    def _theta(self, measure: str) -> float:
+        p = self.params
+        if measure == "P":
+            return p.theta + self.market_price_of_risk * p.sigma / p.kappa
+        return p.theta
+
+    def step(
+        self,
+        rate: np.ndarray,
+        dt: float,
+        shocks: np.ndarray,
+        measure: str = "Q",
+        t: float = 0.0,
+    ) -> np.ndarray:
+        self._validate_measure(measure)
+        p = self.params
+        theta = self._theta(measure)
+        decay = np.exp(-p.kappa * dt)
+        mean = rate * decay + theta * (1.0 - decay)
+        std = p.sigma * np.sqrt((1.0 - decay**2) / (2.0 * p.kappa))
+        return mean + std * np.asarray(shocks)
+
+    def bond_price(
+        self,
+        rate: float | np.ndarray,
+        maturity: float,
+        t: float | np.ndarray = 0.0,
+    ) -> np.ndarray:
+        if maturity < 0:
+            raise ValueError(f"maturity must be non-negative, got {maturity}")
+        p = self.params
+        rate = np.asarray(rate, dtype=float)
+        if maturity == 0:
+            return np.ones_like(rate)
+        b = (1.0 - np.exp(-p.kappa * maturity)) / p.kappa
+        a = (p.theta - p.sigma**2 / (2.0 * p.kappa**2)) * (b - maturity) - (
+            p.sigma**2 * b**2
+        ) / (4.0 * p.kappa)
+        return np.exp(a - b * rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.params
+        return (
+            f"VasicekModel(r0={self.r0}, kappa={p.kappa}, theta={p.theta}, "
+            f"sigma={p.sigma}, lambda={self.market_price_of_risk})"
+        )
+
+
+class CIRModel(ShortRateModel):
+    """Cox–Ingersoll–Ross short rate: ``dr = kappa(theta - r)dt + sigma sqrt(r) dW``.
+
+    Simulation uses the exact non-central chi-square transition when the
+    Feller condition holds, which keeps rates strictly positive; the
+    square-root Euler fallback (full truncation) is used otherwise.
+    """
+
+    def __init__(
+        self,
+        r0: float = 0.02,
+        kappa: float = 0.3,
+        theta: float = 0.03,
+        sigma: float = 0.06,
+        market_price_of_risk: float = 0.05,
+    ) -> None:
+        super().__init__(r0, market_price_of_risk)
+        if r0 < 0:
+            raise ValueError(f"CIR initial rate must be non-negative, got {r0}")
+        if kappa <= 0 or sigma <= 0:
+            raise ValueError("kappa and sigma must be positive")
+        self.params = _VasicekParams(float(kappa), float(theta), float(sigma))
+
+    @property
+    def feller_satisfied(self) -> bool:
+        """Whether ``2 kappa theta >= sigma^2`` (rates cannot hit zero)."""
+        p = self.params
+        return 2.0 * p.kappa * p.theta >= p.sigma**2
+
+    def _theta(self, measure: str) -> float:
+        p = self.params
+        if measure == "P":
+            return p.theta * (1.0 + self.market_price_of_risk)
+        return p.theta
+
+    def step(
+        self,
+        rate: np.ndarray,
+        dt: float,
+        shocks: np.ndarray,
+        measure: str = "Q",
+        t: float = 0.0,
+    ) -> np.ndarray:
+        self._validate_measure(measure)
+        p = self.params
+        theta = self._theta(measure)
+        rate = np.asarray(rate, dtype=float)
+        positive = np.clip(rate, 0.0, None)
+        drift = p.kappa * (theta - positive) * dt
+        diffusion = p.sigma * np.sqrt(positive * dt) * np.asarray(shocks)
+        return np.clip(rate + drift + diffusion, 0.0, None)
+
+    def bond_price(
+        self,
+        rate: float | np.ndarray,
+        maturity: float,
+        t: float | np.ndarray = 0.0,
+    ) -> np.ndarray:
+        if maturity < 0:
+            raise ValueError(f"maturity must be non-negative, got {maturity}")
+        p = self.params
+        rate = np.asarray(rate, dtype=float)
+        if maturity == 0:
+            return np.ones_like(rate)
+        gamma = np.sqrt(p.kappa**2 + 2.0 * p.sigma**2)
+        exp_g = np.exp(gamma * maturity)
+        denom = (gamma + p.kappa) * (exp_g - 1.0) + 2.0 * gamma
+        b = 2.0 * (exp_g - 1.0) / denom
+        a = (
+            2.0 * gamma * np.exp((p.kappa + gamma) * maturity / 2.0) / denom
+        ) ** (2.0 * p.kappa * p.theta / p.sigma**2)
+        return a * np.exp(-b * rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.params
+        return (
+            f"CIRModel(r0={self.r0}, kappa={p.kappa}, theta={p.theta}, "
+            f"sigma={p.sigma}, lambda={self.market_price_of_risk})"
+        )

@@ -1,0 +1,103 @@
+"""Initial term structures of interest rates.
+
+A yield curve supplies the time-0 discount factors used to bootstrap the
+risk-neutral dynamics of the short-rate models and to discount liability
+cash flows.  Two concrete curves are provided: a flat curve (useful in
+tests and for the technical-rate benchmark) and a Nelson–Siegel curve,
+which is flexible enough to mimic the EIOPA risk-free curves that a
+Solvency II internal model would take as input.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["YieldCurve", "FlatYieldCurve", "NelsonSiegelCurve"]
+
+
+class YieldCurve(abc.ABC):
+    """Abstract continuously-compounded zero-coupon yield curve."""
+
+    @abc.abstractmethod
+    def zero_rate(self, maturity: float | np.ndarray) -> float | np.ndarray:
+        """Continuously-compounded zero rate for ``maturity`` (in years)."""
+
+    def discount_factor(self, maturity: float | np.ndarray) -> float | np.ndarray:
+        """Price at time 0 of a unit zero-coupon bond maturing at ``maturity``."""
+        maturity = np.asarray(maturity, dtype=float)
+        rate = self.zero_rate(maturity)
+        return np.exp(-np.asarray(rate) * maturity)
+
+    def forward_rate(self, start: float, end: float) -> float:
+        """Continuously-compounded forward rate between ``start`` and ``end``."""
+        if end <= start:
+            raise ValueError(f"need end > start, got start={start}, end={end}")
+        df_start = float(self.discount_factor(start))
+        df_end = float(self.discount_factor(end))
+        return float(np.log(df_start / df_end) / (end - start))
+
+    def annual_compounded_rate(self, maturity: float) -> float:
+        """Annually-compounded zero rate, convenient for actuarial formulas."""
+        return float(np.expm1(self.zero_rate(maturity)))
+
+
+class FlatYieldCurve(YieldCurve):
+    """A curve with the same zero rate at every maturity."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < -0.05:
+            raise ValueError(f"flat rate {rate} is implausibly negative")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def zero_rate(self, maturity: float | np.ndarray) -> float | np.ndarray:
+        maturity = np.asarray(maturity, dtype=float)
+        result = np.full_like(maturity, self._rate)
+        return float(result) if result.ndim == 0 else result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlatYieldCurve(rate={self._rate})"
+
+
+class NelsonSiegelCurve(YieldCurve):
+    """Nelson–Siegel parametric yield curve.
+
+    ``zero_rate(m) = beta0 + (beta1 + beta2) * (1 - exp(-m/tau)) / (m/tau)
+    - beta2 * exp(-m/tau)``.
+
+    ``beta0`` is the long-run level, ``beta0 + beta1`` the short-end level
+    and ``beta2`` controls the hump; ``tau`` sets the hump location.
+    """
+
+    def __init__(
+        self,
+        beta0: float = 0.035,
+        beta1: float = -0.02,
+        beta2: float = 0.01,
+        tau: float = 2.5,
+    ) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.beta0 = float(beta0)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.tau = float(tau)
+
+    def zero_rate(self, maturity: float | np.ndarray) -> float | np.ndarray:
+        maturity = np.asarray(maturity, dtype=float)
+        scaled = np.clip(maturity, 1e-12, None) / self.tau
+        decay = np.exp(-scaled)
+        slope = (1.0 - decay) / scaled
+        result = self.beta0 + (self.beta1 + self.beta2) * slope - self.beta2 * decay
+        return float(result) if result.ndim == 0 else result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NelsonSiegelCurve(beta0={self.beta0}, beta1={self.beta1}, "
+            f"beta2={self.beta2}, tau={self.tau})"
+        )

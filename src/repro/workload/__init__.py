@@ -1,0 +1,22 @@
+"""Synthetic Solvency II workload generation.
+
+The paper evaluates on "three portfolios mimicking typical Italian
+insurance company ones, choosing 15 different EEBs".  Those portfolios
+are proprietary, so this package synthesises statistically similar ones:
+profit-sharing policy pools with realistic parameter ranges (technical
+rates of legacy Italian business, participation coefficients around
+80%, horizons up to several decades, funds holding tens to hundreds of
+positions across multiple risk factors).
+"""
+
+from repro.workload.portfolio_gen import PortfolioGenerator
+from repro.workload.campaign import Campaign, CampaignGenerator
+from repro.workload.trace import SeasonalTraceGenerator, TracedCampaign
+
+__all__ = [
+    "PortfolioGenerator",
+    "Campaign",
+    "CampaignGenerator",
+    "SeasonalTraceGenerator",
+    "TracedCampaign",
+]

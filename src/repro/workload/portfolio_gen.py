@@ -1,0 +1,141 @@
+"""Synthetic Italian-style profit-sharing portfolio generation.
+
+Parameter ranges are chosen to mimic the in-force life business of a
+mid-size Italian insurer around 2015:
+
+- technical rates between 0% and 4% (legacy business carries the high
+  guarantees; new business is near zero);
+- participation coefficients ``beta`` around 80%;
+- insured ages 30-75, terms 5-30 years (whole-life annuities longer);
+- representative-contract pools from a handful to several hundred
+  entries;
+- segregated funds dominated by government bonds with equity/corporate
+  satellites and tens to hundreds of positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disar.portfolio import Portfolio
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.segregated_fund import (
+    AssetMix,
+    BookValueAccounting,
+    SegregatedFund,
+)
+from repro.stochastic.rng import generator_from
+from repro.stochastic.scenario import RiskDriverSpec
+
+__all__ = ["PortfolioGenerator"]
+
+_KIND_WEIGHTS = {
+    ContractKind.PURE_ENDOWMENT: 0.35,
+    ContractKind.ENDOWMENT: 0.40,
+    ContractKind.TERM: 0.15,
+    ContractKind.WHOLE_LIFE_ANNUITY: 0.10,
+}
+
+
+class PortfolioGenerator:
+    """Draws synthetic portfolios with configurable size ranges."""
+
+    def __init__(
+        self,
+        n_contracts_range: tuple[int, int] = (20, 300),
+        horizon_range: tuple[int, int] = (5, 30),
+        fund_positions_range: tuple[int, int] = (40, 400),
+        n_equities_range: tuple[int, int] = (1, 3),
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        for name, (low, high) in {
+            "n_contracts_range": n_contracts_range,
+            "horizon_range": horizon_range,
+            "fund_positions_range": fund_positions_range,
+            "n_equities_range": n_equities_range,
+        }.items():
+            if low < 1 or high < low:
+                raise ValueError(f"invalid {name}: ({low}, {high})")
+        self.n_contracts_range = n_contracts_range
+        self.horizon_range = horizon_range
+        self.fund_positions_range = fund_positions_range
+        self.n_equities_range = n_equities_range
+        self._rng = generator_from(seed)
+
+    def _draw_contract(self, rng: np.random.Generator, max_term: int) -> PolicyContract:
+        kinds = list(_KIND_WEIGHTS)
+        weights = np.array([_KIND_WEIGHTS[k] for k in kinds])
+        kind = kinds[rng.choice(len(kinds), p=weights / weights.sum())]
+        age = int(rng.integers(30, 76))
+        low_term = 5 if kind is not ContractKind.WHOLE_LIFE_ANNUITY else 10
+        term = int(rng.integers(low_term, max_term + 1))
+        # Legacy business carries higher guarantees.
+        legacy = rng.random() < 0.4
+        technical_rate = float(
+            rng.uniform(0.02, 0.04) if legacy else rng.uniform(0.0, 0.015)
+        )
+        return PolicyContract(
+            kind=kind,
+            age=age,
+            gender="M" if rng.random() < 0.55 else "F",
+            term=term,
+            insured_sum=float(np.round(rng.lognormal(np.log(50_000), 0.6), -2)),
+            participation=float(rng.uniform(0.7, 0.95)),
+            technical_rate=technical_rate,
+            multiplicity=int(rng.integers(1, 200)),
+            surrender_charge=float(rng.uniform(0.0, 0.04)),
+        )
+
+    def _draw_fund(self, rng: np.random.Generator, n_equities: int) -> SegregatedFund:
+        equity_total = float(rng.uniform(0.08, 0.25))
+        raw = rng.dirichlet(np.ones(n_equities))
+        equity_weights = tuple(np.round(equity_total * raw, 6))
+        corporate = float(rng.uniform(0.10, 0.30))
+        government = 1.0 - corporate - float(np.sum(equity_weights))
+        mix = AssetMix(
+            government_bonds=round(government, 6),
+            corporate_bonds=round(corporate, 6),
+            equity_weights=equity_weights,
+            foreign_fraction=float(rng.uniform(0.0, 0.12)),
+            bond_maturity=float(rng.uniform(4.0, 10.0)),
+            n_positions=int(rng.integers(*self.fund_positions_range)),
+        )
+        accounting = BookValueAccounting(
+            smoothing=float(rng.uniform(0.3, 0.7)),
+            target_return=float(rng.uniform(0.015, 0.03)),
+            initial_buffer=float(rng.uniform(0.0, 0.05)),
+        )
+        return SegregatedFund(mix=mix, accounting=accounting)
+
+    def generate(self, name: str, company: str = "synthetic") -> Portfolio:
+        """Draw one portfolio."""
+        rng = self._rng
+        n_equities = int(rng.integers(self.n_equities_range[0],
+                                      self.n_equities_range[1] + 1))
+        with_currency = rng.random() < 0.7
+        with_credit = rng.random() < 0.8
+        spec = RiskDriverSpec.standard(
+            n_equities=n_equities,
+            with_currency=with_currency,
+            with_credit=with_credit,
+            rho=float(rng.uniform(0.1, 0.4)),
+            seed_params=int(rng.integers(0, 4)),
+        )
+        fund = self._draw_fund(rng, n_equities)
+        max_term = int(rng.integers(*self.horizon_range))
+        max_term = max(max_term, 12)
+        n_contracts = int(rng.integers(*self.n_contracts_range))
+        contracts = [self._draw_contract(rng, max_term) for _ in range(n_contracts)]
+        return Portfolio(
+            name=name,
+            fund=fund,
+            contracts=contracts,
+            spec=spec,
+            company=company,
+        )
+
+    def generate_many(self, count: int, prefix: str = "ptf") -> list[Portfolio]:
+        """Draw ``count`` independent portfolios."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return [self.generate(f"{prefix}-{i}") for i in range(count)]

@@ -1,0 +1,138 @@
+"""Seasonal workload traces.
+
+Solvency II imposes a reporting rhythm: quarterly QRT submissions, the
+annual ORSA/SFCR peak, monthly internal monitoring and ad-hoc
+management requests.  A :class:`SeasonalTraceGenerator` produces a
+year of campaigns on that calendar, each tagged with its regulatory
+deadline tightness — the realistic input stream for long-horizon
+studies of the self-optimizing loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disar.eeb import ElementaryElaborationBlock, SimulationSettings
+from repro.stochastic.rng import generator_from
+from repro.workload.campaign import CampaignGenerator
+
+__all__ = ["TracedCampaign", "SeasonalTraceGenerator"]
+
+#: Day-of-year of the quarter closes.
+_QUARTER_DAYS = (90, 181, 273, 365)
+
+
+@dataclass
+class TracedCampaign:
+    """One scheduled campaign of the reporting year."""
+
+    day: float
+    kind: str  # "annual" | "quarterly" | "monthly" | "adhoc"
+    blocks: list[ElementaryElaborationBlock]
+    tmax_seconds: float
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class SeasonalTraceGenerator:
+    """Generates a year's worth of Solvency II campaigns.
+
+    Parameters
+    ----------
+    settings:
+        Monte Carlo sizes of every campaign (paper defaults).
+    quarterly_blocks / monthly_blocks:
+        Campaign sizes (EEB counts) of the regulatory peaks and the
+        monitoring runs; the annual campaign doubles the quarterly one.
+    adhoc_per_year:
+        Expected number of ad-hoc management requests (Poisson).
+    quarterly_tmax / monthly_tmax:
+        Deadlines: regulatory submissions are tight, monitoring loose.
+    """
+
+    def __init__(
+        self,
+        settings: SimulationSettings | None = None,
+        quarterly_blocks: int = 4,
+        monthly_blocks: int = 1,
+        adhoc_per_year: float = 6.0,
+        quarterly_tmax: float = 900.0,
+        monthly_tmax: float = 3600.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if quarterly_blocks < 1 or monthly_blocks < 1:
+            raise ValueError("campaign sizes must be >= 1")
+        if adhoc_per_year < 0:
+            raise ValueError(
+                f"adhoc_per_year must be non-negative, got {adhoc_per_year}"
+            )
+        self.settings = settings if settings is not None else SimulationSettings(
+            n_outer=1000, n_inner=50
+        )
+        self.quarterly_blocks = int(quarterly_blocks)
+        self.monthly_blocks = int(monthly_blocks)
+        self.adhoc_per_year = float(adhoc_per_year)
+        self.quarterly_tmax = float(quarterly_tmax)
+        self.monthly_tmax = float(monthly_tmax)
+        self._rng = generator_from(seed)
+        self._campaigns = CampaignGenerator(
+            seed=generator_from(int(self._rng.integers(0, 2**63)))
+        )
+
+    def _blocks(self, count: int) -> list[ElementaryElaborationBlock]:
+        return self._campaigns.random_blocks(count, settings=self.settings)
+
+    def generate_year(self) -> list[TracedCampaign]:
+        """One reporting year of campaigns, sorted by day."""
+        trace: list[TracedCampaign] = []
+        for quarter, day in enumerate(_QUARTER_DAYS, start=1):
+            if quarter == 4:
+                # Year-end: the annual campaign replaces Q4 and doubles
+                # the workload (full ORSA + SFCR production).
+                trace.append(
+                    TracedCampaign(
+                        day=float(day),
+                        kind="annual",
+                        blocks=self._blocks(2 * self.quarterly_blocks),
+                        tmax_seconds=self.quarterly_tmax,
+                    )
+                )
+            else:
+                trace.append(
+                    TracedCampaign(
+                        day=float(day),
+                        kind="quarterly",
+                        blocks=self._blocks(self.quarterly_blocks),
+                        tmax_seconds=self.quarterly_tmax,
+                    )
+                )
+        for month in range(1, 13):
+            day = 30.4 * month  # month-end monitoring run
+            # Skip monitoring that collides with a quarter close (the
+            # quarterly campaign covers it).
+            if any(abs(day - q) < 10 for q in _QUARTER_DAYS):
+                continue
+            trace.append(
+                TracedCampaign(
+                    day=day,
+                    kind="monthly",
+                    blocks=self._blocks(self.monthly_blocks),
+                    tmax_seconds=self.monthly_tmax,
+                )
+            )
+        n_adhoc = int(self._rng.poisson(self.adhoc_per_year))
+        for _ in range(n_adhoc):
+            trace.append(
+                TracedCampaign(
+                    day=float(self._rng.uniform(1.0, 365.0)),
+                    kind="adhoc",
+                    blocks=self._blocks(max(1, self.monthly_blocks)),
+                    tmax_seconds=self.monthly_tmax,
+                )
+            )
+        trace.sort(key=lambda c: c.day)
+        return trace

@@ -1,0 +1,137 @@
+"""Tests for the table/figure experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib.fig2 import run_fig2
+from repro.benchlib.fig3 import run_fig3
+from repro.benchlib.fig4 import FIG4_ORDER, run_fig4
+from repro.benchlib.kb_builder import build_dataset
+from repro.benchlib.table1 import run_table1
+from repro.benchlib.table2 import PAPER_TABLE2, run_table2
+from repro.benchlib.tradeoff import run_tradeoff
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A reduced dataset so the driver tests stay fast."""
+    return build_dataset(n_runs=250, seed=3)
+
+
+class TestTable1Driver:
+    def test_structure(self, small_dataset):
+        result = run_table1(small_dataset, seed=0)
+        assert set(result.models()) == {"MLP", "RT", "RF", "IBk", "KStar", "DT"}
+        assert len(result.instance_types()) == 6
+        assert result.n_train + result.n_test == 250
+
+    def test_to_text(self, small_dataset):
+        text = run_table1(small_dataset, seed=0).to_text()
+        assert "delta-bar" in text
+        assert "MLP" in text
+
+    def test_worst_abs_error(self, small_dataset):
+        result = run_table1(small_dataset, seed=0)
+        flat = [abs(v) for row in result.delta_bar.values()
+                for v in row.values()]
+        assert result.worst_abs_error() == pytest.approx(max(flat))
+
+
+class TestTable2Driver:
+    def test_structure(self):
+        result = run_table2(repetitions=2, seed=0)
+        assert set(result.average_cost) == set(PAPER_TABLE2)
+        assert all(count == 30 for count in result.run_counts.values())
+        assert result.projected_campaign_cost > 0
+
+    def test_cheapest_and_most_expensive(self):
+        result = run_table2(repetitions=2, seed=1)
+        costs = result.average_cost
+        assert costs[result.cheapest()] == min(costs.values())
+        assert costs[result.most_expensive()] == max(costs.values())
+
+    def test_to_text(self):
+        text = run_table2(repetitions=1, seed=2).to_text()
+        assert "paper" in text
+        assert "$128" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            run_table2(repetitions=0)
+
+
+class TestFig2Driver:
+    def test_structure(self, small_dataset):
+        result = run_fig2(small_dataset, seed=0)
+        assert len(result.real) == 150  # 60% of 250
+        for model, predictions in result.predicted.items():
+            assert predictions.shape == result.real.shape
+            assert np.isfinite(result.correlation(model))
+
+    def test_pooled(self, small_dataset):
+        result = run_fig2(small_dataset, seed=0)
+        reals, preds = result.pooled()
+        assert reals.shape == preds.shape
+        assert len(reals) == 6 * len(result.real)
+
+    def test_to_text_renders_scatter(self, small_dataset):
+        text = run_fig2(small_dataset, seed=0).to_text()
+        assert "real time" in text
+        assert "corr=" in text
+
+
+class TestFig3Driver:
+    def test_structure(self, small_dataset):
+        result = run_fig3(small_dataset, seed=0)
+        assert len(result.errors) == 6 * 150
+        assert 0.0 <= result.fraction_within(200.0) <= 1.0
+
+    def test_histogram_sums_to_100(self, small_dataset):
+        result = run_fig3(small_dataset, seed=0)
+        percentages, edges = result.histogram()
+        assert percentages.sum() == pytest.approx(100.0)
+        assert len(edges) == len(percentages) + 1
+
+    def test_fraction_within_validation(self, small_dataset):
+        result = run_fig3(small_dataset, seed=0)
+        with pytest.raises(ValueError, match="seconds"):
+            result.fraction_within(0.0)
+
+
+class TestFig4Driver:
+    def test_structure(self):
+        result = run_fig4()
+        assert set(result.speedups) == set(FIG4_ORDER)
+        assert result.sequential_seconds > 0
+        for name, speedup in result.speedups.items():
+            assert speedup == pytest.approx(
+                result.sequential_seconds / result.cloud_seconds[name]
+            )
+
+    def test_to_text(self):
+        text = run_fig4().to_text()
+        assert "speedup" in text
+        assert "sequential baseline" in text
+
+    def test_more_nodes_more_speedup(self):
+        single = run_fig4(n_nodes=1)
+        quad = run_fig4(n_nodes=4)
+        for name in FIG4_ORDER:
+            assert quad.speedups[name] > single.speedups[name]
+
+
+class TestTradeoffDriver:
+    def test_structure(self, small_dataset):
+        result = run_tradeoff(small_dataset, n_cases=5, seed=0)
+        assert len(result.cases) == 5
+        assert np.isfinite(result.max_cost_decrease())
+        assert np.isfinite(result.max_time_reduction())
+
+    def test_to_text(self, small_dataset):
+        text = run_tradeoff(small_dataset, n_cases=3, seed=1).to_text()
+        assert "cost decrease" in text
+        assert "time reduction" in text
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError, match="n_cases"):
+            run_tradeoff(small_dataset, n_cases=0)

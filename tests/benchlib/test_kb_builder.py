@@ -1,0 +1,86 @@
+"""Tests for the experiment dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib.kb_builder import (
+    build_dataset,
+    sample_parameters,
+    split_indices,
+)
+from repro.stochastic.rng import generator_from
+
+
+class TestSampleParameters:
+    def test_ranges(self):
+        rng = generator_from(0)
+        for _ in range(50):
+            params = sample_parameters(rng)
+            assert 5 <= params.n_contracts <= 500
+            assert 5 <= params.max_horizon <= 50
+            assert 40 <= params.n_fund_assets <= 600
+            assert 2 <= params.n_risk_factors <= 8
+
+    def test_diversity(self):
+        rng = generator_from(1)
+        contracts = {sample_parameters(rng).n_contracts for _ in range(40)}
+        assert len(contracts) > 30
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(n_runs=200, seed=0)
+
+    def test_shapes(self, dataset):
+        assert dataset.n_runs == 200
+        assert dataset.features.shape == (200, 7)
+        assert dataset.targets.shape == (200,)
+        assert len(dataset.records) == 200
+        assert len(dataset.knowledge_base) == 200
+
+    def test_all_types_covered(self, dataset):
+        assert len(dataset.instance_types()) == 6
+
+    def test_costs_recorded(self, dataset):
+        assert dataset.total_cost() > 0
+        assert all(r.cost_usd > 0 for r in dataset.records)
+
+    def test_cost_consistent_with_time(self, dataset):
+        from repro.cloud.instance_types import get_instance_type
+
+        record = dataset.records[0]
+        it = get_instance_type(record.instance_type)
+        expected = (
+            it.hourly_price_usd * record.execution_seconds / 3600.0
+            * record.n_nodes
+        )
+        assert record.cost_usd == pytest.approx(expected)
+
+    def test_node_distribution_skewed_small(self, dataset):
+        nodes = np.array([r.n_nodes for r in dataset.records])
+        assert (nodes == 1).mean() > 0.3
+        assert nodes.max() <= 8
+
+    def test_deterministic(self):
+        a = build_dataset(n_runs=30, seed=5)
+        b = build_dataset(n_runs=30, seed=5)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_runs"):
+            build_dataset(n_runs=0)
+        with pytest.raises(ValueError, match="max_nodes"):
+            build_dataset(n_runs=5, max_nodes=0)
+
+
+class TestSplitIndices:
+    def test_paper_split(self):
+        train, test = split_indices(1500, 0.4, generator_from(0))
+        assert len(train) == 600
+        assert len(test) == 900
+        assert len(np.intersect1d(train, test)) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="train_fraction"):
+            split_indices(10, 1.0, generator_from(0))

@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib.render import ascii_bars, ascii_histogram, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_contains_points_and_diagonal(self):
+        x = np.linspace(0, 100, 20)
+        y = x + np.random.default_rng(0).normal(0, 5, 20)
+        text = ascii_scatter(x, y, width=40, height=10)
+        assert "*" in text
+        assert "." in text
+        assert "range" in text
+
+    def test_diagonal_optional(self):
+        x = np.array([1.0, 2.0])
+        text = ascii_scatter(x, x, diagonal=False)
+        assert "." not in text.splitlines()[3]
+
+    def test_labels_in_header(self):
+        text = ascii_scatter(np.array([1.0]), np.array([1.0]),
+                             x_label="real", y_label="predicted")
+        assert "real" in text and "predicted" in text
+
+    def test_constant_data_handled(self):
+        text = ascii_scatter(np.full(5, 3.0), np.full(5, 3.0))
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            ascii_scatter(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError, match="equal-length"):
+            ascii_scatter(np.array([]), np.array([]))
+
+
+class TestAsciiHistogram:
+    def test_percentages_and_bars(self):
+        values = np.concatenate([np.zeros(80), np.full(20, 150.0)])
+        bins = np.array([-100.0, 100.0, 200.0])
+        text = ascii_histogram(values, bins)
+        assert "80.0%" in text
+        assert "20.0%" in text
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ascii_histogram(np.array([]), np.array([0.0, 1.0]))
+
+    def test_label_shown(self):
+        text = ascii_histogram(np.zeros(5), np.array([-1.0, 1.0]),
+                               label="err")
+        assert "err" in text
+
+
+class TestAsciiBars:
+    def test_bar_lengths_proportional(self):
+        text = ascii_bars(["a", "b"], np.array([1.0, 2.0]), width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        text = ascii_bars(["x"], np.array([1.0]), title="My Title")
+        assert text.startswith("My Title")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="match"):
+            ascii_bars(["a"], np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="match"):
+            ascii_bars([], np.array([]))

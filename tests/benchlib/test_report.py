@@ -1,0 +1,25 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.benchlib.kb_builder import build_dataset
+from repro.benchlib.report import generate_report
+
+
+class TestGenerateReport:
+    def test_contains_every_artifact(self):
+        dataset = build_dataset(n_runs=200, seed=11)
+        text = generate_report(dataset=dataset, seed=11)
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "Figure 2" in text
+        assert "Figure 3" in text
+        assert "speedup" in text  # Figure 4
+        assert "cost decrease" in text  # closing comparison
+
+    def test_cli_all_target(self, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "all", "--runs", "150", "--seed", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "Table I" in out

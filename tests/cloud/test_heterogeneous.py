@@ -1,0 +1,128 @@
+"""Tests for mixed-instance-type deployments (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.heterogeneous import (
+    HeterogeneousPerformanceModel,
+    MixedClusterSpec,
+)
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingModel
+
+WORK = 5e6
+
+
+def spec_of(*groups):
+    return MixedClusterSpec(
+        groups=tuple((get_instance_type(name), count) for name, count in groups)
+    )
+
+
+class TestMixedClusterSpec:
+    def test_homogeneous_factory(self):
+        spec = MixedClusterSpec.homogeneous(get_instance_type("c3.4"), 3)
+        assert spec.is_homogeneous
+        assert spec.n_nodes == 3
+        assert spec.total_vcpus() == 48
+
+    def test_mixed_aggregates(self):
+        spec = spec_of(("c4.8", 1), ("c3.4", 2))
+        assert not spec.is_homogeneous
+        assert spec.n_nodes == 3
+        assert spec.total_vcpus() == 36 + 32
+        assert spec.hourly_price() == pytest.approx(1.675 + 2 * 0.840)
+
+    def test_mean_core_speed_weighted(self):
+        spec = spec_of(("c4.4", 1), ("m4.4", 1))  # both 16 vCPUs
+        assert spec.mean_core_speed() == pytest.approx((1.22 + 1.0) / 2.0)
+
+    def test_describe(self):
+        assert "2 x c3.4xlarge" in spec_of(("c3.4", 2), ("c4.8", 1)).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedClusterSpec(groups=())
+        with pytest.raises(ValueError, match="count"):
+            spec_of(("c3.4", 0))
+        with pytest.raises(ValueError, match="duplicate"):
+            spec_of(("c3.4", 1), ("c3.4", 2))
+
+
+class TestHeterogeneousPerformanceModel:
+    @pytest.fixture
+    def model(self):
+        return HeterogeneousPerformanceModel(
+            base=PerformanceModel(noise_sigma=0.0)
+        )
+
+    def test_homogeneous_matches_base_model(self, model):
+        # A single-group spec must time exactly like the homogeneous
+        # model (the extension is strictly a generalisation).
+        it = get_instance_type("c3.8")
+        for n in (1, 2, 5):
+            spec = MixedClusterSpec.homogeneous(it, n)
+            assert model.expected_seconds(WORK, spec) == pytest.approx(
+                model.base.expected_seconds(WORK, it, n)
+            )
+
+    def test_adding_nodes_helps(self, model):
+        small = spec_of(("c3.4", 2))
+        bigger = spec_of(("c3.4", 2), ("c4.4", 2))
+        assert model.expected_seconds(WORK, bigger) < model.expected_seconds(
+            WORK, small
+        )
+
+    def test_mixed_between_pure_configurations(self, model):
+        # A c3.4+c4.4 mix at equal node counts must fall between the
+        # two pure 2-node configurations.
+        pure_slow = spec_of(("c3.4", 2))
+        pure_fast = spec_of(("c4.4", 2))
+        mixed = spec_of(("c3.4", 1), ("c4.4", 1))
+        t_slow = model.expected_seconds(WORK, pure_slow)
+        t_fast = model.expected_seconds(WORK, pure_fast)
+        t_mixed = model.expected_seconds(WORK, mixed)
+        assert t_fast < t_mixed < t_slow
+
+    def test_imbalance_penalty_slows_heterogeneous(self):
+        base = PerformanceModel(noise_sigma=0.0)
+        no_penalty = HeterogeneousPerformanceModel(base, imbalance_penalty=0.0)
+        with_penalty = HeterogeneousPerformanceModel(base, imbalance_penalty=0.2)
+        mixed = spec_of(("c3.4", 1), ("c4.8", 1))
+        assert with_penalty.expected_seconds(WORK, mixed) > (
+            no_penalty.expected_seconds(WORK, mixed)
+        )
+        # ... but not homogeneous ones.
+        pure = spec_of(("c3.4", 2))
+        assert with_penalty.expected_seconds(WORK, pure) == pytest.approx(
+            no_penalty.expected_seconds(WORK, pure)
+        )
+
+    def test_noise_and_determinism(self):
+        model = HeterogeneousPerformanceModel(
+            base=PerformanceModel(noise_sigma=0.05)
+        )
+        spec = spec_of(("c3.4", 1), ("m4.4", 1))
+        rng = np.random.default_rng(0)
+        samples = np.array(
+            [model.measured_seconds(WORK, spec, rng) for _ in range(2000)]
+        )
+        assert samples.mean() == pytest.approx(
+            model.expected_seconds(WORK, spec), rel=0.01
+        )
+
+    def test_cost_is_sum_of_group_bills(self, model):
+        spec = spec_of(("c3.4", 2), ("m4.10", 1))
+        seconds = 1800.0
+        billing = BillingModel()
+        expected = billing.expected_cost(
+            get_instance_type("c3.4"), seconds, 2
+        ) + billing.expected_cost(get_instance_type("m4.10"), seconds, 1)
+        assert model.cost(spec, seconds) == pytest.approx(expected)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="imbalance_penalty"):
+            HeterogeneousPerformanceModel(imbalance_penalty=-0.1)
+        with pytest.raises(ValueError, match="work_units"):
+            model.expected_seconds(-1.0, spec_of(("c3.4", 1)))

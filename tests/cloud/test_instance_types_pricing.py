@@ -1,0 +1,93 @@
+"""Tests for the instance catalog and billing model."""
+
+import pytest
+
+from repro.cloud.instance_types import (
+    INSTANCE_CATALOG,
+    InstanceType,
+    get_instance_type,
+)
+from repro.cloud.pricing import BillingModel
+
+
+class TestInstanceCatalog:
+    def test_paper_types_present(self):
+        assert set(INSTANCE_CATALOG) == {
+            "m4.4xlarge", "m4.10xlarge", "c3.4xlarge",
+            "c3.8xlarge", "c4.4xlarge", "c4.8xlarge",
+        }
+
+    def test_paper_specs(self):
+        m4_10 = INSTANCE_CATALOG["m4.10xlarge"]
+        assert m4_10.vcpus == 40
+        assert m4_10.memory_gib == 160.0
+        c4_8 = INSTANCE_CATALOG["c4.8xlarge"]
+        assert c4_8.vcpus == 36
+        assert c4_8.memory_gib == 60.0
+
+    def test_lookup_by_short_name(self):
+        assert get_instance_type("c3.4").api_name == "c3.4xlarge"
+        assert get_instance_type("m4.10xlarge").short_name == "m4.10"
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError, match="unknown instance type"):
+            get_instance_type("t2.micro")
+
+    def test_compute_families_faster_per_core(self):
+        assert (
+            INSTANCE_CATALOG["c4.4xlarge"].relative_core_speed
+            > INSTANCE_CATALOG["c3.4xlarge"].relative_core_speed
+            > INSTANCE_CATALOG["m4.4xlarge"].relative_core_speed
+        )
+
+    def test_price_per_second(self):
+        it = INSTANCE_CATALOG["c3.4xlarge"]
+        assert it.price_per_second() == pytest.approx(0.840 / 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", 0, 1.0, 1.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            InstanceType("x", 1, 1.0, -1.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            InstanceType("x", 1, 1.0, 1.0, 0.0, "x")
+
+
+class TestBillingModel:
+    def test_per_second_pro_rata(self):
+        it = INSTANCE_CATALOG["m4.4xlarge"]
+        record = BillingModel("second").cost(it, 1800.0)
+        assert record.cost_usd == pytest.approx(0.958 / 2.0)
+        assert record.billed_seconds == 1800.0
+
+    def test_hourly_rounds_up(self):
+        it = INSTANCE_CATALOG["m4.4xlarge"]
+        record = BillingModel("hour").cost(it, 3601.0)
+        assert record.billed_seconds == 7200.0
+        assert record.cost_usd == pytest.approx(2 * 0.958)
+
+    def test_hourly_zero_usage_free(self):
+        it = INSTANCE_CATALOG["m4.4xlarge"]
+        assert BillingModel("hour").cost(it, 0.0).cost_usd == 0.0
+
+    def test_multi_instance_scaling(self):
+        it = INSTANCE_CATALOG["c4.4xlarge"]
+        single = BillingModel().expected_cost(it, 600.0, 1)
+        quad = BillingModel().expected_cost(it, 600.0, 4)
+        assert quad == pytest.approx(4 * single)
+
+    def test_algorithm1_cost_formula(self):
+        # cost = hour_cost * time (in hours) — the paper's formula.
+        it = INSTANCE_CATALOG["c3.8xlarge"]
+        seconds = 2345.0
+        expected = it.hourly_price_usd * seconds / 3600.0
+        assert BillingModel().expected_cost(it, seconds) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            BillingModel("minute")
+        with pytest.raises(ValueError, match="non-negative"):
+            BillingModel().billed_seconds(-1.0)
+        it = INSTANCE_CATALOG["c3.4xlarge"]
+        with pytest.raises(ValueError, match="n_instances"):
+            BillingModel().cost(it, 10.0, 0)

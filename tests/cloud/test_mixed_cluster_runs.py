@@ -1,0 +1,90 @@
+"""Tests for running campaigns on heterogeneous clusters."""
+
+import pytest
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.heterogeneous import MixedClusterSpec
+from repro.cloud.instance_types import get_instance_type
+
+
+def spec_of(*groups):
+    return MixedClusterSpec(
+        groups=tuple((get_instance_type(name), count) for name, count in groups)
+    )
+
+
+class TestRunCampaignMixed:
+    def test_full_lifecycle(self, small_campaign):
+        manager = StarClusterManager()
+        spec = spec_of(("c3.4", 2), ("c4.8", 1))
+        result = manager.run_campaign_mixed(spec, small_campaign.blocks)
+        assert result.execution_seconds > 0
+        assert result.cost_usd > 0
+        # One billing record per instance-type group.
+        assert len(result.billing) == 2
+        assert manager.provider.running_instances() == []
+
+    def test_cost_covers_both_groups(self, small_campaign):
+        manager = StarClusterManager()
+        spec = spec_of(("c3.4", 1), ("m4.10", 1))
+        result = manager.run_campaign_mixed(spec, small_campaign.blocks)
+        types = {record.instance_type for record in result.billing}
+        assert types == {"c3.4xlarge", "m4.10xlarge"}
+        assert result.cost_usd == pytest.approx(
+            sum(r.cost_usd for r in result.billing)
+        )
+
+    def test_compute_results(self, small_campaign):
+        manager = StarClusterManager()
+        spec = spec_of(("c3.4", 2))
+        result = manager.run_campaign_mixed(
+            spec, small_campaign.alm_blocks()[:1], compute_results=True
+        )
+        assert result.report is not None
+        assert result.report.total_base_value > 0
+
+    def test_validation(self, small_campaign):
+        manager = StarClusterManager()
+        with pytest.raises(TypeError, match="MixedClusterSpec"):
+            manager.run_campaign_mixed("c3.4", small_campaign.blocks)
+        with pytest.raises(ValueError, match="no blocks"):
+            manager.run_campaign_mixed(spec_of(("c3.4", 1)), [])
+
+
+class TestDeploySystemMixed:
+    def test_requires_fitted_predictor(self, small_campaign):
+        from repro.core.deploy import TransparentDeploySystem
+
+        system = TransparentDeploySystem(bootstrap_runs=100, seed=0)
+        with pytest.raises(RuntimeError, match="fitted"):
+            system.run_simulation_mixed(small_campaign.blocks, 600.0)
+
+    def test_mixed_run_grows_kb_and_retrains(self, small_campaign):
+        from repro.core.deploy import TransparentDeploySystem
+        from repro.disar.eeb import SimulationSettings
+        from repro.workload.campaign import CampaignGenerator
+
+        system = TransparentDeploySystem(
+            bootstrap_runs=3, epsilon=0.0, max_nodes=3, seed=1
+        )
+        generator = CampaignGenerator(seed=5)
+        settings = SimulationSettings(n_outer=1000, n_inner=50)
+        for _ in range(4):
+            system.run_simulation([generator.random_block(settings)], 3600.0)
+        size_before = len(system.knowledge_base)
+        trained_before = system.predictor.training_size
+        choice, seconds, cost, report = system.run_simulation_mixed(
+            [generator.random_block(settings)], 3600.0
+        )
+        assert seconds > 0
+        assert cost > 0
+        assert report is None
+        assert len(system.knowledge_base) == size_before + 1
+        assert system.predictor.training_size == trained_before + 1
+
+    def test_invalid_tmax(self, small_campaign):
+        from repro.core.deploy import TransparentDeploySystem
+
+        system = TransparentDeploySystem(seed=0)
+        with pytest.raises(ValueError, match="tmax"):
+            system.run_simulation_mixed(small_campaign.blocks, 0.0)

@@ -1,0 +1,136 @@
+"""Tests for the calibrated execution-time model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import INSTANCE_CATALOG, get_instance_type
+from repro.cloud.performance import PerformanceModel
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(noise_sigma=0.0)
+
+
+WORK = 1.2e6  # roughly one paper-campaign EEB
+
+
+class TestScaling:
+    def test_more_nodes_faster(self, model):
+        it = get_instance_type("c3.4")
+        times = [model.expected_seconds(WORK, it, n) for n in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_diminishing_returns(self, model):
+        # Speedup gained from 8->16 nodes is smaller than from 1->2.
+        it = get_instance_type("m4.4")
+        t1 = model.expected_seconds(WORK, it, 1)
+        t2 = model.expected_seconds(WORK, it, 2)
+        t8 = model.expected_seconds(WORK, it, 8)
+        t16 = model.expected_seconds(WORK, it, 16)
+        assert (t1 / t2) > (t8 / t16)
+
+    def test_amdahl_bound(self, model):
+        # Speedup can never exceed core_speed / serial_fraction.
+        it = get_instance_type("c4.8")
+        speedup = model.speedup(WORK, it, 1000)
+        assert speedup < it.relative_core_speed / model.serial_fraction
+
+    def test_startup_makes_tiny_jobs_slow_on_big_clusters(self, model):
+        it = get_instance_type("c3.4")
+        tiny = 1e3
+        assert model.expected_seconds(tiny, it, 32) > model.expected_seconds(
+            tiny, it, 1
+        )
+
+    def test_work_scales_linearly_at_fixed_config(self, model):
+        it = get_instance_type("m4.10")
+        t1 = model.expected_seconds(1e6, it, 2) - model.expected_seconds(0, it, 2)
+        t2 = model.expected_seconds(2e6, it, 2) - model.expected_seconds(0, it, 2)
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestFamilies:
+    def test_compute_family_faster_at_equal_vcpus(self, model):
+        c4 = get_instance_type("c4.4")
+        m4 = get_instance_type("m4.4")
+        assert model.expected_seconds(WORK, c4, 1) < model.expected_seconds(
+            WORK, m4, 1
+        )
+
+    def test_speedups_in_paper_band(self, model):
+        # Figure 4 reports single-cluster speedups between ~2 and ~9.
+        for it in INSTANCE_CATALOG.values():
+            speedup = model.speedup(WORK, it, 1)
+            assert 2.0 < speedup < 10.0, it.api_name
+
+    def test_effective_cores_discount_hyperthreads(self, model):
+        it = get_instance_type("m4.4")  # 16 vCPU = 8 physical cores
+        assert 8.0 <= model.effective_cores(it) < 16.0
+
+
+class TestNoise:
+    def test_noise_unbiased(self):
+        model = PerformanceModel(noise_sigma=0.05)
+        it = get_instance_type("c3.4")
+        rng = np.random.default_rng(0)
+        samples = np.array(
+            [model.measured_seconds(WORK, it, 2, rng) for _ in range(4000)]
+        )
+        expected = model.expected_seconds(WORK, it, 2)
+        assert samples.mean() == pytest.approx(expected, rel=5e-3)
+
+    def test_zero_noise_deterministic(self, model):
+        it = get_instance_type("c3.4")
+        rng = np.random.default_rng(0)
+        a = model.measured_seconds(WORK, it, 2, rng)
+        b = model.measured_seconds(WORK, it, 2, rng)
+        assert a == b == model.expected_seconds(WORK, it, 2)
+
+
+class TestCalibration:
+    def test_single_vm_eeb_time_in_paper_band(self, model):
+        # Table II implies per-simulation times of roughly 120-260 s on
+        # one VM for the paper's campaign workload.
+        for it in INSTANCE_CATALOG.values():
+            t = model.expected_seconds(WORK, it, 1)
+            assert 80.0 < t < 400.0, it.api_name
+
+    def test_sequential_seconds(self, model):
+        assert model.sequential_seconds(WORK) == pytest.approx(
+            WORK / model.reference_rate
+        )
+
+    def test_workload_units_delegates_to_complexity(self, small_campaign, model):
+        block = small_campaign.blocks[0]
+        assert PerformanceModel.workload_units(block) == block.complexity()
+        assert model.campaign_units(small_campaign.blocks) == pytest.approx(
+            sum(b.complexity() for b in small_campaign.blocks)
+        )
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(reference_rate=0.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(serial_fraction=1.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(ht_efficiency=1.5)
+        with pytest.raises(ValueError):
+            PerformanceModel(coordination_per_node=-0.1)
+        with pytest.raises(ValueError):
+            PerformanceModel(startup_seconds=-1.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(noise_sigma=-0.1)
+
+    def test_call_bounds(self, model):
+        it = get_instance_type("c3.4")
+        with pytest.raises(ValueError, match="n_nodes"):
+            model.expected_seconds(WORK, it, 0)
+        with pytest.raises(ValueError, match="work_units"):
+            model.expected_seconds(-1.0, it, 1)
+        with pytest.raises(ValueError, match="n_nodes"):
+            model.parallel_efficiency(0)
+        with pytest.raises(ValueError, match="work_units"):
+            model.sequential_seconds(-1.0)

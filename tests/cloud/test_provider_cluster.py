@@ -1,0 +1,156 @@
+"""Tests for the simulated EC2 provider and the StarCluster manager."""
+
+import pytest
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.pricing import BillingModel
+from repro.cloud.provider import SimulatedEC2, VirtualClock
+
+
+class TestVirtualClock:
+    def test_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(10.5)
+        assert clock.now == 10.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            VirtualClock().advance(-1.0)
+
+
+class TestSimulatedEC2:
+    def test_launch_advances_clock_by_boot(self):
+        ec2 = SimulatedEC2(boot_latency_range=(60.0, 120.0), seed=0)
+        ec2.launch(get_instance_type("c3.4"), 3)
+        assert 60.0 <= ec2.clock.now <= 120.0
+
+    def test_instances_have_unique_ids(self):
+        ec2 = SimulatedEC2()
+        instances = ec2.launch(get_instance_type("c3.4"), 5)
+        assert len({i.instance_id for i in instances}) == 5
+
+    def test_terminate_bills_uptime(self):
+        ec2 = SimulatedEC2(boot_latency_range=(0.0, 0.0))
+        instances = ec2.launch(get_instance_type("m4.4"), 2)
+        ec2.clock.advance(1800.0)
+        record = ec2.terminate(instances)
+        assert record.seconds_used == pytest.approx(1800.0)
+        assert record.cost_usd == pytest.approx(2 * 0.958 / 2.0)
+        assert ec2.total_cost() == pytest.approx(record.cost_usd)
+
+    def test_double_terminate_rejected(self):
+        ec2 = SimulatedEC2()
+        instances = ec2.launch(get_instance_type("c3.4"), 1)
+        ec2.terminate(instances)
+        with pytest.raises(ValueError, match="not running"):
+            ec2.terminate(instances)
+
+    def test_heterogeneous_terminate_rejected(self):
+        ec2 = SimulatedEC2()
+        a = ec2.launch(get_instance_type("c3.4"), 1)
+        b = ec2.launch(get_instance_type("c4.4"), 1)
+        with pytest.raises(ValueError, match="homogeneous"):
+            ec2.terminate(a + b)
+
+    def test_running_instances_view(self):
+        ec2 = SimulatedEC2()
+        a = ec2.launch(get_instance_type("c3.4"), 2)
+        assert len(ec2.running_instances()) == 2
+        ec2.terminate(a)
+        assert ec2.running_instances() == []
+
+    def test_hourly_billing_integration(self):
+        ec2 = SimulatedEC2(billing=BillingModel("hour"),
+                           boot_latency_range=(0.0, 0.0))
+        instances = ec2.launch(get_instance_type("c3.4"), 1)
+        ec2.clock.advance(10.0)
+        record = ec2.terminate(instances)
+        assert record.billed_seconds == 3600.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="boot_latency_range"):
+            SimulatedEC2(boot_latency_range=(5.0, 1.0))
+        with pytest.raises(ValueError, match="count"):
+            SimulatedEC2().launch(get_instance_type("c3.4"), 0)
+        with pytest.raises(ValueError, match="no instances"):
+            SimulatedEC2().terminate([])
+
+
+class TestStarClusterManager:
+    def test_cluster_lifecycle(self):
+        manager = StarClusterManager()
+        handle = manager.start_cluster(get_instance_type("c3.4"), 3)
+        assert handle.n_nodes == 3
+        assert manager.active_clusters() == [handle]
+        record = manager.terminate_cluster(handle)
+        assert record.n_instances == 3
+        assert manager.active_clusters() == []
+
+    def test_double_terminate_rejected(self):
+        manager = StarClusterManager()
+        handle = manager.start_cluster(get_instance_type("c3.4"), 1)
+        manager.terminate_cluster(handle)
+        with pytest.raises(ValueError, match="unknown or already"):
+            manager.terminate_cluster(handle)
+
+    def test_run_campaign_full_lifecycle(self, small_campaign):
+        manager = StarClusterManager()
+        result = manager.run_campaign(
+            get_instance_type("c4.4"), 2, small_campaign.blocks
+        )
+        assert result.execution_seconds > 0
+        assert result.cost_usd > 0
+        assert result.n_nodes == 2
+        assert manager.active_clusters() == []
+        # Billing covers boot + execution.
+        assert result.billing.seconds_used >= result.execution_seconds
+
+    def test_run_campaign_with_real_results(self, small_campaign):
+        manager = StarClusterManager()
+        result = manager.run_campaign(
+            get_instance_type("c3.4"), 2, small_campaign.blocks[:1],
+            compute_results=True,
+        )
+        assert result.report is not None
+        assert result.report.total_base_value > 0
+
+    def test_run_on_inactive_cluster_rejected(self, small_campaign):
+        manager = StarClusterManager()
+        handle = manager.start_cluster(get_instance_type("c3.4"), 1)
+        manager.terminate_cluster(handle)
+        with pytest.raises(ValueError, match="not active"):
+            manager.run_blocks(handle, small_campaign.blocks)
+
+    def test_empty_blocks_rejected(self):
+        manager = StarClusterManager()
+        handle = manager.start_cluster(get_instance_type("c3.4"), 1)
+        with pytest.raises(ValueError, match="no blocks"):
+            manager.run_blocks(handle, [])
+
+    def test_bigger_cluster_runs_faster_on_paper_scale_work(self):
+        # Needs a paper-scale workload: on tiny jobs the MPI startup
+        # dominates and more nodes do not help (which Algorithm 1
+        # exploits).  Building the campaign only computes complexity
+        # estimates, no Monte Carlo runs.
+        from repro.cloud.performance import PerformanceModel
+        from repro.cloud.provider import SimulatedEC2
+        from repro.workload.campaign import CampaignGenerator
+
+        blocks = CampaignGenerator(seed=1).paper_campaign().blocks
+
+        def timed(n):
+            manager = StarClusterManager(
+                provider=SimulatedEC2(seed=1),
+                performance=PerformanceModel(noise_sigma=0.0),
+            )
+            return manager.run_campaign(
+                get_instance_type("c3.4"), n, blocks
+            ).execution_seconds
+
+        assert timed(4) < timed(1)
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            StarClusterManager().start_cluster(get_instance_type("c3.4"), 0)

@@ -1,0 +1,171 @@
+"""Tests for the simulated-MPI communicator."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import Communicator, MessagePassingError, run_spmd
+
+
+class TestRunSpmd:
+    def test_single_rank(self):
+        results = run_spmd(1, lambda comm: comm.rank)
+        assert results == [0]
+
+    def test_results_in_rank_order(self):
+        results = run_spmd(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_size_visible_to_all(self):
+        results = run_spmd(3, lambda comm: comm.size)
+        assert results == [3, 3, 3]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="size"):
+            run_spmd(0, lambda comm: None)
+
+    def test_rank_exception_propagates(self):
+        def boom(comm):
+            if comm.rank == 1:
+                raise RuntimeError("kaboom")
+            comm.barrier()
+
+        with pytest.raises(MessagePassingError, match="kaboom|barrier"):
+            run_spmd(3, boom)
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert run_spmd(2, fn)[1] == "hello"
+
+    def test_tag_matching(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            # Receive out of order by tag.
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_spmd(2, fn)[1] == ("a", "b")
+
+    def test_any_source(self):
+        def fn(comm):
+            if comm.rank == 0:
+                values = sorted(comm.recv(source=-1) for _ in range(comm.size - 1))
+                return values
+            comm.send(comm.rank, dest=0)
+            return None
+
+        assert run_spmd(4, fn)[0] == [1, 2, 3]
+
+    def test_invalid_peer(self):
+        def fn(comm):
+            comm.send("x", dest=5)
+
+        with pytest.raises(MessagePassingError, match="cannot send"):
+            run_spmd(2, fn)
+
+    def test_ring_exchange(self):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv(source=left)
+
+        results = run_spmd(5, fn)
+        assert results == [4, 0, 1, 2, 3]
+
+
+class TestCollectives:
+    def test_barrier_all_reach(self):
+        def fn(comm):
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(4, fn))
+
+    def test_bcast(self):
+        def fn(comm):
+            payload = {"data": 42} if comm.rank == 0 else None
+            return comm.bcast(payload, root=0)
+
+        results = run_spmd(3, fn)
+        assert all(r == {"data": 42} for r in results)
+
+    def test_bcast_nonzero_root(self):
+        def fn(comm):
+            payload = "from-2" if comm.rank == 2 else None
+            return comm.bcast(payload, root=2)
+
+        assert run_spmd(4, fn) == ["from-2"] * 4
+
+    def test_scatter(self):
+        def fn(comm):
+            chunks = [[i, i] for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        assert run_spmd(3, fn) == [[0, 0], [1, 1], [2, 2]]
+
+    def test_scatter_wrong_chunk_count(self):
+        def fn(comm):
+            chunks = [1] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(MessagePassingError, match="chunks"):
+            run_spmd(3, fn)
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = run_spmd(4, fn)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        results = run_spmd(3, lambda comm: comm.allgather(comm.rank))
+        assert results == [[0, 1, 2]] * 3
+
+    def test_reduce_sum(self):
+        def fn(comm):
+            return comm.reduce(comm.rank + 1, op=operator.add, root=0)
+
+        results = run_spmd(4, fn)
+        assert results[0] == 10
+        assert results[1] is None
+
+    def test_allreduce_max(self):
+        results = run_spmd(5, lambda comm: comm.allreduce(comm.rank, op=max))
+        assert results == [4] * 5
+
+    def test_allreduce_numpy_arrays(self):
+        def fn(comm):
+            local = np.full(3, float(comm.rank))
+            return comm.allreduce(local, op=lambda a, b: a + b)
+
+        results = run_spmd(3, fn)
+        np.testing.assert_allclose(results[0], [3.0, 3.0, 3.0])
+
+    def test_scatter_gather_roundtrip(self):
+        # The canonical DISAR pattern: scatter work, compute, gather.
+        def fn(comm):
+            chunks = None
+            if comm.rank == 0:
+                chunks = [list(range(i * 3, (i + 1) * 3)) for i in range(comm.size)]
+            work = comm.scatter(chunks, root=0)
+            partial = sum(x**2 for x in work)
+            totals = comm.gather(partial, root=0)
+            return sum(totals) if comm.rank == 0 else None
+
+        results = run_spmd(4, fn)
+        assert results[0] == sum(x**2 for x in range(12))

@@ -1,0 +1,53 @@
+"""Tests for work-partitioning helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import chunk_sizes, split_evenly
+
+
+class TestChunkSizes:
+    def test_even_division(self):
+        assert chunk_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread_to_front(self):
+        assert chunk_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_fewer_items_than_parts(self):
+        assert chunk_sizes(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert chunk_sizes(0, 3) == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="parts"):
+            chunk_sizes(5, 0)
+        with pytest.raises(ValueError, match="total"):
+            chunk_sizes(-1, 2)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_sizes_sum_and_balance(self, total, parts):
+        sizes = chunk_sizes(total, parts)
+        assert sum(sizes) == total
+        assert len(sizes) == parts
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSplitEvenly:
+    def test_concatenation_preserved(self):
+        items = list(range(11))
+        chunks = split_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_empty_chunks_possible(self):
+        chunks = split_evenly([1], 3)
+        assert chunks == [[1], [], []]
+
+    @given(st.lists(st.integers(), max_size=100), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, items, parts):
+        chunks = split_evenly(items, parts)
+        assert len(chunks) == parts
+        assert [x for chunk in chunks for x in chunk] == items

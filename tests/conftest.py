@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disar.eeb import SimulationSettings
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.segregated_fund import SegregatedFund
+from repro.stochastic.scenario import RiskDriverSpec, ScenarioGenerator
+from repro.workload.campaign import Campaign, CampaignGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def spec() -> RiskDriverSpec:
+    return RiskDriverSpec.standard(n_equities=2)
+
+
+@pytest.fixture
+def scenario_generator(spec: RiskDriverSpec) -> ScenarioGenerator:
+    return ScenarioGenerator(spec)
+
+
+@pytest.fixture
+def fund() -> SegregatedFund:
+    return SegregatedFund()
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> SimulationSettings:
+    """Small Monte Carlo sizes so DISAR-level tests stay fast."""
+    return SimulationSettings(
+        n_outer=40, n_inner=8, lsmc_outer_calibration=15, steps_per_year=2
+    )
+
+
+@pytest.fixture(scope="session")
+def small_campaign(fast_settings) -> Campaign:
+    """A 2-portfolio, 4-EEB campaign shared across system-level tests."""
+    return CampaignGenerator(seed=7).paper_campaign(
+        n_portfolios=2, n_eebs=4, settings=fast_settings
+    )
+
+
+@pytest.fixture
+def small_portfolio() -> list[PolicyContract]:
+    return [
+        PolicyContract(
+            ContractKind.PURE_ENDOWMENT, age=45, gender="M", term=10,
+            insured_sum=100_000.0, multiplicity=20,
+        ),
+        PolicyContract(
+            ContractKind.ENDOWMENT, age=50, gender="F", term=8,
+            insured_sum=75_000.0, multiplicity=10,
+        ),
+    ]

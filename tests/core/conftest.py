@@ -1,0 +1,64 @@
+"""Shared fixtures for the core (deploy-system) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import INSTANCE_CATALOG, get_instance_type
+from repro.cloud.performance import PerformanceModel
+from repro.core.knowledge_base import KnowledgeBase, RunRecord
+from repro.core.predictor import PredictorFamily
+from repro.disar.eeb import CharacteristicParameters
+
+
+def synthetic_record(rng: np.random.Generator,
+                     performance: PerformanceModel) -> RunRecord:
+    """One synthetic knowledge-base entry from the performance model."""
+    params = CharacteristicParameters(
+        n_contracts=int(rng.integers(5, 300)),
+        max_horizon=int(rng.integers(5, 40)),
+        n_fund_assets=int(rng.integers(40, 400)),
+        n_risk_factors=int(rng.integers(2, 7)),
+    )
+    names = sorted(INSTANCE_CATALOG)
+    instance = INSTANCE_CATALOG[names[int(rng.integers(0, len(names)))]]
+    n_nodes = int(rng.integers(1, 9))
+    # Work roughly proportional to the characteristic parameters, like
+    # the real EEB complexity estimate.
+    work = (
+        3.0
+        * params.max_horizon
+        * (params.n_risk_factors + 0.05 * params.n_fund_assets)
+        + params.n_contracts * 0.25 * params.max_horizon
+    ) * 1000.0
+    seconds = performance.measured_seconds(work, instance, n_nodes, rng)
+    return RunRecord(
+        params=params,
+        instance_type=instance.api_name,
+        n_nodes=n_nodes,
+        execution_seconds=seconds,
+    )
+
+
+@pytest.fixture(scope="module")
+def populated_kb() -> KnowledgeBase:
+    """A knowledge base with 250 synthetic runs."""
+    rng = np.random.default_rng(0)
+    performance = PerformanceModel()
+    kb = KnowledgeBase()
+    for _ in range(250):
+        kb.add(synthetic_record(rng, performance))
+    return kb
+
+
+@pytest.fixture(scope="module")
+def fitted_family(populated_kb) -> PredictorFamily:
+    return PredictorFamily(seed=1).fit(populated_kb)
+
+
+@pytest.fixture
+def sample_params() -> CharacteristicParameters:
+    return CharacteristicParameters(
+        n_contracts=120, max_horizon=25, n_fund_assets=200, n_risk_factors=5
+    )

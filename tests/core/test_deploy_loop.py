@@ -1,0 +1,161 @@
+"""Integration tests for the transparent deploy system and the loop."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.provider import SimulatedEC2
+from repro.core.deploy import TransparentDeploySystem
+from repro.core.selection import DeployChoice
+from repro.core.self_optimizing import SelfOptimizingLoop
+from repro.disar.eeb import SimulationSettings
+from repro.workload.campaign import CampaignGenerator
+
+
+@pytest.fixture
+def paper_settings():
+    """Paper-scale Monte Carlo sizes; only the timing model consumes
+    them, so tests stay fast."""
+    return SimulationSettings(n_outer=1000, n_inner=50)
+
+
+def fresh_system(**overrides):
+    defaults = dict(
+        cluster_manager=StarClusterManager(
+            provider=SimulatedEC2(seed=0), performance=PerformanceModel()
+        ),
+        bootstrap_runs=8,
+        epsilon=0.0,
+        max_nodes=4,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return TransparentDeploySystem(**defaults)
+
+
+class TestAggregateParameters:
+    def test_aggregation_rules(self, small_campaign):
+        params = TransparentDeploySystem.aggregate_parameters(
+            small_campaign.blocks
+        )
+        per_block = [b.characteristic_parameters for b in small_campaign.blocks]
+        assert params.n_contracts == sum(p.n_contracts for p in per_block)
+        assert params.max_horizon == max(p.max_horizon for p in per_block)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no blocks"):
+            TransparentDeploySystem.aggregate_parameters([])
+
+
+class TestRunSimulation:
+    def test_bootstrap_phase(self, paper_settings):
+        system = fresh_system()
+        gen = CampaignGenerator(seed=1)
+        outcome = system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+        assert outcome.bootstrap
+        assert outcome.knowledge_base_size == 1
+        assert outcome.measured_seconds > 0
+        assert outcome.cost_usd > 0
+
+    def test_switches_to_ml_after_bootstrap(self, paper_settings):
+        system = fresh_system(bootstrap_runs=3)
+        gen = CampaignGenerator(seed=2)
+        outcomes = [
+            system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+            for _ in range(5)
+        ]
+        assert all(o.bootstrap for o in outcomes[:3])
+        assert not outcomes[3].bootstrap
+        assert not outcomes[4].bootstrap
+        assert np.isfinite(outcomes[4].choice.predicted_seconds)
+
+    def test_forced_configuration(self, paper_settings):
+        system = fresh_system()
+        gen = CampaignGenerator(seed=3)
+        force = DeployChoice(
+            instance_type=get_instance_type("m4.10"),
+            n_nodes=2,
+            predicted_seconds=float("nan"),
+            predicted_cost_usd=float("nan"),
+            feasible=True,
+        )
+        outcome = system.run_simulation(
+            [gen.random_block(paper_settings)], 3600.0, force=force
+        )
+        assert outcome.choice.instance_type.api_name == "m4.10xlarge"
+        assert outcome.choice.n_nodes == 2
+        assert not outcome.bootstrap
+
+    def test_knowledge_base_grows_and_costs_accumulate(self, paper_settings):
+        system = fresh_system(bootstrap_runs=2)
+        gen = CampaignGenerator(seed=4)
+        for _ in range(4):
+            system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+        assert len(system.knowledge_base) == 4
+        assert system.total_cost() == pytest.approx(
+            sum(o.cost_usd for o in system.history())
+        )
+        assert system.total_cost() == pytest.approx(
+            system.manager.provider.total_cost()
+        )
+
+    def test_retrain_every(self, paper_settings):
+        system = fresh_system(bootstrap_runs=0, retrain_every=3)
+        gen = CampaignGenerator(seed=5)
+        # With bootstrap_runs=0 and no fitted model, the first choose()
+        # still bootstraps (predictor unfitted) until the first retrain.
+        system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+        assert not system.predictor.is_fitted  # retrain only every 3 runs
+        system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+        system.run_simulation([gen.random_block(paper_settings)], 3600.0)
+        assert system.predictor.is_fitted
+
+    def test_invalid_args(self, paper_settings):
+        system = fresh_system()
+        gen = CampaignGenerator(seed=6)
+        with pytest.raises(ValueError, match="tmax"):
+            system.run_simulation([gen.random_block(paper_settings)], 0.0)
+        with pytest.raises(ValueError, match="bootstrap_runs"):
+            fresh_system(bootstrap_runs=-1)
+        with pytest.raises(ValueError, match="retrain_every"):
+            fresh_system(retrain_every=0)
+
+
+class TestSelfOptimizingLoop:
+    def test_loop_report(self, paper_settings):
+        system = fresh_system(bootstrap_runs=5, epsilon=0.1)
+        gen = CampaignGenerator(seed=7)
+        workloads = [[gen.random_block(paper_settings)] for _ in range(15)]
+        report = SelfOptimizingLoop(system).run(workloads, tmax_seconds=1200.0)
+        assert report.n_runs == 15
+        assert report.n_bootstrap == 5
+        assert 0.0 <= report.deadline_compliance() <= 1.0
+        assert report.total_cost() > 0
+        assert "Self-optimizing loop" in report.summary()
+
+    def test_prediction_errors_reasonable_after_training(self, paper_settings):
+        system = fresh_system(bootstrap_runs=12, epsilon=0.0)
+        gen = CampaignGenerator(seed=8)
+        workloads = [[gen.random_block(paper_settings)] for _ in range(30)]
+        report = SelfOptimizingLoop(system).run(workloads, tmax_seconds=3600.0)
+        errors = report.error_trajectory()
+        measured = [o.measured_seconds for o in report.outcomes if not o.bootstrap]
+        # Relative |error| under 50% on average once trained (the paper
+        # reports ~80% of predictions within 200s of runs up to 4000s).
+        rel = errors / np.array(measured)
+        assert np.mean(rel) < 0.5
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            SelfOptimizingLoop(fresh_system()).run([], 100.0)
+
+    def test_mean_abs_error_tail_validation(self, paper_settings):
+        system = fresh_system(bootstrap_runs=1)
+        gen = CampaignGenerator(seed=9)
+        report = SelfOptimizingLoop(system).run(
+            [[gen.random_block(paper_settings)] for _ in range(3)], 600.0
+        )
+        with pytest.raises(ValueError, match="tail_fraction"):
+            report.mean_abs_error(0.0)

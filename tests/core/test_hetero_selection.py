@@ -1,0 +1,157 @@
+"""Tests for the heterogeneous configuration selector."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.heterogeneous import MixedClusterSpec
+from repro.cloud.instance_types import get_instance_type
+from repro.core.hetero_selection import (
+    HeterogeneousSelector,
+    encode_mixed_features,
+)
+from repro.core.knowledge_base import encode_features
+
+
+@pytest.fixture
+def selector(fitted_family):
+    return HeterogeneousSelector(fitted_family, max_nodes=4, epsilon=0.0, seed=0)
+
+
+class TestEncodeMixedFeatures:
+    def test_homogeneous_matches_structured_encoding(self, sample_params):
+        it = get_instance_type("c4.8")
+        spec = MixedClusterSpec.homogeneous(it, 3)
+        np.testing.assert_allclose(
+            encode_mixed_features(sample_params, spec),
+            encode_features(sample_params, it, 3),
+        )
+
+    def test_mixed_features_are_aggregates(self, sample_params):
+        spec = MixedClusterSpec(
+            groups=(
+                (get_instance_type("c3.4"), 1),   # 16 vCPU, speed 1.10
+                (get_instance_type("m4.10"), 1),  # 40 vCPU, speed 1.00
+            )
+        )
+        features = encode_mixed_features(sample_params, spec)
+        assert features[4] == pytest.approx(28.0)  # mean vCPUs per node
+        expected_speed = (1.10 * 16 + 1.00 * 40) / 56
+        assert features[5] == pytest.approx(expected_speed)
+        assert features[6] == 2.0
+
+
+class TestConfigurationSpace:
+    def test_space_size(self, selector):
+        specs = selector.configuration_space()
+        homogeneous = [s for s in specs if s.is_homogeneous]
+        mixed = [s for s in specs if not s.is_homogeneous]
+        assert len(homogeneous) == 6 * 4
+        # 15 type pairs x partitions of n1 >= 1, n2 >= 1, n1+n2 <= 4:
+        # (1,1) (1,2) (1,3) (2,1) (2,2) (3,1) = 6 per pair.
+        assert len(mixed) == 15 * 6
+
+    def test_all_within_node_budget(self, selector):
+        assert all(s.n_nodes <= 4 for s in selector.configuration_space())
+
+
+class TestSelect:
+    def test_selection_is_min_cost_feasible(self, selector, sample_params):
+        choice = selector.select(sample_params, tmax_seconds=1e9)
+        feasible = [
+            c for c in selector.evaluate_all(sample_params, 1e9) if c.feasible
+        ]
+        cheapest = min(feasible, key=lambda c: c.predicted_cost_usd)
+        assert choice.predicted_cost_usd == pytest.approx(
+            cheapest.predicted_cost_usd
+        )
+
+    def test_never_worse_than_homogeneous(self, selector, sample_params):
+        # The extended space contains the homogeneous one, so the
+        # selected (predicted) cost can only improve or match.
+        for tmax in (1e9, 800.0, 400.0):
+            mixed = selector.select(sample_params, tmax)
+            pure = selector.select_homogeneous_only(sample_params, tmax)
+            if mixed.feasible and pure.feasible:
+                assert (
+                    mixed.predicted_cost_usd <= pure.predicted_cost_usd + 1e-9
+                )
+
+    def test_infeasible_falls_back_to_fastest(self, selector, sample_params):
+        choice = selector.select(sample_params, tmax_seconds=1.0)
+        assert not choice.feasible
+        fastest = min(
+            selector.evaluate_all(sample_params, 1.0),
+            key=lambda c: c.predicted_seconds,
+        )
+        assert choice.predicted_seconds == pytest.approx(
+            fastest.predicted_seconds
+        )
+
+    def test_exploration(self, fitted_family, sample_params):
+        selector = HeterogeneousSelector(
+            fitted_family, max_nodes=3, epsilon=1.0, seed=3
+        )
+        choice = selector.select(sample_params, tmax_seconds=1e9)
+        assert choice.explored
+        assert choice.feasible
+
+    def test_describe(self, selector, sample_params):
+        text = selector.select(sample_params, 1e9).describe()
+        assert "$" in text
+
+    def test_validation(self, fitted_family):
+        with pytest.raises(ValueError, match="max_nodes"):
+            HeterogeneousSelector(fitted_family, max_nodes=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            HeterogeneousSelector(fitted_family, epsilon=-0.1)
+        with pytest.raises(ValueError, match="catalog"):
+            HeterogeneousSelector(fitted_family, catalog={})
+
+
+class TestKnowledgeBaseEncodedRows:
+    def test_add_encoded_roundtrip(self, sample_params):
+        from repro.core.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase()
+        spec = MixedClusterSpec(
+            groups=(
+                (get_instance_type("c3.4"), 2),
+                (get_instance_type("c4.8"), 1),
+            )
+        )
+        features = encode_mixed_features(sample_params, spec)
+        kb.add_encoded(features, 432.1, label="mixed")
+        assert len(kb) == 1
+        assert kb.records() == []  # encoded rows are not structured records
+        trained_features, targets = kb.training_matrices()
+        np.testing.assert_allclose(trained_features[0], features)
+        assert targets[0] == pytest.approx(432.1)
+
+    def test_add_encoded_validation(self):
+        from repro.core.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase()
+        with pytest.raises(ValueError, match="features"):
+            kb.add_encoded(np.zeros(3), 100.0)
+        with pytest.raises(ValueError, match="execution_seconds"):
+            kb.add_encoded(np.zeros(7), 0.0)
+
+    def test_mixed_and_structured_train_together(self, populated_kb,
+                                                  sample_params):
+        from repro.core.knowledge_base import KnowledgeBase, RunRecord
+        from repro.disar.eeb import CharacteristicParameters
+
+        kb = KnowledgeBase()
+        kb.add(
+            RunRecord(
+                params=CharacteristicParameters(10, 20, 100, 4),
+                instance_type="c3.4xlarge",
+                n_nodes=1,
+                execution_seconds=100.0,
+            )
+        )
+        spec = MixedClusterSpec.homogeneous(get_instance_type("c4.4"), 2)
+        kb.add_encoded(encode_mixed_features(sample_params, spec), 200.0)
+        features, targets = kb.training_matrices()
+        assert features.shape == (2, 7)
+        np.testing.assert_allclose(sorted(targets), [100.0, 200.0])

@@ -1,0 +1,99 @@
+"""Tests for the knowledge base."""
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge_base import (
+    FEATURE_NAMES,
+    KnowledgeBase,
+    RunRecord,
+    encode_features,
+)
+from repro.cloud.instance_types import get_instance_type
+from repro.disar.eeb import CharacteristicParameters
+
+
+def record(seconds=100.0, instance="c3.4xlarge", n_nodes=2):
+    return RunRecord(
+        params=CharacteristicParameters(10, 20, 100, 4),
+        instance_type=instance,
+        n_nodes=n_nodes,
+        execution_seconds=seconds,
+    )
+
+
+class TestRunRecord:
+    def test_valid(self):
+        rec = record()
+        assert rec.execution_seconds == 100.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            record(n_nodes=0)
+
+    def test_invalid_seconds(self):
+        with pytest.raises(ValueError, match="execution_seconds"):
+            record(seconds=0.0)
+
+    def test_unknown_instance_type(self):
+        with pytest.raises(KeyError, match="unknown instance type"):
+            record(instance="x1.32xlarge")
+
+
+class TestEncodeFeatures:
+    def test_order_and_values(self):
+        params = CharacteristicParameters(10, 20, 100, 4)
+        it = get_instance_type("m4.10xlarge")
+        features = encode_features(params, it, 3)
+        np.testing.assert_allclose(features, [10, 20, 100, 4, 40, 1.0, 3])
+        assert len(FEATURE_NAMES) == features.shape[0]
+
+
+class TestKnowledgeBase:
+    def test_add_and_len(self):
+        kb = KnowledgeBase()
+        assert len(kb) == 0
+        kb.add(record())
+        assert len(kb) == 1
+
+    def test_records_roundtrip(self):
+        kb = KnowledgeBase()
+        kb.add(record(seconds=123.0))
+        rec = kb.records()[0]
+        assert rec.execution_seconds == 123.0
+        assert rec.params.n_contracts == 10
+
+    def test_filter_by_instance(self):
+        kb = KnowledgeBase()
+        kb.add(record(instance="c3.4xlarge"))
+        kb.add(record(instance="c4.4xlarge"))
+        kb.add(record(instance="c3.4xlarge"))
+        assert len(kb.records(instance_type="c3.4xlarge")) == 2
+
+    def test_training_matrices_shape(self):
+        kb = KnowledgeBase()
+        for i in range(5):
+            kb.add(record(seconds=100.0 + i))
+        features, targets = kb.training_matrices()
+        assert features.shape == (5, 7)
+        assert targets.shape == (5,)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            KnowledgeBase().training_matrices()
+
+    def test_per_instance_counts(self):
+        kb = KnowledgeBase()
+        kb.add(record(instance="c3.4xlarge"))
+        kb.add(record(instance="c3.4xlarge"))
+        kb.add(record(instance="m4.4xlarge"))
+        counts = kb.per_instance_counts()
+        assert counts == {"c3.4xlarge": 2, "m4.4xlarge": 1}
+
+    def test_shared_database(self):
+        from repro.disar.database import DisarDatabase
+
+        db = DisarDatabase()
+        kb = KnowledgeBase(db)
+        kb.add(record())
+        assert db.count("knowledge_base") == 1

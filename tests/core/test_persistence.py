@@ -1,0 +1,127 @@
+"""Tests for knowledge-base persistence (JSON + ARFF)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud.heterogeneous import MixedClusterSpec
+from repro.cloud.instance_types import get_instance_type
+from repro.core.hetero_selection import encode_mixed_features
+from repro.core.knowledge_base import KnowledgeBase, RunRecord
+from repro.core.persistence import (
+    export_arff,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.disar.eeb import CharacteristicParameters
+
+
+@pytest.fixture
+def kb(sample_params):
+    kb = KnowledgeBase()
+    kb.add(
+        RunRecord(
+            params=CharacteristicParameters(10, 20, 100, 4),
+            instance_type="c3.4xlarge",
+            n_nodes=2,
+            execution_seconds=120.5,
+            cost_usd=0.056,
+            predicted_seconds=118.0,
+            virtual_timestamp=42.0,
+        )
+    )
+    kb.add(
+        RunRecord(
+            params=CharacteristicParameters(50, 30, 250, 6),
+            instance_type="m4.10xlarge",
+            n_nodes=1,
+            execution_seconds=300.0,
+        )
+    )
+    spec = MixedClusterSpec(
+        groups=(
+            (get_instance_type("c3.4"), 1),
+            (get_instance_type("c4.8"), 2),
+        )
+    )
+    kb.add_encoded(
+        encode_mixed_features(sample_params, spec), 210.0,
+        label=spec.describe(),
+    )
+    return kb
+
+
+@pytest.fixture
+def sample_params():
+    return CharacteristicParameters(120, 25, 200, 5)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, kb, tmp_path):
+        path = tmp_path / "kb.json"
+        count = save_knowledge_base(kb, path)
+        assert count == 3
+        loaded = load_knowledge_base(path)
+        assert len(loaded) == 3
+        orig_features, orig_targets = kb.training_matrices()
+        new_features, new_targets = loaded.training_matrices()
+        np.testing.assert_allclose(new_features, orig_features)
+        np.testing.assert_allclose(new_targets, orig_targets)
+
+    def test_structured_fields_preserved(self, kb, tmp_path):
+        path = tmp_path / "kb.json"
+        save_knowledge_base(kb, path)
+        loaded = load_knowledge_base(path)
+        record = loaded.records()[0]
+        assert record.cost_usd == pytest.approx(0.056)
+        assert record.predicted_seconds == pytest.approx(118.0)
+        assert record.virtual_timestamp == 42.0
+
+    def test_wrong_version_rejected(self, kb, tmp_path):
+        path = tmp_path / "kb.json"
+        save_knowledge_base(kb, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_knowledge_base(path)
+
+    def test_empty_base(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_knowledge_base(KnowledgeBase(), path)
+        assert len(load_knowledge_base(path)) == 0
+
+    def test_loaded_base_trains_models(self, kb, tmp_path):
+        from repro.core.predictor import PredictorFamily
+
+        path = tmp_path / "kb.json"
+        save_knowledge_base(kb, path)
+        loaded = load_knowledge_base(path)
+        family = PredictorFamily(members=["IBk"]).fit(loaded)
+        assert family.is_fitted
+
+
+class TestArffExport:
+    def test_header_structure(self, kb, tmp_path):
+        path = tmp_path / "kb.arff"
+        count = export_arff(kb, path)
+        assert count == 3
+        text = path.read_text()
+        assert text.startswith("@RELATION disar_execution_times")
+        assert text.count("@ATTRIBUTE") == 8  # 7 features + target
+        assert "@DATA" in text
+
+    def test_data_rows_parse_back(self, kb, tmp_path):
+        path = tmp_path / "kb.arff"
+        export_arff(kb, path)
+        data_lines = path.read_text().split("@DATA\n")[1].strip().splitlines()
+        assert len(data_lines) == 3
+        first = [float(v) for v in data_lines[0].split(",")]
+        assert len(first) == 8
+        assert first[-1] == pytest.approx(120.5)
+
+    def test_custom_relation_name(self, kb, tmp_path):
+        path = tmp_path / "kb.arff"
+        export_arff(kb, path, relation="custom_name")
+        assert "@RELATION custom_name" in path.read_text()

@@ -1,0 +1,99 @@
+"""Tests for the reporting-season planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import ReportingSeasonPlanner
+from repro.core.selection import ConfigurationSelector
+from repro.disar.eeb import CharacteristicParameters
+
+
+@pytest.fixture
+def planner(fitted_family):
+    selector = ConfigurationSelector(fitted_family, max_nodes=4,
+                                     epsilon=0.0, seed=0)
+    return ReportingSeasonPlanner(selector)
+
+
+@pytest.fixture
+def workloads():
+    rng = np.random.default_rng(0)
+    return [
+        CharacteristicParameters(
+            n_contracts=int(rng.integers(20, 250)),
+            max_horizon=int(rng.integers(8, 35)),
+            n_fund_assets=int(rng.integers(50, 350)),
+            n_risk_factors=int(rng.integers(2, 7)),
+        )
+        for _ in range(6)
+    ]
+
+
+class TestBaselinePlan:
+    def test_baseline_is_per_run_minimum(self, planner, workloads):
+        plan = planner.plan(workloads, tmax_seconds=1e9, budget_usd=1e9,
+                            accelerate=False)
+        for run in plan.runs:
+            feasible = [
+                c for c in planner.selector.evaluate_all(run.params, 1e9)
+                if c.feasible
+            ]
+            cheapest = min(c.predicted_cost_usd for c in feasible)
+            assert run.choice.predicted_cost_usd == pytest.approx(cheapest)
+        assert not plan.n_upgraded
+
+    def test_plan_covers_all_workloads_in_order(self, planner, workloads):
+        plan = planner.plan(workloads, 1e9, 1e9, accelerate=False)
+        assert [run.index for run in plan.runs] == list(range(6))
+
+    def test_budget_flag(self, planner, workloads):
+        rich = planner.plan(workloads, 1e9, budget_usd=1e9, accelerate=False)
+        poor = planner.plan(workloads, 1e9, budget_usd=1e-6, accelerate=False)
+        assert rich.within_budget
+        assert not poor.within_budget
+        # The baseline cost does not depend on the budget.
+        assert rich.total_cost == pytest.approx(poor.total_cost)
+
+    def test_validation(self, planner):
+        with pytest.raises(ValueError, match="workloads"):
+            planner.plan([], 100.0, 10.0)
+        with pytest.raises(ValueError, match="budget"):
+            planner.plan([CharacteristicParameters(10, 10, 100, 4)],
+                         100.0, 0.0)
+
+
+class TestAcceleration:
+    def test_acceleration_reduces_time_within_budget(self, planner, workloads):
+        baseline = planner.plan(workloads, 1e9, budget_usd=1e9,
+                                accelerate=False)
+        budget = baseline.total_cost * 2.0
+        accelerated = planner.plan(workloads, 1e9, budget_usd=budget,
+                                   accelerate=True)
+        assert accelerated.within_budget
+        assert accelerated.total_seconds < baseline.total_seconds
+        assert accelerated.n_upgraded >= 1
+
+    def test_no_budget_no_upgrades(self, planner, workloads):
+        baseline = planner.plan(workloads, 1e9, budget_usd=1e9,
+                                accelerate=False)
+        tight = planner.plan(workloads, 1e9,
+                             budget_usd=baseline.total_cost * 1.0001,
+                             accelerate=True)
+        # Essentially no slack: at most negligible upgrades, and the
+        # budget still holds.
+        assert tight.within_budget
+
+    def test_greedy_prefers_best_ratio(self, planner, workloads):
+        baseline = planner.plan(workloads, 1e9, budget_usd=1e9,
+                                accelerate=False)
+        # Give exactly enough budget for a small upgrade.
+        budget = baseline.total_cost * 1.3
+        plan = planner.plan(workloads, 1e9, budget_usd=budget)
+        assert plan.within_budget
+        # Upgrades never make a feasible run infeasible.
+        assert plan.all_deadlines_met
+
+    def test_summary(self, planner, workloads):
+        plan = planner.plan(workloads, 1e9, budget_usd=1e9)
+        text = plan.summary()
+        assert "Season plan: 6 runs" in text

@@ -1,0 +1,208 @@
+"""Tests for Algorithm 1 (configuration selection)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.core.selection import ConfigurationSelector
+
+
+@pytest.fixture
+def selector(fitted_family):
+    return ConfigurationSelector(fitted_family, max_nodes=6, epsilon=0.0, seed=0)
+
+
+class TestEvaluateAll:
+    def test_enumerates_m_times_n(self, selector, sample_params):
+        choices = selector.evaluate_all(sample_params, tmax_seconds=1e9)
+        assert len(choices) == 6 * 6  # 6 node counts x 6 types
+        assert all(c.feasible for c in choices)
+
+    def test_cost_formula(self, selector, sample_params):
+        for choice in selector.evaluate_all(sample_params, 1e9):
+            expected = (
+                choice.n_nodes
+                * choice.instance_type.hourly_price_usd
+                * choice.predicted_seconds
+                / 3600.0
+            )
+            assert choice.predicted_cost_usd == pytest.approx(expected)
+
+    def test_deadline_marks_infeasible(self, selector, sample_params):
+        choices = selector.evaluate_all(sample_params, tmax_seconds=1.5)
+        assert not any(c.feasible for c in choices)
+
+    def test_invalid_tmax(self, selector, sample_params):
+        with pytest.raises(ValueError, match="tmax"):
+            selector.evaluate_all(sample_params, 0.0)
+
+
+class TestSelect:
+    def test_greedy_picks_cheapest_feasible(self, selector, sample_params):
+        tmax = 1e9
+        chosen = selector.select(sample_params, tmax)
+        feasible = [c for c in selector.evaluate_all(sample_params, tmax)
+                    if c.feasible]
+        cheapest = min(feasible, key=lambda c: c.predicted_cost_usd)
+        assert chosen.predicted_cost_usd == pytest.approx(
+            cheapest.predicted_cost_usd
+        )
+        assert not chosen.explored
+
+    def test_tight_deadline_prefers_faster_config(self, selector, sample_params):
+        relaxed = selector.select(sample_params, tmax_seconds=1e9)
+        all_choices = selector.evaluate_all(sample_params, 1e9)
+        # Pick a deadline that roughly half the configurations meet.
+        median_time = float(
+            np.median([c.predicted_seconds for c in all_choices])
+        )
+        tight = selector.select(sample_params, tmax_seconds=median_time)
+        assert tight.predicted_seconds <= median_time
+        # The relaxed choice is never more expensive than the tight one.
+        assert relaxed.predicted_cost_usd <= tight.predicted_cost_usd + 1e-9
+
+    def test_infeasible_falls_back_to_fastest(self, selector, sample_params):
+        fallback = selector.select(sample_params, tmax_seconds=1.5)
+        assert not fallback.feasible
+        fastest = min(
+            selector.evaluate_all(sample_params, 1.5),
+            key=lambda c: c.predicted_seconds,
+        )
+        assert fallback.predicted_seconds == pytest.approx(
+            fastest.predicted_seconds
+        )
+
+    def test_epsilon_one_always_explores(self, fitted_family, sample_params):
+        selector = ConfigurationSelector(
+            fitted_family, max_nodes=4, epsilon=1.0, seed=0
+        )
+        chosen = selector.select(sample_params, tmax_seconds=1e9)
+        assert chosen.explored
+        assert chosen.feasible
+
+    def test_epsilon_exploration_rate(self, fitted_family, sample_params):
+        selector = ConfigurationSelector(
+            fitted_family, max_nodes=3, epsilon=0.3, seed=42
+        )
+        explored = sum(
+            selector.select(sample_params, 1e9).explored for _ in range(300)
+        )
+        assert 0.2 < explored / 300 < 0.4
+
+    def test_exploration_respects_deadline(self, fitted_family, sample_params):
+        selector = ConfigurationSelector(
+            fitted_family, max_nodes=6, epsilon=1.0, seed=1
+        )
+        all_choices = selector.evaluate_all(sample_params, 1e9)
+        median_time = float(np.median([c.predicted_seconds for c in all_choices]))
+        for _ in range(20):
+            chosen = selector.select(sample_params, tmax_seconds=median_time)
+            assert chosen.predicted_seconds <= median_time
+
+    def test_select_fastest(self, selector, sample_params):
+        fastest = selector.select_fastest(sample_params)
+        times = [
+            c.predicted_seconds for c in selector.evaluate_all(sample_params, 1e9)
+        ]
+        assert fastest.predicted_seconds == pytest.approx(min(times))
+
+
+class TestRiskAversion:
+    def test_std_is_ensemble_disagreement(self, fitted_family, sample_params):
+        selector = ConfigurationSelector(fitted_family, epsilon=0.0, seed=0)
+        choice = selector.evaluate_all(sample_params, 1e9)[0]
+        per_model = fitted_family.predict_per_model(
+            sample_params, choice.instance_type, choice.n_nodes
+        )
+        values = np.array(list(per_model.values()))
+        assert choice.predicted_std_seconds == pytest.approx(values.std())
+
+    def test_risk_aversion_shrinks_feasible_set(self, fitted_family,
+                                                 sample_params):
+        neutral = ConfigurationSelector(
+            fitted_family, epsilon=0.0, risk_aversion=0.0, seed=0
+        )
+        averse = ConfigurationSelector(
+            fitted_family, epsilon=0.0, risk_aversion=3.0, seed=0
+        )
+        tmax = float(np.median(
+            [c.predicted_seconds for c in neutral.evaluate_all(sample_params, 1e9)]
+        ))
+        n_neutral = sum(
+            c.feasible for c in neutral.evaluate_all(sample_params, tmax)
+        )
+        n_averse = sum(
+            c.feasible for c in averse.evaluate_all(sample_params, tmax)
+        )
+        assert n_averse <= n_neutral
+
+    def test_risk_averse_choice_keeps_margin(self, fitted_family,
+                                              sample_params):
+        averse = ConfigurationSelector(
+            fitted_family, epsilon=0.0, risk_aversion=2.0, seed=0
+        )
+        tmax = 2000.0
+        choice = averse.select(sample_params, tmax)
+        if choice.feasible:
+            assert (
+                choice.predicted_seconds + 2.0 * choice.predicted_std_seconds
+                <= tmax
+            )
+
+    def test_negative_risk_aversion_rejected(self, fitted_family):
+        with pytest.raises(ValueError, match="risk_aversion"):
+            ConfigurationSelector(fitted_family, risk_aversion=-0.5)
+
+
+class TestBootOverhead:
+    def test_boot_cost_added_per_instance(self, fitted_family, sample_params):
+        plain = ConfigurationSelector(fitted_family, epsilon=0.0, seed=0)
+        booted = ConfigurationSelector(
+            fitted_family, epsilon=0.0, boot_overhead_seconds=90.0, seed=0
+        )
+        for a, b in zip(
+            plain.evaluate_all(sample_params, 1e9),
+            booted.evaluate_all(sample_params, 1e9),
+        ):
+            extra = (
+                a.n_nodes * a.instance_type.hourly_price_usd * 90.0 / 3600.0
+            )
+            assert b.predicted_cost_usd == pytest.approx(
+                a.predicted_cost_usd + extra
+            )
+
+    def test_boot_overhead_disfavours_large_clusters(self, fitted_family,
+                                                     sample_params):
+        plain = ConfigurationSelector(fitted_family, epsilon=0.0, seed=0)
+        booted = ConfigurationSelector(
+            fitted_family, epsilon=0.0, boot_overhead_seconds=600.0, seed=0
+        )
+        chosen_plain = plain.select(sample_params, 1e9)
+        chosen_booted = booted.select(sample_params, 1e9)
+        assert chosen_booted.n_nodes <= chosen_plain.n_nodes
+
+    def test_boot_counts_against_deadline(self, fitted_family, sample_params):
+        booted = ConfigurationSelector(
+            fitted_family, epsilon=0.0, boot_overhead_seconds=300.0, seed=0
+        )
+        choice = booted.evaluate_all(sample_params, tmax_seconds=301.0)[0]
+        if choice.predicted_seconds > 1.0:
+            assert not choice.feasible
+
+    def test_negative_boot_rejected(self, fitted_family):
+        with pytest.raises(ValueError, match="boot_overhead_seconds"):
+            ConfigurationSelector(fitted_family, boot_overhead_seconds=-1.0)
+
+
+class TestValidation:
+    def test_constructor(self, fitted_family):
+        with pytest.raises(ValueError, match="max_nodes"):
+            ConfigurationSelector(fitted_family, max_nodes=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            ConfigurationSelector(fitted_family, epsilon=1.5)
+        with pytest.raises(ValueError, match="catalog"):
+            ConfigurationSelector(fitted_family, catalog={})
+
+    def test_describe(self, selector, sample_params):
+        text = selector.select(sample_params, 1e9).describe()
+        assert "x" in text and "$" in text

@@ -1,0 +1,133 @@
+"""Tests for the DISAR database server."""
+
+import threading
+
+import pytest
+
+from repro.disar.database import DisarDatabase
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self):
+        db = DisarDatabase()
+        row_id = db.insert("runs", {"time": 120.0})
+        row = db.get("runs", row_id)
+        assert row["time"] == 120.0
+        assert row["_id"] == row_id
+
+    def test_auto_increment_ids(self):
+        db = DisarDatabase()
+        ids = [db.insert("t", {"v": i}) for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_insert_copies_record(self):
+        db = DisarDatabase()
+        record = {"v": 1}
+        row_id = db.insert("t", record)
+        record["v"] = 99
+        assert db.get("t", row_id)["v"] == 1
+
+    def test_missing_table(self):
+        db = DisarDatabase()
+        with pytest.raises(KeyError, match="does not exist"):
+            db.get("nope", 1)
+
+    def test_missing_row(self):
+        db = DisarDatabase()
+        db.create_table("t")
+        with pytest.raises(KeyError, match="no row"):
+            db.get("t", 1)
+
+    def test_update(self):
+        db = DisarDatabase()
+        row_id = db.insert("t", {"status": "running"})
+        db.update("t", row_id, status="done", seconds=5.0)
+        row = db.get("t", row_id)
+        assert row["status"] == "done"
+        assert row["seconds"] == 5.0
+
+    def test_update_missing(self):
+        db = DisarDatabase()
+        db.create_table("t")
+        with pytest.raises(KeyError):
+            db.update("t", 7, x=1)
+
+    def test_delete(self):
+        db = DisarDatabase()
+        row_id = db.insert("t", {"v": 1})
+        db.delete("t", row_id)
+        with pytest.raises(KeyError):
+            db.get("t", row_id)
+        with pytest.raises(KeyError):
+            db.delete("t", row_id)
+
+    def test_clear(self):
+        db = DisarDatabase()
+        db.insert_many("t", [{"v": i} for i in range(3)])
+        db.clear("t")
+        assert db.count("t") == 0
+        assert "t" in db.tables()
+
+
+class TestQueries:
+    def test_equality_filter(self):
+        db = DisarDatabase()
+        db.insert_many("runs", [{"vm": "c3", "t": 10}, {"vm": "c4", "t": 20},
+                                {"vm": "c3", "t": 30}])
+        rows = db.query("runs", vm="c3")
+        assert [r["t"] for r in rows] == [10, 30]
+
+    def test_predicate_filter(self):
+        db = DisarDatabase()
+        db.insert_many("runs", [{"t": i} for i in range(10)])
+        rows = db.query("runs", predicate=lambda r: r["t"] >= 7)
+        assert len(rows) == 3
+
+    def test_combined_filters(self):
+        db = DisarDatabase()
+        db.insert_many("runs", [{"vm": "c3", "t": i} for i in range(5)])
+        rows = db.query("runs", predicate=lambda r: r["t"] > 2, vm="c3")
+        assert len(rows) == 2
+
+    def test_insertion_order(self):
+        db = DisarDatabase()
+        db.insert_many("t", [{"v": i} for i in (5, 3, 9)])
+        assert [r["v"] for r in db.all("t")] == [5, 3, 9]
+
+    def test_count(self):
+        db = DisarDatabase()
+        db.insert_many("t", [{"k": "a"}, {"k": "b"}, {"k": "a"}])
+        assert db.count("t") == 3
+        assert db.count("t", k="a") == 2
+
+    def test_query_returns_copies(self):
+        db = DisarDatabase()
+        db.insert("t", {"v": 1})
+        rows = db.query("t")
+        rows[0]["v"] = 99
+        assert db.all("t")[0]["v"] == 1
+
+
+class TestConcurrency:
+    def test_parallel_inserts_unique_ids(self):
+        db = DisarDatabase()
+        db.create_table("t")
+        errors = []
+
+        def insert_many():
+            try:
+                for _ in range(200):
+                    db.insert("t", {"x": 1})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=insert_many) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        rows = db.all("t")
+        assert len(rows) == 1600
+        ids = [r["_id"] for r in rows]
+        assert len(set(ids)) == 1600

@@ -1,0 +1,126 @@
+"""Tests for EEBs and characteristic parameters."""
+
+import numpy as np
+import pytest
+
+from repro.disar.eeb import (
+    CharacteristicParameters,
+    EEBType,
+    ElementaryElaborationBlock,
+    SimulationSettings,
+)
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.segregated_fund import SegregatedFund
+from repro.stochastic.scenario import RiskDriverSpec
+
+
+def make_block(n_contracts=3, term=10, eeb_type=EEBType.ALM, settings=None):
+    contracts = [
+        PolicyContract(ContractKind.PURE_ENDOWMENT, 40 + i, "M", term, 1000.0)
+        for i in range(n_contracts)
+    ]
+    return ElementaryElaborationBlock(
+        eeb_id="test/eeb-000",
+        eeb_type=eeb_type,
+        contracts=contracts,
+        fund=SegregatedFund(),
+        spec=RiskDriverSpec.standard(),
+        settings=settings or SimulationSettings(),
+    )
+
+
+class TestCharacteristicParameters:
+    def test_feature_vector_order(self):
+        params = CharacteristicParameters(10, 20, 100, 4)
+        np.testing.assert_allclose(params.as_features(), [10, 20, 100, 4])
+
+    def test_feature_names_match_vector(self):
+        assert len(CharacteristicParameters.feature_names()) == 4
+
+    def test_positive_validation(self):
+        with pytest.raises(ValueError, match="n_contracts"):
+            CharacteristicParameters(0, 20, 100, 4)
+        with pytest.raises(ValueError, match="max_horizon"):
+            CharacteristicParameters(1, 0, 100, 4)
+
+    def test_frozen_and_hashable(self):
+        a = CharacteristicParameters(10, 20, 100, 4)
+        b = CharacteristicParameters(10, 20, 100, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSimulationSettings:
+    def test_paper_defaults(self):
+        settings = SimulationSettings()
+        assert settings.n_outer == 1000
+        assert settings.n_inner == 50
+        assert settings.use_lsmc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationSettings(n_outer=0)
+        with pytest.raises(ValueError):
+            SimulationSettings(n_inner=-1)
+        with pytest.raises(ValueError):
+            SimulationSettings(lsmc_outer_calibration=0)
+        with pytest.raises(ValueError):
+            SimulationSettings(lsmc_degree=0)
+        with pytest.raises(ValueError):
+            SimulationSettings(steps_per_year=0)
+
+
+class TestElementaryElaborationBlock:
+    def test_characteristic_parameters_derived(self):
+        block = make_block(n_contracts=5, term=12)
+        params = block.characteristic_parameters
+        assert params.n_contracts == 5
+        assert params.max_horizon == 12
+        assert params.n_fund_assets == block.fund.mix.n_positions
+        assert params.n_risk_factors == block.spec.n_financial_drivers
+
+    def test_empty_contracts_rejected(self):
+        with pytest.raises(ValueError, match="no contracts"):
+            make_block(n_contracts=0)
+
+    def test_alm_complexity_dominates_actuarial(self):
+        alm = make_block(eeb_type=EEBType.ALM)
+        act = make_block(eeb_type=EEBType.ACTUARIAL)
+        assert alm.complexity() > 10 * act.complexity()
+
+    def test_complexity_scales_with_outer(self):
+        # Without LSMC the cost is linear in the outer count; with LSMC
+        # the fixed calibration makes the scaling sub-linear but still
+        # increasing.
+        small = make_block(
+            settings=SimulationSettings(n_outer=100, n_inner=10, use_lsmc=False)
+        )
+        large = make_block(
+            settings=SimulationSettings(n_outer=1000, n_inner=10, use_lsmc=False)
+        )
+        assert large.complexity() == pytest.approx(10 * small.complexity())
+        lsmc_small = make_block(settings=SimulationSettings(n_outer=100, n_inner=10))
+        lsmc_large = make_block(settings=SimulationSettings(n_outer=1000, n_inner=10))
+        assert lsmc_small.complexity() < lsmc_large.complexity()
+
+    def test_lsmc_reduces_complexity(self):
+        plain = make_block(
+            settings=SimulationSettings(n_outer=1000, n_inner=50, use_lsmc=False)
+        )
+        lsmc = make_block(
+            settings=SimulationSettings(n_outer=1000, n_inner=50,
+                                        lsmc_outer_calibration=100)
+        )
+        assert lsmc.complexity() < plain.complexity() / 2
+
+    def test_complexity_grows_with_contracts_and_horizon(self):
+        base = make_block(n_contracts=5, term=10)
+        more_contracts = make_block(n_contracts=50, term=10)
+        longer = make_block(n_contracts=5, term=30)
+        assert more_contracts.complexity() > base.complexity()
+        assert longer.complexity() > base.complexity()
+
+    def test_describe(self):
+        text = make_block().describe()
+        assert "type B" in text
+        assert "contracts=3" in text

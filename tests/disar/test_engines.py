@@ -1,0 +1,167 @@
+"""Tests for DiActEng, DiAlmEng and DiEng dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import run_spmd
+from repro.disar.actuarial_engine import ActuarialEngine
+from repro.disar.alm_engine import ALMEngine
+from repro.disar.eeb import EEBType, ElementaryElaborationBlock
+from repro.disar.engine import DisarEngineService
+
+
+def clone_as_type(block, eeb_type):
+    return ElementaryElaborationBlock(
+        eeb_id=block.eeb_id + "/clone",
+        eeb_type=eeb_type,
+        contracts=block.contracts,
+        fund=block.fund,
+        spec=block.spec,
+        settings=block.settings,
+    )
+
+
+@pytest.fixture(scope="module")
+def alm_block(small_campaign):
+    return small_campaign.alm_blocks()[0]
+
+
+@pytest.fixture(scope="module")
+def actuarial_block(small_campaign):
+    return clone_as_type(small_campaign.alm_blocks()[0], EEBType.ACTUARIAL)
+
+
+class TestActuarialEngine:
+    def test_produces_table_per_contract(self, actuarial_block):
+        result = ActuarialEngine().process(actuarial_block)
+        assert len(result.tables) == len(actuarial_block.contracts)
+        assert result.elapsed_seconds >= 0
+
+    def test_aggregate_exposure_positive_and_decreasing_tail(self, actuarial_block):
+        result = ActuarialEngine().process(actuarial_block)
+        exposure = result.aggregate_exposure
+        assert exposure[0] > 0
+        assert result.horizon == max(c.term for c in actuarial_block.contracts)
+
+    def test_rejects_type_b(self, alm_block):
+        with pytest.raises(ValueError, match="type-B"):
+            ActuarialEngine().process(alm_block)
+
+
+class TestALMEngine:
+    def test_sequential_lsmc(self, alm_block):
+        result = ALMEngine().process(alm_block)
+        assert result.base_value > 0
+        assert result.n_outer == alm_block.settings.n_outer
+        assert np.isfinite(result.scr_report.scr)
+
+    def test_sequential_plain_nested(self, small_campaign, alm_block):
+        from dataclasses import replace
+
+        block = ElementaryElaborationBlock(
+            eeb_id="plain",
+            eeb_type=EEBType.ALM,
+            contracts=alm_block.contracts[:3],
+            fund=alm_block.fund,
+            spec=alm_block.spec,
+            settings=replace(small_campaign.settings, use_lsmc=False, n_outer=12),
+        )
+        result = ALMEngine().process(block)
+        assert result.n_outer == 12
+
+    def test_rejects_type_a(self, actuarial_block):
+        with pytest.raises(ValueError, match="type-A"):
+            ALMEngine().process(actuarial_block)
+
+    def test_distributed_matches_outer_count(self, alm_block):
+        results = run_spmd(
+            3, lambda comm: ALMEngine().process_distributed(comm, alm_block)
+        )
+        assert results[0] is not None
+        assert results[1] is None and results[2] is None
+        assert results[0].n_outer == alm_block.settings.n_outer
+        assert results[0].n_ranks == 3
+
+    def test_distributed_value_consistent_with_sequential(self, alm_block):
+        sequential = ALMEngine().process(alm_block)
+        distributed = run_spmd(
+            2, lambda comm: ALMEngine().process_distributed(comm, alm_block)
+        )[0]
+        # Same LSMC calibration seed, different outer draws: the mean
+        # conditional values must agree within Monte Carlo noise.
+        gap = abs(distributed.outer_values.mean() - sequential.outer_values.mean())
+        assert gap / sequential.outer_values.mean() < 0.1
+
+    def test_more_ranks_than_outer_paths(self, small_campaign, alm_block):
+        from dataclasses import replace
+
+        block = ElementaryElaborationBlock(
+            eeb_id="tiny",
+            eeb_type=EEBType.ALM,
+            contracts=alm_block.contracts[:2],
+            fund=alm_block.fund,
+            spec=alm_block.spec,
+            settings=replace(small_campaign.settings, n_outer=2),
+        )
+        results = run_spmd(
+            4, lambda comm: ALMEngine().process_distributed(comm, block)
+        )
+        assert results[0].n_outer == 2
+
+
+class TestPipelineConsistency:
+    def test_actuarial_tables_match_alm_decrements(self, actuarial_block):
+        # The probabilized flows DiActEng produces must be exactly the
+        # decrement tables the ALM valuation consumes: DISAR's two-stage
+        # pipeline is only correct if the stages agree.
+        from repro.financial.valuation import LiabilityValuator
+
+        result = ActuarialEngine().process(actuarial_block)
+        valuator = LiabilityValuator(
+            actuarial_block.spec.mortality, actuarial_block.spec.lapse
+        )
+        for index, contract in enumerate(actuarial_block.contracts):
+            expected = valuator.decrement_table(contract)
+            np.testing.assert_allclose(
+                result.tables[index].in_force, expected.in_force
+            )
+            np.testing.assert_allclose(
+                result.tables[index].death, expected.death
+            )
+
+    def test_aggregate_exposure_is_sum_of_contract_exposures(
+        self, actuarial_block
+    ):
+        result = ActuarialEngine().process(actuarial_block)
+        horizon = result.horizon
+        manual = np.zeros(horizon)
+        for index, contract in enumerate(actuarial_block.contracts):
+            manual[: contract.term] += (
+                contract.insured_sum
+                * contract.multiplicity
+                * result.tables[index].in_force
+            )
+        np.testing.assert_allclose(result.aggregate_exposure, manual)
+
+
+class TestDisarEngineService:
+    def test_dispatch_actuarial(self, actuarial_block):
+        service = DisarEngineService()
+        result = service.process(actuarial_block)
+        assert hasattr(result, "aggregate_exposure")
+        assert service.processed_count == 1
+
+    def test_dispatch_alm(self, alm_block):
+        service = DisarEngineService()
+        result = service.process(alm_block)
+        assert hasattr(result, "scr_report")
+
+    def test_timing_log(self, actuarial_block, alm_block):
+        service = DisarEngineService()
+        service.process(actuarial_block)
+        service.process(alm_block)
+        log = service.timing_log()
+        assert len(log) == 2
+        assert log[0][1] == "A"
+        assert log[1][1] == "B"
+        assert all(entry[2] >= 0 for entry in log)

@@ -1,0 +1,75 @@
+"""Tests for fault-tolerant campaign execution."""
+
+import pytest
+
+from repro.disar.eeb import EEBType
+from repro.disar.master import DisarMasterService
+from repro.disar.monitoring import ProgressMonitor
+
+
+class _FlakyBlock:
+    """Wraps an EEB so its valuation fails the first ``n_failures`` times.
+
+    Failures are injected through the complexity/valuation entry point
+    the engine calls; the wrapper delegates everything else.
+    """
+
+    def __init__(self, block, n_failures=1):
+        self._block = block
+        self._remaining = n_failures
+
+    def __getattr__(self, name):
+        return getattr(self._block, name)
+
+    # The engine dispatch reads eeb_type/contracts directly; the failure
+    # is injected at settings access inside the ALM engine run.
+    @property
+    def settings(self):
+        if self._remaining > 0:
+            self._remaining -= 1
+            raise RuntimeError("injected node failure")
+        return self._block.settings
+
+
+class TestFaultTolerance:
+    def test_failure_without_retries_aborts(self, small_campaign):
+        from repro.cluster.comm import MessagePassingError
+
+        blocks = list(small_campaign.alm_blocks()[:2])
+        blocks[0] = _FlakyBlock(blocks[0], n_failures=1)
+        master = DisarMasterService()
+        with pytest.raises(MessagePassingError):
+            master.execute(blocks, n_units=2)
+
+    def test_retry_recovers_flaky_block(self, small_campaign):
+        blocks = list(small_campaign.alm_blocks()[:3])
+        blocks[0] = _FlakyBlock(blocks[0], n_failures=1)
+        master = DisarMasterService()
+        monitor = ProgressMonitor()
+        report = master.execute(
+            blocks, n_units=2, max_retries=2, monitor=monitor
+        )
+        # All three blocks completed, including the flaky one on retry.
+        assert len(report.alm_results) == 3
+        assert monitor.failed_count() == 1
+
+    def test_permanently_failing_block_reported_missing(self, small_campaign):
+        blocks = list(small_campaign.alm_blocks()[:2])
+        blocks[1] = _FlakyBlock(blocks[1], n_failures=99)
+        master = DisarMasterService()
+        report = master.execute(blocks, n_units=2, max_retries=2)
+        assert len(report.alm_results) == 1
+        surviving = next(iter(report.alm_results))
+        assert surviving == blocks[0].eeb_id
+
+    def test_no_failures_same_results_with_retries_enabled(self,
+                                                           small_campaign):
+        blocks = small_campaign.alm_blocks()[:2]
+        master = DisarMasterService()
+        plain = master.execute(blocks, n_units=2)
+        retried = master.execute(blocks, n_units=2, max_retries=3)
+        assert set(plain.alm_results) == set(retried.alm_results)
+        for eeb_id in plain.alm_results:
+            assert plain.alm_results[eeb_id].base_value == pytest.approx(
+                retried.alm_results[eeb_id].base_value
+            )

@@ -1,0 +1,153 @@
+"""Tests for DiMaS orchestration and the DiInt client."""
+
+import pytest
+
+from repro.disar.database import DisarDatabase
+from repro.disar.eeb import EEBType
+from repro.disar.interface import DisarInterface
+from repro.disar.master import DisarMasterService
+
+
+class TestDecompose:
+    def test_pairs_type_a_and_b(self, small_campaign, fast_settings):
+        master = DisarMasterService()
+        blocks = master.decompose(
+            small_campaign.portfolios, blocks_per_portfolio=2,
+            settings=fast_settings,
+        )
+        type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
+        type_b = [b for b in blocks if b.eeb_type is EEBType.ALM]
+        assert len(type_a) == len(type_b) == 4
+
+    def test_blocks_recorded_in_database(self, small_campaign, fast_settings):
+        db = DisarDatabase()
+        master = DisarMasterService(db)
+        master.decompose(small_campaign.portfolios, 2, fast_settings)
+        rows = db.all("eebs")
+        assert len(rows) == 8
+        assert {"n_contracts", "complexity"} <= set(rows[0])
+
+    def test_empty_portfolio_list_rejected(self):
+        with pytest.raises(ValueError, match="portfolio"):
+            DisarMasterService().decompose([])
+
+
+class TestSchedule:
+    def test_lpt_balances_loads(self, small_campaign):
+        blocks = small_campaign.alm_blocks()
+        assignment = DisarMasterService.schedule(blocks, 2)
+        loads = [
+            sum(b.complexity() for b in unit_blocks)
+            for unit_blocks in assignment.values()
+        ]
+        heaviest = max(b.complexity() for b in blocks)
+        assert max(loads) - min(loads) <= heaviest
+
+    def test_all_blocks_assigned_once(self, small_campaign):
+        blocks = small_campaign.alm_blocks()
+        assignment = DisarMasterService.schedule(blocks, 3)
+        assigned = [b.eeb_id for unit in assignment.values() for b in unit]
+        assert sorted(assigned) == sorted(b.eeb_id for b in blocks)
+
+    def test_invalid_units(self, small_campaign):
+        with pytest.raises(ValueError, match="n_units"):
+            DisarMasterService.schedule(small_campaign.blocks, 0)
+
+
+class TestExecute:
+    def test_grid_mode(self, small_campaign):
+        import numpy as np
+
+        master = DisarMasterService()
+        report = master.execute(small_campaign.blocks, n_units=2)
+        assert len(report.alm_results) == len(small_campaign.alm_blocks())
+        assert report.total_base_value > 0
+        # SCR is floored at zero per block; the raw loss quantiles must
+        # be finite for every block.
+        assert report.total_scr >= 0
+        for result in report.alm_results.values():
+            assert np.isfinite(result.scr_report.raw_quantile)
+        assert report.n_units == 2
+
+    def test_distributed_mode(self, small_campaign):
+        master = DisarMasterService()
+        blocks = small_campaign.alm_blocks()[:2]
+        report = master.execute(blocks, n_units=3, distribute_alm=True)
+        assert len(report.alm_results) == 2
+        for result in report.alm_results.values():
+            assert result.n_ranks == 3
+
+    def test_elaboration_logged(self, small_campaign):
+        db = DisarDatabase()
+        master = DisarMasterService(db)
+        master.execute(small_campaign.alm_blocks()[:1], n_units=1)
+        rows = db.all("elaborations")
+        assert len(rows) == 1
+        assert rows[0]["n_blocks"] == 1
+
+    def test_summary_text(self, small_campaign):
+        master = DisarMasterService()
+        report = master.execute(small_campaign.alm_blocks()[:1], n_units=1)
+        assert "type-B blocks: 1" in report.summary()
+
+
+class TestDisarInterface:
+    def test_register_and_run(self, small_campaign, fast_settings):
+        interface = DisarInterface(settings=fast_settings)
+        interface.register_portfolio(small_campaign.portfolios[0])
+        report = interface.run_campaign(n_units=2, blocks_per_portfolio=2)
+        assert report.total_base_value > 0
+        assert len(interface.campaign_history()) == 1
+        assert "type-B" in interface.progress_summary()
+
+    def test_duplicate_portfolio_rejected(self, small_campaign, fast_settings):
+        interface = DisarInterface(settings=fast_settings)
+        interface.register_portfolio(small_campaign.portfolios[0])
+        with pytest.raises(ValueError, match="already registered"):
+            interface.register_portfolio(small_campaign.portfolios[0])
+
+    def test_no_portfolio_rejected(self, fast_settings):
+        interface = DisarInterface(settings=fast_settings)
+        with pytest.raises(ValueError, match="no portfolios"):
+            interface.build_blocks()
+
+    def test_deadline_setting(self, fast_settings):
+        interface = DisarInterface(settings=fast_settings)
+        interface.set_deadline(1800.0)
+        assert interface.tmax_seconds == 1800.0
+        with pytest.raises(ValueError, match="tmax"):
+            interface.set_deadline(0.0)
+        with pytest.raises(ValueError, match="tmax"):
+            DisarInterface(tmax_seconds=-5.0)
+
+    def test_progress_before_any_campaign(self, fast_settings):
+        interface = DisarInterface(settings=fast_settings)
+        assert "No campaign" in interface.progress_summary()
+
+    def test_run_campaign_cloud(self, small_campaign, fast_settings):
+        from repro.core.deploy import TransparentDeploySystem
+
+        interface = DisarInterface(settings=fast_settings)
+        interface.set_deadline(3600.0)
+        interface.register_portfolio(small_campaign.portfolios[0])
+        deploy = TransparentDeploySystem(bootstrap_runs=2, seed=3)
+        outcome = interface.run_campaign_cloud(
+            deploy, blocks_per_portfolio=2
+        )
+        assert outcome.measured_seconds > 0
+        assert len(deploy.knowledge_base) == 1
+        # The local actuarial stage ran on the client.
+        assert interface.database.count("elaborations") == 1
+
+    def test_run_campaign_cloud_with_results(self, small_campaign,
+                                             fast_settings):
+        from repro.core.deploy import TransparentDeploySystem
+
+        interface = DisarInterface(settings=fast_settings)
+        interface.register_portfolio(small_campaign.portfolios[1])
+        deploy = TransparentDeploySystem(bootstrap_runs=2, seed=4)
+        outcome = interface.run_campaign_cloud(
+            deploy, blocks_per_portfolio=2, compute_results=True
+        )
+        assert outcome.report is not None
+        assert interface.campaign_history()[-1] is outcome.report

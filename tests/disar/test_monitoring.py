@@ -1,0 +1,88 @@
+"""Tests for elaboration progress monitoring."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.disar.master import DisarMasterService
+from repro.disar.monitoring import ProgressMonitor
+
+
+class TestProgressMonitor:
+    def test_record_and_counts(self):
+        monitor = ProgressMonitor(total_blocks=3)
+        monitor.record(0, "a", "started")
+        monitor.record(0, "a", "completed", 1.5)
+        monitor.record(1, "b", "failed")
+        assert monitor.completed_count() == 1
+        assert monitor.failed_count() == 1
+        assert monitor.completion_fraction() == pytest.approx(1 / 3)
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="status"):
+            ProgressMonitor().record(0, "a", "paused")
+
+    def test_completion_fraction_unknown_total(self):
+        monitor = ProgressMonitor()
+        monitor.record(0, "a", "completed", 1.0)
+        assert np.isnan(monitor.completion_fraction())
+
+    def test_busy_seconds(self):
+        monitor = ProgressMonitor(total_blocks=4)
+        monitor.record(0, "a", "completed", 2.0)
+        monitor.record(0, "b", "completed", 3.0)
+        monitor.record(1, "c", "completed", 1.0)
+        busy = monitor.busy_seconds_per_unit()
+        assert busy == {0: 5.0, 1: 1.0}
+
+    def test_idle_fractions(self):
+        monitor = ProgressMonitor(total_blocks=3)
+        monitor.record(0, "a", "completed", 4.0)
+        monitor.record(1, "b", "completed", 1.0)
+        idle = monitor.idle_fractions()
+        assert idle[0] == pytest.approx(0.0)
+        assert idle[1] == pytest.approx(0.75)
+
+    def test_idle_empty(self):
+        assert ProgressMonitor().idle_fractions() == {}
+
+    def test_summary(self):
+        monitor = ProgressMonitor(total_blocks=2)
+        monitor.record(0, "a", "completed", 1.0)
+        text = monitor.summary()
+        assert "1/2 blocks" in text
+        assert "unit 0" in text
+
+    def test_thread_safety(self):
+        monitor = ProgressMonitor(total_blocks=800)
+
+        def worker(unit):
+            for i in range(100):
+                monitor.record(unit, f"{unit}-{i}", "completed", 0.01)
+
+        threads = [threading.Thread(target=worker, args=(u,)) for u in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert monitor.completed_count() == 800
+
+
+class TestMasterIntegration:
+    def test_grid_execution_reports_progress(self, small_campaign):
+        monitor = ProgressMonitor()
+        master = DisarMasterService()
+        master.execute(small_campaign.blocks, n_units=2, monitor=monitor)
+        assert monitor.total_blocks == len(small_campaign.blocks)
+        assert monitor.completed_count() == len(small_campaign.blocks)
+        assert monitor.completion_fraction() == pytest.approx(1.0)
+        # Both units actually worked.
+        assert set(monitor.busy_seconds_per_unit()) == {0, 1}
+
+    def test_distributed_execution_reports_progress(self, small_campaign):
+        monitor = ProgressMonitor()
+        master = DisarMasterService()
+        blocks = small_campaign.alm_blocks()[:2]
+        master.execute(blocks, n_units=2, distribute_alm=True, monitor=monitor)
+        assert monitor.completed_count() == 2

@@ -1,0 +1,71 @@
+"""Tests for DiMaS scheduling policies and makespan computation."""
+
+import pytest
+
+from repro.disar.master import DisarMasterService
+
+
+class TestSchedulePolicies:
+    def test_round_robin_cyclic(self, small_campaign):
+        blocks = small_campaign.blocks
+        assignment = DisarMasterService.schedule(
+            blocks, 3, policy="round_robin"
+        )
+        assert assignment[0][0] is blocks[0]
+        assert assignment[1][0] is blocks[1]
+        assert assignment[2][0] is blocks[2]
+        total = sum(len(v) for v in assignment.values())
+        assert total == len(blocks)
+
+    def test_lpt_default(self, small_campaign):
+        by_default = DisarMasterService.schedule(small_campaign.blocks, 2)
+        explicit = DisarMasterService.schedule(
+            small_campaign.blocks, 2, policy="lpt"
+        )
+        assert {
+            unit: [b.eeb_id for b in blocks]
+            for unit, blocks in by_default.items()
+        } == {
+            unit: [b.eeb_id for b in blocks]
+            for unit, blocks in explicit.items()
+        }
+
+    def test_unknown_policy_rejected(self, small_campaign):
+        with pytest.raises(ValueError, match="policy"):
+            DisarMasterService.schedule(small_campaign.blocks, 2,
+                                        policy="random")
+
+    def test_lpt_makespan_never_worse(self, small_campaign):
+        blocks = small_campaign.blocks
+        for n_units in (2, 3, 4):
+            lpt = DisarMasterService.makespan(
+                DisarMasterService.schedule(blocks, n_units, policy="lpt")
+            )
+            rr = DisarMasterService.makespan(
+                DisarMasterService.schedule(blocks, n_units,
+                                            policy="round_robin")
+            )
+            assert lpt <= rr + 1e-9
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert DisarMasterService.makespan({}) == 0.0
+
+    def test_single_unit_is_total(self, small_campaign):
+        blocks = small_campaign.blocks
+        assignment = DisarMasterService.schedule(blocks, 1)
+        expected = sum(b.complexity() for b in blocks)
+        assert DisarMasterService.makespan(assignment) == pytest.approx(expected)
+
+    def test_greedy_bounds(self, small_campaign):
+        # Any greedy list schedule satisfies
+        # max(total/m, largest) <= makespan <= total/m + largest.
+        blocks = small_campaign.blocks
+        n_units = 3
+        assignment = DisarMasterService.schedule(blocks, n_units)
+        makespan = DisarMasterService.makespan(assignment)
+        total = sum(b.complexity() for b in blocks)
+        largest = max(b.complexity() for b in blocks)
+        assert makespan >= max(total / n_units, largest) - 1e-9
+        assert makespan <= total / n_units + largest + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for policy contract validation and helpers."""
+
+import pytest
+
+from repro.financial.contracts import ContractKind, PolicyContract
+
+
+def make(**overrides):
+    base = dict(
+        kind=ContractKind.PURE_ENDOWMENT, age=45, gender="M", term=10,
+        insured_sum=100_000.0,
+    )
+    base.update(overrides)
+    return PolicyContract(**base)
+
+
+class TestValidation:
+    def test_valid_contract(self):
+        contract = make()
+        assert contract.maturity_age == 55
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            ({"age": -1}, "age"),
+            ({"age": 200}, "age"),
+            ({"gender": "Z"}, "gender"),
+            ({"term": 0}, "term"),
+            ({"insured_sum": 0.0}, "insured_sum"),
+            ({"participation": 0.0}, "participation"),
+            ({"participation": 1.2}, "participation"),
+            ({"technical_rate": -0.01}, "technical_rate"),
+            ({"multiplicity": 0}, "multiplicity"),
+            ({"surrender_charge": 1.0}, "surrender_charge"),
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides, message):
+        with pytest.raises(ValueError, match=message):
+            make(**overrides)
+
+
+class TestBenefitStructure:
+    def test_pure_endowment(self):
+        contract = make(kind=ContractKind.PURE_ENDOWMENT)
+        assert contract.pays_on_survival()
+        assert not contract.pays_on_death()
+
+    def test_endowment(self):
+        contract = make(kind=ContractKind.ENDOWMENT)
+        assert contract.pays_on_survival()
+        assert contract.pays_on_death()
+
+    def test_term(self):
+        contract = make(kind=ContractKind.TERM)
+        assert not contract.pays_on_survival()
+        assert contract.pays_on_death()
+
+    def test_annuity(self):
+        contract = make(kind=ContractKind.WHOLE_LIFE_ANNUITY)
+        assert contract.pays_on_survival()
+        assert not contract.pays_on_death()
+
+    def test_describe_mentions_key_parameters(self):
+        text = make(multiplicity=25).describe()
+        assert "x25" in text
+        assert "M45" in text
+
+    def test_frozen(self):
+        contract = make()
+        with pytest.raises(AttributeError):
+            contract.age = 50

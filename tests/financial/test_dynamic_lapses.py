@@ -1,0 +1,95 @@
+"""Tests for path-dependent dynamic-lapse valuation."""
+
+import numpy as np
+import pytest
+
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.valuation import LiabilityValuator
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import GompertzMakeham
+
+
+def contract(**overrides):
+    base = dict(
+        kind=ContractKind.PURE_ENDOWMENT, age=50, gender="M", term=6,
+        insured_sum=1000.0, participation=0.8, technical_rate=0.02,
+    )
+    base.update(overrides)
+    return PolicyContract(**base)
+
+
+class TestDynamicLapses:
+    def test_zero_sensitivity_matches_static(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(),
+            LapseModel(base_rate=0.05, dynamic_sensitivity=0.0),
+        )
+        c = contract()
+        rng = np.random.default_rng(0)
+        credited = rng.uniform(0.0, 0.06, (20, 6))
+        static = valuator.cash_flows(c, credited).flows
+        dynamic = valuator.cash_flows_dynamic(c, credited).flows
+        np.testing.assert_allclose(dynamic, static, rtol=1e-12)
+
+    def test_shortfall_raises_lapses_per_path(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(a=1e-12, b=1e-12),  # no mortality noise
+            LapseModel(base_rate=0.03, dynamic_sensitivity=1.0),
+        )
+        c = contract(technical_rate=0.03)
+        # Path 0 always credits above the guarantee, path 1 always below.
+        credited = np.array([[0.06] * 6, [0.0] * 6])
+        flows = valuator.cash_flows_dynamic(c, credited).flows
+        # The shortfall path pays more surrender benefits early...
+        assert flows[1, 0] > flows[0, 0]
+        # ...and has fewer survivors left for the maturity benefit.
+        assert flows[1, -1] < flows[0, -1]
+
+    def test_no_lapse_in_maturity_year(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(a=1e-12, b=1e-12),
+            LapseModel(base_rate=0.5, dynamic_sensitivity=0.0),
+        )
+        c = contract(kind=ContractKind.TERM, term=3)
+        credited = np.zeros((1, 3))
+        flows = valuator.cash_flows_dynamic(c, credited).flows
+        # A term contract with ~no mortality: the only flows are lapse
+        # benefits, and the maturity year has none.
+        assert flows[0, 0] > 0
+        # Only the negligible residual mortality flow remains.
+        assert flows[0, -1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_value_api_switch(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(), LapseModel(base_rate=0.04,
+                                          dynamic_sensitivity=2.0)
+        )
+        c = contract()
+        rng = np.random.default_rng(1)
+        credited = rng.uniform(-0.02, 0.05, (50, 6))
+        df = np.exp(-0.02 * np.arange(7))[np.newaxis, :].repeat(50, axis=0)
+        static = valuator.value(c, credited, df)
+        dynamic = valuator.value(c, credited, df, dynamic_lapses=True)
+        # Both are valid positive values; with strong sensitivity they
+        # genuinely differ.
+        assert np.all(static > 0)
+        assert np.all(dynamic > 0)
+        assert not np.allclose(static, dynamic)
+
+    def test_validation(self):
+        valuator = LiabilityValuator(GompertzMakeham(), LapseModel())
+        with pytest.raises(ValueError, match="n_paths"):
+            valuator.cash_flows_dynamic(contract(), np.zeros(6))
+        with pytest.raises(ValueError, match="years of returns"):
+            valuator.cash_flows_dynamic(contract(term=10), np.zeros((1, 3)))
+
+    def test_annuity_dynamic(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(), LapseModel(base_rate=0.02,
+                                          dynamic_sensitivity=0.5)
+        )
+        c = contract(kind=ContractKind.WHOLE_LIFE_ANNUITY, term=8,
+                     insured_sum=100.0)
+        credited = np.full((3, 8), 0.01)
+        flows = valuator.cash_flows_dynamic(c, credited).flows
+        assert np.all(flows > 0)

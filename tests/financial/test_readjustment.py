@@ -1,0 +1,110 @@
+"""Tests for the readjustment mathematics (paper Eqs. 2, 3, 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.financial.readjustment import (
+    insured_sum_path,
+    readjustment_factor,
+    readjustment_rates,
+)
+
+
+class TestReadjustmentRates:
+    def test_guarantee_floors_at_zero(self):
+        # When beta * I_t < i the credited rate is the technical rate and
+        # the readjustment is zero — never negative.
+        rho = readjustment_rates(np.array([-0.5, 0.0, 0.01]), beta=0.8,
+                                 technical_rate=0.02)
+        np.testing.assert_allclose(rho, 0.0)
+
+    def test_participation_above_guarantee(self):
+        rho = readjustment_rates(np.array([0.10]), beta=0.8, technical_rate=0.02)
+        assert rho[0] == pytest.approx((0.08 - 0.02) / 1.02)
+
+    def test_eq3_formula_exact(self):
+        i, beta, ret = 0.03, 0.85, 0.06
+        rho = readjustment_rates(np.array([ret]), beta, i)
+        expected = (max(beta * ret, i) - i) / (1 + i)
+        assert rho[0] == pytest.approx(expected)
+
+    def test_zero_technical_rate(self):
+        rho = readjustment_rates(np.array([0.05]), beta=1.0, technical_rate=0.0)
+        assert rho[0] == pytest.approx(0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="beta"):
+            readjustment_rates(np.array([0.1]), beta=0.0, technical_rate=0.02)
+        with pytest.raises(ValueError, match="beta"):
+            readjustment_rates(np.array([0.1]), beta=1.5, technical_rate=0.02)
+        with pytest.raises(ValueError, match="technical rate"):
+            readjustment_rates(np.array([0.1]), beta=0.8, technical_rate=-0.01)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30),
+                   elements=st.floats(-0.5, 0.5)),
+        st.floats(0.1, 1.0),
+        st.floats(0.0, 0.05),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rho_never_negative(self, returns, beta, i):
+        rho = readjustment_rates(returns, beta, i)
+        assert np.all(rho >= 0.0)
+
+
+class TestReadjustmentFactor:
+    def test_eq2_identity(self):
+        # Phi_T = prod(1 + rho_t) must equal
+        # (1+i)^-T * prod(1 + max(beta I_t, i)).
+        returns = np.array([0.04, -0.02, 0.08, 0.01])
+        beta, i = 0.8, 0.02
+        phi = readjustment_factor(returns, beta, i)
+        credited = np.maximum(beta * returns, i)
+        alternative = (1 + i) ** (-len(returns)) * np.prod(1 + credited)
+        assert phi == pytest.approx(alternative)
+
+    def test_factor_at_least_one(self):
+        # rho_t >= 0 implies Phi_T >= 1 (the insured sum never shrinks).
+        returns = np.full(10, -0.3)
+        assert readjustment_factor(returns, 0.9, 0.02) >= 1.0
+
+    def test_batch_axis(self):
+        returns = np.array([[0.05, 0.05], [0.0, 0.0]])
+        phi = readjustment_factor(returns, 0.8, 0.02)
+        assert phi.shape == (2,)
+        assert phi[0] > phi[1] == pytest.approx(1.0)
+
+
+class TestInsuredSumPath:
+    def test_eq5_recursion(self):
+        returns = np.array([[0.05, 0.10, -0.02]])
+        beta, i, c0 = 0.8, 0.02, 1000.0
+        path = insured_sum_path(c0, returns, beta, i)
+        rho = readjustment_rates(returns, beta, i)
+        assert path.shape == (1, 4)
+        assert path[0, 0] == pytest.approx(c0)
+        for t in range(3):
+            assert path[0, t + 1] == pytest.approx(path[0, t] * (1 + rho[0, t]))
+
+    def test_terminal_sum_equals_c0_times_phi(self):
+        returns = np.array([[0.03, 0.06, 0.09, 0.0]])
+        path = insured_sum_path(500.0, returns, 0.85, 0.025)
+        phi = readjustment_factor(returns, 0.85, 0.025)
+        assert path[0, -1] == pytest.approx(500.0 * phi[0])
+
+    def test_invalid_initial_sum(self):
+        with pytest.raises(ValueError, match="positive"):
+            insured_sum_path(0.0, np.array([[0.05]]), 0.8, 0.02)
+
+    @given(
+        hnp.arrays(np.float64, (3, 12), elements=st.floats(-0.4, 0.4)),
+        st.floats(0.2, 1.0),
+        st.floats(0.0, 0.04),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_non_decreasing(self, returns, beta, i):
+        path = insured_sum_path(100.0, returns, beta, i)
+        assert np.all(np.diff(path, axis=-1) >= -1e-9)

@@ -1,0 +1,159 @@
+"""Tests for the segregated fund and book-value accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.financial.segregated_fund import (
+    AssetMix,
+    BookValueAccounting,
+    SegregatedFund,
+)
+from repro.stochastic.scenario import RiskDriverSpec, ScenarioGenerator
+
+
+class TestAssetMix:
+    def test_default_mix_valid(self):
+        mix = AssetMix()
+        assert mix.n_equities == 2
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AssetMix(government_bonds=0.5, corporate_bonds=0.5,
+                     equity_weights=(0.2,))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AssetMix(government_bonds=1.2, corporate_bonds=-0.2,
+                     equity_weights=())
+
+    def test_foreign_fraction_bounds(self):
+        with pytest.raises(ValueError, match="foreign_fraction"):
+            AssetMix(foreign_fraction=1.5)
+
+    def test_bond_maturity_bounds(self):
+        with pytest.raises(ValueError, match="bond_maturity"):
+            AssetMix(bond_maturity=0.5)
+
+    def test_positions_positive(self):
+        with pytest.raises(ValueError, match="n_positions"):
+            AssetMix(n_positions=0)
+
+
+class TestBookValueAccounting:
+    def test_smoothing_reduces_volatility(self):
+        rng = np.random.default_rng(0)
+        market = rng.normal(0.03, 0.08, (200, 30))
+        smooth = BookValueAccounting(smoothing=0.7).apply(market)
+        assert smooth.std() < market.std()
+
+    def test_zero_smoothing_zero_buffer_tracks_market_when_above_target(self):
+        accounting = BookValueAccounting(smoothing=0.0, target_return=0.0,
+                                         initial_buffer=0.0)
+        market = np.array([[0.05, 0.06, 0.07]])
+        credited = accounting.apply(market)
+        np.testing.assert_allclose(credited, market)
+
+    def test_buffer_release_hits_target(self):
+        accounting = BookValueAccounting(smoothing=0.0, target_return=0.03,
+                                         initial_buffer=0.10)
+        market = np.array([[0.0, 0.0]])
+        credited = accounting.apply(market)
+        np.testing.assert_allclose(credited, 0.03, atol=1e-12)
+
+    def test_buffer_exhaustion(self):
+        accounting = BookValueAccounting(smoothing=0.0, target_return=0.05,
+                                         initial_buffer=0.04)
+        market = np.zeros((1, 3))
+        credited = accounting.apply(market)
+        # Year 1 releases 0.04 of buffer... but replenishment is
+        # market - raw = 0 each year, so later years get nothing.
+        assert credited[0, 0] == pytest.approx(0.04)
+        assert credited[0, 1] == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="n_paths"):
+            BookValueAccounting().apply(np.zeros(5))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            BookValueAccounting(smoothing=1.0)
+        with pytest.raises(ValueError, match="initial_buffer"):
+            BookValueAccounting(initial_buffer=-0.1)
+
+    @given(hnp.arrays(np.float64, (5, 10), elements=st.floats(-0.3, 0.3)))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_of_return_mass(self, market):
+        # Credited returns plus the terminal buffer must equal market
+        # returns plus the initial buffer: the accounting only moves
+        # returns across time, it cannot create them.  The terminal
+        # buffer (reconstructed from the conservation identity) must
+        # never be negative — credited returns are always funded.
+        accounting = BookValueAccounting(smoothing=0.4, target_return=0.02,
+                                         initial_buffer=0.05)
+        credited = accounting.apply(market)
+        terminal_buffer = 0.05 + market.sum(axis=1) - credited.sum(axis=1)
+        assert np.all(terminal_buffer >= -1e-9)
+
+
+class TestSegregatedFund:
+    @pytest.fixture
+    def scenario(self, rng):
+        spec = RiskDriverSpec.standard(n_equities=2)
+        return ScenarioGenerator(spec).generate(100, 10.0, rng, steps_per_year=1)
+
+    def test_market_returns_shape(self, scenario):
+        fund = SegregatedFund()
+        returns = fund.market_returns(scenario)
+        assert returns.shape == (100, 10)
+
+    def test_credited_smoother_than_market(self, scenario):
+        fund = SegregatedFund()
+        market = fund.market_returns(scenario)
+        credited = fund.credited_returns(scenario)
+        assert credited.std() < market.std()
+
+    def test_subyearly_grid_is_subsampled(self, rng):
+        spec = RiskDriverSpec.standard()
+        scenario = ScenarioGenerator(spec).generate(10, 2.0, rng, steps_per_year=4)
+        returns = SegregatedFund().market_returns(scenario)
+        assert returns.shape == (10, 2)
+
+    def test_uneven_grid_rejected(self, rng):
+        spec = RiskDriverSpec.standard()
+        # horizon 0.9y in 3 steps -> dt = 0.3y, which does not divide a year.
+        scenario = ScenarioGenerator(spec).generate(5, 0.9, rng, steps_per_year=3)
+        with pytest.raises(ValueError, match="grid"):
+            SegregatedFund().market_returns(scenario)
+
+    def test_subyear_scenario_rejected(self, rng):
+        spec = RiskDriverSpec.standard()
+        scenario = ScenarioGenerator(spec).generate(5, 0.5, rng, steps_per_year=2)
+        with pytest.raises(ValueError, match="full year"):
+            SegregatedFund().market_returns(scenario)
+
+    def test_more_equity_classes_than_simulated_rejected(self, rng):
+        spec = RiskDriverSpec.standard(n_equities=1)
+        scenario = ScenarioGenerator(spec).generate(5, 2.0, rng)
+        mix = AssetMix(government_bonds=0.5, corporate_bonds=0.2,
+                       equity_weights=(0.2, 0.1))
+        with pytest.raises(ValueError, match="equity classes"):
+            SegregatedFund(mix=mix).market_returns(scenario)
+
+    def test_spec_required(self, scenario):
+        scenario.spec = None
+        with pytest.raises(ValueError, match="RiskDriverSpec"):
+            SegregatedFund().market_returns(scenario)
+
+    def test_all_bond_fund_tracks_rates(self, rng):
+        spec = RiskDriverSpec.standard(n_equities=1, with_currency=False,
+                                       with_credit=False)
+        scenario = ScenarioGenerator(spec).generate(200, 5.0, rng)
+        mix = AssetMix(government_bonds=1.0, corporate_bonds=0.0,
+                       equity_weights=(0.0,), foreign_fraction=0.0)
+        returns = SegregatedFund(mix=mix).market_returns(scenario)
+        # A pure rolling-bond fund at these parameters earns roughly the
+        # short rate on average.
+        assert abs(returns.mean() - scenario.short_rate.mean()) < 0.02

@@ -1,0 +1,151 @@
+"""Tests for liability valuation (decrement tables + pathwise values)."""
+
+import numpy as np
+import pytest
+
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.valuation import LiabilityValuator
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import GompertzMakeham
+
+
+@pytest.fixture
+def valuator():
+    return LiabilityValuator(GompertzMakeham(), LapseModel(base_rate=0.03))
+
+
+def contract(**overrides):
+    base = dict(
+        kind=ContractKind.PURE_ENDOWMENT, age=50, gender="M", term=5,
+        insured_sum=1000.0, participation=0.8, technical_rate=0.02,
+    )
+    base.update(overrides)
+    return PolicyContract(**base)
+
+
+class TestDecrementTable:
+    def test_consistency(self, valuator):
+        table = valuator.decrement_table(contract(term=20))
+        table.check_consistency()
+
+    def test_in_force_monotone_decreasing(self, valuator):
+        table = valuator.decrement_table(contract(term=15))
+        assert np.all(np.diff(table.in_force) < 0)
+
+    def test_no_lapse_in_maturity_year(self, valuator):
+        table = valuator.decrement_table(contract(term=7))
+        assert table.lapse[-1] == 0.0
+        assert table.lapse[0] > 0.0
+
+    def test_zero_lapse_model(self):
+        valuator = LiabilityValuator(GompertzMakeham(),
+                                     LapseModel(base_rate=0.0,
+                                                dynamic_sensitivity=0.0))
+        table = valuator.decrement_table(contract(term=10))
+        np.testing.assert_allclose(table.lapse, 0.0)
+
+    def test_death_probabilities_increase_with_age(self, valuator):
+        table = valuator.decrement_table(contract(age=70, term=20))
+        # Hazard rises fast enough at 70+ that yearly death mass
+        # increases initially despite the shrinking in-force base.
+        assert table.death[5] > table.death[0]
+
+
+class TestCashFlows:
+    def test_pure_endowment_single_flow_at_maturity(self):
+        valuator = LiabilityValuator(
+            GompertzMakeham(), LapseModel(base_rate=0.0, dynamic_sensitivity=0.0)
+        )
+        c = contract(term=3)
+        credited = np.zeros((4, 3))  # guarantee only
+        flows = valuator.cash_flows(c, credited)
+        assert flows.flows.shape == (4, 3)
+        np.testing.assert_allclose(flows.flows[:, :-1], 0.0)
+        table = valuator.decrement_table(c)
+        # At zero fund return the insured sum stays C0.
+        np.testing.assert_allclose(
+            flows.flows[:, -1], 1000.0 * table.in_force[-1]
+        )
+
+    def test_term_contract_pays_only_on_death(self, valuator):
+        c = contract(kind=ContractKind.TERM, term=4)
+        credited = np.zeros((2, 4))
+        flows = valuator.cash_flows(c, credited)
+        table = valuator.decrement_table(c)
+        expected = 1000.0 * table.death + 1000.0 * 0.98 * table.lapse
+        np.testing.assert_allclose(flows.flows[0], expected)
+
+    def test_annuity_pays_while_in_force(self, valuator):
+        c = contract(kind=ContractKind.WHOLE_LIFE_ANNUITY, term=5,
+                     insured_sum=100.0)
+        credited = np.zeros((1, 5))
+        flows = valuator.cash_flows(c, credited)
+        assert np.all(flows.flows[0] > 0)
+
+    def test_multiplicity_scales_linearly(self, valuator):
+        c1 = contract(multiplicity=1)
+        c10 = contract(multiplicity=10)
+        credited = np.full((3, 5), 0.04)
+        f1 = valuator.cash_flows(c1, credited).flows
+        f10 = valuator.cash_flows(c10, credited).flows
+        np.testing.assert_allclose(f10, 10.0 * f1)
+
+    def test_higher_returns_higher_flows(self, valuator):
+        c = contract(term=10)
+        low = valuator.cash_flows(c, np.full((1, 10), 0.0)).flows.sum()
+        high = valuator.cash_flows(c, np.full((1, 10), 0.10)).flows.sum()
+        assert high > low
+
+    def test_extra_years_ignored(self, valuator):
+        c = contract(term=3)
+        short = valuator.cash_flows(c, np.full((2, 3), 0.05)).flows
+        long = valuator.cash_flows(c, np.full((2, 8), 0.05)).flows
+        np.testing.assert_allclose(short, long)
+
+    def test_too_few_years_rejected(self, valuator):
+        with pytest.raises(ValueError, match="years of returns"):
+            valuator.cash_flows(contract(term=5), np.zeros((1, 3)))
+
+    def test_wrong_ndim_rejected(self, valuator):
+        with pytest.raises(ValueError, match="n_paths"):
+            valuator.cash_flows(contract(term=5), np.zeros(5))
+
+    def test_mismatched_decrement_table_rejected(self, valuator):
+        table = valuator.decrement_table(contract(term=3))
+        with pytest.raises(ValueError, match="decrement table"):
+            valuator.cash_flows(contract(term=5), np.zeros((1, 5)), table)
+
+
+class TestPresentValue:
+    def test_guaranteed_value_with_flat_discount(self):
+        # With zero lapse/mortality ~ 0 at young ages and zero returns,
+        # the PV approaches C0 * df(T).
+        valuator = LiabilityValuator(
+            GompertzMakeham(a=1e-12, b=1e-12),
+            LapseModel(base_rate=0.0, dynamic_sensitivity=0.0),
+        )
+        c = contract(age=30, term=5)
+        credited = np.zeros((1, 5))
+        df = np.concatenate([[1.0], np.exp(-0.03 * np.arange(1, 6))])[np.newaxis, :]
+        pv = valuator.value(c, credited, df)
+        assert pv[0] == pytest.approx(1000.0 * np.exp(-0.15), rel=1e-6)
+
+    def test_discount_column_mismatch_rejected(self, valuator):
+        c = contract(term=5)
+        flows = valuator.cash_flows(c, np.zeros((1, 5)))
+        with pytest.raises(ValueError, match="discount columns"):
+            flows.present_value(np.ones((1, 3)))
+
+    def test_wide_discount_matrix_truncated(self, valuator):
+        c = contract(term=3)
+        credited = np.zeros((2, 3))
+        df = np.ones((2, 10))
+        pv = valuator.value(c, credited, df)
+        assert pv.shape == (2,)
+
+    def test_value_positive_and_below_nominal(self, valuator):
+        c = contract(term=10)
+        credited = np.full((5, 10), 0.03)
+        df = np.exp(-0.02 * np.arange(11))[np.newaxis, :].repeat(5, axis=0)
+        pv = valuator.value(c, credited, df)
+        assert np.all(pv > 0)

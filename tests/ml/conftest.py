@@ -1,0 +1,30 @@
+"""Shared datasets for ML tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    """A nonlinear regression problem with known structure."""
+    rng = np.random.default_rng(42)
+    n = 500
+    x = rng.uniform(0.0, 1.0, (n, 4))
+    y = (
+        100.0 * x[:, 0]
+        + 50.0 * np.sin(3.0 * x[:, 1])
+        + 20.0 * x[:, 2] * x[:, 3]
+        + rng.normal(0.0, 5.0, n)
+    )
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    """A noiseless linear problem every learner should fit decently."""
+    rng = np.random.default_rng(7)
+    x = rng.uniform(0.0, 1.0, (300, 3))
+    y = 10.0 + 5.0 * x[:, 0] - 3.0 * x[:, 1] + 2.0 * x[:, 2]
+    return x, y

@@ -1,0 +1,103 @@
+"""Contract tests that every learner in the family must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.ml import ALGORITHMS, default_model_family
+from repro.ml.base import NotFittedError
+
+
+@pytest.fixture(params=sorted(ALGORITHMS), ids=sorted(ALGORITHMS))
+def model(request):
+    return ALGORITHMS[request.param](seed=0)
+
+
+class TestRegressorContract:
+    def test_fit_returns_self(self, model, linear_data):
+        x, y = linear_data
+        assert model.fit(x, y) is model
+
+    def test_predict_before_fit_raises(self, model):
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 3)))
+
+    def test_predict_shape(self, model, linear_data):
+        x, y = linear_data
+        model.fit(x, y)
+        assert model.predict(x[:10]).shape == (10,)
+
+    def test_predict_accepts_single_row(self, model, linear_data):
+        x, y = linear_data
+        model.fit(x, y)
+        assert model.predict(x[0]).shape == (1,)
+
+    def test_feature_count_mismatch_rejected(self, model, linear_data):
+        x, y = linear_data
+        model.fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((2, 5)))
+
+    def test_deterministic_given_seed(self, model, regression_data):
+        x, y = regression_data
+        cls = type(model)
+        a = cls(seed=11).fit(x, y).predict(x[:20])
+        b = cls(seed=11).fit(x, y).predict(x[:20])
+        np.testing.assert_array_equal(a, b)
+
+    def test_clone_is_unfitted_same_hyperparams(self, model, linear_data):
+        x, y = linear_data
+        model.fit(x, y)
+        copy = model.clone()
+        assert not copy.is_fitted
+        assert type(copy) is type(model)
+        assert copy.seed == model.seed
+
+    def test_clone_learns_same(self, model, regression_data):
+        x, y = regression_data
+        model.fit(x, y)
+        copy = model.clone().fit(x, y)
+        np.testing.assert_allclose(model.predict(x[:10]), copy.predict(x[:10]))
+
+    def test_validation_errors(self, model):
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError, match="1-D"):
+            model.fit(np.zeros((3, 2)), np.zeros((3, 1)))
+        with pytest.raises(ValueError, match="rows"):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="empty"):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError, match="finite"):
+            model.fit(np.array([[np.nan, 1.0]]), np.array([1.0]))
+
+    def test_beats_trivial_model_on_structured_data(self, model, regression_data):
+        # Every learner must do clearly better than predicting the mean.
+        x, y = regression_data
+        train, test = slice(0, 350), slice(350, None)
+        model.fit(x[train], y[train])
+        pred = model.predict(x[test])
+        rmse = float(np.sqrt(np.mean((pred - y[test]) ** 2)))
+        trivial = float(y[test].std())
+        assert rmse < 0.7 * trivial
+
+    def test_constant_target_learned(self, model):
+        x = np.random.default_rng(0).uniform(0, 1, (50, 2))
+        y = np.full(50, 42.0)
+        model.fit(x, y)
+        np.testing.assert_allclose(model.predict(x[:5]), 42.0, atol=1.0)
+
+
+class TestFamilyFactory:
+    def test_six_members(self):
+        family = default_model_family()
+        assert set(family) == {"MLP", "RT", "RF", "IBk", "KStar", "DT"}
+
+    def test_fresh_instances(self):
+        a = default_model_family()
+        b = default_model_family()
+        for name in a:
+            assert a[name] is not b[name]
+
+    def test_names_match_keys(self):
+        for name, model in default_model_family().items():
+            assert model.name == name

@@ -1,0 +1,96 @@
+"""Property-based tests on the ML learners' internal guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.decision_table import DecisionTable
+from repro.ml.ibk import IBk
+from repro.ml.kstar import KStar
+from repro.ml.random_tree import RandomTree
+
+
+class TestKStarProperties:
+    @given(st.floats(0.02, 0.5), st.floats(0.51, 1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_scale_monotone_in_blend(self, blend_lo, blend_hi):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (60, 2))
+        y = x[:, 0] * 10.0
+        narrow = KStar(blend=blend_lo).fit(x, y)
+        wide = KStar(blend=blend_hi).fit(x, y)
+        # Larger blend -> more effective neighbours -> larger kernel scale.
+        assert wide.scale >= narrow.scale
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_hull(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (40, 2))
+        y = rng.uniform(-5, 5, 40)
+        model = KStar(blend=0.3).fit(x, y)
+        queries = rng.uniform(0, 1, (10, 2))
+        predictions = model.predict(queries)
+        # A kernel-weighted mean can never leave the target range.
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+
+class TestIBkProperties:
+    @given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_hull(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (30, 3))
+        y = rng.uniform(-100, 100, 30)
+        model = IBk(k=k).fit(x, y)
+        predictions = model.predict(rng.uniform(0, 1, (8, 3)))
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+
+class TestRandomTreeProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_leaf_predictions_within_hull(self, seed, min_leaf):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (50, 2))
+        y = rng.uniform(-10, 10, 50)
+        tree = RandomTree(min_leaf=min_leaf, seed=0).fit(x, y)
+        predictions = tree.predict(rng.uniform(-0.5, 1.5, (20, 2)))
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_deeper_tree_never_increases_training_error(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (60, 2))
+        y = rng.normal(0, 1, 60)
+        shallow = RandomTree(max_depth=2, seed=1).fit(x, y)
+        deep = RandomTree(max_depth=10, seed=1).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep <= err_shallow + 1e-9
+
+
+class TestDecisionTableProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_predictions_within_target_hull(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, (60, 3))
+        y = rng.uniform(0, 50, 60)
+        model = DecisionTable(seed=0).fit(x, y)
+        predictions = model.predict(rng.uniform(0, 1, (15, 3)))
+        # Cell means and the global mean are convex combinations of y.
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_selected_features_subset_of_columns(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, (100, 4))
+        y = 5.0 * x[:, 2]
+        model = DecisionTable(seed=0).fit(x, y)
+        assert set(model.selected_features) <= {0, 1, 2, 3}

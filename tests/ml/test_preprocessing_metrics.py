@@ -1,0 +1,170 @@
+"""Tests for preprocessing and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_signed_error,
+    r_squared,
+    root_mean_squared_error,
+)
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, train_test_split
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, (500, 3))
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 2, (100, 2))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-12
+        )
+
+    def test_constant_feature(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 10, (200, 4))
+        scaled = MinMaxScaler().fit_transform(x)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_out_of_range_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        np.testing.assert_allclose(scaler.transform(np.array([[2.0]])), 1.0)
+        np.testing.assert_allclose(scaler.transform(np.array([[-1.0]])), 0.0)
+
+    def test_no_clip_option(self):
+        scaler = MinMaxScaler(clip=False).fit(np.array([[0.0], [1.0]]))
+        assert scaler.transform(np.array([[2.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_constant_feature_maps_to_zero(self):
+        scaled = MinMaxScaler().fit_transform(np.full((5, 1), 3.0))
+        np.testing.assert_allclose(scaled, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestTrainTestSplit:
+    def test_paper_default_is_40_60(self):
+        x = np.arange(100.0)[:, np.newaxis]
+        y = np.arange(100.0)
+        xtr, xte, ytr, yte = train_test_split(x, y, rng=0)
+        assert len(xtr) == 40
+        assert len(xte) == 60
+
+    def test_partition_is_exact(self):
+        x = np.arange(50.0)[:, np.newaxis]
+        y = np.arange(50.0)
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.3, rng=1)
+        combined = np.sort(np.concatenate([ytr, yte]))
+        np.testing.assert_array_equal(combined, y)
+
+    def test_features_follow_targets(self):
+        x = np.arange(30.0)[:, np.newaxis] * 2.0
+        y = np.arange(30.0)
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.5, rng=2)
+        np.testing.assert_allclose(xtr[:, 0], ytr * 2.0)
+
+    def test_deterministic(self):
+        x = np.arange(20.0)[:, np.newaxis]
+        y = np.arange(20.0)
+        a = train_test_split(x, y, rng=3)
+        b = train_test_split(x, y, rng=3)
+        np.testing.assert_array_equal(a[2], b[2])
+
+    def test_invalid_args(self):
+        x = np.zeros((5, 1))
+        y = np.zeros(5)
+        with pytest.raises(ValueError, match="train_fraction"):
+            train_test_split(x, y, 1.0)
+        with pytest.raises(ValueError, match="rows"):
+            train_test_split(x, np.zeros(4))
+        with pytest.raises(ValueError, match="two samples"):
+            train_test_split(np.zeros((1, 1)), np.zeros(1))
+
+    def test_extreme_fraction_leaves_both_sides_nonempty(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        xtr, xte, *_ = train_test_split(x, y, 0.999, rng=0)
+        assert len(xtr) >= 1
+        assert len(xte) >= 1
+
+
+class TestMetrics:
+    def test_mean_signed_error_sign(self):
+        actual = np.array([10.0, 20.0])
+        over = np.array([15.0, 25.0])
+        under = np.array([5.0, 15.0])
+        assert mean_signed_error(over, actual) == 5.0
+        assert mean_signed_error(under, actual) == -5.0
+
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_signed_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert r_squared(y, y) == 1.0
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(3)
+        actual = rng.normal(0, 1, 100)
+        predicted = actual + rng.normal(0, 1, 100)
+        assert root_mean_squared_error(predicted, actual) >= mean_absolute_error(
+            predicted, actual
+        )
+
+    def test_r_squared_of_mean_model_is_zero(self):
+        actual = np.array([1.0, 2.0, 3.0, 4.0])
+        predicted = np.full(4, actual.mean())
+        assert r_squared(predicted, actual) == pytest.approx(0.0)
+
+    def test_r_squared_nan_for_constant_actual(self):
+        assert np.isnan(r_squared(np.array([1.0, 2.0]), np.array([3.0, 3.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            mean_signed_error(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_absolute_error(np.array([]), np.array([]))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 50), elements=st.floats(-1e4, 1e4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_signed_error_bounded_by_mae(self, actual):
+        rng = np.random.default_rng(0)
+        predicted = actual + rng.normal(0, 1, actual.shape)
+        assert abs(mean_signed_error(predicted, actual)) <= mean_absolute_error(
+            predicted, actual
+        ) + 1e-12

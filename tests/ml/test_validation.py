@@ -1,0 +1,78 @@
+"""Tests for k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ibk import IBk
+from repro.ml.random_tree import RandomTree
+from repro.ml.validation import cross_validate, k_fold_indices
+
+
+class TestKFoldIndices:
+    def test_partition_covers_everything_once(self):
+        pairs = k_fold_indices(23, 5, rng=0)
+        assert len(pairs) == 5
+        all_test = np.sort(np.concatenate([test for _, test in pairs]))
+        np.testing.assert_array_equal(all_test, np.arange(23))
+
+    def test_train_test_disjoint(self):
+        for train, test in k_fold_indices(30, 3, rng=1):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 30
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in k_fold_indices(10, 4, rng=2)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = k_fold_indices(20, 4, rng=7)
+        b = k_fold_indices(20, 4, rng=7)
+        for (tr_a, te_a), (tr_b, te_b) in zip(a, b):
+            np.testing.assert_array_equal(te_a, te_b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            k_fold_indices(10, 1)
+        with pytest.raises(ValueError, match="at least"):
+            k_fold_indices(3, 5)
+
+
+class TestCrossValidate:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (200, 3))
+        y = 10.0 * x[:, 0] + 5.0 * x[:, 1] + rng.normal(0, 0.5, 200)
+        return x, y
+
+    def test_result_structure(self, data):
+        x, y = data
+        result = cross_validate(IBk(k=3), x, y, k=4, rng=0)
+        assert result.model_name == "IBk"
+        assert len(result.fold_mae) == 4
+        assert result.mae > 0
+        assert result.rmse >= result.mae
+
+    def test_model_stays_unfitted(self, data):
+        x, y = data
+        model = IBk()
+        cross_validate(model, x, y, k=3, rng=1)
+        assert not model.is_fitted
+
+    def test_distinguishes_good_from_bad_model(self, data):
+        x, y = data
+        good = cross_validate(IBk(k=3), x, y, k=4, rng=2)
+        # A depth-1 stump underfits this two-factor target badly.
+        bad = cross_validate(RandomTree(max_depth=1, seed=0), x, y, k=4, rng=2)
+        assert good.mae < bad.mae
+
+    def test_summary(self, data):
+        x, y = data
+        text = cross_validate(IBk(), x, y, k=3, rng=3).summary()
+        assert "MAE" in text and "IBk" in text
+
+    def test_deterministic(self, data):
+        x, y = data
+        a = cross_validate(RandomTree(seed=1), x, y, k=3, rng=4)
+        b = cross_validate(RandomTree(seed=1), x, y, k=3, rng=4)
+        np.testing.assert_allclose(a.fold_mae, b.fold_mae)

@@ -1,0 +1,136 @@
+"""Tests for the nested-simulation convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.convergence import (
+    inner_bias_study,
+    outer_error_study,
+    recommend_sample_sizes,
+)
+from repro.montecarlo.nested import NestedMonteCarloEngine
+
+
+@pytest.fixture(scope="module")
+def engine(spec, fund):
+    from repro.financial.contracts import ContractKind, PolicyContract
+
+    contracts = [
+        PolicyContract(ContractKind.PURE_ENDOWMENT, 45, "M", 8, 1000.0,
+                       multiplicity=10),
+        PolicyContract(ContractKind.ENDOWMENT, 55, "F", 6, 800.0,
+                       multiplicity=5),
+    ]
+    return NestedMonteCarloEngine(spec, fund, contracts)
+
+
+# Module-scoped copies of the session fixtures (the session `spec`/`fund`
+# fixtures are function-scoped in conftest).
+@pytest.fixture(scope="module")
+def spec():
+    from repro.stochastic.scenario import RiskDriverSpec
+
+    return RiskDriverSpec.standard(n_equities=2)
+
+
+@pytest.fixture(scope="module")
+def fund():
+    from repro.financial.segregated_fund import SegregatedFund
+
+    return SegregatedFund()
+
+
+class TestInnerBiasStudy:
+    def test_returns_sorted_grid(self, engine):
+        points = inner_bias_study(engine, [20, 5], n_outer=30,
+                                  n_replications=2, seed=0)
+        assert [p.n_inner for p in points] == [5, 20]
+        assert all(p.n_outer == 30 for p in points)
+
+    def test_inner_noise_inflates_tail(self, engine):
+        # With few inner paths the conditional values are noisier, so
+        # the estimated 99.5% quantile is biased upward relative to a
+        # well-resolved inner stage.
+        points = inner_bias_study(engine, [2, 64], n_outer=60,
+                                  n_replications=3, seed=1)
+        noisy, resolved = points[0], points[1]
+        assert noisy.scr_mean > resolved.scr_mean
+
+    def test_empty_grid_rejected(self, engine):
+        with pytest.raises(ValueError, match="inner_sizes"):
+            inner_bias_study(engine, [])
+
+
+class _StubEngine:
+    """An engine whose loss distribution is a known Gaussian.
+
+    Replaces the Monte Carlo machinery so the outer-error study's
+    statistical mechanism can be verified without stacking sampling
+    noise on top of sampling noise.
+    """
+
+    def run(self, n_outer, n_inner, rng):
+        from repro.montecarlo.nested import NestedResult
+
+        values = rng.normal(1000.0, 100.0 / np.sqrt(n_inner), n_outer)
+        return NestedResult(
+            base_value=900.0,
+            base_assets=945.0,
+            outer_values=values,
+            outer_assets=np.full(n_outer, 945.0),
+            outer_discount=np.ones(n_outer),
+            outer_states=[],
+            year_one_flows=np.zeros(n_outer),
+            n_inner=n_inner,
+            inner_std_error=np.zeros(n_outer),
+        )
+
+
+class TestOuterErrorStudy:
+    def test_error_shrinks_with_outer_size(self):
+        # On a known Gaussian loss distribution the replication noise of
+        # the quantile estimate must fall roughly like 1/sqrt(n_P).
+        points = outer_error_study(
+            _StubEngine(), [25, 400], n_inner=50, n_replications=12, seed=2
+        )
+        small, large = points[0], points[1]
+        assert large.scr_std < small.scr_std
+
+    def test_real_engine_runs(self, engine):
+        points = outer_error_study(engine, [30], n_inner=10,
+                                   n_replications=3, seed=3)
+        point = points[0]
+        assert point.relative_error == pytest.approx(
+            point.scr_std / abs(point.scr_mean)
+        )
+        assert point.n_replications == 3
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError, match="outer_sizes"):
+            outer_error_study(engine, [])
+        with pytest.raises(ValueError, match="n_replications"):
+            outer_error_study(engine, [20], n_replications=1)
+
+
+class TestRecommendSampleSizes:
+    def test_meets_loose_target(self, engine):
+        point = recommend_sample_sizes(
+            engine, target_relative_error=1.0,
+            outer_grid=(20, 40), inner_grid=(5,), n_replications=2, seed=4,
+        )
+        # A 100% relative-error target is trivially met by the first
+        # (cheapest) grid point.
+        assert point.n_outer == 20
+        assert point.relative_error <= 1.0
+
+    def test_unreachable_target_returns_most_precise(self, engine):
+        point = recommend_sample_sizes(
+            engine, target_relative_error=1e-9,
+            outer_grid=(20, 40), inner_grid=(5,), n_replications=2, seed=5,
+        )
+        assert point.relative_error > 1e-9  # not met, best effort
+        assert point.n_outer in (20, 40)
+
+    def test_invalid_target(self, engine):
+        with pytest.raises(ValueError, match="target_relative_error"):
+            recommend_sample_sizes(engine, target_relative_error=0.0)

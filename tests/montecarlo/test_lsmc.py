@@ -1,0 +1,98 @@
+"""Tests for the LSMC engine and polynomial basis."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.lsmc import LSMCEngine, PolynomialBasis
+from repro.montecarlo.nested import NestedMonteCarloEngine
+
+
+@pytest.fixture
+def engine(spec, fund, small_portfolio):
+    return NestedMonteCarloEngine(spec, fund, small_portfolio)
+
+
+class TestPolynomialBasis:
+    def test_term_count_degree_two(self):
+        rng = np.random.default_rng(0)
+        states = rng.standard_normal((100, 3))
+        basis = PolynomialBasis(degree=2)
+        design = basis.fit(states)
+        # 1 constant + 3 linear + 6 quadratic = 10.
+        assert basis.n_terms == 10
+        assert design.shape == (100, 10)
+
+    def test_orthonormal_on_fit_sample(self):
+        rng = np.random.default_rng(1)
+        states = rng.standard_normal((500, 2))
+        basis = PolynomialBasis(degree=2)
+        design = basis.fit(states)
+        gram = design.T @ design / len(states)
+        np.testing.assert_allclose(gram, np.eye(design.shape[1]), atol=1e-8)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PolynomialBasis().transform(np.zeros((3, 2)))
+
+    def test_n_terms_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PolynomialBasis().n_terms
+
+    def test_constant_feature_handled(self):
+        states = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        basis = PolynomialBasis(degree=2)
+        design = basis.fit(states)
+        assert np.all(np.isfinite(design))
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError, match="degree"):
+            PolynomialBasis(degree=0)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PolynomialBasis().fit(np.zeros(10))
+
+    def test_recovers_quadratic_function(self):
+        rng = np.random.default_rng(2)
+        states = rng.standard_normal((400, 2))
+        target = 1.0 + 2.0 * states[:, 0] - states[:, 1] ** 2
+        basis = PolynomialBasis(degree=2)
+        design = basis.fit(states)
+        coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+        fitted = design @ coef
+        np.testing.assert_allclose(fitted, target, atol=1e-8)
+
+
+class TestLSMCEngine:
+    def test_run_shapes(self, engine):
+        lsmc = LSMCEngine(engine)
+        result = lsmc.run(n_outer=200, n_outer_cal=30, n_inner_cal=20, rng=0)
+        assert result.outer_values.shape == (200,)
+        assert result.calibration.n_outer == 30
+
+    def test_proxy_consistent_with_nested(self, engine):
+        # LSMC and full nested must agree on the mean conditional value
+        # within Monte Carlo noise.
+        nested = engine.run(n_outer=60, n_inner=40, rng=21)
+        lsmc = LSMCEngine(engine).run(
+            n_outer=400, n_outer_cal=60, n_inner_cal=40, rng=21
+        )
+        rel_gap = abs(lsmc.outer_values.mean() - nested.outer_values.mean())
+        rel_gap /= nested.outer_values.mean()
+        assert rel_gap < 0.05
+
+    def test_r2_reported(self, engine):
+        result = LSMCEngine(engine).run(
+            n_outer=100, n_outer_cal=40, n_inner_cal=30, rng=3
+        )
+        assert -1.0 <= result.in_sample_r2 <= 1.0
+
+    def test_deterministic(self, engine):
+        a = LSMCEngine(engine).run(50, 20, 10, rng=5)
+        b = LSMCEngine(engine).run(50, 20, 10, rng=5)
+        np.testing.assert_array_equal(a.outer_values, b.outer_values)
+
+    def test_state_features_shape(self, engine):
+        result = engine.run(n_outer=5, n_inner=5, rng=1)
+        features = LSMCEngine.state_features(result.outer_states)
+        assert features.shape == (5, 5)  # rate + 2 equities + fx + credit

@@ -1,0 +1,103 @@
+"""Tests for the nested Monte Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.montecarlo.nested import NestedMonteCarloEngine
+
+
+@pytest.fixture
+def engine(spec, fund, small_portfolio):
+    return NestedMonteCarloEngine(spec, fund, small_portfolio)
+
+
+class TestValueAtZero:
+    def test_positive_and_below_nominal(self, engine, small_portfolio):
+        v0 = engine.value_at_zero(n_inner=200, rng=0)
+        nominal = sum(c.insured_sum * c.multiplicity for c in small_portfolio)
+        assert 0.0 < v0 < nominal
+
+    def test_deterministic_in_seed(self, engine):
+        assert engine.value_at_zero(50, rng=3) == engine.value_at_zero(50, rng=3)
+
+    def test_guarantee_floor(self, spec, fund):
+        # A pure endowment's value must exceed the discounted guaranteed
+        # sum times a rough survival bound... here we just check it rises
+        # with the participation coefficient.
+        low = NestedMonteCarloEngine(
+            spec, fund,
+            [PolicyContract(ContractKind.PURE_ENDOWMENT, 40, "M", 10, 1000.0,
+                            participation=0.5)],
+        ).value_at_zero(300, rng=1)
+        high = NestedMonteCarloEngine(
+            spec, fund,
+            [PolicyContract(ContractKind.PURE_ENDOWMENT, 40, "M", 10, 1000.0,
+                            participation=1.0)],
+        ).value_at_zero(300, rng=1)
+        assert high > low
+
+
+class TestRun:
+    def test_result_shapes(self, engine):
+        result = engine.run(n_outer=20, n_inner=30, rng=5)
+        assert result.n_outer == 20
+        assert result.outer_values.shape == (20,)
+        assert result.outer_assets.shape == (20,)
+        assert result.outer_discount.shape == (20,)
+        assert len(result.outer_states) == 20
+        assert result.n_inner == 30
+
+    def test_outer_values_positive(self, engine):
+        result = engine.run(n_outer=15, n_inner=25, rng=6)
+        assert np.all(result.outer_values > 0)
+
+    def test_losses_have_spread(self, engine):
+        result = engine.run(n_outer=30, n_inner=25, rng=7)
+        losses = result.own_funds_change()
+        assert losses.std() > 0
+
+    def test_deterministic(self, engine):
+        a = engine.run(n_outer=10, n_inner=10, rng=9)
+        b = engine.run(n_outer=10, n_inner=10, rng=9)
+        np.testing.assert_array_equal(a.outer_values, b.outer_values)
+
+    def test_horizon_is_longest_term(self, engine):
+        assert engine.horizon == 10
+
+    def test_invalid_sizes(self, engine):
+        with pytest.raises(ValueError):
+            engine.run(n_outer=0, n_inner=10)
+        with pytest.raises(ValueError):
+            engine.run(n_outer=10, n_inner=0)
+
+    def test_empty_portfolio_rejected(self, spec, fund):
+        with pytest.raises(ValueError, match="at least one contract"):
+            NestedMonteCarloEngine(spec, fund, [])
+
+    def test_inner_error_shrinks_with_more_inner_paths(self, engine):
+        small = engine.run(n_outer=8, n_inner=10, rng=11)
+        large = engine.run(n_outer=8, n_inner=160, rng=11)
+        assert large.inner_std_error.mean() < small.inner_std_error.mean()
+
+    def test_custom_initial_assets(self, engine):
+        result = engine.run(n_outer=5, n_inner=10, rng=12,
+                            initial_assets=1_000_000.0)
+        assert result.base_assets == 1_000_000.0
+
+    def test_dynamic_lapse_mode(self, spec, fund, small_portfolio):
+        from repro.stochastic.lapse import LapseModel
+
+        lapse = LapseModel(base_rate=0.04, dynamic_sensitivity=2.0)
+        static_engine = NestedMonteCarloEngine(
+            spec, fund, small_portfolio, lapse=lapse, dynamic_lapses=False
+        )
+        dynamic_engine = NestedMonteCarloEngine(
+            spec, fund, small_portfolio, lapse=lapse, dynamic_lapses=True
+        )
+        static = static_engine.value_at_zero(100, rng=3)
+        dynamic = dynamic_engine.value_at_zero(100, rng=3)
+        assert static > 0 and dynamic > 0
+        # With strong sensitivity the path-dependent behaviour changes
+        # the value materially.
+        assert static != pytest.approx(dynamic, rel=1e-6)

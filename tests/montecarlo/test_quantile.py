@@ -1,0 +1,92 @@
+"""Tests for quantile/VaR estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.montecarlo.quantile import (
+    empirical_quantile,
+    quantile_confidence_interval,
+    value_at_risk,
+)
+
+
+class TestEmpiricalQuantile:
+    def test_median_of_known_sample(self):
+        assert empirical_quantile(np.array([1.0, 2.0, 3.0]), 0.5) == 2.0
+
+    def test_conservative_inverse_cdf(self):
+        # The inverted-cdf estimator picks an actual sample point.
+        sample = np.array([10.0, 20.0, 30.0, 40.0])
+        q = empirical_quantile(sample, 0.99)
+        assert q in sample
+
+    def test_gaussian_calibration(self):
+        rng = np.random.default_rng(0)
+        sample = rng.standard_normal(400_000)
+        assert empirical_quantile(sample, 0.995) == pytest.approx(2.5758, abs=0.02)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="level"):
+            empirical_quantile(np.array([1.0]), 1.0)
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError, match="empty"):
+            empirical_quantile(np.array([]), 0.5)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 200),
+                   elements=st.floats(-1e6, 1e6)),
+        st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_within_sample_range(self, sample, level):
+        q = empirical_quantile(sample, level)
+        assert sample.min() <= q <= sample.max()
+
+
+class TestValueAtRisk:
+    def test_default_level_is_solvency_ii(self):
+        rng = np.random.default_rng(1)
+        losses = rng.standard_normal(100_000)
+        var = value_at_risk(losses)
+        assert var == pytest.approx(2.5758, abs=0.05)
+
+
+class TestQuantileCI:
+    def test_ci_contains_point_estimate(self):
+        rng = np.random.default_rng(2)
+        sample = rng.standard_normal(5000)
+        low, high = quantile_confidence_interval(sample, 0.9, 0.95)
+        point = empirical_quantile(sample, 0.9)
+        assert low <= point <= high
+
+    def test_ci_coverage(self):
+        # The 95% CI for the 90% quantile of a standard normal must cover
+        # the true value 1.2816 in roughly 95% of repetitions.
+        rng = np.random.default_rng(3)
+        true_q = 1.281552
+        hits = 0
+        repetitions = 200
+        for _ in range(repetitions):
+            sample = rng.standard_normal(500)
+            low, high = quantile_confidence_interval(sample, 0.9, 0.95)
+            if low <= true_q <= high:
+                hits += 1
+        assert hits / repetitions > 0.88
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(4)
+        small = rng.standard_normal(200)
+        large = rng.standard_normal(20_000)
+        low_s, high_s = quantile_confidence_interval(small, 0.9)
+        low_l, high_l = quantile_confidence_interval(large, 0.9)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="confidence"):
+            quantile_confidence_interval(np.array([1.0]), 0.5, 1.0)
+        with pytest.raises(ValueError, match="empty"):
+            quantile_confidence_interval(np.array([]), 0.5)

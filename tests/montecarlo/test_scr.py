@@ -1,0 +1,71 @@
+"""Tests for the SCR calculator."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.nested import NestedMonteCarloEngine
+from repro.montecarlo.scr import SCRCalculator
+
+
+@pytest.fixture
+def engine(spec, fund, small_portfolio):
+    return NestedMonteCarloEngine(spec, fund, small_portfolio)
+
+
+class TestSCRCalculator:
+    def test_from_nested(self, engine):
+        result = engine.run(n_outer=40, n_inner=25, rng=0)
+        report = SCRCalculator().from_nested(result)
+        assert report.level == 0.995
+        assert report.n_outer == 40
+        assert report.n_inner == 25
+        assert report.loss_ci_low <= report.raw_quantile <= report.loss_ci_high + 1e-9
+        assert report.scr == max(report.raw_quantile, 0.0)
+
+    def test_scr_exceeds_mean_loss(self, engine):
+        result = engine.run(n_outer=60, n_inner=25, rng=1)
+        report = SCRCalculator().from_nested(result)
+        assert report.scr > report.mean_loss
+
+    def test_from_losses_gaussian(self):
+        rng = np.random.default_rng(2)
+        losses = rng.normal(0.0, 100.0, 200_000)
+        report = SCRCalculator().from_losses(losses)
+        assert report.scr == pytest.approx(257.58, rel=0.02)
+
+    def test_lower_level_lower_scr(self):
+        rng = np.random.default_rng(3)
+        losses = rng.normal(0.0, 1.0, 50_000)
+        scr_995 = SCRCalculator(level=0.995).from_losses(losses).scr
+        scr_90 = SCRCalculator(level=0.90).from_losses(losses).scr
+        assert scr_90 < scr_995
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="level"):
+            SCRCalculator(level=1.0)
+
+    def test_summary_mentions_key_figures(self, engine):
+        result = engine.run(n_outer=20, n_inner=10, rng=4)
+        report = SCRCalculator().from_nested(result)
+        text = report.summary()
+        assert "SCR @ 99.5%" in text
+        assert "nP=20" in text
+
+    def test_scr_ratio(self):
+        report = SCRCalculator().from_losses(
+            np.linspace(0, 100, 1000), base_value=1000.0
+        )
+        assert report.scr_ratio == pytest.approx(report.scr / 1000.0)
+
+    def test_scr_floored_at_zero(self):
+        # A portfolio that gains own funds in every scenario has zero
+        # capital requirement, not a negative one.
+        losses = np.linspace(-100.0, -1.0, 500)
+        report = SCRCalculator().from_losses(losses)
+        assert report.scr == 0.0
+        assert report.raw_quantile < 0.0
+
+    def test_scr_ratio_nan_without_base(self):
+        report = SCRCalculator().from_losses(np.linspace(0, 1, 100),
+                                             base_value=0.0)
+        assert np.isnan(report.scr_ratio)

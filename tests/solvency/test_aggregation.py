@@ -1,0 +1,78 @@
+"""Tests for standard-formula correlation aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvency.aggregation import (
+    LIFE_CORRELATION,
+    MARKET_CORRELATION,
+    TOP_CORRELATION,
+    aggregate,
+)
+
+
+class TestCorrelationMatrices:
+    @pytest.mark.parametrize(
+        "matrix", [MARKET_CORRELATION, LIFE_CORRELATION, TOP_CORRELATION]
+    )
+    def test_symmetric_unit_diagonal(self, matrix):
+        for a in matrix:
+            assert matrix[a][a] == 1.0
+            for b in matrix:
+                assert matrix[a][b] == matrix[b][a]
+
+    @pytest.mark.parametrize(
+        "matrix", [MARKET_CORRELATION, LIFE_CORRELATION, TOP_CORRELATION]
+    )
+    def test_positive_semidefinite(self, matrix):
+        names = sorted(matrix)
+        corr = np.array([[matrix[a][b] for b in names] for a in names])
+        assert np.linalg.eigvalsh(corr).min() > -1e-12
+
+    def test_mortality_longevity_negatively_correlated(self):
+        assert LIFE_CORRELATION["mortality"]["longevity"] == -0.25
+
+
+class TestAggregate:
+    def test_single_charge_passthrough(self):
+        assert aggregate({"market": 100.0}, TOP_CORRELATION) == pytest.approx(100.0)
+
+    def test_perfect_correlation_adds(self):
+        corr = {"a": {"a": 1.0, "b": 1.0}, "b": {"a": 1.0, "b": 1.0}}
+        assert aggregate({"a": 3.0, "b": 4.0}, corr) == pytest.approx(7.0)
+
+    def test_zero_correlation_is_euclidean(self):
+        corr = {"a": {"a": 1.0, "b": 0.0}, "b": {"a": 0.0, "b": 1.0}}
+        assert aggregate({"a": 3.0, "b": 4.0}, corr) == pytest.approx(5.0)
+
+    def test_diversification_benefit(self):
+        # With correlation < 1 the aggregate is below the simple sum.
+        total = aggregate({"market": 60.0, "life": 40.0}, TOP_CORRELATION)
+        assert total < 100.0
+        assert total > 60.0
+
+    def test_negative_charges_floored(self):
+        total = aggregate({"mortality": -50.0, "longevity": 80.0,
+                           "lapse": 0.0, "expense": 0.0}, LIFE_CORRELATION)
+        assert total == pytest.approx(80.0)
+
+    def test_unknown_charge_rejected(self):
+        with pytest.raises(KeyError, match="missing"):
+            aggregate({"crypto": 1.0}, MARKET_CORRELATION)
+
+    def test_zero_charges(self):
+        assert aggregate({"market": 0.0, "life": 0.0}, TOP_CORRELATION) == 0.0
+
+    @given(
+        st.floats(0.0, 1e9),
+        st.floats(0.0, 1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_property(self, market, life):
+        # sqrt-aggregation with rho in [0, 1] lies between the Euclidean
+        # norm and the plain sum.
+        total = aggregate({"market": market, "life": life}, TOP_CORRELATION)
+        euclidean = np.hypot(market, life)
+        assert euclidean - 1e-6 <= total <= market + life + 1e-6

@@ -1,0 +1,66 @@
+"""Tests for the cost-of-capital risk margin."""
+
+import numpy as np
+import pytest
+
+from repro.solvency.risk_margin import COC_RATE, cost_of_capital_risk_margin
+from repro.stochastic.term_structure import FlatYieldCurve
+
+
+@pytest.fixture(scope="module")
+def blocks(small_campaign):
+    return small_campaign.alm_blocks()[:2]
+
+
+class TestRiskMargin:
+    def test_positive_and_plausible(self, blocks):
+        result = cost_of_capital_risk_margin(
+            scr_now=1_000_000.0, blocks=blocks, curve=FlatYieldCurve(0.02)
+        )
+        assert result.risk_margin > 0
+        # With a multi-year run-off the margin is a meaningful multiple
+        # of one year's CoC but bounded by CoC * SCR * horizon.
+        assert result.risk_margin > COC_RATE * 1_000_000.0 * 0.5
+        assert result.risk_margin < COC_RATE * 1_000_000.0 * result.horizon
+
+    def test_scales_linearly_in_scr(self, blocks):
+        curve = FlatYieldCurve(0.02)
+        small = cost_of_capital_risk_margin(1e6, blocks, curve)
+        large = cost_of_capital_risk_margin(2e6, blocks, curve)
+        assert large.risk_margin == pytest.approx(2 * small.risk_margin)
+
+    def test_higher_rates_lower_margin(self, blocks):
+        low = cost_of_capital_risk_margin(1e6, blocks, FlatYieldCurve(0.0))
+        high = cost_of_capital_risk_margin(1e6, blocks, FlatYieldCurve(0.05))
+        assert high.risk_margin < low.risk_margin
+
+    def test_projected_scr_runs_off(self, blocks):
+        result = cost_of_capital_risk_margin(
+            1e6, blocks, FlatYieldCurve(0.02)
+        )
+        assert result.projected_scr[0] == pytest.approx(1e6)
+        # The in-force exposure decays, so the projected SCR does too.
+        assert result.projected_scr[-1] < result.projected_scr[0]
+
+    def test_custom_coc_rate(self, blocks):
+        curve = FlatYieldCurve(0.02)
+        base = cost_of_capital_risk_margin(1e6, blocks, curve)
+        doubled = cost_of_capital_risk_margin(1e6, blocks, curve,
+                                              coc_rate=2 * COC_RATE)
+        assert doubled.risk_margin == pytest.approx(2 * base.risk_margin)
+
+    def test_summary(self, blocks):
+        text = cost_of_capital_risk_margin(
+            1e6, blocks, FlatYieldCurve(0.02)
+        ).summary()
+        assert "Risk margin" in text
+        assert "CoC 6%" in text
+
+    def test_validation(self, blocks):
+        curve = FlatYieldCurve(0.02)
+        with pytest.raises(ValueError, match="scr_now"):
+            cost_of_capital_risk_margin(-1.0, blocks, curve)
+        with pytest.raises(ValueError, match="block"):
+            cost_of_capital_risk_margin(1e6, [], curve)
+        with pytest.raises(ValueError, match="coc_rate"):
+            cost_of_capital_risk_margin(1e6, blocks, curve, coc_rate=0.0)

@@ -1,0 +1,143 @@
+"""Tests for the standard-formula stresses and calculator."""
+
+import pytest
+
+from repro.financial.contracts import ContractKind, PolicyContract
+from repro.financial.segregated_fund import SegregatedFund
+from repro.solvency.standard_formula import StandardFormulaCalculator
+from repro.solvency.stresses import LIFE_STRESSES, MARKET_STRESSES
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import GompertzMakeham
+from repro.stochastic.scenario import RiskDriverSpec
+
+
+@pytest.fixture(scope="module")
+def calculator():
+    contracts = [
+        PolicyContract(ContractKind.PURE_ENDOWMENT, 45, "M", 12, 100_000.0,
+                       technical_rate=0.03, multiplicity=40),
+        PolicyContract(ContractKind.ENDOWMENT, 55, "F", 10, 80_000.0,
+                       technical_rate=0.02, multiplicity=25),
+        PolicyContract(ContractKind.TERM, 40, "M", 15, 120_000.0,
+                       multiplicity=15),
+    ]
+    spec = RiskDriverSpec.standard(n_equities=2)
+    return StandardFormulaCalculator(
+        spec, SegregatedFund(), contracts, n_scenarios=150, seed=2
+    )
+
+
+@pytest.fixture(scope="module")
+def report(calculator):
+    return calculator.compute()
+
+
+class TestStressDefinitions:
+    def test_all_submodules_present(self):
+        market = {s.name for s in MARKET_STRESSES}
+        life = {s.name for s in LIFE_STRESSES}
+        assert market == {"interest_up", "interest_down", "equity", "spread",
+                          "currency"}
+        assert life == {"mortality", "longevity", "lapse_up", "lapse_down",
+                        "lapse_mass", "expense"}
+
+    def test_equity_stress_hits_equity_share_only(self):
+        equity = next(s for s in MARKET_STRESSES if s.name == "equity")
+        from repro.financial.segregated_fund import AssetMix
+
+        all_bonds = AssetMix(government_bonds=0.8, corporate_bonds=0.2,
+                             equity_weights=())
+        mixed = AssetMix()
+        assert equity.asset_shock(all_bonds) == 0.0
+        assert equity.asset_shock(mixed) == pytest.approx(-0.39 * 0.20)
+
+    def test_interest_transforms_shift_rates(self):
+        spec = RiskDriverSpec.standard()
+        up = next(s for s in MARKET_STRESSES if s.name == "interest_up")
+        down = next(s for s in MARKET_STRESSES if s.name == "interest_down")
+        assert up.transform_spec(spec).short_rate.r0 > spec.short_rate.r0
+        assert down.transform_spec(spec).short_rate.r0 < spec.short_rate.r0
+
+    def test_interest_floor_applies_at_low_rates(self):
+        from repro.stochastic.short_rate import VasicekModel
+
+        spec = RiskDriverSpec(short_rate=VasicekModel(r0=0.001, theta=0.001))
+        up = next(s for s in MARKET_STRESSES if s.name == "interest_up")
+        stressed = up.transform_spec(spec)
+        # The +1pp absolute floor dominates the relative shock.
+        assert stressed.short_rate.r0 == pytest.approx(0.011)
+
+    def test_mortality_transforms_scale_hazard(self):
+        base = GompertzMakeham()
+        mortality = next(s for s in LIFE_STRESSES if s.name == "mortality")
+        longevity = next(s for s in LIFE_STRESSES if s.name == "longevity")
+        up = mortality.transform_mortality(base)
+        down = longevity.transform_mortality(base)
+        assert up.death_probability(60, 1.0) > base.death_probability(60, 1.0)
+        assert down.death_probability(60, 1.0) < base.death_probability(60, 1.0)
+
+    def test_lapse_transforms(self):
+        base = LapseModel(base_rate=0.04)
+        lapse_up = next(s for s in LIFE_STRESSES if s.name == "lapse_up")
+        lapse_down = next(s for s in LIFE_STRESSES if s.name == "lapse_down")
+        import numpy as np
+
+        assert float(np.asarray(lapse_up.transform_lapse(base).annual_rate())) > 0.04
+        assert float(np.asarray(lapse_down.transform_lapse(base).annual_rate())) < 0.04
+
+    def test_mass_lapse_fraction(self):
+        mass = next(s for s in LIFE_STRESSES if s.name == "lapse_mass")
+        assert mass.mass_lapse_fraction == 0.40
+
+
+class TestStandardFormulaCalculator:
+    def test_all_charges_non_negative(self, report):
+        assert all(v >= 0.0 for v in report.stress_charges.values())
+        assert set(report.stress_charges) == {
+            s.name for s in (*MARKET_STRESSES, *LIFE_STRESSES)
+        }
+
+    def test_bscr_positive_and_plausible(self, report):
+        # BSCR between 1% and 60% of technical provisions for a
+        # guaranteed savings portfolio.
+        assert 0.01 < report.bscr_ratio < 0.6
+
+    def test_diversification(self, report):
+        # Aggregation gives credit: BSCR < market + life.
+        assert report.bscr < report.market_scr + report.life_scr
+        assert report.bscr >= max(report.market_scr, report.life_scr) - 1e-9
+
+    def test_module_aggregates_bound_submodules(self, report):
+        assert report.market_scr >= report.stress_charges["equity"] - 1e-9
+        lapse = max(
+            report.stress_charges["lapse_up"],
+            report.stress_charges["lapse_down"],
+            report.stress_charges["lapse_mass"],
+        )
+        assert report.life_scr >= lapse - 1e-9
+
+    def test_expense_charge_is_loading(self, report):
+        assert report.stress_charges["expense"] == pytest.approx(
+            0.02 * report.base_liability
+        )
+
+    def test_deterministic(self, calculator):
+        a = calculator.compute()
+        b = calculator.compute()
+        assert a.bscr == b.bscr
+
+    def test_summary_and_binding(self, report):
+        text = report.summary()
+        assert "BSCR" in text
+        assert report.binding_stress() in report.stress_charges
+
+    def test_validation(self, calculator):
+        spec = RiskDriverSpec.standard()
+        with pytest.raises(ValueError, match="contract"):
+            StandardFormulaCalculator(spec, SegregatedFund(), [])
+        with pytest.raises(ValueError, match="n_scenarios"):
+            StandardFormulaCalculator(
+                spec, SegregatedFund(),
+                [PolicyContract(ContractKind.TERM, 40, "M", 5, 1000.0)],
+                n_scenarios=5,
+            )

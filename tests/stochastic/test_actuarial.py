@@ -1,0 +1,153 @@
+"""Tests for mortality and lapse models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import GompertzMakeham, LifeTable
+
+
+class TestGompertzMakeham:
+    def test_survival_at_zero_years_is_one(self):
+        assert GompertzMakeham().survival_probability(40, 0.0) == 1.0
+
+    def test_survival_decreasing_in_years(self):
+        model = GompertzMakeham()
+        probs = [model.survival_probability(40, t) for t in (1, 10, 30, 50)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_older_age_higher_mortality(self):
+        model = GompertzMakeham()
+        assert model.survival_probability(70, 10) < model.survival_probability(40, 10)
+
+    def test_expected_lifetime_plausible_for_adult(self):
+        e40 = GompertzMakeham().expected_lifetime(40)
+        assert 30.0 < e40 < 55.0
+
+    def test_longevity_shock_increases_survival(self):
+        base = GompertzMakeham()
+        shocked = base.shocked(0.2)
+        assert shocked.survival_probability(60, 20) > base.survival_probability(60, 20)
+
+    def test_force_of_mortality_increasing_in_age(self):
+        model = GompertzMakeham()
+        assert model.force_of_mortality(80) > model.force_of_mortality(40)
+
+    def test_sample_deaths_rate(self):
+        model = GompertzMakeham()
+        rng = np.random.default_rng(0)
+        q = model.death_probability(70, 10.0)
+        deaths = model.sample_deaths(70, 10.0, 100_000, rng)
+        assert deaths.mean() == pytest.approx(q, abs=5e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GompertzMakeham(b=0.0)
+        with pytest.raises(ValueError, match="ageing"):
+            GompertzMakeham(c=0.9)
+        with pytest.raises(ValueError, match="non-negative"):
+            GompertzMakeham().survival_probability(40, -1.0)
+
+    @given(
+        st.integers(min_value=20, max_value=90),
+        st.floats(min_value=0.0, max_value=40.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_survival_always_in_unit_interval(self, age, years):
+        p = GompertzMakeham().survival_probability(age, years)
+        assert 0.0 <= p <= 1.0
+
+
+class TestLifeTable:
+    def test_from_model_consistency(self):
+        model = GompertzMakeham()
+        table = LifeTable.from_model(model)
+        # One-year survival from the table must match the model closely.
+        assert table.survival_probability(50, 1.0) == pytest.approx(
+            model.survival_probability(50, 1.0), rel=1e-9
+        )
+
+    def test_multi_year_close_to_model(self):
+        model = GompertzMakeham()
+        table = LifeTable.from_model(model)
+        assert table.survival_probability(40, 25.0) == pytest.approx(
+            model.survival_probability(40, 25.0), rel=1e-6
+        )
+
+    def test_fractional_years(self):
+        table = LifeTable.synthetic_italian("M")
+        p_half = table.survival_probability(60, 0.5)
+        p_full = table.survival_probability(60, 1.0)
+        assert p_full < p_half < 1.0
+
+    def test_certain_death_beyond_table(self):
+        table = LifeTable.synthetic_italian("F")
+        assert table.survival_probability(40, 100.0) == 0.0
+
+    def test_female_mortality_lighter(self):
+        males = LifeTable.synthetic_italian("M")
+        females = LifeTable.synthetic_italian("F")
+        assert females.survival_probability(60, 20) > males.survival_probability(60, 20)
+
+    def test_invalid_gender(self):
+        with pytest.raises(ValueError, match="gender"):
+            LifeTable.synthetic_italian("X")
+
+    def test_age_below_table_rejected(self):
+        table = LifeTable(np.array([0.01, 0.02]), start_age=50)
+        with pytest.raises(ValueError, match="below table start"):
+            table.survival_probability(40, 1.0)
+
+    def test_invalid_qx(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            LifeTable(np.array([0.5, 1.5]))
+        with pytest.raises(ValueError, match="non-empty"):
+            LifeTable(np.array([]))
+
+
+class TestLapseModel:
+    def test_base_rate(self):
+        model = LapseModel(base_rate=0.05, dynamic_sensitivity=0.0)
+        assert float(np.asarray(model.annual_rate())) == pytest.approx(0.05)
+
+    def test_dynamic_lapse_raises_rate_on_shortfall(self):
+        model = LapseModel(base_rate=0.04, dynamic_sensitivity=0.5)
+        low = model.annual_rate(credited=0.0, benchmark=0.03)
+        high = model.annual_rate(credited=0.05, benchmark=0.03)
+        assert low > high == pytest.approx(0.04)
+
+    def test_shock_multiplies(self):
+        base = LapseModel(base_rate=0.04)
+        shocked = base.shocked(2.0)
+        assert float(np.asarray(shocked.annual_rate())) == pytest.approx(0.08)
+
+    def test_rate_clipped_below_one(self):
+        model = LapseModel(base_rate=0.5, shock=5.0)
+        assert float(np.asarray(model.annual_rate())) <= 0.99
+
+    def test_persistence_curve_monotone(self):
+        curve = LapseModel(base_rate=0.06).persistence_curve(20)
+        assert curve[0] == pytest.approx(1.0)
+        assert np.all(np.diff(curve) < 0)
+
+    def test_persistence_probability(self):
+        model = LapseModel(base_rate=0.1, dynamic_sensitivity=0.0)
+        assert model.persistence_probability(2.0) == pytest.approx(0.81)
+
+    def test_sample_lapses_rate(self):
+        model = LapseModel(base_rate=0.08, dynamic_sensitivity=0.0)
+        rng = np.random.default_rng(1)
+        lapses = model.sample_lapses(1.0, 100_000, rng)
+        assert lapses.mean() == pytest.approx(0.08, abs=4e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="base_rate"):
+            LapseModel(base_rate=1.0)
+        with pytest.raises(ValueError, match="dynamic_sensitivity"):
+            LapseModel(dynamic_sensitivity=-0.1)
+        with pytest.raises(ValueError, match="shock"):
+            LapseModel(shock=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            LapseModel().persistence_probability(-1.0)

@@ -1,0 +1,96 @@
+"""Tests for correlation handling, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.correlation import CorrelationMatrix, nearest_positive_definite
+
+
+class TestNearestPositiveDefinite:
+    def test_already_pd_nearly_unchanged(self):
+        matrix = np.array([[1.0, 0.3], [0.3, 1.0]])
+        repaired = nearest_positive_definite(matrix)
+        np.testing.assert_allclose(repaired, matrix, atol=1e-8)
+
+    def test_repairs_indefinite(self):
+        # Three drivers pairwise correlated at -0.9 is infeasible.
+        matrix = np.full((3, 3), -0.9)
+        np.fill_diagonal(matrix, 1.0)
+        repaired = nearest_positive_definite(matrix)
+        assert np.linalg.eigvalsh(repaired).min() > 0
+        np.testing.assert_allclose(np.diag(repaired), 1.0)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_output_always_valid_correlation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(-1, 1, (n, n))
+        raw = (raw + raw.T) / 2
+        np.fill_diagonal(raw, 1.0)
+        repaired = nearest_positive_definite(raw)
+        assert np.linalg.eigvalsh(repaired).min() > 0
+        np.testing.assert_allclose(np.diag(repaired), 1.0, atol=1e-9)
+        assert np.all(np.abs(repaired) <= 1.0 + 1e-9)
+
+
+class TestCorrelationMatrix:
+    def test_identity_factory(self):
+        corr = CorrelationMatrix.identity(["a", "b", "c"])
+        np.testing.assert_allclose(corr.matrix, np.eye(3))
+
+    def test_exchangeable_factory(self):
+        corr = CorrelationMatrix.exchangeable(["a", "b"], 0.5)
+        assert corr.matrix[0, 1] == pytest.approx(0.5)
+
+    def test_exchangeable_infeasible_rho_rejected(self):
+        with pytest.raises(ValueError, match="rho"):
+            CorrelationMatrix.exchangeable(["a", "b", "c"], -0.9)
+
+    def test_sample_correlation_is_respected(self):
+        corr = CorrelationMatrix(["x", "y"], np.array([[1.0, 0.7], [0.7, 1.0]]))
+        rng = np.random.default_rng(0)
+        draws = corr.sample(200_000, rng)
+        empirical = np.corrcoef(draws.T)[0, 1]
+        assert empirical == pytest.approx(0.7, abs=5e-3)
+
+    def test_indefinite_input_gets_repaired(self):
+        matrix = np.full((4, 4), -0.5)
+        np.fill_diagonal(matrix, 1.0)
+        corr = CorrelationMatrix(list("abcd"), matrix)
+        assert np.linalg.eigvalsh(corr.matrix).min() > 0
+
+    def test_index_of(self):
+        corr = CorrelationMatrix.identity(["rate", "equity"])
+        assert corr.index_of("equity") == 1
+        with pytest.raises(KeyError, match="unknown risk driver"):
+            corr.index_of("fx")
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="square"):
+            CorrelationMatrix(["a"], np.ones((1, 2)))
+        with pytest.raises(ValueError, match="names"):
+            CorrelationMatrix(["a"], np.eye(2))
+        with pytest.raises(ValueError, match="duplicate"):
+            CorrelationMatrix(["a", "a"], np.eye(2))
+        with pytest.raises(ValueError, match="diagonal"):
+            CorrelationMatrix(["a", "b"], np.array([[2.0, 0.0], [0.0, 1.0]]))
+        bad = np.array([[1.0, 1.5], [1.5, 1.0]])
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            CorrelationMatrix(["a", "b"], bad)
+
+    def test_correlate_shape_mismatch_rejected(self):
+        corr = CorrelationMatrix.identity(["a", "b"])
+        with pytest.raises(ValueError, match="last axis"):
+            corr.correlate(np.zeros((10, 3)))
+
+    @given(st.floats(min_value=-0.45, max_value=0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_cholesky_reproduces_matrix(self, rho):
+        corr = CorrelationMatrix.exchangeable(["a", "b", "c"], rho)
+        chol = corr._cholesky
+        np.testing.assert_allclose(chol @ chol.T, corr.matrix, atol=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for equity, currency and credit risk drivers."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.credit import CreditModel
+from repro.stochastic.currency import CurrencyModel
+from repro.stochastic.equity import EquityModel
+
+
+class TestEquityModel:
+    def test_positive_levels(self):
+        model = EquityModel(spot=100.0, volatility=0.3)
+        rng = np.random.default_rng(0)
+        rates = np.full((200, 11), 0.02)
+        paths = model.simulate(rates, 0.1, rng)
+        assert np.all(paths > 0)
+
+    def test_martingale_under_q(self):
+        # Discounted price is a Q-martingale: E[S_T e^{-rT}] = S_0.
+        model = EquityModel(spot=100.0, volatility=0.2, risk_premium=0.05)
+        rng = np.random.default_rng(1)
+        rates = np.full((400_000, 2), 0.03)
+        paths = model.simulate(rates, 1.0, rng, measure="Q")
+        discounted = paths[:, 1] * np.exp(-0.03)
+        assert discounted.mean() == pytest.approx(100.0, rel=2e-3)
+
+    def test_risk_premium_raises_p_drift(self):
+        model = EquityModel(risk_premium=0.06)
+        rate = np.full(100_000, 0.02)
+        rng = np.random.default_rng(2)
+        shocks = rng.standard_normal(100_000)
+        p_level = model.step(np.full(100_000, 100.0), rate, 1.0, shocks, "P")
+        q_level = model.step(np.full(100_000, 100.0), rate, 1.0, shocks, "Q")
+        assert p_level.mean() > q_level.mean()
+
+    def test_dividend_yield_lowers_drift(self):
+        with_div = EquityModel(dividend_yield=0.03)
+        without = EquityModel(dividend_yield=0.0)
+        shocks = np.zeros(1)
+        rate = np.array([0.02])
+        s_div = with_div.step(np.array([100.0]), rate, 1.0, shocks, "Q")
+        s_plain = without.step(np.array([100.0]), rate, 1.0, shocks, "Q")
+        assert s_div[0] < s_plain[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="spot"):
+            EquityModel(spot=0.0)
+        with pytest.raises(ValueError, match="volatility"):
+            EquityModel(volatility=-0.1)
+        with pytest.raises(ValueError, match="measure"):
+            EquityModel().drift(np.array([0.02]), "Z")
+        with pytest.raises(ValueError, match="dt"):
+            EquityModel().step(np.array([1.0]), np.array([0.02]), 0.0,
+                               np.array([0.0]))
+
+
+class TestCurrencyModel:
+    def test_interest_rate_parity_drift(self):
+        model = CurrencyModel(foreign_rate=0.01, risk_premium=0.0)
+        drift = model.drift(np.array([0.03]), "Q")
+        assert drift[0] == pytest.approx(0.02)
+
+    def test_p_premium(self):
+        model = CurrencyModel(foreign_rate=0.01, risk_premium=0.02)
+        assert model.drift(np.array([0.03]), "P")[0] == pytest.approx(0.04)
+
+    def test_positive_levels(self):
+        model = CurrencyModel()
+        rng = np.random.default_rng(3)
+        level = np.full(1000, 1.1)
+        for _ in range(20):
+            level = model.step(level, np.full(1000, 0.02), 0.25,
+                               rng.standard_normal(1000))
+        assert np.all(level > 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="spot"):
+            CurrencyModel(spot=-1.0)
+        with pytest.raises(ValueError, match="measure"):
+            CurrencyModel().drift(np.array([0.02]), "W")
+
+
+class TestCreditModel:
+    def test_survival_probability_bounds(self):
+        model = CreditModel()
+        s = float(model.survival_probability(0.02, 10.0))
+        assert 0.0 < s < 1.0
+
+    def test_survival_decreasing_in_horizon(self):
+        model = CreditModel()
+        s5 = float(model.survival_probability(0.02, 5.0))
+        s10 = float(model.survival_probability(0.02, 10.0))
+        assert s10 < s5
+
+    def test_survival_decreasing_in_intensity(self):
+        model = CreditModel()
+        assert float(model.survival_probability(0.05, 5.0)) < float(
+            model.survival_probability(0.01, 5.0)
+        )
+
+    def test_credit_spread_sign_and_recovery_effect(self):
+        low_recovery = CreditModel(recovery_rate=0.1)
+        high_recovery = CreditModel(recovery_rate=0.8)
+        s_low = float(low_recovery.credit_spread(0.02, 5.0))
+        s_high = float(high_recovery.credit_spread(0.02, 5.0))
+        assert s_low > s_high > 0.0
+
+    def test_defaultable_bond_cheaper_than_riskless(self):
+        model = CreditModel()
+        riskless = 0.9
+        price = float(model.defaultable_bond_price(riskless, 0.02, 5.0))
+        assert price < riskless
+
+    def test_intensity_stays_non_negative(self):
+        model = CreditModel(intensity0=0.001, sigma=0.2)
+        rng = np.random.default_rng(6)
+        intensity = np.full(500, 0.001)
+        for _ in range(40):
+            intensity = model.step(intensity, 0.25, rng.standard_normal(500))
+        assert np.all(intensity >= 0)
+
+    def test_invalid_recovery_rejected(self):
+        with pytest.raises(ValueError, match="recovery_rate"):
+            CreditModel(recovery_rate=1.0)
+
+    def test_zero_horizon_spread_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            CreditModel().credit_spread(0.02, 0.0)

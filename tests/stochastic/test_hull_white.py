@@ -1,0 +1,146 @@
+"""Tests for the curve-fitted Hull–White model."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.hull_white import HullWhiteModel
+from repro.stochastic.term_structure import FlatYieldCurve, NelsonSiegelCurve
+
+
+@pytest.fixture
+def ns_curve():
+    return NelsonSiegelCurve(beta0=0.035, beta1=-0.02, beta2=0.01, tau=2.5)
+
+
+@pytest.fixture
+def model(ns_curve):
+    return HullWhiteModel(ns_curve, kappa=0.3, sigma=0.01)
+
+
+class TestCurveFit:
+    def test_r0_matches_short_end(self, model, ns_curve):
+        assert model.r0 == pytest.approx(ns_curve.zero_rate(1e-4), abs=1e-4)
+
+    def test_initial_bond_prices_reprice_curve(self, model, ns_curve):
+        # P(0, T) from the model at r(0) must equal the curve exactly.
+        for maturity in (1.0, 5.0, 10.0, 30.0):
+            model_price = float(model.bond_price(model.r0, maturity, t=0.0))
+            curve_price = float(ns_curve.discount_factor(maturity))
+            assert model_price == pytest.approx(curve_price, rel=2e-3)
+
+    def test_monte_carlo_reprices_curve(self, model, ns_curve):
+        # E^Q[exp(-int r)] over simulated paths must match P(0, T):
+        # the market-consistency requirement of Solvency II.
+        rng = np.random.default_rng(0)
+        horizon = 10.0
+        steps = 40
+        paths = model.simulate(40_000, horizon, int(steps / horizon), rng,
+                               measure="Q")
+        dt = horizon / steps
+        integrals = paths[:, :-1].sum(axis=1) * dt
+        mc_price = float(np.exp(-integrals).mean())
+        assert mc_price == pytest.approx(
+            float(ns_curve.discount_factor(horizon)), rel=5e-3
+        )
+
+    def test_flat_curve_degenerates_towards_vasicek_level(self):
+        flat = FlatYieldCurve(0.03)
+        model = HullWhiteModel(flat, kappa=0.3, sigma=0.005)
+        # Under Q the expected rate stays near the flat level.
+        rng = np.random.default_rng(1)
+        paths = model.simulate(20_000, 10.0, 4, rng, measure="Q")
+        assert abs(paths[:, -1].mean() - 0.03) < 0.005
+
+
+class TestDynamics:
+    def test_step_is_exact_transition(self, model):
+        rng = np.random.default_rng(2)
+        n = 200_000
+        t, dt = 2.0, 1.0
+        start = np.full(n, model.alpha(t))
+        rates = model.step(start, dt, rng.standard_normal(n), t=t)
+        decay = np.exp(-model.kappa * dt)
+        expected_std = model.sigma * np.sqrt(
+            (1 - decay**2) / (2 * model.kappa)
+        )
+        assert rates.mean() == pytest.approx(float(model.alpha(t + dt)),
+                                             abs=3e-4)
+        assert rates.std() == pytest.approx(expected_std, rel=0.01)
+
+    def test_p_measure_term_premium(self, model):
+        shocks = np.zeros(1)
+        start = np.array([model.r0])
+        p_rate = model.step(start, 1.0, shocks, measure="P", t=0.0)
+        q_rate = model.step(start, 1.0, shocks, measure="Q", t=0.0)
+        assert p_rate[0] > q_rate[0]
+
+    def test_bond_price_decreasing_in_rate(self, model):
+        low = float(model.bond_price(0.01, 10.0, t=1.0))
+        high = float(model.bond_price(0.05, 10.0, t=1.0))
+        assert low > high
+
+    def test_bond_price_zero_maturity(self, model):
+        np.testing.assert_allclose(model.bond_price(0.02, 0.0, t=3.0), 1.0)
+
+    def test_bond_price_broadcasts_time(self, model):
+        rates = np.full((4, 3), 0.02)
+        times = np.array([[0.0, 1.0, 2.0]])
+        prices = np.asarray(model.bond_price(rates, 5.0, t=times))
+        assert prices.shape == (4, 3)
+        # Different valuation times price differently on a sloped curve.
+        assert not np.allclose(prices[0, 0], prices[0, 2])
+
+    def test_validation(self, ns_curve, model):
+        with pytest.raises(ValueError, match="kappa"):
+            HullWhiteModel(ns_curve, kappa=0.0)
+        with pytest.raises(ValueError, match="maturity"):
+            model.bond_price(0.02, -1.0)
+        with pytest.raises(ValueError, match="measure"):
+            model.step(np.array([0.02]), 1.0, np.array([0.0]), measure="X")
+
+
+class TestIntegration:
+    def test_scenario_generation_with_hull_white(self, ns_curve):
+        from repro.stochastic.scenario import RiskDriverSpec, ScenarioGenerator
+
+        spec = RiskDriverSpec(
+            short_rate=HullWhiteModel(ns_curve),
+        )
+        generator = ScenarioGenerator(spec)
+        scenario = generator.generate(
+            50, 5.0, np.random.default_rng(3), steps_per_year=2
+        )
+        assert scenario.short_rate.shape == (50, 11)
+        assert np.all(np.isfinite(scenario.short_rate))
+
+    @staticmethod
+    def _single_equity_fund():
+        from repro.financial.segregated_fund import AssetMix, SegregatedFund
+
+        mix = AssetMix(government_bonds=0.60, corporate_bonds=0.25,
+                       equity_weights=(0.15,))
+        return SegregatedFund(mix=mix)
+
+    def test_fund_returns_with_hull_white(self, ns_curve):
+        from repro.stochastic.scenario import RiskDriverSpec, ScenarioGenerator
+
+        spec = RiskDriverSpec(short_rate=HullWhiteModel(ns_curve))
+        scenario = ScenarioGenerator(spec).generate(
+            100, 8.0, np.random.default_rng(4)
+        )
+        returns = self._single_equity_fund().market_returns(scenario)
+        assert returns.shape == (100, 8)
+        assert np.all(np.isfinite(returns))
+
+    def test_full_valuation_with_hull_white(self, ns_curve):
+        from repro.financial.contracts import ContractKind, PolicyContract
+        from repro.montecarlo.nested import NestedMonteCarloEngine
+        from repro.stochastic.scenario import RiskDriverSpec
+
+        spec = RiskDriverSpec(short_rate=HullWhiteModel(ns_curve))
+        engine = NestedMonteCarloEngine(
+            spec, self._single_equity_fund(),
+            [PolicyContract(ContractKind.PURE_ENDOWMENT, 50, "M", 8, 1000.0)],
+        )
+        value = engine.value_at_zero(n_inner=150, rng=5)
+        assert 0.0 < value < 1000.0

@@ -1,0 +1,79 @@
+"""Tests for deterministic random-number management."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.rng import RandomState, generator_from, spawn_generators
+
+
+class TestGeneratorFrom:
+    def test_integer_seed_is_deterministic(self):
+        a = generator_from(42).standard_normal(5)
+        b = generator_from(42).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert generator_from(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(generator_from(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+    def test_children_differ_from_each_other(self):
+        children = spawn_generators(123, 3)
+        draws = [g.standard_normal(8) for g in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_in_seed(self):
+        a = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        b = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator_parent(self):
+        parent = np.random.default_rng(5)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+
+
+class TestRandomState:
+    def test_same_label_same_stream(self):
+        rs = RandomState(7)
+        a = rs.stream("x").standard_normal(5)
+        b = RandomState(7).stream("x").standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        rs = RandomState(7)
+        a = rs.stream("alpha").standard_normal(5)
+        b = rs.stream("beta").standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_label_independent_of_request_order(self):
+        rs1 = RandomState(3)
+        rs1.stream("first")
+        a = rs1.stream("second").standard_normal(4)
+        rs2 = RandomState(3)
+        b = rs2.stream("second").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).stream("x").standard_normal(5)
+        b = RandomState(2).stream("x").standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_seed_property(self):
+        assert RandomState(99).seed == 99

@@ -1,0 +1,108 @@
+"""Tests for joint scenario generation under P and Q."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.correlation import CorrelationMatrix
+from repro.stochastic.equity import EquityModel
+from repro.stochastic.scenario import (
+    MarketScenario,
+    RiskDriverSpec,
+    ScenarioGenerator,
+)
+
+
+class TestRiskDriverSpec:
+    def test_standard_driver_count(self):
+        spec = RiskDriverSpec.standard(n_equities=3)
+        # rate + 3 equities + fx + credit
+        assert spec.n_financial_drivers == 6
+        assert spec.driver_names[0] == "rate"
+
+    def test_standard_without_optional_drivers(self):
+        spec = RiskDriverSpec.standard(
+            n_equities=1, with_currency=False, with_credit=False
+        )
+        assert spec.n_financial_drivers == 2
+
+    def test_zero_equities_rejected(self):
+        with pytest.raises(ValueError, match="n_equities"):
+            RiskDriverSpec.standard(n_equities=0)
+        with pytest.raises(ValueError, match="equity"):
+            RiskDriverSpec(equities=[])
+
+    def test_correlation_size_mismatch_rejected(self):
+        corr = CorrelationMatrix.identity(["rate", "equity_0"])
+        with pytest.raises(ValueError, match="correlation"):
+            RiskDriverSpec(equities=[EquityModel(), EquityModel()], correlation=corr)
+
+
+class TestScenarioGenerator:
+    def test_shapes(self, scenario_generator, rng):
+        ss = scenario_generator.generate(50, 2.0, rng, steps_per_year=4)
+        assert ss.n_paths == 50
+        assert ss.n_steps == 8
+        assert ss.short_rate.shape == (50, 9)
+        assert len(ss.equity) == 2
+        assert ss.fx.shape == (50, 9)
+        assert ss.credit_intensity.shape == (50, 9)
+        np.testing.assert_allclose(ss.times[0], 0.0)
+        np.testing.assert_allclose(ss.times[-1], 2.0)
+
+    def test_deterministic_in_seed(self, scenario_generator):
+        a = scenario_generator.generate(10, 1.0, np.random.default_rng(7))
+        b = scenario_generator.generate(10, 1.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.short_rate, b.short_rate)
+        np.testing.assert_array_equal(a.equity[0], b.equity[0])
+
+    def test_start_state_override(self, scenario_generator, rng):
+        start = MarketScenario(
+            short_rate=0.05, equity=np.array([120.0, 80.0]), fx=1.2,
+            credit_intensity=0.02,
+        )
+        ss = scenario_generator.generate(5, 1.0, rng, start=start, t0=1.0)
+        np.testing.assert_allclose(ss.short_rate[:, 0], 0.05)
+        np.testing.assert_allclose(ss.equity[0][:, 0], 120.0)
+        np.testing.assert_allclose(ss.equity[1][:, 0], 80.0)
+        np.testing.assert_allclose(ss.fx[:, 0], 1.2)
+        np.testing.assert_allclose(ss.times[0], 1.0)
+
+    def test_discount_factors_start_at_one_and_decrease(self, scenario_generator, rng):
+        ss = scenario_generator.generate(20, 5.0, rng, steps_per_year=2)
+        df = ss.discount_factors()
+        np.testing.assert_allclose(df[:, 0], 1.0)
+        # With positive rates the discount factors decrease along paths.
+        assert df[:, -1].mean() < 1.0
+
+    def test_terminal_states_roundtrip(self, scenario_generator, rng):
+        ss = scenario_generator.generate(4, 1.0, rng)
+        states = ss.terminal_states()
+        assert len(states) == 4
+        assert states[2].short_rate == pytest.approx(ss.short_rate[2, -1])
+        features = states[0].as_features()
+        # rate + 2 equities + fx + credit
+        assert features.shape == (5,)
+
+    def test_p_equity_drifts_above_q(self, spec):
+        gen = ScenarioGenerator(spec)
+        p = gen.generate(4000, 1.0, np.random.default_rng(0), measure="P")
+        q = gen.generate(4000, 1.0, np.random.default_rng(0), measure="Q")
+        assert p.equity[0][:, -1].mean() > q.equity[0][:, -1].mean()
+
+    def test_invalid_args(self, scenario_generator, rng):
+        with pytest.raises(ValueError, match="measure"):
+            scenario_generator.generate(2, 1.0, rng, measure="Z")
+        with pytest.raises(ValueError, match="n_paths"):
+            scenario_generator.generate(0, 1.0, rng)
+
+    def test_state_without_optional_drivers(self):
+        spec = RiskDriverSpec.standard(
+            n_equities=1, with_currency=False, with_credit=False
+        )
+        gen = ScenarioGenerator(spec)
+        ss = gen.generate(3, 1.0, np.random.default_rng(0))
+        assert ss.fx is None
+        assert ss.credit_intensity is None
+        state = ss.state_at(0, ss.n_steps)
+        assert state.fx is None
+        assert state.as_features().shape == (2,)

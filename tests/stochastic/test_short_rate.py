@@ -1,0 +1,121 @@
+"""Tests for Vasicek and CIR short-rate models."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.short_rate import CIRModel, VasicekModel
+
+
+class TestVasicek:
+    def test_exact_transition_moments(self):
+        model = VasicekModel(r0=0.02, kappa=0.5, theta=0.04, sigma=0.01)
+        rng = np.random.default_rng(0)
+        n = 200_000
+        rates = model.step(np.full(n, 0.02), 1.0, rng.standard_normal(n))
+        decay = np.exp(-0.5)
+        expected_mean = 0.02 * decay + 0.04 * (1 - decay)
+        expected_std = 0.01 * np.sqrt((1 - decay**2) / (2 * 0.5))
+        assert rates.mean() == pytest.approx(expected_mean, abs=3e-5)
+        assert rates.std() == pytest.approx(expected_std, rel=0.01)
+
+    def test_p_measure_has_term_premium(self):
+        model = VasicekModel(kappa=0.25, theta=0.03, sigma=0.01,
+                             market_price_of_risk=0.2)
+        rng_p = np.random.default_rng(1)
+        rng_q = np.random.default_rng(1)
+        shocks = rng_p.standard_normal(100_000)
+        p_rates = model.step(np.full(100_000, 0.02), 1.0, shocks, measure="P")
+        shocks_q = rng_q.standard_normal(100_000)
+        q_rates = model.step(np.full(100_000, 0.02), 1.0, shocks_q, measure="Q")
+        assert p_rates.mean() > q_rates.mean()
+
+    def test_bond_price_decreasing_in_maturity(self):
+        model = VasicekModel()
+        prices = [float(model.bond_price(0.02, m)) for m in (0.0, 1.0, 5.0, 20.0)]
+        assert prices[0] == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(prices, prices[1:]))
+
+    def test_bond_price_decreasing_in_rate(self):
+        model = VasicekModel()
+        assert float(model.bond_price(0.01, 10)) > float(model.bond_price(0.05, 10))
+
+    def test_bond_price_matches_mc(self):
+        # Closed-form P(0,T) must match a Monte Carlo average of the
+        # pathwise discount factors under Q.
+        model = VasicekModel(r0=0.02, kappa=0.3, theta=0.03, sigma=0.008)
+        rng = np.random.default_rng(3)
+        paths = model.simulate(20_000, 5.0, 50, rng, measure="Q")
+        dt = 5.0 / 250
+        integrals = paths[:, :-1].sum(axis=1) * dt
+        mc_price = np.exp(-integrals).mean()
+        assert float(model.bond_price(0.02, 5.0)) == pytest.approx(mc_price, rel=5e-3)
+
+    def test_negative_maturity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            VasicekModel().bond_price(0.02, -1.0)
+
+    def test_invalid_measure_rejected(self):
+        with pytest.raises(ValueError, match="measure"):
+            VasicekModel().step(np.array([0.02]), 1.0, np.array([0.0]), measure="X")
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            VasicekModel(kappa=-0.1)
+        with pytest.raises(ValueError):
+            VasicekModel(sigma=0.0)
+
+    def test_simulate_shape_and_start(self):
+        model = VasicekModel(r0=0.025)
+        rng = np.random.default_rng(2)
+        paths = model.simulate(10, 3.0, 12, rng)
+        assert paths.shape == (10, 37)
+        np.testing.assert_allclose(paths[:, 0], 0.025)
+
+    def test_simulate_invalid_args(self):
+        model = VasicekModel()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="n_paths"):
+            model.simulate(0, 1.0, 1, rng)
+        with pytest.raises(ValueError, match="horizon"):
+            model.simulate(1, 0.0, 1, rng)
+
+
+class TestCIR:
+    def test_rates_stay_non_negative(self):
+        model = CIRModel(r0=0.005, kappa=0.2, theta=0.01, sigma=0.15)
+        rng = np.random.default_rng(4)
+        paths = model.simulate(500, 10.0, 12, rng)
+        assert np.all(paths >= 0.0)
+
+    def test_feller_condition_flag(self):
+        assert CIRModel(kappa=0.5, theta=0.04, sigma=0.1).feller_satisfied
+        assert not CIRModel(kappa=0.1, theta=0.01, sigma=0.2).feller_satisfied
+
+    def test_bond_price_bounds(self):
+        model = CIRModel()
+        price = float(model.bond_price(0.02, 10.0))
+        assert 0.0 < price < 1.0
+
+    def test_bond_price_at_zero_maturity(self):
+        assert float(CIRModel().bond_price(0.03, 0.0)) == pytest.approx(1.0)
+
+    def test_bond_price_matches_mc(self):
+        model = CIRModel(r0=0.03, kappa=0.5, theta=0.03, sigma=0.05)
+        rng = np.random.default_rng(5)
+        paths = model.simulate(20_000, 3.0, 100, rng, measure="Q")
+        dt = 3.0 / 300
+        integrals = paths[:, :-1].sum(axis=1) * dt
+        mc_price = np.exp(-integrals).mean()
+        assert float(model.bond_price(0.03, 3.0)) == pytest.approx(mc_price, rel=5e-3)
+
+    def test_p_measure_drifts_higher(self):
+        model = CIRModel(kappa=0.5, theta=0.03, sigma=0.03,
+                         market_price_of_risk=0.5)
+        shocks = np.zeros(1)
+        p_next = model.step(np.array([0.03]), 1.0, shocks, measure="P")
+        q_next = model.step(np.array([0.03]), 1.0, shocks, measure="Q")
+        assert p_next[0] > q_next[0]
+
+    def test_negative_initial_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CIRModel(r0=-0.01)

@@ -1,0 +1,67 @@
+"""Tests for yield curves."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.term_structure import FlatYieldCurve, NelsonSiegelCurve
+
+
+class TestFlatYieldCurve:
+    def test_constant_rate(self):
+        curve = FlatYieldCurve(0.03)
+        assert curve.zero_rate(1.0) == pytest.approx(0.03)
+        assert curve.zero_rate(30.0) == pytest.approx(0.03)
+
+    def test_discount_factor(self):
+        curve = FlatYieldCurve(0.02)
+        assert curve.discount_factor(5.0) == pytest.approx(np.exp(-0.10))
+
+    def test_discount_factor_at_zero_is_one(self):
+        assert FlatYieldCurve(0.05).discount_factor(0.0) == pytest.approx(1.0)
+
+    def test_vector_maturities(self):
+        curve = FlatYieldCurve(0.01)
+        dfs = curve.discount_factor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(dfs, np.exp(-0.01 * np.array([1, 2, 3])))
+
+    def test_forward_rate_equals_flat_rate(self):
+        curve = FlatYieldCurve(0.025)
+        assert curve.forward_rate(2.0, 5.0) == pytest.approx(0.025)
+
+    def test_forward_rate_bad_order_rejected(self):
+        with pytest.raises(ValueError, match="end > start"):
+            FlatYieldCurve(0.02).forward_rate(5.0, 2.0)
+
+    def test_annual_compounded_rate(self):
+        curve = FlatYieldCurve(0.03)
+        assert curve.annual_compounded_rate(10.0) == pytest.approx(np.expm1(0.03))
+
+    def test_implausibly_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            FlatYieldCurve(-0.10)
+
+
+class TestNelsonSiegelCurve:
+    def test_long_end_tends_to_beta0(self):
+        curve = NelsonSiegelCurve(beta0=0.04, beta1=-0.02, beta2=0.01, tau=2.0)
+        assert curve.zero_rate(500.0) == pytest.approx(0.04, abs=1e-3)
+
+    def test_short_end_tends_to_beta0_plus_beta1(self):
+        curve = NelsonSiegelCurve(beta0=0.04, beta1=-0.02, beta2=0.01, tau=2.0)
+        assert curve.zero_rate(1e-6) == pytest.approx(0.02, abs=1e-4)
+
+    def test_discount_factors_decreasing_for_positive_rates(self):
+        curve = NelsonSiegelCurve(beta0=0.04, beta1=-0.01, beta2=0.005)
+        maturities = np.linspace(0.5, 40, 80)
+        dfs = np.asarray(curve.discount_factor(maturities))
+        assert np.all(np.diff(dfs) < 0)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError, match="tau"):
+            NelsonSiegelCurve(tau=0.0)
+
+    def test_vectorised_matches_scalar(self):
+        curve = NelsonSiegelCurve()
+        vector = curve.zero_rate(np.array([1.0, 5.0]))
+        assert vector[0] == pytest.approx(curve.zero_rate(1.0))
+        assert vector[1] == pytest.approx(curve.zero_rate(5.0))

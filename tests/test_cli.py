@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scr_defaults(self):
+        args = build_parser().parse_args(["scr"])
+        assert args.command == "scr"
+        assert args.outer == 150
+
+    def test_bench_targets(self):
+        for target in ("table1", "table2", "fig2", "fig3", "fig4", "tradeoff"):
+            args = build_parser().parse_args(["bench", target])
+            assert args.target == target
+
+    def test_unknown_bench_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestCommands:
+    def test_scr_command(self, capsys):
+        code = main(["scr", "--contracts", "5", "--outer", "15",
+                     "--inner", "8", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCR @ 99.5%" in out
+
+    def test_deploy_command(self, capsys):
+        code = main(["deploy", "--runs", "6", "--bootstrap", "4",
+                     "--max-nodes", "2", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Self-optimizing loop: 6 runs" in out
+
+    def test_bench_fig4(self, capsys):
+        code = main(["bench", "fig4"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_table1_small(self, capsys):
+        code = main(["bench", "table1", "--runs", "120", "--seed", "3"])
+        assert code == 0
+        assert "delta-bar" in capsys.readouterr().out
+
+    def test_kb_command_with_outputs(self, capsys, tmp_path):
+        json_path = tmp_path / "kb.json"
+        arff_path = tmp_path / "kb.arff"
+        code = main([
+            "kb", "--runs", "20",
+            "--json", str(json_path),
+            "--arff", str(arff_path),
+        ])
+        assert code == 0
+        assert json_path.exists()
+        assert arff_path.exists()
+        out = capsys.readouterr().out
+        assert "20 rows" in out
+        assert "20 ARFF instances" in out
+
+    def test_kb_command_without_outputs(self, capsys):
+        code = main(["kb", "--runs", "5"])
+        assert code == 0
+        assert "persist" in capsys.readouterr().out
+
+    def test_bench_output_file(self, capsys, tmp_path):
+        path = tmp_path / "fig4.txt"
+        code = main(["bench", "fig4", "--output", str(path)])
+        assert code == 0
+        assert path.exists()
+        assert "speedup" in path.read_text()

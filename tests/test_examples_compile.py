@@ -1,0 +1,52 @@
+"""Regression guard: every example script must at least compile.
+
+The examples are exercised end-to-end manually (and in CI they can be
+run with ``python examples/<name>.py``); compiling them in the unit
+suite catches import-path and syntax breakage cheaply.
+"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                       doraise=True)
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "scr_valuation",
+        "elastic_deploy",
+        "cost_time_tradeoff",
+        "heterogeneous_deploy",
+        "standard_formula_vs_internal_model",
+        "reporting_season",
+    } <= names
+
+
+def test_examples_importable_modules():
+    # Every example's imports must resolve against the installed package
+    # (compile does not execute imports; exec the import block only).
+    import ast
+    import importlib
+
+    for path in EXAMPLES:
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    module = importlib.import_module(node.module)
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name}"
+                        )

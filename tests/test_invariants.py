@@ -1,0 +1,206 @@
+"""Cross-cutting property-based tests of system invariants.
+
+These encode the contracts that the paper's argument relies on, checked
+with hypothesis across randomised inputs:
+
+- Algorithm 1 (greedy) selects the min-cost feasible configuration;
+- the performance model is monotone in work and node count, and bounded
+  by Amdahl's law;
+- hourly billing never undercuts pro-rata billing;
+- mixed clusters time between their pure constituents;
+- the readjustment factor is monotone in the participation coefficient
+  and the technical rate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.heterogeneous import (
+    HeterogeneousPerformanceModel,
+    MixedClusterSpec,
+)
+from repro.cloud.instance_types import INSTANCE_CATALOG, get_instance_type
+from repro.cloud.performance import PerformanceModel
+from repro.cloud.pricing import BillingModel
+from repro.financial.readjustment import readjustment_factor
+
+_TYPES = sorted(INSTANCE_CATALOG)
+
+
+class TestAlgorithm1Invariants:
+    @pytest.fixture(scope="class")
+    def selector(self):
+        # A small but real fitted family over a synthetic base.
+        from repro.core.predictor import PredictorFamily
+        from repro.core.selection import ConfigurationSelector
+
+        rng = np.random.default_rng(0)
+        n = 150
+        features = np.column_stack(
+            [
+                rng.integers(5, 300, n),
+                rng.integers(5, 40, n),
+                rng.integers(40, 400, n),
+                rng.integers(2, 8, n),
+                rng.choice([16, 32, 36, 40], n),
+                rng.choice([1.0, 1.1, 1.22], n),
+                rng.integers(1, 9, n),
+            ]
+        ).astype(float)
+        work = features[:, 1] * (features[:, 3] + 0.05 * features[:, 2]) * 500
+        targets = work / (600.0 * features[:, 5] * features[:, 6] ** 0.8)
+        family = PredictorFamily(members=["IBk", "RT"], seed=0)
+        family.fit_arrays(features, targets)
+        return ConfigurationSelector(family, max_nodes=4, epsilon=0.0, seed=0)
+
+    @given(
+        st.integers(5, 300), st.integers(5, 40),
+        st.integers(40, 400), st.integers(2, 7),
+        st.floats(100.0, 5000.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_selects_min_cost_feasible(
+        self, selector, contracts, horizon, assets, factors, tmax
+    ):
+        from repro.disar.eeb import CharacteristicParameters
+
+        params = CharacteristicParameters(contracts, horizon, assets, factors)
+        choices = selector.evaluate_all(params, tmax)
+        chosen = selector.select(params, tmax)
+        feasible = [c for c in choices if c.feasible]
+        if feasible:
+            assert chosen.feasible
+            best = min(c.predicted_cost_usd for c in feasible)
+            assert chosen.predicted_cost_usd == pytest.approx(best)
+        else:
+            fastest = min(c.predicted_seconds for c in choices)
+            assert chosen.predicted_seconds == pytest.approx(fastest)
+
+
+class TestPerformanceModelInvariants:
+    model = PerformanceModel(noise_sigma=0.0)
+
+    @given(
+        st.sampled_from(_TYPES),
+        st.floats(1e4, 1e8),
+        st.floats(1e4, 1e8),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_work(self, type_name, work_a, work_b, n_nodes):
+        it = INSTANCE_CATALOG[type_name]
+        lo, hi = sorted((work_a, work_b))
+        assert self.model.expected_seconds(lo, it, n_nodes) <= (
+            self.model.expected_seconds(hi, it, n_nodes) + 1e-9
+        )
+
+    @given(st.sampled_from(_TYPES), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_bounded_by_amdahl(self, type_name, n_nodes):
+        it = INSTANCE_CATALOG[type_name]
+        speedup = self.model.speedup(5e6, it, n_nodes)
+        bound = it.relative_core_speed / self.model.serial_fraction
+        assert 0.0 < speedup < bound
+
+    @given(st.sampled_from(_TYPES), st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_efficiency_in_unit_interval(self, type_name, n_nodes):
+        assert 0.0 < self.model.parallel_efficiency(n_nodes) <= 1.0
+
+
+class TestBillingInvariants:
+    @given(st.sampled_from(_TYPES), st.floats(0.0, 20_000.0), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_hourly_never_cheaper_than_prorata(self, type_name, seconds, n):
+        it = INSTANCE_CATALOG[type_name]
+        pro = BillingModel("second").expected_cost(it, seconds, n)
+        hour = BillingModel("hour").expected_cost(it, seconds, n)
+        assert hour >= pro - 1e-12
+
+    @given(st.sampled_from(_TYPES), st.floats(0.0, 10_000.0),
+           st.floats(0.0, 10_000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_monotone_in_time(self, type_name, a, b):
+        it = INSTANCE_CATALOG[type_name]
+        lo, hi = sorted((a, b))
+        for granularity in ("second", "hour"):
+            billing = BillingModel(granularity)
+            assert billing.expected_cost(it, lo) <= (
+                billing.expected_cost(it, hi) + 1e-12
+            )
+
+
+class TestMixedClusterInvariants:
+    hetero = HeterogeneousPerformanceModel(
+        base=PerformanceModel(noise_sigma=0.0), imbalance_penalty=0.0
+    )
+
+    @given(
+        st.sampled_from(_TYPES), st.sampled_from(_TYPES),
+        st.integers(1, 4), st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mixing_in_a_group_helps_each_constituent(self, name_a, name_b,
+                                                      n_a, n_b):
+        # A mixed cluster can legitimately beat *both* same-size pure
+        # clusters (fast-core serial phase plus high-capacity parallel
+        # phase) — that is the point of the extension.  The invariant
+        # that does hold at zero imbalance penalty: adding the second
+        # group to either group alone never slows the paper-scale
+        # campaign down.
+        if name_a == name_b:
+            return
+        it_a, it_b = get_instance_type(name_a), get_instance_type(name_b)
+        mixed = MixedClusterSpec(groups=((it_a, n_a), (it_b, n_b)))
+        alone_a = MixedClusterSpec.homogeneous(it_a, n_a)
+        alone_b = MixedClusterSpec.homogeneous(it_b, n_b)
+        work = 8e6
+        t_mixed = self.hetero.expected_seconds(work, mixed)
+        assert t_mixed <= self.hetero.expected_seconds(work, alone_a) + 1e-9
+        assert t_mixed <= self.hetero.expected_seconds(work, alone_b) + 1e-9
+
+    @given(st.sampled_from(_TYPES), st.sampled_from(_TYPES),
+           st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_serial_floor(self, name_a, name_b, n_a, n_b):
+        # No mixed cluster beats its own serial phase on the fastest
+        # core present.
+        if name_a == name_b:
+            return
+        it_a, it_b = get_instance_type(name_a), get_instance_type(name_b)
+        mixed = MixedClusterSpec(groups=((it_a, n_a), (it_b, n_b)))
+        work = 8e6
+        base = self.hetero.base
+        fastest = base.reference_rate * max(
+            it_a.relative_core_speed, it_b.relative_core_speed
+        )
+        floor = base.serial_fraction * work / fastest
+        assert self.hetero.expected_seconds(work, mixed) > floor
+
+
+class TestReadjustmentInvariants:
+    @given(
+        st.lists(st.floats(-0.3, 0.3), min_size=1, max_size=25),
+        st.floats(0.2, 0.9), st.floats(0.21, 1.0),
+        st.floats(0.0, 0.04),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phi_monotone_in_participation(self, returns, beta_lo, beta_hi,
+                                           rate):
+        if beta_hi <= beta_lo:
+            return
+        returns = np.asarray(returns)
+        phi_lo = readjustment_factor(returns, beta_lo, rate)
+        phi_hi = readjustment_factor(returns, beta_hi, rate)
+        assert phi_hi >= phi_lo - 1e-12
+
+    @given(
+        st.lists(st.floats(-0.3, 0.3), min_size=1, max_size=25),
+        st.floats(0.3, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phi_at_least_one(self, returns, beta):
+        phi = readjustment_factor(np.asarray(returns), beta, 0.02)
+        assert phi >= 1.0 - 1e-12

@@ -1,0 +1,118 @@
+"""Tests for synthetic portfolio and campaign generation."""
+
+import numpy as np
+import pytest
+
+from repro.disar.eeb import EEBType, SimulationSettings
+from repro.workload.campaign import CampaignGenerator
+from repro.workload.portfolio_gen import PortfolioGenerator
+
+
+class TestPortfolioGenerator:
+    def test_generates_valid_portfolio(self):
+        portfolio = PortfolioGenerator(seed=0).generate("p0")
+        assert portfolio.n_representative_contracts >= 20
+        assert portfolio.max_horizon >= 5
+        assert portfolio.total_insured_sum() > 0
+
+    def test_deterministic_in_seed(self):
+        a = PortfolioGenerator(seed=5).generate("p")
+        b = PortfolioGenerator(seed=5).generate("p")
+        assert a.n_representative_contracts == b.n_representative_contracts
+        assert a.contracts[0] == b.contracts[0]
+
+    def test_different_seeds_differ(self):
+        a = PortfolioGenerator(seed=1).generate("p")
+        b = PortfolioGenerator(seed=2).generate("p")
+        assert (
+            a.n_representative_contracts != b.n_representative_contracts
+            or a.contracts[0] != b.contracts[0]
+        )
+
+    def test_generate_many_unique_names(self):
+        portfolios = PortfolioGenerator(seed=3).generate_many(4)
+        names = [p.name for p in portfolios]
+        assert len(set(names)) == 4
+
+    def test_fund_weights_sum_to_one(self):
+        for i in range(5):
+            portfolio = PortfolioGenerator(seed=i).generate("p")
+            mix = portfolio.fund.mix
+            total = (
+                mix.government_bonds + mix.corporate_bonds + sum(mix.equity_weights)
+            )
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_parameter_ranges_respected(self):
+        gen = PortfolioGenerator(
+            n_contracts_range=(5, 10), horizon_range=(12, 15), seed=4
+        )
+        for _ in range(5):
+            portfolio = gen.generate("p")
+            assert 5 <= portfolio.n_representative_contracts <= 10
+            assert portfolio.max_horizon <= 15
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError, match="n_contracts_range"):
+            PortfolioGenerator(n_contracts_range=(10, 5))
+        with pytest.raises(ValueError, match="count"):
+            PortfolioGenerator().generate_many(0)
+
+    def test_technical_rates_within_italian_band(self):
+        portfolio = PortfolioGenerator(seed=6).generate("p")
+        rates = [c.technical_rate for c in portfolio.contracts]
+        assert all(0.0 <= r <= 0.04 for r in rates)
+
+
+class TestCampaignGenerator:
+    def test_paper_campaign_shape(self, fast_settings):
+        campaign = CampaignGenerator(seed=0).paper_campaign(
+            settings=fast_settings
+        )
+        assert len(campaign.portfolios) == 3
+        assert len(campaign.alm_blocks()) == 15
+        assert campaign.n_blocks == 15
+
+    def test_all_blocks_type_b(self, fast_settings):
+        campaign = CampaignGenerator(seed=1).paper_campaign(settings=fast_settings)
+        assert all(b.eeb_type is EEBType.ALM for b in campaign.blocks)
+
+    def test_default_settings_match_paper(self):
+        campaign = CampaignGenerator(seed=2).paper_campaign(
+            n_portfolios=1, n_eebs=1
+        )
+        assert campaign.settings.n_outer == 1000
+        assert campaign.settings.n_inner == 50
+
+    def test_blocks_have_diverse_characteristics(self, fast_settings):
+        campaign = CampaignGenerator(seed=3).paper_campaign(settings=fast_settings)
+        params = [b.characteristic_parameters for b in campaign.blocks]
+        horizons = {p.max_horizon for p in params}
+        assets = {p.n_fund_assets for p in params}
+        assert len(horizons) >= 2
+        assert len(assets) >= 2
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError, match="n_eebs"):
+            CampaignGenerator().paper_campaign(n_portfolios=3, n_eebs=2)
+
+    def test_random_blocks_diversity(self, fast_settings):
+        gen = CampaignGenerator(seed=4)
+        blocks = gen.random_blocks(6, settings=fast_settings)
+        counts = {b.characteristic_parameters.n_contracts for b in blocks}
+        assert len(counts) >= 4
+
+    def test_random_blocks_invalid_count(self):
+        with pytest.raises(ValueError, match="count"):
+            CampaignGenerator().random_blocks(0)
+
+    def test_total_complexity_positive(self, fast_settings):
+        campaign = CampaignGenerator(seed=5).paper_campaign(settings=fast_settings)
+        assert campaign.total_complexity() > 0
+
+    def test_deterministic(self, fast_settings):
+        a = CampaignGenerator(seed=9).paper_campaign(settings=fast_settings)
+        b = CampaignGenerator(seed=9).paper_campaign(settings=fast_settings)
+        pa = [blk.characteristic_parameters for blk in a.blocks]
+        pb = [blk.characteristic_parameters for blk in b.blocks]
+        assert pa == pb

@@ -1,0 +1,89 @@
+"""Tests for seasonal workload traces."""
+
+import pytest
+
+from repro.disar.eeb import SimulationSettings
+from repro.workload.trace import SeasonalTraceGenerator
+
+
+@pytest.fixture
+def fast_trace_settings():
+    return SimulationSettings(n_outer=50, n_inner=8, lsmc_outer_calibration=15)
+
+
+class TestSeasonalTrace:
+    def test_regulatory_calendar(self, fast_trace_settings):
+        trace = SeasonalTraceGenerator(
+            settings=fast_trace_settings, seed=0
+        ).generate_year()
+        kinds = [c.kind for c in trace]
+        assert kinds.count("quarterly") == 3
+        assert kinds.count("annual") == 1
+        # Monthly monitoring skips quarter-close collisions.
+        assert 7 <= kinds.count("monthly") <= 9
+
+    def test_sorted_by_day(self, fast_trace_settings):
+        trace = SeasonalTraceGenerator(
+            settings=fast_trace_settings, seed=1
+        ).generate_year()
+        days = [c.day for c in trace]
+        assert days == sorted(days)
+        assert all(0.0 < d <= 365.0 for d in days)
+
+    def test_annual_campaign_is_biggest(self, fast_trace_settings):
+        generator = SeasonalTraceGenerator(
+            settings=fast_trace_settings, quarterly_blocks=3, seed=2
+        )
+        trace = generator.generate_year()
+        annual = next(c for c in trace if c.kind == "annual")
+        quarterly = next(c for c in trace if c.kind == "quarterly")
+        assert annual.n_blocks == 2 * quarterly.n_blocks
+
+    def test_deadline_tightness(self, fast_trace_settings):
+        trace = SeasonalTraceGenerator(
+            settings=fast_trace_settings, quarterly_tmax=600.0,
+            monthly_tmax=7200.0, seed=3,
+        ).generate_year()
+        for campaign in trace:
+            if campaign.kind in ("quarterly", "annual"):
+                assert campaign.tmax_seconds == 600.0
+            else:
+                assert campaign.tmax_seconds == 7200.0
+
+    def test_deterministic(self, fast_trace_settings):
+        a = SeasonalTraceGenerator(settings=fast_trace_settings,
+                                   seed=7).generate_year()
+        b = SeasonalTraceGenerator(settings=fast_trace_settings,
+                                   seed=7).generate_year()
+        assert [c.kind for c in a] == [c.kind for c in b]
+        assert [c.day for c in a] == [c.day for c in b]
+
+    def test_adhoc_disabled(self, fast_trace_settings):
+        trace = SeasonalTraceGenerator(
+            settings=fast_trace_settings, adhoc_per_year=0.0, seed=4
+        ).generate_year()
+        assert not any(c.kind == "adhoc" for c in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            SeasonalTraceGenerator(quarterly_blocks=0)
+        with pytest.raises(ValueError, match="adhoc"):
+            SeasonalTraceGenerator(adhoc_per_year=-1.0)
+
+    def test_trace_drives_the_deploy_loop(self, fast_trace_settings):
+        # End-to-end: a year's trace through the transparent deploy
+        # system, using per-campaign deadlines.
+        from repro.core import TransparentDeploySystem
+
+        trace = SeasonalTraceGenerator(
+            settings=SimulationSettings(n_outer=1000, n_inner=50),
+            quarterly_blocks=2, adhoc_per_year=2.0, seed=5,
+        ).generate_year()
+        system = TransparentDeploySystem(bootstrap_runs=5, epsilon=0.0,
+                                         max_nodes=3, seed=5)
+        for campaign in trace:
+            outcome = system.run_simulation(
+                campaign.blocks, campaign.tmax_seconds
+            )
+            assert outcome.measured_seconds > 0
+        assert len(system.knowledge_base) == len(trace)
