@@ -14,7 +14,9 @@ The package is organised bottom-up:
   deploy system (knowledge base, predictor family, Algorithm 1 selection,
   self-optimizing loop),
 - :mod:`repro.workload` — synthetic Solvency II workload generation,
-- :mod:`repro.benchlib` — shared drivers for the table/figure benchmarks.
+- :mod:`repro.benchlib` — shared drivers for the table/figure benchmarks,
+- :mod:`repro.analysis` — the AST-based determinism & consistency linter
+  (``repro lint``) that gates every PR.
 
 The most common entry points are re-exported lazily here (PEP 562), so
 importing :mod:`repro` stays cheap and sub-packages can be used in

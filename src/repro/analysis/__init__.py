@@ -1,0 +1,56 @@
+"""AST-based determinism & consistency linter for the reproduction.
+
+The paper's self-optimizing loop is only as good as the data it feeds
+itself: one unseeded RNG corrupts the knowledge base, one instance type
+missing from a pricing table silently skews every cost decision.  This
+package enforces those invariants statically on every PR:
+
+- :mod:`repro.analysis.engine` — the pluggable engine: ``Rule``
+  protocol, single-pass visitor dispatch, ``# repro: noqa[RULE]``
+  suppression, text and JSON reporters;
+- :mod:`repro.analysis.rules.determinism` — the ``DET`` pack (seeding,
+  wall-clock, float equality, mutable defaults);
+- :mod:`repro.analysis.rules.consistency` — the ``CON`` pack
+  (``__all__`` hygiene plus the cross-module catalog/pricing/
+  performance/registry invariants).
+
+Run it as ``repro lint [paths]`` or through
+``tests/analysis/test_self_lint.py``, which fails the suite on any
+finding in ``src/repro``.
+"""
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    FileRule,
+    Finding,
+    ParsedModule,
+    Project,
+    ProjectRule,
+    Rule,
+    parse_module,
+    parse_project,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import (
+    consistency_rules,
+    default_rules,
+    determinism_rules,
+)
+
+__all__ = [
+    "AnalysisEngine",
+    "Finding",
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "ParsedModule",
+    "Project",
+    "parse_module",
+    "parse_project",
+    "render_text",
+    "render_json",
+    "default_rules",
+    "determinism_rules",
+    "consistency_rules",
+]

@@ -1,0 +1,433 @@
+"""The AST-based static-analysis engine.
+
+The self-optimizing loop of the paper (Algorithm 1 plus knowledge-base
+retraining) only converges if every run is reproducible and the
+cross-module catalogs stay mutually consistent.  This engine enforces
+those invariants mechanically: it parses every module of the project
+into an :mod:`ast` tree, runs two kinds of rules over them —
+
+- **file rules** (:class:`FileRule`) see one module at a time through a
+  single visitor pass with per-node-type dispatch;
+- **project rules** (:class:`ProjectRule`) see the whole parsed
+  :class:`Project` and can check invariants that span modules (catalog
+  coverage, registry completeness, ...);
+
+— and reports :class:`Finding` objects through the text or JSON
+reporters.  A finding on a line carrying ``# repro: noqa[RULE]`` (or a
+bare ``# repro: noqa``) is suppressed; suppressions are deliberate and
+should carry a justification in the surrounding code.
+
+The engine has no third-party dependencies — stdlib :mod:`ast` only —
+so ``repro lint`` runs anywhere the package imports.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Project",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "AnalysisEngine",
+    "parse_module",
+    "parse_project",
+    "render_text",
+    "render_json",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[DET001]`` or ``[DET001, CON002]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Z]{2,}\d*(?:\s*,\s*[A-Z]{2,}\d*)*)\s*\])?"
+)
+
+#: Finding id used when a file cannot be parsed at all.
+PARSE_ERROR_ID = "PARSE"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One source file parsed for analysis."""
+
+    path: Path
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> suppressed rule ids; ``None`` means "all rules".
+    suppressions: dict[int, frozenset[str] | None]
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is noqa-suppressed on ``line``."""
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule_id in rules
+
+
+@dataclass
+class Project:
+    """Every parsed module of one analysis run, keyed by dotted name."""
+
+    root: Path
+    modules: dict[str, ParsedModule] = field(default_factory=dict)
+
+    def find(self, suffix: str) -> ParsedModule | None:
+        """The module whose dotted name equals or ends with ``suffix``.
+
+        Project rules locate their target modules by suffix
+        (``cloud.pricing``) so they work whether the analysis root is
+        ``src/repro`` or a test fixture tree.
+        """
+        if suffix in self.modules:
+            return self.modules[suffix]
+        for name, parsed in self.modules.items():
+            if name.endswith("." + suffix):
+                return parsed
+        return None
+
+    def submodules(self, package_segment: str) -> list[ParsedModule]:
+        """Modules having ``package_segment`` as a dotted-path segment."""
+        return [
+            parsed
+            for name, parsed in sorted(self.modules.items())
+            if package_segment in name.split(".")
+        ]
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The minimal contract every rule satisfies."""
+
+    rule_id: str
+    description: str
+
+
+class FileRule:
+    """Base class for single-module rules driven by the shared visitor.
+
+    Subclasses declare the AST node types they want in ``interests`` and
+    implement :meth:`visit`; the engine walks each module's tree exactly
+    once and dispatches matching nodes to every interested rule.
+    :meth:`start_module` / :meth:`finish_module` bracket each module for
+    rules that carry per-module state (import maps, seen-names sets).
+    """
+
+    rule_id: str = "FILE000"
+    description: str = ""
+    #: Concrete AST node types dispatched to :meth:`visit`.
+    interests: tuple[type[ast.AST], ...] = ()
+    #: Dotted-name suffixes of modules this rule does not apply to.
+    exempt_modules: tuple[str, ...] = ()
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return not any(
+            module.module == suffix or module.module.endswith("." + suffix)
+            for suffix in self.exempt_modules
+        )
+
+    def start_module(self, module: ParsedModule) -> None:
+        """Reset per-module state; called before the walk."""
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        """Findings for one node of an interesting type."""
+        return iter(())
+
+    def finish_module(self, module: ParsedModule) -> Iterator[Finding]:
+        """Findings emitted after the whole module was walked."""
+        return iter(())
+
+    def finding(
+        self, module: ParsedModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for whole-project, cross-module rules."""
+
+    rule_id: str = "PROJ000"
+    description: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, module: ParsedModule, node: ast.AST | None, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def _collect_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                code.strip() for code in codes.split(",")
+            )
+    return suppressions
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` below the analysis root.
+
+    The root directory itself names the package: analysing
+    ``src/repro`` yields ``repro``, ``repro.cloud.pricing``, ...
+    """
+    relative = path.relative_to(root)
+    parts = (root.name,) + relative.parts
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + (parts[-1].removesuffix(".py"),)
+    return ".".join(parts)
+
+
+def parse_module(
+    path: Path, root: Path | None = None, source: str | None = None
+) -> ParsedModule:
+    """Parse one file into a :class:`ParsedModule`.
+
+    Raises :class:`SyntaxError` when the file does not parse; the engine
+    converts that into a ``PARSE`` finding.
+    """
+    path = Path(path)
+    if source is None:
+        source = path.read_text()
+    if root is None:
+        # Standalone file: report it exactly as addressed.
+        module = path.stem
+        relpath = str(path)
+    else:
+        root = Path(root)
+        try:
+            relative = path.relative_to(root)
+            module = _module_name(path, root)
+            relpath = str(Path(root.name) / relative)
+        except ValueError:
+            module = path.stem
+            relpath = str(path)
+    return ParsedModule(
+        path=path,
+        relpath=relpath,
+        module=module,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=_collect_suppressions(source),
+    )
+
+
+def parse_project(root: Path) -> tuple[Project, list[Finding]]:
+    """Parse every ``*.py`` below ``root``; unparseable files become
+    ``PARSE`` findings instead of aborting the run."""
+    root = Path(root)
+    project = Project(root=root)
+    errors: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            parsed = parse_module(path, root=root)
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    path=str(path.relative_to(root.parent)),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        project.modules[parsed.module] = parsed
+    return project, errors
+
+
+class AnalysisEngine:
+    """Runs rule packs over files or whole projects.
+
+    Parameters
+    ----------
+    rules:
+        The rules to run; defaults to the full default rule set
+        (:func:`repro.analysis.rules.default_rules`).
+    """
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.file_rules: list[FileRule] = []
+        self.project_rules: list[ProjectRule] = []
+        for rule in rules:
+            if isinstance(rule, FileRule):
+                self.file_rules.append(rule)
+            elif isinstance(rule, ProjectRule):
+                self.project_rules.append(rule)
+            else:
+                raise TypeError(
+                    f"rule {rule!r} is neither a FileRule nor a ProjectRule"
+                )
+
+    @property
+    def rules(self) -> list[Rule]:
+        return [*self.file_rules, *self.project_rules]
+
+    # -- single-module pass ----------------------------------------------------
+
+    def check_module(self, module: ParsedModule) -> list[Finding]:
+        """All file-rule findings for one parsed module (noqa applied)."""
+        active = [rule for rule in self.file_rules if rule.applies_to(module)]
+        if not active:
+            return []
+        dispatch: dict[type[ast.AST], list[FileRule]] = {}
+        for rule in active:
+            rule.start_module(module)
+            for node_type in rule.interests:
+                dispatch.setdefault(node_type, []).append(rule)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, module))
+        for rule in active:
+            findings.extend(rule.finish_module(module))
+        return self._apply_suppressions(findings, {module.relpath: module})
+
+    def check_source(
+        self, source: str, filename: str = "<snippet>"
+    ) -> list[Finding]:
+        """File-rule findings for an in-memory snippet (used by tests)."""
+        module = ParsedModule(
+            path=Path(filename),
+            relpath=filename,
+            module=Path(filename).stem,
+            source=source,
+            tree=ast.parse(source, filename=filename),
+            suppressions=_collect_suppressions(source),
+        )
+        return self.check_module(module)
+
+    # -- whole-project pass ----------------------------------------------------
+
+    def check_project(self, project: Project) -> list[Finding]:
+        """File rules over every module plus all project rules."""
+        by_relpath = {
+            parsed.relpath: parsed for parsed in project.modules.values()
+        }
+        findings: list[Finding] = []
+        for parsed in project.modules.values():
+            findings.extend(self.check_module(parsed))
+        project_findings: list[Finding] = []
+        for rule in self.project_rules:
+            project_findings.extend(rule.check_project(project))
+        findings.extend(
+            self._apply_suppressions(project_findings, by_relpath)
+        )
+        return sorted(findings)
+
+    def run_path(self, path: str | Path) -> list[Finding]:
+        """Analyse a file or a directory tree; the main entry point."""
+        path = Path(path)
+        if path.is_dir():
+            project, errors = parse_project(path)
+            return sorted(errors + self.check_project(project))
+        try:
+            module = parse_module(path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        return sorted(self.check_module(module))
+
+    @staticmethod
+    def _apply_suppressions(
+        findings: Iterable[Finding], modules: dict[str, ParsedModule]
+    ) -> list[Finding]:
+        kept = []
+        for finding in findings:
+            module = modules.get(finding.path)
+            if module is not None and module.suppresses(
+                finding.line, finding.rule_id
+            ):
+                continue
+            kept.append(finding)
+        return kept
+
+
+# -- reporters ------------------------------------------------------------------
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding, plus a tally."""
+    findings = list(findings)
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report; round-trips through ``json.loads``."""
+    findings = list(findings)
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=1,
+    )

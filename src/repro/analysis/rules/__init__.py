@@ -1,0 +1,46 @@
+"""The rule packs of the static-analysis engine.
+
+``default_rules`` is the set ``repro lint`` and the self-lint test gate
+run; packs are plain lists of rule instances, so downstream projects (or
+future PRs) can extend the set by appending to what the factories
+return.
+"""
+
+from repro.analysis.rules.determinism import (
+    FloatEqualityRule,
+    LegacyNumpyRandomRule,
+    MutableDefaultRule,
+    UnseededGeneratorRule,
+    WallClockRule,
+    determinism_rules,
+)
+from repro.analysis.rules.consistency import (
+    AllResolvesRule,
+    CatalogPerformanceRule,
+    CatalogPricingRule,
+    LearnerRegistryRule,
+    ModuleAllRule,
+    consistency_rules,
+)
+from repro.analysis.engine import FileRule, ProjectRule
+
+__all__ = [
+    "UnseededGeneratorRule",
+    "LegacyNumpyRandomRule",
+    "WallClockRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "ModuleAllRule",
+    "AllResolvesRule",
+    "CatalogPricingRule",
+    "CatalogPerformanceRule",
+    "LearnerRegistryRule",
+    "determinism_rules",
+    "consistency_rules",
+    "default_rules",
+]
+
+
+def default_rules() -> list[FileRule | ProjectRule]:
+    """Fresh instances of every built-in rule (both packs)."""
+    return [*determinism_rules(), *consistency_rules()]

@@ -1,0 +1,479 @@
+"""Consistency rule pack (``CON``).
+
+Whole-project checks for invariants that span modules — exactly the
+class of error a per-file linter cannot see:
+
+- ``CON001`` — every module declares ``__all__`` (the public API is
+  explicit, which :mod:`repro.analysis` itself and the package tests
+  rely on);
+- ``CON002`` — every name listed in ``__all__`` is actually bound at
+  module top level;
+- ``CON003`` — every instance type enumerated in
+  ``cloud/instance_types.py`` has a matching rate in the
+  ``ON_DEMAND_HOURLY_USD`` table of ``cloud/pricing.py`` (and vice
+  versa, and the prices agree);
+- ``CON004`` — every instance *family* in the catalog has a matching
+  entry in the ``FAMILY_CORE_SPEED`` calibration table of
+  ``cloud/performance.py`` (and vice versa, and the speeds agree);
+- ``CON005`` — every learner class under ``ml/`` (a ``Regressor``
+  subclass) is registered in the ``ALGORITHMS`` ensemble registry that
+  ``core/predictor.py`` builds its family from.
+
+CON003-005 work on the parsed ASTs, not imports, so they hold even for
+code that does not currently import cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    FileRule,
+    Finding,
+    ParsedModule,
+    Project,
+    ProjectRule,
+)
+
+__all__ = [
+    "ModuleAllRule",
+    "AllResolvesRule",
+    "CatalogPricingRule",
+    "CatalogPerformanceRule",
+    "LearnerRegistryRule",
+    "consistency_rules",
+]
+
+
+def _iter_toplevel(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into if/try/with blocks (where
+    conditional definitions legitimately live)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _iter_toplevel(stmt.body)
+            yield from _iter_toplevel(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _iter_toplevel(stmt.body)
+            yield from _iter_toplevel(stmt.orelse)
+            yield from _iter_toplevel(stmt.finalbody)
+            for handler in stmt.handlers:
+                yield from _iter_toplevel(handler.body)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            yield from _iter_toplevel(stmt.body)
+
+
+def _find_all_assignment(tree: ast.Module) -> ast.Assign | ast.AnnAssign | None:
+    for stmt in _iter_toplevel(tree.body):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__all__"
+            ):
+                return stmt
+    return None
+
+
+def _literal_names(node: ast.AST | None) -> list[tuple[str, ast.AST]] | None:
+    """``[(name, node), ...]`` for a list/tuple of string constants,
+    ``None`` when the value is not statically a literal."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        names.append((element.value, element))
+    return names
+
+
+def _bound_names(tree: ast.Module) -> set[str] | None:
+    """Names bound at module top level; ``None`` when a star import
+    makes the binding set statically unknowable."""
+    names: set[str] = set()
+    for stmt in _iter_toplevel(tree.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_target_names(target))
+        elif isinstance(stmt, ast.AnnAssign):
+            names.update(_target_names(stmt.target))
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    return None
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()
+
+
+class ModuleAllRule(FileRule):
+    """CON001: every module declares an explicit ``__all__``."""
+
+    rule_id = "CON001"
+    description = "every module must declare its public API via __all__"
+
+    def finish_module(self, module: ParsedModule) -> Iterator[Finding]:
+        if _find_all_assignment(module.tree) is None:
+            yield self.finding(
+                module,
+                module.tree.body[0] if module.tree.body else module.tree,
+                "module does not declare __all__",
+            )
+
+
+class AllResolvesRule(FileRule):
+    """CON002: every ``__all__`` entry is bound at module top level."""
+
+    rule_id = "CON002"
+    description = "every name exported through __all__ must be defined"
+
+    def finish_module(self, module: ParsedModule) -> Iterator[Finding]:
+        assignment = _find_all_assignment(module.tree)
+        if assignment is None:
+            return
+        entries = _literal_names(assignment.value)
+        if entries is None:  # dynamically built __all__: out of scope
+            return
+        bound = _bound_names(module.tree)
+        if bound is None:  # star import: cannot decide statically
+            return
+        for name, node in entries:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ exports {name!r} but the module never "
+                    "defines or imports it",
+                )
+
+
+# -- catalog extraction helpers --------------------------------------------------
+
+
+def _call_arg(
+    call: ast.Call, position: int, keyword: str
+) -> ast.AST | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if position < len(call.args):
+        return call.args[position]
+    return None
+
+
+def _const(node: ast.AST | None) -> object | None:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const(node.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    return None
+
+
+def _catalog_entries(
+    module: ParsedModule,
+) -> list[tuple[str, float | None, float | None, str | None, ast.Call]]:
+    """``(api_name, hourly_price, core_speed, family, node)`` for every
+    ``InstanceType(...)`` construction in the instance-types module."""
+    entries = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "InstanceType":
+            continue
+        api_name = _const(_call_arg(node, 0, "api_name"))
+        if not isinstance(api_name, str):
+            continue
+        price = _const(_call_arg(node, 3, "hourly_price_usd"))
+        speed = _const(_call_arg(node, 4, "relative_core_speed"))
+        family = _const(_call_arg(node, 5, "family"))
+        entries.append(
+            (
+                api_name,
+                float(price) if isinstance(price, (int, float)) else None,
+                float(speed) if isinstance(speed, (int, float)) else None,
+                family if isinstance(family, str) else None,
+                node,
+            )
+        )
+    return entries
+
+
+def _dict_table(
+    module: ParsedModule, table_name: str
+) -> tuple[dict[str, float], ast.AST] | None:
+    """A ``{str: number}`` literal assigned to ``table_name``."""
+    for stmt in _iter_toplevel(module.tree.body):
+        value: ast.AST | None = None
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == table_name
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == table_name
+            ):
+                value = stmt.value
+        if value is None:
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        table: dict[str, float] = {}
+        for key_node, value_node in zip(value.keys, value.values):
+            key = _const(key_node)
+            val = _const(value_node)
+            if isinstance(key, str) and isinstance(val, (int, float)):
+                table[key] = float(val)
+        return table, value
+    return None
+
+
+class CatalogPricingRule(ProjectRule):
+    """CON003: INSTANCE_CATALOG and ON_DEMAND_HOURLY_USD agree."""
+
+    rule_id = "CON003"
+    description = (
+        "every catalog instance type needs a matching entry in "
+        "cloud.pricing.ON_DEMAND_HOURLY_USD"
+    )
+
+    TABLE = "ON_DEMAND_HOURLY_USD"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        catalog_module = project.find("cloud.instance_types")
+        pricing_module = project.find("cloud.pricing")
+        if catalog_module is None or pricing_module is None:
+            return
+        entries = _catalog_entries(catalog_module)
+        if not entries:
+            return
+        extracted = _dict_table(pricing_module, self.TABLE)
+        if extracted is None:
+            yield self.finding(
+                pricing_module,
+                None,
+                f"cloud.pricing must define the {self.TABLE} literal table",
+            )
+            return
+        table, table_node = extracted
+        for api_name, price, _speed, _family, node in entries:
+            if api_name not in table:
+                yield self.finding(
+                    catalog_module,
+                    node,
+                    f"instance type {api_name!r} has no pricing entry in "
+                    f"cloud.pricing.{self.TABLE}",
+                )
+            elif price is not None and table[api_name] != price:
+                yield self.finding(
+                    catalog_module,
+                    node,
+                    f"instance type {api_name!r} is priced "
+                    f"{price} in the catalog but {table[api_name]} in "
+                    f"cloud.pricing.{self.TABLE}",
+                )
+        known = {api_name for api_name, *_ in entries}
+        for stale in sorted(set(table) - known):
+            yield self.finding(
+                pricing_module,
+                table_node,
+                f"pricing entry {stale!r} does not match any catalog "
+                "instance type",
+            )
+
+
+class CatalogPerformanceRule(ProjectRule):
+    """CON004: catalog families and FAMILY_CORE_SPEED agree."""
+
+    rule_id = "CON004"
+    description = (
+        "every catalog instance family needs a matching entry in "
+        "cloud.performance.FAMILY_CORE_SPEED"
+    )
+
+    TABLE = "FAMILY_CORE_SPEED"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        catalog_module = project.find("cloud.instance_types")
+        performance_module = project.find("cloud.performance")
+        if catalog_module is None or performance_module is None:
+            return
+        entries = _catalog_entries(catalog_module)
+        if not entries:
+            return
+        extracted = _dict_table(performance_module, self.TABLE)
+        if extracted is None:
+            yield self.finding(
+                performance_module,
+                None,
+                f"cloud.performance must define the {self.TABLE} literal "
+                "table",
+            )
+            return
+        table, table_node = extracted
+        families: set[str] = set()
+        for api_name, _price, speed, family, node in entries:
+            if family is None:
+                continue
+            families.add(family)
+            if family not in table:
+                yield self.finding(
+                    catalog_module,
+                    node,
+                    f"instance type {api_name!r} (family {family!r}) has no "
+                    f"performance entry in cloud.performance.{self.TABLE}",
+                )
+            elif speed is not None and table[family] != speed:
+                yield self.finding(
+                    catalog_module,
+                    node,
+                    f"family {family!r} runs at {speed} in the catalog but "
+                    f"{table[family]} in cloud.performance.{self.TABLE}",
+                )
+        for stale in sorted(set(table) - families):
+            yield self.finding(
+                performance_module,
+                table_node,
+                f"performance entry {stale!r} does not match any catalog "
+                "family",
+            )
+
+
+class LearnerRegistryRule(ProjectRule):
+    """CON005: every ml/ learner is registered in ALGORITHMS."""
+
+    rule_id = "CON005"
+    description = (
+        "every Regressor subclass under ml/ must be registered in the "
+        "ALGORITHMS ensemble registry used by core.predictor"
+    )
+
+    REGISTRY = "ALGORITHMS"
+
+    @staticmethod
+    def _learner_classes(
+        module: ParsedModule,
+    ) -> list[tuple[str, ast.ClassDef]]:
+        learners = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for base in node.bases:
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr if isinstance(base, ast.Attribute) else None
+                )
+                if base_name == "Regressor":
+                    learners.append((node.name, node))
+                    break
+        return learners
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        package = project.find("ml")
+        if package is None:
+            return
+        registry = self._registered_names(package)
+        if registry is None:
+            yield self.finding(
+                package,
+                None,
+                f"ml/__init__.py must define the {self.REGISTRY} dict "
+                "literal registering the learner classes",
+            )
+            return
+        registered, registry_node = registry
+        learners: dict[str, tuple[ParsedModule, ast.ClassDef]] = {}
+        for module in project.submodules("ml"):
+            if module is package or module.module.endswith(".base"):
+                continue
+            for name, node in self._learner_classes(module):
+                learners[name] = (module, node)
+        for name, (module, node) in sorted(learners.items()):
+            if name not in registered:
+                yield self.finding(
+                    module,
+                    node,
+                    f"learner {name} is not registered in "
+                    f"ml.{self.REGISTRY}; the predictor ensemble will "
+                    "never train it",
+                )
+        for stale in sorted(registered - set(learners)):
+            yield self.finding(
+                package,
+                registry_node,
+                f"{self.REGISTRY} registers {stale!r} but no learner class "
+                "with that name exists under ml/",
+            )
+
+    def _registered_names(
+        self, package: ParsedModule
+    ) -> tuple[set[str], ast.AST] | None:
+        for stmt in _iter_toplevel(package.tree.body):
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == self.REGISTRY
+                    for t in stmt.targets
+                ):
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == self.REGISTRY
+                ):
+                    value = stmt.value
+            if value is None:
+                continue
+            if not isinstance(value, ast.Dict):
+                return None
+            names = {
+                v.id for v in value.values if isinstance(v, ast.Name)
+            }
+            return names, value
+        return None
+
+
+def consistency_rules() -> list[FileRule | ProjectRule]:
+    """Fresh instances of the whole consistency pack."""
+    return [
+        ModuleAllRule(),
+        AllResolvesRule(),
+        CatalogPricingRule(),
+        CatalogPerformanceRule(),
+        LearnerRegistryRule(),
+    ]

@@ -1,0 +1,279 @@
+"""Determinism rule pack (``DET``).
+
+The knowledge base the predictors train on is only trustworthy if every
+simulated run is exactly reproducible from its seed.  These rules forbid
+the constructs that silently break that guarantee:
+
+- ``DET001`` — unseeded ``np.random.default_rng()`` (entropy from the
+  OS; different result every run);
+- ``DET002`` — legacy ``np.random.*`` global-state calls (hidden global
+  RNG shared across components);
+- ``DET003`` — wall-clock reads (``time.time()``, ``datetime.now()``):
+  simulated cloud timing must come from the ``BillingModel`` /
+  ``PerformanceModel`` virtual clock;
+- ``DET004`` — float ``==`` / ``!=`` against a non-zero literal
+  (bit-exact float comparisons are platform- and optimisation-level
+  dependent);
+- ``DET005`` — mutable default arguments (state leaking across calls).
+
+``repro.stochastic.rng`` is the sanctioned seeding chokepoint and is
+exempt from DET001/DET002.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+
+__all__ = [
+    "UnseededGeneratorRule",
+    "LegacyNumpyRandomRule",
+    "WallClockRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "determinism_rules",
+]
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _ImportTrackingRule(FileRule):
+    """File rule that records ``from x import y [as z]`` aliases."""
+
+    def start_module(self, module: ParsedModule) -> None:
+        self._from_imports: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._from_imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of a call target, best effort."""
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self._from_imports:
+            dotted = self._from_imports[head] + ("." + rest if rest else "")
+        # Normalise the conventional numpy alias.
+        if dotted == "np" or dotted.startswith("np."):
+            dotted = "numpy" + dotted[len("np"):]
+        return dotted
+
+
+class UnseededGeneratorRule(_ImportTrackingRule):
+    """DET001: ``np.random.default_rng()`` without an explicit seed."""
+
+    rule_id = "DET001"
+    description = (
+        "np.random.default_rng() without a seed draws OS entropy; route "
+        "all generator creation through repro.stochastic.rng"
+    )
+    interests = (ast.Call,)
+    exempt_modules = ("stochastic.rng",)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if self.resolve(node.func) != "numpy.random.default_rng":
+            return
+        seed_args = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg in (None, "seed")
+        ]
+        unseeded = not seed_args or any(
+            isinstance(arg, ast.Constant) and arg.value is None
+            for arg in seed_args
+        )
+        if unseeded:
+            yield self.finding(
+                module,
+                node,
+                "unseeded np.random.default_rng(); pass an explicit seed or "
+                "use repro.stochastic.rng.generator_from",
+            )
+
+
+class LegacyNumpyRandomRule(_ImportTrackingRule):
+    """DET002: legacy global-state ``np.random.*`` calls."""
+
+    rule_id = "DET002"
+    description = (
+        "legacy np.random.* functions mutate hidden global state; use "
+        "seeded numpy Generators from repro.stochastic.rng"
+    )
+    interests = (ast.Call,)
+    exempt_modules = ("stochastic.rng",)
+
+    #: numpy.random attributes that are part of the *new*, explicit API.
+    _ALLOWED = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "MT19937",
+            "SFC64",
+        }
+    )
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = self.resolve(node.func)
+        if dotted is None or not dotted.startswith("numpy.random."):
+            return
+        leaf = dotted.removeprefix("numpy.random.")
+        if "." in leaf or leaf in self._ALLOWED:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"legacy np.random.{leaf}() uses the global RNG; draw from a "
+            "seeded Generator instead",
+        )
+
+
+class WallClockRule(_ImportTrackingRule):
+    """DET003: wall-clock reads inside simulation code."""
+
+    rule_id = "DET003"
+    description = (
+        "wall-clock reads make runs irreproducible; simulated timing comes "
+        "from BillingModel/PerformanceModel and the provider's virtual clock"
+    )
+    interests = (ast.Call,)
+
+    _FORBIDDEN = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = self.resolve(node.func)
+        if dotted is None:
+            return
+        # `from datetime import datetime; datetime.now()` resolves to
+        # datetime.datetime.now via the import map; the bare module form
+        # `datetime.now()` (module imported as a name) is matched directly.
+        if dotted in self._FORBIDDEN or dotted in (
+            "datetime.now",
+            "date.today",
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"{dotted}() reads the wall clock; use the simulated clock "
+                "(provider.clock / BillingModel) so runs stay reproducible",
+            )
+
+
+class FloatEqualityRule(FileRule):
+    """DET004: ``==`` / ``!=`` against a non-zero float literal."""
+
+    rule_id = "DET004"
+    description = (
+        "exact equality against a non-zero float literal is platform- and "
+        "rounding-dependent; compare with a tolerance (math.isclose)"
+    )
+    interests = (ast.Compare,)
+
+    @staticmethod
+    def _nonzero_float(node: ast.AST) -> bool:
+        # Accept unary minus wrapping: x == -1.5
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        comparators = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, comparators, comparators[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._nonzero_float(left) or self._nonzero_float(right):
+                yield self.finding(
+                    module,
+                    node,
+                    "float equality against a non-zero literal; use "
+                    "math.isclose or an explicit tolerance",
+                )
+                return
+
+
+class MutableDefaultRule(FileRule):
+    """DET005: mutable default argument values."""
+
+    rule_id = "DET005"
+    description = (
+        "mutable default arguments are shared across calls and leak state "
+        "between runs; default to None and construct inside the function"
+    )
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda))
+        defaults = [
+            default
+            for default in [*node.args.defaults, *node.args.kw_defaults]
+            if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in {name}(); use None and "
+                    "build the container inside the function",
+                )
+
+
+def determinism_rules() -> list[FileRule]:
+    """Fresh instances of the whole determinism pack."""
+    return [
+        UnseededGeneratorRule(),
+        LegacyNumpyRandomRule(),
+        WallClockRule(),
+        FloatEqualityRule(),
+        MutableDefaultRule(),
+    ]

@@ -7,9 +7,11 @@ Installs as the ``repro`` console command with four subcommands:
   elastic deploy loop;
 - ``repro bench`` — regenerate one of the paper's tables or figures;
 - ``repro kb`` — build an experiment knowledge base and save it (JSON
-  and/or Weka ARFF).
+  and/or Weka ARFF);
+- ``repro lint`` — run the AST-based determinism & consistency linter
+  (:mod:`repro.analysis`) over source trees.
 
-Every subcommand is deterministic under ``--seed``.
+Every simulation subcommand is deterministic under ``--seed``.
 """
 
 from __future__ import annotations
@@ -72,6 +74,28 @@ def build_parser() -> argparse.ArgumentParser:
     kb.add_argument("--arff", dest="arff_path", default=None,
                     help="export the training matrices as Weka ARFF")
     kb.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & consistency linter over source trees",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and exit",
+    )
     return parser
 
 
@@ -171,6 +195,30 @@ def _cmd_kb(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import AnalysisEngine, render_json, render_text
+
+    engine = AnalysisEngine()
+    if args.list_rules:
+        for rule in engine.rules:
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    findings = []
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+        findings.extend(engine.run_path(path))
+    findings.sort()
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro`` console command."""
     args = build_parser().parse_args(argv)
@@ -179,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         "deploy": _cmd_deploy,
         "bench": _cmd_bench,
         "kb": _cmd_kb,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -31,7 +31,27 @@ import numpy as np
 from repro.cloud.instance_types import InstanceType
 from repro.disar.eeb import ElementaryElaborationBlock
 
-__all__ = ["PerformanceModel"]
+__all__ = ["PerformanceModel", "FAMILY_CORE_SPEED", "family_core_speed"]
+
+#: Per-family relative per-core throughput on Monte Carlo workloads
+#: (m4 = 1.0 baseline) — the performance-calibration reference for the
+#: instance families the catalog enumerates.  ``repro lint`` (rule
+#: CON004) enforces that every family in ``INSTANCE_CATALOG`` has an
+#: entry here and that the two speed figures agree, mirroring the
+#: pricing-table invariant.
+FAMILY_CORE_SPEED: dict[str, float] = {
+    "m4": 1.00,
+    "c3": 1.10,
+    "c4": 1.22,
+}
+
+
+def family_core_speed(family: str) -> float:
+    """Calibrated relative core speed of an instance family.
+
+    Raises ``KeyError`` for families outside the calibration table.
+    """
+    return FAMILY_CORE_SPEED[family]
 
 
 class PerformanceModel:

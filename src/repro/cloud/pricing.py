@@ -14,7 +14,36 @@ from dataclasses import dataclass
 
 from repro.cloud.instance_types import InstanceType
 
-__all__ = ["BillingModel", "BillingRecord"]
+__all__ = [
+    "BillingModel",
+    "BillingRecord",
+    "ON_DEMAND_HOURLY_USD",
+    "catalog_hourly_rate",
+]
+
+#: 2016 us-east-1 Linux on-demand rates, USD per instance-hour — the
+#: pricing reference for every instance type the catalog enumerates.
+#: ``repro lint`` (rule CON003) enforces that this table and
+#: ``INSTANCE_CATALOG`` in :mod:`repro.cloud.instance_types` stay in
+#: lock-step: every enumerated type must have a rate here and the two
+#: prices must agree, so a new architecture cannot silently enter the
+#: configuration space without a billing entry.
+ON_DEMAND_HOURLY_USD: dict[str, float] = {
+    "m4.4xlarge": 0.958,
+    "m4.10xlarge": 2.394,
+    "c3.4xlarge": 0.840,
+    "c3.8xlarge": 1.680,
+    "c4.4xlarge": 0.838,
+    "c4.8xlarge": 1.675,
+}
+
+
+def catalog_hourly_rate(api_name: str) -> float:
+    """The published on-demand rate for ``api_name``.
+
+    Raises ``KeyError`` for instance types outside the pricing table.
+    """
+    return ON_DEMAND_HOURLY_USD[api_name]
 
 
 @dataclass(frozen=True)

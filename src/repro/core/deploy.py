@@ -20,6 +20,7 @@ all behind one call, so the cloud migration is invisible to DiInt users.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,7 +31,11 @@ from repro.core.predictor import PredictorFamily
 from repro.core.selection import ConfigurationSelector, DeployChoice
 from repro.disar.eeb import CharacteristicParameters, ElementaryElaborationBlock
 from repro.disar.master import ElaborationReport
+from repro.ml.base import FloatArray
 from repro.stochastic.rng import generator_from
+
+if TYPE_CHECKING:
+    from repro.core.hetero_selection import MixedDeployChoice
 
 __all__ = ["TransparentDeploySystem", "DeployOutcome"]
 
@@ -102,7 +107,7 @@ class TransparentDeploySystem:
             catalog=self.catalog,
             max_nodes=max_nodes,
             epsilon=epsilon,
-            seed=generator_from(seed).integers(0, 2**63),
+            seed=int(generator_from(seed).integers(0, 2**63)),
         )
         self.bootstrap_runs = int(bootstrap_runs)
         self.retrain_every = int(retrain_every)
@@ -234,7 +239,7 @@ class TransparentDeploySystem:
         tmax_seconds: float,
         max_nodes: int | None = None,
         compute_results: bool = False,
-    ):
+    ) -> tuple[MixedDeployChoice, float, float, ElaborationReport | None]:
         """Deploy one campaign over the *heterogeneous* configuration
         space (the paper's future work).
 
@@ -295,7 +300,7 @@ class TransparentDeploySystem:
         """Dollars spent across all runs so far."""
         return float(sum(outcome.cost_usd for outcome in self._history))
 
-    def prediction_errors(self) -> np.ndarray:
+    def prediction_errors(self) -> FloatArray:
         """Signed (predicted - measured) errors of the non-bootstrap runs."""
         return np.array(
             [

@@ -25,6 +25,7 @@ from repro.cloud.heterogeneous import MixedClusterSpec
 from repro.cloud.instance_types import INSTANCE_CATALOG, InstanceType
 from repro.core.predictor import PredictorFamily
 from repro.disar.eeb import CharacteristicParameters
+from repro.ml.base import FloatArray
 from repro.stochastic.rng import generator_from
 
 __all__ = ["MixedDeployChoice", "HeterogeneousSelector", "encode_mixed_features"]
@@ -32,7 +33,7 @@ __all__ = ["MixedDeployChoice", "HeterogeneousSelector", "encode_mixed_features"
 
 def encode_mixed_features(
     params: CharacteristicParameters, spec: MixedClusterSpec
-) -> np.ndarray:
+) -> FloatArray:
     """Feature vector of a (possibly mixed) deploy configuration.
 
     For a homogeneous spec this reproduces
@@ -124,7 +125,7 @@ class HeterogeneousSelector:
             [encode_mixed_features(params, spec) for spec in specs]
         )
         seconds = self.predictor.predict_ensemble_matrix(features)
-        choices = []
+        choices: list[MixedDeployChoice] = []
         for spec, predicted in zip(specs, seconds):
             cost = spec.hourly_price() * float(predicted) / 3600.0
             choices.append(

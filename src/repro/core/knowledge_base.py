@@ -18,12 +18,14 @@ training dataset".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.cloud.instance_types import InstanceType, get_instance_type
 from repro.disar.database import DisarDatabase
 from repro.disar.eeb import CharacteristicParameters
+from repro.ml.base import FloatArray
 
 __all__ = ["RunRecord", "KnowledgeBase"]
 
@@ -55,7 +57,7 @@ class RunRecord:
 
 def encode_features(
     params: CharacteristicParameters, instance_type: InstanceType, n_nodes: int
-) -> np.ndarray:
+) -> FloatArray:
     """Feature vector of one (f, m, n) combination.
 
     Order: the four characteristic parameters, then vCPUs and relative
@@ -107,7 +109,7 @@ class KnowledgeBase:
 
     def add_encoded(
         self,
-        features: np.ndarray,
+        features: FloatArray,
         execution_seconds: float,
         label: str = "mixed",
     ) -> int:
@@ -158,7 +160,7 @@ class KnowledgeBase:
         ]
 
     @staticmethod
-    def _row_to_record(row: dict) -> RunRecord:
+    def _row_to_record(row: dict[str, Any]) -> RunRecord:
         return RunRecord(
             params=CharacteristicParameters(
                 n_contracts=row["n_contracts"],
@@ -174,7 +176,7 @@ class KnowledgeBase:
             virtual_timestamp=row.get("virtual_timestamp", 0.0),
         )
 
-    def training_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+    def training_matrices(self) -> tuple[FloatArray, FloatArray]:
         """``(features, execution_seconds)`` over the whole base.
 
         Features follow :data:`FEATURE_NAMES`; structured and encoded

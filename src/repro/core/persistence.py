@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.knowledge_base import (
     FEATURE_NAMES,
     KnowledgeBase,
@@ -59,8 +61,6 @@ def load_knowledge_base(path: str | Path) -> KnowledgeBase:
     knowledge_base = KnowledgeBase()
     for row in payload["rows"]:
         if "encoded" in row:
-            import numpy as np
-
             knowledge_base.add_encoded(
                 np.asarray(row["encoded"], dtype=float),
                 row["execution_seconds"],

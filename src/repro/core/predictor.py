@@ -16,7 +16,7 @@ from repro.cloud.instance_types import InstanceType
 from repro.core.knowledge_base import KnowledgeBase, encode_features
 from repro.disar.eeb import CharacteristicParameters
 from repro.ml import default_model_family
-from repro.ml.base import Regressor
+from repro.ml.base import FloatArray, Regressor
 
 __all__ = ["PredictorFamily"]
 
@@ -77,7 +77,7 @@ class PredictorFamily:
         return self.fit_arrays(features, targets)
 
     def fit_arrays(
-        self, features: np.ndarray, targets: np.ndarray
+        self, features: FloatArray, targets: FloatArray
     ) -> "PredictorFamily":
         """(Re)train on explicit matrices (used by the benchmarks)."""
         fresh = {name: model.clone() for name, model in self._models.items()}
@@ -122,7 +122,7 @@ class PredictorFamily:
         per_model = self.predict_per_model(params, instance_type, n_nodes)
         return float(np.mean(list(per_model.values())))
 
-    def predict_matrix(self, features: np.ndarray) -> dict[str, np.ndarray]:
+    def predict_matrix(self, features: FloatArray) -> dict[str, FloatArray]:
         """Batch per-model predictions on raw feature rows."""
         self._require_fitted()
         features = np.asarray(features, dtype=float)
@@ -131,7 +131,7 @@ class PredictorFamily:
             for name, model in self._models.items()
         }
 
-    def predict_ensemble_matrix(self, features: np.ndarray) -> np.ndarray:
+    def predict_ensemble_matrix(self, features: FloatArray) -> FloatArray:
         """Batch ensemble-average predictions on raw feature rows."""
         per_model = self.predict_matrix(features)
         return np.mean(np.vstack(list(per_model.values())), axis=0)

@@ -133,7 +133,7 @@ class ConfigurationSelector:
         """Predict time and cost for every ``(m, n)`` configuration."""
         if tmax_seconds <= 0:
             raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
-        choices = []
+        choices: list[DeployChoice] = []
         for n_nodes in range(1, self.max_nodes + 1):
             for instance_type in self.catalog.values():
                 per_model = self.predictor.predict_per_model(

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.deploy import DeployOutcome, TransparentDeploySystem
 from repro.disar.eeb import ElementaryElaborationBlock
+from repro.ml.base import FloatArray
 
 __all__ = ["SelfOptimizingLoop", "LoopReport"]
 
@@ -47,7 +48,7 @@ class LoopReport:
             return float("nan")
         return float(np.mean([outcome.deadline_met for outcome in self.outcomes]))
 
-    def error_trajectory(self) -> np.ndarray:
+    def error_trajectory(self) -> FloatArray:
         """Absolute prediction errors of the ML-selected runs, in order."""
         return np.array(
             [

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import abc
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
-__all__ = ["Regressor", "NotFittedError"]
+__all__ = ["Regressor", "NotFittedError", "FloatArray"]
+
+#: The array type flowing through every learner: float64, any shape.
+FloatArray = NDArray[np.float64]
 
 
 class NotFittedError(RuntimeError):
@@ -32,11 +37,11 @@ class Regressor(abc.ABC):
         self._n_features: int | None = None
 
     @abc.abstractmethod
-    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+    def fit(self, features: FloatArray, targets: FloatArray) -> "Regressor":
         """Train on ``features`` of shape ``(n, d)`` and ``targets`` ``(n,)``."""
 
     @abc.abstractmethod
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: FloatArray) -> FloatArray:
         """Predict targets for ``features`` of shape ``(m, d)``."""
 
     @property
@@ -45,7 +50,7 @@ class Regressor(abc.ABC):
 
     def clone(self) -> "Regressor":
         """An unfitted copy with identical hyperparameters."""
-        params = {
+        params: dict[str, Any] = {
             key: value
             for key, value in self.__dict__.items()
             if not key.startswith("_")
@@ -53,8 +58,8 @@ class Regressor(abc.ABC):
         return type(self)(**params)
 
     def _validate_fit_args(
-        self, features: np.ndarray, targets: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: FloatArray, targets: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
         features = np.asarray(features, dtype=float)
         targets = np.asarray(targets, dtype=float)
         if features.ndim != 2:
@@ -72,7 +77,7 @@ class Regressor(abc.ABC):
         self._n_features = features.shape[1]
         return features, targets
 
-    def _validate_predict_args(self, features: np.ndarray) -> np.ndarray:
+    def _validate_predict_args(self, features: FloatArray) -> FloatArray:
         if not self._fitted:
             raise NotFittedError(
                 f"{type(self).__name__} must be fitted before predict"

@@ -1,0 +1,83 @@
+"""The ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == ["src/repro"]
+        assert args.format == "text"
+
+    def test_lint_json_format(self):
+        args = build_parser().parse_args(["lint", "--format", "json", "a.py"])
+        assert args.format == "json"
+        assert args.paths == ["a.py"]
+
+    def test_lint_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+
+class TestLintCommand:
+    CLEAN = "__all__ = ['x']\nx = 1\n"
+    DIRTY = (
+        "__all__ = []\n"
+        "import numpy as np\n"
+        "g = np.random.default_rng()\n"
+    )
+
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(self.CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_dirty_file_exits_nonzero_with_location(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(self.DIRTY)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert f"{path}:3:" in out
+
+    def test_json_output_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(self.DIRTY)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "DET001"
+        assert finding["line"] == 3
+
+    def test_multiple_paths_aggregate(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text(self.CLEAN)
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        assert main(["lint", str(clean), str(dirty)]) == 1
+        assert "1 finding" in capsys.readouterr().out
+
+    def test_missing_path_is_a_usage_error(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET005", "CON001", "CON005"):
+            assert rule_id in out
+
+    def test_lint_src_repro_is_clean(self, capsys):
+        """`repro lint src/repro` exits 0 — the acceptance criterion."""
+        import repro
+        from pathlib import Path
+
+        src = str(Path(repro.__file__).resolve().parent)
+        assert main(["lint", src]) == 0

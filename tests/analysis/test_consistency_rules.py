@@ -1,0 +1,326 @@
+"""Fixture-project tests for the CON rule pack."""
+
+import textwrap
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.engine import parse_project
+from repro.analysis.rules import (
+    AllResolvesRule,
+    CatalogPerformanceRule,
+    CatalogPricingRule,
+    LearnerRegistryRule,
+    ModuleAllRule,
+)
+
+
+def lint_source(rule, source):
+    return AnalysisEngine([rule]).check_source(textwrap.dedent(source))
+
+
+def build_project(tmp_path, files):
+    root = tmp_path / "proj"
+    root.mkdir()
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    project, errors = parse_project(root)
+    assert errors == []
+    return project
+
+
+def project_findings(rule, project):
+    return list(rule.check_project(project))
+
+
+CATALOG = """\
+    __all__ = ["InstanceType", "INSTANCE_CATALOG"]
+
+    class InstanceType:
+        def __init__(self, api_name, vcpus, memory_gib, hourly_price_usd,
+                     relative_core_speed, family):
+            pass
+
+    INSTANCE_CATALOG = {
+        it.api_name: it
+        for it in (
+            InstanceType("m4.4xlarge", 16, 64.0, 0.958, 1.00, "m4"),
+            InstanceType("c3.4xlarge", 16, 30.0, 0.840, 1.10, "c3"),
+        )
+    }
+"""
+
+PRICING_OK = """\
+    __all__ = ["ON_DEMAND_HOURLY_USD"]
+    ON_DEMAND_HOURLY_USD = {
+        "m4.4xlarge": 0.958,
+        "c3.4xlarge": 0.840,
+    }
+"""
+
+PERFORMANCE_OK = """\
+    __all__ = ["FAMILY_CORE_SPEED"]
+    FAMILY_CORE_SPEED = {
+        "m4": 1.00,
+        "c3": 1.10,
+    }
+"""
+
+
+class TestModuleAll:
+    def test_flags_module_without_all(self):
+        findings = lint_source(ModuleAllRule(), "x = 1\n")
+        assert [f.rule_id for f in findings] == ["CON001"]
+
+    def test_allows_module_with_all(self):
+        assert lint_source(ModuleAllRule(), "__all__ = ['x']\nx = 1\n") == []
+
+    def test_allows_annotated_all(self):
+        source = "__all__: list[str] = []\n"
+        assert lint_source(ModuleAllRule(), source) == []
+
+    def test_noqa(self):
+        assert lint_source(ModuleAllRule(), "x = 1  # repro: noqa[CON001]\n") == []
+
+
+class TestAllResolves:
+    def test_flags_unresolved_export(self):
+        findings = lint_source(
+            AllResolvesRule(), "__all__ = ['missing']\nx = 1\n"
+        )
+        assert [f.rule_id for f in findings] == ["CON002"]
+        assert "missing" in findings[0].message
+
+    def test_allows_defined_and_imported_names(self):
+        source = """\
+            from pathlib import Path as P
+            import json
+
+            __all__ = ["P", "json", "func", "Klass", "CONST", "maybe"]
+
+            CONST = 1
+
+            def func():
+                pass
+
+            class Klass:
+                pass
+
+            try:
+                maybe = 2
+            except Exception:
+                maybe = 3
+        """
+        assert lint_source(AllResolvesRule(), source) == []
+
+    def test_star_import_disables_check(self):
+        source = "from os.path import *\n__all__ = ['join']\n"
+        assert lint_source(AllResolvesRule(), source) == []
+
+    def test_dynamic_all_is_skipped(self):
+        source = "__all__ = sorted(['a'])\n"
+        assert lint_source(AllResolvesRule(), source) == []
+
+
+class TestCatalogPricing:
+    def test_consistent_project_is_clean(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/pricing.py": PRICING_OK,
+        })
+        assert project_findings(CatalogPricingRule(), project) == []
+
+    def test_missing_pricing_entry(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/pricing.py": """\
+                __all__ = ["ON_DEMAND_HOURLY_USD"]
+                ON_DEMAND_HOURLY_USD = {"m4.4xlarge": 0.958}
+            """,
+        })
+        findings = project_findings(CatalogPricingRule(), project)
+        assert [f.rule_id for f in findings] == ["CON003"]
+        assert "c3.4xlarge" in findings[0].message
+        assert findings[0].path.endswith("instance_types.py")
+        assert findings[0].line > 1
+
+    def test_price_mismatch(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/pricing.py": PRICING_OK.replace("0.840", "0.999"),
+        })
+        findings = project_findings(CatalogPricingRule(), project)
+        assert [f.rule_id for f in findings] == ["CON003"]
+        assert "0.999" in findings[0].message
+
+    def test_stale_pricing_entry(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/pricing.py": PRICING_OK.replace(
+                '"c3.4xlarge": 0.840,',
+                '"c3.4xlarge": 0.840,\n    "retired.8xlarge": 1.0,',
+            ),
+        })
+        findings = project_findings(CatalogPricingRule(), project)
+        assert [f.rule_id for f in findings] == ["CON003"]
+        assert "retired.8xlarge" in findings[0].message
+        assert findings[0].path.endswith("pricing.py")
+
+    def test_missing_table_is_reported(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/pricing.py": "__all__ = []\n",
+        })
+        findings = project_findings(CatalogPricingRule(), project)
+        assert [f.rule_id for f in findings] == ["CON003"]
+        assert "ON_DEMAND_HOURLY_USD" in findings[0].message
+
+    def test_absent_modules_skip_rule(self, tmp_path):
+        project = build_project(tmp_path, {"other.py": "__all__ = []\n"})
+        assert project_findings(CatalogPricingRule(), project) == []
+
+
+class TestCatalogPerformance:
+    def test_consistent_project_is_clean(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/performance.py": PERFORMANCE_OK,
+        })
+        assert project_findings(CatalogPerformanceRule(), project) == []
+
+    def test_missing_family_entry(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/performance.py": """\
+                __all__ = ["FAMILY_CORE_SPEED"]
+                FAMILY_CORE_SPEED = {"m4": 1.00}
+            """,
+        })
+        findings = project_findings(CatalogPerformanceRule(), project)
+        assert [f.rule_id for f in findings] == ["CON004"]
+        assert "c3" in findings[0].message
+
+    def test_speed_mismatch(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/performance.py": PERFORMANCE_OK.replace("1.10", "1.50"),
+        })
+        findings = project_findings(CatalogPerformanceRule(), project)
+        assert [f.rule_id for f in findings] == ["CON004"]
+        assert "1.5" in findings[0].message
+
+    def test_stale_family_entry(self, tmp_path):
+        project = build_project(tmp_path, {
+            "cloud/instance_types.py": CATALOG,
+            "cloud/performance.py": PERFORMANCE_OK.replace(
+                '"c3": 1.10,', '"c3": 1.10,\n    "z9": 9.0,'
+            ),
+        })
+        findings = project_findings(CatalogPerformanceRule(), project)
+        assert [f.rule_id for f in findings] == ["CON004"]
+        assert "z9" in findings[0].message
+
+
+ML_BASE = """\
+    __all__ = ["Regressor"]
+
+    class Regressor:
+        pass
+"""
+
+
+class TestLearnerRegistry:
+    def test_registered_learners_are_clean(self, tmp_path):
+        project = build_project(tmp_path, {
+            "ml/__init__.py": """\
+                from proj.ml.mlp import MultiLayerPerceptron
+                __all__ = ["ALGORITHMS"]
+                ALGORITHMS = {"MLP": MultiLayerPerceptron}
+            """,
+            "ml/base.py": ML_BASE,
+            "ml/mlp.py": """\
+                from proj.ml.base import Regressor
+                __all__ = ["MultiLayerPerceptron"]
+
+                class MultiLayerPerceptron(Regressor):
+                    pass
+            """,
+        })
+        assert project_findings(LearnerRegistryRule(), project) == []
+
+    def test_unregistered_learner_is_flagged(self, tmp_path):
+        project = build_project(tmp_path, {
+            "ml/__init__.py": """\
+                from proj.ml.mlp import MultiLayerPerceptron
+                __all__ = ["ALGORITHMS"]
+                ALGORITHMS = {"MLP": MultiLayerPerceptron}
+            """,
+            "ml/base.py": ML_BASE,
+            "ml/mlp.py": """\
+                from proj.ml.base import Regressor
+                __all__ = ["MultiLayerPerceptron", "RogueLearner"]
+
+                class MultiLayerPerceptron(Regressor):
+                    pass
+
+                class RogueLearner(Regressor):
+                    pass
+            """,
+        })
+        findings = project_findings(LearnerRegistryRule(), project)
+        assert [f.rule_id for f in findings] == ["CON005"]
+        assert "RogueLearner" in findings[0].message
+        assert findings[0].path.endswith("mlp.py")
+
+    def test_stale_registry_entry_is_flagged(self, tmp_path):
+        project = build_project(tmp_path, {
+            "ml/__init__.py": """\
+                from proj.ml.mlp import MultiLayerPerceptron, Ghost
+                __all__ = ["ALGORITHMS"]
+                ALGORITHMS = {"MLP": MultiLayerPerceptron, "GH": Ghost}
+            """,
+            "ml/base.py": ML_BASE,
+            "ml/mlp.py": """\
+                from proj.ml.base import Regressor
+                __all__ = ["MultiLayerPerceptron"]
+
+                class MultiLayerPerceptron(Regressor):
+                    pass
+            """,
+        })
+        findings = project_findings(LearnerRegistryRule(), project)
+        assert [f.rule_id for f in findings] == ["CON005"]
+        assert "Ghost" in findings[0].message
+
+    def test_base_module_regressor_is_not_a_learner(self, tmp_path):
+        project = build_project(tmp_path, {
+            "ml/__init__.py": """\
+                __all__ = ["ALGORITHMS"]
+                ALGORITHMS = {}
+            """,
+            "ml/base.py": ML_BASE,
+        })
+        assert project_findings(LearnerRegistryRule(), project) == []
+
+
+class TestRealTreeIsConsistent:
+    """The shipped src/repro tree satisfies the whole consistency pack."""
+
+    def test_catalog_tables_agree_at_runtime(self):
+        from repro.cloud.instance_types import INSTANCE_CATALOG
+        from repro.cloud.performance import FAMILY_CORE_SPEED, family_core_speed
+        from repro.cloud.pricing import ON_DEMAND_HOURLY_USD, catalog_hourly_rate
+
+        for api_name, spec in INSTANCE_CATALOG.items():
+            assert catalog_hourly_rate(api_name) == spec.hourly_price_usd
+            assert family_core_speed(spec.family) == spec.relative_core_speed
+        assert set(ON_DEMAND_HOURLY_USD) == set(INSTANCE_CATALOG)
+        assert set(FAMILY_CORE_SPEED) == {
+            spec.family for spec in INSTANCE_CATALOG.values()
+        }
+
+    def test_every_learner_is_in_the_default_family(self):
+        from repro.ml import ALGORITHMS, default_model_family
+
+        family = default_model_family()
+        assert set(family) == set(ALGORITHMS)

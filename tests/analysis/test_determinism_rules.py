@@ -1,0 +1,173 @@
+"""Fixture-snippet tests for the DET rule pack.
+
+Each rule gets a positive snippet (must flag, with the right id and
+line), a negative snippet (must stay silent) and a noqa-suppressed
+variant.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.engine import parse_module
+from repro.analysis.rules import (
+    FloatEqualityRule,
+    LegacyNumpyRandomRule,
+    MutableDefaultRule,
+    UnseededGeneratorRule,
+    WallClockRule,
+)
+
+
+def lint(rule, source):
+    return AnalysisEngine([rule]).check_source(source)
+
+
+class TestUnseededGenerator:
+    @pytest.mark.parametrize("snippet", [
+        "import numpy as np\ng = np.random.default_rng()\n",
+        "import numpy\ng = numpy.random.default_rng()\n",
+        "import numpy as np\ng = np.random.default_rng(None)\n",
+        "import numpy as np\ng = np.random.default_rng(seed=None)\n",
+        "from numpy.random import default_rng\ng = default_rng()\n",
+    ])
+    def test_flags_unseeded(self, snippet):
+        findings = lint(UnseededGeneratorRule(), snippet)
+        assert [f.rule_id for f in findings] == ["DET001"]
+        assert findings[0].line == 2
+
+    @pytest.mark.parametrize("snippet", [
+        "import numpy as np\ng = np.random.default_rng(0)\n",
+        "import numpy as np\ng = np.random.default_rng(seed=42)\n",
+        "import numpy as np\ng = np.random.default_rng(seq)\n",
+        "from numpy.random import default_rng\ng = default_rng(7)\n",
+    ])
+    def test_allows_seeded(self, snippet):
+        assert lint(UnseededGeneratorRule(), snippet) == []
+
+    def test_noqa(self):
+        snippet = (
+            "import numpy as np\n"
+            "g = np.random.default_rng()  # repro: noqa[DET001]\n"
+        )
+        assert lint(UnseededGeneratorRule(), snippet) == []
+
+    def test_exempt_in_rng_module(self, tmp_path):
+        package = tmp_path / "stochastic"
+        package.mkdir()
+        path = package / "rng.py"
+        path.write_text("import numpy as np\ng = np.random.default_rng()\n")
+        module = parse_module(path, root=tmp_path)
+        assert module.module.endswith("stochastic.rng")
+        engine = AnalysisEngine([UnseededGeneratorRule()])
+        assert engine.check_module(module) == []
+
+
+class TestLegacyNumpyRandom:
+    @pytest.mark.parametrize("call", [
+        "np.random.rand(3)",
+        "np.random.randn(2, 2)",
+        "np.random.seed(0)",
+        "np.random.randint(0, 10)",
+        "np.random.normal(0.0, 1.0)",
+        "np.random.shuffle(x)",
+    ])
+    def test_flags_legacy_calls(self, call):
+        findings = lint(
+            LegacyNumpyRandomRule(), f"import numpy as np\ny = {call}\n"
+        )
+        assert [f.rule_id for f in findings] == ["DET002"]
+
+    @pytest.mark.parametrize("call", [
+        "np.random.default_rng(0)",
+        "np.random.SeedSequence(1)",
+        "np.random.Generator(np.random.PCG64(2))",
+    ])
+    def test_allows_modern_api(self, call):
+        assert lint(
+            LegacyNumpyRandomRule(), f"import numpy as np\ny = {call}\n"
+        ) == []
+
+    def test_noqa(self):
+        snippet = "import numpy as np\nnp.random.seed(0)  # repro: noqa[DET002]\n"
+        assert lint(LegacyNumpyRandomRule(), snippet) == []
+
+
+class TestWallClock:
+    @pytest.mark.parametrize("snippet", [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.time_ns()\n",
+        "import datetime\nt = datetime.datetime.now()\n",
+        "from datetime import datetime\nt = datetime.now()\n",
+        "from datetime import date\nt = date.today()\n",
+    ])
+    def test_flags_wall_clock(self, snippet):
+        findings = lint(WallClockRule(), snippet)
+        assert [f.rule_id for f in findings] == ["DET003"]
+        assert findings[0].line == 2
+
+    @pytest.mark.parametrize("snippet", [
+        "import time\ntime.sleep(1)\n",
+        "import time\nt = time.perf_counter()\n",
+        "from datetime import datetime\nt = datetime(2016, 3, 1)\n",
+        "t = clock.now\n",
+    ])
+    def test_allows_non_wall_clock(self, snippet):
+        assert lint(WallClockRule(), snippet) == []
+
+    def test_noqa(self):
+        snippet = "import time\nt = time.time()  # repro: noqa[DET003]\n"
+        assert lint(WallClockRule(), snippet) == []
+
+
+class TestFloatEquality:
+    @pytest.mark.parametrize("expr", [
+        "x == 1.5",
+        "x != 0.1",
+        "2.5 == x",
+        "x == -1.5",
+        "a < b == 3.5",
+    ])
+    def test_flags_nonzero_float_equality(self, expr):
+        findings = lint(FloatEqualityRule(), f"check = {expr}\n")
+        assert [f.rule_id for f in findings] == ["DET004"]
+
+    @pytest.mark.parametrize("expr", [
+        "x == 0.0",          # zero is exactly representable
+        "x != 0.0",
+        "x == 1",            # int literal: exact comparison is fine
+        "x <= 1.5",          # ordering comparisons are fine
+        "x == y",
+    ])
+    def test_allows_safe_comparisons(self, expr):
+        assert lint(FloatEqualityRule(), f"check = {expr}\n") == []
+
+    def test_noqa(self):
+        snippet = "check = x == 1.5  # repro: noqa[DET004]\n"
+        assert lint(FloatEqualityRule(), snippet) == []
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize("default", [
+        "[]", "{}", "set()", "list()", "dict()", "[1, 2]", "{'a': 1}",
+    ])
+    def test_flags_mutable_defaults(self, default):
+        findings = lint(
+            MutableDefaultRule(), f"def f(x={default}):\n    return x\n"
+        )
+        assert [f.rule_id for f in findings] == ["DET005"]
+
+    def test_flags_keyword_only_defaults(self):
+        findings = lint(
+            MutableDefaultRule(), "def f(*, x=[]):\n    return x\n"
+        )
+        assert [f.rule_id for f in findings] == ["DET005"]
+
+    @pytest.mark.parametrize("default", ["None", "()", "0", "'a'", "frozenset()"])
+    def test_allows_immutable_defaults(self, default):
+        assert lint(
+            MutableDefaultRule(), f"def f(x={default}):\n    return x\n"
+        ) == []
+
+    def test_noqa(self):
+        snippet = "def f(x=[]):  # repro: noqa[DET005]\n    return x\n"
+        assert lint(MutableDefaultRule(), snippet) == []

@@ -1,0 +1,147 @@
+"""Engine mechanics: dispatch, suppression, reporters, parse errors."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisEngine,
+    Finding,
+    default_rules,
+    render_json,
+    render_text,
+)
+from repro.analysis.engine import PARSE_ERROR_ID
+from repro.analysis.rules import (
+    LegacyNumpyRandomRule,
+    UnseededGeneratorRule,
+)
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestSuppression:
+    SOURCE = "import numpy as np\nx = np.random.rand(3)\n"
+
+    def engine(self):
+        return AnalysisEngine([LegacyNumpyRandomRule()])
+
+    def test_finding_without_noqa(self):
+        findings = self.engine().check_source(self.SOURCE)
+        assert rule_ids(findings) == ["DET002"]
+        assert findings[0].line == 2
+
+    def test_matching_noqa_suppresses(self):
+        source = self.SOURCE.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa[DET002]"
+        )
+        assert self.engine().check_source(source) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = self.SOURCE.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa"
+        )
+        assert self.engine().check_source(source) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = self.SOURCE.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa[DET001]"
+        )
+        assert rule_ids(self.engine().check_source(source)) == ["DET002"]
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        source = "# repro: noqa[DET002]\n" + self.SOURCE
+        assert rule_ids(self.engine().check_source(source)) == ["DET002"]
+
+    def test_multiple_ids_in_one_noqa(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.default_rng() if True else np.random.rand(3)"
+            "  # repro: noqa[DET001, DET002]\n"
+        )
+        engine = AnalysisEngine(
+            [UnseededGeneratorRule(), LegacyNumpyRandomRule()]
+        )
+        assert engine.check_source(source) == []
+
+
+class TestRunPath:
+    def test_directory_run_collects_all_files(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "__init__.py").write_text("__all__ = []\n")
+        (package / "ok.py").write_text("__all__ = ['x']\nx = 1\n")
+        (package / "bad.py").write_text(
+            "__all__ = []\nimport numpy as np\ny = np.random.rand()\n"
+        )
+        engine = AnalysisEngine([LegacyNumpyRandomRule()])
+        findings = engine.run_path(package)
+        assert rule_ids(findings) == ["DET002"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_single_file_run(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text("import numpy as np\nz = np.random.rand()\n")
+        findings = AnalysisEngine([LegacyNumpyRandomRule()]).run_path(path)
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "broken.py").write_text("def f(:\n")
+        findings = AnalysisEngine(default_rules()).run_path(package)
+        assert PARSE_ERROR_ID in rule_ids(findings)
+
+    def test_findings_are_sorted_and_stable(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "b.py").write_text("import numpy as np\nnp.random.rand()\n")
+        (package / "a.py").write_text("import numpy as np\nnp.random.rand()\n")
+        engine = AnalysisEngine([LegacyNumpyRandomRule()])
+        findings = engine.run_path(package)
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding(path="pkg/mod.py", line=3, col=4, rule_id="DET001",
+                message="unseeded generator"),
+        Finding(path="pkg/other.py", line=10, col=0, rule_id="CON001",
+                message="module does not declare __all__"),
+    ]
+
+    def test_text_reporter_format(self):
+        text = render_text(self.FINDINGS)
+        assert "pkg/mod.py:3:4: DET001 unseeded generator" in text
+        assert text.endswith("2 findings")
+
+    def test_text_reporter_singular(self):
+        assert render_text(self.FINDINGS[:1]).endswith("1 finding")
+
+    def test_json_reporter_round_trips(self):
+        payload = json.loads(render_json(self.FINDINGS))
+        assert payload["count"] == 2
+        assert payload["findings"][0] == {
+            "path": "pkg/mod.py",
+            "line": 3,
+            "col": 4,
+            "rule": "DET001",
+            "message": "unseeded generator",
+        }
+
+
+class TestEngineConstruction:
+    def test_default_rules_cover_both_packs(self):
+        ids = {rule.rule_id for rule in AnalysisEngine().rules}
+        assert {"DET001", "DET002", "DET003", "DET004", "DET005"} <= ids
+        assert {"CON001", "CON002", "CON003", "CON004", "CON005"} <= ids
+
+    def test_rule_ids_are_unique(self):
+        ids = [rule.rule_id for rule in default_rules()]
+        assert len(ids) == len(set(ids))
+
+    def test_rejects_non_rule_objects(self):
+        with pytest.raises(TypeError):
+            AnalysisEngine([object()])

@@ -1,0 +1,25 @@
+"""The self-lint gate: ``src/repro`` must be clean under the full rule set.
+
+This is the enforcement point of the whole subsystem — every future PR
+runs the complete determinism and consistency packs over the entire
+source tree, so an unseeded RNG, a catalog/pricing drift or an
+unregistered learner fails the suite with a precise ``file:line``
+finding instead of silently corrupting the knowledge base.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import AnalysisEngine, render_text
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_source_tree_exists():
+    assert SRC_ROOT.name == "repro"
+    assert (SRC_ROOT / "analysis" / "engine.py").exists()
+
+
+def test_full_rule_set_is_clean_on_src_repro():
+    findings = AnalysisEngine().run_path(SRC_ROOT)
+    assert findings == [], "\n" + render_text(findings)

@@ -1,0 +1,29 @@
+"""The strict-typing gate.
+
+Runs mypy over ``src/repro`` with the pyproject configuration (strict on
+``repro.core`` / ``repro.ml``, permissive elsewhere).  mypy is an
+optional dev dependency (``pip install -e .[mypy]``); when it is not
+installed the gate skips rather than fails, and CI installs it
+explicitly so the gate is always enforced there.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed (pip install -e .[mypy])")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_passes_with_project_config():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
