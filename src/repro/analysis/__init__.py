@@ -12,7 +12,9 @@ package enforces those invariants statically on every PR:
   wall-clock, float equality, mutable defaults);
 - :mod:`repro.analysis.rules.consistency` — the ``CON`` pack
   (``__all__`` hygiene plus the cross-module catalog/pricing/
-  performance/registry invariants).
+  performance/registry invariants);
+- :mod:`repro.analysis.rules.perf` — the ``PERF`` pack (vectorization
+  regressions in the registered Monte Carlo hot-path modules).
 
 Run it as ``repro lint [paths]`` or through
 ``tests/analysis/test_self_lint.py``, which fails the suite on any
@@ -36,6 +38,7 @@ from repro.analysis.rules import (
     consistency_rules,
     default_rules,
     determinism_rules,
+    perf_rules,
 )
 
 __all__ = [
@@ -53,4 +56,5 @@ __all__ = [
     "default_rules",
     "determinism_rules",
     "consistency_rules",
+    "perf_rules",
 ]

@@ -22,6 +22,12 @@ from repro.analysis.rules.consistency import (
     ModuleAllRule,
     consistency_rules,
 )
+from repro.analysis.rules.perf import (
+    HOT_PATH_MODULES,
+    ListAppendConversionRule,
+    LoopArrayConstructionRule,
+    perf_rules,
+)
 from repro.analysis.engine import FileRule, ProjectRule
 
 __all__ = [
@@ -35,12 +41,16 @@ __all__ = [
     "CatalogPricingRule",
     "CatalogPerformanceRule",
     "LearnerRegistryRule",
+    "HOT_PATH_MODULES",
+    "LoopArrayConstructionRule",
+    "ListAppendConversionRule",
     "determinism_rules",
     "consistency_rules",
+    "perf_rules",
     "default_rules",
 ]
 
 
 def default_rules() -> list[FileRule | ProjectRule]:
-    """Fresh instances of every built-in rule (both packs)."""
-    return [*determinism_rules(), *consistency_rules()]
+    """Fresh instances of every built-in rule (all packs)."""
+    return [*determinism_rules(), *consistency_rules(), *perf_rules()]

@@ -1,0 +1,185 @@
+"""Performance rule pack (``PERF``).
+
+The execution backends (:mod:`repro.exec`) only pay off if the kernels
+they dispatch stay vectorized — one stray per-iteration array allocation
+inside an outer-scenario loop quietly turns an O(1)-dispatch NumPy call
+into an O(n) Python loop again.  These rules guard the *hot-path
+modules* (the Monte Carlo kernels and the valuation core) against the
+two most common regressions:
+
+- ``PERF001`` — NumPy array construction (``np.asarray``, ``np.zeros``,
+  ...) inside a ``for``-loop body: hoist the allocation or batch the
+  loop;
+- ``PERF002`` — accumulating ``list.append`` in a loop and converting
+  the result to an array afterwards: preallocate and fill, or build the
+  rows with one vectorized call.
+
+Both rules apply only to the registered hot-path modules — everywhere
+else, clarity may legitimately win over allocation thrift.  Deliberate
+exceptions inside hot paths carry ``# repro: noqa[PERF001]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+from repro.analysis.rules.determinism import _ImportTrackingRule
+
+__all__ = [
+    "HOT_PATH_MODULES",
+    "LoopArrayConstructionRule",
+    "ListAppendConversionRule",
+    "perf_rules",
+]
+
+#: Dotted-name suffixes of the modules the PERF pack polices — the
+#: Monte Carlo kernels, the valuation core and the scenario generator.
+HOT_PATH_MODULES: tuple[str, ...] = (
+    "montecarlo.nested",
+    "montecarlo.lsmc",
+    "financial.valuation",
+    "financial.segregated_fund",
+    "stochastic.scenario",
+)
+
+#: numpy constructors whose per-iteration use PERF001 flags.  Stacking
+#: helpers (``vstack``, ``repeat``, ``concatenate``) are deliberately
+#: excluded: they are how batched kernels *assemble* their inputs.
+_CONSTRUCTORS = frozenset(
+    {
+        "asarray",
+        "array",
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "empty_like",
+        "zeros_like",
+        "ones_like",
+        "full_like",
+    }
+)
+
+#: Conversions that mark a list accumulated in a loop as array-bound.
+_CONVERSIONS = frozenset(
+    {"numpy.array", "numpy.asarray", "numpy.vstack", "numpy.stack",
+     "numpy.concatenate"}
+)
+
+
+def _is_hot_path(module_name: str) -> bool:
+    """Two-way suffix match so both ``repro.montecarlo.nested`` and a
+    standalone snippet named ``nested`` resolve to the same hot path."""
+    for suffix in HOT_PATH_MODULES:
+        if (
+            module_name == suffix
+            or module_name.endswith("." + suffix)
+            or suffix.endswith("." + module_name)
+        ):
+            return True
+    return False
+
+
+class _HotPathRule(_ImportTrackingRule):
+    """Import-tracking rule restricted to the hot-path modules."""
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return _is_hot_path(module.module)
+
+
+class LoopArrayConstructionRule(_HotPathRule):
+    """PERF001: NumPy array construction inside a ``for``-loop body."""
+
+    rule_id = "PERF001"
+    description = (
+        "NumPy array construction inside a for-loop body re-allocates "
+        "every iteration; hoist it out of the loop or batch the loop "
+        "into one vectorized call"
+    )
+    interests = (ast.For,)
+
+    def start_module(self, module: ParsedModule) -> None:
+        super().start_module(module)
+        # Nested loops would report the same call once per enclosing
+        # `for`; report each call site once.
+        self._seen_calls: set[int] = set()
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.For)
+        for stmt in [*node.body, *node.orelse]:
+            for child in ast.walk(stmt):
+                if not isinstance(child, ast.Call):
+                    continue
+                dotted = self.resolve(child.func)
+                if dotted is None or not dotted.startswith("numpy."):
+                    continue
+                leaf = dotted.removeprefix("numpy.")
+                if leaf not in _CONSTRUCTORS:
+                    continue
+                if id(child) in self._seen_calls:
+                    continue
+                self._seen_calls.add(id(child))
+                yield self.finding(
+                    module,
+                    child,
+                    f"np.{leaf}() inside a for-loop body allocates per "
+                    "iteration; hoist it above the loop or vectorize the "
+                    "loop itself",
+                )
+
+
+class ListAppendConversionRule(_HotPathRule):
+    """PERF002: loop-accumulated ``list.append`` later turned into an array."""
+
+    rule_id = "PERF002"
+    description = (
+        "appending to a list in a loop and converting it to an ndarray "
+        "afterwards builds the array twice; preallocate with np.empty "
+        "and fill, or construct the rows in one vectorized call"
+    )
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        # Append sites inside for-loops, keyed by the accumulator name.
+        appended: dict[str, ast.Call] = {}
+        for loop in ast.walk(node):
+            if not isinstance(loop, ast.For):
+                continue
+            for stmt in [*loop.body, *loop.orelse]:
+                for child in ast.walk(stmt):
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr == "append"
+                        and isinstance(child.func.value, ast.Name)
+                    ):
+                        appended.setdefault(child.func.value.id, child)
+        if not appended:
+            return
+        converted: set[str] = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call) or not child.args:
+                continue
+            dotted = self.resolve(child.func)
+            if dotted not in _CONVERSIONS:
+                continue
+            target = child.args[0]
+            if isinstance(target, ast.Name) and target.id in appended:
+                converted.add(target.id)
+        for name in sorted(converted):
+            yield self.finding(
+                module,
+                appended[name],
+                f"list {name!r} is appended to in a loop and later "
+                "converted to an ndarray; preallocate the array and fill "
+                "it in place",
+            )
+
+
+def perf_rules() -> list[FileRule]:
+    """Fresh instances of the whole performance pack."""
+    return [LoopArrayConstructionRule(), ListAppendConversionRule()]

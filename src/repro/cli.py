@@ -5,7 +5,9 @@ Installs as the ``repro`` console command with four subcommands:
 - ``repro scr`` — value a synthetic portfolio and print the SCR report;
 - ``repro deploy`` — run simulation campaigns through the self-optimizing
   elastic deploy loop;
-- ``repro bench`` — regenerate one of the paper's tables or figures;
+- ``repro bench`` — time the Monte Carlo kernels across execution
+  backends (default target ``nested``, writes ``BENCH_nested.json``) or
+  regenerate one of the paper's tables/figures;
 - ``repro kb`` — build an experiment knowledge base and save it (JSON
   and/or Weka ARFF);
 - ``repro lint`` — run the AST-based determinism & consistency linter
@@ -55,17 +57,39 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--max-nodes", type=int, default=8)
     deploy.add_argument("--seed", type=int, default=0)
 
-    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the execution backends or regenerate a paper "
+             "table/figure",
+    )
     bench.add_argument(
         "target",
-        choices=["table1", "table2", "fig2", "fig3", "fig4", "tradeoff",
-                 "all"],
+        nargs="?",
+        default="nested",
+        choices=["nested", "table1", "table2", "fig2", "fig3", "fig4",
+                 "tradeoff", "all"],
+        help="'nested' (default) times the Monte Carlo kernels across "
+             "execution backends; the other targets regenerate paper "
+             "tables/figures",
     )
     bench.add_argument("--runs", type=int, default=1500,
                        help="knowledge-base size (default 1500)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--output", default=None,
                        help="also write the output to this file")
+    bench.add_argument("--smoke", action="store_true",
+                       help="nested target: tiny sample sizes (CI wiring "
+                            "check, not a measurement)")
+    bench.add_argument("--backends", default="serial,process,chunked",
+                       help="nested target: comma-separated backend specs "
+                            "(default serial,process,chunked)")
+    bench.add_argument("--outer", type=int, default=256,
+                       help="nested target: outer scenarios (default 256)")
+    bench.add_argument("--inner", type=int, default=40,
+                       help="nested target: inner paths (default 40)")
+    bench.add_argument("--json-out", default="BENCH_nested.json",
+                       help="nested target: JSON report path "
+                            "(default BENCH_nested.json)")
 
     kb = sub.add_parser("kb", help="build and save a knowledge base")
     kb.add_argument("--runs", type=int, default=500)
@@ -137,7 +161,43 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_nested(args: argparse.Namespace) -> int:
+    from repro.exec.bench import run_nested_bench
+
+    backends = [spec.strip() for spec in args.backends.split(",") if spec.strip()]
+    if not backends:
+        print("repro bench: --backends must name at least one backend",
+              file=sys.stderr)
+        return 2
+    report = run_nested_bench(
+        n_outer=args.outer,
+        n_inner=args.inner,
+        backends=backends,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    text = report.to_text()
+    print(text)
+    if args.json_out:
+        report.write_json(args.json_out)
+        print(f"(JSON report written to {args.json_out})")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"(written to {args.output})")
+    mismatched = [
+        kernel
+        for kernel in report.kernels()
+        if not report.identical_across_backends(kernel)
+    ]
+    return 1 if mismatched else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.target == "nested":
+        return _cmd_bench_nested(args)
+
     from repro.benchlib import (
         build_dataset,
         run_fig2,

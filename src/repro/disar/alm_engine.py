@@ -56,7 +56,9 @@ class ALMEngine:
         self._scr = SCRCalculator(level=scr_level)
 
     def _build_engine(self, eeb: ElementaryElaborationBlock) -> NestedMonteCarloEngine:
-        return NestedMonteCarloEngine(eeb.spec, eeb.fund, eeb.contracts)
+        return NestedMonteCarloEngine(
+            eeb.spec, eeb.fund, eeb.contracts, backend=eeb.settings.backend
+        )
 
     def _check_type(self, eeb: ElementaryElaborationBlock) -> None:
         if eeb.eeb_type is not EEBType.ALM:
@@ -152,7 +154,7 @@ class ALMEngine:
                     steps_per_year=settings.steps_per_year,
                     measure="P",
                 )
-                features = LSMCEngine.state_features(outer.terminal_states())
+                features = LSMCEngine.state_features(outer.terminal_features())
                 local_values = basis.transform(features) @ coefficients
                 local_discount = outer.discount_factors()[:, -1]
         else:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exec.backends import backend_from
 from repro.financial.contracts import PolicyContract
 from repro.financial.segregated_fund import SegregatedFund
 from repro.stochastic.scenario import RiskDriverSpec
@@ -129,6 +130,10 @@ class SimulationSettings:
     lsmc_degree: int = 2
     steps_per_year: int = 4
     seed: int = 0
+    #: Execution backend spec for the Monte Carlo engine — see
+    #: :func:`repro.exec.backends.backend_from` (``"serial"``,
+    #: ``"chunked"``, ``"process[:N]"``).
+    backend: str = "chunked"
 
     def __post_init__(self) -> None:
         if self.n_outer <= 0 or self.n_inner <= 0:
@@ -139,6 +144,8 @@ class SimulationSettings:
             raise ValueError("lsmc_degree must be >= 1")
         if self.steps_per_year < 1:
             raise ValueError("steps_per_year must be >= 1")
+        # Fail fast on unknown backend specs (raises ValueError).
+        backend_from(self.backend)
 
 
 @dataclass

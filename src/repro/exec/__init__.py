@@ -1,0 +1,49 @@
+"""Parallel & vectorized execution backends for the Monte Carlo hot paths.
+
+The paper's premise is that the type-B ALM valuation blocks are
+embarrassingly parallel across scenarios — that is exactly what DISAR
+farms out to EC2 nodes.  This package makes the reproduction's own hot
+paths live up to that claim:
+
+- :mod:`repro.exec.backends` — the execution-backend abstraction.
+  Work is partitioned into deterministic :class:`WorkChunk` slices and
+  every chunk receives a ``numpy`` generator spawned *keyed by chunk
+  index*, so results are bit-identical regardless of worker count or
+  backend.  Three backends ship:
+
+  * :class:`SerialBackend` — the reference in-process loop;
+  * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool,
+    one chunk per task;
+  * :class:`ChunkedVectorBackend` — batches a whole chunk of outer
+    scenarios' inner simulations into single NumPy calls;
+
+- :mod:`repro.exec.bench` — the ``repro bench`` perf-regression
+  harness: times the nested / LSMC / valuation kernels across backends
+  and writes machine-readable ``BENCH_nested.json`` numbers.
+"""
+
+from repro.exec.backends import (
+    ChunkedVectorBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkChunk,
+    backend_from,
+    chunk_seed_sequences,
+    partition,
+)
+from repro.exec.bench import BenchReport, KernelTiming, run_nested_bench
+
+__all__ = [
+    "WorkChunk",
+    "partition",
+    "chunk_seed_sequences",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ChunkedVectorBackend",
+    "backend_from",
+    "BenchReport",
+    "KernelTiming",
+    "run_nested_bench",
+]

@@ -1,0 +1,272 @@
+"""Execution backends with deterministic work partitioning.
+
+The contract every backend honours:
+
+1. a workload of ``n_items`` independent scenario valuations is cut into
+   :class:`WorkChunk` slices of at most ``chunk_size`` items by
+   :func:`partition` — the decomposition depends only on
+   ``(n_items, chunk_size)``, never on the number of workers;
+2. chunk ``j`` receives the ``j``-th child of the master
+   :class:`numpy.random.SeedSequence` (:func:`chunk_seed_sequences`),
+   i.e. its random stream is *keyed by chunk index*;
+3. backends only decide *where* and *how* a chunk function runs
+   (in-process loop, process pool, batched NumPy kernel) — never *what*
+   it computes.
+
+Together these make results bit-identical across backends and across
+worker counts: the arithmetic per scenario and the random numbers it
+consumes are the same everywhere, only the wall-clock time changes.
+``chunk_size`` *is* part of the random-stream layout, so comparisons
+across backends must hold it fixed (all backends default to
+``DEFAULT_CHUNK_SIZE``).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "WorkChunk",
+    "partition",
+    "chunk_seed_sequences",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ChunkedVectorBackend",
+    "backend_from",
+]
+
+#: Default scenarios per chunk.  Part of the determinism contract: the
+#: same workload with the same chunk size produces the same numbers on
+#: every backend.
+DEFAULT_CHUNK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class WorkChunk:
+    """A contiguous slice ``[start, stop)`` of an item range."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"chunk index must be non-negative, got {self.index}")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def indices(self) -> slice:
+        """The slice selecting this chunk's items from a workload array."""
+        return slice(self.start, self.stop)
+
+
+def partition(
+    n_items: int, chunk_size: int = DEFAULT_CHUNK_SIZE, granularity: int = 1
+) -> list[WorkChunk]:
+    """Cut ``n_items`` into deterministic chunks of at most ``chunk_size``.
+
+    ``granularity`` forces every chunk boundary onto a multiple of the
+    given stride — antithetic path pairs, for example, must never be
+    split across chunks (``granularity=2``).  ``n_items`` itself must be
+    a multiple of ``granularity``.
+    """
+    if n_items <= 0:
+        raise ValueError(f"n_items must be positive, got {n_items}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    if n_items % granularity != 0:
+        raise ValueError(
+            f"n_items={n_items} is not a multiple of granularity={granularity}"
+        )
+    stride = max(chunk_size // granularity, 1) * granularity
+    chunks = []
+    for index, start in enumerate(range(0, n_items, stride)):
+        chunks.append(WorkChunk(index, start, min(start + stride, n_items)))
+    return chunks
+
+
+def _seed_sequence_of(
+    parent: np.random.Generator | np.random.SeedSequence | int | None,
+) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` behind ``parent``."""
+    if isinstance(parent, np.random.SeedSequence):
+        return parent
+    if isinstance(parent, np.random.Generator):
+        seq = parent.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if seq is None:  # pragma: no cover - legacy bit generators
+            seq = np.random.SeedSequence(int(parent.integers(0, 2**63)))
+        return seq
+    return np.random.SeedSequence(parent)
+
+
+def chunk_seed_sequences(
+    parent: np.random.Generator | np.random.SeedSequence | int | None,
+    n_chunks: int,
+) -> list[np.random.SeedSequence]:
+    """One child seed sequence per chunk, keyed by chunk index.
+
+    Chunk ``j`` always receives child ``j`` of the parent sequence, so
+    the mapping is independent of how many workers execute the chunks
+    (or of which backend runs them).
+    """
+    if n_chunks < 0:
+        raise ValueError(f"n_chunks must be non-negative, got {n_chunks}")
+    return list(_seed_sequence_of(parent).spawn(n_chunks))
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes independent chunk tasks and preserves chunk order.
+
+    ``vectorized`` advertises whether callers should hand this backend
+    batched NumPy kernels (one call per chunk) instead of per-scenario
+    loops; the numbers are bit-identical either way, only the Python
+    overhead differs.
+    """
+
+    name: str = "abstract"
+    vectorized: bool = False
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+
+    @abc.abstractmethod
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every payload; results in payload order."""
+
+    def describe(self) -> str:
+        return f"{self.name}(chunk_size={self.chunk_size})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(chunk_size={self.chunk_size})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference backend: chunks run in-process, one after another."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        return [fn(payload) for payload in payloads]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunks run as tasks of a :class:`concurrent.futures` process pool.
+
+    The pool is created per :meth:`map` call and torn down afterwards, so
+    the backend object itself stays a picklable bag of settings.  Chunk
+    functions and payloads must be picklable (module-level functions plus
+    plain dataclasses/arrays — the Monte Carlo engines satisfy this).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        vectorized: bool = False,
+    ) -> None:
+        super().__init__(chunk_size)
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.vectorized = bool(vectorized)
+
+    @property
+    def effective_workers(self) -> int:
+        return self.max_workers if self.max_workers else (os.cpu_count() or 1)
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        payloads = list(payloads)
+        if len(payloads) <= 1:
+            # One chunk gains nothing from a pool; skip the fork cost.
+            return [fn(payload) for payload in payloads]
+        workers = min(self.effective_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, payloads))
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(workers={self.effective_workers}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
+
+class ChunkedVectorBackend(ExecutionBackend):
+    """Batches every chunk's scenarios into single NumPy calls.
+
+    Execution stays in-process; the speedup comes from replacing the
+    per-scenario Python loop with one array operation per chunk.  The
+    per-scenario random draws are made in exactly the order the serial
+    loop would make them, so results stay bit-identical.
+    """
+
+    name = "chunked"
+    vectorized = True
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        return [fn(payload) for payload in payloads]
+
+
+def backend_from(
+    spec: "ExecutionBackend | str | None",
+) -> ExecutionBackend:
+    """Coerce a backend instance, a spec string, or ``None`` to a backend.
+
+    Spec strings: ``"serial"``, ``"chunked"`` (aliases ``"vector"``,
+    ``"chunked-vector"``) and ``"process"``, each optionally suffixed
+    with ``:N`` — the chunk size for in-process backends, the worker
+    count for the process pool (``"process:4"``).  ``None`` selects the
+    default :class:`ChunkedVectorBackend`.
+    """
+    if spec is None:
+        return ChunkedVectorBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name, _, arg = str(spec).partition(":")
+    name = name.strip().lower()
+    number: int | None = None
+    if arg:
+        try:
+            number = int(arg)
+        except ValueError:
+            raise ValueError(f"non-integer backend argument in {spec!r}") from None
+    if name == "serial":
+        return SerialBackend(**({"chunk_size": number} if number else {}))
+    if name in ("chunked", "vector", "chunked-vector"):
+        return ChunkedVectorBackend(
+            **({"chunk_size": number} if number else {})
+        )
+    if name == "process":
+        return ProcessPoolBackend(max_workers=number)
+    raise ValueError(
+        f"unknown execution backend {spec!r}; expected serial, process[:N] "
+        "or chunked[:N]"
+    )

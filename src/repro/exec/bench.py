@@ -1,0 +1,263 @@
+"""Performance-regression harness for the Monte Carlo hot paths.
+
+``repro bench`` (default target ``nested``) times the three kernels the
+execution backends accelerate —
+
+- ``nested`` — the full two-stage nested simulation
+  (:meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.run`);
+- ``lsmc`` — the LSMC proxy valuation (calibration nested sample plus
+  regression evaluation);
+- ``valuation`` — the single-stage time-0 valuation
+  (:meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.value_at_zero`)
+
+— once per execution backend, and reports wall time, throughput
+(inner paths per second), speedup versus the serial reference and a
+result checksum per backend.  Identical checksums across backends are
+the determinism contract of :mod:`repro.exec.backends` made visible in
+the benchmark output; a mismatch is a correctness bug, not noise.
+
+The JSON report (``BENCH_nested.json`` by default) is machine-readable
+so CI can smoke-run the harness and later sessions can diff numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exec.backends import backend_from
+
+__all__ = ["KernelTiming", "BenchReport", "run_nested_bench"]
+
+#: Backends every bench run compares by default.  All of them use the
+#: same (default) chunk size, which the determinism contract requires
+#: for bit-identical results.
+DEFAULT_BACKENDS = ("serial", "process", "chunked")
+
+
+@dataclass
+class KernelTiming:
+    """Wall-clock measurement of one kernel on one backend."""
+
+    kernel: str
+    backend: str
+    backend_detail: str
+    wall_seconds: float
+    work_units: int
+    checksum: float
+    speedup_vs_serial: float | None = None
+
+    @property
+    def paths_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.work_units / self.wall_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "backend": self.backend,
+            "backend_detail": self.backend_detail,
+            "wall_seconds": self.wall_seconds,
+            "work_units": self.work_units,
+            "paths_per_second": self.paths_per_second,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "checksum": self.checksum,
+        }
+
+
+@dataclass
+class BenchReport:
+    """All timings of one ``repro bench`` invocation."""
+
+    config: dict[str, Any]
+    timings: list[KernelTiming] = field(default_factory=list)
+
+    def kernels(self) -> list[str]:
+        seen: list[str] = []
+        for timing in self.timings:
+            if timing.kernel not in seen:
+                seen.append(timing.kernel)
+        return seen
+
+    def of_kernel(self, kernel: str) -> list[KernelTiming]:
+        return [t for t in self.timings if t.kernel == kernel]
+
+    def identical_across_backends(self, kernel: str) -> bool:
+        """Whether every backend produced the same checksum bit for bit."""
+        checksums = {t.checksum for t in self.of_kernel(kernel)}
+        return len(checksums) <= 1
+
+    def best_speedup(self, kernel: str) -> float | None:
+        speedups = [
+            t.speedup_vs_serial
+            for t in self.of_kernel(kernel)
+            if t.speedup_vs_serial is not None
+        ]
+        return max(speedups) if speedups else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "timings": [t.to_dict() for t in self.timings],
+            "identical_across_backends": {
+                kernel: self.identical_across_backends(kernel)
+                for kernel in self.kernels()
+            },
+            "best_speedup": {
+                kernel: self.best_speedup(kernel) for kernel in self.kernels()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def to_text(self) -> str:
+        lines = ["Execution-backend benchmark (nested Monte Carlo hot paths)"]
+        lines.append(
+            "config: "
+            + ", ".join(f"{key}={value}" for key, value in self.config.items())
+        )
+        header = (
+            f"{'kernel':<10} {'backend':<10} {'wall [s]':>9} "
+            f"{'paths/s':>12} {'speedup':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for timing in self.timings:
+            speedup = (
+                f"{timing.speedup_vs_serial:7.2f}x"
+                if timing.speedup_vs_serial is not None
+                else "     ref"
+            )
+            lines.append(
+                f"{timing.kernel:<10} {timing.backend:<10} "
+                f"{timing.wall_seconds:9.3f} {timing.paths_per_second:12.0f} "
+                f"{speedup}"
+            )
+        for kernel in self.kernels():
+            status = (
+                "bit-identical"
+                if self.identical_across_backends(kernel)
+                else "MISMATCH (determinism bug!)"
+            )
+            lines.append(f"{kernel}: results across backends are {status}")
+        return "\n".join(lines)
+
+
+def _time_kernel(fn: Callable[[], float]) -> tuple[float, float]:
+    """Run ``fn`` once; return ``(wall_seconds, checksum)``."""
+    start = time.perf_counter()
+    checksum = fn()
+    return time.perf_counter() - start, checksum
+
+
+def run_nested_bench(
+    n_outer: int = 256,
+    n_inner: int = 40,
+    value_paths: int = 4096,
+    lsmc_calibration: int = 64,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    seed: int = 0,
+    smoke: bool = False,
+) -> BenchReport:
+    """Time the nested / LSMC / valuation kernels across backends.
+
+    ``smoke=True`` shrinks every sample size so the whole sweep finishes
+    in seconds — the CI smoke job uses it to catch wiring regressions,
+    not to measure speedups.
+    """
+    # Imported lazily: the engines import repro.exec.backends, so a
+    # module-level import here would be circular.
+    from repro.montecarlo.lsmc import LSMCEngine
+    from repro.montecarlo.nested import NestedMonteCarloEngine
+    from repro.workload.portfolio_gen import PortfolioGenerator
+
+    if smoke:
+        n_outer, n_inner = min(n_outer, 32), min(n_inner, 8)
+        value_paths = min(value_paths, 256)
+        lsmc_calibration = min(lsmc_calibration, 16)
+    if lsmc_calibration > n_outer:
+        raise ValueError(
+            f"lsmc_calibration={lsmc_calibration} exceeds n_outer={n_outer}"
+        )
+
+    # A mid-size synthetic workload: heterogeneous contracts, two risky
+    # asset classes, full driver set (rate/equities/fx/credit).
+    portfolio = PortfolioGenerator(
+        n_contracts_range=(16, 17),
+        horizon_range=(12, 20),
+        fund_positions_range=(40, 41),
+        n_equities_range=(2, 2),
+        seed=seed,
+    ).generate("bench")
+
+    report = BenchReport(
+        config={
+            "n_outer": n_outer,
+            "n_inner": n_inner,
+            "value_paths": value_paths,
+            "lsmc_calibration": lsmc_calibration,
+            "seed": seed,
+            "smoke": smoke,
+            "n_contracts": len(portfolio.contracts),
+            "horizon": max(c.term for c in portfolio.contracts),
+            "n_risk_factors": portfolio.spec.n_financial_drivers,
+        }
+    )
+
+    serial_walls: dict[str, float] = {}
+    for backend_spec in backends:
+        backend = backend_from(backend_spec)
+        engine = NestedMonteCarloEngine(
+            portfolio.spec, portfolio.fund, portfolio.contracts, backend=backend
+        )
+
+        def run_nested() -> float:
+            result = engine.run(n_outer, n_inner, rng=seed)
+            return float(np.sum(result.outer_values))
+
+        def run_lsmc() -> float:
+            result = LSMCEngine(engine).run(
+                n_outer=n_outer,
+                n_outer_cal=lsmc_calibration,
+                n_inner_cal=n_inner,
+                rng=seed,
+            )
+            return float(np.sum(result.outer_values))
+
+        def run_valuation() -> float:
+            return engine.value_at_zero(value_paths, rng=seed)
+
+        kernel_work = {
+            "nested": (run_nested, n_outer * n_inner),
+            "lsmc": (run_lsmc, lsmc_calibration * n_inner),
+            "valuation": (run_valuation, value_paths),
+        }
+        for kernel, (fn, work) in kernel_work.items():
+            wall, checksum = _time_kernel(fn)
+            speedup: float | None = None
+            if backend.name == "serial":
+                serial_walls[kernel] = wall
+            elif kernel in serial_walls and wall > 0.0:
+                speedup = serial_walls[kernel] / wall
+            report.timings.append(
+                KernelTiming(
+                    kernel=kernel,
+                    backend=backend.name,
+                    backend_detail=backend.describe(),
+                    wall_seconds=wall,
+                    work_units=work,
+                    checksum=checksum,
+                    speedup_vs_serial=speedup,
+                )
+            )
+    return report

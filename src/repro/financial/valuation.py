@@ -26,9 +26,15 @@ import numpy as np
 from repro.financial.contracts import ContractKind, PolicyContract
 from repro.financial.readjustment import insured_sum_path
 from repro.stochastic.lapse import LapseModel
-from repro.stochastic.mortality import MortalityModel
+from repro.stochastic.mortality import GompertzMakeham, MortalityModel
 
-__all__ = ["PathwiseCashFlows", "DecrementTable", "LiabilityValuator"]
+__all__ = [
+    "PathwiseCashFlows",
+    "DecrementTable",
+    "DecrementTableCache",
+    "LiabilityValuator",
+    "batched_decrement_table",
+]
 
 
 @dataclass
@@ -97,40 +103,205 @@ class PathwiseCashFlows:
         return np.sum(self.flows * df[..., 1:], axis=-1)
 
 
-class LiabilityValuator:
-    """Computes probabilized flows and pathwise values for a contract."""
+class DecrementTableCache:
+    """Memoizes decrement tables across scenarios and engine calls.
 
-    def __init__(self, mortality: MortalityModel, lapse: LapseModel) -> None:
+    The table of a representative contract depends only on the contract
+    itself and the (possibly shocked) mortality and lapse parameters, so
+    outer scenarios sharing the same actuarial shock can reuse one
+    type-A elaboration instead of recomputing it per scenario.  Keys are
+    ``(contract, mortality.cache_key(), lapse.cache_key())``; models
+    whose :meth:`cache_key` returns ``None`` are never cached.
+
+    ``hits`` / ``misses`` counters make cache effectiveness observable
+    (and testable).  The cache is bounded: when ``max_entries`` is
+    reached it is cleared wholesale — decrement tables are cheap to
+    rebuild and the bound only exists to keep pathological workloads
+    (continuous per-scenario shocks) from growing without limit.
+    """
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._tables: dict[tuple, DecrementTable] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get(self, key: tuple) -> DecrementTable | None:
+        table = self._tables.get(key)
+        if table is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return table
+
+    def put(self, key: tuple, table: DecrementTable) -> None:
+        if len(self._tables) >= self.max_entries:
+            self._tables.clear()
+        self._tables[key] = table
+
+
+def batched_decrement_table(
+    contract: PolicyContract,
+    mortalities: "list[MortalityModel] | tuple[MortalityModel, ...]",
+    lapses: "list[LapseModel] | tuple[LapseModel, ...]",
+    cache: DecrementTableCache | None = None,
+) -> DecrementTable:
+    """Decrement tables of one contract under many shocked model pairs.
+
+    Returns a single :class:`DecrementTable` whose fields are ``(n,
+    term)`` matrices, row ``j`` holding the table produced by
+    ``(mortalities[j], lapses[j])``.  Every row is bit-identical to the
+    per-scenario :meth:`LiabilityValuator.decrement_table` output — the
+    batched path applies the same elementwise expressions and the same
+    per-row cumulative product, so the execution backends can swap
+    between the scalar and the batched construction without changing a
+    single bit of the valuation.
+
+    Construction paths, fastest first:
+
+    - all model pairs equal (e.g. unshocked, or zero shock scales): one
+      scalar table (through ``cache`` if given), rows broadcast;
+    - one shared mortality model (e.g. a life table with only lapse
+      shocks): one ``q`` row broadcast over the vectorized lapse tail;
+    - all mortalities Gompertz–Makeham: the closed-form hazard integral
+      evaluated once over the ``(n, term)`` scenario x age grid;
+    - otherwise: per-scenario tables stacked (still cached).
+    """
+    if len(mortalities) != len(lapses):
+        raise ValueError(
+            f"got {len(mortalities)} mortality models but {len(lapses)} "
+            "lapse models"
+        )
+    n = len(mortalities)
+    if n == 0:
+        raise ValueError("need at least one model pair")
+
+    first_key = mortalities[0].cache_key()
+    same_mortality = all(m is mortalities[0] for m in mortalities) or (
+        first_key is not None
+        and all(m.cache_key() == first_key for m in mortalities[1:])
+    )
+    lapse_key = lapses[0].cache_key()
+    same_lapse = all(l.cache_key() == lapse_key for l in lapses[1:])
+    if same_mortality and same_lapse:
+        table = LiabilityValuator(
+            mortalities[0], lapses[0], cache=cache
+        ).decrement_table(contract)
+        return DecrementTable(
+            in_force=np.repeat(table.in_force[None, :], n, axis=0),
+            death=np.repeat(table.death[None, :], n, axis=0),
+            lapse=np.repeat(table.lapse[None, :], n, axis=0),
+        )
+
+    term = contract.term
+    ages = contract.age + np.arange(term, dtype=float)
+    if same_mortality:
+        row = np.asarray(
+            mortalities[0].death_probabilities(ages, 1.0), dtype=float
+        )
+        q = np.repeat(row[None, :], n, axis=0)
+    elif all(type(m) is GompertzMakeham for m in mortalities):
+        a = np.array([m.a for m in mortalities])
+        b_eff = np.array(
+            [m.b * (1.0 - m.longevity_improvement) for m in mortalities]
+        )
+        c = np.array([m.c for m in mortalities])
+        log_c = np.log(c)
+        # Same expression (and evaluation order) as the scalar
+        # death_probabilities, broadcast over the scenario axis.
+        integral = a[:, None] * 1.0 + (b_eff / log_c)[:, None] * c[
+            :, None
+        ] ** ages[None, :] * (c[:, None] ** 1.0 - 1.0)
+        q = 1.0 - np.exp(-integral)
+    else:
+        tables = [
+            LiabilityValuator(m, l, cache=cache).decrement_table(contract)
+            for m, l in zip(mortalities, lapses)
+        ]
+        return DecrementTable(
+            in_force=np.vstack([t.in_force for t in tables]),
+            death=np.vstack([t.death for t in tables]),
+            lapse=np.vstack([t.lapse for t in tables]),
+        )
+
+    rates = np.array(
+        [float(np.asarray(lapse.annual_rate())) for lapse in lapses]
+    )
+    annual_lapse = np.repeat(rates[:, None], term, axis=1)
+    annual_lapse[:, -1] = 0.0
+    survival_step = 1.0 - q - (1.0 - q) * annual_lapse
+    in_force = np.cumprod(survival_step, axis=1)
+    alive_prev = np.concatenate([np.ones((n, 1)), in_force[:, :-1]], axis=1)
+    death = alive_prev * q
+    lapse = alive_prev * (1.0 - q) * annual_lapse
+    return DecrementTable(in_force=in_force, death=death, lapse=lapse)
+
+
+class LiabilityValuator:
+    """Computes probabilized flows and pathwise values for a contract.
+
+    ``cache`` optionally memoizes decrement tables — the nested engine
+    shares one :class:`DecrementTableCache` across all its per-scenario
+    valuators so identically shocked scenarios reuse type-A output.
+    """
+
+    def __init__(
+        self,
+        mortality: MortalityModel,
+        lapse: LapseModel,
+        cache: DecrementTableCache | None = None,
+    ) -> None:
         self.mortality = mortality
         self.lapse = lapse
+        self.cache = cache
+
+    def _table_key(self, contract: PolicyContract) -> tuple | None:
+        mortality_key = self.mortality.cache_key()
+        if mortality_key is None:
+            return None
+        return (contract, mortality_key, self.lapse.cache_key())
 
     def decrement_table(self, contract: PolicyContract) -> DecrementTable:
         """Type-A elaboration: deterministic decrement probabilities.
 
         Lapse and death within a year are resolved with the standard
         "deaths first" convention on annual steps: a policy lapsing in
-        year ``t`` is one that survived the year.
+        year ``t`` is one that survived the year.  The per-year recursion
+        is a cumulative product over a vectorized
+        :meth:`~repro.stochastic.mortality.MortalityModel.death_probabilities`
+        call rather than a Python loop, and results are memoized through
+        the attached :class:`DecrementTableCache` when one is set.
         """
+        key = None
+        if self.cache is not None:
+            key = self._table_key(contract)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
         term = contract.term
-        in_force = np.empty(term)
-        death = np.empty(term)
-        lapse = np.empty(term)
-        alive = 1.0
-        for t in range(1, term + 1):
-            age_t = contract.age + t - 1
-            q = self.mortality.death_probability(age_t, 1.0)
-            annual_lapse = float(np.asarray(self.lapse.annual_rate()))
-            # Lapses are not possible in the maturity year: the contract
-            # simply matures.
-            if t == term:
-                annual_lapse = 0.0
-            death_t = alive * q
-            lapse_t = alive * (1.0 - q) * annual_lapse
-            alive = alive - death_t - lapse_t
-            in_force[t - 1] = alive
-            death[t - 1] = death_t
-            lapse[t - 1] = lapse_t
-        return DecrementTable(in_force=in_force, death=death, lapse=lapse)
+        ages = contract.age + np.arange(term, dtype=float)
+        q = np.asarray(self.mortality.death_probabilities(ages, 1.0), dtype=float)
+        annual_lapse = np.full(term, float(np.asarray(self.lapse.annual_rate())))
+        # Lapses are not possible in the maturity year: the contract
+        # simply matures.
+        annual_lapse[-1] = 0.0
+        # alive_t = alive_{t-1} * (1 - q_t - (1 - q_t) * l_t): the whole
+        # survivorship recursion is one cumulative product.
+        survival_step = 1.0 - q - (1.0 - q) * annual_lapse
+        in_force = np.cumprod(survival_step)
+        alive_prev = np.concatenate([[1.0], in_force[:-1]])
+        death = alive_prev * q
+        lapse = alive_prev * (1.0 - q) * annual_lapse
+        table = DecrementTable(in_force=in_force, death=death, lapse=lapse)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, table)
+        return table
 
     def cash_flows(
         self,
@@ -141,7 +312,11 @@ class LiabilityValuator:
         """Type-B elaboration: expected flows along each financial path.
 
         ``credited_returns`` has shape ``(n_paths, >= term)``; extra years
-        beyond the contract term are ignored.
+        beyond the contract term are ignored.  ``decrements`` may carry
+        either the usual ``(term,)`` vectors or *per-path* ``(n_paths,
+        term)`` matrices — the batched execution backend stacks many
+        scenarios (each with its own shocked decrement table) into one
+        call this way.
         """
         credited = np.asarray(credited_returns, dtype=float)
         if credited.ndim != 2:
@@ -171,19 +346,20 @@ class LiabilityValuator:
         n_paths = credited.shape[0]
         flows = np.zeros((n_paths, term))
 
+        # atleast_2d maps (term,) vectors to a broadcasting (1, term) row
+        # and passes per-path (n_paths, term) matrices through unchanged.
+        death = np.atleast_2d(decrements.death)
+        lapse = np.atleast_2d(decrements.lapse)
+        in_force = np.atleast_2d(decrements.in_force)
         if contract.pays_on_death():
-            flows += sums[:, 1:] * decrements.death[np.newaxis, :]
+            flows += sums[:, 1:] * death
         # Surrender pays the current readjusted sum net of the charge.
-        flows += (
-            sums[:, 1:]
-            * (1.0 - contract.surrender_charge)
-            * decrements.lapse[np.newaxis, :]
-        )
+        flows += sums[:, 1:] * (1.0 - contract.surrender_charge) * lapse
         if contract.kind is ContractKind.WHOLE_LIFE_ANNUITY:
             # Annual annuity of the readjusted amount while in force.
-            flows += sums[:, 1:] * decrements.in_force[np.newaxis, :]
+            flows += sums[:, 1:] * in_force
         elif contract.pays_on_survival():
-            flows[:, -1] += sums[:, -1] * decrements.in_force[-1]
+            flows[:, -1] += sums[:, -1] * in_force[:, -1]
 
         flows *= contract.multiplicity
         return PathwiseCashFlows(flows=flows, contract=contract)
@@ -224,18 +400,22 @@ class LiabilityValuator:
 
         flows = np.zeros((n_paths, term))
         alive = np.ones(n_paths)
+        # Hoisted out of the year loop: annual death probabilities for
+        # every policy year at once, and the full (n_paths, term) dynamic
+        # lapse-rate matrix (the lapse model is elementwise in the
+        # credited return).  No lapses in the maturity year.
+        ages = contract.age + np.arange(term, dtype=float)
+        q_by_year = np.asarray(self.mortality.death_probabilities(ages, 1.0))
+        lapse_matrix = np.asarray(
+            self.lapse.annual_rate(
+                credited=credited, benchmark=contract.technical_rate
+            ),
+            dtype=float,
+        )
+        lapse_matrix[:, -1] = 0.0
         for t in range(1, term + 1):
-            age_t = contract.age + t - 1
-            q = self.mortality.death_probability(age_t, 1.0)
-            lapse_rate = np.asarray(
-                self.lapse.annual_rate(
-                    credited=credited[:, t - 1],
-                    benchmark=contract.technical_rate,
-                ),
-                dtype=float,
-            )
-            if t == term:
-                lapse_rate = np.zeros(n_paths)
+            q = q_by_year[t - 1]
+            lapse_rate = lapse_matrix[:, t - 1]
             death_t = alive * q
             lapse_t = alive * (1.0 - q) * lapse_rate
             alive = alive - death_t - lapse_t

@@ -126,9 +126,27 @@ class LSMCEngine:
         self.ridge = float(ridge)
 
     @staticmethod
-    def state_features(states: list[MarketScenario]) -> np.ndarray:
-        """Stack market states into a feature matrix."""
+    def state_features(
+        states: np.ndarray | list[MarketScenario],
+    ) -> np.ndarray:
+        """Feature matrix of the outer states.
+
+        Accepts either the array-backed ``(n_paths, k)`` matrix of
+        :meth:`~repro.stochastic.scenario.ScenarioSet.terminal_features`
+        (passed through) or a list of :class:`MarketScenario` objects
+        (stacked row by row, the legacy path).
+        """
+        if isinstance(states, np.ndarray):
+            return np.asarray(states, dtype=float)
         return np.vstack([state.as_features() for state in states])
+
+    @staticmethod
+    def _calibration_features(calibration: NestedResult) -> np.ndarray:
+        """Outer-state features of a calibration run (array-backed when
+        the nested engine provided them)."""
+        if calibration.outer_features is not None:
+            return LSMCEngine.state_features(calibration.outer_features)
+        return LSMCEngine.state_features(calibration.outer_states)
 
     @staticmethod
     def _n_terms(n_features: int, degree: int) -> int:
@@ -154,7 +172,7 @@ class LSMCEngine:
         """
         rng = generator_from(rng)
         calibration = self.engine.run(n_outer_cal, n_inner_cal, rng=rng)
-        features = self.state_features(calibration.outer_states)
+        features = self._calibration_features(calibration)
         degree = self.degree
         while degree > 1 and 2 * self._n_terms(features.shape[1], degree) > n_outer_cal:
             degree -= 1
@@ -179,7 +197,7 @@ class LSMCEngine:
             n_outer_cal, n_inner_cal, rng=cal_rng
         )
 
-        design_cal = basis.transform(self.state_features(calibration.outer_states))
+        design_cal = basis.transform(self._calibration_features(calibration))
         fitted = design_cal @ coefficients
         residual = calibration.outer_values - fitted
         total = calibration.outer_values - calibration.outer_values.mean()
@@ -189,7 +207,7 @@ class LSMCEngine:
         outer = self.engine._generator.generate(
             n_outer, 1.0, eval_rng, steps_per_year=steps_per_year, measure="P"
         )
-        features = self.state_features(outer.terminal_states())
+        features = self.state_features(outer.terminal_features())
         outer_values = basis.transform(features) @ coefficients
         return LSMCResult(
             outer_values=outer_values,

@@ -13,17 +13,36 @@ Actuarial level uncertainty enters the outer stage by shocking the
 mortality (longevity improvement) and lapse (level shock) models per
 outer scenario, keeping actuarial and financial risks independent as the
 paper prescribes.
+
+Execution is delegated to a :mod:`repro.exec` backend.  The workload is
+partitioned into fixed chunks of outer scenarios (or inner paths, for
+``value_at_zero``); every chunk draws from random streams keyed by its
+position in the workload, never by the worker that happens to run it, so
+``SerialBackend``, ``ProcessPoolBackend`` and ``ChunkedVectorBackend``
+all produce bit-identical results at a fixed ``chunk_size``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.exec.backends import (
+    ExecutionBackend,
+    backend_from,
+    chunk_seed_sequences,
+    partition,
+)
 from repro.financial.contracts import PolicyContract
 from repro.financial.segregated_fund import SegregatedFund
-from repro.financial.valuation import LiabilityValuator
+from repro.financial.valuation import (
+    DecrementTable,
+    DecrementTableCache,
+    LiabilityValuator,
+    batched_decrement_table,
+)
 from repro.stochastic.lapse import LapseModel
 from repro.stochastic.mortality import GompertzMakeham, MortalityModel
 from repro.stochastic.rng import generator_from, spawn_generators
@@ -48,9 +67,14 @@ class NestedResult:
     outer_discount:
         One-year pathwise discount factor of each outer path.
     outer_states:
-        Terminal market state of each outer path (features for LSMC).
+        Terminal market state of each outer path (compatibility object
+        view; hot paths use :attr:`outer_features`).
     year_one_flows:
         Liability cash flows paid during year 1 on each outer path.
+    outer_features:
+        Array-backed terminal states, shape ``(n_outer, k)`` in
+        :meth:`~repro.stochastic.scenario.ScenarioSet.terminal_features`
+        column order — the LSMC regression consumes this directly.
     """
 
     base_value: float
@@ -62,6 +86,7 @@ class NestedResult:
     year_one_flows: np.ndarray
     n_inner: int
     inner_std_error: np.ndarray = field(default=None)
+    outer_features: np.ndarray | None = None
 
     @property
     def n_outer(self) -> int:
@@ -81,6 +106,92 @@ class NestedResult:
         return bof0 - self.outer_discount * bof1
 
 
+def _scenario_from_features(spec: RiskDriverSpec, row: np.ndarray) -> MarketScenario:
+    """Rebuild a :class:`MarketScenario` from one feature-matrix row."""
+    n_equities = len(spec.equities)
+    col = 1 + n_equities
+    fx = None
+    if spec.currency is not None:
+        fx = float(row[col])
+        col += 1
+    credit = None
+    if spec.credit is not None:
+        credit = float(row[col])
+    return MarketScenario(
+        short_rate=float(row[0]),
+        equity=np.asarray(row[1 : 1 + n_equities], dtype=float),
+        fx=fx,
+        credit_intensity=credit,
+    )
+
+
+# -- chunk task functions -----------------------------------------------------
+#
+# Module-level so :class:`~repro.exec.backends.ProcessPoolBackend` can
+# pickle them; each takes a single payload tuple whose first element is
+# the (picklable) engine.
+
+
+def _value_chunk_task(
+    payload: tuple["NestedMonteCarloEngine", int, np.random.SeedSequence, float, bool],
+) -> np.ndarray:
+    """Pathwise time-0 values for one chunk of inner paths."""
+    engine, n_paths, seed, horizon, antithetic = payload
+    rng = np.random.default_rng(seed)
+    scenario = engine._generator.generate(
+        n_paths, horizon, rng, steps_per_year=1, measure="Q", antithetic=antithetic
+    )
+    credited = engine.fund.credited_returns(scenario)
+    discount = scenario.discount_factors()
+    return engine._portfolio_value(
+        credited, discount, engine.mortality, engine.lapse
+    )
+
+
+def _conditional_chunk_serial(
+    payload: tuple[
+        "NestedMonteCarloEngine",
+        np.ndarray,
+        Sequence[np.random.SeedSequence],
+        Sequence[MortalityModel],
+        Sequence[LapseModel],
+        int,
+    ],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference chunk kernel: one inner simulation per outer scenario."""
+    engine, features, seeds, mortalities, lapses, n_inner = payload
+    n_scenarios = features.shape[0]
+    values = np.empty(n_scenarios)
+    std_errors = np.empty(n_scenarios)
+    for j in range(n_scenarios):
+        state = _scenario_from_features(engine.spec, features[j])
+        values[j], std_errors[j] = engine.conditional_value(
+            state,
+            n_inner,
+            np.random.default_rng(seeds[j]),
+            mortality=mortalities[j],
+            lapse=lapses[j],
+        )
+    return values, std_errors
+
+
+def _conditional_chunk_vector(
+    payload: tuple[
+        "NestedMonteCarloEngine",
+        np.ndarray,
+        Sequence[np.random.SeedSequence],
+        Sequence[MortalityModel],
+        Sequence[LapseModel],
+        int,
+    ],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched chunk kernel: all the chunk's inner paths in one call."""
+    engine, features, seeds, mortalities, lapses, n_inner = payload
+    return engine._conditional_values_batch(
+        features, seeds, mortalities, lapses, n_inner
+    )
+
+
 class NestedMonteCarloEngine:
     """Two-stage nested Monte Carlo for a segregated-fund portfolio."""
 
@@ -94,6 +205,7 @@ class NestedMonteCarloEngine:
         longevity_shock_scale: float = 0.05,
         lapse_shock_scale: float = 0.15,
         dynamic_lapses: bool = False,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         if not contracts:
             raise ValueError("portfolio must contain at least one contract")
@@ -107,12 +219,50 @@ class NestedMonteCarloEngine:
         #: Use path-dependent dynamic lapse behaviour in the valuations
         #: (policyholders react to the credited return of their path).
         self.dynamic_lapses = bool(dynamic_lapses)
+        #: Execution backend (``None`` selects the chunked-vector
+        #: default); see :mod:`repro.exec`.
+        self.backend = backend_from(backend)
         self._generator = ScenarioGenerator(spec)
+        #: Decrement tables shared across scenarios and stages — outer
+        #: scenarios with identical actuarial shocks reuse one table.
+        self._table_cache = DecrementTableCache()
+
+    def __getstate__(self) -> dict:
+        # Worker processes rebuild decrement tables on demand; shipping a
+        # warm cache inside every chunk payload would dominate the IPC
+        # cost of ProcessPoolBackend.
+        state = self.__dict__.copy()
+        state["_table_cache"] = DecrementTableCache(
+            max_entries=self._table_cache.max_entries
+        )
+        return state
 
     @property
     def horizon(self) -> int:
         """Projection horizon: the longest remaining contract term."""
         return max(contract.term for contract in self.contracts)
+
+    def _aged_contract(
+        self, contract: PolicyContract, age_shift: int
+    ) -> PolicyContract | None:
+        """The contract as seen ``age_shift`` years later (or ``None``
+        when it has already matured)."""
+        term = contract.term - age_shift
+        if term <= 0:
+            return None
+        if age_shift == 0:
+            return contract
+        return PolicyContract(
+            kind=contract.kind,
+            age=contract.age + age_shift,
+            gender=contract.gender,
+            term=term,
+            insured_sum=contract.insured_sum,
+            participation=contract.participation,
+            technical_rate=contract.technical_rate,
+            multiplicity=contract.multiplicity,
+            surrender_charge=contract.surrender_charge,
+        )
 
     def _portfolio_value(
         self,
@@ -123,26 +273,65 @@ class NestedMonteCarloEngine:
         age_shift: int = 0,
     ) -> np.ndarray:
         """Pathwise PV of every contract, summed over the portfolio."""
-        valuator = LiabilityValuator(mortality, lapse)
+        valuator = LiabilityValuator(mortality, lapse, cache=self._table_cache)
         total = np.zeros(credited.shape[0])
         for contract in self.contracts:
-            term = contract.term - age_shift
-            if term <= 0:
+            aged = self._aged_contract(contract, age_shift)
+            if aged is None:
                 continue
-            aged = PolicyContract(
-                kind=contract.kind,
-                age=contract.age + age_shift,
-                gender=contract.gender,
-                term=term,
-                insured_sum=contract.insured_sum,
-                participation=contract.participation,
-                technical_rate=contract.technical_rate,
-                multiplicity=contract.multiplicity,
-                surrender_charge=contract.surrender_charge,
-            )
             total += valuator.value(
                 aged, credited, discount, dynamic_lapses=self.dynamic_lapses
             )
+        return total
+
+    def _portfolio_value_batch(
+        self,
+        credited: np.ndarray,
+        discount: np.ndarray,
+        mortalities: Sequence[MortalityModel],
+        lapses: Sequence[LapseModel],
+        n_inner: int,
+        age_shift: int = 0,
+    ) -> np.ndarray:
+        """Pathwise PV of many stacked scenarios, one call per contract.
+
+        Rows ``[j * n_inner, (j + 1) * n_inner)`` of ``credited`` /
+        ``discount`` belong to scenario ``j``, which carries its own
+        shocked actuarial models.  The per-scenario decrement vectors are
+        stacked into per-path matrices so that the whole chunk is valued
+        with one :meth:`~repro.financial.valuation.LiabilityValuator.value`
+        call per contract — the arithmetic per row is exactly the serial
+        per-scenario computation, so results are bit-identical.
+        """
+        n_rows = credited.shape[0]
+        if self.dynamic_lapses:
+            # Dynamic lapses couple each path's lapse rate to its own
+            # scenario's shocked model; value scenario blocks on views
+            # (the scenario generation is still batched).
+            total = np.empty(n_rows)
+            for j, (mortality, lapse) in enumerate(zip(mortalities, lapses)):
+                rows = slice(j * n_inner, (j + 1) * n_inner)
+                total[rows] = self._portfolio_value(
+                    credited[rows], discount[rows], mortality, lapse, age_shift
+                )
+            return total
+        mortalities = list(mortalities)
+        lapses = list(lapses)
+        shared = LiabilityValuator(self.mortality, self.lapse)
+        total = np.zeros(n_rows)
+        for contract in self.contracts:
+            aged = self._aged_contract(contract, age_shift)
+            if aged is None:
+                continue
+            tables = batched_decrement_table(
+                aged, mortalities, lapses, cache=self._table_cache
+            )
+            batched = DecrementTable(
+                in_force=np.repeat(tables.in_force, n_inner, axis=0),
+                death=np.repeat(tables.death, n_inner, axis=0),
+                lapse=np.repeat(tables.lapse, n_inner, axis=0),
+            )
+            total += shared.value(aged, credited, discount, decrements=batched)
         return total
 
     def value_at_zero(
@@ -154,20 +343,28 @@ class NestedMonteCarloEngine:
     ) -> float:
         """Plain risk-neutral value ``V_0`` with ``n_inner`` paths.
 
-        ``antithetic=True`` mirrors the second half of the inner shocks,
-        reducing the Monte Carlo variance of the value estimate for the
-        near-monotone payoffs of guaranteed business.
+        ``antithetic=True`` mirrors the second half of each chunk's inner
+        shocks, reducing the Monte Carlo variance of the value estimate
+        for the near-monotone payoffs of guaranteed business.
+
+        The inner paths are cut into deterministic chunks executed by the
+        engine's backend; chunk ``j`` always consumes the ``j``-th child
+        stream of ``rng``, so the value depends only on the seed and the
+        chunk size, not on the backend or worker count.
         """
         rng = generator_from(rng)
         horizon = self.horizon if horizon is None else horizon
-        scenario = self._generator.generate(
-            n_inner, float(horizon), rng, steps_per_year=1, measure="Q",
-            antithetic=antithetic,
+        # Antithetic pairs must never straddle a chunk boundary.
+        chunks = partition(
+            n_inner, self.backend.chunk_size, granularity=2 if antithetic else 1
         )
-        credited = self.fund.credited_returns(scenario)
-        discount = scenario.discount_factors()
-        values = self._portfolio_value(credited, discount, self.mortality, self.lapse)
-        return float(values.mean())
+        seeds = chunk_seed_sequences(rng, len(chunks))
+        payloads = [
+            (self, chunk.size, seeds[chunk.index], float(horizon), antithetic)
+            for chunk in chunks
+        ]
+        values = self.backend.map(_value_chunk_task, payloads)
+        return float(np.concatenate(values).mean())
 
     def conditional_value(
         self,
@@ -200,6 +397,64 @@ class NestedMonteCarloEngine:
         )
         std_error = float(values.std(ddof=1) / np.sqrt(n_inner)) if n_inner > 1 else 0.0
         return float(values.mean()), std_error
+
+    def _conditional_values_batch(
+        self,
+        features: np.ndarray,
+        seeds: Sequence[np.random.SeedSequence],
+        mortalities: Sequence[MortalityModel],
+        lapses: Sequence[LapseModel],
+        n_inner: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`conditional_value` over a chunk of scenarios.
+
+        All the chunk's inner simulations run as a single
+        :meth:`~repro.stochastic.scenario.ScenarioGenerator.generate`
+        call.  Bit-identity with the serial kernel rests on two points:
+
+        - the correlated shocks are pre-drawn *per scenario, per step* in
+          exactly the order (and with exactly the call shape) the serial
+          per-scenario loop uses;
+        - every downstream operation (driver steps, credited returns,
+          discounting, valuation, per-scenario mean/std) is elementwise
+          or row-wise, so batching more rows does not change any row.
+        """
+        spec = self.spec
+        n_scenarios = features.shape[0]
+        # Matches conditional_value: annual grid over the residual term.
+        horizon = max(self.horizon - 1, 1)
+        n_steps = horizon
+        shocks = np.empty(
+            (n_steps, n_scenarios * n_inner, spec.n_financial_drivers)
+        )
+        for j in range(n_scenarios):
+            inner_rng = np.random.default_rng(seeds[j])
+            rows = slice(j * n_inner, (j + 1) * n_inner)
+            for k in range(n_steps):
+                shocks[k, rows, :] = spec.correlation.sample(n_inner, inner_rng)
+        start_features = np.repeat(features, n_inner, axis=0)
+        scenario = self._generator.generate(
+            n_scenarios * n_inner,
+            float(horizon),
+            None,
+            steps_per_year=1,
+            measure="Q",
+            t0=1.0,
+            start_features=start_features,
+            shocks=shocks,
+        )
+        credited = self.fund.credited_returns(scenario)
+        discount = scenario.discount_factors()
+        values = self._portfolio_value_batch(
+            credited, discount, mortalities, lapses, n_inner, age_shift=1
+        )
+        blocks = values.reshape(n_scenarios, n_inner)
+        means = blocks.mean(axis=1)
+        if n_inner > 1:
+            std_errors = blocks.std(axis=1, ddof=1) / np.sqrt(n_inner)
+        else:
+            std_errors = np.zeros(n_scenarios)
+        return means, std_errors
 
     def _actuarial_shocks(
         self, n_outer: int, rng: np.random.Generator
@@ -242,6 +497,12 @@ class NestedMonteCarloEngine:
         initial_assets:
             Market value of the backing assets at ``t=0``; defaults to
             105% of ``V_0``.
+
+        The inner stage is partitioned into chunks of outer scenarios and
+        dispatched through the engine's backend.  Scenario ``k`` always
+        consumes the ``k``-th child stream of the inner master generator
+        — independent of the chunk layout and worker count — so all
+        backends produce bit-identical results.
         """
         if n_outer <= 0 or n_inner <= 0:
             raise ValueError("n_outer and n_inner must be positive")
@@ -258,47 +519,60 @@ class NestedMonteCarloEngine:
         # Year-1 asset growth: the fund's market return over the outer year
         # (the fund helpers subsample any grid that divides years evenly).
         market_returns = self.fund.market_returns(outer)[:, 0]
-        states = outer.terminal_states()
+        features = outer.terminal_features()
 
         # Year-1 liability flows (paid at end of year 1): use the credited
         # return realised on the outer paths.
         credited_y1 = self.fund.credited_returns(outer)
         mortalities, lapses = self._actuarial_shocks(n_outer, shock_rng)
 
-        inner_rngs = spawn_generators(inner_master, n_outer)
-        outer_values = np.empty(n_outer)
-        inner_std = np.empty(n_outer)
-        year_one_flows = np.empty(n_outer)
-        for k in range(n_outer):
-            outer_values[k], inner_std[k] = self.conditional_value(
-                states[k],
+        # One child stream per outer scenario, keyed by scenario index.
+        seeds = chunk_seed_sequences(inner_master, n_outer)
+        chunks = partition(n_outer, self.backend.chunk_size)
+        task = (
+            _conditional_chunk_vector
+            if self.backend.vectorized
+            else _conditional_chunk_serial
+        )
+        payloads = [
+            (
+                self,
+                features[chunk.indices],
+                seeds[chunk.indices],
+                mortalities[chunk.indices],
+                lapses[chunk.indices],
                 n_inner,
-                inner_rngs[k],
-                mortality=mortalities[k],
-                lapse=lapses[k],
             )
-            valuator = LiabilityValuator(mortalities[k], lapses[k])
-            flows_k = 0.0
-            for contract in self.contracts:
-                table = valuator.decrement_table(contract)
-                # Expected year-1 flow: death + lapse + (maturity if term==1).
-                sums = contract.insured_sum * (
-                    1.0
-                    + max(
-                        contract.participation * credited_y1[k, 0]
-                        - contract.technical_rate,
-                        0.0,
-                    )
-                    / (1.0 + contract.technical_rate)
+            for chunk in chunks
+        ]
+        results = self.backend.map(task, payloads)
+        outer_values = np.concatenate([values for values, _ in results])
+        inner_std = np.concatenate([std for _, std in results])
+
+        # Year-1 flows, vectorized over the outer scenarios: one batched
+        # decrement table per contract instead of an n_outer x n_contracts
+        # Python loop.
+        year_one_flows = np.zeros(n_outer)
+        credited_first = credited_y1[:, 0]
+        for contract in self.contracts:
+            table = batched_decrement_table(
+                contract, mortalities, lapses, cache=self._table_cache
+            )
+            # Expected year-1 flow: death + lapse + (maturity if term==1).
+            sums = contract.insured_sum * (
+                1.0
+                + np.maximum(
+                    contract.participation * credited_first
+                    - contract.technical_rate,
+                    0.0,
                 )
-                flow = sums * table.death[0]
-                flow += (
-                    sums * (1.0 - contract.surrender_charge) * table.lapse[0]
-                )
-                if contract.term == 1 and contract.pays_on_survival():
-                    flow += sums * table.in_force[0]
-                flows_k += flow * contract.multiplicity
-            year_one_flows[k] = flows_k
+                / (1.0 + contract.technical_rate)
+            )
+            flow = sums * table.death[:, 0]
+            flow += sums * (1.0 - contract.surrender_charge) * table.lapse[:, 0]
+            if contract.term == 1 and contract.pays_on_survival():
+                flow += sums * table.in_force[:, 0]
+            year_one_flows += flow * contract.multiplicity
 
         outer_assets = base_assets * (1.0 + market_returns) - year_one_flows
         return NestedResult(
@@ -307,8 +581,9 @@ class NestedMonteCarloEngine:
             outer_values=outer_values,
             outer_assets=outer_assets,
             outer_discount=outer_discount,
-            outer_states=states,
+            outer_states=outer.terminal_states(),
             year_one_flows=year_one_flows,
             n_inner=n_inner,
             inner_std_error=inner_std,
+            outer_features=features,
         )

@@ -88,6 +88,19 @@ class LapseModel:
         q = 1.0 - self.persistence_probability(years)
         return rng.random(n) < q
 
+    def cache_key(self) -> tuple:
+        """Hashable identity for decrement-table memoization.
+
+        Two models with equal parameters — e.g. identically shocked
+        copies across outer scenarios — share cached tables.
+        """
+        return (
+            "lapse",
+            self.base_rate,
+            self.dynamic_sensitivity,
+            self.shock,
+        )
+
     def shocked(self, shock: float) -> "LapseModel":
         """A copy with an extra multiplicative level shock (P scenarios)."""
         return LapseModel(

@@ -37,6 +37,31 @@ class MortalityModel(abc.ABC):
         """Complement of :meth:`survival_probability`."""
         return 1.0 - self.survival_probability(age, years)
 
+    def death_probabilities(
+        self, ages: np.ndarray, years: float = 1.0
+    ) -> np.ndarray:
+        """Vectorized :meth:`death_probability` over an array of ``ages``.
+
+        The generic implementation falls back to the scalar method;
+        parametric models override it with a closed-form array
+        expression, which is what makes the decrement-table recursion a
+        handful of NumPy calls instead of a Python loop per policy year.
+        """
+        ages = np.atleast_1d(np.asarray(ages, dtype=float))
+        return np.array(
+            [self.death_probability(float(age), years) for age in ages]
+        )
+
+    def cache_key(self) -> tuple | None:
+        """A hashable identity for decrement-table memoization.
+
+        ``None`` (the default) means "not safely cacheable"; concrete
+        models return a tuple of their defining parameters so two
+        equal-parameter instances — e.g. identically shocked copies
+        across outer scenarios — share cached tables.
+        """
+        return None
+
     def survival_curve(self, age: float, horizon: int) -> np.ndarray:
         """Survival probabilities at integer durations ``0..horizon``."""
         if horizon < 0:
@@ -106,6 +131,35 @@ class GompertzMakeham(MortalityModel):
         )
         return float(np.exp(-integral))
 
+    def death_probabilities(
+        self, ages: np.ndarray, years: float = 1.0
+    ) -> np.ndarray:
+        """Closed-form vectorized annual death probabilities.
+
+        Evaluates the same integrated-hazard expression as
+        :meth:`survival_probability` on the whole age vector at once.
+        """
+        if years < 0:
+            raise ValueError(f"years must be non-negative, got {years}")
+        ages = np.atleast_1d(np.asarray(ages, dtype=float))
+        if years == 0:
+            return np.zeros(ages.shape)
+        b_eff = self.b * (1.0 - self.longevity_improvement)
+        log_c = np.log(self.c)
+        integral = self.a * years + (b_eff / log_c) * self.c**ages * (
+            self.c**years - 1.0
+        )
+        return 1.0 - np.exp(-integral)
+
+    def cache_key(self) -> tuple:
+        return (
+            "gompertz_makeham",
+            self.a,
+            self.b,
+            self.c,
+            self.longevity_improvement,
+        )
+
     def shocked(self, improvement: float) -> "GompertzMakeham":
         """A copy with an additional longevity improvement (P-scenario shock)."""
         return GompertzMakeham(
@@ -170,6 +224,33 @@ class LifeTable(MortalityModel):
         if age_index >= self.qx.size:
             return 0.0
         return 1.0 - self.qx[age_index]
+
+    def death_probabilities(
+        self, ages: np.ndarray, years: float = 1.0
+    ) -> np.ndarray:
+        """Vectorized annual lookups for whole-year ages.
+
+        The common decrement-table case (integer ages, one-year steps) is
+        a single fancy-indexing read of the table; anything fractional
+        falls back to the scalar constant-force walk.
+        """
+        ages = np.atleast_1d(np.asarray(ages, dtype=float))
+        whole_years = (
+            years == 1
+            and bool(np.all(ages == np.floor(ages)))
+            and bool(np.all(ages >= self.start_age))
+        )
+        if not whole_years:
+            return super().death_probabilities(ages, years)
+        index = ages.astype(int) - self.start_age
+        beyond = index >= self.qx.size
+        survival = np.where(
+            beyond, 0.0, 1.0 - self.qx[np.minimum(index, self.qx.size - 1)]
+        )
+        return 1.0 - survival
+
+    def cache_key(self) -> tuple:
+        return ("life_table", self.start_age, self.qx.tobytes())
 
     def survival_probability(self, age: float, years: float) -> float:
         if years < 0:

@@ -214,8 +214,35 @@ class ScenarioSet:
             ),
         )
 
+    def features_at(self, step: int) -> np.ndarray:
+        """Feature matrix ``(n_paths, k)`` of every path at grid ``step``.
+
+        Columns follow :meth:`MarketScenario.as_features` order:
+        ``[rate, equity_0, ..., equity_k, fx?, credit?]``.
+        """
+        columns = [self.short_rate[:, step]]
+        columns.extend(eq[:, step] for eq in self.equity)
+        if self.fx is not None:
+            columns.append(self.fx[:, step])
+        if self.credit_intensity is not None:
+            columns.append(self.credit_intensity[:, step])
+        return np.column_stack(columns)
+
+    def terminal_features(self) -> np.ndarray:
+        """Array-backed terminal states, shape ``(n_paths, k)``.
+
+        This is the batch accessor the hot paths use (nested inner
+        stage, LSMC regression features); :meth:`terminal_states` remains
+        as a per-path object view for compatibility.
+        """
+        return self.features_at(self.n_steps)
+
     def terminal_states(self) -> list[MarketScenario]:
-        """Market state of every path at the final grid point."""
+        """Market state of every path at the final grid point.
+
+        Thin compatibility wrapper over :meth:`terminal_features`; prefer
+        the array accessor in performance-sensitive code.
+        """
         return [self.state_at(i, self.n_steps) for i in range(self.n_paths)]
 
 
@@ -229,12 +256,14 @@ class ScenarioGenerator:
         self,
         n_paths: int,
         horizon: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         steps_per_year: int = 1,
         measure: str = "Q",
         start: MarketScenario | None = None,
         t0: float = 0.0,
         antithetic: bool = False,
+        start_features: np.ndarray | None = None,
+        shocks: np.ndarray | None = None,
     ) -> ScenarioSet:
         """Simulate ``n_paths`` joint paths over ``horizon`` years.
 
@@ -246,6 +275,18 @@ class ScenarioGenerator:
         classic variance-reduction device for the near-monotone payoffs
         of guaranteed business.  The Gaussian copula commutes with
         negation, so the correlation structure is preserved exactly.
+
+        Batched execution hooks (used by the chunked-vector backend):
+
+        - ``start_features`` — a ``(n_paths, k)`` matrix of *per-path*
+          initial states in :meth:`ScenarioSet.terminal_features` column
+          order, so many inner simulations continuing different outer
+          paths can share one call;
+        - ``shocks`` — pre-drawn correlated shocks of shape
+          ``(n_steps, n_paths, n_drivers)`` that replace the internal
+          sampling (``rng`` may then be ``None``).  The caller is
+          responsible for drawing them in the same per-scenario order the
+          serial path would, which is what keeps backends bit-identical.
         """
         if measure not in ("P", "Q"):
             raise ValueError(f"measure must be 'P' or 'Q', got {measure!r}")
@@ -255,10 +296,36 @@ class ScenarioGenerator:
             raise ValueError(
                 f"antithetic sampling needs an even n_paths, got {n_paths}"
             )
+        if start is not None and start_features is not None:
+            raise ValueError("pass either start or start_features, not both")
+        if antithetic and shocks is not None:
+            raise ValueError(
+                "pre-drawn shocks must already encode any antithetic "
+                "mirroring; antithetic=True is not allowed with shocks"
+            )
+        if rng is None and shocks is None:
+            raise ValueError("rng may only be None when shocks are pre-drawn")
         spec = self.spec
         n_steps = max(1, int(round(horizon * steps_per_year)))
         dt = horizon / n_steps
         times = t0 + dt * np.arange(n_steps + 1)
+
+        if shocks is not None:
+            shocks = np.asarray(shocks, dtype=float)
+            expected = (n_steps, n_paths, spec.n_financial_drivers)
+            if shocks.shape != expected:
+                raise ValueError(
+                    f"pre-drawn shocks must have shape {expected}, got "
+                    f"{shocks.shape}"
+                )
+        if start_features is not None:
+            start_features = np.asarray(start_features, dtype=float)
+            expected_cols = spec.n_financial_drivers
+            if start_features.shape != (n_paths, expected_cols):
+                raise ValueError(
+                    f"start_features must have shape ({n_paths}, "
+                    f"{expected_cols}), got {start_features.shape}"
+                )
 
         rate = np.empty((n_paths, n_steps + 1))
         equity = [np.empty((n_paths, n_steps + 1)) for _ in spec.equities]
@@ -267,47 +334,64 @@ class ScenarioGenerator:
             np.empty((n_paths, n_steps + 1)) if spec.credit is not None else None
         )
 
-        rate[:, 0] = spec.short_rate.r0 if start is None else start.short_rate
-        for i, model in enumerate(spec.equities):
-            equity[i][:, 0] = model.spot if start is None else start.equity[i]
-        if fx is not None:
-            fx[:, 0] = (
-                spec.currency.spot
-                if start is None or start.fx is None
-                else start.fx
-            )
-        if credit is not None:
-            credit[:, 0] = (
-                spec.credit.intensity0
-                if start is None or start.credit_intensity is None
-                else start.credit_intensity
-            )
+        if start_features is not None:
+            col = 0
+            rate[:, 0] = start_features[:, col]
+            col += 1
+            for i in range(len(spec.equities)):
+                equity[i][:, 0] = start_features[:, col]
+                col += 1
+            if fx is not None:
+                fx[:, 0] = start_features[:, col]
+                col += 1
+            if credit is not None:
+                credit[:, 0] = start_features[:, col]
+                col += 1
+        else:
+            rate[:, 0] = spec.short_rate.r0 if start is None else start.short_rate
+            for i, model in enumerate(spec.equities):
+                equity[i][:, 0] = model.spot if start is None else start.equity[i]
+            if fx is not None:
+                fx[:, 0] = (
+                    spec.currency.spot
+                    if start is None or start.fx is None
+                    else start.fx
+                )
+            if credit is not None:
+                credit[:, 0] = (
+                    spec.credit.intensity0
+                    if start is None or start.credit_intensity is None
+                    else start.credit_intensity
+                )
 
         for k in range(n_steps):
-            if antithetic:
+            if shocks is not None:
+                step_shocks = shocks[k]
+            elif antithetic:
                 half = spec.correlation.sample(n_paths // 2, rng)
-                shocks = np.vstack([half, -half])
+                step_shocks = np.vstack([half, -half])
             else:
-                shocks = spec.correlation.sample(n_paths, rng)
+                step_shocks = spec.correlation.sample(n_paths, rng)
             col = 0
             rate[:, k + 1] = spec.short_rate.step(
-                rate[:, k], dt, shocks[:, col], measure=measure,
+                rate[:, k], dt, step_shocks[:, col], measure=measure,
                 t=float(times[k]),
             )
             col += 1
             for i, model in enumerate(spec.equities):
                 equity[i][:, k + 1] = model.step(
-                    equity[i][:, k], rate[:, k], dt, shocks[:, col], measure=measure
+                    equity[i][:, k], rate[:, k], dt, step_shocks[:, col],
+                    measure=measure
                 )
                 col += 1
             if fx is not None:
                 fx[:, k + 1] = spec.currency.step(
-                    fx[:, k], rate[:, k], dt, shocks[:, col], measure=measure
+                    fx[:, k], rate[:, k], dt, step_shocks[:, col], measure=measure
                 )
                 col += 1
             if credit is not None:
                 credit[:, k + 1] = spec.credit.step(
-                    credit[:, k], dt, shocks[:, col], measure=measure
+                    credit[:, k], dt, step_shocks[:, col], measure=measure
                 )
                 col += 1
 

@@ -1,0 +1,168 @@
+"""Fixture-snippet tests for the PERF rule pack (hot-path vectorization)."""
+
+import pytest
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.rules import (
+    HOT_PATH_MODULES,
+    ListAppendConversionRule,
+    LoopArrayConstructionRule,
+)
+
+#: Snippets lint as a standalone file named like a hot-path module.
+HOT = "nested.py"
+
+
+def lint(rule, source, filename=HOT):
+    return AnalysisEngine([rule]).check_source(source, filename=filename)
+
+
+class TestLoopArrayConstruction:
+    @pytest.mark.parametrize("ctor", ["asarray", "array", "zeros", "empty",
+                                      "full", "zeros_like"])
+    def test_flags_constructors_in_loop_body(self, ctor):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items):\n"
+            "    for item in items:\n"
+            f"        x = np.{ctor}(item)\n"
+        )
+        findings = lint(LoopArrayConstructionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["PERF001"]
+        assert findings[0].line == 4
+
+    def test_flags_from_import_alias(self):
+        snippet = (
+            "from numpy import asarray\n"
+            "def kernel(items):\n"
+            "    for item in items:\n"
+            "        x = asarray(item)\n"
+        )
+        assert [f.rule_id for f in lint(LoopArrayConstructionRule(), snippet)] == [
+            "PERF001"
+        ]
+
+    def test_nested_loops_report_once(self):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(rows):\n"
+            "    for row in rows:\n"
+            "        for col in row:\n"
+            "            x = np.zeros(col)\n"
+        )
+        findings = lint(LoopArrayConstructionRule(), snippet)
+        assert len(findings) == 1
+
+    def test_allows_hoisted_construction(self):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items):\n"
+            "    out = np.zeros(len(items))\n"
+            "    for i, item in enumerate(items):\n"
+            "        out[i] = item\n"
+        )
+        assert lint(LoopArrayConstructionRule(), snippet) == []
+
+    def test_allows_stacking_helpers_in_loops(self):
+        # vstack/repeat assemble batched kernels; deliberately not flagged.
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(tables, reps):\n"
+            "    for t in tables:\n"
+            "        x = np.repeat(np.vstack(t), reps, axis=0)\n"
+        )
+        assert lint(LoopArrayConstructionRule(), snippet) == []
+
+    def test_silent_outside_hot_path_modules(self):
+        snippet = (
+            "import numpy as np\n"
+            "def helper(items):\n"
+            "    for item in items:\n"
+            "        x = np.asarray(item)\n"
+        )
+        assert lint(LoopArrayConstructionRule(), snippet,
+                    filename="report.py") == []
+
+    def test_noqa(self):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items):\n"
+            "    for item in items:\n"
+            "        x = np.asarray(item)  # repro: noqa[PERF001]\n"
+        )
+        assert lint(LoopArrayConstructionRule(), snippet) == []
+
+
+class TestListAppendConversion:
+    def test_flags_append_then_convert(self):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items):\n"
+            "    rows = []\n"
+            "    for item in items:\n"
+            "        rows.append(item * 2)\n"
+            "    return np.array(rows)\n"
+        )
+        findings = lint(ListAppendConversionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["PERF002"]
+        assert findings[0].line == 5
+
+    @pytest.mark.parametrize("conversion", ["np.asarray", "np.vstack",
+                                            "np.concatenate", "np.stack"])
+    def test_flags_every_conversion_kind(self, conversion):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items):\n"
+            "    rows = []\n"
+            "    for item in items:\n"
+            "        rows.append(item)\n"
+            f"    return {conversion}(rows)\n"
+        )
+        assert [f.rule_id for f in lint(ListAppendConversionRule(), snippet)] == [
+            "PERF002"
+        ]
+
+    def test_allows_append_without_conversion(self):
+        snippet = (
+            "def collect(models):\n"
+            "    shocked = []\n"
+            "    for model in models:\n"
+            "        shocked.append(model)\n"
+            "    return shocked\n"
+        )
+        assert lint(ListAppendConversionRule(), snippet) == []
+
+    def test_allows_conversion_of_other_names(self):
+        snippet = (
+            "import numpy as np\n"
+            "def kernel(items, fixed):\n"
+            "    rows = []\n"
+            "    for item in items:\n"
+            "        rows.append(item)\n"
+            "    return np.array(fixed), rows\n"
+        )
+        assert lint(ListAppendConversionRule(), snippet) == []
+
+    def test_silent_outside_hot_path_modules(self):
+        snippet = (
+            "import numpy as np\n"
+            "def helper(items):\n"
+            "    rows = []\n"
+            "    for item in items:\n"
+            "        rows.append(item)\n"
+            "    return np.array(rows)\n"
+        )
+        assert lint(ListAppendConversionRule(), snippet,
+                    filename="report.py") == []
+
+
+class TestPackWiring:
+    def test_hot_path_registry_names_the_kernels(self):
+        assert "montecarlo.nested" in HOT_PATH_MODULES
+        assert "financial.valuation" in HOT_PATH_MODULES
+
+    def test_default_rules_include_perf_pack(self):
+        from repro.analysis.rules import default_rules
+
+        ids = {rule.rule_id for rule in default_rules()}
+        assert {"PERF001", "PERF002"} <= ids

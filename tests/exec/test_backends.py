@@ -1,0 +1,125 @@
+"""Tests for the execution-backend primitives (partitioning, seeding,
+backend construction)."""
+
+import numpy as np
+import pytest
+
+from repro.exec.backends import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedVectorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkChunk,
+    backend_from,
+    chunk_seed_sequences,
+    partition,
+)
+
+
+class TestWorkChunk:
+    def test_size_and_indices(self):
+        chunk = WorkChunk(index=2, start=10, stop=14)
+        assert chunk.size == 4
+        assert list(range(20))[chunk.indices] == [10, 11, 12, 13]
+
+    def test_rejects_empty_or_inverted_ranges(self):
+        with pytest.raises(ValueError):
+            WorkChunk(index=0, start=5, stop=5)
+        with pytest.raises(ValueError):
+            WorkChunk(index=-1, start=0, stop=1)
+
+
+class TestPartition:
+    def test_covers_range_without_overlap(self):
+        chunks = partition(103, chunk_size=16)
+        assert chunks[0].start == 0
+        assert chunks[-1].stop == 103
+        for left, right in zip(chunks, chunks[1:]):
+            assert left.stop == right.start
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_depends_only_on_items_and_chunk_size(self):
+        assert partition(100, 16) == partition(100, 16)
+
+    def test_single_chunk_when_workload_fits(self):
+        chunks = partition(10, chunk_size=64)
+        assert len(chunks) == 1
+        assert (chunks[0].start, chunks[0].stop) == (0, 10)
+
+    def test_granularity_keeps_pairs_together(self):
+        # Antithetic pairs (granularity 2) must never straddle a boundary.
+        for chunk in partition(48, chunk_size=7, granularity=2):
+            assert chunk.start % 2 == 0
+            assert chunk.size % 2 == 0 or chunk.stop == 48
+
+    def test_granularity_must_divide_items(self):
+        with pytest.raises(ValueError):
+            partition(9, chunk_size=4, granularity=2)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            partition(0)
+        with pytest.raises(ValueError):
+            partition(10, chunk_size=0)
+        with pytest.raises(ValueError):
+            partition(10, granularity=0)
+
+
+class TestChunkSeedSequences:
+    def test_keyed_by_chunk_index(self):
+        seeds_a = chunk_seed_sequences(np.random.SeedSequence(7), 5)
+        seeds_b = chunk_seed_sequences(np.random.SeedSequence(7), 5)
+        for a, b in zip(seeds_a, seeds_b):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_prefix_stable_under_chunk_count(self):
+        # Spawning more chunks must not change the earlier streams.
+        short = chunk_seed_sequences(np.random.SeedSequence(3), 2)
+        long = chunk_seed_sequences(np.random.SeedSequence(3), 6)
+        for a, b in zip(short, long):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_accepts_generators_and_ints(self):
+        from_gen = chunk_seed_sequences(np.random.default_rng(11), 3)
+        from_int = chunk_seed_sequences(11, 3)
+        for a, b in zip(from_gen, from_int):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+
+class TestBackendFrom:
+    def test_none_selects_chunked_default(self):
+        backend = backend_from(None)
+        assert isinstance(backend, ChunkedVectorBackend)
+        assert backend.chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend(chunk_size=8)
+        assert backend_from(backend) is backend
+
+    def test_spec_strings(self):
+        assert isinstance(backend_from("serial"), SerialBackend)
+        assert isinstance(backend_from("chunked"), ChunkedVectorBackend)
+        assert isinstance(backend_from("vector"), ChunkedVectorBackend)
+        assert backend_from("serial:32").chunk_size == 32
+        process = backend_from("process:3")
+        assert isinstance(process, ProcessPoolBackend)
+        assert process.effective_workers == 3
+
+    def test_rejects_unknown_specs(self):
+        with pytest.raises(ValueError):
+            backend_from("gpu")
+        with pytest.raises(ValueError):
+            backend_from("serial:many")
+
+    def test_map_preserves_payload_order(self):
+        payloads = list(range(10))
+        for backend in (SerialBackend(), ChunkedVectorBackend()):
+            assert backend.map(lambda x: x * x, payloads) == [
+                p * p for p in payloads
+            ]
+
+    def test_process_backend_single_payload_runs_inline(self):
+        # A lambda is not picklable: this only passes because one-payload
+        # maps skip the pool entirely.
+        backend = ProcessPoolBackend(max_workers=2)
+        assert backend.map(lambda x: x + 1, [41]) == [42]

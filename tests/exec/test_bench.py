@@ -1,0 +1,95 @@
+"""Tests for the perf-regression harness (``repro bench``, nested target)."""
+
+import json
+
+import pytest
+
+from repro.exec.bench import BenchReport, KernelTiming, run_nested_bench
+
+
+class TestKernelTiming:
+    def test_paths_per_second(self):
+        timing = KernelTiming(
+            kernel="nested",
+            backend="serial",
+            backend_detail="serial(chunk_size=64)",
+            wall_seconds=2.0,
+            work_units=100,
+            checksum=1.5,
+        )
+        assert timing.paths_per_second == 50.0
+        assert timing.to_dict()["speedup_vs_serial"] is None
+
+
+class TestBenchReport:
+    def _report(self):
+        report = BenchReport(config={"n_outer": 4})
+        report.timings.append(
+            KernelTiming("nested", "serial", "serial", 2.0, 8, checksum=1.25)
+        )
+        report.timings.append(
+            KernelTiming(
+                "nested", "chunked", "chunked", 0.5, 8,
+                checksum=1.25, speedup_vs_serial=4.0,
+            )
+        )
+        return report
+
+    def test_kernels_and_best_speedup(self):
+        report = self._report()
+        assert report.kernels() == ["nested"]
+        assert report.best_speedup("nested") == 4.0
+        assert report.identical_across_backends("nested")
+
+    def test_checksum_mismatch_detected(self):
+        report = self._report()
+        report.timings.append(
+            KernelTiming("nested", "process", "process", 1.0, 8, checksum=9.9)
+        )
+        assert not report.identical_across_backends("nested")
+
+    def test_json_round_trip(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["config"] == {"n_outer": 4}
+        assert payload["identical_across_backends"] == {"nested": True}
+        assert payload["best_speedup"] == {"nested": 4.0}
+
+    def test_to_text_mentions_verdict(self):
+        text = self._report().to_text()
+        assert "bit-identical" in text
+        assert "speedup" in text
+
+
+class TestRunNestedBench:
+    @pytest.fixture(scope="class")
+    def smoke_report(self):
+        return run_nested_bench(backends=("serial", "chunked"), smoke=True)
+
+    def test_times_every_kernel_on_every_backend(self, smoke_report):
+        assert smoke_report.kernels() == ["nested", "lsmc", "valuation"]
+        for kernel in smoke_report.kernels():
+            assert [t.backend for t in smoke_report.of_kernel(kernel)] == [
+                "serial", "chunked",
+            ]
+
+    def test_backends_bit_identical(self, smoke_report):
+        for kernel in smoke_report.kernels():
+            assert smoke_report.identical_across_backends(kernel)
+
+    def test_speedups_relative_to_serial(self, smoke_report):
+        for kernel in smoke_report.kernels():
+            serial, chunked = smoke_report.of_kernel(kernel)
+            assert serial.speedup_vs_serial is None
+            assert chunked.speedup_vs_serial is not None
+            assert chunked.speedup_vs_serial > 0.0
+
+    def test_write_json(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_nested.json"
+        smoke_report.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["config"]["smoke"] is True
+        assert len(payload["timings"]) == 6
+
+    def test_calibration_must_fit_outer(self):
+        with pytest.raises(ValueError):
+            run_nested_bench(n_outer=8, lsmc_calibration=16)

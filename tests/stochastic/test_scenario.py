@@ -83,6 +83,25 @@ class TestScenarioGenerator:
         # rate + 2 equities + fx + credit
         assert features.shape == (5,)
 
+    def test_terminal_features_matches_terminal_states(
+        self, scenario_generator, rng
+    ):
+        ss = scenario_generator.generate(6, 1.0, rng)
+        features = ss.terminal_features()
+        # rate + 2 equities + fx + credit, one row per path.
+        assert features.shape == (6, 5)
+        for row, state in zip(features, ss.terminal_states()):
+            np.testing.assert_array_equal(row, state.as_features())
+
+    def test_features_at_intermediate_step(self, scenario_generator, rng):
+        ss = scenario_generator.generate(3, 2.0, rng, steps_per_year=2)
+        mid = ss.features_at(2)
+        assert mid.shape == (3, 5)
+        np.testing.assert_array_equal(mid[:, 0], ss.short_rate[:, 2])
+        np.testing.assert_array_equal(
+            ss.features_at(ss.n_steps), ss.terminal_features()
+        )
+
     def test_p_equity_drifts_above_q(self, spec):
         gen = ScenarioGenerator(spec)
         p = gen.generate(4000, 1.0, np.random.default_rng(0), measure="P")

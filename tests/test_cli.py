@@ -76,3 +76,34 @@ class TestCommands:
         assert code == 0
         assert path.exists()
         assert "speedup" in path.read_text()
+
+
+class TestBenchNested:
+    def test_parser_defaults_to_nested_target(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.target == "nested"
+        assert args.backends == "serial,process,chunked"
+        assert args.outer == 256
+        assert args.json_out == "BENCH_nested.json"
+        assert not args.smoke
+
+    def test_smoke_run_writes_json_report(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "bench.json"
+        code = main([
+            "bench", "nested", "--smoke",
+            "--backends", "serial,chunked",
+            "--json-out", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["identical_across_backends"] == {
+            "nested": True, "lsmc": True, "valuation": True,
+        }
+
+    def test_empty_backend_list_rejected(self, capsys):
+        code = main(["bench", "nested", "--smoke", "--backends", " , "])
+        assert code == 2
