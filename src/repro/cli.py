@@ -11,7 +11,9 @@ Installs as the ``repro`` console command with four subcommands:
 - ``repro kb`` — build an experiment knowledge base and save it (JSON
   and/or Weka ARFF);
 - ``repro lint`` — run the AST-based determinism & consistency linter
-  (:mod:`repro.analysis`) over source trees.
+  (:mod:`repro.analysis`) over source trees;
+- ``repro chaos`` — replay a seeded fault schedule against a campaign
+  and assert the recovered SCR is bit-identical to the fault-free run.
 
 Every simulation subcommand is deterministic under ``--seed``.
 """
@@ -120,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule id and exit",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject a seeded fault schedule and assert bit-identical "
+             "SCR recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="schedule + campaign seed (default 7)")
+    chaos.add_argument("--units", type=int, default=3,
+                       help="computing units / SPMD ranks (default 3)")
+    chaos.add_argument("--blocks", type=int, default=4,
+                       help="type-B EEBs in the campaign (default 4)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="tiny Monte Carlo sizes (CI smoke run)")
+    chaos.add_argument("--max-retries", type=int, default=3,
+                       help="retry rounds per failed dispatch (default 3)")
+    chaos.add_argument("--spmd-timeout", type=float, default=5.0,
+                       help="per-dispatch timeout, seconds (default 5)")
     return parser
 
 
@@ -279,6 +299,103 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _report_checksum(report) -> str:
+    """SHA-256 over every numeric output of an elaboration report.
+
+    Hashes the raw float64 bytes (not a repr), so two runs match only
+    when they are bit-identical.
+    """
+    import hashlib
+
+    import numpy as np
+
+    digest = hashlib.sha256()
+    for eeb_id in sorted(report.alm_results):
+        result = report.alm_results[eeb_id]
+        digest.update(eeb_id.encode())
+        digest.update(np.float64(result.base_value).tobytes())
+        digest.update(np.float64(result.scr_report.scr).tobytes())
+        digest.update(np.ascontiguousarray(result.outer_values).tobytes())
+    for eeb_id in sorted(report.actuarial_results):
+        digest.update(eeb_id.encode())
+    return digest.hexdigest()[:16]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.disar import SimulationSettings
+    from repro.disar.master import DisarMasterService
+    from repro.faults import FaultInjector, FaultSchedule
+    from repro.workload import CampaignGenerator
+
+    if args.units < 2:
+        print("repro chaos: --units must be >= 2 (SPMD needs peers)",
+              file=sys.stderr)
+        return 2
+    if args.quick:
+        settings = SimulationSettings(
+            n_outer=40, n_inner=8, lsmc_outer_calibration=15, steps_per_year=2
+        )
+    else:
+        settings = SimulationSettings(
+            n_outer=120, n_inner=16, lsmc_outer_calibration=40
+        )
+    campaign = CampaignGenerator(seed=args.seed).paper_campaign(
+        n_portfolios=2, n_eebs=args.blocks, settings=settings
+    )
+    blocks = campaign.blocks
+
+    def run(schedule: FaultSchedule | None):
+        injector = FaultInjector(schedule) if schedule is not None else None
+        report = DisarMasterService().execute(
+            blocks,
+            n_units=args.units,
+            distribute_alm=True,
+            max_retries=args.max_retries if schedule is not None else 0,
+            spmd_timeout=args.spmd_timeout,
+            injector=injector,
+        )
+        return report, injector
+
+    print(f"campaign: {len(blocks)} blocks on {args.units} units, "
+          f"seed {args.seed}")
+    baseline, _ = run(None)
+    checksum_base = _report_checksum(baseline)
+    print(f"fault-free : SCR {baseline.total_scr:,.2f}  "
+          f"checksum {checksum_base}")
+
+    schedule = FaultSchedule.generate(args.seed, size=args.units)
+    print(f"\n{schedule.describe()}")
+    print(f"schedule checksum: {schedule.checksum()}\n")
+
+    faulted, injector = run(schedule)
+    checksum_fault = _report_checksum(faulted)
+    assert injector is not None
+    print(f"faulted    : SCR {faulted.total_scr:,.2f}  "
+          f"checksum {checksum_fault}  ({injector.summary()})")
+
+    replayed, _ = run(schedule)
+    checksum_replay = _report_checksum(replayed)
+    print(f"replayed   : SCR {replayed.total_scr:,.2f}  "
+          f"checksum {checksum_replay}")
+
+    failures = []
+    if checksum_fault != checksum_base:
+        failures.append("recovered run is NOT bit-identical to fault-free")
+    if checksum_replay != checksum_fault:
+        failures.append("replay is NOT bit-identical to the first faulted run")
+    if injector.n_fired == 0:
+        failures.append("no fault fired — schedule never matched the run")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {injector.n_fired} fault(s) injected, "
+          f"{faulted.recovered_failures} dispatch(es) recovered over "
+          f"{faulted.rounds} round(s); SCR bit-identical to fault-free run "
+          f"and across replays.")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro`` console command."""
     args = build_parser().parse_args(argv)
@@ -288,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "kb": _cmd_kb,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

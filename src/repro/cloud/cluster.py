@@ -22,6 +22,8 @@ from repro.cloud.pricing import BillingRecord
 from repro.cloud.provider import SimulatedEC2, SimulatedInstance
 from repro.disar.eeb import ElementaryElaborationBlock
 from repro.disar.master import DisarMasterService, ElaborationReport
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 
 __all__ = [
     "ClusterHandle",
@@ -56,10 +58,25 @@ class CloudRunResult:
     execution_seconds: float
     billing: BillingRecord
     report: ElaborationReport | None = None
+    #: Faults that hit this run (spot terminations at the cloud layer
+    #: plus recovered dispatch failures inside the campaign).
+    n_faults: int = 0
+    #: Bills of VMs reclaimed mid-run (spot terminations).
+    extra_billing: list[BillingRecord] = field(default_factory=list)
 
     @property
     def cost_usd(self) -> float:
-        return self.billing.cost_usd
+        return float(
+            self.billing.cost_usd
+            + sum(record.cost_usd for record in self.extra_billing)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run survived faults (timing is not nominal)."""
+        if self.n_faults > 0:
+            return True
+        return self.report is not None and self.report.degraded
 
 
 @dataclass
@@ -95,11 +112,16 @@ class StarClusterManager:
         return handle
 
     def terminate_cluster(self, handle: ClusterHandle) -> BillingRecord:
-        """Tear the cluster down and bill its usage."""
+        """Tear the cluster down and bill its usage.
+
+        Instances already reclaimed mid-run (spot terminations) were
+        billed at reclaim time; only the survivors are terminated here.
+        """
         if handle.name not in self._clusters:
             raise ValueError(f"unknown or already-terminated cluster {handle.name!r}")
         del self._clusters[handle.name]
-        return self.provider.terminate(handle.instances)
+        running = [i for i in handle.instances if i.is_running]
+        return self.provider.terminate(running)
 
     def active_clusters(self) -> list[ClusterHandle]:
         return list(self._clusters.values())
@@ -111,8 +133,11 @@ class StarClusterManager:
         handle: ClusterHandle,
         blocks: list[ElementaryElaborationBlock],
         compute_results: bool = False,
-    ) -> tuple[float, ElaborationReport | None]:
-        """Run ``blocks`` on the cluster; returns ``(seconds, report)``.
+        faults: FaultSchedule | None = None,
+        max_retries: int = 3,
+        spmd_timeout: float = 5.0,
+    ) -> tuple[float, ElaborationReport | None, int]:
+        """Run ``blocks``; returns ``(seconds, report, n_faults)``.
 
         The wall-clock time comes from the performance model (noisy,
         like a real measurement) and advances the provider clock.  With
@@ -120,25 +145,68 @@ class StarClusterManager:
         produced by running the message-passing engines locally — the
         simulated time remains the performance-model one, since host
         Python speed is not representative of the modelled C++ engines.
+
+        ``faults`` injects cloud misbehaviour.  Spot terminations are
+        staged against the simulated timeline: the run proceeds to the
+        event's ``at_fraction`` of the current segment, the victim VM is
+        reclaimed (and billed), and the remaining work is re-measured on
+        the survivors — so timing and cost degrade but, thanks to the
+        chunk-level bit-identity contract, the numerical results are
+        unchanged.  At least one VM always survives.  Comm-level events
+        (crashes, drops, delays, slow nodes) are injected into the
+        DISAR engines when ``compute_results=True``, recovered by the
+        master's retry logic (``max_retries``).
         """
         if handle.name not in self._clusters:
             raise ValueError(f"cluster {handle.name!r} is not active")
         if not blocks:
             raise ValueError("no blocks to run")
         work = self.performance.campaign_units(blocks)
-        seconds = self.performance.measured_seconds(
-            work, handle.instance_type, handle.n_nodes, self._rng
+        n_faults = 0
+        spot_events = faults.spot_terminations() if faults is not None else ()
+        remaining_work = work
+        elapsed = 0.0
+        for spot in spot_events:
+            alive = [i for i in handle.instances if i.is_running]
+            if len(alive) <= 1:
+                break
+            segment = self.performance.measured_seconds(
+                remaining_work, handle.instance_type, len(alive), self._rng
+            )
+            self.provider.clock.advance(spot.at_fraction * segment)
+            elapsed += spot.at_fraction * segment
+            remaining_work *= 1.0 - spot.at_fraction
+            victim = alive[spot.node_index % len(alive)]
+            self.provider.terminate([victim])
+            n_faults += 1
+        alive_n = len([i for i in handle.instances if i.is_running])
+        final = self.performance.measured_seconds(
+            remaining_work, handle.instance_type, alive_n, self._rng
         )
-        self.provider.clock.advance(seconds)
+        self.provider.clock.advance(final)
+        seconds = elapsed + final
         report = None
         if compute_results:
+            injector = None
+            retries = 0
+            timeout = 60.0
+            if faults is not None and len(faults.events) > len(spot_events):
+                injector = FaultInjector(faults)
+                retries = max_retries
+                # Dropped messages only resolve via recv timeout; keep
+                # it short so recovery, not the timeout, dominates.
+                timeout = spmd_timeout
             master = DisarMasterService()
             report = master.execute(
                 blocks,
-                n_units=min(handle.n_nodes, 8),
+                n_units=min(alive_n, 8),
                 distribute_alm=handle.n_nodes > 1,
+                max_retries=retries,
+                spmd_timeout=timeout,
+                injector=injector,
             )
-        return seconds, report
+            n_faults += report.recovered_failures
+        return seconds, report, n_faults
 
     def run_campaign(
         self,
@@ -146,15 +214,28 @@ class StarClusterManager:
         n_nodes: int,
         blocks: list[ElementaryElaborationBlock],
         compute_results: bool = False,
+        faults: FaultSchedule | None = None,
+        max_retries: int = 3,
     ) -> CloudRunResult:
-        """Full lifecycle: start cluster, run ``blocks``, terminate, bill."""
+        """Full lifecycle: start cluster, run ``blocks``, terminate, bill.
+
+        ``faults`` stages a deterministic fault schedule against the run;
+        see :meth:`run_blocks`.
+        """
         handle = self.start_cluster(instance_type, n_nodes)
+        ledger_mark = len(self.provider.ledger())
         try:
-            seconds, report = self.run_blocks(
-                handle, blocks, compute_results=compute_results
+            seconds, report, n_faults = self.run_blocks(
+                handle,
+                blocks,
+                compute_results=compute_results,
+                faults=faults,
+                max_retries=max_retries,
             )
         finally:
             billing = self.terminate_cluster(handle)
+        # Bills appended between the marks are mid-run spot reclaims.
+        extra_billing = self.provider.ledger()[ledger_mark:-1]
         return CloudRunResult(
             cluster_name=handle.name,
             instance_type=instance_type,
@@ -163,6 +244,8 @@ class StarClusterManager:
             execution_seconds=seconds,
             billing=billing,
             report=report,
+            n_faults=n_faults,
+            extra_billing=extra_billing,
         )
 
     def run_campaign_mixed(

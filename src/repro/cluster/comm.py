@@ -9,16 +9,27 @@ small MPI implementations do.
 The communicator is deliberately synchronous (``send`` enqueues and
 returns, ``recv`` blocks), matching the blocking MPI primitives DISAR's
 scatter/gather phases need.  A global timeout converts deadlocks into
-:class:`MessagePassingError` instead of hanging the test suite.
+:class:`MessagePassingError` instead of hanging the test suite — both at
+the ``run_spmd`` join and inside ``recv`` itself, so a rank waiting on a
+message that will never arrive (dropped, or its sender crashed) fails
+fast instead of pinning its thread.
+
+Fault injection: ``run_spmd`` optionally takes a
+:class:`~repro.faults.injector.FaultInjector`-shaped object (anything
+matching :class:`FaultHooks`).  Every communication op consults it —
+crashes surface as exceptions in the owning rank, drops silently discard
+the message, delays hold it back, slow-node latency stretches ops — so
+deterministic chaos schedules replay against unmodified rank functions.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Sequence
+import time
+from typing import Any, Callable, Protocol, Sequence
 
-__all__ = ["Communicator", "MessagePassingError", "run_spmd"]
+__all__ = ["Communicator", "FaultHooks", "MessagePassingError", "run_spmd"]
 
 #: Matches any source rank in :meth:`Communicator.recv`.
 ANY_SOURCE = -1
@@ -28,12 +39,36 @@ class MessagePassingError(RuntimeError):
     """A rank misused the API, timed out, or a peer rank failed."""
 
 
+class FaultHooks(Protocol):
+    """What ``run_spmd`` needs from a fault injector.
+
+    Structural typing keeps this module free of a dependency on
+    :mod:`repro.faults`; the canonical implementation is
+    :class:`repro.faults.injector.FaultInjector`.
+    """
+
+    def begin_attempt(self) -> None:
+        """Reset per-attempt logical counters."""
+
+    def on_op(self, rank: int) -> float:
+        """Account one op for ``rank``; return extra latency, may raise."""
+
+    def on_send(self, source: int, dest: int) -> tuple[bool, float]:
+        """Account one message; return ``(drop, delay_seconds)``."""
+
+
 class _SharedState:
     """State shared by all ranks of one SPMD run."""
 
-    def __init__(self, size: int, timeout: float) -> None:
+    def __init__(
+        self,
+        size: int,
+        timeout: float,
+        injector: FaultHooks | None = None,
+    ) -> None:
         self.size = size
         self.timeout = timeout
+        self.injector = injector
         self.mailboxes = [queue.Queue() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self.failure = threading.Event()
@@ -65,30 +100,76 @@ class Communicator:
                 f"communicator has {self.size} ranks"
             )
 
+    def _op_hook(self) -> None:
+        """Consult the fault injector before a communication op.
+
+        A scheduled crash propagates out of the op as the injector's own
+        exception type; slow-node latency is paid here.
+        """
+        injector = self._shared.injector
+        if injector is None:
+            return
+        delay = injector.on_op(self._rank)
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def checkpoint(self) -> None:
+        """Fault-injection / liveness point for compute-heavy phases.
+
+        Workers call this between elaboration blocks so scheduled
+        crashes can fire at deterministic block boundaries even when the
+        phase performs no message passing.  Also fails fast if a peer
+        rank already died.  A no-op without an injector or failure.
+        """
+        if self._shared.failure.is_set():
+            raise MessagePassingError(
+                f"rank {self._rank}: a peer rank failed during the run"
+            )
+        self._op_hook()
+
     # -- point to point -----------------------------------------------------
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Send ``payload`` to rank ``dest`` (non-blocking enqueue)."""
         self._check_peer(dest, "send to")
+        self._op_hook()
+        injector = self._shared.injector
+        if injector is not None:
+            drop, delay = injector.on_send(self._rank, dest)
+            if drop:
+                return
+            if delay > 0.0:
+                # Holding the sender (not the mailbox) keeps per-source
+                # FIFO ordering intact while still delaying delivery.
+                time.sleep(delay)
         self._shared.mailboxes[dest].put((self._rank, tag, payload))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
         """Receive the next message matching ``(source, tag)``; blocks.
 
         ``source=ANY_SOURCE`` matches any sender.  Raises
-        :class:`MessagePassingError` on timeout (deadlock guard) or when
-        a peer rank has already failed.
+        :class:`MessagePassingError` on timeout (deadlock guard, bounded
+        by the run's ``timeout``) or when a peer rank has already
+        failed.
         """
         if source != ANY_SOURCE:
             self._check_peer(source, "receive from")
+        self._op_hook()
         for i, (src, msg_tag, payload) in enumerate(self._pending):
             if (source in (ANY_SOURCE, src)) and msg_tag == tag:
                 del self._pending[i]
                 return payload
+        deadline = time.perf_counter() + self._shared.timeout
         while True:
             if self._shared.failure.is_set():
                 raise MessagePassingError(
                     f"rank {self._rank}: a peer rank failed during the run"
+                )
+            if time.perf_counter() >= deadline:
+                raise MessagePassingError(
+                    f"rank {self._rank}: recv timed out after "
+                    f"{self._shared.timeout}s waiting for "
+                    f"(source={source}, tag={tag}) — deadlock or lost message"
                 )
             try:
                 src, msg_tag, payload = self._shared.mailboxes[self._rank].get(
@@ -104,6 +185,7 @@ class Communicator:
 
     def barrier(self) -> None:
         """Block until every rank has entered the barrier."""
+        self._op_hook()
         try:
             self._shared.barrier.wait(timeout=self._shared.timeout)
         except threading.BrokenBarrierError as exc:
@@ -188,21 +270,34 @@ class Communicator:
         return f"Communicator(rank={self._rank}, size={self.size})"
 
 
+#: Extra seconds granted to stuck ranks to observe the failure flag and
+#: unwind before ``run_spmd`` gives up on joining them.
+_JOIN_GRACE_SECONDS = 2.0
+
+
 def run_spmd(
     size: int,
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 60.0,
+    injector: FaultHooks | None = None,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
 
     Any exception in a rank aborts the whole run (other ranks' blocking
     calls raise :class:`MessagePassingError`) and the first failure is
-    re-raised in the caller.
+    re-raised in the caller.  Before raising, stuck ranks are given a
+    short grace period to observe the failure flag and unwind, so a
+    failed run does not leak rank threads.
+
+    ``injector`` starts a new fault-injection attempt for this run; see
+    :class:`FaultHooks`.
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
-    shared = _SharedState(size, timeout)
+    if injector is not None:
+        injector.begin_attempt()
+    shared = _SharedState(size, timeout, injector=injector)
     results: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -223,16 +318,44 @@ def run_spmd(
     ]
     for thread in threads:
         thread.start()
+    # Join slightly past the comm timeout: a rank blocked in recv hits
+    # its own deadline first and reports the precise (source, tag) it
+    # was waiting for, instead of the joiner masking that with a generic
+    # deadlock error.
+    deadline = time.perf_counter() + timeout + max(1.0, 0.1 * timeout)
+    stuck: list[threading.Thread] = []
     for thread in threads:
-        thread.join(timeout=timeout)
+        remaining = max(0.0, deadline - time.perf_counter())
+        thread.join(timeout=remaining)
         if thread.is_alive():
-            shared.failure.set()
-            shared.barrier.abort()
+            stuck.append(thread)
+    if stuck:
+        # Wake everything still blocked (recv polls the failure flag at
+        # least every 0.1s; the barrier abort releases waiters) and give
+        # the ranks a moment to unwind so no threads outlive the call.
+        shared.failure.set()
+        shared.barrier.abort()
+        grace = time.perf_counter() + _JOIN_GRACE_SECONDS
+        for thread in stuck:
+            thread.join(timeout=max(0.0, grace - time.perf_counter()))
+        leaked = [thread.name for thread in stuck if thread.is_alive()]
+        if leaked or not errors:
+            detail = f"; leaked threads: {leaked}" if leaked else ""
             raise MessagePassingError(
-                f"{thread.name} did not finish within {timeout}s (deadlock?)"
+                f"{stuck[0].name} did not finish within {timeout}s "
+                f"(deadlock?){detail}"
             )
+        # Every stuck rank unwound with an error during the grace
+        # period; fall through so its own failure is re-raised.
     if errors:
-        rank, exc = min(errors, key=lambda pair: pair[0])
+        # Prefer the root cause: a rank's own exception over the
+        # secondary MessagePassingErrors its peers observed while
+        # being woken up by the failure propagation.
+        originals = [
+            pair for pair in errors
+            if not isinstance(pair[1], MessagePassingError)
+        ]
+        rank, exc = min(originals or errors, key=lambda pair: pair[0])
         if isinstance(exc, MessagePassingError):
             raise exc
         raise MessagePassingError(f"rank {rank} failed: {exc!r}") from exc

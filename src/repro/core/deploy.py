@@ -31,6 +31,7 @@ from repro.core.predictor import PredictorFamily
 from repro.core.selection import ConfigurationSelector, DeployChoice
 from repro.disar.eeb import CharacteristicParameters, ElementaryElaborationBlock
 from repro.disar.master import ElaborationReport
+from repro.faults.schedule import FaultSchedule
 from repro.ml.base import FloatArray
 from repro.stochastic.rng import generator_from
 
@@ -51,6 +52,10 @@ class DeployOutcome:
     report: ElaborationReport | None
     knowledge_base_size: int
     bootstrap: bool
+    #: The run needed fault recovery (spot reclaim or retried
+    #: dispatches); its timing sample is flagged in the knowledge base.
+    degraded: bool = False
+    n_faults: int = 0
 
     @property
     def deadline_met(self) -> bool:
@@ -64,13 +69,16 @@ class DeployOutcome:
     def describe(self) -> str:
         mode = "bootstrap" if self.bootstrap else "ML-selected"
         status = "met" if self.deadline_met else "VIOLATED"
-        return (
+        text = (
             f"[{mode}] {self.choice.n_nodes} x "
             f"{self.choice.instance_type.api_name}: measured "
             f"{self.measured_seconds:,.0f}s (predicted "
             f"{self.choice.predicted_seconds:,.0f}s), cost "
             f"${self.cost_usd:.3f}, deadline {status}"
         )
+        if self.degraded:
+            text += f", degraded ({self.n_faults} fault(s) recovered)"
+        return text
 
 
 class TransparentDeploySystem:
@@ -188,11 +196,16 @@ class TransparentDeploySystem:
         tmax_seconds: float,
         compute_results: bool = False,
         force: DeployChoice | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ) -> DeployOutcome:
         """Deploy and run one simulation campaign transparently.
 
         ``force`` overrides the configuration choice (manual training,
         or the paper's closing forced-configuration comparison).
+        ``fault_schedule`` injects deterministic faults into the cloud
+        run (spot reclaims, rank crashes, message loss); recovered runs
+        are stored in the knowledge base with the ``degraded`` flag so
+        the planner knows their timing is not a clean sample.
         """
         if tmax_seconds <= 0:
             raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
@@ -204,6 +217,7 @@ class TransparentDeploySystem:
             choice.n_nodes,
             blocks,
             compute_results=compute_results,
+            faults=fault_schedule,
         )
 
         record = RunRecord(
@@ -214,6 +228,7 @@ class TransparentDeploySystem:
             cost_usd=result.cost_usd,
             predicted_seconds=choice.predicted_seconds,
             virtual_timestamp=self.manager.provider.clock.now,
+            degraded=result.degraded,
         )
         self.knowledge_base.add(record)
 
@@ -229,6 +244,8 @@ class TransparentDeploySystem:
             report=result.report,
             knowledge_base_size=len(self.knowledge_base),
             bootstrap=bootstrap,
+            degraded=result.degraded,
+            n_faults=result.n_faults,
         )
         self._history.append(outcome)
         return outcome

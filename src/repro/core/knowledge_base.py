@@ -43,6 +43,10 @@ class RunRecord:
     cost_usd: float = float("nan")
     predicted_seconds: float = float("nan")
     virtual_timestamp: float = 0.0
+    #: The run survived faults (spot reclaim, retried dispatches); its
+    #: timing is *not* a clean sample of the configuration's speed, and
+    #: the planner can weight or filter such rows when training.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -104,6 +108,7 @@ class KnowledgeBase:
                 "cost_usd": record.cost_usd,
                 "predicted_seconds": record.predicted_seconds,
                 "virtual_timestamp": record.virtual_timestamp,
+                "degraded": record.degraded,
             },
         )
 
@@ -174,6 +179,7 @@ class KnowledgeBase:
             cost_usd=row.get("cost_usd", float("nan")),
             predicted_seconds=row.get("predicted_seconds", float("nan")),
             virtual_timestamp=row.get("virtual_timestamp", 0.0),
+            degraded=bool(row.get("degraded", False)),
         )
 
     def training_matrices(self) -> tuple[FloatArray, FloatArray]:
@@ -199,6 +205,10 @@ class KnowledgeBase:
                 )
             targets[i] = row["execution_seconds"]
         return features, targets
+
+    def degraded_count(self) -> int:
+        """Structured runs flagged as degraded by fault recovery."""
+        return sum(record.degraded for record in self.records())
 
     def per_instance_counts(self) -> dict[str, int]:
         """Sample counts per instance type (coverage diagnostics)."""

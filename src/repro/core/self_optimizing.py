@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.deploy import DeployOutcome, TransparentDeploySystem
 from repro.disar.eeb import ElementaryElaborationBlock
+from repro.faults.schedule import FaultSchedule
 from repro.ml.base import FloatArray
 
 __all__ = ["SelfOptimizingLoop", "LoopReport"]
@@ -38,6 +39,11 @@ class LoopReport:
     @property
     def n_bootstrap(self) -> int:
         return sum(outcome.bootstrap for outcome in self.outcomes)
+
+    @property
+    def n_degraded(self) -> int:
+        """Runs that needed fault recovery along the way."""
+        return sum(outcome.degraded for outcome in self.outcomes)
 
     def total_cost(self) -> float:
         return float(sum(outcome.cost_usd for outcome in self.outcomes))
@@ -100,18 +106,31 @@ class SelfOptimizingLoop:
         workloads: list[list[ElementaryElaborationBlock]],
         tmax_seconds: float,
         compute_results: bool = False,
+        fault_schedules: list[FaultSchedule | None] | None = None,
     ) -> LoopReport:
         """Execute every workload in sequence, retraining as configured.
 
         ``workloads`` is a list of campaigns (each a list of type-B
         EEBs); ``tmax_seconds`` applies to each campaign individually.
+        ``fault_schedules`` optionally aligns one fault schedule (or
+        ``None`` for a fault-free run) with each workload.
         """
         if not workloads:
             raise ValueError("no workloads to run")
+        if fault_schedules is not None and len(fault_schedules) != len(workloads):
+            raise ValueError(
+                f"fault_schedules must align with workloads: "
+                f"{len(fault_schedules)} != {len(workloads)}"
+            )
         report = LoopReport()
-        for blocks in workloads:
+        for i, blocks in enumerate(workloads):
             outcome = self.deploy_system.run_simulation(
-                blocks, tmax_seconds, compute_results=compute_results
+                blocks,
+                tmax_seconds,
+                compute_results=compute_results,
+                fault_schedule=(
+                    fault_schedules[i] if fault_schedules is not None else None
+                ),
             )
             report.outcomes.append(outcome)
         return report

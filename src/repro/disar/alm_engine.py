@@ -5,13 +5,17 @@ paper deploys on the cloud.  The engine supports two execution modes:
 
 - **sequential** (:meth:`ALMEngine.process`): the full nested / LSMC
   valuation in the calling thread;
-- **distributed** (:meth:`ALMEngine.process_distributed`): the outer
-  real-world scenarios are partitioned across the ranks of a
-  :class:`repro.cluster.Communicator`; every rank values its own slice
-  locally and only the per-scenario values travel back to rank 0, which
-  aggregates them into the SCR figures.  This is exactly the paper's
-  data-separation scheme: the database never leaves the master, the
-  worker nodes only ever see anonymised simulation inputs.
+- **distributed** (:meth:`ALMEngine.process_distributed`): the inner
+  Monte Carlo work is partitioned into the same deterministic chunks
+  the :mod:`repro.exec` backends use, the chunks are spread round-robin
+  across the ranks of a :class:`repro.cluster.Communicator`, and each
+  rank executes its share through its own backend (the chunked-vector
+  kernels by default).  Only per-chunk values travel back to rank 0,
+  which reassembles them in chunk order — so the distributed result is
+  **bit-identical** to the sequential one at the same seed, for any
+  rank count.  This is the paper's data-separation scheme: the database
+  never leaves the master, the worker nodes only ever see anonymised
+  simulation inputs.
 """
 
 from __future__ import annotations
@@ -22,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.comm import Communicator
-from repro.cluster.partition import chunk_sizes
 from repro.disar.eeb import EEBType, ElementaryElaborationBlock
 from repro.montecarlo.lsmc import LSMCEngine
 from repro.montecarlo.nested import NestedMonteCarloEngine
@@ -120,72 +123,60 @@ class ALMEngine:
     ) -> ALMResult | None:
         """Distributed valuation across the ranks of ``comm``.
 
-        Rank 0 acts as the local coordinator: it broadcasts the block,
-        every rank values its slice of the outer scenarios (seeded
-        disjointly), and rank 0 gathers the per-scenario values and
-        produces the SCR report.  Returns the :class:`ALMResult` on rank
-        0 and ``None`` on the other ranks.
+        Each rank builds its own engine, runs the block's Monte Carlo
+        through
+        :meth:`~repro.montecarlo.lsmc.LSMCEngine.run_distributed` /
+        :meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.run_distributed`
+        (round-robin chunk ownership, per-rank :mod:`repro.exec`
+        backends) and rank 0 derives the SCR figures from the
+        reassembled result.  Because the distributed runs are bit-equal
+        to their sequential counterparts at the block's seed, the
+        :class:`ALMResult` this returns on rank 0 is **bit-identical**
+        to :meth:`process` for any rank count.  Returns ``None`` on the
+        other ranks.
         """
         self._check_type(eeb)
         start = time.perf_counter()
         settings = eeb.settings
-        sizes = chunk_sizes(settings.n_outer, comm.size)
-        local_n = sizes[comm.rank]
-
         engine = self._build_engine(eeb)
-        local_values = np.empty(0)
-        local_discount = np.empty(0)
         if settings.use_lsmc:
-            # Every rank calibrates the same proxy from the shared seed
-            # (deterministic, so no coefficient broadcast is needed),
-            # then evaluates its own slice of outer scenarios.
             lsmc = LSMCEngine(engine, degree=settings.lsmc_degree)
-            basis, coefficients, calibration = lsmc.calibrate(
-                settings.lsmc_outer_calibration, settings.n_inner,
+            result = lsmc.run_distributed(
+                comm,
+                n_outer=settings.n_outer,
+                n_outer_cal=settings.lsmc_outer_calibration,
+                n_inner_cal=settings.n_inner,
                 rng=settings.seed,
+                steps_per_year=settings.steps_per_year,
             )
-            base_value = calibration.base_value
-            base_assets = calibration.base_assets
-            if local_n > 0:
-                outer = engine._generator.generate(
-                    local_n,
-                    1.0,
-                    np.random.default_rng((settings.seed, comm.rank, 0xA1)),
-                    steps_per_year=settings.steps_per_year,
-                    measure="P",
-                )
-                features = LSMCEngine.state_features(outer.terminal_features())
-                local_values = basis.transform(features) @ coefficients
-                local_discount = outer.discount_factors()[:, -1]
+            if comm.rank != 0 or result is None:
+                return None
+            base_value = result.calibration.base_value
+            outer_values = result.outer_values
+            # Liability-side loss: discounted conditional value V1 in
+            # excess of the time-0 value V0 (same formula as process()).
+            losses = outer_values * float(
+                np.mean(result.calibration.outer_discount)
+            ) - base_value
+            report = self._scr.from_losses(
+                losses,
+                base_value=base_value,
+                base_own_funds=result.calibration.base_assets - base_value,
+                n_inner=settings.n_inner,
+            )
         else:
-            if local_n > 0:
-                nested = engine.run(
-                    n_outer=local_n,
-                    n_inner=settings.n_inner,
-                    rng=np.random.default_rng((settings.seed, comm.rank, 0xB2)),
-                    steps_per_year=settings.steps_per_year,
-                )
-                local_values = nested.outer_values
-                local_discount = nested.outer_discount
-            base_value = engine.value_at_zero(
-                settings.n_inner, rng=np.random.default_rng((settings.seed, 0xC3))
+            nested = engine.run_distributed(
+                comm,
+                n_outer=settings.n_outer,
+                n_inner=settings.n_inner,
+                rng=settings.seed,
+                steps_per_year=settings.steps_per_year,
             )
-            base_assets = 1.05 * base_value
-
-        gathered_values = comm.gather(local_values, root=0)
-        gathered_discount = comm.gather(local_discount, root=0)
-        if comm.rank != 0:
-            return None
-
-        outer_values = np.concatenate([v for v in gathered_values if v.size])
-        discounts = np.concatenate([d for d in gathered_discount if d.size])
-        losses = outer_values * float(discounts.mean()) - base_value
-        report = self._scr.from_losses(
-            losses,
-            base_value=base_value,
-            base_own_funds=base_assets - base_value,
-            n_inner=settings.n_inner,
-        )
+            if comm.rank != 0 or nested is None:
+                return None
+            base_value = nested.base_value
+            outer_values = nested.outer_values
+            report = self._scr.from_nested(nested)
         return ALMResult(
             eeb_id=eeb.eeb_id,
             base_value=base_value,

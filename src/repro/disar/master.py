@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster.comm import Communicator, run_spmd
+from repro.cluster.comm import (
+    Communicator,
+    FaultHooks,
+    MessagePassingError,
+    run_spmd,
+)
 from repro.disar.actuarial_engine import ActuarialResult
 from repro.disar.alm_engine import ALMResult
 from repro.disar.database import DisarDatabase
@@ -46,6 +51,15 @@ class ElaborationReport:
     schedule: dict[int, list[str]]
     elapsed_seconds: float
     n_units: int
+    #: Dispatch rounds the campaign needed (1 on the happy path).
+    rounds: int = 1
+    #: Block dispatches lost to a failure and re-queued for another round.
+    recovered_failures: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the campaign needed fault recovery to complete."""
+        return self.recovered_failures > 0
 
     @property
     def total_scr(self) -> float:
@@ -67,6 +81,11 @@ class ElaborationReport:
             f"  total V0     : {self.total_base_value:,.0f}",
             f"  total SCR    : {self.total_scr:,.0f}",
         ]
+        if self.degraded:
+            lines.append(
+                f"  degraded     : {self.recovered_failures} dispatch(es) "
+                f"recovered over {self.rounds} round(s)"
+            )
         return "\n".join(lines)
 
 
@@ -183,6 +202,9 @@ class DisarMasterService:
         distribute_alm: bool = False,
         monitor: "ProgressMonitor | None" = None,
         max_retries: int = 0,
+        retry_backoff_seconds: float = 0.0,
+        spmd_timeout: float = 60.0,
+        injector: FaultHooks | None = None,
     ) -> ElaborationReport:
         """Run an elaboration campaign on ``n_units`` computing units.
 
@@ -196,13 +218,24 @@ class DisarMasterService:
           used on the cloud, where every VM runs part of the Monte Carlo
           of the same block).
 
-        ``max_retries > 0`` turns on fault tolerance in the grid
-        regime: a failing block does not abort the campaign; the master
-        reschedules the failed blocks (up to ``max_retries`` extra
-        rounds) across the units, mirroring how DiMaS "monitors the
-        process" and recovers from flaky cloud nodes.  Blocks that keep
-        failing are reported missing from the results rather than
-        raised.
+        ``max_retries > 0`` turns on fault tolerance: a failing block —
+        or a whole dispatch round lost to a rank crash, dropped message
+        or timeout — does not abort the campaign.  In the grid regime
+        the master re-schedules every unfinished block (straggler
+        re-dispatch) for up to ``max_retries`` extra rounds; in the
+        distributed regime each type-B block gets up to ``max_retries``
+        fresh SPMD attempts.  ``retry_backoff_seconds`` adds a linear
+        backoff between attempts, and ``spmd_timeout`` bounds each
+        dispatch (per round in the grid regime, per EEB in the
+        distributed one), so hung ranks convert to retriable failures.
+        Blocks that keep failing are reported missing from the results
+        rather than raised (grid) or re-raise the last error
+        (distributed).
+
+        ``injector`` threads a fault-injection schedule into every SPMD
+        dispatch; because injected events fire at most once, a retried
+        attempt runs clean and the recovered campaign is bit-identical
+        to a fault-free one.
         """
         start = time.perf_counter()
         type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
@@ -213,6 +246,8 @@ class DisarMasterService:
         actuarial_results: dict[str, ActuarialResult] = {}
         alm_results: dict[str, ALMResult] = {}
         schedule_view: dict[int, list[str]] = {}
+        rounds = 1
+        recovered = 0
 
         if distribute_alm and n_units > 1:
             # Type-A blocks are cheap: run them on the master.
@@ -224,7 +259,27 @@ class DisarMasterService:
                                    service.timing_log()[-1][2])
             schedule_view = {unit: [] for unit in range(n_units)}
             for block in type_b:
-                results = run_spmd(n_units, self._distributed_worker, block)
+                attempt = 0
+                while True:
+                    try:
+                        results = run_spmd(
+                            n_units,
+                            self._distributed_worker,
+                            block,
+                            timeout=spmd_timeout,
+                            injector=injector,
+                        )
+                        break
+                    except MessagePassingError:
+                        attempt += 1
+                        if attempt > max_retries:
+                            raise
+                        recovered += 1
+                        if monitor is not None:
+                            monitor.record(-1, block.eeb_id, "requeued")
+                        if retry_backoff_seconds > 0.0:
+                            time.sleep(retry_backoff_seconds * attempt)
+                rounds = max(rounds, attempt + 1)
                 alm_results[block.eeb_id] = results[0]
                 if monitor is not None:
                     monitor.record(0, block.eeb_id, "completed",
@@ -234,18 +289,41 @@ class DisarMasterService:
         else:
             pending = list(blocks)
             fail_soft = max_retries > 0
-            rounds = 0
+            dispatches = 0
             schedule_view = {}
-            while pending and rounds <= max_retries:
+            while pending and dispatches <= max_retries:
+                if dispatches > 0 and retry_backoff_seconds > 0.0:
+                    time.sleep(retry_backoff_seconds * dispatches)
                 assignment = self.schedule(pending, n_units)
-                if rounds == 0:
+                if dispatches == 0:
                     schedule_view = {
                         unit: [b.eeb_id for b in unit_blocks]
                         for unit, unit_blocks in assignment.items()
                     }
-                per_unit = run_spmd(
-                    n_units, self._unit_worker, assignment, monitor, fail_soft
-                )
+                try:
+                    per_unit = run_spmd(
+                        n_units,
+                        self._unit_worker,
+                        assignment,
+                        monitor,
+                        fail_soft,
+                        timeout=spmd_timeout,
+                        injector=injector,
+                    )
+                except MessagePassingError:
+                    # The whole round is lost (rank crash, dropped
+                    # message, or timeout); every pending block becomes
+                    # a straggler to re-dispatch.
+                    if not fail_soft:
+                        raise
+                    dispatches += 1
+                    if dispatches > max_retries:
+                        break
+                    recovered += len(pending)
+                    if monitor is not None:
+                        for block in pending:
+                            monitor.record(-1, block.eeb_id, "requeued")
+                    continue
                 done: set[str] = set()
                 for unit_results in per_unit:
                     for eeb_id, result in unit_results.items():
@@ -254,10 +332,18 @@ class DisarMasterService:
                             actuarial_results[eeb_id] = result
                         else:
                             alm_results[eeb_id] = result
-                pending = [b for b in pending if b.eeb_id not in done]
-                rounds += 1
+                survivors = [b for b in pending if b.eeb_id not in done]
+                dispatches += 1
                 if not fail_soft:
+                    pending = survivors
                     break
+                if survivors and dispatches <= max_retries:
+                    recovered += len(survivors)
+                    if monitor is not None:
+                        for block in survivors:
+                            monitor.record(-1, block.eeb_id, "requeued")
+                pending = survivors
+            rounds = max(dispatches, 1)
 
         elapsed = time.perf_counter() - start
         self.database.insert(
@@ -267,6 +353,8 @@ class DisarMasterService:
                 "n_blocks": len(blocks),
                 "distribute_alm": distribute_alm,
                 "elapsed_seconds": elapsed,
+                "rounds": rounds,
+                "recovered_failures": recovered,
             },
         )
         return ElaborationReport(
@@ -275,6 +363,8 @@ class DisarMasterService:
             schedule=schedule_view,
             elapsed_seconds=elapsed,
             n_units=n_units,
+            rounds=rounds,
+            recovered_failures=recovered,
         )
 
     @staticmethod
@@ -296,6 +386,9 @@ class DisarMasterService:
         ordered = sorted(my_blocks, key=lambda b: b.eeb_type.value)
         results: dict[str, ActuarialResult | ALMResult] = {}
         for block in ordered:
+            # Deterministic fault-injection point at the block boundary;
+            # also fails fast when a peer already died.
+            comm.checkpoint()
             if monitor is not None:
                 monitor.record(comm.rank, block.eeb_id, "started")
             try:
@@ -320,6 +413,7 @@ class DisarMasterService:
     ) -> ALMResult | None:
         """All ranks cooperate on one type-B block."""
         service = DisarEngineService(node_name=f"vm-{comm.rank}")
+        comm.checkpoint()
         result = service.process(block, comm=comm)
         comm.barrier()
         return result

@@ -24,7 +24,7 @@ class ProgressEvent:
     timestamp: float
     unit: int
     eeb_id: str
-    status: str  # "started" | "completed" | "failed"
+    status: str  # "started" | "completed" | "failed" | "requeued"
     elapsed_seconds: float = 0.0
 
 
@@ -44,7 +44,7 @@ class ProgressMonitor:
         elapsed_seconds: float = 0.0,
     ) -> None:
         """Append one event (called from worker threads)."""
-        if status not in ("started", "completed", "failed"):
+        if status not in ("started", "completed", "failed", "requeued"):
             raise ValueError(f"unknown status {status!r}")
         event = ProgressEvent(
             timestamp=time.perf_counter(),
@@ -67,6 +67,10 @@ class ProgressMonitor:
 
     def failed_count(self) -> int:
         return sum(e.status == "failed" for e in self.events())
+
+    def requeued_count(self) -> int:
+        """Blocks the master re-dispatched after a failed/lost round."""
+        return sum(e.status == "requeued" for e in self.events())
 
     def completion_fraction(self) -> float:
         """Share of blocks finished, in ``[0, 1]`` (``nan`` if unknown)."""
@@ -107,7 +111,8 @@ class ProgressMonitor:
         )
         lines = [
             f"Progress: {self.completed_count()}/{self.total_blocks} blocks "
-            f"({progress}), {self.failed_count()} failed",
+            f"({progress}), {self.failed_count()} failed, "
+            f"{self.requeued_count()} requeued",
         ]
         idle = self.idle_fractions()
         for unit in sorted(idle):

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the cluster/master/deploy stack.
+
+The paper's elastic-provisioning loop only pays off if the transparent
+cloud deploy survives real cloud behaviour — slow VMs, lost messages and
+reclaimed spot instances.  This package makes those behaviours *seeded,
+replayable inputs*:
+
+- :class:`~repro.faults.schedule.FaultSchedule` — a frozen, seedable
+  list of fault events (rank crash at the k-th communication op, message
+  drop/delay on the n-th ``source -> dest`` message, slow-node
+  multiplier, spot termination of a VM);
+- :class:`~repro.faults.injector.FaultInjector` — the runtime that
+  fires a schedule into :mod:`repro.cluster.comm` hooks exactly once
+  per event, so a retried attempt succeeds and the recovered run is
+  bit-identical to the fault-free one.
+
+``repro chaos`` drives a full campaign through a schedule twice and
+asserts both replay determinism and fault-free/recovered SCR equality.
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    SlowNode,
+    SpotTermination,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectedFault",
+    "MessageDelay",
+    "MessageDrop",
+    "RankCrash",
+    "SlowNode",
+    "SpotTermination",
+]

@@ -1,0 +1,173 @@
+"""Runtime that fires a :class:`~repro.faults.schedule.FaultSchedule`.
+
+The injector is shared by all ranks of one campaign and is consulted
+from inside :mod:`repro.cluster.comm` hooks.  Two invariants make
+recovery testable:
+
+- **fire-at-most-once** — each schedule event is consumed the first
+  time its trigger matches and never fires again, even across retry
+  attempts; a retried attempt therefore runs fault-free and the
+  recovered result can be compared bit-for-bit against a clean run;
+- **logical addressing** — triggers count a rank's communication ops
+  and per-``(source, dest)`` message indices, both reset at
+  :meth:`FaultInjector.begin_attempt`, so the same schedule fires at
+  the same points on every replay regardless of thread timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    SlowNode,
+)
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a rank when a scheduled crash fires."""
+
+
+class FaultInjector:
+    """Fires a schedule's events into communicator hooks, at most once each.
+
+    Thread-safe: ranks run as threads and consult the injector
+    concurrently.  ``begin_attempt`` resets the *logical counters* (per-
+    rank op counts, per-pair message counts) but not the *consumed set*,
+    which is the whole point — see the module docstring.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self._consumed: set[int] = set()
+        self._op_counts: dict[int, int] = {}
+        self._pair_counts: dict[tuple[int, int], int] = {}
+        self.attempts = 0
+        self.fired: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_attempt(self) -> None:
+        """Reset logical counters for a fresh (re-)dispatch attempt."""
+        with self._lock:
+            self.attempts += 1
+            self._op_counts.clear()
+            self._pair_counts.clear()
+
+    @property
+    def n_fired(self) -> int:
+        with self._lock:
+            return len(self.fired)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every schedule event has fired."""
+        with self._lock:
+            return len(self._consumed) >= len(self.schedule.events)
+
+    def _consume(self, event_index: int, label: str) -> bool:
+        """Mark ``event_index`` fired; False if it already was."""
+        if event_index in self._consumed:
+            return False
+        self._consumed.add(event_index)
+        self.fired.append(label)
+        return True
+
+    # -- hooks (called from repro.cluster.comm) ------------------------------
+
+    def on_op(self, rank: int) -> float:
+        """Account one communication op for ``rank``.
+
+        Returns the extra latency (seconds) a slow-node event imposes on
+        this op, and raises :class:`InjectedFault` if a scheduled crash
+        matches the op index.  Called at the top of every send/recv/
+        collective/checkpoint on the calling rank's thread.
+        """
+        delay = 0.0
+        crash: Optional[RankCrash] = None
+        with self._lock:
+            count = self._op_counts.get(rank, 0) + 1
+            self._op_counts[rank] = count
+            for index, event in enumerate(self.schedule.events):
+                if index in self._consumed:
+                    continue
+                if isinstance(event, RankCrash):
+                    if event.rank == rank and count >= event.at_op:
+                        self._consume(
+                            index, f"rank_crash(rank={rank}, op={count})"
+                        )
+                        crash = event
+                elif isinstance(event, SlowNode):
+                    if event.rank == rank:
+                        # Latency fires per-op while armed; the event is
+                        # consumed on the first op so retries run at
+                        # nominal speed.
+                        self._consume(
+                            index,
+                            f"slow_node(rank={rank}, "
+                            f"multiplier={event.multiplier})",
+                        )
+                        delay += self.schedule.slow_op_delay * (
+                            event.multiplier - 1.0
+                        )
+        if crash is not None:
+            raise InjectedFault(
+                f"injected crash on rank {crash.rank} at op {crash.at_op}"
+            )
+        return delay
+
+    def on_send(self, source: int, dest: int) -> tuple[bool, float]:
+        """Account one ``source -> dest`` message.
+
+        Returns ``(drop, delay_seconds)``: whether the message must be
+        silently discarded, and how long to hold it before delivery.
+        """
+        drop = False
+        delay = 0.0
+        with self._lock:
+            pair = (source, dest)
+            count = self._pair_counts.get(pair, 0) + 1
+            self._pair_counts[pair] = count
+            for index, event in enumerate(self.schedule.events):
+                if index in self._consumed:
+                    continue
+                if isinstance(event, MessageDrop):
+                    if (
+                        event.source == source
+                        and event.dest == dest
+                        and count == event.match_index
+                    ):
+                        self._consume(
+                            index,
+                            f"message_drop({source}->{dest}, #{count})",
+                        )
+                        drop = True
+                elif isinstance(event, MessageDelay):
+                    if (
+                        event.source == source
+                        and event.dest == dest
+                        and count == event.match_index
+                    ):
+                        self._consume(
+                            index,
+                            f"message_delay({source}->{dest}, #{count}, "
+                            f"{event.seconds}s)",
+                        )
+                        delay += event.seconds
+        return drop, delay
+
+    def summary(self) -> str:
+        with self._lock:
+            fired = ", ".join(self.fired) if self.fired else "none"
+            exhausted = len(self._consumed) >= len(self.schedule.events)
+        return (
+            f"FaultInjector(attempts={self.attempts}, "
+            f"fired=[{fired}], exhausted={exhausted})"
+        )

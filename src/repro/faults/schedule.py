@@ -1,0 +1,320 @@
+"""Seeded, replayable fault schedules.
+
+A :class:`FaultSchedule` is a frozen value object: the same ``(seed,
+parameters)`` always generates the same event list, and the same event
+list injected into the same campaign replays the same failures at the
+same points.  Events address *logical* positions — a rank's k-th
+communication operation, the n-th message of a ``source -> dest`` pair,
+a fraction of a cloud run — never wall-clock times, which is what keeps
+replays deterministic on any host.
+
+Event kinds mirror the cloud behaviours the related elasticity work
+(Naskos et al., RISCLESS) treats as first-class provisioning inputs:
+
+- :class:`RankCrash` — a computing unit dies mid-campaign;
+- :class:`MessageDrop` / :class:`MessageDelay` — lost or slow messages
+  between units;
+- :class:`SlowNode` — a straggler VM running at a fraction of nominal
+  speed;
+- :class:`SpotTermination` — the provider reclaims a VM partway through
+  a cloud run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Union
+
+import numpy as np
+
+__all__ = [
+    "RankCrash",
+    "MessageDrop",
+    "MessageDelay",
+    "SlowNode",
+    "SpotTermination",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` raises an :class:`~repro.faults.injector.InjectedFault`
+    at its ``at_op``-th communication operation (1-based, per attempt)."""
+
+    kind: ClassVar[str] = "rank_crash"
+    rank: int
+    at_op: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.at_op < 1:
+            raise ValueError(f"at_op must be >= 1, got {self.at_op}")
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """The ``match_index``-th message from ``source`` to ``dest``
+    (1-based) silently disappears."""
+
+    kind: ClassVar[str] = "message_drop"
+    source: int
+    dest: int
+    match_index: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise ValueError(
+                f"source/dest must be non-negative, got "
+                f"{self.source} -> {self.dest}"
+            )
+        if self.match_index < 1:
+            raise ValueError(f"match_index must be >= 1, got {self.match_index}")
+
+
+@dataclass(frozen=True)
+class MessageDelay:
+    """The ``match_index``-th message from ``source`` to ``dest`` is
+    delivered ``seconds`` late (payload untouched)."""
+
+    kind: ClassVar[str] = "message_delay"
+    source: int
+    dest: int
+    match_index: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise ValueError(
+                f"source/dest must be non-negative, got "
+                f"{self.source} -> {self.dest}"
+            )
+        if self.match_index < 1:
+            raise ValueError(f"match_index must be >= 1, got {self.match_index}")
+        if self.seconds < 0.0:
+            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Rank ``rank`` runs slow: every communication op pays an extra
+    ``slow_op_delay * (multiplier - 1)`` seconds of latency."""
+
+    kind: ClassVar[str] = "slow_node"
+    rank: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1.0, got {self.multiplier}"
+            )
+
+
+@dataclass(frozen=True)
+class SpotTermination:
+    """The provider reclaims VM ``node_index`` after ``at_fraction`` of
+    a cloud run has elapsed (cloud layer, not the communicator)."""
+
+    kind: ClassVar[str] = "spot_termination"
+    node_index: int
+    at_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.node_index < 0:
+            raise ValueError(
+                f"node_index must be non-negative, got {self.node_index}"
+            )
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError(
+                f"at_fraction must be in (0, 1), got {self.at_fraction}"
+            )
+
+
+FaultEvent = Union[RankCrash, MessageDrop, MessageDelay, SlowNode, SpotTermination]
+
+_EVENT_TYPES: dict[str, Any] = {
+    cls.kind: cls
+    for cls in (RankCrash, MessageDrop, MessageDelay, SlowNode, SpotTermination)
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, replayable set of fault events.
+
+    ``slow_op_delay`` is the per-op latency unit :class:`SlowNode`
+    multipliers scale — small by default so chaos runs stay fast while
+    still exercising straggler re-dispatch.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None
+    slow_op_delay: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.slow_op_delay < 0.0:
+            raise ValueError(
+                f"slow_op_delay must be non-negative, got {self.slow_op_delay}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- filtered views -----------------------------------------------------
+
+    def crashes(self) -> tuple[RankCrash, ...]:
+        return tuple(e for e in self.events if isinstance(e, RankCrash))
+
+    def drops(self) -> tuple[MessageDrop, ...]:
+        return tuple(e for e in self.events if isinstance(e, MessageDrop))
+
+    def delays(self) -> tuple[MessageDelay, ...]:
+        return tuple(e for e in self.events if isinstance(e, MessageDelay))
+
+    def slow_nodes(self) -> tuple[SlowNode, ...]:
+        return tuple(e for e in self.events if isinstance(e, SlowNode))
+
+    def spot_terminations(self) -> tuple[SpotTermination, ...]:
+        return tuple(e for e in self.events if isinstance(e, SpotTermination))
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        size: int,
+        n_crashes: int = 1,
+        n_drops: int = 1,
+        n_delays: int = 2,
+        n_slow: int = 1,
+        n_spot: int = 0,
+        max_op: int = 4,
+        max_delay_seconds: float = 0.05,
+        max_multiplier: float = 4.0,
+        slow_op_delay: float = 0.002,
+    ) -> "FaultSchedule":
+        """Draw a random schedule for a ``size``-rank run, seeded.
+
+        ``max_op`` bounds the op index crashes fire at; keep it within
+        the number of communication ops a rank actually performs per
+        attempt, otherwise the crash never triggers (which is legal —
+        events fire *at most* once — but toothless).
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for _ in range(n_crashes):
+            events.append(
+                RankCrash(
+                    rank=int(rng.integers(0, size)),
+                    at_op=int(rng.integers(1, max_op + 1)),
+                )
+            )
+        for _ in range(n_drops):
+            source = int(rng.integers(0, size))
+            dest = int(rng.integers(0, size))
+            if size > 1:
+                while dest == source:
+                    dest = int(rng.integers(0, size))
+            events.append(
+                MessageDrop(
+                    source=source, dest=dest,
+                    match_index=int(rng.integers(1, 3)),
+                )
+            )
+        for _ in range(n_delays):
+            source = int(rng.integers(0, size))
+            dest = int(rng.integers(0, size))
+            if size > 1:
+                while dest == source:
+                    dest = int(rng.integers(0, size))
+            events.append(
+                MessageDelay(
+                    source=source, dest=dest,
+                    match_index=int(rng.integers(1, 3)),
+                    seconds=float(rng.uniform(0.001, max_delay_seconds)),
+                )
+            )
+        for _ in range(n_slow):
+            events.append(
+                SlowNode(
+                    rank=int(rng.integers(0, size)),
+                    multiplier=float(rng.uniform(1.5, max_multiplier)),
+                )
+            )
+        for _ in range(n_spot):
+            events.append(
+                SpotTermination(
+                    node_index=int(rng.integers(0, size)),
+                    at_fraction=float(rng.uniform(0.1, 0.9)),
+                )
+            )
+        return cls(
+            events=tuple(events), seed=seed, slow_op_delay=slow_op_delay
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (replay files, chaos reports)."""
+        serialised: list[dict[str, Any]] = []
+        for event in self.events:
+            payload: dict[str, Any] = {"kind": event.kind}
+            payload.update(
+                {
+                    field.name: getattr(event, field.name)
+                    for field in fields(event)
+                }
+            )
+            serialised.append(payload)
+        return {
+            "seed": self.seed,
+            "slow_op_delay": self.slow_op_delay,
+            "events": serialised,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultSchedule":
+        events: list[FaultEvent] = []
+        for entry in payload.get("events", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            if kind not in _EVENT_TYPES:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            events.append(_EVENT_TYPES[kind](**entry))
+        return cls(
+            events=tuple(events),
+            seed=payload.get("seed"),
+            slow_op_delay=float(payload.get("slow_op_delay", 0.002)),
+        )
+
+    def checksum(self) -> str:
+        """Stable digest of the schedule contents (replay identity)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """One line per event, for chaos-run logs."""
+        if not self.events:
+            return "FaultSchedule(empty)"
+        lines = [
+            f"FaultSchedule(seed={self.seed}, {len(self.events)} events, "
+            f"checksum={self.checksum()})"
+        ]
+        for event in self.events:
+            detail = ", ".join(
+                f"{field.name}={getattr(event, field.name)}"
+                for field in fields(event)
+            )
+            lines.append(f"  {event.kind}({detail})")
+        return "\n".join(lines)

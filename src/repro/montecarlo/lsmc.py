@@ -172,6 +172,18 @@ class LSMCEngine:
         """
         rng = generator_from(rng)
         calibration = self.engine.run(n_outer_cal, n_inner_cal, rng=rng)
+        basis, coefficients = self._fit_proxy(calibration, n_outer_cal)
+        return basis, coefficients, calibration
+
+    def _fit_proxy(
+        self, calibration: NestedResult, n_outer_cal: int
+    ) -> tuple[PolynomialBasis, np.ndarray]:
+        """Fit the polynomial proxy on a finished calibration sample.
+
+        Pure function of the calibration result (no RNG), so a
+        distributed calibration run feeds it on rank 0 and obtains the
+        exact coefficients a sequential calibration would.
+        """
         features = self._calibration_features(calibration)
         degree = self.degree
         while degree > 1 and 2 * self._n_terms(features.shape[1], degree) > n_outer_cal:
@@ -180,7 +192,37 @@ class LSMCEngine:
         design = basis.fit(features)
         gram = design.T @ design + self.ridge * np.eye(design.shape[1])
         coefficients = np.linalg.solve(gram, design.T @ calibration.outer_values)
-        return basis, coefficients, calibration
+        return basis, coefficients
+
+    def _evaluate(
+        self,
+        basis: PolynomialBasis,
+        coefficients: np.ndarray,
+        n_outer: int,
+        eval_rng: np.random.Generator,
+        steps_per_year: int,
+    ) -> np.ndarray:
+        """Evaluate the fitted proxy on ``n_outer`` fresh outer states."""
+        outer = self.engine._generator.generate(
+            n_outer, 1.0, eval_rng, steps_per_year=steps_per_year, measure="P"
+        )
+        features = self.state_features(outer.terminal_features())
+        return basis.transform(features) @ coefficients
+
+    @staticmethod
+    def _in_sample_r2(
+        basis: PolynomialBasis,
+        coefficients: np.ndarray,
+        calibration: NestedResult,
+    ) -> float:
+        design_cal = basis.transform(
+            LSMCEngine._calibration_features(calibration)
+        )
+        fitted = design_cal @ coefficients
+        residual = calibration.outer_values - fitted
+        total = calibration.outer_values - calibration.outer_values.mean()
+        denom = float(total @ total)
+        return 1.0 - float(residual @ residual) / denom if denom > 0 else 1.0
 
     def run(
         self,
@@ -196,19 +238,53 @@ class LSMCEngine:
         basis, coefficients, calibration = self.calibrate(
             n_outer_cal, n_inner_cal, rng=cal_rng
         )
-
-        design_cal = basis.transform(self._calibration_features(calibration))
-        fitted = design_cal @ coefficients
-        residual = calibration.outer_values - fitted
-        total = calibration.outer_values - calibration.outer_values.mean()
-        denom = float(total @ total)
-        r2 = 1.0 - float(residual @ residual) / denom if denom > 0 else 1.0
-
-        outer = self.engine._generator.generate(
-            n_outer, 1.0, eval_rng, steps_per_year=steps_per_year, measure="P"
+        r2 = self._in_sample_r2(basis, coefficients, calibration)
+        outer_values = self._evaluate(
+            basis, coefficients, n_outer, eval_rng, steps_per_year
         )
-        features = self.state_features(outer.terminal_features())
-        outer_values = basis.transform(features) @ coefficients
+        return LSMCResult(
+            outer_values=outer_values,
+            coefficients=coefficients,
+            calibration=calibration,
+            in_sample_r2=r2,
+        )
+
+    def run_distributed(
+        self,
+        comm,
+        n_outer: int,
+        n_outer_cal: int,
+        n_inner_cal: int,
+        rng: np.random.Generator | int | None = 0,
+        steps_per_year: int = 4,
+    ) -> LSMCResult | None:
+        """SPMD variant of :meth:`run` across the ranks of ``comm``.
+
+        The expensive part of LSMC is the calibration nested sample; it
+        runs through
+        :meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.run_distributed`,
+        whose chunks are spread round-robin over the ranks and executed
+        by each rank's :mod:`repro.exec` backend.  Rank 0 then fits the
+        proxy and evaluates it on the full outer set — both pure
+        functions of the (bit-identical) calibration result — so the
+        distributed LSMC result is **bitwise equal** to :meth:`run` at
+        the same seed for any rank count.  ``rng`` must be seed-like
+        (``int``/``SeedSequence``); returns ``None`` off rank 0.
+        """
+        rng = generator_from(rng)
+        cal_rng, eval_rng = spawn_generators(rng, 2)
+        # Mirrors calibrate(): the calibration nested run uses the
+        # engine's default outer grid, not ``steps_per_year``.
+        calibration = self.engine.run_distributed(
+            comm, n_outer_cal, n_inner_cal, rng=cal_rng
+        )
+        if comm.rank != 0:
+            return None
+        basis, coefficients = self._fit_proxy(calibration, n_outer_cal)
+        r2 = self._in_sample_r2(basis, coefficients, calibration)
+        outer_values = self._evaluate(
+            basis, coefficients, n_outer, eval_rng, steps_per_year
+        )
         return LSMCResult(
             outer_values=outer_values,
             coefficients=coefficients,

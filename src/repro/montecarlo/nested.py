@@ -529,6 +529,43 @@ class NestedMonteCarloEngine:
         # One child stream per outer scenario, keyed by scenario index.
         seeds = chunk_seed_sequences(inner_master, n_outer)
         chunks = partition(n_outer, self.backend.chunk_size)
+        results = self._conditional_stage(
+            features, seeds, mortalities, lapses, n_inner, chunks
+        )
+        outer_values = np.concatenate([values for values, _ in results])
+        inner_std = np.concatenate([std for _, std in results])
+
+        year_one_flows = self._year_one_flows(credited_y1, mortalities, lapses)
+        outer_assets = base_assets * (1.0 + market_returns) - year_one_flows
+        return NestedResult(
+            base_value=base_value,
+            base_assets=base_assets,
+            outer_values=outer_values,
+            outer_assets=outer_assets,
+            outer_discount=outer_discount,
+            outer_states=outer.terminal_states(),
+            year_one_flows=year_one_flows,
+            n_inner=n_inner,
+            inner_std_error=inner_std,
+            outer_features=features,
+        )
+
+    def _conditional_stage(
+        self,
+        features: np.ndarray,
+        seeds: Sequence[np.random.SeedSequence],
+        mortalities: Sequence[MortalityModel],
+        lapses: Sequence[LapseModel],
+        n_inner: int,
+        chunks: Sequence,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Run the inner stage for ``chunks`` through the backend.
+
+        Chunk payloads are sliced from the *full* workload arrays by each
+        chunk's own ``[start, stop)`` range, so running a subset of the
+        chunks (e.g. only the ones owned by one rank) produces exactly
+        the per-chunk results of a full run.
+        """
         task = (
             _conditional_chunk_vector
             if self.backend.vectorized
@@ -545,14 +582,18 @@ class NestedMonteCarloEngine:
             )
             for chunk in chunks
         ]
-        results = self.backend.map(task, payloads)
-        outer_values = np.concatenate([values for values, _ in results])
-        inner_std = np.concatenate([std for _, std in results])
+        return self.backend.map(task, payloads)
 
-        # Year-1 flows, vectorized over the outer scenarios: one batched
-        # decrement table per contract instead of an n_outer x n_contracts
-        # Python loop.
-        year_one_flows = np.zeros(n_outer)
+    def _year_one_flows(
+        self,
+        credited_y1: np.ndarray,
+        mortalities: Sequence[MortalityModel],
+        lapses: Sequence[LapseModel],
+    ) -> np.ndarray:
+        """Year-1 liability flows, vectorized over the outer scenarios:
+        one batched decrement table per contract instead of an
+        ``n_outer x n_contracts`` Python loop."""
+        year_one_flows = np.zeros(credited_y1.shape[0])
         credited_first = credited_y1[:, 0]
         for contract in self.contracts:
             table = batched_decrement_table(
@@ -573,7 +614,85 @@ class NestedMonteCarloEngine:
             if contract.term == 1 and contract.pays_on_survival():
                 flow += sums * table.in_force[:, 0]
             year_one_flows += flow * contract.multiplicity
+        return year_one_flows
 
+    def run_distributed(
+        self,
+        comm,
+        n_outer: int,
+        n_inner: int,
+        rng: np.random.Generator | int | None = 0,
+        steps_per_year: int = 4,
+        initial_assets: float | None = None,
+    ) -> NestedResult | None:
+        """SPMD variant of :meth:`run` across the ranks of ``comm``.
+
+        Every rank derives the *identical* outer-stage state from the
+        shared seed (outer scenarios, actuarial shocks and the
+        per-scenario inner seed streams are all deterministic in ``rng``),
+        then executes only the inner-stage chunks whose index maps to it
+        (round-robin by ``chunk.index % comm.size``) through its own
+        :mod:`repro.exec` backend.  Rank 0 computes ``V_0`` and
+        broadcasts it, gathers the per-chunk results and reassembles them
+        in chunk order — the same concatenation :meth:`run` performs — so
+        the distributed result is **bitwise equal** to the sequential one
+        at the same seed and chunk size, for any rank count.
+
+        ``rng`` must be seed-like (an ``int`` or ``SeedSequence``), not a
+        shared ``Generator``: each rank builds its own identical streams
+        from it.  Call on a rank-local engine instance (engines hold a
+        mutable decrement-table cache).  Returns the
+        :class:`NestedResult` on rank 0 and ``None`` elsewhere.
+        """
+        if n_outer <= 0 or n_inner <= 0:
+            raise ValueError("n_outer and n_inner must be positive")
+        rng = generator_from(rng)
+        outer_rng, inner_master, shock_rng, base_rng = spawn_generators(rng, 4)
+
+        base_value = None
+        if comm.rank == 0:
+            base_value = self.value_at_zero(n_inner, rng=base_rng)
+        base_value = comm.bcast(base_value, root=0)
+        base_assets = 1.05 * base_value if initial_assets is None else initial_assets
+
+        outer = self._generator.generate(
+            n_outer, 1.0, outer_rng, steps_per_year=steps_per_year, measure="P"
+        )
+        outer_discount = outer.discount_factors()[:, -1]
+        market_returns = self.fund.market_returns(outer)[:, 0]
+        features = outer.terminal_features()
+        credited_y1 = self.fund.credited_returns(outer)
+        mortalities, lapses = self._actuarial_shocks(n_outer, shock_rng)
+
+        seeds = chunk_seed_sequences(inner_master, n_outer)
+        chunks = partition(n_outer, self.backend.chunk_size)
+        mine = [
+            chunk for chunk in chunks if chunk.index % comm.size == comm.rank
+        ]
+        results = self._conditional_stage(
+            features, seeds, mortalities, lapses, n_inner, mine
+        )
+        local = [
+            (chunk.index, values, std)
+            for chunk, (values, std) in zip(mine, results)
+        ]
+        gathered = comm.gather(local, root=0)
+        if comm.rank != 0:
+            return None
+
+        by_index = sorted(
+            (item for rank_items in gathered for item in rank_items),
+            key=lambda item: item[0],
+        )
+        if len(by_index) != len(chunks):
+            raise RuntimeError(
+                f"distributed run lost chunks: expected {len(chunks)}, "
+                f"gathered {len(by_index)}"
+            )
+        outer_values = np.concatenate([values for _, values, _ in by_index])
+        inner_std = np.concatenate([std for _, _, std in by_index])
+
+        year_one_flows = self._year_one_flows(credited_y1, mortalities, lapses)
         outer_assets = base_assets * (1.0 + market_returns) - year_one_flows
         return NestedResult(
             base_value=base_value,

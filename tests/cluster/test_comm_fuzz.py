@@ -1,0 +1,178 @@
+"""Seeded schedule-fuzz tests for the simulated-MPI communicator.
+
+Every rank derives the same message script from a shared seed, then
+plays its part concurrently: point-to-point sends answered with
+``ANY_SOURCE`` receives, interleaved with collectives, across 2-5
+ranks.  The properties under fuzz:
+
+- **no deadlock** — every script completes; a genuinely missing message
+  converts to :class:`MessagePassingError` via the recv deadline instead
+  of hanging the suite;
+- **per-(source, tag) FIFO** — messages between one (sender, receiver)
+  pair with one tag arrive in send order, whatever the interleaving;
+- **failure propagation** — a dying rank wakes every blocked peer with
+  :class:`MessagePassingError`, and ``run_spmd`` leaks no threads.
+"""
+
+import operator
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import ANY_SOURCE, MessagePassingError, run_spmd
+
+N_TAGS = 3
+
+
+def make_script(seed: int, size: int):
+    """Deterministic fuzz script: rounds of sends + one collective each.
+
+    Returns ``[(sends, collective), ...]`` where ``sends`` is a list of
+    ``(source, dest, tag)`` triples.  Every rank builds the identical
+    script from the seed, so collectives line up and expected receive
+    counts are known without any coordination.
+    """
+    rng = np.random.default_rng(seed)
+    rounds = []
+    for _ in range(int(rng.integers(2, 5))):
+        sends = []
+        for source in range(size):
+            for _ in range(int(rng.integers(1, 4))):
+                dest = int(rng.integers(0, size - 1))
+                if dest >= source:
+                    dest += 1  # never self-addressed
+                sends.append((source, dest, int(rng.integers(0, N_TAGS))))
+        collective = ["barrier", "allreduce", "bcast", "gather"][
+            int(rng.integers(0, 4))
+        ]
+        rounds.append((sends, collective))
+    return rounds
+
+
+def fuzz_worker(comm, rounds):
+    """Play one rank's part; returns its received (tag, payload) list."""
+    received = []
+    sent_counters: dict[tuple[int, int], int] = {}
+    for sends, collective in rounds:
+        for source, dest, tag in sends:
+            if source != comm.rank:
+                continue
+            key = (dest, tag)
+            seq = sent_counters.get(key, 0)
+            sent_counters[key] = seq + 1
+            comm.send((source, tag, seq), dest=dest, tag=tag)
+        for tag in range(N_TAGS):
+            expected = sum(
+                1 for s in sends if s[1] == comm.rank and s[2] == tag
+            )
+            for _ in range(expected):
+                received.append((tag, comm.recv(source=ANY_SOURCE, tag=tag)))
+        if collective == "barrier":
+            comm.barrier()
+        elif collective == "allreduce":
+            assert comm.allreduce(1, operator.add) == comm.size
+        elif collective == "bcast":
+            assert comm.bcast("token" if comm.rank == 0 else None) == "token"
+        else:
+            gathered = comm.gather(comm.rank)
+            if comm.rank == 0:
+                assert gathered == list(range(comm.size))
+    return received
+
+
+def assert_fifo_per_source_and_tag(received):
+    """Sequence numbers from one (source, tag) must arrive in order."""
+    last: dict[tuple[int, int], int] = {}
+    for tag, (source, sent_tag, seq) in received:
+        assert sent_tag == tag
+        key = (source, tag)
+        assert seq == last.get(key, -1) + 1, (
+            f"out-of-order delivery from source {source}, tag {tag}"
+        )
+        last[key] = seq
+
+
+class TestScheduleFuzz:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_deadlock_and_fifo(self, size, seed):
+        rounds = make_script(seed * 100 + size, size)
+        results = run_spmd(size, fuzz_worker, rounds, timeout=30.0)
+        total_received = 0
+        for received in results:
+            assert_fifo_per_source_and_tag(received)
+            total_received += len(received)
+        assert total_received == sum(len(sends) for sends, _ in rounds)
+
+    def test_fuzz_replays_identically(self):
+        rounds = make_script(42, 3)
+        first = run_spmd(3, fuzz_worker, rounds, timeout=30.0)
+        second = run_spmd(3, fuzz_worker, rounds, timeout=30.0)
+        assert first == second
+
+
+class TestDeadlockConversion:
+    def test_missing_message_times_out_as_error(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1)  # rank 1 never sends
+            return None
+
+        with pytest.raises(MessagePassingError, match="timed out"):
+            run_spmd(2, fn, timeout=0.5)
+
+    def test_any_source_recv_times_out_too(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(source=ANY_SOURCE, tag=9)
+            return None
+
+        with pytest.raises(MessagePassingError, match="timed out"):
+            run_spmd(2, fn, timeout=0.5)
+
+
+class TestFailurePropagation:
+    def test_dying_rank_wakes_every_blocked_peer(self):
+        observed = []  # appended under the GIL; order irrelevant
+        observed_lock = threading.Lock()
+
+        def fn(comm):
+            if comm.rank == 2:
+                raise RuntimeError("injected death")
+            try:
+                if comm.rank == 1:
+                    comm.recv(source=2)  # blocked on the dead rank
+                else:
+                    comm.barrier()  # blocked on the collective
+            except MessagePassingError:
+                with observed_lock:
+                    observed.append(comm.rank)
+                raise
+
+        with pytest.raises(MessagePassingError, match="injected death"):
+            run_spmd(4, fn, timeout=10.0)
+        assert sorted(observed) == [0, 1, 3]
+
+    def test_run_spmd_leaks_no_threads(self):
+        before = set(threading.enumerate())
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.recv(source=0)
+
+        with pytest.raises(MessagePassingError):
+            run_spmd(3, fn, timeout=10.0)
+        leaked = [
+            t for t in threading.enumerate() if t not in before and t.is_alive()
+        ]
+        assert leaked == []
+
+    def test_happy_path_leaks_no_threads_either(self):
+        before = set(threading.enumerate())
+        run_spmd(4, lambda comm: comm.allreduce(comm.rank, operator.add))
+        leaked = [
+            t for t in threading.enumerate() if t not in before and t.is_alive()
+        ]
+        assert leaked == []

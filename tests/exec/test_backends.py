@@ -1,6 +1,9 @@
 """Tests for the execution-backend primitives (partitioning, seeding,
 backend construction)."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -123,3 +126,33 @@ class TestBackendFrom:
         # maps skip the pool entirely.
         backend = ProcessPoolBackend(max_workers=2)
         assert backend.map(lambda x: x + 1, [41]) == [42]
+
+
+def _sleepy_pid(_payload):
+    time.sleep(0.05)
+    return os.getpid()
+
+
+class TestProcessPoolWorkers:
+    """Worker-count-sensitive behaviour of the process pool.
+
+    On a single-core host the pool's worker processes execute one at a
+    time, so assertions about work actually spreading across workers
+    would pass (or flake) vacuously — they carry an explicit skip
+    instead.
+    """
+
+    def test_default_worker_count_tracks_host_cores(self):
+        assert ProcessPoolBackend().effective_workers == (os.cpu_count() or 1)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason=f"host has {os.cpu_count() or 1} CPU core(s); whether the "
+        "pool spreads payloads across distinct worker processes is "
+        "scheduler luck without real parallelism",
+    )
+    def test_map_spreads_across_worker_processes(self):
+        pids = ProcessPoolBackend(max_workers=2).map(
+            _sleepy_pid, list(range(8))
+        )
+        assert len(set(pids)) >= 2

@@ -1,0 +1,161 @@
+"""End-to-end chaos tests: injected faults, recovery, bit-identity.
+
+The contract under test is the one ``repro chaos`` asserts: a campaign
+that loses a rank (or a VM, or messages) and recovers through the
+master's retry logic produces **bit-identical** SCR figures to the
+fault-free run at the same seed — and replaying the same schedule is
+bit-identical too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cluster.comm import MessagePassingError
+from repro.core.deploy import TransparentDeploySystem
+from repro.core.selection import DeployChoice
+from repro.disar.master import DisarMasterService
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDrop,
+    RankCrash,
+    SpotTermination,
+)
+
+N_UNITS = 3
+
+
+@pytest.fixture(scope="module")
+def blocks(small_campaign):
+    return small_campaign.blocks
+
+
+def execute(blocks, injector=None, max_retries=0, spmd_timeout=5.0):
+    return DisarMasterService().execute(
+        blocks,
+        n_units=N_UNITS,
+        distribute_alm=True,
+        max_retries=max_retries,
+        spmd_timeout=spmd_timeout,
+        injector=injector,
+    )
+
+
+def assert_reports_bit_identical(a, b):
+    assert sorted(a.alm_results) == sorted(b.alm_results)
+    for eeb_id, result in a.alm_results.items():
+        other = b.alm_results[eeb_id]
+        assert np.array_equal(result.outer_values, other.outer_values)
+        assert result.base_value == other.base_value
+        assert result.scr_report.scr == other.scr_report.scr
+
+
+class TestCrashRecovery:
+    def test_recovered_scr_equals_fault_free(self, blocks):
+        baseline = execute(blocks)
+        schedule = FaultSchedule(events=(RankCrash(rank=1, at_op=2),))
+        injector = FaultInjector(schedule)
+        report = execute(blocks, injector=injector, max_retries=2)
+        assert injector.n_fired == 1
+        assert report.recovered_failures >= 1
+        assert report.degraded
+        assert report.rounds > 1
+        assert not baseline.degraded
+        assert_reports_bit_identical(report, baseline)
+
+    def test_replay_is_bit_identical(self, blocks):
+        schedule = FaultSchedule(events=(RankCrash(rank=2, at_op=1),))
+        first = execute(blocks, injector=FaultInjector(schedule), max_retries=2)
+        second = execute(blocks, injector=FaultInjector(schedule), max_retries=2)
+        assert first.recovered_failures == second.recovered_failures
+        assert first.rounds == second.rounds
+        assert_reports_bit_identical(first, second)
+
+    def test_exhausted_retries_propagate(self, blocks):
+        # With no retry budget the injected crash is fatal and the
+        # master surfaces the failure instead of absorbing it.
+        schedule = FaultSchedule(events=(RankCrash(rank=0, at_op=1),))
+        with pytest.raises(MessagePassingError):
+            execute(blocks[:1], injector=FaultInjector(schedule), max_retries=0)
+
+
+class TestDropRecovery:
+    def test_dropped_message_recovers_via_timeout(self, blocks):
+        baseline = execute(blocks[:1])
+        # Rank 0 broadcasts to every peer: dropping its first message to
+        # rank 1 stalls rank 1's recv until the deadline converts it to
+        # a MessagePassingError, and the retry re-runs the block clean.
+        schedule = FaultSchedule(
+            events=(MessageDrop(source=0, dest=1, match_index=1),)
+        )
+        injector = FaultInjector(schedule)
+        report = execute(
+            blocks[:1], injector=injector, max_retries=1, spmd_timeout=1.0
+        )
+        assert injector.n_fired == 1
+        assert report.recovered_failures == 1
+        assert_reports_bit_identical(report, baseline)
+
+
+class TestSpotTermination:
+    def test_numbers_unchanged_despite_reclaimed_vm(self, blocks):
+        instance_type = INSTANCE_CATALOG["c3.4xlarge"]
+        clean = StarClusterManager(seed=3).run_campaign(
+            instance_type, 3, blocks[:2], compute_results=True
+        )
+        schedule = FaultSchedule(
+            events=(SpotTermination(node_index=0, at_fraction=0.5),)
+        )
+        chaotic = StarClusterManager(seed=3).run_campaign(
+            instance_type, 3, blocks[:2], compute_results=True, faults=schedule
+        )
+        assert chaotic.n_faults == 1
+        assert chaotic.degraded
+        assert len(chaotic.extra_billing) == 1
+        assert not clean.degraded
+        # The reclaim degrades timing and billing, never the numbers:
+        # chunk ownership re-balances across the survivors bit-stably.
+        assert_reports_bit_identical(chaotic.report, clean.report)
+
+    def test_at_least_one_vm_survives(self, blocks):
+        schedule = FaultSchedule(
+            events=tuple(
+                SpotTermination(node_index=i, at_fraction=0.3)
+                for i in range(5)
+            )
+        )
+        manager = StarClusterManager(seed=1)
+        result = manager.run_campaign(
+            INSTANCE_CATALOG["c3.4xlarge"], 2, blocks[:1], faults=schedule
+        )
+        assert result.n_faults == 1  # the other four found no victim
+        assert manager.active_clusters() == []
+
+
+class TestDeployIntegration:
+    def test_degraded_flag_reaches_knowledge_base(self, blocks):
+        system = TransparentDeploySystem(seed=0)
+        choice = DeployChoice(
+            instance_type=INSTANCE_CATALOG["m4.4xlarge"],
+            n_nodes=3,
+            predicted_seconds=float("nan"),
+            predicted_cost_usd=float("nan"),
+            feasible=True,
+        )
+        schedule = FaultSchedule(
+            events=(SpotTermination(node_index=1, at_fraction=0.4),)
+        )
+        outcome = system.run_simulation(
+            blocks[:1], tmax_seconds=1e9, force=choice, fault_schedule=schedule
+        )
+        assert outcome.degraded
+        assert outcome.n_faults == 1
+        assert "degraded" in outcome.describe()
+        assert system.knowledge_base.degraded_count() == 1
+        assert system.knowledge_base.records()[0].degraded
+
+        clean = system.run_simulation(blocks[:1], tmax_seconds=1e9, force=choice)
+        assert not clean.degraded
+        assert system.knowledge_base.degraded_count() == 1

@@ -1,0 +1,112 @@
+"""Tests for the fire-at-most-once fault injector."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    SlowNode,
+)
+
+
+def injector(*events, slow_op_delay=0.002):
+    return FaultInjector(
+        FaultSchedule(events=tuple(events), slow_op_delay=slow_op_delay)
+    )
+
+
+class TestRankCrash:
+    def test_fires_at_op_index(self):
+        inj = injector(RankCrash(rank=1, at_op=3))
+        inj.begin_attempt()
+        inj.on_op(1)
+        inj.on_op(1)
+        with pytest.raises(InjectedFault, match="rank 1"):
+            inj.on_op(1)
+
+    def test_only_target_rank_crashes(self):
+        inj = injector(RankCrash(rank=1, at_op=1))
+        inj.begin_attempt()
+        for _ in range(5):
+            inj.on_op(0)  # other ranks sail through
+
+    def test_fires_at_most_once_across_attempts(self):
+        inj = injector(RankCrash(rank=0, at_op=1))
+        inj.begin_attempt()
+        with pytest.raises(InjectedFault):
+            inj.on_op(0)
+        # The retry attempt resets the op counters but not the consumed
+        # set: the same logical position no longer crashes.
+        inj.begin_attempt()
+        for _ in range(5):
+            inj.on_op(0)
+        assert inj.attempts == 2
+        assert inj.n_fired == 1
+        assert inj.exhausted
+
+
+class TestMessageEvents:
+    def test_drop_matches_nth_pair_message(self):
+        inj = injector(MessageDrop(source=0, dest=1, match_index=2))
+        inj.begin_attempt()
+        assert inj.on_send(0, 1) == (False, 0.0)
+        assert inj.on_send(0, 1) == (True, 0.0)
+        assert inj.on_send(0, 1) == (False, 0.0)  # consumed
+
+    def test_drop_ignores_other_pairs(self):
+        inj = injector(MessageDrop(source=0, dest=1, match_index=1))
+        inj.begin_attempt()
+        assert inj.on_send(1, 0) == (False, 0.0)
+        assert inj.on_send(0, 2) == (False, 0.0)
+        assert inj.on_send(0, 1) == (True, 0.0)
+
+    def test_delay_returns_seconds_once(self):
+        inj = injector(MessageDelay(source=2, dest=0, match_index=1, seconds=0.01))
+        inj.begin_attempt()
+        assert inj.on_send(2, 0) == (False, 0.01)
+        assert inj.on_send(2, 0) == (False, 0.0)
+
+    def test_pair_counters_reset_per_attempt(self):
+        inj = injector(MessageDrop(source=0, dest=1, match_index=2))
+        inj.begin_attempt()
+        inj.on_send(0, 1)
+        inj.begin_attempt()
+        # Fresh attempt: this is message #1 again, not #2 — no drop.
+        assert inj.on_send(0, 1) == (False, 0.0)
+        assert inj.on_send(0, 1) == (True, 0.0)
+
+
+class TestSlowNode:
+    def test_latency_consumed_on_first_op(self):
+        inj = injector(SlowNode(rank=0, multiplier=3.0), slow_op_delay=0.01)
+        inj.begin_attempt()
+        assert inj.on_op(0) == pytest.approx(0.02)
+        assert inj.on_op(0) == 0.0  # consumed; retries run at speed
+
+    def test_other_ranks_unaffected(self):
+        inj = injector(SlowNode(rank=1, multiplier=2.0))
+        inj.begin_attempt()
+        assert inj.on_op(0) == 0.0
+
+
+class TestBookkeeping:
+    def test_summary_mentions_fired_events(self):
+        inj = injector(RankCrash(rank=0, at_op=1))
+        inj.begin_attempt()
+        with pytest.raises(InjectedFault):
+            inj.on_op(0)
+        text = inj.summary()
+        assert "rank_crash" in text
+        assert "attempts=1" in text
+        assert "exhausted=True" in text
+
+    def test_empty_schedule_is_exhausted_and_silent(self):
+        inj = injector()
+        inj.begin_attempt()
+        assert inj.exhausted
+        assert inj.on_op(0) == 0.0
+        assert inj.on_send(0, 1) == (False, 0.0)
+        assert "none" in inj.summary()

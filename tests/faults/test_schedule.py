@@ -1,0 +1,116 @@
+"""Tests for the seeded, replayable fault schedules."""
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    SlowNode,
+    SpotTermination,
+)
+
+
+class TestEventValidation:
+    def test_rank_crash_bounds(self):
+        with pytest.raises(ValueError):
+            RankCrash(rank=-1, at_op=1)
+        with pytest.raises(ValueError):
+            RankCrash(rank=0, at_op=0)
+
+    def test_message_events_bounds(self):
+        with pytest.raises(ValueError):
+            MessageDrop(source=-1, dest=0, match_index=1)
+        with pytest.raises(ValueError):
+            MessageDrop(source=0, dest=1, match_index=0)
+        with pytest.raises(ValueError):
+            MessageDelay(source=0, dest=1, match_index=1, seconds=-0.1)
+
+    def test_slow_node_multiplier_at_least_one(self):
+        with pytest.raises(ValueError):
+            SlowNode(rank=0, multiplier=0.5)
+
+    def test_spot_fraction_open_interval(self):
+        with pytest.raises(ValueError):
+            SpotTermination(node_index=0, at_fraction=0.0)
+        with pytest.raises(ValueError):
+            SpotTermination(node_index=0, at_fraction=1.0)
+
+    def test_events_are_frozen(self):
+        crash = RankCrash(rank=1, at_op=2)
+        with pytest.raises(AttributeError):
+            crash.rank = 2
+
+
+class TestGenerate:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.generate(11, size=4)
+        b = FaultSchedule.generate(11, size=4)
+        assert a == b
+        assert a.checksum() == b.checksum()
+
+    def test_different_seeds_differ(self):
+        assert FaultSchedule.generate(1, size=4) != FaultSchedule.generate(
+            2, size=4
+        )
+
+    def test_event_counts(self):
+        schedule = FaultSchedule.generate(
+            3, size=3, n_crashes=2, n_drops=1, n_delays=3, n_slow=1, n_spot=2
+        )
+        assert len(schedule.crashes()) == 2
+        assert len(schedule.drops()) == 1
+        assert len(schedule.delays()) == 3
+        assert len(schedule.slow_nodes()) == 1
+        assert len(schedule.spot_terminations()) == 2
+        assert len(schedule) == 9
+
+    def test_messages_never_self_addressed_on_multi_rank(self):
+        for seed in range(10):
+            schedule = FaultSchedule.generate(
+                seed, size=3, n_drops=3, n_delays=3
+            )
+            for event in schedule.drops() + schedule.delays():
+                assert event.source != event.dest
+
+    def test_ranks_within_size(self):
+        schedule = FaultSchedule.generate(5, size=2, n_crashes=3, n_spot=3)
+        for crash in schedule.crashes():
+            assert 0 <= crash.rank < 2
+        for spot in schedule.spot_terminations():
+            assert 0 <= spot.node_index < 2
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(0, size=0)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        schedule = FaultSchedule.generate(7, size=3, n_spot=1)
+        clone = FaultSchedule.from_dict(schedule.to_dict())
+        assert clone == schedule
+        assert clone.checksum() == schedule.checksum()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "meteor_strike", "rank": 0}]}
+            )
+
+    def test_checksum_depends_on_events(self):
+        base = FaultSchedule(events=(RankCrash(rank=0, at_op=1),))
+        other = FaultSchedule(events=(RankCrash(rank=0, at_op=2),))
+        assert base.checksum() != other.checksum()
+
+    def test_describe_lists_every_event(self):
+        schedule = FaultSchedule.generate(7, size=3)
+        text = schedule.describe()
+        assert "FaultSchedule(seed=7" in text
+        assert text.count("\n") == len(schedule)
+        assert FaultSchedule().describe() == "FaultSchedule(empty)"
+
+    def test_slow_op_delay_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(slow_op_delay=-1.0)

@@ -107,3 +107,33 @@ class TestBenchNested:
     def test_empty_backend_list_rejected(self, capsys):
         code = main(["bench", "nested", "--smoke", "--backends", " , "])
         assert code == 2
+
+
+class TestChaos:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.seed == 7
+        assert args.units == 3
+        assert not args.quick
+
+    def test_too_few_units_rejected(self, capsys):
+        code = main(["chaos", "--units", "1"])
+        assert code == 2
+        assert "units" in capsys.readouterr().err
+
+    def test_quick_run_recovers_bit_identically(self, capsys):
+        code = main(["chaos", "--quick", "--seed", "7", "--blocks", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        assert "bit-identical" in out
+        # The three checksum lines must agree (fault-free, faulted,
+        # replayed) — that IS the recovery contract.
+        checksums = [
+            line.split("checksum")[1].split()[0]
+            for line in out.splitlines()
+            if line.startswith(("fault-free", "faulted", "replayed"))
+        ]
+        assert len(checksums) == 3
+        assert len(set(checksums)) == 1
