@@ -14,7 +14,10 @@ package enforces those invariants statically on every PR:
   (``__all__`` hygiene plus the cross-module catalog/pricing/
   performance/registry invariants);
 - :mod:`repro.analysis.rules.perf` — the ``PERF`` pack (vectorization
-  regressions in the registered Monte Carlo hot-path modules).
+  regressions in the registered Monte Carlo hot-path modules);
+- :mod:`repro.analysis.rules.robustness` — the ``RB`` pack (blanket
+  ``except`` and unbounded/backoff-free retry loops in the resilient
+  runtime/cloud packages).
 
 Run it as ``repro lint [paths]`` or through
 ``tests/analysis/test_self_lint.py``, which fails the suite on any
@@ -39,6 +42,7 @@ from repro.analysis.rules import (
     default_rules,
     determinism_rules,
     perf_rules,
+    robustness_rules,
 )
 
 __all__ = [
@@ -57,4 +61,5 @@ __all__ = [
     "determinism_rules",
     "consistency_rules",
     "perf_rules",
+    "robustness_rules",
 ]

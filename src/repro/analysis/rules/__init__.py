@@ -28,6 +28,12 @@ from repro.analysis.rules.perf import (
     LoopArrayConstructionRule,
     perf_rules,
 )
+from repro.analysis.rules.robustness import (
+    RESILIENT_PACKAGES,
+    BroadExceptRule,
+    UnboundedRetryRule,
+    robustness_rules,
+)
 from repro.analysis.engine import FileRule, ProjectRule
 
 __all__ = [
@@ -44,13 +50,22 @@ __all__ = [
     "HOT_PATH_MODULES",
     "LoopArrayConstructionRule",
     "ListAppendConversionRule",
+    "RESILIENT_PACKAGES",
+    "BroadExceptRule",
+    "UnboundedRetryRule",
     "determinism_rules",
     "consistency_rules",
     "perf_rules",
+    "robustness_rules",
     "default_rules",
 ]
 
 
 def default_rules() -> list[FileRule | ProjectRule]:
     """Fresh instances of every built-in rule (all packs)."""
-    return [*determinism_rules(), *consistency_rules(), *perf_rules()]
+    return [
+        *determinism_rules(),
+        *consistency_rules(),
+        *perf_rules(),
+        *robustness_rules(),
+    ]

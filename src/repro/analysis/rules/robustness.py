@@ -1,0 +1,192 @@
+"""Robustness rule pack (``RB``).
+
+The deadline-guard runtime (:mod:`repro.runtime`) and the cloud layer
+(:mod:`repro.cloud`) are the modules that *handle* failure — which makes
+them the modules where sloppy failure handling is most dangerous.  Two
+classes of regression are policed:
+
+- ``RB001`` — a bare ``except:`` or a blanket ``except Exception`` /
+  ``except BaseException`` that does not re-raise.  Recovery code must
+  name the failures it absorbs (``ProviderError``, ``CircuitOpenError``,
+  ``MessagePassingError``, ...); swallowing everything hides injected
+  faults and programming errors alike, and turns the chaos suite's
+  bit-identity guarantees into silence.
+- ``RB002`` — an unbounded or backoff-free retry loop.  A ``while
+  True`` whose exception handler never exits (no ``raise`` / ``break``
+  / ``return``) retries forever; a bounded ``range()`` retry whose body
+  never backs off hammers the provider.  Retries must be budgeted and
+  paced — that is what :class:`repro.runtime.breaker.RetryPolicy`
+  exists for.
+
+Both rules apply only to the resilient packages; elsewhere the
+determinism pack's rules still apply but failure-handling style is not
+policed.  Deliberate exceptions carry ``# repro: noqa[RB001]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+from repro.analysis.rules.determinism import _ImportTrackingRule
+
+__all__ = [
+    "RESILIENT_PACKAGES",
+    "BroadExceptRule",
+    "UnboundedRetryRule",
+    "robustness_rules",
+]
+
+#: Package names whose modules the RB pack polices — the deadline-guard
+#: runtime and the simulated cloud layer.
+RESILIENT_PACKAGES: tuple[str, ...] = ("runtime", "cloud")
+
+#: Blanket exception names RB001 flags when caught without a re-raise.
+_BLANKET_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Call leaves that count as pacing a retry (virtual or wall clock).
+_BACKOFF_LEAVES = frozenset({"sleep", "advance", "delay_seconds"})
+
+
+def _is_resilient(module_name: str) -> bool:
+    """True when any dotted component names a resilient package (the
+    test snippets lint as standalone files named after the package)."""
+    return any(part in RESILIENT_PACKAGES for part in module_name.split("."))
+
+
+class _ResilientModuleRule(_ImportTrackingRule):
+    """Import-tracking rule restricted to the resilient packages."""
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return _is_resilient(module.module)
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    """Leaf names of the exception types a handler catches."""
+    if node is None:
+        return []
+    targets = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return names
+
+
+def _handler_exits(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or leaves the enclosing
+    loop/function — i.e. the failure is not silently absorbed."""
+    return any(
+        isinstance(child, (ast.Raise, ast.Break, ast.Return))
+        for stmt in handler.body
+        for child in ast.walk(stmt)
+    )
+
+
+class BroadExceptRule(_ResilientModuleRule):
+    """RB001: bare/blanket ``except`` without a re-raise."""
+
+    rule_id = "RB001"
+    description = (
+        "bare or blanket except in a failure-handling module swallows "
+        "injected faults and bugs alike; catch the named failure types "
+        "or re-raise"
+    )
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            caught = "bare except:"
+        else:
+            blanket = [
+                name
+                for name in _exception_names(node.type)
+                if name in _BLANKET_EXCEPTIONS
+            ]
+            if not blanket:
+                return
+            caught = f"except {blanket[0]}"
+        if _handler_exits(node):
+            return
+        yield self.finding(
+            module,
+            node,
+            f"{caught} absorbs every failure, injected faults included; "
+            "catch the specific exception types recovery handles, or "
+            "re-raise",
+        )
+
+
+class UnboundedRetryRule(_ResilientModuleRule):
+    """RB002: retry loop without a bound or without backoff."""
+
+    rule_id = "RB002"
+    description = (
+        "retry loops must be budgeted and paced: bound the attempts "
+        "(range/RetryPolicy) and back off between them (clock advance "
+        "or sleep)"
+    )
+    interests = (ast.While, ast.For)
+
+    def _handlers(self, loop: ast.While | ast.For) -> list[ast.ExceptHandler]:
+        return [
+            child
+            for stmt in loop.body
+            for child in ast.walk(stmt)
+            if isinstance(child, ast.ExceptHandler)
+        ]
+
+    def _has_backoff(self, loop: ast.While | ast.For) -> bool:
+        for stmt in loop.body:
+            for child in ast.walk(stmt):
+                if not isinstance(child, ast.Call):
+                    continue
+                dotted = self.resolve(child.func)
+                leaf = dotted.rsplit(".", 1)[-1] if dotted else None
+                if leaf in _BACKOFF_LEAVES:
+                    return True
+        return False
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.While, ast.For))
+        handlers = self._handlers(node)
+        swallowing = [h for h in handlers if not _handler_exits(h)]
+        if not swallowing:
+            return
+        if isinstance(node, ast.While):
+            unbounded = (
+                isinstance(node.test, ast.Constant) and node.test.value is True
+            )
+            if unbounded:
+                yield self.finding(
+                    module,
+                    node,
+                    "while True retry never gives up: bound the attempts "
+                    "and re-raise once the budget is exhausted (see "
+                    "RetryPolicy)",
+                )
+                return
+        elif self._is_range_loop(node) and not self._has_backoff(node):
+            yield self.finding(
+                module,
+                node,
+                "bounded retry without backoff hammers the provider; "
+                "pace attempts with a clock advance or sleep between "
+                "them (see RetryPolicy.delay_seconds)",
+            )
+
+    def _is_range_loop(self, node: ast.For) -> bool:
+        call = node.iter
+        if not isinstance(call, ast.Call):
+            return False
+        return self.resolve(call.func) in {"range", "builtins.range"}
+
+
+def robustness_rules() -> list[FileRule]:
+    """Fresh instances of the whole robustness pack."""
+    return [BroadExceptRule(), UnboundedRetryRule()]

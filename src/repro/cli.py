@@ -13,7 +13,10 @@ Installs as the ``repro`` console command with four subcommands:
 - ``repro lint`` — run the AST-based determinism & consistency linter
   (:mod:`repro.analysis`) over source trees;
 - ``repro chaos`` — replay a seeded fault schedule against a campaign
-  and assert the recovered SCR is bit-identical to the fault-free run.
+  and assert the recovered SCR is bit-identical to the fault-free run;
+  ``--rescue`` runs the deadline-guard scenario (straggler VM + rank
+  crash -> checkpointed elastic rescue that still meets ``Tmax``), and
+  ``--corpus DIR`` replays every schedule file in a corpus directory.
 
 Every simulation subcommand is deterministic under ``--seed``.
 """
@@ -140,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry rounds per failed dispatch (default 3)")
     chaos.add_argument("--spmd-timeout", type=float, default=5.0,
                        help="per-dispatch timeout, seconds (default 5)")
+    chaos.add_argument("--rescue", action="store_true",
+                       help="deadline-guard scenario: straggler + rank "
+                            "crash, rescued mid-run from the checkpoint, "
+                            "asserted to meet Tmax with bit-identical SCR")
+    chaos.add_argument("--tmax-factor", type=float, default=3.0,
+                       help="--rescue: Tmax as a multiple of the "
+                            "fault-free duration (default 3.0)")
+    chaos.add_argument("--corpus", default=None, metavar="DIR",
+                       help="replay every *.json fault-schedule file in "
+                            "DIR through the guarded runtime and assert "
+                            "bit-identical SCRs")
     return parser
 
 
@@ -321,17 +335,12 @@ def _report_checksum(report) -> str:
     return digest.hexdigest()[:16]
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
+def _chaos_blocks(seed: int, n_blocks: int, quick: bool):
+    """The seeded campaign every chaos mode runs against."""
     from repro.disar import SimulationSettings
-    from repro.disar.master import DisarMasterService
-    from repro.faults import FaultInjector, FaultSchedule
     from repro.workload import CampaignGenerator
 
-    if args.units < 2:
-        print("repro chaos: --units must be >= 2 (SPMD needs peers)",
-              file=sys.stderr)
-        return 2
-    if args.quick:
+    if quick:
         settings = SimulationSettings(
             n_outer=40, n_inner=8, lsmc_outer_calibration=15, steps_per_year=2
         )
@@ -339,10 +348,225 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         settings = SimulationSettings(
             n_outer=120, n_inner=16, lsmc_outer_calibration=40
         )
-    campaign = CampaignGenerator(seed=args.seed).paper_campaign(
-        n_portfolios=2, n_eebs=args.blocks, settings=settings
+    campaign = CampaignGenerator(seed=seed).paper_campaign(
+        n_portfolios=2, n_eebs=n_blocks, settings=settings
     )
-    blocks = campaign.blocks
+    return campaign.blocks
+
+
+def _guard_choice():
+    """Deliberately small initial fleet: 2 nodes of the second-cheapest
+    type, so an injected straggler genuinely threatens the deadline and
+    a rescue has room to scale out."""
+    import math
+
+    from repro.cloud.instance_types import INSTANCE_CATALOG
+    from repro.core.selection import DeployChoice
+
+    catalog = sorted(
+        INSTANCE_CATALOG.values(), key=lambda t: t.hourly_price_usd
+    )
+    return DeployChoice(
+        instance_type=catalog[1],
+        n_nodes=2,
+        predicted_seconds=math.nan,
+        predicted_cost_usd=math.nan,
+        feasible=True,
+    )
+
+
+def _guarded_run(blocks, seed, schedule, tmax_seconds, max_retries,
+                 spmd_timeout):
+    """One deadline-guarded campaign on a fresh manager/checkpoint.
+
+    A fresh seeded manager per run keeps the virtual clock and the
+    provider ledger independent across the clean/faulted/replayed runs,
+    which is what makes their checksums comparable.
+    """
+    from repro.cloud.cluster import StarClusterManager
+    from repro.runtime import DeadlineGuardedRunner, RunCheckpoint
+
+    runner = DeadlineGuardedRunner(
+        StarClusterManager(seed=seed), checkpoint=RunCheckpoint()
+    )
+    result = runner.run(
+        _guard_choice(),
+        blocks,
+        tmax_seconds=tmax_seconds,
+        compute_results=True,
+        fault_schedule=schedule,
+        max_retries=max_retries,
+        spmd_timeout=spmd_timeout,
+    )
+    return runner, result
+
+
+def _cmd_chaos_rescue(args: argparse.Namespace) -> int:
+    """The deadline-guard acceptance scenario.
+
+    A straggler VM plus a mid-campaign rank crash threaten ``Tmax``; the
+    guard must rescue onto a larger fleet, resume from the chunk
+    checkpoint, finish within the deadline, and still produce an SCR
+    bit-identical to the fault-free run.
+    """
+    from repro.faults import FaultSchedule
+    from repro.faults.schedule import RankCrash, SlowNode
+
+    blocks = _chaos_blocks(args.seed, args.blocks, args.quick)
+    choice = _guard_choice()
+    print(f"campaign: {len(blocks)} blocks, seed {args.seed}; initial "
+          f"fleet {choice.n_nodes} x {choice.instance_type.api_name}")
+
+    _, clean = _guarded_run(
+        blocks, args.seed, None, 1e9, 0, args.spmd_timeout
+    )
+    checksum_base = _report_checksum(clean.report)
+    nominal = clean.execution_seconds
+    print(f"fault-free : {nominal:,.0f}s, cost ${clean.cost_usd:.3f}, "
+          f"SCR {clean.report.total_scr:,.2f}  checksum {checksum_base}")
+
+    tmax = args.tmax_factor * nominal
+    schedule = FaultSchedule(events=(
+        SlowNode(rank=0, multiplier=6.0),
+        RankCrash(rank=1, at_op=4),
+    ))
+    print(f"\n{schedule.describe()}")
+    print(f"Tmax = {args.tmax_factor:g} x nominal = {tmax:,.0f}s\n")
+
+    _, rescued = _guarded_run(
+        blocks, args.seed, schedule, tmax, args.max_retries,
+        args.spmd_timeout
+    )
+    checksum_rescue = _report_checksum(rescued.report)
+    print(f"rescued    : {rescued.describe()}")
+    print(f"             SCR {rescued.report.total_scr:,.2f}  "
+          f"checksum {checksum_rescue}")
+
+    _, replayed = _guarded_run(
+        blocks, args.seed, schedule, tmax, args.max_retries,
+        args.spmd_timeout
+    )
+    checksum_replay = _report_checksum(replayed.report)
+    print(f"replayed   : SCR {replayed.report.total_scr:,.2f}  "
+          f"checksum {checksum_replay}")
+
+    failures = []
+    if rescued.n_rescues < 1:
+        failures.append("no elastic rescue fired — guard never breached")
+    if not rescued.deadline_met:
+        failures.append("rescued run missed its deadline")
+    if rescued.n_faults < 1:
+        failures.append("no fault fired — schedule never matched the run")
+    if rescued.n_resumed_chunks < 1:
+        failures.append("no chunks resumed from the checkpoint")
+    if checksum_rescue != checksum_base:
+        failures.append("rescued run is NOT bit-identical to fault-free")
+    if checksum_replay != checksum_rescue:
+        failures.append("replay is NOT bit-identical to the rescued run")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: rescue met Tmax with {rescued.n_resumed_chunks} "
+          f"checkpointed chunk(s) resumed, ${rescued.wasted_cost_usd:.3f} "
+          f"wasted on the abandoned fleet; SCR bit-identical to the "
+          f"fault-free run and across replays.")
+    return 0
+
+
+def _cmd_chaos_corpus(args: argparse.Namespace) -> int:
+    """Replay every fault-schedule file in a corpus directory.
+
+    Each ``*.json`` entry carries a serialized
+    :class:`~repro.faults.schedule.FaultSchedule` plus the campaign
+    parameters to replay it against.  Every entry must (a) observably
+    perturb the run and (b) end with an SCR bit-identical to its
+    fault-free baseline — on the original run and on a replay.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.faults import FaultSchedule
+
+    corpus_dir = Path(args.corpus)
+    entries = sorted(corpus_dir.glob("*.json"))
+    if not entries:
+        print(f"repro chaos: no *.json schedules in {corpus_dir}",
+              file=sys.stderr)
+        return 2
+
+    baselines: dict[tuple[int, int], tuple[float, str]] = {}
+    n_failed = 0
+    for path in entries:
+        entry = json.loads(path.read_text())
+        seed = int(entry.get("seed", args.seed))
+        n_blocks = int(entry.get("blocks", args.blocks))
+        tmax_factor = entry.get("tmax_factor")
+        schedule = FaultSchedule.from_dict(entry["schedule"])
+        blocks = _chaos_blocks(seed, n_blocks, args.quick)
+
+        key = (seed, n_blocks)
+        if key not in baselines:
+            _, clean = _guarded_run(
+                blocks, seed, None, 1e9, 0, args.spmd_timeout
+            )
+            baselines[key] = (
+                clean.execution_seconds, _report_checksum(clean.report)
+            )
+        nominal, checksum_base = baselines[key]
+        tmax = (
+            float(tmax_factor) * nominal if tmax_factor is not None else 1e9
+        )
+
+        runner, faulted = _guarded_run(
+            blocks, seed, schedule, tmax, args.max_retries,
+            args.spmd_timeout
+        )
+        _, replayed = _guarded_run(
+            blocks, seed, schedule, tmax, args.max_retries,
+            args.spmd_timeout
+        )
+        checksum_fault = _report_checksum(faulted.report)
+        checksum_replay = _report_checksum(replayed.report)
+
+        observed = (
+            faulted.n_faults + faulted.n_rescues
+            + faulted.n_fallback_launches + runner.breaker.n_failures
+        )
+        failures = []
+        if observed == 0:
+            failures.append("schedule had no observable effect")
+        if not faulted.deadline_met:
+            failures.append("faulted run missed its deadline")
+        if checksum_fault != checksum_base:
+            failures.append("SCR not bit-identical to fault-free baseline")
+        if checksum_replay != checksum_fault:
+            failures.append("replay not bit-identical to first faulted run")
+
+        status = "ok  " if not failures else "FAIL"
+        print(f"{status} {path.stem:<28} {faulted.describe()}")
+        for failure in failures:
+            print(f"     FAIL: {failure}", file=sys.stderr)
+        n_failed += bool(failures)
+
+    print(f"\n{len(entries) - n_failed}/{len(entries)} corpus "
+          f"schedule(s) replayed bit-identically")
+    return 1 if n_failed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.disar.master import DisarMasterService
+    from repro.faults import FaultInjector, FaultSchedule
+
+    if args.corpus is not None:
+        return _cmd_chaos_corpus(args)
+    if args.rescue:
+        return _cmd_chaos_rescue(args)
+    if args.units < 2:
+        print("repro chaos: --units must be >= 2 (SPMD needs peers)",
+              file=sys.stderr)
+        return 2
+    blocks = _chaos_blocks(args.seed, args.blocks, args.quick)
 
     def run(schedule: FaultSchedule | None):
         injector = FaultInjector(schedule) if schedule is not None else None

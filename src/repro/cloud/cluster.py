@@ -23,7 +23,13 @@ from repro.cloud.provider import SimulatedEC2, SimulatedInstance
 from repro.disar.eeb import ElementaryElaborationBlock
 from repro.disar.master import DisarMasterService, ElaborationReport
 from repro.faults.injector import FaultInjector
-from repro.faults.schedule import FaultSchedule
+from repro.faults.schedule import (
+    FaultSchedule,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    SlowNode,
+)
 
 __all__ = [
     "ClusterHandle",
@@ -31,6 +37,15 @@ __all__ = [
     "CloudRunResult",
     "MixedCloudRunResult",
 ]
+
+
+def _has_comm_events(schedule: FaultSchedule) -> bool:
+    """True when the schedule carries communicator-level events that the
+    DISAR engines (not the cloud layer) must inject and recover."""
+    return any(
+        isinstance(e, (RankCrash, MessageDrop, MessageDelay, SlowNode))
+        for e in schedule.events
+    )
 
 
 @dataclass
@@ -136,6 +151,7 @@ class StarClusterManager:
         faults: FaultSchedule | None = None,
         max_retries: int = 3,
         spmd_timeout: float = 5.0,
+        injector: FaultInjector | None = None,
     ) -> tuple[float, ElaborationReport | None, int]:
         """Run ``blocks``; returns ``(seconds, report, n_faults)``.
 
@@ -156,19 +172,31 @@ class StarClusterManager:
         (crashes, drops, delays, slow nodes) are injected into the
         DISAR engines when ``compute_results=True``, recovered by the
         master's retry logic (``max_retries``).
+
+        ``injector`` shares fault consumption with the caller: the
+        deadline-guard runtime passes the run-scoped injector here so a
+        spot reclaim staged against the first cluster generation stays
+        consumed after a rescue re-provision (fire-at-most-once across
+        epochs).  When omitted, a fresh injector is built from
+        ``faults``.
         """
         if handle.name not in self._clusters:
             raise ValueError(f"cluster {handle.name!r} is not active")
         if not blocks:
             raise ValueError("no blocks to run")
+        if injector is None and faults is not None:
+            injector = FaultInjector(faults)
+            injector.begin_epoch()
         work = self.performance.campaign_units(blocks)
         n_faults = 0
-        spot_events = faults.spot_terminations() if faults is not None else ()
         remaining_work = work
         elapsed = 0.0
-        for spot in spot_events:
+        while injector is not None:
             alive = [i for i in handle.instances if i.is_running]
             if len(alive) <= 1:
+                break
+            spot = injector.take_spot_termination()
+            if spot is None:
                 break
             segment = self.performance.measured_seconds(
                 remaining_work, handle.instance_type, len(alive), self._rng
@@ -187,11 +215,11 @@ class StarClusterManager:
         seconds = elapsed + final
         report = None
         if compute_results:
-            injector = None
+            comm_injector = None
             retries = 0
             timeout = 60.0
-            if faults is not None and len(faults.events) > len(spot_events):
-                injector = FaultInjector(faults)
+            if injector is not None and _has_comm_events(injector.schedule):
+                comm_injector = injector
                 retries = max_retries
                 # Dropped messages only resolve via recv timeout; keep
                 # it short so recovery, not the timeout, dominates.
@@ -203,7 +231,7 @@ class StarClusterManager:
                 distribute_alm=handle.n_nodes > 1,
                 max_retries=retries,
                 spmd_timeout=timeout,
-                injector=injector,
+                injector=comm_injector,
             )
             n_faults += report.recovered_failures
         return seconds, report, n_faults
@@ -216,6 +244,7 @@ class StarClusterManager:
         compute_results: bool = False,
         faults: FaultSchedule | None = None,
         max_retries: int = 3,
+        injector: FaultInjector | None = None,
     ) -> CloudRunResult:
         """Full lifecycle: start cluster, run ``blocks``, terminate, bill.
 
@@ -231,6 +260,7 @@ class StarClusterManager:
                 compute_results=compute_results,
                 faults=faults,
                 max_retries=max_retries,
+                injector=injector,
             )
         finally:
             billing = self.terminate_cluster(handle)

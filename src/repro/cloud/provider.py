@@ -12,13 +12,27 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.cloud.instance_types import InstanceType
 from repro.cloud.pricing import BillingModel, BillingRecord
 
-__all__ = ["VirtualClock", "SimulatedInstance", "SimulatedEC2"]
+__all__ = [
+    "ProviderError",
+    "VirtualClock",
+    "SimulatedInstance",
+    "SimulatedEC2",
+]
+
+
+class ProviderError(RuntimeError):
+    """A control-plane API call failed (launch refused, capacity shortage).
+
+    This is the *retryable* provider failure mode the circuit breaker in
+    :mod:`repro.runtime.breaker` absorbs — distinct from ``ValueError``
+    on caller bugs, which must propagate."""
 
 
 class VirtualClock:
@@ -89,6 +103,9 @@ class SimulatedEC2:
         self._ids = itertools.count(1)
         self._instances: dict[str, SimulatedInstance] = {}
         self._ledger: list[BillingRecord] = []
+        #: Fault-injection hook consulted before every launch; raising
+        #: :class:`ProviderError` fails the call before any VM exists.
+        self.launch_hook: Optional[Callable[[str, int], None]] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -99,6 +116,8 @@ class SimulatedEC2:
         the slowest one is ready (cluster-style blocking launch)."""
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        if self.launch_hook is not None:
+            self.launch_hook(instance_type.api_name, count)
         low, high = self.boot_latency_range
         launched_at = self.clock.now
         instances = []

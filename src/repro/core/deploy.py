@@ -37,6 +37,7 @@ from repro.stochastic.rng import generator_from
 
 if TYPE_CHECKING:
     from repro.core.hetero_selection import MixedDeployChoice
+    from repro.runtime.checkpoint import RunCheckpoint
 
 __all__ = ["TransparentDeploySystem", "DeployOutcome"]
 
@@ -56,6 +57,15 @@ class DeployOutcome:
     #: dispatches); its timing sample is flagged in the knowledge base.
     degraded: bool = False
     n_faults: int = 0
+    #: Mid-run elastic rescues the deadline guard performed (guarded
+    #: runs only).
+    n_rescues: int = 0
+    #: Monte Carlo chunks resumed from the run checkpoint instead of
+    #: recomputed (guarded runs only).
+    n_resumed_chunks: int = 0
+    #: Bills of clusters abandoned by an elastic rescue; included in
+    #: ``cost_usd``.
+    wasted_cost_usd: float = 0.0
 
     @property
     def deadline_met(self) -> bool:
@@ -78,6 +88,13 @@ class DeployOutcome:
         )
         if self.degraded:
             text += f", degraded ({self.n_faults} fault(s) recovered)"
+        if self.n_rescues:
+            text += (
+                f", {self.n_rescues} rescue(s), wasted "
+                f"${self.wasted_cost_usd:.3f}"
+            )
+        if self.n_resumed_chunks:
+            text += f", {self.n_resumed_chunks} chunk(s) resumed"
         return text
 
 
@@ -197,6 +214,8 @@ class TransparentDeploySystem:
         compute_results: bool = False,
         force: DeployChoice | None = None,
         fault_schedule: FaultSchedule | None = None,
+        use_guard: bool = False,
+        checkpoint: "RunCheckpoint | None" = None,
     ) -> DeployOutcome:
         """Deploy and run one simulation campaign transparently.
 
@@ -206,29 +225,73 @@ class TransparentDeploySystem:
         run (spot reclaims, rank crashes, message loss); recovered runs
         are stored in the knowledge base with the ``degraded`` flag so
         the planner knows their timing is not a clean sample.
+
+        ``use_guard=True`` runs the campaign under the
+        :class:`~repro.runtime.runner.DeadlineGuardedRunner`: launches go
+        through the provider circuit breaker (falling back to the
+        next-cheapest configuration when the provider keeps failing), the
+        deadline guard watches the live ETA and performs a mid-run
+        elastic rescue when the run drifts past ``Tmax``, and Monte Carlo
+        chunks resume from ``checkpoint`` (a fresh one when omitted).
+        The extra rescue accounting lands on the outcome's
+        ``n_rescues`` / ``n_resumed_chunks`` / ``wasted_cost_usd``.
         """
         if tmax_seconds <= 0:
             raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
         params = self.aggregate_parameters(blocks)
         choice, bootstrap = self.choose(params, tmax_seconds, force=force)
 
-        result = self.manager.run_campaign(
-            choice.instance_type,
-            choice.n_nodes,
-            blocks,
-            compute_results=compute_results,
-            faults=fault_schedule,
-        )
+        n_rescues = 0
+        n_resumed = 0
+        wasted_cost = 0.0
+        if use_guard:
+            # Imported lazily: repro.runtime imports from repro.core, so
+            # a module-level import here would be circular.
+            from repro.runtime.runner import DeadlineGuardedRunner
+
+            runner = DeadlineGuardedRunner(
+                self.manager,
+                selector=self.selector,
+                checkpoint=checkpoint,
+            )
+            guarded = runner.run(
+                choice,
+                blocks,
+                tmax_seconds,
+                compute_results=compute_results,
+                fault_schedule=fault_schedule,
+            )
+            measured_seconds = guarded.execution_seconds
+            cost_usd = guarded.cost_usd
+            report = guarded.report
+            degraded = guarded.degraded
+            n_faults = guarded.n_faults
+            n_rescues = guarded.n_rescues
+            n_resumed = guarded.n_resumed_chunks
+            wasted_cost = guarded.wasted_cost_usd
+        else:
+            result = self.manager.run_campaign(
+                choice.instance_type,
+                choice.n_nodes,
+                blocks,
+                compute_results=compute_results,
+                faults=fault_schedule,
+            )
+            measured_seconds = result.execution_seconds
+            cost_usd = result.cost_usd
+            report = result.report
+            degraded = result.degraded
+            n_faults = result.n_faults
 
         record = RunRecord(
             params=params,
             instance_type=choice.instance_type.api_name,
             n_nodes=choice.n_nodes,
-            execution_seconds=result.execution_seconds,
-            cost_usd=result.cost_usd,
+            execution_seconds=measured_seconds,
+            cost_usd=cost_usd,
             predicted_seconds=choice.predicted_seconds,
             virtual_timestamp=self.manager.provider.clock.now,
-            degraded=result.degraded,
+            degraded=degraded,
         )
         self.knowledge_base.add(record)
 
@@ -238,14 +301,17 @@ class TransparentDeploySystem:
 
         outcome = DeployOutcome(
             choice=choice,
-            measured_seconds=result.execution_seconds,
-            cost_usd=result.cost_usd,
+            measured_seconds=measured_seconds,
+            cost_usd=cost_usd,
             deadline_seconds=tmax_seconds,
-            report=result.report,
+            report=report,
             knowledge_base_size=len(self.knowledge_base),
             bootstrap=bootstrap,
-            degraded=result.degraded,
-            n_faults=result.n_faults,
+            degraded=degraded,
+            n_faults=n_faults,
+            n_rescues=n_rescues,
+            n_resumed_chunks=n_resumed,
+            wasted_cost_usd=wasted_cost,
         )
         self._history.append(outcome)
         return outcome

@@ -206,6 +206,29 @@ class KnowledgeBase:
             targets[i] = row["execution_seconds"]
         return features, targets
 
+    def sample_weights(self, degraded_weight: float = 0.5) -> FloatArray:
+        """Per-row training weights, aligned with :meth:`training_matrices`.
+
+        Rows flagged ``degraded`` — runs that survived faults, whose
+        timing includes retry/recovery overhead and therefore overstates
+        the configuration's clean execution time — get ``degraded_weight``;
+        clean rows (and encoded heterogeneous rows, which carry no flag)
+        get ``1.0``.
+        """
+        if not 0.0 <= degraded_weight <= 1.0:
+            raise ValueError(
+                f"degraded_weight must be in [0, 1], got {degraded_weight}"
+            )
+        rows = self.database.all(_TABLE)
+        if not rows:
+            raise ValueError("knowledge base is empty")
+        return np.array(
+            [
+                degraded_weight if row.get("degraded", False) else 1.0
+                for row in rows
+            ]
+        )
+
     def degraded_count(self) -> int:
         """Structured runs flagged as degraded by fault recovery."""
         return sum(record.degraded for record in self.records())

@@ -9,7 +9,11 @@ This module makes the in-memory knowledge base durable:
   encoded heterogeneous rows);
 - ARFF export (the format of Weka, which the paper used to build its
   models) so the regenerated datasets can be loaded into the original
-  toolchain for cross-validation.
+  toolchain for cross-validation;
+- run-checkpoint save/load, so a campaign interrupted by a crash or a
+  spot reclaim can resume its completed Monte Carlo chunks from disk.
+  Python's ``repr``/``float`` round-trip is exact, so a reloaded
+  checkpoint reproduces the cached chunks bit-for-bit.
 """
 
 from __future__ import annotations
@@ -25,10 +29,18 @@ from repro.core.knowledge_base import (
     RunRecord,
 )
 from repro.disar.eeb import CharacteristicParameters
+from repro.runtime.checkpoint import RunCheckpoint
 
-__all__ = ["save_knowledge_base", "load_knowledge_base", "export_arff"]
+__all__ = [
+    "save_knowledge_base",
+    "load_knowledge_base",
+    "export_arff",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_FORMAT_VERSION = 1
 
 
 def save_knowledge_base(knowledge_base: KnowledgeBase, path: str | Path) -> int:
@@ -81,9 +93,32 @@ def load_knowledge_base(path: str | Path) -> KnowledgeBase:
                     cost_usd=row.get("cost_usd", float("nan")),
                     predicted_seconds=row.get("predicted_seconds", float("nan")),
                     virtual_timestamp=row.get("virtual_timestamp", 0.0),
+                    degraded=bool(row.get("degraded", False)),
                 )
             )
     return knowledge_base
+
+
+def save_checkpoint(checkpoint: RunCheckpoint, path: str | Path) -> int:
+    """Serialise a run checkpoint to JSON; returns the chunk count."""
+    payload = {
+        "format_version": _CHECKPOINT_FORMAT_VERSION,
+        **checkpoint.to_dict(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return checkpoint.n_chunks()
+
+
+def load_checkpoint(path: str | Path) -> RunCheckpoint:
+    """Load a checkpoint previously saved with :func:`save_checkpoint`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected {_CHECKPOINT_FORMAT_VERSION})"
+        )
+    return RunCheckpoint.from_dict(payload)
 
 
 def export_arff(

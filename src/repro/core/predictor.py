@@ -32,6 +32,11 @@ class PredictorFamily:
     members:
         Optional subset of model names to use (ablation studies restrict
         the family to single members).
+    degraded_weight:
+        Training weight of knowledge-base rows flagged ``degraded``
+        (runs that survived faults and therefore overstate the clean
+        execution time of their configuration).  ``1.0`` disables the
+        down-weighting; ``0.0`` drops degraded rows entirely.
     """
 
     def __init__(
@@ -39,6 +44,7 @@ class PredictorFamily:
         models: dict[str, Regressor] | None = None,
         members: list[str] | None = None,
         seed: int = 0,
+        degraded_weight: float = 0.5,
     ) -> None:
         models = models if models is not None else default_model_family(seed=seed)
         if members is not None:
@@ -48,9 +54,14 @@ class PredictorFamily:
             models = {name: models[name] for name in members}
         if not models:
             raise ValueError("predictor family needs at least one model")
+        if not 0.0 <= degraded_weight <= 1.0:
+            raise ValueError(
+                f"degraded_weight must be in [0, 1], got {degraded_weight}"
+            )
         self._models = dict(models)
         self._fitted = False
         self._train_size = 0
+        self.degraded_weight = float(degraded_weight)
 
     @property
     def model_names(self) -> list[str]:
@@ -71,15 +82,48 @@ class PredictorFamily:
         """(Re)train every member on the full knowledge base.
 
         Called after every completed simulation — the paper's
-        self-optimizing re-training step.
+        self-optimizing re-training step.  Rows flagged degraded are
+        down-weighted by :attr:`degraded_weight`.
         """
         features, targets = knowledge_base.training_matrices()
-        return self.fit_arrays(features, targets)
+        weights = knowledge_base.sample_weights(self.degraded_weight)
+        return self.fit_arrays(features, targets, weights=weights)
 
     def fit_arrays(
-        self, features: FloatArray, targets: FloatArray
+        self,
+        features: FloatArray,
+        targets: FloatArray,
+        weights: FloatArray | None = None,
     ) -> "PredictorFamily":
-        """(Re)train on explicit matrices (used by the benchmarks)."""
+        """(Re)train on explicit matrices (used by the benchmarks).
+
+        ``weights`` applies per-sample training weights by deterministic
+        integer replication (each row is repeated proportionally to its
+        weight, scaled so the smallest positive weight maps to one copy;
+        zero-weight rows are dropped).  Replication keeps the member
+        models' plain ``fit(X, y)`` interface — none of them accept a
+        sample-weight argument — and is skipped entirely when the
+        weights are uniform, so unweighted training is bit-identical to
+        the pre-weighting behaviour.
+        """
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (len(targets),):
+                raise ValueError(
+                    f"weights must have shape ({len(targets)},), got "
+                    f"{weights.shape}"
+                )
+            if np.any(weights < 0.0):
+                raise ValueError("weights must be non-negative")
+            positive = weights[weights > 0.0]
+            if positive.size == 0:
+                raise ValueError("at least one weight must be positive")
+            if not np.all(weights == weights[0]):
+                counts = np.rint(weights / positive.min()).astype(int)
+                features = np.repeat(
+                    np.asarray(features, dtype=float), counts, axis=0
+                )
+                targets = np.repeat(np.asarray(targets, dtype=float), counts)
         fresh = {name: model.clone() for name, model in self._models.items()}
         for model in fresh.values():
             model.fit(features, targets)

@@ -45,6 +45,22 @@ class LoopReport:
         """Runs that needed fault recovery along the way."""
         return sum(outcome.degraded for outcome in self.outcomes)
 
+    @property
+    def n_rescued(self) -> int:
+        """Runs that needed a mid-run elastic rescue (guarded runs)."""
+        return sum(outcome.n_rescues > 0 for outcome in self.outcomes)
+
+    @property
+    def n_resumed(self) -> int:
+        """Monte Carlo chunks resumed from checkpoints across the loop."""
+        return sum(outcome.n_resumed_chunks for outcome in self.outcomes)
+
+    def wasted_cost_usd(self) -> float:
+        """Dollars spent on clusters abandoned by elastic rescues."""
+        return float(
+            sum(outcome.wasted_cost_usd for outcome in self.outcomes)
+        )
+
     def total_cost(self) -> float:
         return float(sum(outcome.cost_usd for outcome in self.outcomes))
 
@@ -92,6 +108,12 @@ class LoopReport:
                 f"  |error| first half  : {self.mean_abs_error(1.0):,.0f}s "
                 f"-> second half: {self.mean_abs_error(0.5):,.0f}s"
             )
+        if self.n_rescued:
+            lines.append(
+                f"  elastic rescues     : {self.n_rescued} run(s), "
+                f"{self.n_resumed} chunk(s) resumed, wasted "
+                f"${self.wasted_cost_usd():.2f}"
+            )
         return "\n".join(lines)
 
 
@@ -107,6 +129,7 @@ class SelfOptimizingLoop:
         tmax_seconds: float,
         compute_results: bool = False,
         fault_schedules: list[FaultSchedule | None] | None = None,
+        use_guard: bool = False,
     ) -> LoopReport:
         """Execute every workload in sequence, retraining as configured.
 
@@ -114,6 +137,10 @@ class SelfOptimizingLoop:
         EEBs); ``tmax_seconds`` applies to each campaign individually.
         ``fault_schedules`` optionally aligns one fault schedule (or
         ``None`` for a fault-free run) with each workload.
+        ``use_guard`` runs every campaign under the deadline-guard
+        runtime (checkpointing, elastic rescue, circuit breaker); the
+        report then also aggregates ``n_rescued`` / ``n_resumed`` /
+        ``wasted_cost_usd``.
         """
         if not workloads:
             raise ValueError("no workloads to run")
@@ -131,6 +158,7 @@ class SelfOptimizingLoop:
                 fault_schedule=(
                     fault_schedules[i] if fault_schedules is not None else None
                 ),
+                use_guard=use_guard,
             )
             report.outcomes.append(outcome)
         return report

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.disar.eeb import EEBType, ElementaryElaborationBlock
 from repro.montecarlo.lsmc import LSMCEngine
 from repro.montecarlo.nested import NestedMonteCarloEngine
 from repro.montecarlo.scr import SCRCalculator, SCRReport
+
+if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["ALMEngine", "ALMResult"]
 
@@ -70,8 +74,17 @@ class ALMEngine:
                 f"({eeb.eeb_id}); only type B is supported"
             )
 
-    def process(self, eeb: ElementaryElaborationBlock) -> ALMResult:
-        """Sequential valuation of ``eeb``."""
+    def process(
+        self,
+        eeb: ElementaryElaborationBlock,
+        chunk_store: "ChunkStore | None" = None,
+    ) -> ALMResult:
+        """Sequential valuation of ``eeb``.
+
+        ``chunk_store`` resumes the block's conditional-stage chunks from
+        a :class:`~repro.runtime.checkpoint.RunCheckpoint` and stores the
+        freshly computed ones.
+        """
         self._check_type(eeb)
         start = time.perf_counter()
         settings = eeb.settings
@@ -84,6 +97,7 @@ class ALMEngine:
                 n_inner_cal=settings.n_inner,
                 rng=settings.seed,
                 steps_per_year=settings.steps_per_year,
+                chunk_store=chunk_store,
             )
             base_value = result.calibration.base_value
             outer_values = result.outer_values
@@ -104,6 +118,7 @@ class ALMEngine:
                 n_inner=settings.n_inner,
                 rng=settings.seed,
                 steps_per_year=settings.steps_per_year,
+                chunk_store=chunk_store,
             )
             base_value = nested.base_value
             outer_values = nested.outer_values
@@ -119,7 +134,10 @@ class ALMEngine:
     # -- distributed execution ------------------------------------------------
 
     def process_distributed(
-        self, comm: Communicator, eeb: ElementaryElaborationBlock
+        self,
+        comm: Communicator,
+        eeb: ElementaryElaborationBlock,
+        chunk_store: "ChunkStore | None" = None,
     ) -> ALMResult | None:
         """Distributed valuation across the ranks of ``comm``.
 
@@ -148,6 +166,7 @@ class ALMEngine:
                 n_inner_cal=settings.n_inner,
                 rng=settings.seed,
                 steps_per_year=settings.steps_per_year,
+                chunk_store=chunk_store,
             )
             if comm.rank != 0 or result is None:
                 return None
@@ -171,6 +190,7 @@ class ALMEngine:
                 n_inner=settings.n_inner,
                 rng=settings.seed,
                 steps_per_year=settings.steps_per_year,
+                chunk_store=chunk_store,
             )
             if comm.rank != 0 or nested is None:
                 return None

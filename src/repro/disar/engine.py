@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.comm import Communicator
 from repro.disar.actuarial_engine import ActuarialEngine, ActuarialResult
 from repro.disar.alm_engine import ALMEngine, ALMResult
 from repro.disar.eeb import EEBType, ElementaryElaborationBlock
+
+if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["DisarEngineService"]
 
@@ -42,20 +46,22 @@ class DisarEngineService:
         self,
         eeb: ElementaryElaborationBlock,
         comm: Communicator | None = None,
+        chunk_store: "ChunkStore | None" = None,
     ) -> ActuarialResult | ALMResult | None:
         """Run one block on this node.
 
         Type-A blocks always run locally; type-B blocks run distributed
         when a communicator is supplied (``None`` is returned on non-root
-        ranks in that case).
+        ranks in that case).  ``chunk_store`` lets type-B blocks resume
+        checkpointed Monte Carlo chunks (ignored for type A).
         """
         start = time.perf_counter()
         if eeb.eeb_type is EEBType.ACTUARIAL:
             result: ActuarialResult | ALMResult | None = self.actuarial.process(eeb)
         elif comm is not None:
-            result = self.alm.process_distributed(comm, eeb)
+            result = self.alm.process_distributed(comm, eeb, chunk_store=chunk_store)
         else:
-            result = self.alm.process(eeb)
+            result = self.alm.process(eeb, chunk_store=chunk_store)
         self._log.append(
             _EngineLogEntry(
                 eeb_id=eeb.eeb_id,

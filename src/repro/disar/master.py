@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from repro.disar.eeb import EEBType, ElementaryElaborationBlock, SimulationSetti
 from repro.disar.engine import DisarEngineService
 from repro.disar.monitoring import ProgressMonitor
 from repro.disar.portfolio import Portfolio
+
+if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.runtime.checkpoint import ChunkStore, RunCheckpoint
 
 __all__ = ["DisarMasterService", "ElaborationReport"]
 
@@ -205,6 +209,7 @@ class DisarMasterService:
         retry_backoff_seconds: float = 0.0,
         spmd_timeout: float = 60.0,
         injector: FaultHooks | None = None,
+        checkpoint: "RunCheckpoint | None" = None,
     ) -> ElaborationReport:
         """Run an elaboration campaign on ``n_units`` computing units.
 
@@ -236,6 +241,13 @@ class DisarMasterService:
         dispatch; because injected events fire at most once, a retried
         attempt runs clean and the recovered campaign is bit-identical
         to a fault-free one.
+
+        ``checkpoint`` threads a chunk-level
+        :class:`~repro.runtime.checkpoint.RunCheckpoint` into the ALM
+        engines: completed conditional-stage chunks are cached per EEB,
+        so a retry — or a fresh campaign on a rescued cluster — resumes
+        from the last completed chunk instead of recomputing the block,
+        with bit-identical results.
         """
         start = time.perf_counter()
         type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
@@ -266,6 +278,9 @@ class DisarMasterService:
                             n_units,
                             self._distributed_worker,
                             block,
+                            None
+                            if checkpoint is None
+                            else checkpoint.store_for(block.eeb_id),
                             timeout=spmd_timeout,
                             injector=injector,
                         )
@@ -307,6 +322,7 @@ class DisarMasterService:
                         assignment,
                         monitor,
                         fail_soft,
+                        checkpoint,
                         timeout=spmd_timeout,
                         injector=injector,
                     )
@@ -373,6 +389,7 @@ class DisarMasterService:
         assignment: dict[int, list[ElementaryElaborationBlock]],
         monitor: "ProgressMonitor | None" = None,
         fail_soft: bool = False,
+        checkpoint: "RunCheckpoint | None" = None,
     ) -> dict[str, ActuarialResult | ALMResult]:
         """Per-unit worker: process the unit's own blocks sequentially.
 
@@ -391,8 +408,13 @@ class DisarMasterService:
             comm.checkpoint()
             if monitor is not None:
                 monitor.record(comm.rank, block.eeb_id, "started")
+            store = (
+                None
+                if checkpoint is None
+                else checkpoint.store_for(block.eeb_id)
+            )
             try:
-                results[block.eeb_id] = service.process(block)
+                results[block.eeb_id] = service.process(block, chunk_store=store)
             except Exception:
                 if monitor is not None:
                     monitor.record(comm.rank, block.eeb_id, "failed")
@@ -409,11 +431,13 @@ class DisarMasterService:
 
     @staticmethod
     def _distributed_worker(
-        comm: Communicator, block: ElementaryElaborationBlock
+        comm: Communicator,
+        block: ElementaryElaborationBlock,
+        store: "ChunkStore | None" = None,
     ) -> ALMResult | None:
         """All ranks cooperate on one type-B block."""
         service = DisarEngineService(node_name=f"vm-{comm.rank}")
         comm.checkpoint()
-        result = service.process(block, comm=comm)
+        result = service.process(block, comm=comm, chunk_store=store)
         comm.barrier()
         return result

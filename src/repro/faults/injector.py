@@ -12,6 +12,13 @@ recovery testable:
   and per-``(source, dest)`` message indices, both reset at
   :meth:`FaultInjector.begin_attempt`, so the same schedule fires at
   the same points on every replay regardless of thread timing.
+
+On top of attempts sit logical *epochs* (:meth:`FaultInjector.begin_epoch`):
+one epoch per provisioned cluster generation.  An elastic rescue that
+re-provisions mid-run opens a new epoch; since the consumed set survives
+the boundary, cloud-level events (spot terminations, launch failures)
+staged against the first cluster can never re-fire against its
+replacement.
 """
 
 from __future__ import annotations
@@ -21,10 +28,13 @@ from typing import Optional
 
 from repro.faults.schedule import (
     FaultSchedule,
+    InsufficientCapacity,
+    LaunchFailure,
     MessageDelay,
     MessageDrop,
     RankCrash,
     SlowNode,
+    SpotTermination,
 )
 
 __all__ = ["InjectedFault", "FaultInjector"]
@@ -49,7 +59,10 @@ class FaultInjector:
         self._consumed: set[int] = set()
         self._op_counts: dict[int, int] = {}
         self._pair_counts: dict[tuple[int, int], int] = {}
+        self._launch_calls = 0
+        self._launch_calls_by_type: dict[str, int] = {}
         self.attempts = 0
+        self.epochs = 0
         self.fired: list[str] = []
 
     # -- lifecycle -----------------------------------------------------------
@@ -60,6 +73,22 @@ class FaultInjector:
             self.attempts += 1
             self._op_counts.clear()
             self._pair_counts.clear()
+
+    def begin_epoch(self) -> int:
+        """Open a new cluster generation (initial provision or rescue).
+
+        Resets every logical counter — op counts, message-pair counts,
+        launch-call counts — while the consumed set persists, so events
+        already fired against an earlier cluster generation stay dead on
+        the replacement.  Returns the new epoch number (1-based).
+        """
+        with self._lock:
+            self.epochs += 1
+            self._op_counts.clear()
+            self._pair_counts.clear()
+            self._launch_calls = 0
+            self._launch_calls_by_type.clear()
+            return self.epochs
 
     @property
     def n_fired(self) -> int:
@@ -162,6 +191,90 @@ class FaultInjector:
                         )
                         delay += event.seconds
         return drop, delay
+
+    def on_launch(self, api_name: str, count: int) -> None:
+        """Account one provider launch call (hook for
+        :attr:`repro.cloud.provider.SimulatedEC2.launch_hook`).
+
+        Raises :class:`~repro.cloud.provider.ProviderError` when an
+        unconsumed :class:`LaunchFailure` matches the epoch's launch-call
+        index, or an :class:`InsufficientCapacity` matches the per-type
+        call index.  Each failure event fires at most once, so a bounded
+        retry eventually gets through.
+        """
+        del count  # launches fail whole-call, regardless of fleet size
+        error: Optional[str] = None
+        with self._lock:
+            self._launch_calls += 1
+            calls = self._launch_calls
+            by_type = self._launch_calls_by_type.get(api_name, 0) + 1
+            self._launch_calls_by_type[api_name] = by_type
+            for index, event in enumerate(self.schedule.events):
+                if index in self._consumed:
+                    continue
+                if isinstance(event, LaunchFailure):
+                    if event.call_index == calls:
+                        self._consume(index, f"launch_failure(call={calls})")
+                        error = f"injected launch failure on call {calls}"
+                        break
+                elif isinstance(event, InsufficientCapacity):
+                    if event.api_name == api_name and event.call_index == by_type:
+                        self._consume(
+                            index,
+                            f"insufficient_capacity({api_name}, "
+                            f"call={by_type})",
+                        )
+                        error = (
+                            f"injected InsufficientInstanceCapacity for "
+                            f"{api_name} on call {by_type}"
+                        )
+                        break
+        if error is not None:
+            # Imported lazily: repro.cloud.cluster imports this module at
+            # load time, so a module-level import here would be circular.
+            from repro.cloud.provider import ProviderError
+
+            raise ProviderError(error)
+
+    def take_spot_termination(
+        self, at_or_before: Optional[float] = None
+    ) -> Optional[SpotTermination]:
+        """Consume and return the next unfired spot termination, if any.
+
+        The cloud layer pulls spot events through this method instead of
+        reading the schedule directly, so a reclaim staged against one
+        cluster generation is marked consumed and cannot re-fire after a
+        rescue re-provision replays the same schedule.
+
+        ``at_or_before`` restricts the match to events whose
+        ``at_fraction`` has already been reached on the run's timeline
+        (the deadline-guard runner fires reclaims at segment
+        boundaries); ``None`` consumes the next spot event regardless.
+        """
+        with self._lock:
+            for index, event in enumerate(self.schedule.events):
+                if index in self._consumed:
+                    continue
+                if isinstance(event, SpotTermination):
+                    if at_or_before is not None and event.at_fraction > at_or_before:
+                        continue
+                    self._consume(
+                        index,
+                        f"spot_termination(node={event.node_index}, "
+                        f"at={event.at_fraction})",
+                    )
+                    return event
+            return None
+
+    def pending_spot_terminations(self) -> int:
+        """Unconsumed spot events still staged against the run."""
+        with self._lock:
+            return sum(
+                1
+                for index, event in enumerate(self.schedule.events)
+                if index not in self._consumed
+                and isinstance(event, SpotTermination)
+            )
 
     def summary(self) -> str:
         with self._lock:

@@ -17,7 +17,11 @@ Event kinds mirror the cloud behaviours the related elasticity work
 - :class:`SlowNode` — a straggler VM running at a fraction of nominal
   speed;
 - :class:`SpotTermination` — the provider reclaims a VM partway through
-  a cloud run.
+  a cloud run;
+- :class:`LaunchFailure` / :class:`InsufficientCapacity` — the control
+  plane refuses a cluster launch (generic API error, or a capacity
+  shortage specific to one instance type), the failure mode the
+  provider circuit breaker in :mod:`repro.runtime` absorbs.
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ __all__ = [
     "MessageDelay",
     "SlowNode",
     "SpotTermination",
+    "LaunchFailure",
+    "InsufficientCapacity",
     "FaultEvent",
     "FaultSchedule",
 ]
@@ -137,11 +143,56 @@ class SpotTermination:
             )
 
 
-FaultEvent = Union[RankCrash, MessageDrop, MessageDelay, SlowNode, SpotTermination]
+@dataclass(frozen=True)
+class LaunchFailure:
+    """The provider API fails the ``call_index``-th cluster launch call
+    of the run (1-based, counted across every instance type)."""
+
+    kind: ClassVar[str] = "launch_failure"
+    call_index: int
+
+    def __post_init__(self) -> None:
+        if self.call_index < 1:
+            raise ValueError(f"call_index must be >= 1, got {self.call_index}")
+
+
+@dataclass(frozen=True)
+class InsufficientCapacity:
+    """The provider reports insufficient capacity for ``api_name`` on the
+    ``call_index``-th launch call *of that instance type* (1-based)."""
+
+    kind: ClassVar[str] = "insufficient_capacity"
+    api_name: str
+    call_index: int
+
+    def __post_init__(self) -> None:
+        if not self.api_name:
+            raise ValueError("api_name must be non-empty")
+        if self.call_index < 1:
+            raise ValueError(f"call_index must be >= 1, got {self.call_index}")
+
+
+FaultEvent = Union[
+    RankCrash,
+    MessageDrop,
+    MessageDelay,
+    SlowNode,
+    SpotTermination,
+    LaunchFailure,
+    InsufficientCapacity,
+]
 
 _EVENT_TYPES: dict[str, Any] = {
     cls.kind: cls
-    for cls in (RankCrash, MessageDrop, MessageDelay, SlowNode, SpotTermination)
+    for cls in (
+        RankCrash,
+        MessageDrop,
+        MessageDelay,
+        SlowNode,
+        SpotTermination,
+        LaunchFailure,
+        InsufficientCapacity,
+    )
 }
 
 
@@ -185,6 +236,14 @@ class FaultSchedule:
     def spot_terminations(self) -> tuple[SpotTermination, ...]:
         return tuple(e for e in self.events if isinstance(e, SpotTermination))
 
+    def launch_failures(self) -> tuple[LaunchFailure, ...]:
+        return tuple(e for e in self.events if isinstance(e, LaunchFailure))
+
+    def capacity_failures(self) -> tuple[InsufficientCapacity, ...]:
+        return tuple(
+            e for e in self.events if isinstance(e, InsufficientCapacity)
+        )
+
     # -- generation ----------------------------------------------------------
 
     @classmethod
@@ -197,6 +256,7 @@ class FaultSchedule:
         n_delays: int = 2,
         n_slow: int = 1,
         n_spot: int = 0,
+        n_launch_failures: int = 0,
         max_op: int = 4,
         max_delay_seconds: float = 0.05,
         max_multiplier: float = 4.0,
@@ -259,6 +319,10 @@ class FaultSchedule:
                     at_fraction=float(rng.uniform(0.1, 0.9)),
                 )
             )
+        # Launch failures hit the first calls back to back, the worst
+        # case for the circuit breaker (N consecutive failures).
+        for i in range(n_launch_failures):
+            events.append(LaunchFailure(call_index=i + 1))
         return cls(
             events=tuple(events), seed=seed, slow_op_delay=slow_op_delay
         )

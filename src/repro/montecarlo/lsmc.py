@@ -17,12 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.montecarlo.nested import NestedMonteCarloEngine, NestedResult
 from repro.stochastic.rng import generator_from, spawn_generators
 from repro.stochastic.scenario import MarketScenario
+
+if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["PolynomialBasis", "LSMCEngine", "LSMCResult"]
 
@@ -160,6 +164,7 @@ class LSMCEngine:
         n_outer_cal: int,
         n_inner_cal: int,
         rng: np.random.Generator | int | None = 0,
+        chunk_store: "ChunkStore | None" = None,
     ) -> tuple[PolynomialBasis, np.ndarray, NestedResult]:
         """Run the small nested sample and fit the polynomial proxy.
 
@@ -171,7 +176,9 @@ class LSMCEngine:
         Returns ``(basis, coefficients, calibration_result)``.
         """
         rng = generator_from(rng)
-        calibration = self.engine.run(n_outer_cal, n_inner_cal, rng=rng)
+        calibration = self.engine.run(
+            n_outer_cal, n_inner_cal, rng=rng, chunk_store=chunk_store
+        )
         basis, coefficients = self._fit_proxy(calibration, n_outer_cal)
         return basis, coefficients, calibration
 
@@ -231,12 +238,13 @@ class LSMCEngine:
         n_inner_cal: int,
         rng: np.random.Generator | int | None = 0,
         steps_per_year: int = 4,
+        chunk_store: "ChunkStore | None" = None,
     ) -> LSMCResult:
         """Full LSMC valuation: calibrate, then evaluate on ``n_outer`` paths."""
         rng = generator_from(rng)
         cal_rng, eval_rng = spawn_generators(rng, 2)
         basis, coefficients, calibration = self.calibrate(
-            n_outer_cal, n_inner_cal, rng=cal_rng
+            n_outer_cal, n_inner_cal, rng=cal_rng, chunk_store=chunk_store
         )
         r2 = self._in_sample_r2(basis, coefficients, calibration)
         outer_values = self._evaluate(
@@ -257,6 +265,7 @@ class LSMCEngine:
         n_inner_cal: int,
         rng: np.random.Generator | int | None = 0,
         steps_per_year: int = 4,
+        chunk_store: "ChunkStore | None" = None,
     ) -> LSMCResult | None:
         """SPMD variant of :meth:`run` across the ranks of ``comm``.
 
@@ -276,7 +285,8 @@ class LSMCEngine:
         # Mirrors calibrate(): the calibration nested run uses the
         # engine's default outer grid, not ``steps_per_year``.
         calibration = self.engine.run_distributed(
-            comm, n_outer_cal, n_inner_cal, rng=cal_rng
+            comm, n_outer_cal, n_inner_cal, rng=cal_rng,
+            chunk_store=chunk_store,
         )
         if comm.rank != 0:
             return None

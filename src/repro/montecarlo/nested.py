@@ -25,7 +25,7 @@ all produce bit-identical results at a fixed ``chunk_size``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from repro.stochastic.lapse import LapseModel
 from repro.stochastic.mortality import GompertzMakeham, MortalityModel
 from repro.stochastic.rng import generator_from, spawn_generators
 from repro.stochastic.scenario import MarketScenario, RiskDriverSpec, ScenarioGenerator
+
+if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["NestedMonteCarloEngine", "NestedResult"]
 
@@ -483,6 +486,7 @@ class NestedMonteCarloEngine:
         rng: np.random.Generator | int | None = 0,
         steps_per_year: int = 4,
         initial_assets: float | None = None,
+        chunk_store: "ChunkStore | None" = None,
     ) -> NestedResult:
         """Full two-stage nested simulation.
 
@@ -503,6 +507,11 @@ class NestedMonteCarloEngine:
         consumes the ``k``-th child stream of the inner master generator
         — independent of the chunk layout and worker count — so all
         backends produce bit-identical results.
+
+        ``chunk_store`` checkpoints completed conditional-stage chunks:
+        cached chunks are served instead of recomputed (resume after a
+        crash or rescue) and fresh ones are stored — bit-identity makes
+        the cache safe across backends, rank counts and clusters.
         """
         if n_outer <= 0 or n_inner <= 0:
             raise ValueError("n_outer and n_inner must be positive")
@@ -530,7 +539,8 @@ class NestedMonteCarloEngine:
         seeds = chunk_seed_sequences(inner_master, n_outer)
         chunks = partition(n_outer, self.backend.chunk_size)
         results = self._conditional_stage(
-            features, seeds, mortalities, lapses, n_inner, chunks
+            features, seeds, mortalities, lapses, n_inner, chunks,
+            chunk_store=chunk_store,
         )
         outer_values = np.concatenate([values for values, _ in results])
         inner_std = np.concatenate([std for _, std in results])
@@ -558,6 +568,7 @@ class NestedMonteCarloEngine:
         lapses: Sequence[LapseModel],
         n_inner: int,
         chunks: Sequence,
+        chunk_store: "ChunkStore | None" = None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Run the inner stage for ``chunks`` through the backend.
 
@@ -565,24 +576,47 @@ class NestedMonteCarloEngine:
         chunk's own ``[start, stop)`` range, so running a subset of the
         chunks (e.g. only the ones owned by one rank) produces exactly
         the per-chunk results of a full run.
+
+        With a ``chunk_store``, chunks already checkpointed are served
+        from the cache (never dispatched) and freshly computed ones are
+        stored; the returned list is in input-chunk order either way.
+        Because each chunk is a pure function of ``(seed, chunk index)``,
+        mixing cached and computed chunks preserves bit-identity.
         """
         task = (
             _conditional_chunk_vector
             if self.backend.vectorized
             else _conditional_chunk_serial
         )
-        payloads = [
-            (
-                self,
-                features[chunk.indices],
-                seeds[chunk.indices],
-                mortalities[chunk.indices],
-                lapses[chunk.indices],
-                n_inner,
+        results: list[tuple[np.ndarray, np.ndarray] | None] = []
+        pending: list[tuple[int, Any]] = []
+        for position, chunk in enumerate(chunks):
+            cached = (
+                chunk_store.get(chunk.index)
+                if chunk_store is not None
+                else None
             )
-            for chunk in chunks
-        ]
-        return self.backend.map(task, payloads)
+            results.append(cached)
+            if cached is None:
+                pending.append((position, chunk))
+        if pending:
+            payloads = [
+                (
+                    self,
+                    features[chunk.indices],
+                    seeds[chunk.indices],
+                    mortalities[chunk.indices],
+                    lapses[chunk.indices],
+                    n_inner,
+                )
+                for _, chunk in pending
+            ]
+            computed = self.backend.map(task, payloads)
+            for (position, chunk), (values, std) in zip(pending, computed):
+                if chunk_store is not None:
+                    chunk_store.put(chunk.index, values, std)
+                results[position] = (values, std)
+        return [entry for entry in results if entry is not None]
 
     def _year_one_flows(
         self,
@@ -624,6 +658,7 @@ class NestedMonteCarloEngine:
         rng: np.random.Generator | int | None = 0,
         steps_per_year: int = 4,
         initial_assets: float | None = None,
+        chunk_store: "ChunkStore | None" = None,
     ) -> NestedResult | None:
         """SPMD variant of :meth:`run` across the ranks of ``comm``.
 
@@ -670,7 +705,8 @@ class NestedMonteCarloEngine:
             chunk for chunk in chunks if chunk.index % comm.size == comm.rank
         ]
         results = self._conditional_stage(
-            features, seeds, mortalities, lapses, n_inner, mine
+            features, seeds, mortalities, lapses, n_inner, mine,
+            chunk_store=chunk_store,
         )
         local = [
             (chunk.index, values, std)

@@ -1,0 +1,200 @@
+"""Provider circuit breaker with bounded retry, backoff and jitter.
+
+Cloud control planes fail in bursts: a launch call may hit a transient
+API error or an ``InsufficientInstanceCapacity`` for one instance type
+while the rest of the region is healthy.  The :class:`CircuitBreaker`
+wraps the provider calls of the deadline-guard runtime:
+
+- each call gets a **bounded retry** budget with exponential backoff and
+  seeded jitter (time is paid on the *virtual* clock, so chaos replays
+  stay deterministic and fast);
+- after ``failure_threshold`` consecutive failed calls the breaker
+  **opens**: further calls fail immediately with
+  :class:`CircuitOpenError` until ``cooldown_seconds`` have passed, at
+  which point one half-open trial call is allowed through.
+
+The runner reacts to an open breaker by falling back to the
+next-cheapest feasible configuration instead of hammering the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+from repro.cloud.provider import ProviderError, VirtualClock
+
+__all__ = ["CircuitOpenError", "RetryPolicy", "CircuitBreaker"]
+
+T = TypeVar("T")
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the provider is presumed down, do not call."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    ``attempt`` is 1-based; the delay before retry ``k`` is
+    ``base_seconds * factor**(k-1) * (1 + U(-jitter, +jitter))``.
+    """
+
+    max_attempts: int = 3
+    base_seconds: float = 5.0
+    factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_seconds < 0.0:
+            raise ValueError(
+                f"base_seconds must be non-negative, got {self.base_seconds}"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1.0, got {self.factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before the retry following failed ``attempt``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = self.base_seconds * self.factor ** (attempt - 1)
+        return float(base * (1.0 + rng.uniform(-self.jitter, self.jitter)))
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker around provider calls.
+
+    Failures are counted *across* calls: three calls that each exhaust
+    their retry budget trip a ``failure_threshold=3`` breaker even
+    though no single call saw three failures in a row succeed-free.
+    Only :class:`~repro.cloud.provider.ProviderError` counts as a
+    provider failure; programming errors (``ValueError`` etc.)
+    propagate untouched and leave the breaker state alone.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 120.0,
+        retry: RetryPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0.0:
+            raise ValueError(
+                f"cooldown_seconds must be non-negative, got {cooldown_seconds}"
+            )
+        self.clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = np.random.default_rng(seed)
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.n_calls = 0
+        self.n_failures = 0
+        self.n_opens = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        if self._opened_at is None:
+            return "closed"
+        if self.clock.now - self._opened_at >= self.cooldown_seconds:
+            return "half_open"
+        return "open"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def seconds_until_half_open(self) -> float:
+        """Remaining cooldown; 0 when closed or already half-open."""
+        if self._opened_at is None:
+            return 0.0
+        remaining = self.cooldown_seconds - (self.clock.now - self._opened_at)
+        return max(remaining, 0.0)
+
+    def _record_failure(self) -> None:
+        self.n_failures += 1
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            # Trip (closed -> open) or re-trip after a failed half-open
+            # trial; a fresh cooldown starts either way.
+            if self._opened_at is None or self.state == "half_open":
+                self.n_opens += 1
+            self._opened_at = self.clock.now
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    # -- the guarded call ----------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args: Any,
+        label: str = "provider call",
+        **kwargs: Any,
+    ) -> T:
+        """Run ``fn`` under the breaker.
+
+        Raises :class:`CircuitOpenError` immediately while open; retries
+        :class:`~repro.cloud.provider.ProviderError` up to the policy's
+        ``max_attempts`` with backoff paid on the virtual clock; opens
+        the breaker (and raises :class:`CircuitOpenError`) as soon as
+        the consecutive-failure threshold is crossed.
+        """
+        if self.state == "open":
+            raise CircuitOpenError(
+                f"circuit open for {label}: retry in "
+                f"{self.seconds_until_half_open():.0f}s"
+            )
+        half_open_trial = self.state == "half_open"
+        attempts = 1 if half_open_trial else self.retry.max_attempts
+        last_error: ProviderError | None = None
+        for attempt in range(1, attempts + 1):
+            self.n_calls += 1
+            try:
+                result = fn(*args, **kwargs)
+            except ProviderError as error:
+                last_error = error
+                self._record_failure()
+                if self.state == "open":
+                    raise CircuitOpenError(
+                        f"circuit opened after "
+                        f"{self._consecutive_failures} consecutive "
+                        f"failures ({label}): {error}"
+                    ) from error
+                if attempt < attempts:
+                    self.clock.advance(
+                        self.retry.delay_seconds(attempt, self._rng)
+                    )
+                continue
+            self._record_success()
+            return result
+        assert last_error is not None
+        raise last_error
+
+    def describe(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state}, "
+            f"calls={self.n_calls}, failures={self.n_failures}, "
+            f"opens={self.n_opens})"
+        )

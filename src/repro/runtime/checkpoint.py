@@ -1,0 +1,160 @@
+"""Chunk-level run checkpointing.
+
+The execution contract of :mod:`repro.exec` — fixed partitioning by
+``(n_items, chunk_size)`` and chunk-index-keyed random streams — means a
+completed chunk's ``(values, std_errors)`` pair is a pure function of
+``(block seed, chunk index)``: it does not matter which rank, backend,
+worker count or *cluster* produced it.  A :class:`RunCheckpoint` exploits
+exactly that: it caches completed conditional-stage chunks per EEB, so a
+campaign that dies mid-run (rank crash, spot reclaim, cluster rescue)
+resumes on fresh hardware computing only the chunks that are missing —
+and the reassembled result is **bit-identical** to an uninterrupted run.
+
+The checkpoint itself never travels to workers: engines consult it on
+the coordinating side of :meth:`ExecutionBackend.map`, filtering cached
+chunks out of the dispatch and storing freshly computed ones afterwards.
+Persistence lives in :func:`repro.core.persistence.save_checkpoint` /
+``load_checkpoint`` (JSON; Python's float round-trip is exact, so a
+persisted checkpoint stays bit-identical).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ChunkStore", "RunCheckpoint"]
+
+
+class ChunkStore:
+    """View of a :class:`RunCheckpoint` bound to one EEB.
+
+    This is what flows down the engine stack (master -> engine service ->
+    ALM engine -> nested/LSMC Monte Carlo); keys are chunk indices of the
+    conditional stage only, so there is no collision between blocks or
+    stages.
+    """
+
+    def __init__(self, checkpoint: "RunCheckpoint", eeb_id: str) -> None:
+        self._checkpoint = checkpoint
+        self.eeb_id = eeb_id
+
+    def get(self, chunk_index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """The cached ``(values, std_errors)`` of a chunk, or ``None``."""
+        return self._checkpoint._get(self.eeb_id, chunk_index)
+
+    def put(
+        self, chunk_index: int, values: np.ndarray, std_errors: np.ndarray
+    ) -> None:
+        """Cache a freshly computed chunk result."""
+        self._checkpoint._put(self.eeb_id, chunk_index, values, std_errors)
+
+
+class RunCheckpoint:
+    """Thread-safe cache of completed chunk results for one campaign.
+
+    Ranks run as threads of one process and consult the checkpoint
+    concurrently; stored arrays are copied on the way in and out so no
+    caller can mutate the cached state.  ``hits`` counts chunks that were
+    *resumed* (served from cache instead of recomputed) — the quantity
+    surfaced as ``n_resumed_chunks`` on deploy outcomes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blocks: dict[str, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def store_for(self, eeb_id: str) -> ChunkStore:
+        """The per-EEB view handed down the engine stack."""
+        if not eeb_id:
+            raise ValueError("eeb_id must be non-empty")
+        return ChunkStore(self, eeb_id)
+
+    # -- internal accessors (used by ChunkStore) -----------------------------
+
+    def _get(
+        self, eeb_id: str, chunk_index: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        with self._lock:
+            entry = self._blocks.get(eeb_id, {}).get(chunk_index)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            values, std = entry
+            return values.copy(), std.copy()
+
+    def _put(
+        self,
+        eeb_id: str,
+        chunk_index: int,
+        values: np.ndarray,
+        std_errors: np.ndarray,
+    ) -> None:
+        values = np.asarray(values, dtype=float).copy()
+        std_errors = np.asarray(std_errors, dtype=float).copy()
+        with self._lock:
+            self._blocks.setdefault(eeb_id, {})[chunk_index] = (
+                values,
+                std_errors,
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def n_chunks(self, eeb_id: str | None = None) -> int:
+        """Checkpointed chunk count, for one EEB or the whole campaign."""
+        with self._lock:
+            if eeb_id is not None:
+                return len(self._blocks.get(eeb_id, {}))
+            return sum(len(chunks) for chunks in self._blocks.values())
+
+    def eeb_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._blocks)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (content is kept)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; exact under Python's float repr."""
+        with self._lock:
+            return {
+                "blocks": {
+                    eeb_id: {
+                        str(index): {
+                            "values": [float(v) for v in values],
+                            "std_errors": [float(s) for s in std],
+                        }
+                        for index, (values, std) in sorted(chunks.items())
+                    }
+                    for eeb_id, chunks in sorted(self._blocks.items())
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunCheckpoint":
+        checkpoint = cls()
+        for eeb_id, chunks in payload.get("blocks", {}).items():
+            for index, entry in chunks.items():
+                checkpoint._put(
+                    eeb_id,
+                    int(index),
+                    np.asarray(entry["values"], dtype=float),
+                    np.asarray(entry["std_errors"], dtype=float),
+                )
+        return checkpoint
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunCheckpoint(eebs={len(self._blocks)}, "
+            f"chunks={self.n_chunks()}, hits={self.hits})"
+        )

@@ -1,0 +1,186 @@
+"""Fixture-snippet tests for the RB rule pack (failure-handling hygiene)."""
+
+import pytest
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.rules import BroadExceptRule, UnboundedRetryRule
+
+#: Snippets lint as a standalone file named like a resilient package.
+RESILIENT = "runtime.py"
+
+
+def lint(rule, source, filename=RESILIENT):
+    return AnalysisEngine([rule]).check_source(source, filename=filename)
+
+
+class TestBroadExcept:
+    def test_flags_bare_except(self):
+        snippet = (
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        findings = lint(BroadExceptRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RB001"]
+        assert findings[0].line == 4
+
+    @pytest.mark.parametrize("name", ["Exception", "BaseException"])
+    def test_flags_blanket_exception(self, name):
+        snippet = (
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            f"    except {name} as error:\n"
+            "        log(error)\n"
+        )
+        assert [f.rule_id for f in lint(BroadExceptRule(), snippet)] == ["RB001"]
+
+    def test_flags_blanket_inside_tuple(self):
+        snippet = (
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        assert [f.rule_id for f in lint(BroadExceptRule(), snippet)] == ["RB001"]
+
+    def test_allows_named_exceptions(self):
+        snippet = (
+            "from repro.cloud.provider import ProviderError\n"
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except (ProviderError, ValueError):\n"
+            "        recover()\n"
+        )
+        assert lint(BroadExceptRule(), snippet) == []
+
+    def test_allows_blanket_that_reraises(self):
+        snippet = (
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert lint(BroadExceptRule(), snippet) == []
+
+    def test_only_polices_resilient_packages(self):
+        snippet = (
+            "def helper():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert lint(BroadExceptRule(), snippet, filename="report.py") == []
+        assert lint(BroadExceptRule(), snippet, filename="cloud.py") != []
+
+    def test_suppression_comment(self):
+        snippet = (
+            "def launch():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except:  # repro: noqa[RB001] - top-level crash shield\n"
+            "        pass\n"
+        )
+        assert lint(BroadExceptRule(), snippet) == []
+
+
+class TestUnboundedRetry:
+    def test_flags_while_true_swallowing_retry(self):
+        snippet = (
+            "def launch():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return attempt()\n"
+            "        except ProviderError:\n"
+            "            continue\n"
+        )
+        findings = lint(UnboundedRetryRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RB002"]
+        assert findings[0].line == 2
+
+    def test_allows_while_true_that_gives_up(self):
+        snippet = (
+            "def launch():\n"
+            "    attempts = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return attempt()\n"
+            "        except ProviderError:\n"
+            "            attempts += 1\n"
+            "            if attempts >= 3:\n"
+            "                raise\n"
+        )
+        assert lint(UnboundedRetryRule(), snippet) == []
+
+    def test_flags_bounded_retry_without_backoff(self):
+        snippet = (
+            "def launch():\n"
+            "    for attempt in range(3):\n"
+            "        try:\n"
+            "            return attempt_launch()\n"
+            "        except ProviderError:\n"
+            "            continue\n"
+        )
+        assert [f.rule_id for f in lint(UnboundedRetryRule(), snippet)] == [
+            "RB002"
+        ]
+
+    @pytest.mark.parametrize(
+        "backoff",
+        [
+            "time.sleep(2 ** attempt)",
+            "clock.advance(delay)",
+            "clock.advance(policy.delay_seconds(attempt, rng))",
+        ],
+    )
+    def test_allows_bounded_retry_with_backoff(self, backoff):
+        snippet = (
+            "import time\n"
+            "def launch(clock, policy, rng, delay):\n"
+            "    for attempt in range(3):\n"
+            "        try:\n"
+            "            return attempt_launch()\n"
+            "        except ProviderError:\n"
+            f"            {backoff}\n"
+        )
+        assert lint(UnboundedRetryRule(), snippet) == []
+
+    def test_allows_retry_that_reraises_on_exhaustion(self):
+        snippet = (
+            "def launch():\n"
+            "    for attempt in range(3):\n"
+            "        try:\n"
+            "            return attempt_launch()\n"
+            "        except ProviderError:\n"
+            "            if attempt == 2:\n"
+            "                raise\n"
+        )
+        assert lint(UnboundedRetryRule(), snippet) == []
+
+    def test_ignores_non_retry_loops(self):
+        snippet = (
+            "def scan(items):\n"
+            "    for item in items:\n"
+            "        try:\n"
+            "            consume(item)\n"
+            "        except ProviderError:\n"
+            "            skipped(item)\n"
+            "    while not done():\n"
+            "        step()\n"
+        )
+        assert lint(UnboundedRetryRule(), snippet) == []
+
+
+class TestPackRegistration:
+    def test_rb_rules_are_in_the_default_set(self):
+        from repro.analysis import default_rules
+
+        rule_ids = {rule.rule_id for rule in default_rules()}
+        assert {"RB001", "RB002"} <= rule_ids

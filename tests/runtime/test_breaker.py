@@ -1,0 +1,143 @@
+"""Unit tests for the provider circuit breaker and its retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import ProviderError, VirtualClock
+from repro.runtime import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+
+class FlakyProvider:
+    """Fails the first ``n_failures`` calls, then succeeds forever."""
+
+    def __init__(self, n_failures):
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def launch(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise ProviderError(f"boom #{self.calls}")
+        return "cluster"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_seconds"):
+            RetryPolicy(base_seconds=-1.0)
+        with pytest.raises(ValueError, match="factor"):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(base_seconds=5.0, factor=2.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay_seconds(1, rng) == 5.0
+        assert policy.delay_seconds(2, rng) == 10.0
+        assert policy.delay_seconds(3, rng) == 20.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_seconds=10.0, factor=1.0, jitter=0.2)
+        rng = np.random.default_rng(1)
+        delays = [policy.delay_seconds(1, rng) for _ in range(100)]
+        assert all(8.0 <= delay <= 12.0 for delay in delays)
+        assert len(set(delays)) > 1
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_seconds(0, np.random.default_rng(0))
+
+
+class TestCircuitBreaker:
+    def make(self, clock=None, **kwargs):
+        return CircuitBreaker(clock if clock is not None else VirtualClock(), **kwargs)
+
+    def test_success_passes_through(self):
+        breaker = self.make()
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == "closed"
+        assert breaker.n_calls == 1
+        assert breaker.n_failures == 0
+
+    def test_transient_failure_retried_with_backoff(self):
+        clock = VirtualClock()
+        breaker = self.make(clock, retry=RetryPolicy(base_seconds=5.0, jitter=0.0))
+        provider = FlakyProvider(n_failures=1)
+        assert breaker.call(provider.launch) == "cluster"
+        assert provider.calls == 2
+        assert clock.now == 5.0  # one backoff was paid on the virtual clock
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = self.make(failure_threshold=3)
+        provider = FlakyProvider(n_failures=10)
+        with pytest.raises(CircuitOpenError, match="opened after 3"):
+            breaker.call(provider.launch)
+        assert breaker.state == "open"
+        assert breaker.n_opens == 1
+        assert breaker.seconds_until_half_open() > 0.0
+        # While open, calls are rejected without touching the provider.
+        with pytest.raises(CircuitOpenError, match="circuit open"):
+            breaker.call(provider.launch)
+        assert provider.calls == 3
+
+    def test_failures_count_across_calls(self):
+        breaker = self.make(
+            failure_threshold=3, retry=RetryPolicy(max_attempts=1)
+        )
+        provider = FlakyProvider(n_failures=10)
+        with pytest.raises(ProviderError):
+            breaker.call(provider.launch)
+        with pytest.raises(ProviderError):
+            breaker.call(provider.launch)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(provider.launch)
+        assert breaker.state == "open"
+
+    def test_half_open_trial_success_closes(self):
+        clock = VirtualClock()
+        breaker = self.make(clock, failure_threshold=3, cooldown_seconds=60.0)
+        provider = FlakyProvider(n_failures=3)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(provider.launch)
+        clock.advance(60.0)
+        assert breaker.state == "half_open"
+        assert breaker.seconds_until_half_open() == 0.0
+        assert breaker.call(provider.launch) == "cluster"
+        assert provider.calls == 4  # the trial is a single attempt
+        assert breaker.state == "closed"
+
+    def test_half_open_trial_failure_retrips(self):
+        clock = VirtualClock()
+        breaker = self.make(clock, failure_threshold=3, cooldown_seconds=60.0)
+        provider = FlakyProvider(n_failures=10)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(provider.launch)
+        clock.advance(60.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(provider.launch)
+        assert provider.calls == 4  # exactly one trial went through
+        assert breaker.state == "open"
+        assert breaker.n_opens == 2
+        assert breaker.seconds_until_half_open() == 60.0
+
+    def test_programming_errors_propagate_untouched(self):
+        breaker = self.make()
+
+        def broken():
+            raise ValueError("bug, not a provider outage")
+
+        with pytest.raises(ValueError, match="bug"):
+            breaker.call(broken)
+        assert breaker.state == "closed"
+        assert breaker.n_failures == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            self.make(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            self.make(cooldown_seconds=-1.0)

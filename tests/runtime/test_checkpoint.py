@@ -1,0 +1,119 @@
+"""Unit tests for chunk-level checkpointing and its persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_checkpoint, save_checkpoint
+from repro.runtime import RunCheckpoint
+
+
+def fill(checkpoint, eeb_id="eeb-1", indices=(0, 1)):
+    store = checkpoint.store_for(eeb_id)
+    for index in indices:
+        store.put(
+            index,
+            np.array([1.5 + index, 2.5 + index]),
+            np.array([0.1 + index, 0.2 + index]),
+        )
+    return store
+
+
+class TestRunCheckpoint:
+    def test_put_get_round_trip(self):
+        checkpoint = RunCheckpoint()
+        store = fill(checkpoint)
+        values, std = store.get(0)
+        assert np.array_equal(values, [1.5, 2.5])
+        assert np.array_equal(std, [0.1, 0.2])
+
+    def test_miss_returns_none_and_counts(self):
+        checkpoint = RunCheckpoint()
+        store = fill(checkpoint, indices=(0,))
+        assert store.get(7) is None
+        assert store.get(0) is not None
+        assert checkpoint.hits == 1
+        assert checkpoint.misses == 1
+
+    def test_returned_arrays_are_copies(self):
+        checkpoint = RunCheckpoint()
+        store = fill(checkpoint, indices=(0,))
+        values, _ = store.get(0)
+        values[:] = -1.0
+        fresh, _ = store.get(0)
+        assert np.array_equal(fresh, [1.5, 2.5])
+
+    def test_stored_arrays_are_copies(self):
+        checkpoint = RunCheckpoint()
+        store = checkpoint.store_for("eeb-1")
+        values = np.array([3.0, 4.0])
+        store.put(0, values, np.array([0.0, 0.0]))
+        values[:] = -1.0
+        cached, _ = store.get(0)
+        assert np.array_equal(cached, [3.0, 4.0])
+
+    def test_store_for_requires_eeb_id(self):
+        with pytest.raises(ValueError, match="eeb_id"):
+            RunCheckpoint().store_for("")
+
+    def test_counters_reset_keeps_content(self):
+        checkpoint = RunCheckpoint()
+        store = fill(checkpoint, indices=(0,))
+        store.get(0)
+        store.get(1)
+        checkpoint.reset_counters()
+        assert checkpoint.hits == 0
+        assert checkpoint.misses == 0
+        assert checkpoint.n_chunks() == 1
+        assert store.get(0) is not None
+
+    def test_n_chunks_and_eeb_ids(self):
+        checkpoint = RunCheckpoint()
+        fill(checkpoint, eeb_id="eeb-b", indices=(0, 1, 2))
+        fill(checkpoint, eeb_id="eeb-a", indices=(0,))
+        assert checkpoint.n_chunks() == 4
+        assert checkpoint.n_chunks("eeb-b") == 3
+        assert checkpoint.n_chunks("missing") == 0
+        assert checkpoint.eeb_ids() == ["eeb-a", "eeb-b"]
+
+
+class TestSerialisation:
+    def test_dict_round_trip_bit_identical(self):
+        checkpoint = RunCheckpoint()
+        # Awkward floats: round-trip must be exact, not approximate.
+        store = checkpoint.store_for("eeb-1")
+        values = np.array([np.pi, 1.0 / 3.0, 1e-300])
+        std = np.array([np.e, 2.0 / 7.0, 1e300])
+        store.put(5, values, std)
+        # Through JSON text, like the on-disk format.
+        payload = json.loads(json.dumps(checkpoint.to_dict()))
+        reloaded = RunCheckpoint.from_dict(payload)
+        cached_values, cached_std = reloaded.store_for("eeb-1").get(5)
+        assert np.array_equal(cached_values, values)
+        assert np.array_equal(cached_std, std)
+
+    def test_json_file_round_trip_bit_identical(self, tmp_path):
+        checkpoint = RunCheckpoint()
+        fill(checkpoint, eeb_id="eeb-1", indices=(0, 3))
+        fill(checkpoint, eeb_id="eeb-2", indices=(1,))
+        path = tmp_path / "run.ckpt.json"
+        assert save_checkpoint(checkpoint, path) == 3
+        reloaded = load_checkpoint(path)
+        assert reloaded.n_chunks() == 3
+        assert reloaded.eeb_ids() == checkpoint.eeb_ids()
+        for eeb_id in checkpoint.eeb_ids():
+            for index in (0, 1, 3):
+                original = checkpoint.store_for(eeb_id).get(index)
+                copy = reloaded.store_for(eeb_id).get(index)
+                if original is None:
+                    assert copy is None
+                    continue
+                assert np.array_equal(original[0], copy[0])
+                assert np.array_equal(original[1], copy[1])
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt.json"
+        path.write_text(json.dumps({"format_version": 99, "blocks": {}}))
+        with pytest.raises(ValueError, match="format version"):
+            load_checkpoint(path)

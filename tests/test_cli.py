@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -137,3 +140,68 @@ class TestChaos:
         ]
         assert len(checksums) == 3
         assert len(set(checksums)) == 1
+
+
+class TestChaosRescue:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--rescue", "--tmax-factor", "2.5"]
+        )
+        assert args.rescue
+        assert args.tmax_factor == 2.5
+        assert args.corpus is None
+
+    def test_rescue_meets_deadline_bit_identically(self, capsys):
+        import re
+
+        code = main(["chaos", "--rescue", "--quick", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rescue(s)" in out
+        assert "chunk(s) resumed" in out
+        assert "rescue met Tmax" in out
+        # Fault-free, rescued and replayed checksums must all agree.
+        checksums = re.findall(r"checksum (\w+)", out)
+        assert len(checksums) == 3
+        assert len(set(checksums)) == 1
+
+
+class TestChaosCorpus:
+    CORPUS = Path(__file__).parent / "faults" / "corpus"
+
+    def test_empty_corpus_dir_rejected(self, capsys, tmp_path):
+        code = main(["chaos", "--corpus", str(tmp_path)])
+        assert code == 2
+        assert "no *.json" in capsys.readouterr().err
+
+    def test_shipped_corpus_deserializes(self):
+        from repro.faults import FaultSchedule
+        from repro.faults.schedule import LaunchFailure
+
+        entries = sorted(self.CORPUS.glob("*.json"))
+        assert len(entries) >= 4
+        schedules = {}
+        for path in entries:
+            entry = json.loads(path.read_text())
+            schedule = FaultSchedule.from_dict(entry["schedule"])
+            assert schedule.events, path.name
+            assert entry["name"] == path.stem
+            schedules[path.stem] = schedule
+        # The corpus must exercise the provider-failure path too.
+        assert any(
+            isinstance(event, LaunchFailure)
+            for schedule in schedules.values()
+            for event in schedule.events
+        )
+
+    def test_single_entry_corpus_replays(self, capsys, tmp_path):
+        source = json.loads(
+            (self.CORPUS / "rank_crash_resume.json").read_text()
+        )
+        source["blocks"] = 2
+        (tmp_path / "rank_crash_resume.json").write_text(json.dumps(source))
+        code = main(["chaos", "--corpus", str(tmp_path), "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/1 corpus schedule(s) replayed bit-identically" in out
+        assert "chunk(s) resumed" in out
