@@ -17,7 +17,25 @@ package enforces those invariants statically on every PR:
   regressions in the registered Monte Carlo hot-path modules);
 - :mod:`repro.analysis.rules.robustness` — the ``RB`` pack (blanket
   ``except`` and unbounded/backoff-free retry loops in the resilient
-  runtime/cloud packages).
+  runtime/cloud packages);
+- :mod:`repro.analysis.rules.architecture` — the ``ARCH`` pack
+  (declared layering from ``[tool.repro.layers]`` enforced over the
+  whole-program import graph);
+- :mod:`repro.analysis.rules.seeding` — the ``SEED`` pack
+  (interprocedural seed-provenance dataflow plus OS-entropy and
+  global-``random`` bans);
+- :mod:`repro.analysis.rules.concurrency` — the ``CONC`` pack (lock
+  discipline, shared mutable class state, unbounded threads in the
+  comm/runtime layers).
+
+Cross-module rules read the whole-program model of
+:mod:`repro.analysis.project` (module/import graph, call-graph
+approximation, layers declaration) through an ``AnalysisContext`` the
+engine builds once per run.  Findings carry rule-pack names and stable
+fingerprints; reporters cover text, JSON and SARIF 2.1.0
+(:mod:`repro.analysis.sarif`), and a baseline workflow
+(:mod:`repro.analysis.baseline`) plus a content-hash incremental cache
+(:mod:`repro.analysis.cache`) back the ``repro lint`` CLI.
 
 Run it as ``repro lint [paths]`` or through
 ``tests/analysis/test_self_lint.py``, which fails the suite on any
@@ -37,22 +55,39 @@ from repro.analysis.engine import (
     render_json,
     render_text,
 )
+from repro.analysis.project import (
+    AnalysisContext,
+    FunctionIndex,
+    LayersDeclaration,
+    ModuleGraph,
+    build_context,
+    load_layers,
+)
 from repro.analysis.rules import (
+    architecture_rules,
+    concurrency_rules,
     consistency_rules,
     default_rules,
     determinism_rules,
     perf_rules,
     robustness_rules,
+    seeding_rules,
 )
 
 __all__ = [
     "AnalysisEngine",
+    "AnalysisContext",
     "Finding",
     "FileRule",
     "ProjectRule",
     "Rule",
     "ParsedModule",
     "Project",
+    "ModuleGraph",
+    "FunctionIndex",
+    "LayersDeclaration",
+    "build_context",
+    "load_layers",
     "parse_module",
     "parse_project",
     "render_text",
@@ -62,4 +97,7 @@ __all__ = [
     "consistency_rules",
     "perf_rules",
     "robustness_rules",
+    "architecture_rules",
+    "seeding_rules",
+    "concurrency_rules",
 ]

@@ -1,0 +1,107 @@
+"""Baseline workflow: land new rule packs before the tree is clean.
+
+A new pack on an old tree can surface dozens of pre-existing findings;
+blocking every PR until all are fixed would freeze the linter's growth.
+The baseline file records the *fingerprints* of known findings — not
+their line numbers — so:
+
+- ``repro lint --update-baseline`` snapshots the current findings;
+- ``repro lint --baseline`` demotes findings whose fingerprint is
+  recorded to warnings (printed, exit 0) while anything *new* still
+  fails (exit 1);
+- because fingerprints hash file + rule + normalised line text, pure
+  line drift (code moving within a file) does not churn the baseline,
+  while editing a flagged line retires its entry.
+
+The file also stores each finding's human-readable descriptor purely
+for reviewability in diffs; matching uses fingerprints alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "partition_findings"]
+
+_BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The set of accepted finding fingerprints."""
+
+    fingerprints: frozenset[str]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            fingerprints=frozenset(
+                finding.fingerprint
+                for finding in findings
+                if finding.fingerprint
+            )
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on malformed input
+        (a broken baseline silently accepting everything would defeat
+        the gate)."""
+        payload = json.loads(Path(path).read_text())
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format_version") != _BASELINE_FORMAT_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise ValueError(f"{path}: not a repro lint baseline file")
+        fingerprints = set()
+        for item in payload["findings"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise ValueError(f"{path}: malformed baseline entry {item!r}")
+            fingerprints.add(str(item["fingerprint"]))
+        return cls(fingerprints=frozenset(fingerprints))
+
+    def write(self, path: str | Path, findings: Iterable[Finding]) -> int:
+        """Write ``findings`` as the new baseline; returns the count.
+
+        The descriptors (path/rule/message) are stored alongside each
+        fingerprint so baseline diffs stay reviewable; only the
+        fingerprints are ever matched against.
+        """
+        entries = [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings)
+            if finding.fingerprint
+        ]
+        payload = {
+            "format_version": _BASELINE_FORMAT_VERSION,
+            "findings": entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+        return len(entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return bool(finding.fingerprint) and (
+            finding.fingerprint in self.fingerprints
+        )
+
+
+def partition_findings(
+    findings: Iterable[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, baselined)`` against a baseline."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if baseline.contains(finding) else new).append(finding)
+    return new, known

@@ -1,0 +1,141 @@
+"""Content-hash-keyed incremental cache for ``repro lint``.
+
+A full-tree lint parses every module and runs the interprocedural SEED
+fixpoint; on an unchanged tree that work is pure waste.  The cache keys
+every file by the SHA-256 of its bytes and the whole run by an *engine
+fingerprint* — a hash over the rule-pack source files and the active
+rule ids — so editing any rule (or this module) invalidates everything,
+while editing one domain module invalidates that analysis root.
+
+Replay levels, checked in order per analysis root:
+
+1. **Tree hit** — every file hash matches and the engine fingerprint
+   matches: the stored findings are replayed with zero parsing.  This is
+   the warm path CI times (≥ 3× faster than cold).
+2. **Miss** — unknown root, changed file, or changed rule code: full
+   run, then the entry is rewritten.  Whole-tree granularity is
+   deliberate: the cross-module packs (ARCH/SEED/CON) read every AST,
+   so a single changed file invalidates the expensive passes anyway and
+   per-file replay would save only the cheap visitor walks.
+
+The cache file (``.repro-lint-cache.json`` by default) maps each
+analysis root to its entry, so ``repro lint src/repro tests`` shares one
+file.  A corrupt or unreadable cache is treated as empty, never as an
+error — the cache can only make linting faster, not wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisEngine, Finding
+from repro.analysis.project import load_layers
+
+__all__ = ["LintCache", "engine_fingerprint", "DEFAULT_CACHE_FILENAME"]
+
+DEFAULT_CACHE_FILENAME = ".repro-lint-cache.json"
+
+_CACHE_FORMAT_VERSION = 1
+
+
+def _hash_bytes(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def engine_fingerprint(engine: AnalysisEngine) -> str:
+    """Hash of the analysis platform's own source plus the active rules.
+
+    Any edit to ``repro/analysis/**/*.py`` — a rule tweak, an engine
+    change, a new pack — changes the fingerprint and invalidates every
+    cached finding, so the cache can never replay results produced by
+    different rule logic.
+    """
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parent
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    digest.update("\x1f".join(engine.rule_ids()).encode())
+    digest.update(f"audit={engine.audit_suppressions}".encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Replay-or-rerun wrapper around :meth:`AnalysisEngine.run_path`."""
+
+    def __init__(self, cache_path: str | Path, engine: AnalysisEngine) -> None:
+        self.cache_path = Path(cache_path)
+        self.engine = engine
+        self.fingerprint = engine_fingerprint(engine)
+        self._roots = self._load()
+        #: ``"hit"`` or ``"miss"`` for the most recent :meth:`run_path`.
+        self.last_outcome: str = "miss"
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self) -> dict[str, object]:
+        try:
+            payload = json.loads(self.cache_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("format_version") != _CACHE_FORMAT_VERSION:
+            return {}
+        if payload.get("engine_fingerprint") != self.fingerprint:
+            return {}
+        roots = payload.get("roots")
+        return roots if isinstance(roots, dict) else {}
+
+    def save(self) -> None:
+        payload = {
+            "format_version": _CACHE_FORMAT_VERSION,
+            "engine_fingerprint": self.fingerprint,
+            "roots": self._roots,
+        }
+        try:
+            self.cache_path.write_text(json.dumps(payload, indent=1))
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+
+    # -- the run ---------------------------------------------------------------
+
+    def run_path(self, path: str | Path) -> list[Finding]:
+        """Cached analogue of :meth:`AnalysisEngine.run_path`."""
+        path = Path(path)
+        if not path.is_dir():
+            # Single files skip the cache: parsing one file costs less
+            # than hashing + bookkeeping would save.
+            self.last_outcome = "miss"
+            return self.engine.run_path(path)
+        root_key = str(path.resolve())
+        hashes = {
+            str(file.relative_to(path)): _hash_bytes(file.read_bytes())
+            for file in sorted(path.rglob("*.py"))
+        }
+        # The layers declaration feeds the ARCH pack but can live above
+        # the linted root, so hash it explicitly or edits to it would
+        # replay stale architecture findings.
+        layers = load_layers(path.resolve())
+        if layers is not None:
+            try:
+                hashes["::layers::"] = _hash_bytes(
+                    layers.source.read_bytes()
+                )
+            except OSError:
+                pass
+        entry = self._roots.get(root_key)
+        if isinstance(entry, dict) and entry.get("files") == hashes:
+            self.last_outcome = "hit"
+            stored = entry.get("findings")
+            if isinstance(stored, list):
+                return [Finding.from_dict(item) for item in stored]
+        self.last_outcome = "miss"
+        findings = self.engine.run_path(path)
+        self._roots[root_key] = {
+            "files": hashes,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        return findings

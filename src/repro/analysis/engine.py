@@ -9,13 +9,22 @@ into an :mod:`ast` tree, runs two kinds of rules over them —
 - **file rules** (:class:`FileRule`) see one module at a time through a
   single visitor pass with per-node-type dispatch;
 - **project rules** (:class:`ProjectRule`) see the whole parsed
-  :class:`Project` and can check invariants that span modules (catalog
-  coverage, registry completeness, ...);
+  :class:`Project` — plus the derived
+  :class:`~repro.analysis.project.AnalysisContext` (module/import graph,
+  call-graph approximation, layers declaration) — and can check
+  invariants that span modules (catalog coverage, architecture
+  layering, interprocedural seed provenance, ...);
 
-— and reports :class:`Finding` objects through the text or JSON
+— and reports :class:`Finding` objects through the text, JSON or SARIF
 reporters.  A finding on a line carrying ``# repro: noqa[RULE]`` (or a
 bare ``# repro: noqa``) is suppressed; suppressions are deliberate and
-should carry a justification in the surrounding code.
+should carry a justification in the surrounding code.  A suppression
+whose rule no longer fires on its line is itself reported (``SUP001``),
+so the tree cannot silently accumulate dead escape hatches.
+
+Every finding carries its rule *pack* and a stable *fingerprint*
+(file + rule + normalised source-line context), so baselines and SARIF
+consumers track findings across pure line-number drift.
 
 The engine has no third-party dependencies — stdlib :mod:`ast` only —
 so ``repro lint`` runs anywhere the package imports.
@@ -24,11 +33,16 @@ so ``repro lint`` runs anywhere the package imports.
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import json
 import re
-from dataclasses import dataclass, field
+import tokenize
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.analysis.project import AnalysisContext, build_context
 
 __all__ = [
     "Finding",
@@ -42,26 +56,42 @@ __all__ = [
     "parse_project",
     "render_text",
     "render_json",
+    "UNUSED_SUPPRESSION_ID",
 ]
 
 #: ``# repro: noqa`` or ``# repro: noqa[DET001]`` or ``[DET001, CON002]``.
+#: The lookbehind skips *mentions* of the marker — documentation quotes
+#: it in backticks and messages quote it in quotes; a real suppression
+#: comment is never glued to a quote character.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Z]{2,}\d*(?:\s*,\s*[A-Z]{2,}\d*)*)\s*\])?"
+    r"(?<![`'\"])#\s*repro:\s*noqa"
+    r"(?:\s*\[\s*([A-Z]{2,}\d*(?:\s*,\s*[A-Z]{2,}\d*)*)\s*\])?"
 )
 
 #: Finding id used when a file cannot be parsed at all.
 PARSE_ERROR_ID = "PARSE"
 
+#: Finding id for a ``# repro: noqa`` whose rule no longer fires there.
+UNUSED_SUPPRESSION_ID = "SUP001"
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``pack`` names the rule pack the rule belongs to and ``fingerprint``
+    is a stable identity (file + rule + normalised line context) that
+    survives pure line-number drift; both are excluded from ordering and
+    equality so rule logic and tests keep comparing on location alone.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    pack: str = field(default="", compare=False)
+    fingerprint: str = field(default="", compare=False)
 
     def format(self) -> str:
         """``path:line:col: RULE message`` — the text-reporter line."""
@@ -73,8 +103,23 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
+            "pack": self.pack,
+            "fingerprint": self.fingerprint,
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Finding":
+        """Rebuild a finding serialised by :meth:`to_dict` (cache replay)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            rule_id=str(payload["rule"]),
+            message=str(payload["message"]),
+            pack=str(payload.get("pack", "")),
+            fingerprint=str(payload.get("fingerprint", "")),
+        )
 
 
 @dataclass(frozen=True)
@@ -95,6 +140,13 @@ class ParsedModule:
             return False
         rules = self.suppressions[line]
         return rules is None or rule_id in rules
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of ``line`` (1-based), or ``""``."""
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
 
 
 @dataclass
@@ -143,14 +195,24 @@ class FileRule:
     once and dispatches matching nodes to every interested rule.
     :meth:`start_module` / :meth:`finish_module` bracket each module for
     rules that carry per-module state (import maps, seen-names sets).
+    Rules that need whole-program facts read ``self.context``, which the
+    engine binds before a project pass (``None`` on single-file runs).
     """
 
     rule_id: str = "FILE000"
     description: str = ""
+    #: Rule-pack name, stamped onto every finding (reporters group by it).
+    pack: str = ""
     #: Concrete AST node types dispatched to :meth:`visit`.
     interests: tuple[type[ast.AST], ...] = ()
     #: Dotted-name suffixes of modules this rule does not apply to.
     exempt_modules: tuple[str, ...] = ()
+    #: Whole-program context; bound by the engine before a project pass.
+    context: AnalysisContext | None = None
+
+    def bind(self, context: AnalysisContext | None) -> None:
+        """Attach (or clear) the whole-program context for this run."""
+        self.context = context
 
     def applies_to(self, module: ParsedModule) -> bool:
         return not any(
@@ -178,6 +240,7 @@ class FileRule:
             col=getattr(node, "col_offset", 0),
             rule_id=self.rule_id,
             message=message,
+            pack=self.pack,
         )
 
 
@@ -186,6 +249,12 @@ class ProjectRule:
 
     rule_id: str = "PROJ000"
     description: str = ""
+    pack: str = ""
+    context: AnalysisContext | None = None
+
+    def bind(self, context: AnalysisContext | None) -> None:
+        """Attach (or clear) the whole-program context for this run."""
+        self.context = context
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         return iter(())
@@ -199,22 +268,31 @@ class ProjectRule:
             col=getattr(node, "col_offset", 0) if node is not None else 0,
             rule_id=self.rule_id,
             message=message,
+            pack=self.pack,
         )
 
 
 def _collect_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    # Tokenize so markers inside string literals never register; the
+    # lookbehind additionally skips backtick/quote-wrapped *mentions*
+    # inside real comments (docs quoting the marker).
     suppressions: dict[int, frozenset[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
-        if match is None:
-            continue
-        codes = match.group(1)
-        if codes is None:
-            suppressions[lineno] = None
-        else:
-            suppressions[lineno] = frozenset(
-                code.strip() for code in codes.split(",")
-            )
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None:
+                suppressions[token.start[0]] = None
+            else:
+                suppressions[token.start[0]] = frozenset(
+                    code.strip() for code in codes.split(",")
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: keep what was collected so far
     return suppressions
 
 
@@ -284,11 +362,17 @@ def parse_project(root: Path) -> tuple[Project, list[Finding]]:
                     col=(exc.offset or 1) - 1,
                     rule_id=PARSE_ERROR_ID,
                     message=f"file does not parse: {exc.msg}",
+                    pack="engine",
                 )
             )
             continue
         project.modules[parsed.module] = parsed
     return project, errors
+
+
+#: ``(path, line, rule_id | None)`` triples marking suppression entries
+#: that actually absorbed a finding during a pass.
+_UsedSuppressions = set[tuple[str, int, str | None]]
 
 
 class AnalysisEngine:
@@ -299,13 +383,25 @@ class AnalysisEngine:
     rules:
         The rules to run; defaults to the full default rule set
         (:func:`repro.analysis.rules.default_rules`).
+    audit_suppressions:
+        Report unused ``# repro: noqa`` comments as ``SUP001`` findings.
+        On by default for the full rule set; engines constructed with an
+        explicit rule subset default to off, because a suppression aimed
+        at a rule outside the subset is not evidence of staleness.
     """
 
-    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+    def __init__(
+        self,
+        rules: Iterable[Rule] | None = None,
+        audit_suppressions: bool | None = None,
+    ) -> None:
         if rules is None:
             from repro.analysis.rules import default_rules
 
             rules = default_rules()
+            if audit_suppressions is None:
+                audit_suppressions = True
+        self.audit_suppressions = bool(audit_suppressions)
         self.file_rules: list[FileRule] = []
         self.project_rules: list[ProjectRule] = []
         for rule in rules:
@@ -322,25 +418,37 @@ class AnalysisEngine:
     def rules(self) -> list[Rule]:
         return [*self.file_rules, *self.project_rules]
 
+    def rule_ids(self) -> list[str]:
+        return sorted({rule.rule_id for rule in self.rules})
+
     # -- single-module pass ----------------------------------------------------
 
-    def check_module(self, module: ParsedModule) -> list[Finding]:
-        """All file-rule findings for one parsed module (noqa applied)."""
+    def _file_pass(
+        self, module: ParsedModule
+    ) -> tuple[list[Finding], _UsedSuppressions]:
+        """File-rule findings for one module, plus the suppression
+        entries that absorbed something."""
         active = [rule for rule in self.file_rules if rule.applies_to(module)]
-        if not active:
-            return []
-        dispatch: dict[type[ast.AST], list[FileRule]] = {}
-        for rule in active:
-            rule.start_module(module)
-            for node_type in rule.interests:
-                dispatch.setdefault(node_type, []).append(rule)
-        findings: list[Finding] = []
-        for node in ast.walk(module.tree):
-            for rule in dispatch.get(type(node), ()):
-                findings.extend(rule.visit(node, module))
-        for rule in active:
-            findings.extend(rule.finish_module(module))
-        return self._apply_suppressions(findings, {module.relpath: module})
+        raw: list[Finding] = []
+        if active:
+            dispatch: dict[type[ast.AST], list[FileRule]] = {}
+            for rule in active:
+                rule.start_module(module)
+                for node_type in rule.interests:
+                    dispatch.setdefault(node_type, []).append(rule)
+            for node in ast.walk(module.tree):
+                for rule in dispatch.get(type(node), ()):
+                    raw.extend(rule.visit(node, module))
+            for rule in active:
+                raw.extend(rule.finish_module(module))
+        return self._apply_suppressions(raw, {module.relpath: module})
+
+    def check_module(self, module: ParsedModule) -> list[Finding]:
+        """All file-rule findings for one parsed module (noqa applied,
+        unused suppressions audited when enabled)."""
+        findings, used = self._file_pass(module)
+        findings.extend(self._audit_module_suppressions(module, used))
+        return self._finalize(findings, {module.relpath: module})
 
     def check_source(
         self, source: str, filename: str = "<snippet>"
@@ -359,20 +467,41 @@ class AnalysisEngine:
     # -- whole-project pass ----------------------------------------------------
 
     def check_project(self, project: Project) -> list[Finding]:
-        """File rules over every module plus all project rules."""
+        """File rules over every module plus all project rules.
+
+        Builds the :class:`AnalysisContext` (module graph, call-graph
+        approximation, layers declaration) once and binds it to every
+        rule for the duration of the pass.
+        """
+        context = build_context(project)
         by_relpath = {
             parsed.relpath: parsed for parsed in project.modules.values()
         }
-        findings: list[Finding] = []
-        for parsed in project.modules.values():
-            findings.extend(self.check_module(parsed))
-        project_findings: list[Finding] = []
-        for rule in self.project_rules:
-            project_findings.extend(rule.check_project(project))
-        findings.extend(
-            self._apply_suppressions(project_findings, by_relpath)
-        )
-        return sorted(findings)
+        for rule in self.rules:
+            rule.bind(context)  # type: ignore[attr-defined]
+        try:
+            findings: list[Finding] = []
+            used: _UsedSuppressions = set()
+            for parsed in project.modules.values():
+                kept, file_used = self._file_pass(parsed)
+                findings.extend(kept)
+                used.update(file_used)
+            raw_project: list[Finding] = []
+            for rule in self.project_rules:
+                raw_project.extend(rule.check_project(project))
+            kept, project_used = self._apply_suppressions(
+                raw_project, by_relpath
+            )
+            findings.extend(kept)
+            used.update(project_used)
+            for parsed in project.modules.values():
+                findings.extend(
+                    self._audit_module_suppressions(parsed, used)
+                )
+            return self._finalize(findings, by_relpath)
+        finally:
+            for rule in self.rules:
+                rule.bind(None)  # type: ignore[attr-defined]
 
     def run_path(self, path: str | Path) -> list[Finding]:
         """Analyse a file or a directory tree; the main entry point."""
@@ -390,23 +519,124 @@ class AnalysisEngine:
                     col=(exc.offset or 1) - 1,
                     rule_id=PARSE_ERROR_ID,
                     message=f"file does not parse: {exc.msg}",
+                    pack="engine",
                 )
             ]
         return sorted(self.check_module(module))
 
+    # -- suppression handling --------------------------------------------------
+
     @staticmethod
     def _apply_suppressions(
         findings: Iterable[Finding], modules: dict[str, ParsedModule]
-    ) -> list[Finding]:
-        kept = []
+    ) -> tuple[list[Finding], _UsedSuppressions]:
+        kept: list[Finding] = []
+        used: _UsedSuppressions = set()
         for finding in findings:
             module = modules.get(finding.path)
             if module is not None and module.suppresses(
                 finding.line, finding.rule_id
             ):
+                rules = module.suppressions[finding.line]
+                used.add(
+                    (
+                        finding.path,
+                        finding.line,
+                        None if rules is None else finding.rule_id,
+                    )
+                )
                 continue
             kept.append(finding)
-        return kept
+        return kept, used
+
+    def _audit_module_suppressions(
+        self, module: ParsedModule, used: _UsedSuppressions
+    ) -> list[Finding]:
+        """``SUP001`` findings for noqa comments that absorbed nothing."""
+        if not self.audit_suppressions:
+            return []
+        known = set(self.rule_ids())
+        findings = []
+        for line, rules in sorted(module.suppressions.items()):
+            if rules is None:
+                if (module.relpath, line, None) not in used:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=line,
+                            col=0,
+                            rule_id=UNUSED_SUPPRESSION_ID,
+                            message=(
+                                "blanket '# repro: noqa' suppresses nothing "
+                                "on this line; delete it"
+                            ),
+                            pack="suppressions",
+                        )
+                    )
+                continue
+            stale = [
+                rule_id
+                for rule_id in sorted(rules)
+                if rule_id in known
+                and (module.relpath, line, rule_id) not in used
+            ]
+            unknown = sorted(rules - known)
+            if stale or unknown:
+                detail = []
+                if stale:
+                    detail.append(
+                        f"{', '.join(stale)} no longer fires on this line"
+                    )
+                if unknown:
+                    detail.append(
+                        f"{', '.join(unknown)} is not a registered rule id"
+                    )
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=line,
+                        col=0,
+                        rule_id=UNUSED_SUPPRESSION_ID,
+                        message=(
+                            "unused suppression: " + "; ".join(detail)
+                            + "; delete the noqa or narrow it"
+                        ),
+                        pack="suppressions",
+                    )
+                )
+        return findings
+
+    # -- finding enrichment ----------------------------------------------------
+
+    @staticmethod
+    def _finalize(
+        findings: list[Finding], modules: dict[str, ParsedModule]
+    ) -> list[Finding]:
+        """Stamp stable fingerprints onto the kept findings.
+
+        The fingerprint hashes ``path + rule + normalised line text`` and
+        an occurrence counter for identical contexts, so it survives pure
+        line-number drift (code moving up or down the file) while still
+        distinguishing repeated identical violations.
+        """
+        ordered = sorted(findings)
+        occurrence: dict[tuple[str, str, str], int] = {}
+        stamped = []
+        for finding in ordered:
+            module = modules.get(finding.path)
+            context_text = (
+                module.line_text(finding.line) if module is not None else ""
+            )
+            key = (finding.path, finding.rule_id, context_text)
+            index = occurrence.get(key, 0)
+            occurrence[key] = index + 1
+            digest = hashlib.sha256(
+                "\x1f".join(
+                    [finding.path, finding.rule_id, context_text, str(index)]
+                ).encode()
+            ).hexdigest()[:16]
+            stamped.append(replace(finding, fingerprint=digest))
+        return stamped
 
 
 # -- reporters ------------------------------------------------------------------
@@ -422,7 +652,11 @@ def render_text(findings: Iterable[Finding]) -> str:
 
 
 def render_json(findings: Iterable[Finding]) -> str:
-    """Machine-readable report; round-trips through ``json.loads``."""
+    """Machine-readable report; round-trips through ``json.loads``.
+
+    Every finding carries its rule pack and a stable fingerprint
+    (file + rule + context hash) so baselines survive line-number drift.
+    """
     findings = list(findings)
     return json.dumps(
         {

@@ -1,0 +1,470 @@
+"""The whole-program project model behind the cross-module rule packs.
+
+Per-file AST rules see one module at a time; the invariants the ARCH and
+SEED packs enforce span the entire tree — *which package imports which*
+and *where a seed value came from, across function boundaries*.  This
+module builds that whole-program view once per analysis run:
+
+- :class:`ModuleGraph` — every import edge of every module, classified
+  as ``top-level`` (a real runtime dependency), ``type-checking``
+  (inside an ``if TYPE_CHECKING:`` block; erased at runtime) or ``lazy``
+  (function-local; a deliberate cycle-breaking escape hatch).  Layering
+  is enforced on the top-level edges only.
+- :class:`FunctionIndex` — a call-graph approximation: every function
+  and method of the project, addressable by qualified name, plus a
+  conservative call-site resolver (module-level functions via the
+  per-module import map; methods only through ``self.method(...)``)
+  that never guesses across ambiguous targets.
+- :class:`LayersDeclaration` — the checked-in architecture contract
+  from ``[tool.repro.layers]`` in ``pyproject.toml``: for each
+  first-level package under the analysis root, the packages it may
+  import at module top level.
+- :class:`AnalysisContext` — the bundle handed to context-aware rules
+  by :meth:`repro.analysis.engine.AnalysisEngine.check_project`.
+
+Everything here is derived from the already-parsed
+:class:`~repro.analysis.engine.Project`, so building the context costs
+one extra walk per module and no re-parsing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import ParsedModule, Project
+
+__all__ = [
+    "ImportEdge",
+    "ModuleGraph",
+    "FunctionInfo",
+    "FunctionIndex",
+    "LayersDeclaration",
+    "AnalysisContext",
+    "build_context",
+    "load_layers",
+]
+
+
+# -- import graph ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``import``/``from-import`` of a project module by another."""
+
+    module: str
+    """Dotted name of the importing module."""
+    target: str
+    """Dotted name of the imported module (as written, project-relative)."""
+    kind: str
+    """``"top-level"``, ``"type-checking"`` or ``"lazy"``."""
+    node: ast.Import | ast.ImportFrom
+    """The import statement, for precise finding locations."""
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _classify_imports(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Import | ast.ImportFrom, str]]:
+    """Every import statement of ``tree`` with its edge kind."""
+
+    def walk(stmts: list[ast.stmt], kind: str) -> Iterator[
+        tuple[ast.Import | ast.ImportFrom, str]
+    ]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt, kind
+            elif isinstance(stmt, ast.If):
+                guarded = (
+                    "type-checking"
+                    if kind == "top-level" and _is_type_checking_test(stmt.test)
+                    else kind
+                )
+                yield from walk(stmt.body, guarded)
+                yield from walk(stmt.orelse, kind)
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    yield from walk(block, kind)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body, kind)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from walk(stmt.body, kind)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                nested_kind = "lazy" if not isinstance(stmt, ast.ClassDef) else kind
+                yield from walk(stmt.body, nested_kind)
+
+    yield from walk(tree.body, "top-level")
+
+
+class ModuleGraph:
+    """Import edges between the project's own modules.
+
+    ``root_package`` is the dotted-name head every project module shares
+    (the analysis root directory's name, e.g. ``repro``).  Only imports
+    whose target starts with that head become edges; stdlib and
+    third-party imports are not the architecture's concern.
+    """
+
+    def __init__(self, project: "Project") -> None:
+        self.root_package = project.root.name
+        self.edges: list[ImportEdge] = []
+        for name, parsed in sorted(project.modules.items()):
+            self.edges.extend(self._module_edges(name, parsed))
+
+    def _module_edges(
+        self, name: str, parsed: "ParsedModule"
+    ) -> list[ImportEdge]:
+        prefix = self.root_package + "."
+        edges = []
+        for node, kind in _classify_imports(parsed.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name == self.root_package
+                    or alias.name.startswith(prefix)
+                ]
+            elif node.module is not None and node.level == 0 and (
+                node.module == self.root_package
+                or node.module.startswith(prefix)
+            ):
+                targets = [node.module]
+            elif node.level > 0:
+                # Relative import: resolve against the importing module.
+                base = name.split(".")
+                if not parsed.path.name == "__init__.py":
+                    base = base[:-1]
+                base = base[: len(base) - (node.level - 1)]
+                if base:
+                    resolved = ".".join(base + ([node.module] if node.module else []))
+                    targets = [resolved]
+            for target in targets:
+                edges.append(ImportEdge(name, target, kind, node))
+        return edges
+
+    def package_of(self, module: str) -> str:
+        """First-level package of a project module (``cloud`` for
+        ``repro.cloud.pricing``); a root-level module is its own
+        pseudo-package (``cli`` for ``repro.cli``)."""
+        parts = module.split(".")
+        return parts[1] if len(parts) > 1 else parts[0]
+
+    def package_edges(
+        self, kind: str = "top-level"
+    ) -> dict[tuple[str, str], list[ImportEdge]]:
+        """Cross-package edges of the given kind, keyed ``(src, dst)``."""
+        grouped: dict[tuple[str, str], list[ImportEdge]] = {}
+        for edge in self.edges:
+            if edge.kind != kind:
+                continue
+            src = self.package_of(edge.module)
+            dst = self.package_of(edge.target)
+            if src == dst or dst == self.root_package:
+                continue
+            grouped.setdefault((src, dst), []).append(edge)
+        return grouped
+
+    def packages(self) -> set[str]:
+        """Every first-level package (and root-level module) name."""
+        names: set[str] = set()
+        for edge in self.edges:
+            names.add(self.package_of(edge.module))
+        return names
+
+
+# -- call-graph approximation ----------------------------------------------------
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the project."""
+
+    module: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_method: bool
+    params: tuple[str, ...] = ()
+    param_annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+
+def _param_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> tuple[tuple[str, ...], dict[str, str]]:
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if args.vararg is not None:
+        ordered.append(args.vararg)
+    if args.kwarg is not None:
+        ordered.append(args.kwarg)
+    names = tuple(a.arg for a in ordered)
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+        ordered = ordered[1:]
+    annotations = {
+        a.arg: ast.unparse(a.annotation)
+        for a in ordered
+        if a.annotation is not None
+    }
+    return names, annotations
+
+
+class FunctionIndex:
+    """Every function/method of the project, with call-site resolution.
+
+    Resolution is deliberately conservative: a call is resolved only
+    when its target is unambiguous —
+
+    - a bare name bound by a ``def`` in the same module,
+    - a ``from x import f`` alias of a project module's function,
+    - a dotted ``pkg.mod.f`` path naming a project function,
+    - ``self.method(...)`` within the defining class.
+
+    Anything else (attribute calls on arbitrary objects, duck-typed
+    callbacks) resolves to ``None`` and the SEED pack treats it as an
+    opaque boundary rather than guessing.
+    """
+
+    def __init__(self, project: "Project") -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: module -> {local name -> function key} for module-level defs.
+        self._module_scope: dict[str, dict[str, str]] = {}
+        #: module -> {class name -> {method name -> function key}}.
+        self._classes: dict[str, dict[str, dict[str, str]]] = {}
+        for name, parsed in sorted(project.modules.items()):
+            self._index_module(name, parsed)
+        self._link_imports(project)
+
+    def _index_module(self, module: str, parsed: "ParsedModule") -> None:
+        scope: dict[str, str] = {}
+        classes: dict[str, dict[str, str]] = {}
+        for stmt in parsed.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._register(module, stmt.name, stmt, is_method=False)
+                scope[stmt.name] = info.key
+            elif isinstance(stmt, ast.ClassDef):
+                methods: dict[str, str] = {}
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = self._register(
+                            module,
+                            f"{stmt.name}.{sub.name}",
+                            sub,
+                            is_method=True,
+                        )
+                        methods[sub.name] = info.key
+                classes[stmt.name] = methods
+        self._module_scope[module] = scope
+        self._classes[module] = classes
+
+    def _register(
+        self,
+        module: str,
+        qualname: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> FunctionInfo:
+        params, annotations = _param_names(node, is_method)
+        info = FunctionInfo(
+            module=module,
+            qualname=qualname,
+            node=node,
+            is_method=is_method,
+            params=params,
+            param_annotations=annotations,
+        )
+        self.functions[info.key] = info
+        return info
+
+    def _link_imports(self, project: "Project") -> None:
+        """Extend each module's scope with from-imported project functions."""
+        for name, parsed in project.modules.items():
+            scope = self._module_scope.setdefault(name, {})
+            for node in ast.walk(parsed.tree):
+                if not isinstance(node, ast.ImportFrom) or node.module is None:
+                    continue
+                source_scope = self._module_scope.get(node.module)
+                if source_scope is None:
+                    continue
+                for alias in node.names:
+                    key = source_scope.get(alias.name)
+                    if key is not None:
+                        scope[alias.asname or alias.name] = key
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        module: str,
+        enclosing_class: str | None = None,
+    ) -> FunctionInfo | None:
+        """The project function a call targets, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            key = self._module_scope.get(module, {}).get(func.id)
+            return self.functions.get(key) if key else None
+        if isinstance(func, ast.Attribute):
+            # self.method(...) within the defining class.
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and enclosing_class is not None
+            ):
+                methods = self._classes.get(module, {}).get(enclosing_class, {})
+                key = methods.get(func.attr)
+                return self.functions.get(key) if key else None
+            # pkg.mod.f(...) with a fully dotted project path.
+            dotted = _attribute_path(func)
+            if dotted is not None:
+                mod, _, leaf = dotted.rpartition(".")
+                key = self._module_scope.get(mod, {}).get(leaf)
+                return self.functions.get(key) if key else None
+        return None
+
+
+def _attribute_path(node: ast.Attribute) -> str | None:
+    parts = [node.attr]
+    value: ast.expr = node.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if not isinstance(value, ast.Name):
+        return None
+    parts.append(value.id)
+    return ".".join(reversed(parts))
+
+
+# -- layers declaration ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayersDeclaration:
+    """The checked-in architecture contract for one analysis root.
+
+    ``allowed`` maps each first-level package (or root-level module) to
+    the packages it may import at module top level.  ``source`` is the
+    ``pyproject.toml`` the table was read from, for finding locations.
+    """
+
+    allowed: dict[str, tuple[str, ...]]
+    source: Path
+
+    def declares(self, package: str) -> bool:
+        return package in self.allowed
+
+    def permits(self, src: str, dst: str) -> bool:
+        return dst in self.allowed.get(src, ())
+
+
+def _parse_layers_table(text: str) -> dict[str, tuple[str, ...]] | None:
+    """The ``[tool.repro.layers]`` table of a pyproject, or ``None``."""
+    if sys.version_info >= (3, 11):
+        import tomllib
+
+        data = tomllib.loads(text)
+        table = data.get("tool", {}).get("repro", {}).get("layers")
+        if table is None:
+            return None
+        return {
+            str(key): tuple(str(v) for v in values)
+            for key, values in table.items()
+        }
+    return _parse_layers_fallback(text)  # pragma: no cover - py3.10 only
+
+
+def _parse_layers_fallback(text: str) -> dict[str, tuple[str, ...]] | None:
+    """Minimal line-based parser for the layers table (Python 3.10,
+    where :mod:`tomllib` is unavailable and the linter must stay
+    dependency-free).  Handles exactly the subset the declaration uses:
+    ``key = ["a", "b"]`` lines under ``[tool.repro.layers]``."""
+    table: dict[str, tuple[str, ...]] = {}
+    in_table = False
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            in_table = line == "[tool.repro.layers]"
+            continue
+        if not in_table or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if not (value.startswith("[") and value.endswith("]")):
+            continue
+        items = [
+            item.strip().strip('"').strip("'")
+            for item in value[1:-1].split(",")
+            if item.strip()
+        ]
+        table[key] = tuple(items)
+    return table if table or in_table else None
+
+
+def load_layers(root: Path) -> LayersDeclaration | None:
+    """Find and parse the nearest ``[tool.repro.layers]`` declaration.
+
+    Searches ``root`` itself, then each parent directory, so the real
+    tree picks up the repository ``pyproject.toml`` while a test fixture
+    tree can carry its own declaration inside the fixture root.
+    """
+    root = Path(root).resolve()
+    for directory in (root, *root.parents):
+        candidate = directory / "pyproject.toml"
+        if not candidate.is_file():
+            continue
+        try:
+            table = _parse_layers_table(candidate.read_text())
+        except (OSError, ValueError):  # unreadable / malformed: keep looking
+            continue
+        if table is not None:
+            return LayersDeclaration(allowed=table, source=candidate)
+    return None
+
+
+# -- the bundle ------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisContext:
+    """Whole-program facts shared by every context-aware rule.
+
+    Built once per :meth:`AnalysisEngine.check_project` run; rules
+    receive it through :meth:`Rule.bind` before their project pass.
+    """
+
+    project: "Project"
+    module_graph: ModuleGraph
+    functions: FunctionIndex
+    layers: LayersDeclaration | None
+
+
+def build_context(project: "Project") -> AnalysisContext:
+    """Derive the full analysis context from a parsed project."""
+    return AnalysisContext(
+        project=project,
+        module_graph=ModuleGraph(project),
+        functions=FunctionIndex(project),
+        layers=load_layers(project.root),
+    )

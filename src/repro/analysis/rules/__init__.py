@@ -34,6 +34,28 @@ from repro.analysis.rules.robustness import (
     UnboundedRetryRule,
     robustness_rules,
 )
+from repro.analysis.rules.architecture import (
+    LayerCycleRule,
+    StaleAllowanceRule,
+    UndeclaredImportRule,
+    UndeclaredPackageRule,
+    architecture_rules,
+)
+from repro.analysis.rules.seeding import (
+    SEEDED_PACKAGES,
+    GlobalRandomDrawRule,
+    OsEntropyRule,
+    SeedProvenanceRule,
+    seeding_rules,
+)
+from repro.analysis.rules.concurrency import (
+    CONCURRENT_PACKAGES,
+    BareAcquireRule,
+    BlockingUnderLockRule,
+    SharedMutableClassAttrRule,
+    UnjoinedThreadRule,
+    concurrency_rules,
+)
 from repro.analysis.engine import FileRule, ProjectRule
 
 __all__ = [
@@ -53,10 +75,26 @@ __all__ = [
     "RESILIENT_PACKAGES",
     "BroadExceptRule",
     "UnboundedRetryRule",
+    "UndeclaredImportRule",
+    "UndeclaredPackageRule",
+    "StaleAllowanceRule",
+    "LayerCycleRule",
+    "SEEDED_PACKAGES",
+    "SeedProvenanceRule",
+    "OsEntropyRule",
+    "GlobalRandomDrawRule",
+    "CONCURRENT_PACKAGES",
+    "BlockingUnderLockRule",
+    "BareAcquireRule",
+    "SharedMutableClassAttrRule",
+    "UnjoinedThreadRule",
     "determinism_rules",
     "consistency_rules",
     "perf_rules",
     "robustness_rules",
+    "architecture_rules",
+    "seeding_rules",
+    "concurrency_rules",
     "default_rules",
 ]
 
@@ -68,4 +106,7 @@ def default_rules() -> list[FileRule | ProjectRule]:
         *consistency_rules(),
         *perf_rules(),
         *robustness_rules(),
+        *architecture_rules(),
+        *seeding_rules(),
+        *concurrency_rules(),
     ]

@@ -1,0 +1,231 @@
+"""Architecture rule pack (``ARCH``).
+
+The tree grew from a single valuation script into a layered system —
+stochastic drivers at the bottom, Monte Carlo engines above them, the
+DISAR master, the simulated cloud, the deadline-guard runtime, the
+paper's self-optimizing core on top.  That layering is what keeps the
+determinism contract auditable: randomness enters at the bottom
+(:mod:`repro.stochastic`), execution policy lives at the top, and the
+analysis tooling depends on none of it.  These rules pin the layering
+to a checked-in declaration instead of tribal memory:
+
+- ``ARCH001`` — a module imports another first-level package at module
+  top level without the edge being declared in ``[tool.repro.layers]``
+  (``pyproject.toml``).  Function-local (lazy) imports and
+  ``if TYPE_CHECKING:`` imports are exempt: the former is the sanctioned
+  cycle-breaking escape hatch, the latter is erased at runtime.
+- ``ARCH002`` — a first-level package exists in the tree but is missing
+  from the layers declaration, so its dependencies are unpoliced.
+- ``ARCH003`` — the declaration allows an edge no module uses; stale
+  allowances widen the contract silently, so they are flagged exactly
+  like stale pricing entries (CON003).
+- ``ARCH004`` — the *declared* allowed-import graph contains a cycle.
+  Layering means a partial order; a declared cycle is an architecture
+  bug even before any module exploits it.
+
+Without a ``[tool.repro.layers]`` table in scope (e.g. linting a loose
+file tree), the pack stays silent — the contract is opt-in per tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ParsedModule, Project, ProjectRule
+from repro.analysis.project import LayersDeclaration, ModuleGraph
+
+__all__ = [
+    "UndeclaredImportRule",
+    "UndeclaredPackageRule",
+    "StaleAllowanceRule",
+    "LayerCycleRule",
+    "architecture_rules",
+]
+
+
+class _LayeredRule(ProjectRule):
+    """Shared plumbing: resolve the module graph + declaration pair."""
+
+    pack = "architecture"
+
+    def _graph_and_layers(
+        self,
+    ) -> tuple[ModuleGraph, LayersDeclaration] | None:
+        if self.context is None or self.context.layers is None:
+            return None
+        return self.context.module_graph, self.context.layers
+
+    def _module_of(
+        self, project: Project, dotted: str
+    ) -> ParsedModule | None:
+        return project.modules.get(dotted)
+
+
+class UndeclaredImportRule(_LayeredRule):
+    """ARCH001: top-level cross-package import outside the declaration."""
+
+    rule_id = "ARCH001"
+    description = (
+        "module-top-level imports across first-level packages must be "
+        "declared in [tool.repro.layers]; lazy/TYPE_CHECKING imports are "
+        "the sanctioned escape hatches"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        resolved = self._graph_and_layers()
+        if resolved is None:
+            return
+        graph, layers = resolved
+        for (src, dst), edges in sorted(graph.package_edges().items()):
+            if layers.permits(src, dst):
+                continue
+            for edge in edges:
+                module = self._module_of(project, edge.module)
+                if module is None:
+                    continue
+                yield self.finding(
+                    module,
+                    edge.node,
+                    f"package {src!r} imports {dst!r} at module top level "
+                    f"but [tool.repro.layers] does not allow that edge; "
+                    "declare it or make the import lazy/TYPE_CHECKING",
+                )
+
+
+class UndeclaredPackageRule(_LayeredRule):
+    """ARCH002: a package in the tree is absent from the declaration."""
+
+    rule_id = "ARCH002"
+    description = (
+        "every first-level package must appear in [tool.repro.layers] so "
+        "its dependencies are policed"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        resolved = self._graph_and_layers()
+        if resolved is None:
+            return
+        graph, layers = resolved
+        root = graph.root_package
+        packages: set[str] = set()
+        for name, parsed in project.modules.items():
+            parts = name.split(".")
+            if len(parts) > 1:
+                packages.add(parts[1])
+        for package in sorted(packages):
+            if layers.declares(package):
+                continue
+            anchor = (
+                project.modules.get(f"{root}.{package}")
+                or project.find(package)
+            )
+            if anchor is None:
+                continue
+            yield self.finding(
+                anchor,
+                None,
+                f"package {package!r} is not declared in "
+                "[tool.repro.layers]; add it (an empty list means 'imports "
+                "no other layer')",
+            )
+
+
+class StaleAllowanceRule(_LayeredRule):
+    """ARCH003: a declared allowance no module actually uses."""
+
+    rule_id = "ARCH003"
+    description = (
+        "declared layer edges must be exercised by at least one top-level "
+        "import; stale allowances silently widen the architecture contract"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        resolved = self._graph_and_layers()
+        if resolved is None:
+            return
+        graph, layers = resolved
+        live = set(graph.package_edges())
+        for src in sorted(layers.allowed):
+            for dst in layers.allowed[src]:
+                if (src, dst) not in live:
+                    yield Finding(
+                        path=str(layers.source),
+                        line=1,
+                        col=0,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"[tool.repro.layers] allows {src!r} -> {dst!r} "
+                            "but no module imports along that edge at top "
+                            "level; remove the stale allowance"
+                        ),
+                        pack=self.pack,
+                    )
+
+
+class LayerCycleRule(_LayeredRule):
+    """ARCH004: the declared allowed-import graph contains a cycle."""
+
+    rule_id = "ARCH004"
+    description = (
+        "the declared layer graph must stay acyclic — layering is a "
+        "partial order, not an edge allowlist"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        resolved = self._graph_and_layers()
+        if resolved is None:
+            return
+        _graph, layers = resolved
+        cycle = _find_cycle(layers.allowed)
+        if cycle is not None:
+            yield Finding(
+                path=str(layers.source),
+                line=1,
+                col=0,
+                rule_id=self.rule_id,
+                message=(
+                    "[tool.repro.layers] declares a dependency cycle: "
+                    + " -> ".join(cycle)
+                    + "; break it with a lazy import and remove the edge"
+                ),
+                pack=self.pack,
+            )
+
+
+def _find_cycle(allowed: dict[str, tuple[str, ...]]) -> list[str] | None:
+    """First cycle of the declared graph (DFS, deterministic order)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in allowed}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GREY
+        stack.append(node)
+        for succ in allowed.get(node, ()):
+            if color.get(succ, BLACK) == GREY:
+                start = stack.index(succ)
+                return stack[start:] + [succ]
+            if color.get(succ) == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(allowed):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found is not None:
+                return found
+    return None
+
+
+def architecture_rules() -> list[ProjectRule]:
+    """Fresh instances of the whole architecture pack."""
+    return [
+        UndeclaredImportRule(),
+        UndeclaredPackageRule(),
+        StaleAllowanceRule(),
+        LayerCycleRule(),
+    ]

@@ -1,0 +1,265 @@
+"""Concurrency rule pack (``CONC``).
+
+The comm/runtime layers (``cluster``, ``runtime``, ``faults``,
+``disar``) mix threads, locks and blocking primitives: the SPMD
+communicator joins worker threads under a deadline, the deadline-guard
+runtime checkpoints from a watchdog, the fault injector flips shared
+state under a mutex.  The chaos suite exercises these paths dynamically;
+this pack catches the hazard *patterns* statically, before a rare
+interleaving has to expose them:
+
+- ``CONC001`` — a blocking call (``recv``/``join``/``sleep``/``wait``/
+  ``acquire``/``barrier``) inside a ``with <lock>:`` region.  Holding a
+  lock across a blocking call serialises every peer on the slowest one
+  and is one ordering away from deadlock.
+- ``CONC002`` — a lock acquired by calling ``.acquire()`` instead of a
+  ``with`` block; any exception between acquire and release leaks the
+  lock forever.
+- ``CONC003`` — a mutable class-level attribute (list/dict/set literal
+  or constructor).  Class attributes are shared across every instance
+  and every thread; per-instance state belongs in ``__init__`` (or a
+  dataclass ``field(default_factory=...)``, which is exempt).
+- ``CONC004`` — a function that creates a ``threading.Thread`` but
+  neither marks it ``daemon=True`` nor joins it with a timeout; an
+  unjoined (or unboundedly joined) thread can outlive the deadline
+  guard and hang shutdown.
+
+The pack applies only to the concurrency-bearing packages; pure
+numerical layers never touch threads and would only accumulate noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+from repro.analysis.rules.determinism import _dotted_name
+
+__all__ = [
+    "BlockingUnderLockRule",
+    "BareAcquireRule",
+    "SharedMutableClassAttrRule",
+    "UnjoinedThreadRule",
+    "concurrency_rules",
+]
+
+#: Packages whose modules this pack applies to.
+CONCURRENT_PACKAGES = ("cluster", "runtime", "faults", "disar")
+
+#: Leaf names of calls that can block the calling thread.
+_BLOCKING_LEAVES = frozenset(
+    {"recv", "join", "sleep", "wait", "acquire", "barrier"}
+)
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """Whether an expression plausibly denotes a lock/mutex object."""
+    dotted = _dotted_name(node)
+    if dotted is None:
+        if isinstance(node, ast.Call):
+            return _is_lockish(node.func)
+        return False
+    leaf = dotted.rpartition(".")[2].lower()
+    return "lock" in leaf or "mutex" in leaf
+
+
+class _ConcurrencyRule(FileRule):
+    """Shared scoping: only the concurrency-bearing packages."""
+
+    pack = "concurrency"
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        parts = module.module.split(".")
+        return any(package in parts for package in CONCURRENT_PACKAGES)
+
+
+class BlockingUnderLockRule(_ConcurrencyRule):
+    """CONC001: blocking calls inside a lock-held ``with`` region."""
+
+    rule_id = "CONC001"
+    description = (
+        "blocking recv/join/sleep/wait inside a 'with lock:' region "
+        "serialises peers on the slowest one and invites deadlock; "
+        "copy state under the lock, block outside it"
+    )
+    interests = (ast.With, ast.AsyncWith)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.With, ast.AsyncWith))
+        if not any(
+            _is_lockish(item.context_expr) for item in node.items
+        ):
+            return
+        for inner in _walk_body_skipping_defs(node.body):
+            if not isinstance(inner, ast.Call):
+                continue
+            leaf = _call_leaf(inner)
+            if leaf in _BLOCKING_LEAVES and not _is_str_join(inner):
+                yield self.finding(
+                    module,
+                    inner,
+                    f"blocking call .{leaf}() while holding a lock; move "
+                    "the blocking operation outside the 'with' region",
+                )
+
+
+class BareAcquireRule(_ConcurrencyRule):
+    """CONC002: ``lock.acquire()`` instead of a ``with`` block."""
+
+    rule_id = "CONC002"
+    description = (
+        "lock.acquire() without 'with' leaks the lock on any exception "
+        "before release; use 'with lock:'"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+            return
+        if _is_lockish(func.value):
+            yield self.finding(
+                module,
+                node,
+                "lock acquired with .acquire(); use 'with lock:' so the "
+                "lock is released on every exit path",
+            )
+
+
+class SharedMutableClassAttrRule(_ConcurrencyRule):
+    """CONC003: mutable class-level attributes shared across threads."""
+
+    rule_id = "CONC003"
+    description = (
+        "mutable class-level attributes are shared across instances and "
+        "threads; initialise per-instance state in __init__ or a "
+        "dataclass field(default_factory=...)"
+    )
+    interests = (ast.ClassDef,)
+
+    _MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+    def _is_mutable_value(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                return False
+            leaf = dotted.rpartition(".")[2]
+            return leaf in self._MUTABLE_CTORS
+        return False
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        for stmt in node.body:
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value  # annotation-only attrs have None here
+            if value is None or not self._is_mutable_value(value):
+                continue
+            yield self.finding(
+                module,
+                value,
+                f"mutable class-level attribute on {node.name}; shared "
+                "across instances and threads — move it into __init__ or "
+                "use field(default_factory=...)",
+            )
+
+
+class UnjoinedThreadRule(_ConcurrencyRule):
+    """CONC004: threads created without a bounded join or daemon flag."""
+
+    rule_id = "CONC004"
+    description = (
+        "a thread that is neither daemon=True nor joined with a timeout "
+        "can outlive the deadline guard and hang shutdown"
+    )
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        creations = []
+        has_bounded_join = False
+        for inner in _walk_body_skipping_defs(node.body):
+            if not isinstance(inner, ast.Call):
+                continue
+            dotted = _dotted_name(inner.func)
+            leaf = dotted.rpartition(".")[2] if dotted else ""
+            if leaf == "Thread":
+                creations.append(inner)
+            elif (
+                isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "join"
+                and (
+                    inner.args
+                    or any(kw.arg == "timeout" for kw in inner.keywords)
+                )
+            ):
+                has_bounded_join = True
+        for creation in creations:
+            daemon = any(
+                kw.arg == "daemon"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in creation.keywords
+            )
+            if daemon or has_bounded_join:
+                continue
+            yield self.finding(
+                module,
+                creation,
+                "thread created without daemon=True and without a bounded "
+                ".join(timeout=...) in this function; give it a join "
+                "deadline or make it a daemon",
+            )
+
+
+def _walk_body_skipping_defs(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes under ``body``, except nested function bodies (their
+    calls execute later, outside the region being analysed)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_str_join(call: ast.Call) -> bool:
+    """``", ".join(parts)`` / ``os.path.join`` — not thread joins."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "join"):
+        return False
+    if isinstance(func.value, ast.Constant):
+        return True
+    if len(call.args) == 1 and isinstance(
+        call.args[0],
+        (ast.GeneratorExp, ast.ListComp, ast.List, ast.Tuple, ast.Set),
+    ):
+        return True
+    dotted = _dotted_name(func.value)
+    return bool(dotted) and dotted.rpartition(".")[2] in ("path", "sep")
+
+
+def _call_leaf(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def concurrency_rules() -> list[FileRule]:
+    """Fresh instances of the whole concurrency pack."""
+    return [
+        BlockingUnderLockRule(),
+        BareAcquireRule(),
+        SharedMutableClassAttrRule(),
+        UnjoinedThreadRule(),
+    ]

@@ -1,0 +1,644 @@
+"""Seed-provenance rule pack (``SEED``).
+
+Every guarantee the reproduction makes — bit-identical SCR across
+backends, rank counts and restarts; chaos-recovery equivalence;
+checkpoint resume — rests on one invariant: *all randomness flows
+through chunk-index-keyed* :class:`numpy.random.SeedSequence`\\ *s*.
+The determinism pack (DET001/DET002) catches the blatant breaches;
+this pack does taint-style dataflow over the whole project model to
+catch the subtle ones:
+
+- ``SEED001`` — interprocedural seed provenance.  In the packages where
+  randomness is sanctioned (``montecarlo``, ``exec``, ``stochastic``,
+  ``faults``) every RNG construction (``default_rng`` / ``Generator`` /
+  ``RandomState`` / ``random.Random``) must receive a seed *derived* —
+  transitively, across function boundaries — from ``SeedSequence`` or
+  chunk-index provenance.  Derivation is tracked through assignments,
+  tuple unpacks, subscripts, ``.spawn()``, arithmetic, transparent
+  wrappers and calls to project functions whose returns are themselves
+  derived (a fixpoint over the call-graph approximation).  A parameter
+  counts as provenance when its name or annotation says so (``seed``,
+  ``seed_seq``, ``chunk_index``, ``...SeedSequence...``) — the
+  obligation then moves to the caller, which is also checked: passing a
+  non-derived value into a ``SeedSequence``-annotated parameter of a
+  project function is flagged at the call site.
+- ``SEED002`` — OS-entropy or global seeding anywhere in ``src``:
+  ``os.urandom``, ``secrets.*``, ``uuid.uuid1/uuid4``, ``random.seed``,
+  ``np.random.seed``, ``random.SystemRandom``.
+- ``SEED003`` — stdlib :mod:`random` global-state draws
+  (``random.random()``, ``random.randint(...)``, ...) anywhere in
+  ``src``; the global Mersenne Twister is invisible to the seed tree.
+
+``repro.stochastic.rng`` is the sanctioned chokepoint and is exempt
+from SEED001 (it is *where* raw entropy becomes provenance).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import (
+    FileRule,
+    Finding,
+    ParsedModule,
+    Project,
+    ProjectRule,
+)
+from repro.analysis.project import FunctionInfo
+from repro.analysis.rules.determinism import _dotted_name
+
+__all__ = [
+    "SeedProvenanceRule",
+    "OsEntropyRule",
+    "GlobalRandomDrawRule",
+    "seeding_rules",
+]
+
+#: Packages in which SEED001 polices RNG construction.
+SEEDED_PACKAGES = ("montecarlo", "exec", "stochastic", "faults")
+
+#: Parameter / variable names that carry seed provenance by contract.
+_SEED_NAME_RE = re.compile(
+    r"(?:^|_)(?:seed|seeds|seed_seq|seed_sequence|seq|sequences|rng|"
+    r"parent|entropy|chunk|chunk_index|chunk_seeds|ss|spawn_key)(?:$|_)",
+    re.IGNORECASE,
+)
+
+#: Annotation substrings that mark a parameter as provenance-bearing.
+_SEED_ANNOTATION_MARKERS = ("SeedSequence", "Generator", "RandomState")
+
+#: Calls whose result carries the taint of their arguments.
+_TRANSPARENT_CALLS = frozenset(
+    {
+        "int",
+        "abs",
+        "list",
+        "tuple",
+        "sorted",
+        "reversed",
+        "numpy.asarray",
+        "numpy.atleast_1d",
+        "numpy.uint32",
+        "numpy.uint64",
+        "numpy.int64",
+        "numpy.array",
+    }
+)
+
+#: numpy bit-generator constructors: derived iff their seed argument is.
+_BIT_GENERATORS = frozenset(
+    {"PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+#: Methods on a derived value that yield another derived value.
+_DERIVING_METHODS = frozenset({"spawn", "generate_state", "entropy"})
+
+
+def _is_seed_name(name: str) -> bool:
+    return bool(_SEED_NAME_RE.search(name))
+
+
+def _annotation_is_provenance(annotation: str | None) -> bool:
+    if annotation is None:
+        return False
+    return any(marker in annotation for marker in _SEED_ANNOTATION_MARKERS)
+
+
+class _ModuleResolver:
+    """Per-module dotted-name resolution (from-import aliases, np alias).
+
+    The project-rule twin of the file rules' ``_ImportTrackingRule``.
+    """
+
+    def __init__(self, module: ParsedModule) -> None:
+        self._from_imports: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._from_imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self._from_imports:
+            dotted = self._from_imports[head] + ("." + rest if rest else "")
+        if dotted == "np" or dotted.startswith("np."):
+            dotted = "numpy" + dotted[len("np"):]
+        return dotted
+
+
+class _TaintScope:
+    """Taint evaluation for one function (or module) body."""
+
+    def __init__(
+        self,
+        resolver: _ModuleResolver,
+        rule: "SeedProvenanceRule",
+        module_name: str,
+        enclosing_class: str | None,
+        tainted: set[str],
+    ) -> None:
+        self.resolver = resolver
+        self.rule = rule
+        self.module_name = module_name
+        self.enclosing_class = enclosing_class
+        self.tainted = tainted
+
+    # -- statement pass: grow the tainted-name set ---------------------------
+
+    def absorb(self, body: list[ast.stmt]) -> None:
+        """Propagate taint through assignments until stable."""
+        for _ in range(4):  # loops rarely need more than two passes
+            before = len(self.tainted)
+            self._absorb_once(body)
+            if len(self.tainted) == before:
+                break
+
+    def _absorb_once(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                if self.is_tainted(stmt.value):
+                    for target in stmt.targets:
+                        self._taint_target(target)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if self.is_tainted(stmt.value):
+                    self._taint_target(stmt.target)
+            elif isinstance(stmt, ast.AugAssign):
+                if self.is_tainted(stmt.value):
+                    self._taint_target(stmt.target)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                if self.is_tainted(stmt.iter):
+                    self._taint_target(stmt.target)
+                self._absorb_once(stmt.body)
+                self._absorb_once(stmt.orelse)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._absorb_once(stmt.body)
+                self._absorb_once(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._absorb_once(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._absorb_once(block)
+                for handler in stmt.handlers:
+                    self._absorb_once(handler.body)
+            # Nested defs get their own scope; do not descend.
+
+    def _taint_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._taint_target(element)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+
+    # -- expression taint ----------------------------------------------------
+
+    def is_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int) and not isinstance(
+                node.value, bool
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted or _is_seed_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return _is_seed_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(element) for element in node.elts)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.is_tainted(node.elt) or any(
+                self.is_tainted(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.DictComp):
+            return self.is_tainted(node.value) or any(
+                self.is_tainted(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.NamedExpr):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_is_tainted(node)
+        return False
+
+    def _call_is_tainted(self, call: ast.Call) -> bool:
+        arguments = [*call.args, *[kw.value for kw in call.keywords]]
+        any_tainted = any(self.is_tainted(arg) for arg in arguments)
+        dotted = self.resolver.resolve(call.func)
+        if dotted is not None:
+            leaf = dotted.rpartition(".")[2]
+            if leaf == "SeedSequence":
+                # SeedSequence(entropy) is provenance; SeedSequence()
+                # draws OS entropy and is not.
+                return any_tainted
+            if leaf in _BIT_GENERATORS:
+                return any_tainted
+            if dotted in _TRANSPARENT_CALLS or leaf in ("int", "abs"):
+                return any_tainted
+            if dotted in SeedProvenanceRule._SINKS:
+                # An RNG built from a derived seed is itself derived —
+                # passing it on keeps the provenance chain intact.
+                return any_tainted
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in _DERIVING_METHODS:
+                return self.is_tainted(call.func.value)
+        info = self.rule.resolve_call(
+            call, self.module_name, self.enclosing_class
+        )
+        if info is not None:
+            return info.key in self.rule.derived_returns
+        return False
+
+
+class SeedProvenanceRule(ProjectRule):
+    """SEED001: RNG seeds must derive from SeedSequence/chunk provenance."""
+
+    rule_id = "SEED001"
+    description = (
+        "RNG constructions in montecarlo/exec/stochastic/faults must be "
+        "seeded from SeedSequence/chunk-index provenance, tracked across "
+        "assignments and project-function calls"
+    )
+    pack = "seeding"
+    exempt_modules = ("stochastic.rng",)
+
+    #: Sinks: fully-resolved callable -> how to pick the seed argument.
+    _SINKS = {
+        "numpy.random.default_rng": "seed",
+        "numpy.random.RandomState": "seed",
+        "numpy.random.Generator": "bit_generator",
+        "random.Random": "seed",
+    }
+
+    def __init__(self) -> None:
+        self.derived_returns: set[str] = set()
+        self._resolvers: dict[str, _ModuleResolver] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, module_name: str, enclosing_class: str | None
+    ) -> FunctionInfo | None:
+        if self.context is None:
+            return None
+        return self.context.functions.resolve_call(
+            call, module_name, enclosing_class
+        )
+
+    def _resolver(self, module: ParsedModule) -> _ModuleResolver:
+        resolver = self._resolvers.get(module.module)
+        if resolver is None:
+            resolver = _ModuleResolver(module)
+            self._resolvers[module.module] = resolver
+        return resolver
+
+    def _in_scope(self, module: ParsedModule) -> bool:
+        parts = module.module.split(".")
+        if any(
+            module.module == suffix or module.module.endswith("." + suffix)
+            for suffix in self.exempt_modules
+        ):
+            return False
+        return any(package in parts for package in SEEDED_PACKAGES)
+
+    @staticmethod
+    def _initial_taint(info: FunctionInfo) -> set[str]:
+        tainted: set[str] = set()
+        for param in info.params:
+            if _is_seed_name(param) or _annotation_is_provenance(
+                info.param_annotations.get(param)
+            ):
+                tainted.add(param)
+        return tainted
+
+    def _scope_for(
+        self, module: ParsedModule, info: FunctionInfo
+    ) -> _TaintScope:
+        enclosing = (
+            info.qualname.rpartition(".")[0] if info.is_method else None
+        )
+        scope = _TaintScope(
+            resolver=self._resolver(module),
+            rule=self,
+            module_name=module.module,
+            enclosing_class=enclosing or None,
+            tainted=self._initial_taint(info),
+        )
+        scope.absorb(info.node.body)
+        return scope
+
+    # -- derived-return fixpoint ----------------------------------------------
+
+    def _compute_summaries(self, project: Project) -> None:
+        """Fixpoint: which project functions return derived seed values."""
+        self.derived_returns = set()
+        if self.context is None:
+            return
+        functions = self.context.functions.functions
+        returns_of: dict[str, list[ast.expr]] = {}
+        for key, info in functions.items():
+            values = [
+                stmt.value
+                for stmt in ast.walk(info.node)
+                if isinstance(stmt, ast.Return) and stmt.value is not None
+            ]
+            if values:
+                returns_of[key] = values
+        for _ in range(8):
+            grew = False
+            for key, values in returns_of.items():
+                if key in self.derived_returns:
+                    continue
+                info = functions[key]
+                module = project.modules.get(info.module)
+                if module is None:
+                    continue
+                scope = self._scope_for(module, info)
+                if all(scope.is_tainted(value) for value in values):
+                    self.derived_returns.add(key)
+                    grew = True
+            if not grew:
+                break
+
+    # -- the check ------------------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        if self.context is None:
+            return
+        self._resolvers.clear()
+        self._compute_summaries(project)
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            if not self._in_scope(module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        # Module-level statements form a pseudo-scope with no parameters.
+        top_scope = _TaintScope(
+            resolver=self._resolver(module),
+            rule=self,
+            module_name=module.module,
+            enclosing_class=None,
+            tainted=set(),
+        )
+        top_scope.absorb(module.tree.body)
+        yield from self._check_body(
+            module, module.tree.body, top_scope, toplevel=True
+        )
+        if self.context is None:
+            return
+        for key, info in self.context.functions.functions.items():
+            if info.module != module.module:
+                continue
+            scope = self._scope_for(module, info)
+            yield from self._check_body(
+                module, info.node.body, scope, toplevel=False
+            )
+
+    def _check_body(
+        self,
+        module: ParsedModule,
+        body: list[ast.stmt],
+        scope: _TaintScope,
+        toplevel: bool,
+    ) -> Iterator[Finding]:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if toplevel:
+                    continue  # indexed; checked with its own scope
+                child = self._nested_scope(module, node, scope)
+                yield from self._check_body(
+                    module, node.body, child, toplevel=False
+                )
+                continue
+            if toplevel and isinstance(node, ast.ClassDef):
+                continue  # methods are indexed; checked separately
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, scope)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _nested_scope(
+        self,
+        module: ParsedModule,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        parent: _TaintScope,
+    ) -> _TaintScope:
+        """Closures inherit the enclosing scope's taint plus their own
+        provenance-bearing parameters."""
+        tainted = set(parent.tainted)
+        for arg in [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]:
+            annotation = (
+                ast.unparse(arg.annotation)
+                if arg.annotation is not None
+                else None
+            )
+            if _is_seed_name(arg.arg) or _annotation_is_provenance(annotation):
+                tainted.add(arg.arg)
+        scope = _TaintScope(
+            resolver=parent.resolver,
+            rule=self,
+            module_name=parent.module_name,
+            enclosing_class=parent.enclosing_class,
+            tainted=tainted,
+        )
+        scope.absorb(node.body)
+        return scope
+
+    def _check_call(
+        self, module: ParsedModule, call: ast.Call, scope: _TaintScope
+    ) -> Iterator[Finding]:
+        dotted = scope.resolver.resolve(call.func)
+        if dotted in self._SINKS:
+            yield from self._check_sink(module, call, scope, dotted)
+            return
+        yield from self._check_callsite_contract(module, call, scope)
+
+    def _check_sink(
+        self,
+        module: ParsedModule,
+        call: ast.Call,
+        scope: _TaintScope,
+        dotted: str,
+    ) -> Iterator[Finding]:
+        leaf = dotted.rpartition(".")[2]
+        seed_args = list(call.args) + [
+            kw.value
+            for kw in call.keywords
+            if kw.arg in (None, "seed", "bit_generator")
+        ]
+        if not seed_args or all(
+            isinstance(arg, ast.Constant) and arg.value is None
+            for arg in seed_args
+        ):
+            yield self.finding(
+                module,
+                call,
+                f"{leaf}() without a seed draws OS entropy; seed it from "
+                "the run's SeedSequence tree (chunk_seed_sequences / "
+                "stochastic.rng)",
+            )
+            return
+        if not any(scope.is_tainted(arg) for arg in seed_args):
+            yield self.finding(
+                module,
+                call,
+                f"{leaf}() seed is not derived from SeedSequence/chunk-index "
+                "provenance; thread the chunk's SeedSequence (or a spawn of "
+                "it) to this construction site",
+            )
+
+    def _check_callsite_contract(
+        self, module: ParsedModule, call: ast.Call, scope: _TaintScope
+    ) -> Iterator[Finding]:
+        """Passing a non-derived value into a ``SeedSequence``-annotated
+        parameter of a project function breaks the contract at the call
+        site, before the callee ever constructs an RNG."""
+        info = self.resolve_call(call, module.module, scope.enclosing_class)
+        if info is None:
+            return
+        demanding = {
+            param
+            for param in info.params
+            if "SeedSequence" in info.param_annotations.get(param, "")
+        }
+        if not demanding:
+            return
+        bound: list[tuple[str, ast.expr]] = []
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                return  # cannot match positions past a star-unpack
+            if position < len(info.params):
+                bound.append((info.params[position], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound.append((keyword.arg, keyword.value))
+        for param, arg in bound:
+            if param in demanding and not scope.is_tainted(arg):
+                yield self.finding(
+                    module,
+                    arg,
+                    f"argument for SeedSequence parameter {param!r} of "
+                    f"{info.qualname}() is not derived from seed "
+                    "provenance; pass a SeedSequence from the run's tree",
+                )
+
+
+class OsEntropyRule(FileRule):
+    """SEED002: OS-entropy or global seeding anywhere in ``src``."""
+
+    rule_id = "SEED002"
+    description = (
+        "os.urandom/secrets/uuid4/random.seed inject entropy outside the "
+        "SeedSequence tree; all randomness must be seed-derived"
+    )
+    pack = "seeding"
+    interests = (ast.Call,)
+
+    _FORBIDDEN = frozenset(
+        {
+            "os.urandom",
+            "os.getrandom",
+            "uuid.uuid1",
+            "uuid.uuid4",
+            "random.seed",
+            "numpy.random.seed",
+            "random.SystemRandom",
+        }
+    )
+
+    def start_module(self, module: ParsedModule) -> None:
+        self._resolver = _ModuleResolver(module)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = self._resolver.resolve(node.func)
+        if dotted is None:
+            return
+        if dotted in self._FORBIDDEN or dotted.startswith("secrets."):
+            yield self.finding(
+                module,
+                node,
+                f"{dotted}() injects OS entropy / reseeds global state "
+                "outside the SeedSequence tree; derive randomness from the "
+                "run's seed instead",
+            )
+
+
+class GlobalRandomDrawRule(FileRule):
+    """SEED003: stdlib ``random`` global-state draws."""
+
+    rule_id = "SEED003"
+    description = (
+        "stdlib random.* draws use the hidden global Mersenne Twister, "
+        "invisible to the seed tree; use a seeded numpy Generator"
+    )
+    pack = "seeding"
+    interests = (ast.Call,)
+
+    _DRAWS = frozenset(
+        {
+            "random",
+            "randint",
+            "randrange",
+            "randbytes",
+            "getrandbits",
+            "choice",
+            "choices",
+            "shuffle",
+            "sample",
+            "uniform",
+            "triangular",
+            "betavariate",
+            "expovariate",
+            "gammavariate",
+            "gauss",
+            "lognormvariate",
+            "normalvariate",
+            "vonmisesvariate",
+            "paretovariate",
+            "weibullvariate",
+        }
+    )
+
+    def start_module(self, module: ParsedModule) -> None:
+        self._resolver = _ModuleResolver(module)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = self._resolver.resolve(node.func)
+        if dotted is None or not dotted.startswith("random."):
+            return
+        leaf = dotted.removeprefix("random.")
+        if "." in leaf or leaf not in self._DRAWS:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"random.{leaf}() draws from the global Mersenne Twister; use "
+            "a Generator seeded from the run's SeedSequence tree",
+        )
+
+
+def seeding_rules() -> list[FileRule | ProjectRule]:
+    """Fresh instances of the whole seeding pack."""
+    return [SeedProvenanceRule(), OsEntropyRule(), GlobalRandomDrawRule()]

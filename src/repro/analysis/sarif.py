@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 reporter for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the report via ``codeql-action/upload-sarif``
+turns every finding into an inline PR annotation with the rule's help
+text attached.  One ``run`` is emitted per invocation; the tool driver
+lists every *active* rule (so code scanning can show rule metadata even
+for rules with zero findings), and each result carries the finding's
+stable fingerprint under ``partialFingerprints`` so GitHub tracks it
+across commits the same way the baseline workflow does.
+
+Only stdlib :mod:`json` is used; the structure follows the SARIF 2.1.0
+schema (https://json.schemastore.org/sarif-2.1.0.json).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    descriptor: dict[str, object] = {"id": rule.rule_id}
+    description = getattr(rule, "description", "")
+    if description:
+        descriptor["shortDescription"] = {"text": description}
+    pack = getattr(rule, "pack", "")
+    if pack:
+        descriptor["properties"] = {"pack": pack}
+    return descriptor
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rules: Iterable[Rule] = (),
+    *,
+    baselined: frozenset[str] = frozenset(),
+) -> str:
+    """The findings as a SARIF 2.1.0 log (a JSON string).
+
+    ``rules`` populates the tool-driver rule table (pass the engine's
+    active rules so zero-finding rules still surface their metadata).
+    Findings whose fingerprint is in ``baselined`` are emitted at
+    ``note`` level instead of ``error`` — mirroring the CLI's
+    warn-don't-fail treatment of baselined findings.
+    """
+    descriptors = []
+    seen: set[str] = set()
+    for rule in rules:
+        if rule.rule_id in seen:
+            continue
+        seen.add(rule.rule_id)
+        descriptors.append(_rule_descriptor(rule))
+    results = []
+    for finding in sorted(findings):
+        level = "note" if finding.fingerprint in baselined else "error"
+        result: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": level,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.fingerprint:
+            result["partialFingerprints"] = {
+                "reproLint/v1": finding.fingerprint,
+            }
+        if finding.pack:
+            result["properties"] = {"pack": finding.pack}
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": sorted(
+                            descriptors, key=lambda d: str(d["id"])
+                        ),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=1)

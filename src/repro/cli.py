@@ -116,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
     )
@@ -124,6 +124,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print every registered rule id and exit",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="demote findings recorded in FILE to warnings (exit 0); "
+             "only new findings fail",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings to FILE as the new baseline "
+             "and exit 0",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="incremental cache file keyed by content hashes "
+             "(default: .repro-lint-cache.json next to the first path; "
+             "--no-cache disables)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always analyse from scratch",
     )
 
     chaos = sub.add_parser(
@@ -293,22 +320,65 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import AnalysisEngine, render_json, render_text
+    from repro.analysis.baseline import Baseline, partition_findings
+    from repro.analysis.cache import DEFAULT_CACHE_FILENAME, LintCache
+    from repro.analysis.engine import UNUSED_SUPPRESSION_ID
+    from repro.analysis.sarif import render_sarif
 
     engine = AnalysisEngine()
     if args.list_rules:
         for rule in engine.rules:
             print(f"{rule.rule_id}  {rule.description}")
+        print(
+            f"{UNUSED_SUPPRESSION_ID}  a '# repro: noqa' whose rule no "
+            "longer fires on its line (engine built-in audit)"
+        )
         return 0
-    findings = []
     for path in args.paths:
         if not Path(path).exists():
             print(f"repro lint: no such path: {path}", file=sys.stderr)
             return 2
-        findings.extend(engine.run_path(path))
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(args.cache or DEFAULT_CACHE_FILENAME, engine)
+    findings = []
+    for path in args.paths:
+        if cache is not None:
+            findings.extend(cache.run_path(path))
+        else:
+            findings.extend(engine.run_path(path))
+    if cache is not None:
+        cache.save()
     findings.sort()
+
+    if args.update_baseline:
+        count = Baseline(frozenset()).write(args.update_baseline, findings)
+        print(f"wrote {count} baselined findings to {args.update_baseline}")
+        return 0
+
+    baselined: list = []
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = partition_findings(findings, baseline)
+
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        known = frozenset(
+            finding.fingerprint for finding in baselined if finding.fingerprint
+        )
+        print(
+            render_sarif(
+                [*findings, *baselined], engine.rules, baselined=known
+            )
+        )
     else:
+        for finding in baselined:
+            print(f"{finding.format()}  [baselined]")
         print(render_text(findings))
     return 1 if findings else 0
 

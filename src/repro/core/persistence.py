@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,7 +30,9 @@ from repro.core.knowledge_base import (
     RunRecord,
 )
 from repro.disar.eeb import CharacteristicParameters
-from repro.runtime.checkpoint import RunCheckpoint
+
+if TYPE_CHECKING:
+    from repro.runtime.checkpoint import RunCheckpoint
 
 __all__ = [
     "save_knowledge_base",
@@ -111,6 +114,10 @@ def save_checkpoint(checkpoint: RunCheckpoint, path: str | Path) -> int:
 
 def load_checkpoint(path: str | Path) -> RunCheckpoint:
     """Load a checkpoint previously saved with :func:`save_checkpoint`."""
+    # Lazy import: runtime sits above core in the layer graph, and this
+    # loader is core's only runtime-level need (ARCH001 escape hatch).
+    from repro.runtime.checkpoint import RunCheckpoint
+
     payload = json.loads(Path(path).read_text())
     version = payload.get("format_version")
     if version != _CHECKPOINT_FORMAT_VERSION:

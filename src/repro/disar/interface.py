@@ -15,11 +15,15 @@ cloud migration stays *transparent* to DiInt users, as the paper claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.disar.database import DisarDatabase
 from repro.disar.eeb import ElementaryElaborationBlock, SimulationSettings
 from repro.disar.master import DisarMasterService, ElaborationReport
 from repro.disar.portfolio import Portfolio
+
+if TYPE_CHECKING:  # core sits above disar in the layer graph
+    from repro.core.deploy import DeployOutcome, TransparentDeploySystem
 
 __all__ = ["DisarInterface"]
 
@@ -90,10 +94,10 @@ class DisarInterface:
 
     def run_campaign_cloud(
         self,
-        deploy_system,
+        deploy_system: "TransparentDeploySystem",
         blocks_per_portfolio: int = 5,
         compute_results: bool = False,
-    ):
+    ) -> "DeployOutcome":
         """Run the campaign on the cloud through a transparent deploy
         system.
 

@@ -26,6 +26,7 @@ from repro.stochastic.rng import generator_from, spawn_generators
 from repro.stochastic.scenario import MarketScenario
 
 if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.cluster.comm import Communicator
     from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["PolynomialBasis", "LSMCEngine", "LSMCResult"]
@@ -259,7 +260,7 @@ class LSMCEngine:
 
     def run_distributed(
         self,
-        comm,
+        comm: "Communicator",
         n_outer: int,
         n_outer_cal: int,
         n_inner_cal: int,

@@ -49,6 +49,7 @@ from repro.stochastic.rng import generator_from, spawn_generators
 from repro.stochastic.scenario import MarketScenario, RiskDriverSpec, ScenarioGenerator
 
 if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
+    from repro.cluster.comm import Communicator
     from repro.runtime.checkpoint import ChunkStore
 
 __all__ = ["NestedMonteCarloEngine", "NestedResult"]
@@ -652,7 +653,7 @@ class NestedMonteCarloEngine:
 
     def run_distributed(
         self,
-        comm,
+        comm: "Communicator",
         n_outer: int,
         n_inner: int,
         rng: np.random.Generator | int | None = 0,

@@ -33,6 +33,8 @@ from repro.solvency.stresses import (
     MARKET_STRESSES,
     StressDefinition,
 )
+from repro.stochastic.lapse import LapseModel
+from repro.stochastic.mortality import MortalityModel
 from repro.stochastic.scenario import RiskDriverSpec
 
 __all__ = ["StandardFormulaCalculator", "StandardFormulaReport"]
@@ -107,8 +109,8 @@ class StandardFormulaCalculator:
     def _value(
         self,
         spec: RiskDriverSpec,
-        mortality=None,
-        lapse=None,
+        mortality: MortalityModel | None = None,
+        lapse: LapseModel | None = None,
     ) -> float:
         """Risk-neutral liability value with common random numbers."""
         engine = NestedMonteCarloEngine(

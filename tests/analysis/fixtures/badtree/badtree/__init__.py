@@ -1,0 +1,11 @@
+"""Deliberately-broken fixture tree for the lint rule-pack tests.
+
+Every module below carries at least one violation a specific rule must
+catch; ``tests/analysis/test_fixture_tree.py`` asserts each expected
+finding fires, proving the rules are live (a linter that silently
+passes everything would pass the self-lint gate too).
+
+This package is parsed by the analysis engine but never imported.
+"""
+
+__all__: list[str] = []

@@ -1,0 +1,17 @@
+"""ARCH001 carrier: an undeclared cross-package top-level import."""
+
+from typing import TYPE_CHECKING
+
+import badtree.gamma  # ARCH001: alpha -> gamma is not declared
+from badtree.beta import mod as _beta_mod  # declared alpha -> beta edge
+
+if TYPE_CHECKING:
+    from badtree.delta import anything  # exempt: erased at runtime
+
+__all__ = ["use"]
+
+
+def use() -> object:
+    import badtree.epsilon  # exempt: lazy imports are the escape hatch
+
+    return (badtree.gamma, _beta_mod, badtree.epsilon)

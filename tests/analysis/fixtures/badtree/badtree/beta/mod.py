@@ -1,0 +1,9 @@
+"""Exercises the declared beta -> alpha edge (half of the ARCH004 cycle)."""
+
+from badtree.alpha import mod as _alpha_mod
+
+__all__ = ["touch"]
+
+
+def touch() -> object:
+    return _alpha_mod

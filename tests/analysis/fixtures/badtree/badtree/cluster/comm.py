@@ -1,0 +1,38 @@
+"""CONC carriers: every lock/thread hazard the pack must catch."""
+
+import threading
+import time
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    buffer = []  # CONC003: mutable class attribute shared across threads
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pump(self) -> None:
+        with self._lock:
+            time.sleep(0.1)  # CONC001: blocking while holding the lock
+
+    def grab(self) -> list[object]:
+        self._lock.acquire()  # CONC002: use 'with self._lock:'
+        try:
+            return list(self.buffer)
+        finally:
+            self._lock.release()
+
+    def label(self) -> str:
+        with self._lock:
+            return ", ".join(str(x) for x in self.buffer)  # not a thread join
+
+    def spawn(self) -> threading.Thread:
+        worker = threading.Thread(target=self.pump)  # CONC004: no join bound
+        worker.start()
+        return worker
+
+    def spawn_bounded(self) -> None:
+        worker = threading.Thread(target=self.pump)  # clean: joined below
+        worker.start()
+        worker.join(timeout=1.0)

@@ -1,0 +1,5 @@
+"""Harmless module; gamma's declared edge to delta is stale (ARCH003)."""
+
+__all__ = ["VALUE"]
+
+VALUE = 1

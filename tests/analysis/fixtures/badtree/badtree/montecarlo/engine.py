@@ -1,0 +1,31 @@
+"""SEED001 carriers: RNG constructions without seed provenance."""
+
+import numpy as np
+
+__all__ = ["bad_unseeded", "bad_untainted", "good_derived", "bad_callsite"]
+
+
+def bad_unseeded() -> np.random.Generator:
+    return np.random.default_rng()  # SEED001: no seed at all
+
+
+def bad_untainted(run_label: str) -> np.random.Generator:
+    knob = len(run_label) * 0.5
+    return np.random.default_rng(knob)  # SEED001: seed not derived
+
+
+def _split(parent_seq: np.random.SeedSequence) -> list[np.random.SeedSequence]:
+    return parent_seq.spawn(4)
+
+
+def good_derived(seed_seq: np.random.SeedSequence) -> np.random.Generator:
+    children = _split(seed_seq)
+    return np.random.default_rng(children[0])  # clean: derived transitively
+
+
+def _consume(seq: np.random.SeedSequence) -> np.random.Generator:
+    return np.random.default_rng(seq)
+
+
+def bad_callsite(run_label: str) -> np.random.Generator:
+    return _consume(run_label)  # SEED001: non-derived into SeedSequence param

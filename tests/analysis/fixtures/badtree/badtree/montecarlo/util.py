@@ -1,0 +1,18 @@
+"""SEED002/SEED003/SUP001 carriers."""
+
+import os
+import random
+
+__all__ = ["token", "draw", "stale"]
+
+
+def token() -> bytes:
+    return os.urandom(8)  # SEED002: OS entropy outside the seed tree
+
+
+def draw() -> float:
+    return random.random()  # SEED003: global Mersenne Twister draw
+
+
+def stale() -> int:
+    return 1  # repro: noqa[DET001]  <- SUP001: DET001 never fired here

@@ -1,0 +1,140 @@
+"""The ARCH pack against purpose-built layer trees."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import architecture_rules
+
+
+def _engine() -> AnalysisEngine:
+    return AnalysisEngine(architecture_rules(), audit_suppressions=False)
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def _tree(tmp_path, layers: str) -> Path:
+    (tmp_path / "pyproject.toml").write_text(layers)
+    return _write_tree(
+        tmp_path / "proj",
+        {
+            "__init__.py": "",
+            "low/__init__.py": "",
+            "high/__init__.py": "",
+            "high/mod.py": "import proj.low\n",
+        },
+    )
+
+
+def test_silent_without_declaration(tmp_path):
+    root = _write_tree(
+        tmp_path / "proj",
+        {"__init__.py": "", "a/__init__.py": "", "a/m.py": "import proj.a\n"},
+    )
+    assert _engine().run_path(root) == []
+
+
+def test_clean_when_edge_declared(tmp_path):
+    root = _tree(
+        tmp_path, '[tool.repro.layers]\nlow = []\nhigh = ["low"]\n'
+    )
+    assert _engine().run_path(root) == []
+
+
+def test_arch001_undeclared_edge(tmp_path):
+    root = _tree(tmp_path, "[tool.repro.layers]\nlow = []\nhigh = []\n")
+    findings = _engine().run_path(root)
+    assert [f.rule_id for f in findings] == ["ARCH001"]
+    assert findings[0].path.endswith("high/mod.py")
+    assert findings[0].line == 1
+    assert "'high' imports 'low'" in findings[0].message
+
+
+def test_arch001_exempts_lazy_and_type_checking(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.layers]\nlow = []\nhigh = []\n"
+    )
+    root = _write_tree(
+        tmp_path / "proj",
+        {
+            "__init__.py": "",
+            "low/__init__.py": "",
+            "high/__init__.py": "",
+            "high/mod.py": """\
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    import proj.low
+
+                def use():
+                    import proj.low
+                    return proj.low
+                """,
+        },
+    )
+    assert _engine().run_path(root) == []
+
+
+def test_arch002_undeclared_package(tmp_path):
+    root = _tree(
+        tmp_path,
+        '[tool.repro.layers]\nlow = []\nhigh = ["low"]\n',
+    )
+    _write_tree(root, {"rogue/__init__.py": ""})
+    findings = _engine().run_path(root)
+    assert [f.rule_id for f in findings] == ["ARCH002"]
+    assert "'rogue'" in findings[0].message
+
+
+def test_arch003_stale_allowance(tmp_path):
+    root = _tree(
+        tmp_path,
+        '[tool.repro.layers]\nlow = ["extras"]\nhigh = ["low"]\nextras = []\n',
+    )
+    findings = _engine().run_path(root)
+    assert [f.rule_id for f in findings] == ["ARCH003"]
+    assert "'low' -> 'extras'" in findings[0].message
+    assert findings[0].path.endswith("pyproject.toml")
+
+
+def test_arch004_declared_cycle(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.layers]\na = ["b"]\nb = ["c"]\nc = ["a"]\n'
+    )
+    root = _write_tree(
+        tmp_path / "proj",
+        {
+            "__init__.py": "",
+            "a/__init__.py": "",
+            "a/m.py": "import proj.b\n",
+            "b/__init__.py": "",
+            "b/m.py": "import proj.c\n",
+            "c/__init__.py": "",
+            "c/m.py": "import proj.a\n",
+        },
+    )
+    findings = _engine().run_path(root)
+    assert [f.rule_id for f in findings] == ["ARCH004"]
+    assert "a -> b -> c -> a" in findings[0].message
+
+
+def test_repo_declaration_is_active_and_clean():
+    """The real tree must carry a live, acyclic layers declaration."""
+    import repro
+    from repro.analysis.engine import parse_project
+    from repro.analysis.project import build_context
+
+    src_root = Path(repro.__file__).resolve().parent
+    project, errors = parse_project(src_root)
+    assert errors == []
+    context = build_context(project)
+    assert context.layers is not None, "repo pyproject.toml lost its layers"
+    assert context.layers.declares("analysis")
+    findings = _engine().run_path(src_root)
+    assert findings == []

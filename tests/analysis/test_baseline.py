@@ -1,0 +1,133 @@
+"""The baseline workflow: snapshot, demote, retire — unit and CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, partition_findings
+from repro.analysis.engine import AnalysisEngine
+from repro.cli import main
+
+FIXTURE_ROOT = (
+    Path(__file__).resolve().parent / "fixtures" / "badtree" / "badtree"
+)
+
+DIRTY = (
+    "__all__ = []\n"
+    "import numpy as np\n"
+    "g = np.random.default_rng()\n"
+)
+
+
+def _findings():
+    return AnalysisEngine().run_path(FIXTURE_ROOT)
+
+
+class TestBaselineUnit:
+    def test_write_load_round_trip(self, tmp_path):
+        findings = _findings()
+        path = tmp_path / "baseline.json"
+        count = Baseline(frozenset()).write(path, findings)
+        assert count == len(findings)
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == {f.fingerprint for f in findings}
+
+    def test_partition_splits_new_from_known(self, tmp_path):
+        findings = _findings()
+        known = Baseline(
+            frozenset(f.fingerprint for f in findings[:3])
+        )
+        new, baselined = partition_findings(findings, known)
+        assert baselined == findings[:3]
+        assert new == findings[3:]
+
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        """Prepending code moves every finding; fingerprints must hold."""
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        source = "import os\ntoken = os.urandom(4)\n"
+        (root / "mod.py").write_text(source)
+        engine = AnalysisEngine()
+        before = {
+            f.fingerprint for f in engine.run_path(root)
+            if f.rule_id == "SEED002"
+        }
+        (root / "mod.py").write_text("import sys\n\n" + source)
+        after = {
+            f.fingerprint for f in AnalysisEngine().run_path(root)
+            if f.rule_id == "SEED002"
+        }
+        assert before == after
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_baseline_file_is_reviewable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline(frozenset()).write(path, _findings())
+        payload = json.loads(path.read_text())
+        entry = payload["findings"][0]
+        assert set(entry) >= {"fingerprint", "rule", "path", "message"}
+
+
+class TestBaselineCli:
+    def test_update_then_lint_against_baseline(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        assert main(
+            ["lint", "--update-baseline", str(baseline), str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1 baselined finding" in out
+
+        assert main(
+            ["lint", "--baseline", str(baseline), str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[baselined]" in out
+        assert "0 findings" in out
+
+    def test_new_finding_still_fails(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", "--update-baseline", str(baseline), str(path)])
+        capsys.readouterr()
+
+        path.write_text(DIRTY + "h = np.random.default_rng()\n")
+        assert main(["lint", "--baseline", str(baseline), str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:4:" in out
+
+    def test_missing_baseline_file_is_config_error(self, capsys, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("__all__ = ['x']\nx = 1\n")
+        missing = tmp_path / "nope.json"
+        assert main(["lint", "--baseline", str(missing), str(path)]) == 2
+
+    def test_sarif_demotes_baselined(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(["lint", "--update-baseline", str(baseline), str(path)])
+        capsys.readouterr()
+
+        assert main(
+            [
+                "lint", "--format", "sarif",
+                "--baseline", str(baseline), str(path),
+            ]
+        ) == 0
+        log = json.loads(capsys.readouterr().out)
+        levels = [r["level"] for r in log["runs"][0]["results"]]
+        assert levels == ["note"]

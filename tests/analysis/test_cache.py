@@ -1,0 +1,162 @@
+"""The incremental lint cache: replay fidelity, invalidation, speed."""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.cache import LintCache, engine_fingerprint
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import OsEntropyRule, WallClockRule
+
+FIXTURE_ROOT = (
+    Path(__file__).resolve().parent / "fixtures" / "badtree" / "badtree"
+)
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _seeded_tree(tmp_path) -> Path:
+    root = tmp_path / "proj"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "mod.py").write_text("import os\ntoken = os.urandom(4)\n")
+    return root
+
+
+def _cache(tmp_path, rules=None) -> LintCache:
+    engine = AnalysisEngine(
+        rules if rules is not None else [OsEntropyRule()],
+        audit_suppressions=False,
+    )
+    return LintCache(tmp_path / "cache.json", engine)
+
+
+class TestReplay:
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        cold = cache.run_path(root)
+        assert cache.last_outcome == "miss"
+        cache.save()
+
+        warm_cache = _cache(tmp_path)
+        warm = warm_cache.run_path(root)
+        assert warm_cache.last_outcome == "hit"
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_single_file_bypasses_cache(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        findings = cache.run_path(root / "mod.py")
+        assert cache.last_outcome == "miss"
+        assert [f.rule_id for f in findings] == ["SEED002"]
+
+    def test_empty_findings_replay_as_hit(self, tmp_path):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        cache = _cache(tmp_path)
+        assert cache.run_path(root) == []
+        cache.save()
+        warm = _cache(tmp_path)
+        assert warm.run_path(root) == []
+        assert warm.last_outcome == "hit"
+
+
+class TestInvalidation:
+    def test_edited_file_invalidates(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        cache.run_path(root)
+        cache.save()
+
+        (root / "mod.py").write_text("import os\nx = os.urandom(8)\n")
+        warm = _cache(tmp_path)
+        warm.run_path(root)
+        assert warm.last_outcome == "miss"
+
+    def test_new_file_invalidates(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        cache.run_path(root)
+        cache.save()
+
+        (root / "extra.py").write_text("value = 1\n")
+        warm = _cache(tmp_path)
+        warm.run_path(root)
+        assert warm.last_outcome == "miss"
+
+    def test_different_rule_set_invalidates(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        cache.run_path(root)
+        cache.save()
+
+        other = _cache(tmp_path, rules=[OsEntropyRule(), WallClockRule()])
+        other.run_path(root)
+        assert other.last_outcome == "miss"
+
+    def test_layers_edit_invalidates(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.layers]\nlow = []\n"
+        )
+        root = _seeded_tree(tmp_path)
+        cache = _cache(tmp_path)
+        cache.run_path(root)
+        cache.save()
+
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.layers]\nlow = []\nhigh = []\n"
+        )
+        warm = _cache(tmp_path)
+        warm.run_path(root)
+        assert warm.last_outcome == "miss"
+
+    def test_corrupt_cache_file_treated_as_empty(self, tmp_path):
+        root = _seeded_tree(tmp_path)
+        (tmp_path / "cache.json").write_text("{not json")
+        cache = _cache(tmp_path)
+        findings = cache.run_path(root)
+        assert cache.last_outcome == "miss"
+        assert [f.rule_id for f in findings] == ["SEED002"]
+
+    def test_engine_fingerprint_tracks_rule_ids(self):
+        one = AnalysisEngine([OsEntropyRule()], audit_suppressions=False)
+        two = AnalysisEngine(
+            [OsEntropyRule(), WallClockRule()], audit_suppressions=False
+        )
+        assert engine_fingerprint(one) != engine_fingerprint(two)
+
+
+class TestSpeed:
+    def test_warm_full_tree_lint_is_3x_faster(self, tmp_path):
+        """The headline guarantee: warm replay beats cold by >= 3x."""
+        engine = AnalysisEngine()
+        cache = LintCache(tmp_path / "cache.json", engine)
+        start = time.perf_counter()
+        cold_findings = cache.run_path(SRC_ROOT)
+        cold = time.perf_counter() - start
+        assert cache.last_outcome == "miss"
+        cache.save()
+
+        warm_cache = LintCache(tmp_path / "cache.json", AnalysisEngine())
+        start = time.perf_counter()
+        warm_findings = warm_cache.run_path(SRC_ROOT)
+        warm = time.perf_counter() - start
+        assert warm_cache.last_outcome == "hit"
+        assert [f.to_dict() for f in warm_findings] == [
+            f.to_dict() for f in cold_findings
+        ]
+        assert warm * 3 <= cold, (
+            f"warm lint {warm:.3f}s not 3x faster than cold {cold:.3f}s"
+        )
+
+
+def test_cache_file_round_trips_as_json(tmp_path):
+    root = _seeded_tree(tmp_path)
+    cache = _cache(tmp_path)
+    cache.run_path(root)
+    cache.save()
+    payload = json.loads((tmp_path / "cache.json").read_text())
+    assert payload["format_version"] == 1
+    assert payload["engine_fingerprint"] == cache.fingerprint
+    assert str(root.resolve()) in payload["roots"]

@@ -1,0 +1,146 @@
+"""The CONC pack: lock discipline and thread lifecycle hazards.
+
+``check_source`` snippets use ``filename="cluster.py"`` so the module
+name lands inside ``CONCURRENT_PACKAGES`` and ``applies_to`` passes.
+"""
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import (
+    BareAcquireRule,
+    BlockingUnderLockRule,
+    SharedMutableClassAttrRule,
+    UnjoinedThreadRule,
+)
+
+
+def lint(rule, source, filename="cluster.py"):
+    engine = AnalysisEngine([rule], audit_suppressions=False)
+    return engine.check_source(source, filename=filename)
+
+
+class TestBlockingUnderLock:
+    SNIPPET = (
+        "import time\n"
+        "def pump(self):\n"
+        "    with self._lock:\n"
+        "        time.sleep(0.1)\n"
+    )
+
+    def test_flags(self):
+        findings = lint(BlockingUnderLockRule(), self.SNIPPET)
+        assert [f.rule_id for f in findings] == ["CONC001"]
+        assert findings[0].line == 4
+
+    def test_out_of_scope_module_silent(self):
+        assert lint(
+            BlockingUnderLockRule(), self.SNIPPET, filename="plots.py"
+        ) == []
+
+    def test_string_join_not_a_thread_join(self):
+        snippet = (
+            "def render(self, parts):\n"
+            "    with self._lock:\n"
+            "        return ', '.join(str(p) for p in parts)\n"
+        )
+        assert lint(BlockingUnderLockRule(), snippet) == []
+
+    def test_non_lock_context_silent(self):
+        snippet = (
+            "import time\n"
+            "def slow(path):\n"
+            "    with open(path) as fh:\n"
+            "        time.sleep(0.1)\n"
+            "        return fh.read()\n"
+        )
+        assert lint(BlockingUnderLockRule(), snippet) == []
+
+    def test_nested_function_body_not_attributed(self):
+        snippet = (
+            "import time\n"
+            "def pump(self):\n"
+            "    with self._lock:\n"
+            "        def later():\n"
+            "            time.sleep(0.1)\n"
+            "        return later\n"
+        )
+        assert lint(BlockingUnderLockRule(), snippet) == []
+
+
+class TestBareAcquire:
+    def test_flags(self):
+        snippet = "def grab(self):\n    self._lock.acquire()\n"
+        findings = lint(BareAcquireRule(), snippet)
+        assert [f.rule_id for f in findings] == ["CONC002"]
+        assert findings[0].line == 2
+
+    def test_non_lock_receiver_silent(self):
+        snippet = "def grab(self):\n    self.slot.acquire()\n"
+        assert lint(BareAcquireRule(), snippet) == []
+
+
+class TestSharedMutableClassAttr:
+    @pytest.mark.parametrize("attr", [
+        "buffer = []",
+        "index = {}",
+        "seen = set()",
+        "queue: list[int] = []",
+        "scratch = bytearray(16)",
+    ])
+    def test_flags(self, attr):
+        snippet = f"class Pool:\n    {attr}\n"
+        findings = lint(SharedMutableClassAttrRule(), snippet)
+        assert [f.rule_id for f in findings] == ["CONC003"]
+        assert findings[0].line == 2
+
+    @pytest.mark.parametrize("attr", [
+        "limit = 4",
+        "name = 'pool'",
+        "shape: tuple[int, int] = (2, 2)",
+        "slots: list[int]",
+    ])
+    def test_allows_immutable_or_bare_annotation(self, attr):
+        snippet = f"class Pool:\n    {attr}\n"
+        assert lint(SharedMutableClassAttrRule(), snippet) == []
+
+    def test_dataclass_field_default_factory_allowed(self):
+        snippet = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Pool:\n"
+            "    items: list[int] = field(default_factory=list)\n"
+        )
+        assert lint(SharedMutableClassAttrRule(), snippet) == []
+
+
+class TestUnjoinedThread:
+    def test_flags(self):
+        snippet = (
+            "import threading\n"
+            "def spawn(self):\n"
+            "    worker = threading.Thread(target=self.pump)\n"
+            "    worker.start()\n"
+        )
+        findings = lint(UnjoinedThreadRule(), snippet)
+        assert [f.rule_id for f in findings] == ["CONC004"]
+        assert findings[0].line == 3
+
+    def test_bounded_join_allowed(self):
+        snippet = (
+            "import threading\n"
+            "def spawn(self):\n"
+            "    worker = threading.Thread(target=self.pump)\n"
+            "    worker.start()\n"
+            "    worker.join(timeout=1.0)\n"
+        )
+        assert lint(UnjoinedThreadRule(), snippet) == []
+
+    def test_daemon_thread_allowed(self):
+        snippet = (
+            "import threading\n"
+            "def spawn(self):\n"
+            "    worker = threading.Thread(target=self.pump, daemon=True)\n"
+            "    worker.start()\n"
+        )
+        assert lint(UnjoinedThreadRule(), snippet) == []

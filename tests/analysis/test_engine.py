@@ -128,6 +128,8 @@ class TestReporters:
             "line": 3,
             "col": 4,
             "rule": "DET001",
+            "pack": "",
+            "fingerprint": "",
             "message": "unseeded generator",
         }
 

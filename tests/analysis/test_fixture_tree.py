@@ -1,0 +1,61 @@
+"""The deliberately-broken fixture tree proves every rule pack is live.
+
+One assertion pins the complete finding set: if a rule silently stops
+firing (or starts over-reporting), this test names the exact drift.
+"""
+
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisEngine
+
+FIXTURE_ROOT = (
+    Path(__file__).resolve().parent / "fixtures" / "badtree" / "badtree"
+)
+
+#: (path suffix, line, rule id) for every planted violation.
+EXPECTED = {
+    ("pyproject.toml", 1, "ARCH003"),
+    ("pyproject.toml", 1, "ARCH004"),
+    ("alpha/mod.py", 5, "ARCH001"),
+    ("epsilon/__init__.py", 1, "ARCH002"),
+    ("montecarlo/engine.py", 9, "DET001"),
+    ("montecarlo/engine.py", 9, "SEED001"),
+    ("montecarlo/engine.py", 14, "SEED001"),
+    ("montecarlo/engine.py", 31, "SEED001"),
+    ("montecarlo/util.py", 10, "SEED002"),
+    ("montecarlo/util.py", 14, "SEED003"),
+    ("montecarlo/util.py", 18, "SUP001"),
+    ("cluster/comm.py", 10, "CONC003"),
+    ("cluster/comm.py", 17, "CONC001"),
+    ("cluster/comm.py", 20, "CONC002"),
+    ("cluster/comm.py", 31, "CONC004"),
+}
+
+
+def test_fixture_tree_yields_exactly_the_planted_findings():
+    findings = AnalysisEngine().run_path(FIXTURE_ROOT)
+    observed = {
+        (finding.path.replace("\\", "/").split("badtree/")[-1],
+         finding.line,
+         finding.rule_id)
+        for finding in findings
+    }
+    assert observed == EXPECTED
+
+
+def test_fixture_findings_carry_pack_and_fingerprint():
+    findings = AnalysisEngine().run_path(FIXTURE_ROOT)
+    packs = {finding.rule_id: finding.pack for finding in findings}
+    assert packs["ARCH001"] == "architecture"
+    assert packs["SEED001"] == "seeding"
+    assert packs["CONC001"] == "concurrency"
+    assert packs["SUP001"] == "suppressions"
+    fingerprints = [finding.fingerprint for finding in findings]
+    assert all(len(fp) == 16 for fp in fingerprints)
+    assert len(set(fingerprints)) == len(fingerprints)
+
+
+def test_fixture_findings_are_stable_across_runs():
+    first = AnalysisEngine().run_path(FIXTURE_ROOT)
+    second = AnalysisEngine().run_path(FIXTURE_ROOT)
+    assert [f.to_dict() for f in first] == [f.to_dict() for f in second]

@@ -1,0 +1,211 @@
+"""The whole-program project model: import graph, call index, layers."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import parse_project
+from repro.analysis.project import (
+    FunctionIndex,
+    LayersDeclaration,
+    ModuleGraph,
+    _parse_layers_fallback,
+    build_context,
+    load_layers,
+)
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> Path:
+    """Materialise ``files`` (relative path -> source) under ``root``."""
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+@pytest.fixture
+def demo_root(tmp_path):
+    return _write_tree(
+        tmp_path / "demo",
+        {
+            "__init__.py": "",
+            "low/__init__.py": "",
+            "low/util.py": "def helper(x):\n    return x\n",
+            "high/__init__.py": "",
+            "high/mod.py": """\
+                from typing import TYPE_CHECKING
+
+                from demo.low import util
+                from demo.low.util import helper
+
+                if TYPE_CHECKING:
+                    import demo.other
+
+                def lazy_use():
+                    import demo.other
+                    return demo.other
+
+                def call_it(v):
+                    return helper(v)
+                """,
+            "other/__init__.py": "",
+            "other/mod.py": "from ..low import util\n",
+        },
+    )
+
+
+class TestModuleGraph:
+    def test_classifies_edge_kinds(self, demo_root):
+        project, errors = parse_project(demo_root)
+        assert errors == []
+        graph = ModuleGraph(project)
+        kinds = {
+            (edge.module, edge.target, edge.kind) for edge in graph.edges
+        }
+        assert ("demo.high.mod", "demo.low", "top-level") in kinds
+        assert ("demo.high.mod", "demo.low.util", "top-level") in kinds
+        assert ("demo.high.mod", "demo.other", "type-checking") in kinds
+        assert ("demo.high.mod", "demo.other", "lazy") in kinds
+
+    def test_relative_import_resolves(self, demo_root):
+        project, _ = parse_project(demo_root)
+        graph = ModuleGraph(project)
+        targets = {
+            edge.target
+            for edge in graph.edges
+            if edge.module == "demo.other.mod"
+        }
+        assert "demo.low" in targets
+
+    def test_package_edges_are_top_level_only(self, demo_root):
+        project, _ = parse_project(demo_root)
+        graph = ModuleGraph(project)
+        edges = set(graph.package_edges())
+        assert ("high", "low") in edges
+        # The TYPE_CHECKING / lazy high -> other edges must not appear.
+        assert ("high", "other") not in edges
+        assert ("other", "low") in edges
+
+    def test_package_of_root_level_module(self, demo_root):
+        project, _ = parse_project(demo_root)
+        graph = ModuleGraph(project)
+        assert graph.package_of("demo.cli") == "cli"
+        assert graph.package_of("demo.low.util") == "low"
+
+
+class TestFunctionIndex:
+    def test_resolves_module_level_and_from_import(self, demo_root):
+        project, _ = parse_project(demo_root)
+        index = FunctionIndex(project)
+        assert "demo.low.util:helper" in index.functions
+        # call_it() calls helper(), bound via the from-import.
+        import ast
+
+        mod = project.modules["demo.high.mod"]
+        calls = [
+            node
+            for node in ast.walk(mod.tree)
+            if isinstance(node, ast.Call)
+        ]
+        resolved = [
+            index.resolve_call(call, "demo.high.mod") for call in calls
+        ]
+        keys = {info.key for info in resolved if info is not None}
+        assert "demo.low.util:helper" in keys
+
+    def test_method_resolution_via_self(self, tmp_path):
+        root = _write_tree(
+            tmp_path / "demo",
+            {
+                "__init__.py": "",
+                "svc.py": """\
+                    class Service:
+                        def inner(self):
+                            return 1
+
+                        def outer(self):
+                            return self.inner()
+                    """,
+            },
+        )
+        project, _ = parse_project(root)
+        index = FunctionIndex(project)
+        import ast
+
+        mod = project.modules["demo.svc"]
+        call = next(
+            node for node in ast.walk(mod.tree) if isinstance(node, ast.Call)
+        )
+        info = index.resolve_call(call, "demo.svc", enclosing_class="Service")
+        assert info is not None and info.qualname == "Service.inner"
+
+    def test_unresolvable_call_returns_none(self, demo_root):
+        import ast
+
+        project, _ = parse_project(demo_root)
+        index = FunctionIndex(project)
+        call = ast.parse("obj.method()").body[0].value
+        assert index.resolve_call(call, "demo.high.mod") is None
+
+    def test_params_strip_self_and_capture_annotations(self, tmp_path):
+        root = _write_tree(
+            tmp_path / "demo",
+            {
+                "__init__.py": "",
+                "f.py": """\
+                    import numpy as np
+
+                    def g(seed_seq: np.random.SeedSequence, n: int):
+                        return n
+                    """,
+            },
+        )
+        project, _ = parse_project(root)
+        index = FunctionIndex(project)
+        info = index.functions["demo.f:g"]
+        assert info.params == ("seed_seq", "n")
+        assert "SeedSequence" in info.param_annotations["seed_seq"]
+
+
+class TestLayersDeclaration:
+    def test_load_layers_searches_parents(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.layers]\nlow = []\nhigh = [\"low\"]\n"
+        )
+        root = _write_tree(
+            tmp_path / "demo", {"__init__.py": "", "low/__init__.py": ""}
+        )
+        layers = load_layers(root)
+        assert layers is not None
+        assert layers.permits("high", "low")
+        assert not layers.permits("low", "high")
+        assert layers.declares("low") and not layers.declares("other")
+
+    def test_missing_table_gives_none(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        root = _write_tree(tmp_path / "demo", {"__init__.py": ""})
+        assert load_layers(root) is None
+
+    def test_fallback_parser_matches_subset(self):
+        text = (
+            "[tool.other]\nkey = 1\n"
+            "[tool.repro.layers]\n"
+            'low = []\n'
+            'high = ["low", "mid"]  # comment\n'
+            "[tool.after]\nz = 2\n"
+        )
+        table = _parse_layers_fallback(text)
+        assert table == {"low": (), "high": ("low", "mid")}
+
+    def test_build_context_bundles_everything(self, demo_root):
+        project, _ = parse_project(demo_root)
+        context = build_context(project)
+        assert context.project is project
+        assert isinstance(context.module_graph, ModuleGraph)
+        assert isinstance(context.functions, FunctionIndex)
+        # No pyproject with a layers table above tmp_path:
+        assert context.layers is None or isinstance(
+            context.layers, LayersDeclaration
+        )

@@ -1,0 +1,198 @@
+"""The SARIF reporter: structure, fingerprints, and schema validity.
+
+No network in the test environment, so full-schema validation runs
+against an embedded subset of the official SARIF 2.1.0 schema covering
+every construct the reporter emits (version/runs/tool/results with
+locations, levels, partialFingerprints).  Structural assertions pin the
+rest.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, Finding
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
+
+FIXTURE_ROOT = (
+    Path(__file__).resolve().parent / "fixtures" / "badtree" / "badtree"
+)
+
+#: Subset of sarif-schema-2.1.0.json: the shapes render_sarif emits.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string",
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "string",
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _fixture_log() -> dict:
+    engine = AnalysisEngine()
+    findings = engine.run_path(FIXTURE_ROOT)
+    assert findings, "fixture tree must produce findings"
+    return json.loads(render_sarif(findings, engine.rules))
+
+
+def test_validates_against_sarif_subset_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(_fixture_log(), SARIF_SUBSET_SCHEMA)
+
+
+def test_header_and_driver():
+    log = _fixture_log()
+    assert log["$schema"] == SARIF_SCHEMA_URI
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for rule_id in ("ARCH001", "SEED001", "CONC001", "DET001"):
+        assert rule_id in rule_ids
+
+
+def test_results_carry_location_and_fingerprint():
+    (run,) = _fixture_log()["runs"]
+    assert run["results"], "expected fixture results"
+    for result in run["results"]:
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+        fingerprint = result["partialFingerprints"]["reproLint/v1"]
+        assert len(fingerprint) == 16
+
+
+def test_baselined_findings_demoted_to_note():
+    engine = AnalysisEngine()
+    findings = engine.run_path(FIXTURE_ROOT)
+    demoted = frozenset({findings[0].fingerprint})
+    log = json.loads(
+        render_sarif(findings, engine.rules, baselined=demoted)
+    )
+    levels = {
+        result["partialFingerprints"]["reproLint/v1"]: result["level"]
+        for result in log["runs"][0]["results"]
+    }
+    assert levels[findings[0].fingerprint] == "note"
+    assert set(levels.values()) == {"note", "error"}
+
+
+def test_empty_findings_still_valid():
+    jsonschema = pytest.importorskip("jsonschema")
+    log = json.loads(render_sarif([], AnalysisEngine().rules))
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+    assert log["runs"][0]["results"] == []
+
+
+def test_windows_paths_normalised():
+    finding = Finding(
+        path="pkg\\mod.py", line=3, col=0, rule_id="DET001",
+        message="x", pack="determinism", fingerprint="ab" * 8,
+    )
+    log = json.loads(render_sarif([finding]))
+    uri = (
+        log["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        ["artifactLocation"]["uri"]
+    )
+    assert uri == "pkg/mod.py"

@@ -1,0 +1,234 @@
+"""The SEED pack: interprocedural provenance plus entropy hygiene."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import (
+    GlobalRandomDrawRule,
+    OsEntropyRule,
+    SeedProvenanceRule,
+)
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def _lint_tree(tmp_path, files: dict[str, str]):
+    root = _write_tree(tmp_path / "proj", {"__init__.py": "", **files})
+    engine = AnalysisEngine([SeedProvenanceRule()], audit_suppressions=False)
+    return engine.run_path(root)
+
+
+class TestSeedProvenance:
+    def test_unseeded_sink_flagged(self, tmp_path):
+        findings = _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run():
+                    return np.random.default_rng()
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["SEED001"]
+        assert "without a seed" in findings[0].message
+
+    def test_untainted_seed_flagged(self, tmp_path):
+        findings = _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run(label):
+                    knob = len(label)
+                    return np.random.default_rng(knob)
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["SEED001"]
+        assert "not derived" in findings[0].message
+
+    def test_seedlike_param_is_provenance(self, tmp_path):
+        assert _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run(seed):
+                    return np.random.default_rng(seed)
+                """,
+        }) == []
+
+    def test_annotation_is_provenance(self, tmp_path):
+        assert _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run(provenance: np.random.SeedSequence):
+                    return np.random.default_rng(provenance)
+                """,
+        }) == []
+
+    def test_interprocedural_derived_return(self, tmp_path):
+        """A helper returning spawn() output taints its callers' values."""
+        assert _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/split.py": """\
+                def split_one(parent_seq):
+                    return parent_seq.spawn(1)[0]
+                """,
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                from proj.montecarlo.split import split_one
+
+                def run(seed_seq):
+                    child = split_one(seed_seq)
+                    return np.random.default_rng(child)
+                """,
+        }) == []
+
+    def test_two_level_fixpoint(self, tmp_path):
+        """Derived-ness propagates through a chain of project helpers."""
+        assert _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/a.py": """\
+                def level_one(parent_seq):
+                    return parent_seq.spawn(1)[0]
+                """,
+            "montecarlo/b.py": """\
+                from proj.montecarlo.a import level_one
+
+                def level_two(parent_seq):
+                    return level_one(parent_seq)
+                """,
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                from proj.montecarlo.b import level_two
+
+                def run(seed_seq):
+                    return np.random.default_rng(level_two(seed_seq))
+                """,
+        }) == []
+
+    def test_callsite_contract(self, tmp_path):
+        findings = _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def consume(seq: np.random.SeedSequence):
+                    return np.random.default_rng(seq)
+
+                def run(label):
+                    return consume(label)
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["SEED001"]
+        assert "SeedSequence parameter 'seq'" in findings[0].message
+        assert findings[0].line == 7
+
+    def test_closure_inherits_taint(self, tmp_path):
+        assert _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run(seed_seq):
+                    def make():
+                        return np.random.default_rng(seed_seq)
+                    return make()
+                """,
+        }) == []
+
+    def test_closure_without_provenance_flagged(self, tmp_path):
+        findings = _lint_tree(tmp_path, {
+            "montecarlo/__init__.py": "",
+            "montecarlo/engine.py": """\
+                import numpy as np
+
+                def run(label):
+                    def make():
+                        return np.random.default_rng(hash(label))
+                    return make()
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["SEED001"]
+
+    def test_out_of_scope_package_silent(self, tmp_path):
+        assert _lint_tree(tmp_path, {
+            "viz/__init__.py": "",
+            "viz/plots.py": """\
+                import numpy as np
+
+                def jitter():
+                    return np.random.default_rng()
+                """,
+        }) == []
+
+    def test_exempt_module_silent(self, tmp_path):
+        assert _lint_tree(tmp_path, {
+            "stochastic/__init__.py": "",
+            "stochastic/rng.py": """\
+                import numpy as np
+
+                def root_generator(run_seed):
+                    return np.random.default_rng(int(run_seed))
+                """,
+        }) == []
+
+
+class TestOsEntropy:
+    @pytest.mark.parametrize("snippet", [
+        "import os\ntoken = os.urandom(16)\n",
+        "import uuid\nrun_id = uuid.uuid4()\n",
+        "import random\nrandom.seed(0)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import secrets\nt = secrets.token_hex()\n",
+        "import random\nr = random.SystemRandom()\n",
+    ])
+    def test_flags(self, snippet):
+        engine = AnalysisEngine([OsEntropyRule()], audit_suppressions=False)
+        findings = engine.check_source(snippet)
+        assert [f.rule_id for f in findings] == ["SEED002"]
+        assert findings[0].line == 2
+
+    def test_allows_seed_sequence(self):
+        engine = AnalysisEngine([OsEntropyRule()], audit_suppressions=False)
+        snippet = "import numpy as np\nss = np.random.SeedSequence(7)\n"
+        assert engine.check_source(snippet) == []
+
+
+class TestGlobalRandomDraw:
+    @pytest.mark.parametrize("snippet", [
+        "import random\nx = random.random()\n",
+        "import random\nx = random.gauss(0.0, 1.0)\n",
+        "import random\nrandom.shuffle(items)\n",
+    ])
+    def test_flags(self, snippet):
+        engine = AnalysisEngine(
+            [GlobalRandomDrawRule()], audit_suppressions=False
+        )
+        findings = engine.check_source(snippet)
+        assert [f.rule_id for f in findings] == ["SEED003"]
+        assert findings[0].line == 2
+
+    def test_allows_instance_draws(self):
+        engine = AnalysisEngine(
+            [GlobalRandomDrawRule()], audit_suppressions=False
+        )
+        snippet = (
+            "import random\n"
+            "r = random.Random(7)\n"
+            "x = r.random()\n"
+        )
+        assert engine.check_source(snippet) == []

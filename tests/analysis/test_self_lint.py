@@ -1,16 +1,22 @@
 """The self-lint gate: ``src/repro`` must be clean under the full rule set.
 
 This is the enforcement point of the whole subsystem — every future PR
-runs the complete determinism and consistency packs over the entire
-source tree, so an unseeded RNG, a catalog/pricing drift or an
-unregistered learner fails the suite with a precise ``file:line``
-finding instead of silently corrupting the knowledge base.
+runs the complete determinism, consistency, performance, robustness,
+architecture, seeding and concurrency packs over the entire source
+tree, so an unseeded RNG, an undeclared cross-layer import or a
+blocking call under a lock fails the suite with a precise
+``file:line`` finding instead of silently corrupting results.
+
+The gate is strict: zero findings *and* zero suppressions.  The tree
+earns its clean bill without a single ``# repro: noqa``.
 """
 
 from pathlib import Path
 
 import repro
 from repro.analysis import AnalysisEngine, render_text
+from repro.analysis.engine import parse_project
+from repro.analysis.project import build_context
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
@@ -20,6 +26,41 @@ def test_source_tree_exists():
     assert (SRC_ROOT / "analysis" / "engine.py").exists()
 
 
+def test_all_packs_are_loaded():
+    rule_ids = set(AnalysisEngine().rule_ids())
+    for expected in (
+        "DET001", "CON001", "PERF001", "RB001",
+        "ARCH001", "ARCH002", "ARCH003", "ARCH004",
+        "SEED001", "SEED002", "SEED003",
+        "CONC001", "CONC002", "CONC003", "CONC004",
+    ):
+        assert expected in rule_ids, f"{expected} missing from default set"
+
+
+def test_layers_declaration_is_active():
+    """ARCH must actually run: the repo pyproject declares the layers."""
+    project, errors = parse_project(SRC_ROOT)
+    assert errors == []
+    context = build_context(project)
+    assert context.layers is not None, (
+        "no [tool.repro.layers] found above src/repro — the ARCH pack "
+        "would silently skip the whole tree"
+    )
+    assert context.layers.declares("montecarlo")
+    assert context.layers.declares("cluster")
+
+
 def test_full_rule_set_is_clean_on_src_repro():
     findings = AnalysisEngine().run_path(SRC_ROOT)
     assert findings == [], "\n" + render_text(findings)
+
+
+def test_src_tree_carries_no_suppressions():
+    from repro.analysis.engine import _collect_suppressions
+
+    offenders = {
+        str(path.relative_to(SRC_ROOT)): sorted(active)
+        for path in sorted(SRC_ROOT.rglob("*.py"))
+        if (active := _collect_suppressions(path.read_text()))
+    }
+    assert offenders == {}

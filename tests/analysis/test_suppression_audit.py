@@ -1,0 +1,78 @@
+"""SUP001: suppression comments must still be earning their keep."""
+
+from repro.analysis.engine import (
+    UNUSED_SUPPRESSION_ID,
+    AnalysisEngine,
+)
+
+USED = (
+    "__all__ = []\n"
+    "import numpy as np\n"
+    "g = np.random.default_rng()  # repro: noqa[DET001]\n"
+)
+
+UNUSED = (
+    "__all__ = []\n"
+    "x = 1  # repro: noqa[DET001]\n"
+)
+
+BLANKET_UNUSED = (
+    "__all__ = []\n"
+    "x = 1  # repro: noqa\n"
+)
+
+PARTIALLY_USED = (
+    "__all__ = []\n"
+    "import numpy as np\n"
+    "g = np.random.default_rng()  # repro: noqa[DET001, PERF001]\n"
+)
+
+
+def _lint(source):
+    return AnalysisEngine().check_source(source)
+
+
+def test_used_suppression_is_silent():
+    assert _lint(USED) == []
+
+
+def test_unused_suppression_flagged():
+    findings = _lint(UNUSED)
+    assert [f.rule_id for f in findings] == [UNUSED_SUPPRESSION_ID]
+    assert findings[0].line == 2
+    assert "DET001" in findings[0].message
+
+
+def test_blanket_unused_suppression_flagged():
+    findings = _lint(BLANKET_UNUSED)
+    assert [f.rule_id for f in findings] == [UNUSED_SUPPRESSION_ID]
+
+
+def test_partially_used_suppression_reports_stale_id():
+    findings = _lint(PARTIALLY_USED)
+    assert [f.rule_id for f in findings] == [UNUSED_SUPPRESSION_ID]
+    assert "PERF001" in findings[0].message
+    assert "DET001" not in findings[0].message
+
+
+def test_audit_can_be_disabled():
+    engine = AnalysisEngine(audit_suppressions=False)
+    assert engine.check_source(UNUSED) == []
+
+
+def test_marker_inside_string_or_doc_not_a_suppression():
+    source = (
+        '"""Docs may quote ``# repro: noqa[DET001]`` freely."""\n'
+        "__all__ = []\n"
+        "note = 'see # repro: noqa[DET001] in the guide'\n"
+    )
+    assert _lint(source) == []
+
+
+def test_sup001_cannot_suppress_itself():
+    source = (
+        "__all__ = []\n"
+        "x = 1  # repro: noqa[DET001]  # repro: noqa[SUP001]\n"
+    )
+    findings = _lint(source)
+    assert UNUSED_SUPPRESSION_ID in {f.rule_id for f in findings}
