@@ -26,6 +26,8 @@ from repro.analysis.rules.perf import (
     HOT_PATH_MODULES,
     ListAppendConversionRule,
     LoopArrayConstructionRule,
+    PickleInLoopRule,
+    SharedMemoryCopyRule,
     perf_rules,
 )
 from repro.analysis.rules.robustness import (
@@ -72,6 +74,8 @@ __all__ = [
     "HOT_PATH_MODULES",
     "LoopArrayConstructionRule",
     "ListAppendConversionRule",
+    "PickleInLoopRule",
+    "SharedMemoryCopyRule",
     "RESILIENT_PACKAGES",
     "BroadExceptRule",
     "UnboundedRetryRule",

@@ -12,9 +12,15 @@ two most common regressions:
   loop;
 - ``PERF002`` — accumulating ``list.append`` in a loop and converting
   the result to an array afterwards: preallocate and fill, or build the
-  rows with one vectorized call.
+  rows with one vectorized call;
+- ``PERF003`` — ``pickle.dumps``/``pickle.dump`` inside a loop body: the
+  zero-copy dispatch contract is *one* serialization per map call,
+  shipped to workers through the pool initializer, never one per chunk;
+- ``PERF004`` — copying (``np.copy``/``.copy()``/``.tolist()``) an array
+  that was built as a view on a shared-memory buffer: the whole point of
+  the shared slab is that workers read and write it in place.
 
-Both rules apply only to the registered hot-path modules — everywhere
+All rules apply only to the registered hot-path modules — everywhere
 else, clarity may legitimately win over allocation thrift.  Deliberate
 exceptions inside hot paths carry ``# repro: noqa[PERF001]`` with a
 justification.
@@ -32,17 +38,21 @@ __all__ = [
     "HOT_PATH_MODULES",
     "LoopArrayConstructionRule",
     "ListAppendConversionRule",
+    "PickleInLoopRule",
+    "SharedMemoryCopyRule",
     "perf_rules",
 ]
 
 #: Dotted-name suffixes of the modules the PERF pack polices — the
-#: Monte Carlo kernels, the valuation core and the scenario generator.
+#: Monte Carlo kernels, the valuation core, the scenario generator and
+#: the execution-backend dispatch layer.
 HOT_PATH_MODULES: tuple[str, ...] = (
     "montecarlo.nested",
     "montecarlo.lsmc",
     "financial.valuation",
     "financial.segregated_fund",
     "stochastic.scenario",
+    "exec.backends",
 )
 
 #: numpy constructors whose per-iteration use PERF001 flags.  Stacking
@@ -180,6 +190,111 @@ class ListAppendConversionRule(_HotPathRule):
             )
 
 
+class PickleInLoopRule(_HotPathRule):
+    """PERF003: per-iteration serialization of a (large) object."""
+
+    rule_id = "PERF003"
+    description = (
+        "pickle.dumps/pickle.dump inside a loop body re-serializes the "
+        "object once per iteration; serialize it once outside the loop "
+        "and ship it to workers via the pool initializer"
+    )
+    interests = (ast.For, ast.While)
+
+    def start_module(self, module: ParsedModule) -> None:
+        super().start_module(module)
+        self._seen_calls: set[int] = set()
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.For, ast.While))
+        for stmt in [*node.body, *node.orelse]:
+            for child in ast.walk(stmt):
+                if not isinstance(child, ast.Call):
+                    continue
+                dotted = self.resolve(child.func)
+                if dotted not in ("pickle.dumps", "pickle.dump"):
+                    continue
+                if id(child) in self._seen_calls:
+                    continue
+                self._seen_calls.add(id(child))
+                leaf = dotted.removeprefix("pickle.")
+                yield self.finding(
+                    module,
+                    child,
+                    f"pickle.{leaf}() inside a loop serializes per "
+                    "iteration — a per-chunk engine re-pickle; serialize "
+                    "once before the loop and ship via the pool "
+                    "initializer",
+                )
+
+
+class SharedMemoryCopyRule(_HotPathRule):
+    """PERF004: copying arrays that are views on a shared-memory buffer."""
+
+    rule_id = "PERF004"
+    description = (
+        "np.copy()/.copy()/.tolist() on an ndarray constructed over a "
+        "shared-memory buffer duplicates data the shared slab exists to "
+        "avoid copying; operate on the view in place"
+    )
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        # Names bound to np.ndarray(..., buffer=...) — views on a shared
+        # (or otherwise external) buffer rather than owned allocations.
+        shm_views: set[str] = set()
+        for child in ast.walk(node):
+            if not (
+                isinstance(child, ast.Assign)
+                and isinstance(child.value, ast.Call)
+            ):
+                continue
+            dotted = self.resolve(child.value.func)
+            if dotted != "numpy.ndarray":
+                continue
+            if not any(kw.arg == "buffer" for kw in child.value.keywords):
+                continue
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    shm_views.add(target.id)
+        if not shm_views:
+            return
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            name: str | None = None
+            verb: str | None = None
+            if (
+                isinstance(child.func, ast.Attribute)
+                and child.func.attr in ("copy", "tolist")
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id in shm_views
+            ):
+                name, verb = child.func.value.id, f".{child.func.attr}()"
+            elif child.args and isinstance(child.args[0], ast.Name):
+                dotted = self.resolve(child.func)
+                if (
+                    dotted == "numpy.copy"
+                    and child.args[0].id in shm_views
+                ):
+                    name, verb = child.args[0].id, "np.copy()"
+            if name is None or verb is None:
+                continue
+            yield self.finding(
+                module,
+                child,
+                f"{verb} on {name!r}, a view over a shared-memory "
+                "buffer, copies data the shared slab exists to avoid "
+                "copying; keep working on the view",
+            )
+
+
 def perf_rules() -> list[FileRule]:
     """Fresh instances of the whole performance pack."""
-    return [LoopArrayConstructionRule(), ListAppendConversionRule()]
+    return [
+        LoopArrayConstructionRule(),
+        ListAppendConversionRule(),
+        PickleInLoopRule(),
+        SharedMemoryCopyRule(),
+    ]

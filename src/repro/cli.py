@@ -85,9 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="nested target: tiny sample sizes (CI wiring "
                             "check, not a measurement)")
-    bench.add_argument("--backends", default="serial,process,chunked",
+    bench.add_argument("--backends",
+                       default="serial,process,chunked,batched,thread,shm",
                        help="nested target: comma-separated backend specs "
-                            "(default serial,process,chunked)")
+                            "(default serial,process,chunked,batched,"
+                            "thread,shm)")
     bench.add_argument("--outer", type=int, default=256,
                        help="nested target: outer scenarios (default 256)")
     bench.add_argument("--inner", type=int, default=40,
@@ -95,6 +97,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json-out", default="BENCH_nested.json",
                        help="nested target: JSON report path "
                             "(default BENCH_nested.json)")
+    bench.add_argument("--against", default=None, metavar="FILE",
+                       help="nested target: regression gate — compare "
+                            "paths/sec vs the last history entry of this "
+                            "bench JSON and exit non-zero on a drop beyond "
+                            "the tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="nested target: fractional paths/sec drop "
+                            "tolerated by --against (default 0.25)")
+    bench.add_argument("--chunk-size", type=int, default=8,
+                       help="nested target: outer-scenario chunk size "
+                            "applied uniformly to every backend (default 8 "
+                            "— the fine, checkpoint-granularity operating "
+                            "point)")
+    bench.add_argument("--value-chunk-size", type=int, default=64,
+                       help="nested target: inner-path chunk size for the "
+                            "valuation kernel (default 64)")
 
     kb = sub.add_parser("kb", help="build and save a knowledge base")
     kb.add_argument("--runs", type=int, default=500)
@@ -223,19 +241,34 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_nested(args: argparse.Namespace) -> int:
-    from repro.exec.bench import run_nested_bench
+    import json
+
+    from repro.exec.bench import compare_against, run_nested_bench
 
     backends = [spec.strip() for spec in args.backends.split(",") if spec.strip()]
     if not backends:
         print("repro bench: --backends must name at least one backend",
               file=sys.stderr)
         return 2
+    # Load the regression baseline before write_json: --against may name
+    # the very file this run is about to append to.
+    baseline = None
+    if args.against:
+        try:
+            with open(args.against, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro bench: cannot read baseline {args.against}: {error}",
+                  file=sys.stderr)
+            return 2
     report = run_nested_bench(
         n_outer=args.outer,
         n_inner=args.inner,
         backends=backends,
         seed=args.seed,
         smoke=args.smoke,
+        chunk_size=args.chunk_size,
+        value_chunk_size=args.value_chunk_size,
     )
     text = report.to_text()
     print(text)
@@ -252,7 +285,23 @@ def _cmd_bench_nested(args: argparse.Namespace) -> int:
         for kernel in report.kernels()
         if not report.identical_across_backends(kernel)
     ]
-    return 1 if mismatched else 0
+    regressions = []
+    if baseline is not None:
+        regressions = compare_against(
+            report.to_dict(), baseline, tolerance=args.tolerance
+        )
+        for regression in regressions:
+            print(
+                "REGRESSION: {kernel}/{backend} fell to "
+                "{current_paths_per_second:.0f} paths/s from "
+                "{baseline_paths_per_second:.0f} "
+                "({drop:.0%} > {tolerance:.0%} tolerance)".format(**regression),
+                file=sys.stderr,
+            )
+        if not regressions:
+            print(f"(no throughput regression vs {args.against} "
+                  f"at {args.tolerance:.0%} tolerance)")
+    return 1 if mismatched or regressions else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

@@ -132,7 +132,9 @@ class SimulationSettings:
     seed: int = 0
     #: Execution backend spec for the Monte Carlo engine — see
     #: :func:`repro.exec.backends.backend_from` (``"serial"``,
-    #: ``"chunked"``, ``"process[:N]"``).
+    #: ``"chunked"``, ``"batched"``, ``"process[:N]"``, ``"thread[:N]"``,
+    #: ``"shm[:N]"``).  All specs are bit-identical at a fixed seed and
+    #: chunk size, so the choice is purely an execution-cost knob.
     backend: str = "chunked"
 
     def __post_init__(self) -> None:

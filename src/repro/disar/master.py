@@ -21,7 +21,7 @@ The master performs four steps:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -210,6 +210,7 @@ class DisarMasterService:
         spmd_timeout: float = 60.0,
         injector: FaultHooks | None = None,
         checkpoint: "RunCheckpoint | None" = None,
+        backend: str | None = None,
     ) -> ElaborationReport:
         """Run an elaboration campaign on ``n_units`` computing units.
 
@@ -248,8 +249,23 @@ class DisarMasterService:
         so a retry — or a fresh campaign on a rescued cluster — resumes
         from the last completed chunk instead of recomputing the block,
         with bit-identical results.
+
+        ``backend`` overrides each block's execution-backend spec (e.g.
+        ``"thread:4"`` or ``"batched"``) for this campaign only — the
+        caller's blocks are not mutated.  Because every backend is
+        bit-identical at fixed seed and chunk size, the override changes
+        wall-clock only, never results (chunk size comes from the spec's
+        default on all named specs, so checkpoints stay compatible).
         """
         start = time.perf_counter()
+        if backend is not None:
+            blocks = [
+                replace(
+                    block,
+                    settings=replace(block.settings, backend=backend),
+                )
+                for block in blocks
+            ]
         type_a = [b for b in blocks if b.eeb_type is EEBType.ACTUARIAL]
         type_b = [b for b in blocks if b.eeb_type is EEBType.ALM]
         if monitor is not None:

@@ -9,30 +9,52 @@ paths live up to that claim:
   Work is partitioned into deterministic :class:`WorkChunk` slices and
   every chunk receives a ``numpy`` generator spawned *keyed by chunk
   index*, so results are bit-identical regardless of worker count or
-  backend.  Three backends ship:
+  backend.  Six backends ship:
 
   * :class:`SerialBackend` — the reference in-process loop;
-  * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool,
-    one chunk per task;
+  * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool;
+    the engine is serialized once per map call and shipped to each
+    worker through the pool initializer, never per chunk;
+  * :class:`ThreadPoolBackend` — thread pool sharing one live engine;
+    chunk kernels overlap under NumPy's released GIL with zero
+    serialization;
+  * :class:`SharedMemoryBackend` — process pool whose scenario inputs
+    and per-chunk results travel through one
+    :mod:`multiprocessing.shared_memory` slab (workers attach instead
+    of deserialize);
   * :class:`ChunkedVectorBackend` — batches a whole chunk of outer
     scenarios' inner simulations into single NumPy calls;
+  * :class:`BatchedVectorBackend` — additionally fuses *many* chunks
+    into one kernel call (``cross_chunk``), bounded by
+    ``max_fused_scenarios``;
 
 - :mod:`repro.exec.bench` — the ``repro bench`` perf-regression
-  harness: times the nested / LSMC / valuation kernels across backends
-  and writes machine-readable ``BENCH_nested.json`` numbers.
+  harness: times the nested / LSMC / valuation kernels across backends,
+  writes machine-readable ``BENCH_nested.json`` numbers with a
+  timestamped ``history`` trajectory, and gates throughput regressions
+  via :func:`compare_against`.
 """
 
 from repro.exec.backends import (
+    BatchedVectorBackend,
     ChunkedVectorBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
+    ThreadPoolBackend,
     WorkChunk,
     backend_from,
     chunk_seed_sequences,
     partition,
 )
-from repro.exec.bench import BenchReport, KernelTiming, run_nested_bench
+from repro.exec.bench import (
+    BenchReport,
+    KernelTiming,
+    compare_against,
+    history_entry_from,
+    run_nested_bench,
+)
 
 __all__ = [
     "WorkChunk",
@@ -41,9 +63,14 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "SharedMemoryBackend",
     "ChunkedVectorBackend",
+    "BatchedVectorBackend",
     "backend_from",
     "BenchReport",
     "KernelTiming",
     "run_nested_bench",
+    "history_entry_from",
+    "compare_against",
 ]

@@ -18,11 +18,18 @@ the benchmark output; a mismatch is a correctness bug, not noise.
 
 The JSON report (``BENCH_nested.json`` by default) is machine-readable
 so CI can smoke-run the harness and later sessions can diff numbers.
+Each :meth:`BenchReport.write_json` additionally *appends* a timestamped
+entry to the file's ``history`` list (keeping the latest-run shape at
+the top level), turning the file into a throughput trajectory;
+:func:`compare_against` turns that trajectory into a regression gate —
+``repro bench --against`` exits non-zero when paths/sec drops beyond a
+tolerance versus the baseline's last entry.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -31,12 +38,35 @@ import numpy as np
 
 from repro.exec.backends import backend_from
 
-__all__ = ["KernelTiming", "BenchReport", "run_nested_bench"]
+__all__ = [
+    "KernelTiming",
+    "BenchReport",
+    "run_nested_bench",
+    "history_entry_from",
+    "compare_against",
+]
 
 #: Backends every bench run compares by default.  All of them use the
-#: same (default) chunk size, which the determinism contract requires
-#: for bit-identical results.
-DEFAULT_BACKENDS = ("serial", "process", "chunked")
+#: same chunk size, which the determinism contract requires for
+#: bit-identical results.
+DEFAULT_BACKENDS = ("serial", "process", "chunked", "batched", "thread", "shm")
+
+#: Outer-scenario chunk size the bench applies uniformly to every
+#: backend on the nested and LSMC kernels.  Production campaigns pick
+#: fine-grained chunks for checkpoint/rescue granularity (a
+#: deadline-guard rescue resumes per completed chunk), so that is the
+#: operating point worth measuring — and the one where the batched
+#: backend's cross-chunk fusion actually has per-call overhead to fuse
+#: away.
+DEFAULT_BENCH_CHUNK = 8
+
+#: Chunk size for the ``valuation`` kernel, which chunks *inner paths*
+#: rather than outer scenarios — checkpoint granularity does not apply
+#: there, so it keeps the coarse default.
+DEFAULT_VALUE_CHUNK = 64
+
+#: Default fractional paths/sec drop tolerated by the regression gate.
+DEFAULT_REGRESSION_TOLERANCE = 0.25
 
 
 @dataclass
@@ -116,9 +146,34 @@ class BenchReport:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
-    def write_json(self, path: str) -> None:
+    def write_json(self, path: str, history: bool = True) -> None:
+        """Write the report, appending this run to the file's trajectory.
+
+        The latest run keeps the flat top-level shape (``config`` /
+        ``timings`` / ...) for compatibility; ``history`` accumulates one
+        compact timestamped entry per run, carried over from whatever the
+        file held before.  A pre-trajectory file (timings but no
+        ``history``) is folded in as the first entry, so upgrading never
+        loses the previous measurement.
+        """
+        payload = self.to_dict()
+        payload["timestamp"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        if history:
+            prior: list[dict[str, Any]] = []
+            if os.path.exists(path):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        previous = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    previous = {}
+                prior = list(previous.get("history", []))
+                if not prior and previous.get("timings"):
+                    prior = [history_entry_from(previous)]
+            payload["history"] = prior + [history_entry_from(payload)]
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+            handle.write(json.dumps(payload, indent=2) + "\n")
 
     def to_text(self) -> str:
         lines = ["Execution-backend benchmark (nested Monte Carlo hot paths)"]
@@ -153,6 +208,71 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def history_entry_from(payload: dict[str, Any]) -> dict[str, Any]:
+    """Compact trajectory entry for one report payload.
+
+    ``{"timestamp", "config", "kernels": {kernel: {backend: metrics}}}``
+    — the shape :func:`compare_against` consumes.  Works on both current
+    payloads and pre-trajectory files (whose ``timestamp`` is absent).
+    """
+    kernels: dict[str, dict[str, Any]] = {}
+    for timing in payload.get("timings", []):
+        kernels.setdefault(timing["kernel"], {})[timing["backend"]] = {
+            "wall_seconds": timing["wall_seconds"],
+            "paths_per_second": timing["paths_per_second"],
+            "speedup_vs_serial": timing["speedup_vs_serial"],
+            "checksum": timing["checksum"],
+        }
+    return {
+        "timestamp": payload.get("timestamp"),
+        "config": payload.get("config", {}),
+        "kernels": kernels,
+    }
+
+
+def compare_against(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = DEFAULT_REGRESSION_TOLERANCE,
+) -> list[dict[str, Any]]:
+    """Throughput regressions of ``current`` versus a baseline payload.
+
+    The baseline's most recent trajectory entry (or its top-level
+    timings, for pre-trajectory files) is compared kernel-by-kernel and
+    backend-by-backend; a pair regresses when its paths/sec dropped by
+    more than ``tolerance`` (fractional).  Pairs missing on either side
+    are skipped — adding or removing a backend is not a regression.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    history = baseline.get("history") or []
+    reference = history[-1] if history else history_entry_from(baseline)
+    measured = history_entry_from(current)
+    regressions: list[dict[str, Any]] = []
+    for kernel, backends in measured["kernels"].items():
+        for backend, metrics in backends.items():
+            before = reference["kernels"].get(kernel, {}).get(backend)
+            if before is None:
+                continue
+            old_rate = float(before["paths_per_second"])
+            new_rate = float(metrics["paths_per_second"])
+            if old_rate <= 0.0:
+                continue
+            drop = 1.0 - new_rate / old_rate
+            if drop > tolerance:
+                regressions.append(
+                    {
+                        "kernel": kernel,
+                        "backend": backend,
+                        "baseline_paths_per_second": old_rate,
+                        "current_paths_per_second": new_rate,
+                        "drop": drop,
+                        "tolerance": tolerance,
+                    }
+                )
+    return regressions
+
+
 def _time_kernel(fn: Callable[[], float]) -> tuple[float, float]:
     """Run ``fn`` once; return ``(wall_seconds, checksum)``."""
     start = time.perf_counter()
@@ -168,12 +288,22 @@ def run_nested_bench(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     seed: int = 0,
     smoke: bool = False,
+    chunk_size: int = DEFAULT_BENCH_CHUNK,
+    value_chunk_size: int = DEFAULT_VALUE_CHUNK,
 ) -> BenchReport:
     """Time the nested / LSMC / valuation kernels across backends.
 
     ``smoke=True`` shrinks every sample size so the whole sweep finishes
     in seconds — the CI smoke job uses it to catch wiring regressions,
     not to measure speedups.
+
+    ``chunk_size`` applies to *every* backend: the determinism contract
+    makes results a function of ``(seed, chunk_size)``, so a uniform
+    chunk size is what keeps the cross-backend checksums comparable.
+    The nested and LSMC kernels chunk outer scenarios and use
+    ``chunk_size``; the valuation kernel chunks inner paths and uses the
+    coarser ``value_chunk_size`` (fine chunks are a checkpoint-rescue
+    concession that single-stage valuation does not need).
     """
     # Imported lazily: the engines import repro.exec.backends, so a
     # module-level import here would be circular.
@@ -181,6 +311,12 @@ def run_nested_bench(
     from repro.montecarlo.nested import NestedMonteCarloEngine
     from repro.workload.portfolio_gen import PortfolioGenerator
 
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if value_chunk_size <= 0:
+        raise ValueError(
+            f"value_chunk_size must be positive, got {value_chunk_size}"
+        )
     if smoke:
         n_outer, n_inner = min(n_outer, 32), min(n_inner, 8)
         value_paths = min(value_paths, 256)
@@ -208,6 +344,8 @@ def run_nested_bench(
             "lsmc_calibration": lsmc_calibration,
             "seed": seed,
             "smoke": smoke,
+            "chunk_size": chunk_size,
+            "value_chunk_size": value_chunk_size,
             "n_contracts": len(portfolio.contracts),
             "horizon": max(c.term for c in portfolio.contracts),
             "n_risk_factors": portfolio.spec.n_financial_drivers,
@@ -217,8 +355,19 @@ def run_nested_bench(
     serial_walls: dict[str, float] = {}
     for backend_spec in backends:
         backend = backend_from(backend_spec)
+        # Uniform chunking across the sweep (specs like "process:2" keep
+        # their worker count; only the chunk size is normalised).
+        backend.chunk_size = chunk_size
         engine = NestedMonteCarloEngine(
             portfolio.spec, portfolio.fund, portfolio.contracts, backend=backend
+        )
+        value_backend = backend_from(backend_spec)
+        value_backend.chunk_size = value_chunk_size
+        value_engine = NestedMonteCarloEngine(
+            portfolio.spec,
+            portfolio.fund,
+            portfolio.contracts,
+            backend=value_backend,
         )
 
         def run_nested() -> float:
@@ -235,7 +384,7 @@ def run_nested_bench(
             return float(np.sum(result.outer_values))
 
         def run_valuation() -> float:
-            return engine.value_at_zero(value_paths, rng=seed)
+            return value_engine.value_at_zero(value_paths, rng=seed)
 
         kernel_work = {
             "nested": (run_nested, n_outer * n_inner),

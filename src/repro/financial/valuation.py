@@ -19,6 +19,7 @@ lapse models across outer real-world scenarios).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -118,6 +119,12 @@ class DecrementTableCache:
     reached it is cleared wholesale — decrement tables are cheap to
     rebuild and the bound only exists to keep pathological workloads
     (continuous per-scenario shocks) from growing without limit.
+
+    Access is guarded by a lock: the thread execution backend runs many
+    chunk kernels against *one* engine (and therefore one cache)
+    concurrently.  Tables are immutable once stored, so serving the same
+    instance to several threads is safe; the lock only protects the
+    dict/counter updates.
     """
 
     def __init__(self, max_entries: int = 16384) -> None:
@@ -125,24 +132,37 @@ class DecrementTableCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = int(max_entries)
         self._tables: dict[tuple, DecrementTable] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __len__(self) -> int:
-        return len(self._tables)
+        with self._lock:
+            return len(self._tables)
 
     def get(self, key: tuple) -> DecrementTable | None:
-        table = self._tables.get(key)
-        if table is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return table
+        with self._lock:
+            table = self._tables.get(key)
+            if table is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return table
 
     def put(self, key: tuple, table: DecrementTable) -> None:
-        if len(self._tables) >= self.max_entries:
-            self._tables.clear()
-        self._tables[key] = table
+        with self._lock:
+            if len(self._tables) >= self.max_entries:
+                self._tables.clear()
+            self._tables[key] = table
 
 
 def batched_decrement_table(
@@ -229,9 +249,21 @@ def batched_decrement_table(
             lapse=np.vstack([t.lapse for t in tables]),
         )
 
-    rates = np.array(
-        [float(np.asarray(lapse.annual_rate())) for lapse in lapses]
-    )
+    if all(type(lapse) is LapseModel for lapse in lapses):
+        # Vectorized base-case annual_rate(): with no credited argument
+        # the model computes clip(base_rate * shock, 0, 0.99), which is
+        # elementwise — evaluating all scenarios in one clip call is
+        # IEEE-identical to the per-scenario scalar calls.
+        rates = np.clip(
+            np.array([lapse.base_rate for lapse in lapses])
+            * np.array([lapse.shock for lapse in lapses]),
+            0.0,
+            0.99,
+        )
+    else:
+        rates = np.array(
+            [float(np.asarray(lapse.annual_rate())) for lapse in lapses]
+        )
     annual_lapse = np.repeat(rates[:, None], term, axis=1)
     annual_lapse[:, -1] = 0.0
     survival_step = 1.0 - q - (1.0 - q) * annual_lapse

@@ -18,8 +18,9 @@ Execution is delegated to a :mod:`repro.exec` backend.  The workload is
 partitioned into fixed chunks of outer scenarios (or inner paths, for
 ``value_at_zero``); every chunk draws from random streams keyed by its
 position in the workload, never by the worker that happens to run it, so
-``SerialBackend``, ``ProcessPoolBackend`` and ``ChunkedVectorBackend``
-all produce bit-identical results at a fixed ``chunk_size``.
+every backend — serial, process, thread, shared-memory, chunked-vector
+and batched cross-chunk — produces bit-identical results at a fixed
+``chunk_size``.
 """
 
 from __future__ import annotations
@@ -131,16 +132,18 @@ def _scenario_from_features(spec: RiskDriverSpec, row: np.ndarray) -> MarketScen
 
 # -- chunk task functions -----------------------------------------------------
 #
-# Module-level so :class:`~repro.exec.backends.ProcessPoolBackend` can
-# pickle them; each takes a single payload tuple whose first element is
-# the (picklable) engine.
+# Module-level so the process-pool backends can pickle them.  Each takes
+# the engine as a *context* argument plus a small per-chunk payload tuple
+# (see :meth:`~repro.exec.backends.ExecutionBackend.map_tasks`): pool
+# backends ship the engine once per worker instead of once per chunk.
 
 
 def _value_chunk_task(
-    payload: tuple["NestedMonteCarloEngine", int, np.random.SeedSequence, float, bool],
+    engine: "NestedMonteCarloEngine",
+    payload: tuple[int, np.random.SeedSequence, float, bool],
 ) -> np.ndarray:
     """Pathwise time-0 values for one chunk of inner paths."""
-    engine, n_paths, seed, horizon, antithetic = payload
+    n_paths, seed, horizon, antithetic = payload
     rng = np.random.default_rng(seed)
     scenario = engine._generator.generate(
         n_paths, horizon, rng, steps_per_year=1, measure="Q", antithetic=antithetic
@@ -153,8 +156,8 @@ def _value_chunk_task(
 
 
 def _conditional_chunk_serial(
+    engine: "NestedMonteCarloEngine",
     payload: tuple[
-        "NestedMonteCarloEngine",
         np.ndarray,
         Sequence[np.random.SeedSequence],
         Sequence[MortalityModel],
@@ -163,7 +166,7 @@ def _conditional_chunk_serial(
     ],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Reference chunk kernel: one inner simulation per outer scenario."""
-    engine, features, seeds, mortalities, lapses, n_inner = payload
+    features, seeds, mortalities, lapses, n_inner = payload
     n_scenarios = features.shape[0]
     values = np.empty(n_scenarios)
     std_errors = np.empty(n_scenarios)
@@ -180,8 +183,8 @@ def _conditional_chunk_serial(
 
 
 def _conditional_chunk_vector(
+    engine: "NestedMonteCarloEngine",
     payload: tuple[
-        "NestedMonteCarloEngine",
         np.ndarray,
         Sequence[np.random.SeedSequence],
         Sequence[MortalityModel],
@@ -190,7 +193,7 @@ def _conditional_chunk_vector(
     ],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched chunk kernel: all the chunk's inner paths in one call."""
-    engine, features, seeds, mortalities, lapses, n_inner = payload
+    features, seeds, mortalities, lapses, n_inner = payload
     return engine._conditional_values_batch(
         features, seeds, mortalities, lapses, n_inner
     )
@@ -364,10 +367,15 @@ class NestedMonteCarloEngine:
         )
         seeds = chunk_seed_sequences(rng, len(chunks))
         payloads = [
-            (self, chunk.size, seeds[chunk.index], float(horizon), antithetic)
+            (chunk.size, seeds[chunk.index], float(horizon), antithetic)
             for chunk in chunks
         ]
-        values = self.backend.map(_value_chunk_task, payloads)
+        values = self.backend.map_tasks(
+            _value_chunk_task,
+            self,
+            payloads,
+            out_sizes=[(chunk.size,) for chunk in chunks],
+        )
         return float(np.concatenate(values).mean())
 
     def conditional_value(
@@ -583,12 +591,15 @@ class NestedMonteCarloEngine:
         stored; the returned list is in input-chunk order either way.
         Because each chunk is a pure function of ``(seed, chunk index)``,
         mixing cached and computed chunks preserves bit-identity.
+
+        On a ``cross_chunk`` backend the pending chunks are fused into
+        groups of up to ``max_fused_scenarios`` scenarios and each group
+        runs as a *single* batched kernel call; the fused result is split
+        back along the chunk boundaries, so checkpointing, resume and
+        rank routing keep their per-chunk granularity (and bit-identity —
+        scenario streams are keyed by scenario index, and the batched
+        kernel is row-wise).
         """
-        task = (
-            _conditional_chunk_vector
-            if self.backend.vectorized
-            else _conditional_chunk_serial
-        )
         results: list[tuple[np.ndarray, np.ndarray] | None] = []
         pending: list[tuple[int, Any]] = []
         for position, chunk in enumerate(chunks):
@@ -600,10 +611,37 @@ class NestedMonteCarloEngine:
             results.append(cached)
             if cached is None:
                 pending.append((position, chunk))
-        if pending:
+        if pending and getattr(self.backend, "cross_chunk", False):
+            for group in self._fusion_groups(pending):
+                group_chunks = [chunk for _, chunk in group]
+                values, std = self._conditional_values_batch(
+                    np.concatenate(
+                        [features[chunk.indices] for chunk in group_chunks]
+                    ),
+                    [s for chunk in group_chunks for s in seeds[chunk.indices]],
+                    [m for chunk in group_chunks
+                     for m in mortalities[chunk.indices]],
+                    [l for chunk in group_chunks for l in lapses[chunk.indices]],
+                    n_inner,
+                )
+                offset = 0
+                for position, chunk in group:
+                    part = (
+                        values[offset : offset + chunk.size],
+                        std[offset : offset + chunk.size],
+                    )
+                    offset += chunk.size
+                    if chunk_store is not None:
+                        chunk_store.put(chunk.index, part[0], part[1])
+                    results[position] = part
+        elif pending:
+            task = (
+                _conditional_chunk_vector
+                if self.backend.vectorized
+                else _conditional_chunk_serial
+            )
             payloads = [
                 (
-                    self,
                     features[chunk.indices],
                     seeds[chunk.indices],
                     mortalities[chunk.indices],
@@ -612,12 +650,40 @@ class NestedMonteCarloEngine:
                 )
                 for _, chunk in pending
             ]
-            computed = self.backend.map(task, payloads)
+            computed = self.backend.map_tasks(
+                task,
+                self,
+                payloads,
+                out_sizes=[(chunk.size, chunk.size) for _, chunk in pending],
+            )
             for (position, chunk), (values, std) in zip(pending, computed):
                 if chunk_store is not None:
                     chunk_store.put(chunk.index, values, std)
                 results[position] = (values, std)
         return [entry for entry in results if entry is not None]
+
+    def _fusion_groups(
+        self, pending: Sequence[tuple[int, Any]]
+    ) -> list[list[tuple[int, Any]]]:
+        """Greedy grouping of pending chunks for cross-chunk fusion.
+
+        Groups are filled in chunk order up to the backend's
+        ``max_fused_scenarios`` scenario budget (always at least one
+        chunk per group, so oversized chunks still run).
+        """
+        limit = int(getattr(self.backend, "max_fused_scenarios", 0)) or None
+        groups: list[list[tuple[int, Any]]] = []
+        current: list[tuple[int, Any]] = []
+        current_size = 0
+        for position, chunk in pending:
+            if current and limit and current_size + chunk.size > limit:
+                groups.append(current)
+                current, current_size = [], 0
+            current.append((position, chunk))
+            current_size += chunk.size
+        if current:
+            groups.append(current)
+        return groups
 
     def _year_one_flows(
         self,

@@ -20,12 +20,44 @@ persisted checkpoint stays bit-identical).
 
 from __future__ import annotations
 
+import bisect
 import threading
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 __all__ = ["ChunkStore", "RunCheckpoint"]
+
+
+@dataclass
+class _Segment:
+    """A folded run of consecutive chunks ``[first_index, first_index + n)``.
+
+    Values and standard errors of the folded chunks are concatenated into
+    two flat arrays; ``offsets`` (length ``n + 1``) records each chunk's
+    slice boundaries, so chunk ``first_index + j`` is
+    ``values[offsets[j]:offsets[j + 1]]`` — the floats are stored exactly
+    as they were put, so folding never costs a bit of resume identity.
+    """
+
+    first_index: int
+    offsets: np.ndarray
+    values: np.ndarray
+    std_errors: np.ndarray
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.offsets.shape[0]) - 1
+
+    @property
+    def end_index(self) -> int:
+        return self.first_index + self.n_chunks
+
+    def chunk(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        j = index - self.first_index
+        lo, hi = int(self.offsets[j]), int(self.offsets[j + 1])
+        return self.values[lo:hi].copy(), self.std_errors[lo:hi].copy()
 
 
 class ChunkStore:
@@ -60,13 +92,75 @@ class RunCheckpoint:
     caller can mutate the cached state.  ``hits`` counts chunks that were
     *resumed* (served from cache instead of recomputed) — the quantity
     surfaced as ``n_resumed_chunks`` on deploy outcomes.
+
+    Completed chunks are **compacted**: whenever an EEB accumulates
+    ``compaction_threshold`` loose chunk entries, the contiguous prefix
+    of completed indices folds into a :class:`_Segment` — two flat arrays
+    plus slice offsets instead of thousands of per-chunk dict entries and
+    array objects.  Folding stores the exact floats that were put, so a
+    resume served from a segment is bit-identical to one served from the
+    loose entries; per-EEB memory stays O(active chunks) bookkeeping even
+    at million-chunk scale (out-of-order stragglers stay loose until the
+    prefix behind them completes).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compaction_threshold: int = 256) -> None:
+        if compaction_threshold <= 0:
+            raise ValueError(
+                "compaction_threshold must be positive, "
+                f"got {compaction_threshold}"
+            )
+        self.compaction_threshold = int(compaction_threshold)
         self._lock = threading.Lock()
         self._blocks: dict[str, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+        #: Folded segments per EEB, covering ``[0, next_unfolded)``
+        #: contiguously, ordered by ``first_index``.
+        self._segments: dict[str, list[_Segment]] = {}
         self.hits = 0
         self.misses = 0
+
+    def _folded_end(self, eeb_id: str) -> int:
+        """First chunk index NOT covered by folded segments (lock held)."""
+        segments = self._segments.get(eeb_id)
+        return segments[-1].end_index if segments else 0
+
+    def _fold_ready(self, eeb_id: str) -> None:
+        """Fold the contiguous completed prefix of an EEB (lock held)."""
+        loose = self._blocks.get(eeb_id)
+        if not loose:
+            return
+        start = self._folded_end(eeb_id)
+        index = start
+        while index in loose:
+            index += 1
+        if index == start:
+            return  # the prefix is still waiting on a straggler
+        values_parts = []
+        std_parts = []
+        sizes = []
+        for j in range(start, index):
+            values, std = loose.pop(j)
+            values_parts.append(values)
+            std_parts.append(std)
+            sizes.append(values.shape[0])
+        segment = _Segment(
+            first_index=start,
+            offsets=np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64),
+            values=np.concatenate(values_parts),
+            std_errors=np.concatenate(std_parts),
+        )
+        self._segments.setdefault(eeb_id, []).append(segment)
+        if not loose:
+            del self._blocks[eeb_id]
+
+    def compact(self, eeb_id: str | None = None) -> None:
+        """Fold completed contiguous prefixes now, threshold regardless."""
+        with self._lock:
+            targets = [eeb_id] if eeb_id is not None else sorted(
+                set(self._blocks) | set(self._segments)
+            )
+            for target in targets:
+                self._fold_ready(target)
 
     def store_for(self, eeb_id: str) -> ChunkStore:
         """The per-EEB view handed down the engine stack."""
@@ -80,6 +174,15 @@ class RunCheckpoint:
         self, eeb_id: str, chunk_index: int
     ) -> tuple[np.ndarray, np.ndarray] | None:
         with self._lock:
+            segments = self._segments.get(eeb_id)
+            if segments and chunk_index < segments[-1].end_index:
+                position = bisect.bisect_right(
+                    [segment.first_index for segment in segments], chunk_index
+                )
+                segment = segments[position - 1]
+                if chunk_index < segment.end_index:
+                    self.hits += 1
+                    return segment.chunk(chunk_index)
             entry = self._blocks.get(eeb_id, {}).get(chunk_index)
             if entry is None:
                 self.misses += 1
@@ -98,15 +201,33 @@ class RunCheckpoint:
         values = np.asarray(values, dtype=float).copy()
         std_errors = np.asarray(std_errors, dtype=float).copy()
         with self._lock:
-            self._blocks.setdefault(eeb_id, {})[chunk_index] = (
-                values,
-                std_errors,
-            )
+            if chunk_index < self._folded_end(eeb_id):
+                # Already folded: a re-put is necessarily the identical
+                # (pure-function-of-index) result — keep the segment copy.
+                return
+            loose = self._blocks.setdefault(eeb_id, {})
+            loose[chunk_index] = (values, std_errors)
+            if len(loose) >= self.compaction_threshold:
+                self._fold_ready(eeb_id)
 
     # -- queries -------------------------------------------------------------
 
     def n_chunks(self, eeb_id: str | None = None) -> int:
-        """Checkpointed chunk count, for one EEB or the whole campaign."""
+        """Checkpointed chunk count (folded + loose), per EEB or total."""
+        with self._lock:
+            if eeb_id is not None:
+                return len(self._blocks.get(eeb_id, {})) + sum(
+                    segment.n_chunks
+                    for segment in self._segments.get(eeb_id, [])
+                )
+            return sum(len(chunks) for chunks in self._blocks.values()) + sum(
+                segment.n_chunks
+                for segments in self._segments.values()
+                for segment in segments
+            )
+
+    def n_loose_chunks(self, eeb_id: str | None = None) -> int:
+        """Chunks still held as individual entries (not yet folded)."""
         with self._lock:
             if eeb_id is not None:
                 return len(self._blocks.get(eeb_id, {}))
@@ -114,7 +235,7 @@ class RunCheckpoint:
 
     def eeb_ids(self) -> list[str]:
         with self._lock:
-            return sorted(self._blocks)
+            return sorted(set(self._blocks) | set(self._segments))
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (content is kept)."""
@@ -125,7 +246,12 @@ class RunCheckpoint:
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe representation; exact under Python's float repr."""
+        """JSON-safe representation; exact under Python's float repr.
+
+        Folded segments serialize under ``"compacted"`` (flat arrays plus
+        slice offsets); loose chunks keep the legacy per-chunk ``"blocks"``
+        shape, so pre-compaction checkpoint files stay loadable.
+        """
         with self._lock:
             return {
                 "blocks": {
@@ -138,11 +264,37 @@ class RunCheckpoint:
                     }
                     for eeb_id, chunks in sorted(self._blocks.items())
                 },
+                "compacted": {
+                    eeb_id: [
+                        {
+                            "first_index": segment.first_index,
+                            "offsets": [int(o) for o in segment.offsets],
+                            "values": [float(v) for v in segment.values],
+                            "std_errors": [
+                                float(s) for s in segment.std_errors
+                            ],
+                        }
+                        for segment in segments
+                    ]
+                    for eeb_id, segments in sorted(self._segments.items())
+                },
             }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunCheckpoint":
         checkpoint = cls()
+        # Segments first: the folded prefix must be in place before loose
+        # puts, or a threshold-triggered fold could refold index 0.
+        for eeb_id, segments in payload.get("compacted", {}).items():
+            checkpoint._segments[eeb_id] = [
+                _Segment(
+                    first_index=int(entry["first_index"]),
+                    offsets=np.asarray(entry["offsets"], dtype=np.int64),
+                    values=np.asarray(entry["values"], dtype=float),
+                    std_errors=np.asarray(entry["std_errors"], dtype=float),
+                )
+                for entry in segments
+            ]
         for eeb_id, chunks in payload.get("blocks", {}).items():
             for index, entry in chunks.items():
                 checkpoint._put(

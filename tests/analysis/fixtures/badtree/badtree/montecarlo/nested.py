@@ -1,0 +1,46 @@
+"""PERF001-PERF004 carriers: hot-path performance regressions."""
+
+import pickle
+
+import numpy as np
+
+__all__ = [
+    "bad_alloc",
+    "bad_accumulate",
+    "bad_reserialize",
+    "bad_slab_copy",
+    "good_batched",
+]
+
+
+def bad_alloc(rows):
+    total = np.zeros(3)  # clean: hoisted above the loop
+    for row in rows:
+        scale = np.full(3, 2.0)  # PERF001: per-iteration allocation
+        total = total + scale * row
+    return total
+
+
+def bad_accumulate(rows):
+    out = []
+    for row in rows:
+        out.append(row * 2.0)  # PERF002: loop-grown list becomes ndarray
+    return np.asarray(out)
+
+
+def bad_reserialize(engine, chunks):
+    blobs = []
+    for _chunk in chunks:
+        blobs.append(pickle.dumps(engine))  # PERF003: engine pickled per chunk
+    return blobs
+
+
+def bad_slab_copy(buf, n):
+    view = np.ndarray((n,), dtype=float, buffer=buf)
+    return view.copy()  # PERF004: copying a shared-memory view
+
+
+def good_batched(rows, engine):
+    matrix = np.asarray(rows)  # clean: one conversion, outside any loop
+    blob = pickle.dumps(engine)  # clean: one serialization per call
+    return matrix.sum(axis=0), blob

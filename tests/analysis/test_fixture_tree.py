@@ -25,6 +25,10 @@ EXPECTED = {
     ("montecarlo/util.py", 10, "SEED002"),
     ("montecarlo/util.py", 14, "SEED003"),
     ("montecarlo/util.py", 18, "SUP001"),
+    ("montecarlo/nested.py", 19, "PERF001"),
+    ("montecarlo/nested.py", 27, "PERF002"),
+    ("montecarlo/nested.py", 34, "PERF003"),
+    ("montecarlo/nested.py", 40, "PERF004"),
     ("cluster/comm.py", 10, "CONC003"),
     ("cluster/comm.py", 17, "CONC001"),
     ("cluster/comm.py", 20, "CONC002"),

@@ -7,6 +7,8 @@ from repro.analysis.rules import (
     HOT_PATH_MODULES,
     ListAppendConversionRule,
     LoopArrayConstructionRule,
+    PickleInLoopRule,
+    SharedMemoryCopyRule,
 )
 
 #: Snippets lint as a standalone file named like a hot-path module.
@@ -156,13 +158,153 @@ class TestListAppendConversion:
                     filename="report.py") == []
 
 
+class TestPickleInLoop:
+    @pytest.mark.parametrize("call", ["pickle.dumps(engine)",
+                                      "pickle.dump(engine, fh)"])
+    def test_flags_serialization_in_for_loop(self, call):
+        snippet = (
+            "import pickle\n"
+            "def dispatch(engine, chunks, fh):\n"
+            "    for chunk in chunks:\n"
+            f"        blob = {call}\n"
+        )
+        findings = lint(PickleInLoopRule(), snippet)
+        assert [f.rule_id for f in findings] == ["PERF003"]
+        assert findings[0].line == 4
+
+    def test_flags_serialization_in_while_loop(self):
+        snippet = (
+            "import pickle\n"
+            "def dispatch(engine, queue):\n"
+            "    while queue:\n"
+            "        queue.pop()\n"
+            "        blob = pickle.dumps(engine)\n"
+        )
+        assert [f.rule_id for f in lint(PickleInLoopRule(), snippet)] == [
+            "PERF003"
+        ]
+
+    def test_nested_loops_report_once(self):
+        snippet = (
+            "import pickle\n"
+            "def dispatch(engine, rounds, chunks):\n"
+            "    for _ in rounds:\n"
+            "        for chunk in chunks:\n"
+            "            blob = pickle.dumps(engine)\n"
+        )
+        assert len(lint(PickleInLoopRule(), snippet)) == 1
+
+    def test_allows_serialization_outside_loops(self):
+        snippet = (
+            "import pickle\n"
+            "def dispatch(engine, chunks):\n"
+            "    blob = pickle.dumps(engine)\n"
+            "    for chunk in chunks:\n"
+            "        send(blob, chunk)\n"
+        )
+        assert lint(PickleInLoopRule(), snippet) == []
+
+    def test_allows_loads_in_loops(self):
+        # Deserializing per message is the receiving side's job; only
+        # repeated *serialization* of the same object is the regression.
+        snippet = (
+            "import pickle\n"
+            "def drain(blobs):\n"
+            "    for blob in blobs:\n"
+            "        yield pickle.loads(blob)\n"
+        )
+        assert lint(PickleInLoopRule(), snippet) == []
+
+    def test_silent_outside_hot_path_modules(self):
+        snippet = (
+            "import pickle\n"
+            "def archive(engine, paths):\n"
+            "    for path in paths:\n"
+            "        blob = pickle.dumps(engine)\n"
+        )
+        assert lint(PickleInLoopRule(), snippet, filename="report.py") == []
+
+
+class TestSharedMemoryCopy:
+    def test_flags_copy_of_buffer_backed_view(self):
+        snippet = (
+            "import numpy as np\n"
+            "def read(buf, n):\n"
+            "    view = np.ndarray((n,), dtype=float, buffer=buf)\n"
+            "    return view.copy()\n"
+        )
+        findings = lint(SharedMemoryCopyRule(), snippet)
+        assert [f.rule_id for f in findings] == ["PERF004"]
+        assert findings[0].line == 4
+
+    @pytest.mark.parametrize("expr", ["view.tolist()", "np.copy(view)"])
+    def test_flags_every_copy_kind(self, expr):
+        snippet = (
+            "import numpy as np\n"
+            "def read(buf, n):\n"
+            "    view = np.ndarray((n,), dtype=float, buffer=buf)\n"
+            f"    return {expr}\n"
+        )
+        assert [f.rule_id for f in lint(SharedMemoryCopyRule(), snippet)] == [
+            "PERF004"
+        ]
+
+    def test_allows_copy_of_owned_arrays(self):
+        snippet = (
+            "import numpy as np\n"
+            "def read(n):\n"
+            "    owned = np.zeros(n)\n"
+            "    return owned.copy()\n"
+        )
+        assert lint(SharedMemoryCopyRule(), snippet) == []
+
+    def test_allows_ndarray_without_buffer_keyword(self):
+        # A bare np.ndarray(shape) owns its memory: copying it is not a
+        # shared-slab defeat.
+        snippet = (
+            "import numpy as np\n"
+            "def read(n):\n"
+            "    fresh = np.ndarray((n,))\n"
+            "    return fresh.copy()\n"
+        )
+        assert lint(SharedMemoryCopyRule(), snippet) == []
+
+    def test_allows_in_place_use_of_views(self):
+        snippet = (
+            "import numpy as np\n"
+            "def write(buf, values):\n"
+            "    view = np.ndarray(values.shape, dtype=float, buffer=buf)\n"
+            "    view[:] = values\n"
+            "    return float(view.sum())\n"
+        )
+        assert lint(SharedMemoryCopyRule(), snippet) == []
+
+    def test_silent_outside_hot_path_modules(self):
+        snippet = (
+            "import numpy as np\n"
+            "def read(buf, n):\n"
+            "    view = np.ndarray((n,), dtype=float, buffer=buf)\n"
+            "    return view.copy()\n"
+        )
+        assert lint(SharedMemoryCopyRule(), snippet,
+                    filename="report.py") == []
+
+
 class TestPackWiring:
     def test_hot_path_registry_names_the_kernels(self):
         assert "montecarlo.nested" in HOT_PATH_MODULES
         assert "financial.valuation" in HOT_PATH_MODULES
+        assert "exec.backends" in HOT_PATH_MODULES
 
     def test_default_rules_include_perf_pack(self):
         from repro.analysis.rules import default_rules
 
         ids = {rule.rule_id for rule in default_rules()}
-        assert {"PERF001", "PERF002"} <= ids
+        assert {"PERF001", "PERF002", "PERF003", "PERF004"} <= ids
+
+    def test_perf_rules_returns_the_whole_pack(self):
+        from repro.analysis.rules.perf import perf_rules
+
+        assert [rule.rule_id for rule in perf_rules()] == [
+            "PERF001", "PERF002", "PERF003", "PERF004",
+        ]

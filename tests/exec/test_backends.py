@@ -9,9 +9,13 @@ import pytest
 
 from repro.exec.backends import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_FUSED,
+    BatchedVectorBackend,
     ChunkedVectorBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
+    ThreadPoolBackend,
     WorkChunk,
     backend_from,
     chunk_seed_sequences,
@@ -108,11 +112,30 @@ class TestBackendFrom:
         assert isinstance(process, ProcessPoolBackend)
         assert process.effective_workers == 3
 
+    def test_new_backend_spec_strings(self):
+        thread = backend_from("thread:3")
+        assert isinstance(thread, ThreadPoolBackend)
+        assert thread.effective_workers == 3
+        assert thread.vectorized
+        shm = backend_from("shm:2")
+        assert isinstance(shm, SharedMemoryBackend)
+        assert shm.effective_workers == 2
+        batched = backend_from("batched:16")
+        assert isinstance(batched, BatchedVectorBackend)
+        assert batched.chunk_size == 16
+        assert batched.cross_chunk
+        assert batched.max_fused_scenarios == DEFAULT_MAX_FUSED
+        # Only the fusing backend advertises cross-chunk capability.
+        for other in ("serial", "chunked", "process", "thread", "shm"):
+            assert not backend_from(other).cross_chunk
+
     def test_rejects_unknown_specs(self):
         with pytest.raises(ValueError):
             backend_from("gpu")
         with pytest.raises(ValueError):
             backend_from("serial:many")
+        with pytest.raises(ValueError):
+            backend_from("thread:zero")
 
     def test_map_preserves_payload_order(self):
         payloads = list(range(10))
@@ -131,6 +154,139 @@ class TestBackendFrom:
 def _sleepy_pid(_payload):
     time.sleep(0.05)
     return os.getpid()
+
+
+# -- module-level task helpers (picklable by the pool backends) ---------------
+
+
+def _scale_array(context, payload):
+    """One 1-D float64 result — exercises single-view result slabs."""
+    return np.asarray(payload, dtype=float) * context
+
+
+def _stats_pair(context, payload):
+    """Two 1-D float64 results — the (values, std_errors) chunk shape."""
+    arr = np.asarray(payload[1], dtype=float)
+    return arr * context, arr + payload[0]
+
+
+_CONTEXT_PICKLES = {"count": 0}
+
+
+class _CountingContext:
+    """Context object that counts how often it is serialized."""
+
+    def __init__(self, scale):
+        self.scale = scale
+
+    def __getstate__(self):
+        _CONTEXT_PICKLES["count"] += 1
+        return {"scale": self.scale}
+
+
+class TestMapTasks:
+    """The context/payload split of the zero-copy dispatch API."""
+
+    def test_in_process_backends_share_live_context(self):
+        context = {"offset": 10}  # not picklable across processes? it is,
+        # but identity is what in-process dispatch must preserve.
+        seen = []
+        for backend in (
+            SerialBackend(),
+            ChunkedVectorBackend(),
+            BatchedVectorBackend(),
+            ThreadPoolBackend(max_workers=2),
+        ):
+            result = backend.map_tasks(
+                lambda ctx, p: (id(ctx), ctx["offset"] + p), context, [1, 2, 3]
+            )
+            seen.append(result)
+            assert [value for _, value in result] == [11, 12, 13]
+        for result in seen:
+            assert all(ctx_id == id(context) for ctx_id, _ in result)
+
+    def test_thread_backend_map_accepts_lambdas(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert backend.map(lambda x: x * x, list(range(6))) == [
+            0, 1, 4, 9, 16, 25
+        ]
+
+    def test_process_backend_preserves_order(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        payloads = [np.arange(3) + i for i in range(5)]
+        results = backend.map_tasks(_scale_array, 2.0, payloads)
+        for payload, result in zip(payloads, results):
+            assert np.array_equal(result, payload * 2.0)
+
+    def test_context_pickled_once_per_map_not_per_payload(self):
+        _CONTEXT_PICKLES["count"] = 0
+        backend = ProcessPoolBackend(max_workers=2)
+        results = backend.map_tasks(
+            _scale_and_offset, _CountingContext(3.0), list(range(8))
+        )
+        assert results == [i * 3.0 for i in range(8)]
+        # One serialization per map call — not one per payload (8) and
+        # not one per worker either: the blob ships via initargs.
+        assert _CONTEXT_PICKLES["count"] == 1
+
+    def test_single_payload_runs_inline_without_pickling(self):
+        _CONTEXT_PICKLES["count"] = 0
+        backend = ProcessPoolBackend(max_workers=2)
+        result = backend.map_tasks(
+            lambda ctx, p: ctx.scale * p, _CountingContext(2.0), [21]
+        )
+        assert result == [42.0]
+        assert _CONTEXT_PICKLES["count"] == 0
+
+
+def _scale_and_offset(context, payload):
+    return context.scale * payload
+
+
+class TestSharedMemoryBackend:
+    def test_arrays_round_trip_through_the_slab(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        payloads = [np.linspace(0.0, 1.0, 7) + i for i in range(4)]
+        results = backend.map_tasks(_scale_array, 3.0, payloads)
+        for payload, result in zip(payloads, results):
+            assert np.array_equal(result, payload * 3.0)
+
+    def test_out_sizes_route_results_through_the_slab(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        payloads = [(float(i), np.arange(5, dtype=float)) for i in range(4)]
+        results = backend.map_tasks(
+            _stats_pair, 2.0, payloads, out_sizes=[(5, 5)] * 4
+        )
+        for i, (scaled, offset) in enumerate(results):
+            assert np.array_equal(scaled, np.arange(5, dtype=float) * 2.0)
+            assert np.array_equal(offset, np.arange(5, dtype=float) + i)
+
+    def test_single_view_out_sizes_return_bare_arrays(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        payloads = [np.full(3, float(i)) for i in range(3)]
+        results = backend.map_tasks(
+            _scale_array, -1.0, payloads, out_sizes=[(3,)] * 3
+        )
+        for i, result in enumerate(results):
+            assert isinstance(result, np.ndarray)
+            assert np.array_equal(result, np.full(3, -float(i)))
+
+    def test_out_sizes_length_mismatch_rejected(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        with pytest.raises(ValueError, match="out_sizes"):
+            backend.map_tasks(
+                _scale_array,
+                1.0,
+                [np.zeros(2), np.zeros(2)],
+                out_sizes=[(2,)],
+            )
+
+    def test_single_payload_runs_inline(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        result = backend.map_tasks(
+            lambda ctx, p: p * ctx, 5.0, [np.ones(4)], out_sizes=[(4,)]
+        )
+        assert np.array_equal(result[0], np.full(4, 5.0))
 
 
 class TestProcessPoolWorkers:

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.exec.bench import BenchReport, KernelTiming, run_nested_bench
+from repro.exec.bench import (
+    BenchReport,
+    KernelTiming,
+    compare_against,
+    history_entry_from,
+    run_nested_bench,
+)
 
 
 class TestKernelTiming:
@@ -90,6 +96,91 @@ class TestRunNestedBench:
         assert payload["config"]["smoke"] is True
         assert len(payload["timings"]) == 6
 
+    def test_write_json_appends_history(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_nested.json"
+        smoke_report.write_json(str(path))
+        first = json.loads(path.read_text())
+        assert len(first["history"]) == 1
+        assert first["history"][0]["timestamp"] == first["timestamp"]
+        smoke_report.write_json(str(path))
+        second = json.loads(path.read_text())
+        # The trajectory grows; the latest-run shape stays at top level.
+        assert len(second["history"]) == 2
+        assert second["history"][0] == first["history"][0]
+        assert len(second["timings"]) == 6
+        entry = second["history"][-1]
+        assert set(entry["kernels"]) == {"nested", "lsmc", "valuation"}
+        for backends in entry["kernels"].values():
+            for metrics in backends.values():
+                assert set(metrics) == {
+                    "wall_seconds",
+                    "paths_per_second",
+                    "speedup_vs_serial",
+                    "checksum",
+                }
+
+    def test_write_json_folds_legacy_file_into_history(
+        self, smoke_report, tmp_path
+    ):
+        path = tmp_path / "BENCH_nested.json"
+        # A pre-trajectory file: timings at top level, no history list.
+        legacy = smoke_report.to_dict()
+        path.write_text(json.dumps(legacy))
+        smoke_report.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["history"]) == 2
+        # The folded legacy entry has no timestamp but full kernel data.
+        assert payload["history"][0]["timestamp"] is None
+        assert payload["history"][0]["kernels"] == history_entry_from(legacy)[
+            "kernels"
+        ]
+
     def test_calibration_must_fit_outer(self):
         with pytest.raises(ValueError):
             run_nested_bench(n_outer=8, lsmc_calibration=16)
+
+
+class TestCompareAgainst:
+    def _payload(self, rate):
+        report = BenchReport(config={"n_outer": 4})
+        report.timings.append(
+            KernelTiming(
+                "nested", "chunked", "chunked", 8.0 / rate, 8, checksum=1.0
+            )
+        )
+        return report.to_dict()
+
+    def test_no_regression_within_tolerance(self):
+        current, baseline = self._payload(90.0), self._payload(100.0)
+        assert compare_against(current, baseline, tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_reported(self):
+        current, baseline = self._payload(50.0), self._payload(100.0)
+        regressions = compare_against(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        entry = regressions[0]
+        assert entry["kernel"] == "nested"
+        assert entry["backend"] == "chunked"
+        assert entry["drop"] == pytest.approx(0.5)
+
+    def test_compares_against_last_history_entry(self):
+        baseline = self._payload(50.0)
+        # History carries a newer, faster entry: that is the reference.
+        baseline["history"] = [
+            history_entry_from(self._payload(50.0)),
+            history_entry_from(self._payload(200.0)),
+        ]
+        regressions = compare_against(
+            self._payload(100.0), baseline, tolerance=0.25
+        )
+        assert len(regressions) == 1
+        assert regressions[0]["drop"] == pytest.approx(0.5)
+
+    def test_missing_pairs_are_skipped(self):
+        baseline = self._payload(100.0)
+        current = BenchReport(config={}).to_dict()
+        assert compare_against(current, baseline) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            compare_against(self._payload(1.0), self._payload(1.0), tolerance=1.5)

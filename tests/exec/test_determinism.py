@@ -1,23 +1,32 @@
 """Cross-backend bit-identity of the nested Monte Carlo engine.
 
 The determinism contract of :mod:`repro.exec`: at a fixed seed and chunk
-size, every backend (serial loop, process pool, chunked vector kernel)
-produces bit-identical results — parallelism and vectorization change
-wall-clock time only, never a single bit of the SCR inputs.
+size, every backend (serial loop, process pool, thread pool,
+shared-memory pool, chunked vector kernel, batched cross-chunk kernel)
+produces bit-identical results — parallelism, vectorization and
+cross-chunk fusion change wall-clock time only, never a single bit of
+the SCR inputs.
 """
 
+import json
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.cluster.comm import run_spmd
 from repro.exec.backends import (
+    BatchedVectorBackend,
     ChunkedVectorBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
+    ThreadPoolBackend,
 )
+from repro.montecarlo.lsmc import LSMCEngine
 from repro.montecarlo.nested import NestedMonteCarloEngine
+from repro.runtime import RunCheckpoint
 from repro.workload.portfolio_gen import PortfolioGenerator
 
 CHUNK = 4  # several chunks even at the tiny test sizes
@@ -61,6 +70,13 @@ def backends():
         ProcessPoolBackend(max_workers=2, chunk_size=CHUNK),
         ChunkedVectorBackend(chunk_size=CHUNK),
         ProcessPoolBackend(max_workers=2, chunk_size=CHUNK, vectorized=True),
+        ThreadPoolBackend(max_workers=2, chunk_size=CHUNK),
+        SharedMemoryBackend(max_workers=2, chunk_size=CHUNK),
+        BatchedVectorBackend(chunk_size=CHUNK),
+        # A tiny fusion budget forces several fusion groups even at the
+        # test's 10-scenario outer stage: group splitting must not move
+        # a single bit either.
+        BatchedVectorBackend(chunk_size=CHUNK, max_fused_scenarios=6),
     ]
 
 
@@ -211,7 +227,7 @@ class TestRankRoutedBitIdentity:
 class TestValueAtZeroBitIdentity:
     def test_plain_and_antithetic(self, portfolio):
         values = {
-            backend.name
+            backend.describe()
             + str(getattr(backend, "vectorized", False)): (
                 make_engine(portfolio, backend).value_at_zero(50, rng=11),
                 make_engine(portfolio, backend).value_at_zero(
@@ -220,9 +236,173 @@ class TestValueAtZeroBitIdentity:
             )
             for backend in backends()
         }
+        assert len(values) == len(backends())
         reference = next(iter(values.values()))
         for pair in values.values():
             assert pair == reference
+
+
+class TestLSMCBitIdentity:
+    """The LSMC calibration sample runs through the engine's backend; the
+    fitted proxy — and with it the full LSMC valuation — must be
+    bit-identical across every backend, including the fused one."""
+
+    def test_all_backends_identical(self, portfolio):
+        results = [
+            LSMCEngine(make_engine(portfolio, backend)).run(40, 20, 6, rng=5)
+            for backend in backends()
+        ]
+        reference = results[0]
+        for result in results[1:]:
+            assert np.array_equal(reference.outer_values, result.outer_values)
+            assert np.array_equal(reference.coefficients, result.coefficients)
+            assert np.array_equal(
+                reference.calibration.outer_values,
+                result.calibration.outer_values,
+            )
+            assert reference.in_sample_r2 == result.in_sample_r2
+
+
+class TestResumeWithZeroCopyBackends:
+    """Chunk checkpoints written by the serial backend — even ones folded
+    into segments after every put — must resume bit-identically on the
+    thread, shared-memory and batched backends."""
+
+    def _run(self, portfolio, backend, chunk_store=None):
+        return make_engine(portfolio, backend).run(
+            10, 6, rng=7, chunk_store=chunk_store
+        )
+
+    @pytest.mark.parametrize(
+        "resume_backend",
+        [
+            lambda: ThreadPoolBackend(max_workers=2, chunk_size=CHUNK),
+            lambda: SharedMemoryBackend(max_workers=2, chunk_size=CHUNK),
+            lambda: BatchedVectorBackend(chunk_size=CHUNK),
+        ],
+        ids=["thread", "shm", "batched"],
+    )
+    def test_compacted_serial_checkpoint_resumes(
+        self, portfolio, resume_backend
+    ):
+        baseline = self._run(portfolio, SerialBackend(chunk_size=CHUNK))
+        checkpoint = RunCheckpoint(compaction_threshold=1)
+        store = checkpoint.store_for("exec-tests")
+        self._run(portfolio, SerialBackend(chunk_size=CHUNK), chunk_store=store)
+        written = checkpoint.n_chunks()
+        assert written == 3  # 10 outer scenarios in chunks of 4
+        # threshold=1 folds the contiguous prefix after every put:
+        # nothing stays loose, every resume below is served from segments.
+        assert checkpoint.n_loose_chunks() == 0
+        checkpoint.reset_counters()
+        resumed = self._run(portfolio, resume_backend(), chunk_store=store)
+        assert checkpoint.hits == written
+        assert checkpoint.misses == 0
+        assert_nested_equal(baseline, resumed)
+
+    def test_partial_checkpoint_mixes_cached_and_fused_chunks(self, portfolio):
+        baseline = self._run(portfolio, SerialBackend(chunk_size=CHUNK))
+        full = RunCheckpoint()
+        self._run(
+            portfolio,
+            SerialBackend(chunk_size=CHUNK),
+            chunk_store=full.store_for("exec-tests"),
+        )
+        payload = full.to_dict()
+        # Keep only the middle chunk: the batched backend must fuse the
+        # two pending chunks *around* the cached one and still split the
+        # fused result back onto the right scenario rows.
+        partial = RunCheckpoint.from_dict(
+            {
+                "blocks": {
+                    "exec-tests": {
+                        "1": payload["blocks"]["exec-tests"]["1"]
+                    }
+                }
+            }
+        )
+        store = partial.store_for("exec-tests")
+        resumed = self._run(
+            portfolio, BatchedVectorBackend(chunk_size=CHUNK), chunk_store=store
+        )
+        assert partial.hits == 1
+        assert partial.misses == 2
+        assert partial.n_chunks() == 3
+        assert_nested_equal(baseline, resumed)
+
+
+_ENGINE_PICKLES = {"count": 0}
+
+
+class _CountingEngine(NestedMonteCarloEngine):
+    """Engine that counts its parent-side serializations."""
+
+    def __getstate__(self):
+        _ENGINE_PICKLES["count"] += 1
+        return super().__getstate__()
+
+
+class TestEngineShippedOncePerDispatch:
+    def test_engine_pickled_per_pool_dispatch_not_per_chunk(self, portfolio):
+        _ENGINE_PICKLES["count"] = 0
+        engine = _CountingEngine(
+            portfolio.spec,
+            portfolio.fund,
+            portfolio.contracts,
+            backend=ProcessPoolBackend(max_workers=2, chunk_size=CHUNK),
+        )
+        engine.run(10, 6, rng=7)
+        # run() opens two pools (value_at_zero: 2 chunks of inner paths;
+        # conditional stage: 3 chunks of outer scenarios) and the engine
+        # ships once per pool via the worker initializer — not once per
+        # chunk (5 here) as the old per-payload dispatch did.
+        assert _ENGINE_PICKLES["count"] == 2
+
+
+class TestFaultCorpusBackendOverride:
+    """A campaign perturbed by a corpus fault schedule and executed with
+    the zero-copy backends (via the master's per-campaign override) must
+    recover to the bit-identical figures of a clean default-backend run."""
+
+    CORPUS = Path(__file__).resolve().parents[1] / "faults" / "corpus"
+
+    @pytest.fixture(scope="class")
+    def clean_report(self, small_campaign):
+        from repro.disar.master import DisarMasterService
+
+        return DisarMasterService().execute(
+            small_campaign.blocks, n_units=3, distribute_alm=True
+        )
+
+    @pytest.mark.parametrize("backend", ["thread:2", "shm:2", "batched"])
+    def test_recovered_campaign_matches_clean_run(
+        self, small_campaign, clean_report, backend
+    ):
+        from repro.disar.master import DisarMasterService
+        from repro.faults.injector import FaultInjector
+        from repro.faults.schedule import FaultSchedule
+
+        entry = json.loads(
+            (self.CORPUS / "rank_crash_resume.json").read_text()
+        )
+        schedule = FaultSchedule.from_dict(entry["schedule"])
+        injector = FaultInjector(schedule)
+        chaotic = DisarMasterService().execute(
+            small_campaign.blocks,
+            n_units=3,
+            distribute_alm=True,
+            max_retries=2,
+            injector=injector,
+            backend=backend,
+        )
+        assert injector.n_fired == 1
+        assert chaotic.recovered_failures >= 1
+        assert sorted(chaotic.alm_results) == sorted(clean_report.alm_results)
+        for eeb_id, result in chaotic.alm_results.items():
+            other = clean_report.alm_results[eeb_id]
+            assert np.array_equal(result.outer_values, other.outer_values)
+            assert result.base_value == other.base_value
+            assert result.scr_report.scr == other.scr_report.scr
 
 
 class TestDecrementTableCache:

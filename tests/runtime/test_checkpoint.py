@@ -78,6 +78,129 @@ class TestRunCheckpoint:
         assert checkpoint.eeb_ids() == ["eeb-a", "eeb-b"]
 
 
+class TestCompaction:
+    """Folding completed chunks into segments keeps the checkpoint
+    O(active chunks) without costing a bit of resume identity."""
+
+    def test_threshold_folds_contiguous_prefix(self):
+        checkpoint = RunCheckpoint(compaction_threshold=4)
+        store = fill(checkpoint, indices=(0, 1, 2))
+        assert checkpoint.n_loose_chunks() == 3  # below threshold: loose
+        store.put(3, np.array([9.0]), np.array([0.5]))
+        # The fourth put reaches the threshold and folds all of [0, 4).
+        assert checkpoint.n_loose_chunks() == 0
+        assert checkpoint.n_chunks() == 4
+
+    def test_folded_chunks_read_back_bit_identically(self):
+        checkpoint = RunCheckpoint(compaction_threshold=2)
+        store = checkpoint.store_for("eeb-1")
+        # Awkward floats and ragged chunk sizes: folding must store the
+        # exact values that were put, at the exact per-chunk boundaries.
+        chunks = {
+            0: (np.array([np.pi, 1.0 / 3.0]), np.array([1e-300, np.e])),
+            1: (np.array([2.0 / 7.0]), np.array([1e300])),
+            2: (np.array([1.5, 2.5, 3.5]), np.array([0.1, 0.2, 0.3])),
+        }
+        for index, (values, std) in chunks.items():
+            store.put(index, values, std)
+        # Puts 0 and 1 hit the threshold and folded; 2 is loose again.
+        assert checkpoint.n_loose_chunks() == 1
+        checkpoint.compact()
+        assert checkpoint.n_loose_chunks() == 0
+        for index, (values, std) in chunks.items():
+            cached_values, cached_std = store.get(index)
+            assert np.array_equal(cached_values, values)
+            assert np.array_equal(cached_std, std)
+        assert checkpoint.hits == len(chunks)
+
+    def test_returned_segment_arrays_are_copies(self):
+        checkpoint = RunCheckpoint(compaction_threshold=1)
+        store = fill(checkpoint, indices=(0,))
+        values, _ = store.get(0)
+        values[:] = -1.0
+        fresh, _ = store.get(0)
+        assert np.array_equal(fresh, [1.5, 2.5])
+
+    def test_out_of_order_stragglers_stay_loose(self):
+        checkpoint = RunCheckpoint(compaction_threshold=2)
+        store = checkpoint.store_for("eeb-1")
+        store.put(2, np.array([3.0]), np.array([0.3]))
+        store.put(4, np.array([5.0]), np.array([0.5]))
+        # The threshold is met but the prefix [0, ...) has a gap at 0:
+        # nothing can fold yet.
+        assert checkpoint.n_loose_chunks() == 2
+        store.put(0, np.array([1.0]), np.array([0.1]))
+        store.put(1, np.array([2.0]), np.array([0.2]))
+        # Now [0, 3) is contiguous and folds; 4 waits on 3.
+        assert checkpoint.n_loose_chunks() == 1
+        assert checkpoint.n_chunks() == 4
+        for index, value in ((0, 1.0), (1, 2.0), (2, 3.0), (4, 5.0)):
+            assert np.array_equal(store.get(index)[0], [value])
+
+    def test_explicit_compact_folds_ready_prefix(self):
+        checkpoint = RunCheckpoint()  # default threshold: far away
+        fill(checkpoint, indices=(0, 1, 2))
+        assert checkpoint.n_loose_chunks() == 3
+        checkpoint.compact()
+        assert checkpoint.n_loose_chunks() == 0
+        assert checkpoint.n_chunks() == 3
+
+    def test_put_below_folded_end_is_ignored(self):
+        checkpoint = RunCheckpoint(compaction_threshold=1)
+        store = fill(checkpoint, indices=(0,))
+        # A re-put of a folded chunk (necessarily the identical result)
+        # keeps the segment copy instead of resurrecting a loose entry.
+        store.put(0, np.array([1.5, 2.5]), np.array([0.1, 0.2]))
+        assert checkpoint.n_loose_chunks() == 0
+        assert checkpoint.n_chunks() == 1
+
+    def test_compaction_threshold_validated(self):
+        with pytest.raises(ValueError, match="compaction_threshold"):
+            RunCheckpoint(compaction_threshold=0)
+
+    def test_compacted_dict_round_trip_bit_identical(self):
+        checkpoint = RunCheckpoint(compaction_threshold=2)
+        store = checkpoint.store_for("eeb-1")
+        store.put(0, np.array([np.pi, 1e-300]), np.array([np.e, 1e300]))
+        store.put(1, np.array([1.0 / 3.0]), np.array([2.0 / 7.0]))
+        store.put(5, np.array([7.5]), np.array([0.75]))  # straggler: loose
+        payload = json.loads(json.dumps(checkpoint.to_dict()))
+        assert payload["compacted"]["eeb-1"][0]["first_index"] == 0
+        assert "5" in payload["blocks"]["eeb-1"]
+        reloaded = RunCheckpoint.from_dict(payload)
+        assert reloaded.n_chunks() == 3
+        fresh = reloaded.store_for("eeb-1")
+        for index in (0, 1, 5):
+            original_values, original_std = store.get(index)
+            values, std = fresh.get(index)
+            assert np.array_equal(values, original_values)
+            assert np.array_equal(std, original_std)
+
+    def test_legacy_payload_without_compacted_key_loads(self):
+        checkpoint = RunCheckpoint()
+        fill(checkpoint, indices=(0, 1))
+        payload = checkpoint.to_dict()
+        del payload["compacted"]  # a pre-compaction checkpoint file
+        reloaded = RunCheckpoint.from_dict(payload)
+        assert reloaded.n_chunks() == 2
+        assert np.array_equal(
+            reloaded.store_for("eeb-1").get(0)[0], [1.5, 2.5]
+        )
+
+    def test_file_round_trip_with_compacted_segments(self, tmp_path):
+        checkpoint = RunCheckpoint(compaction_threshold=1)
+        fill(checkpoint, eeb_id="eeb-1", indices=(0, 1, 2))
+        path = tmp_path / "compacted.ckpt.json"
+        assert save_checkpoint(checkpoint, path) == 3
+        reloaded = load_checkpoint(path)
+        assert reloaded.n_chunks() == 3
+        store = reloaded.store_for("eeb-1")
+        for index in (0, 1, 2):
+            values, std = store.get(index)
+            assert np.array_equal(values, [1.5 + index, 2.5 + index])
+            assert np.array_equal(std, [0.1 + index, 0.2 + index])
+
+
 class TestSerialisation:
     def test_dict_round_trip_bit_identical(self):
         checkpoint = RunCheckpoint()

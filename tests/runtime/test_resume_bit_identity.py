@@ -12,7 +12,14 @@ import pytest
 
 from repro.core.persistence import load_checkpoint, save_checkpoint
 from repro.disar.master import DisarMasterService
-from repro.exec import ChunkedVectorBackend, ProcessPoolBackend, SerialBackend
+from repro.exec import (
+    BatchedVectorBackend,
+    ChunkedVectorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    ThreadPoolBackend,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule, RankCrash
 from repro.montecarlo.nested import NestedMonteCarloEngine
@@ -139,8 +146,11 @@ class TestResumeAcrossBackends:
             SerialBackend(chunk_size=8),
             ChunkedVectorBackend(chunk_size=8),
             ProcessPoolBackend(max_workers=2, chunk_size=8),
+            ThreadPoolBackend(max_workers=2, chunk_size=8),
+            SharedMemoryBackend(max_workers=2, chunk_size=8),
+            BatchedVectorBackend(chunk_size=8),
         ],
-        ids=["serial", "chunked", "process"],
+        ids=["serial", "chunked", "process", "thread", "shm", "batched"],
     )
     def test_serial_checkpoint_resumes_on_any_backend(
         self, engine_factory, backend

@@ -85,7 +85,11 @@ class TestBenchNested:
     def test_parser_defaults_to_nested_target(self):
         args = build_parser().parse_args(["bench"])
         assert args.target == "nested"
-        assert args.backends == "serial,process,chunked"
+        assert args.backends == "serial,process,chunked,batched,thread,shm"
+        assert args.against is None
+        assert args.tolerance == 0.25
+        assert args.chunk_size == 8
+        assert args.value_chunk_size == 64
         assert args.outer == 256
         assert args.json_out == "BENCH_nested.json"
         assert not args.smoke
