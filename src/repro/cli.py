@@ -71,10 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default="nested",
-        choices=["nested", "table1", "table2", "fig2", "fig3", "fig4",
-                 "tradeoff", "all"],
+        choices=["nested", "proxy", "table1", "table2", "fig2", "fig3",
+                 "fig4", "tradeoff", "all"],
         help="'nested' (default) times the Monte Carlo kernels across "
-             "execution backends; the other targets regenerate paper "
+             "execution backends; 'proxy' compares the exact/proxy/MLMC "
+             "SCR tiers; the other targets regenerate paper "
              "tables/figures",
     )
     bench.add_argument("--runs", type=int, default=1500,
@@ -90,21 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="nested target: comma-separated backend specs "
                             "(default serial,process,chunked,batched,"
                             "thread,shm)")
-    bench.add_argument("--outer", type=int, default=256,
-                       help="nested target: outer scenarios (default 256)")
-    bench.add_argument("--inner", type=int, default=40,
-                       help="nested target: inner paths (default 40)")
-    bench.add_argument("--json-out", default="BENCH_nested.json",
-                       help="nested target: JSON report path "
-                            "(default BENCH_nested.json)")
+    bench.add_argument("--outer", type=int, default=None,
+                       help="outer scenarios (default 256 for nested, "
+                            "4096 for proxy)")
+    bench.add_argument("--inner", type=int, default=None,
+                       help="inner paths (default 40 for nested, 256 for "
+                            "proxy)")
+    bench.add_argument("--json-out", default=None,
+                       help="JSON report path (default BENCH_nested.json / "
+                            "BENCH_proxy.json per target)")
     bench.add_argument("--against", default=None, metavar="FILE",
-                       help="nested target: regression gate — compare "
-                            "paths/sec vs the last history entry of this "
-                            "bench JSON and exit non-zero on a drop beyond "
-                            "the tolerance")
+                       help="nested/proxy targets: regression gate — "
+                            "compare paths/sec vs the last history entry of "
+                            "this bench JSON and exit non-zero on a drop "
+                            "beyond the tolerance")
     bench.add_argument("--tolerance", type=float, default=0.25,
-                       help="nested target: fractional paths/sec drop "
-                            "tolerated by --against (default 0.25)")
+                       help="nested/proxy targets: fractional paths/sec "
+                            "drop tolerated by --against (default 0.25)")
     bench.add_argument("--chunk-size", type=int, default=8,
                        help="nested target: outer-scenario chunk size "
                             "applied uniformly to every backend (default 8 "
@@ -113,6 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--value-chunk-size", type=int, default=64,
                        help="nested target: inner-path chunk size for the "
                             "valuation kernel (default 64)")
+    bench.add_argument("--train", type=int, default=128,
+                       help="proxy target: exact scenarios the proxy "
+                            "trains on (default 128)")
+    bench.add_argument("--validation", type=int, default=32,
+                       help="proxy target: held-out exact scenarios the "
+                            "validation gate checks (default 32)")
+    bench.add_argument("--gate-tolerance", type=float, default=0.05,
+                       help="proxy target: validation-gate tolerance "
+                            "(default 0.05)")
+    bench.add_argument("--proxy-degree", type=int, default=2,
+                       help="proxy target: polynomial degree of the LSMC "
+                            "proxy (default 3)")
+    bench.add_argument("--mlmc-levels", type=int, default=2,
+                       help="proxy target: MLMC correction levels "
+                            "(default 2)")
+    bench.add_argument("--mlmc-base-inner", type=int, default=4,
+                       help="proxy target: MLMC base-level inner paths "
+                            "(default 4)")
+    bench.add_argument("--backend", default="chunked",
+                       help="proxy target: execution backend spec "
+                            "(default chunked)")
 
     kb = sub.add_parser("kb", help="build and save a knowledge base")
     kb.add_argument("--runs", type=int, default=500)
@@ -262,8 +286,8 @@ def _cmd_bench_nested(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     report = run_nested_bench(
-        n_outer=args.outer,
-        n_inner=args.inner,
+        n_outer=args.outer if args.outer is not None else 256,
+        n_inner=args.inner if args.inner is not None else 40,
         backends=backends,
         seed=args.seed,
         smoke=args.smoke,
@@ -272,9 +296,10 @@ def _cmd_bench_nested(args: argparse.Namespace) -> int:
     )
     text = report.to_text()
     print(text)
-    if args.json_out:
-        report.write_json(args.json_out)
-        print(f"(JSON report written to {args.json_out})")
+    json_out = args.json_out if args.json_out is not None else "BENCH_nested.json"
+    if json_out:
+        report.write_json(json_out)
+        print(f"(JSON report written to {json_out})")
     if args.output:
         from pathlib import Path
 
@@ -304,9 +329,85 @@ def _cmd_bench_nested(args: argparse.Namespace) -> int:
     return 1 if mismatched or regressions else 0
 
 
+def _cmd_bench_proxy(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exec.bench import compare_against
+    from repro.proxy.bench import run_proxy_bench
+
+    # Load the regression baseline before write_json: --against may name
+    # the very file this run is about to append to.
+    baseline = None
+    if args.against:
+        try:
+            with open(args.against, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro bench: cannot read baseline {args.against}: {error}",
+                  file=sys.stderr)
+            return 2
+    report = run_proxy_bench(
+        n_outer=args.outer if args.outer is not None else 4096,
+        n_inner=args.inner if args.inner is not None else 256,
+        n_train=args.train,
+        n_validation=args.validation,
+        tolerance=args.gate_tolerance,
+        proxy_degree=args.proxy_degree,
+        mlmc_levels=args.mlmc_levels,
+        mlmc_base_inner=args.mlmc_base_inner,
+        seed=args.seed,
+        smoke=args.smoke,
+        backend=args.backend,
+    )
+    print(report.to_text())
+    cfg = report.config
+    print(
+        f"SCR exact {cfg['scr_exact']:,.0f} | "
+        f"proxy {cfg['scr_proxy']:,.0f} "
+        f"(rel err {cfg['proxy_rel_error']:.4%}, "
+        f"{cfg['proxy_savings_factor']:.1f}x fewer exact inner sims, "
+        f"{cfg['proxy_refined']} tail scenario(s) refined) | "
+        f"mlmc {cfg['scr_mlmc']:,.0f} "
+        f"(rel err {cfg['mlmc_rel_error']:.4%}, "
+        f"{cfg['mlmc_savings_factor']:.1f}x)"
+    )
+    print(cfg["proxy_gate"])
+    if cfg["proxy_fell_back"]:
+        print("note: the validation gate breached; the proxy tier fell "
+              "back to exact valuation")
+    json_out = args.json_out if args.json_out is not None else "BENCH_proxy.json"
+    if json_out:
+        report.write_json(json_out)
+        print(f"(JSON report written to {json_out})")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report.to_text() + "\n")
+        print(f"(written to {args.output})")
+    regressions = []
+    if baseline is not None:
+        regressions = compare_against(
+            report.to_dict(), baseline, tolerance=args.tolerance
+        )
+        for regression in regressions:
+            print(
+                "REGRESSION: {kernel}/{backend} fell to "
+                "{current_paths_per_second:.0f} paths/s from "
+                "{baseline_paths_per_second:.0f} "
+                "({drop:.0%} > {tolerance:.0%} tolerance)".format(**regression),
+                file=sys.stderr,
+            )
+        if not regressions:
+            print(f"(no throughput regression vs {args.against} "
+                  f"at {args.tolerance:.0%} tolerance)")
+    return 1 if regressions else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.target == "nested":
         return _cmd_bench_nested(args)
+    if args.target == "proxy":
+        return _cmd_bench_proxy(args)
 
     from repro.benchlib import (
         build_dataset,

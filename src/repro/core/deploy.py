@@ -66,6 +66,9 @@ class DeployOutcome:
     #: Bills of clusters abandoned by an elastic rescue; included in
     #: ``cost_usd``.
     wasted_cost_usd: float = 0.0
+    #: Blocks whose proxy tier breached its validation gate and fell
+    #: back to exact valuation (``compute_results`` runs only).
+    n_proxy_fallbacks: int = 0
 
     @property
     def deadline_met(self) -> bool:
@@ -95,6 +98,11 @@ class DeployOutcome:
             )
         if self.n_resumed_chunks:
             text += f", {self.n_resumed_chunks} chunk(s) resumed"
+        if self.n_proxy_fallbacks:
+            text += (
+                f", {self.n_proxy_fallbacks} proxy gate breach(es) "
+                f"fell back to exact"
+            )
         return text
 
 
@@ -283,6 +291,9 @@ class TransparentDeploySystem:
             degraded = result.degraded
             n_faults = result.n_faults
 
+        n_proxy_fallbacks = (
+            report.n_proxy_fallbacks if report is not None else 0
+        )
         record = RunRecord(
             params=params,
             instance_type=choice.instance_type.api_name,
@@ -292,6 +303,7 @@ class TransparentDeploySystem:
             predicted_seconds=choice.predicted_seconds,
             virtual_timestamp=self.manager.provider.clock.now,
             degraded=degraded,
+            proxy_fallback=n_proxy_fallbacks > 0,
         )
         self.knowledge_base.add(record)
 
@@ -312,6 +324,7 @@ class TransparentDeploySystem:
             n_rescues=n_rescues,
             n_resumed_chunks=n_resumed,
             wasted_cost_usd=wasted_cost,
+            n_proxy_fallbacks=n_proxy_fallbacks,
         )
         self._history.append(outcome)
         return outcome

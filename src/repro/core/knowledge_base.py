@@ -47,6 +47,11 @@ class RunRecord:
     #: timing is *not* a clean sample of the configuration's speed, and
     #: the planner can weight or filter such rows when training.
     degraded: bool = False
+    #: At least one block's proxy tier breached its validation gate and
+    #: fell back to exact valuation: the figures are correct, but the
+    #: timing reflects exact-tier cost, not the proxy speedup the tier
+    #: planner priced.
+    proxy_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -109,6 +114,7 @@ class KnowledgeBase:
                 "predicted_seconds": record.predicted_seconds,
                 "virtual_timestamp": record.virtual_timestamp,
                 "degraded": record.degraded,
+                "proxy_fallback": record.proxy_fallback,
             },
         )
 
@@ -180,6 +186,7 @@ class KnowledgeBase:
             predicted_seconds=row.get("predicted_seconds", float("nan")),
             virtual_timestamp=row.get("virtual_timestamp", 0.0),
             degraded=bool(row.get("degraded", False)),
+            proxy_fallback=bool(row.get("proxy_fallback", False)),
         )
 
     def training_matrices(self) -> tuple[FloatArray, FloatArray]:
@@ -232,6 +239,10 @@ class KnowledgeBase:
     def degraded_count(self) -> int:
         """Structured runs flagged as degraded by fault recovery."""
         return sum(record.degraded for record in self.records())
+
+    def proxy_fallback_count(self) -> int:
+        """Structured runs whose proxy tier fell back to exact valuation."""
+        return sum(record.proxy_fallback for record in self.records())
 
     def per_instance_counts(self) -> dict[str, int]:
         """Sample counts per instance type (coverage diagnostics)."""

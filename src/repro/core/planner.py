@@ -21,14 +21,25 @@ on?
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass, replace
 
 from repro.core.selection import ConfigurationSelector, DeployChoice
-from repro.disar.eeb import CharacteristicParameters
+from repro.disar.eeb import CharacteristicParameters, SimulationSettings
+from repro.proxy.costs import (
+    TIERS,
+    exact_tier_inner_sims,
+    mlmc_tier_inner_sims,
+    predicted_relative_error,
+    proxy_tier_inner_sims,
+)
 
-__all__ = ["PlannedRun", "CampaignPlan", "ReportingSeasonPlanner"]
+__all__ = [
+    "PlannedRun",
+    "CampaignPlan",
+    "ReportingSeasonPlanner",
+    "TierChoice",
+    "TierPlanner",
+]
 
 
 @dataclass
@@ -159,3 +170,167 @@ class ReportingSeasonPlanner:
             )
             run.choice = candidate
             run.upgraded = True
+
+
+@dataclass(frozen=True)
+class TierChoice:
+    """One SCR tier priced by the tier planner."""
+
+    tier: str
+    predicted_seconds: float
+    predicted_error: float
+    inner_sims: int
+    #: Meets the deadline.
+    feasible: bool
+    #: Meets the error tolerance.
+    accurate: bool
+
+
+class TierPlanner:
+    """Algorithm 1's tier axis: pick how *accurately* to simulate.
+
+    The deploy selector picks *where* a run executes; this planner picks
+    *which SCR tier* it runs — ``exact``, ``proxy`` or ``mlmc`` — by
+    predicting both the execution time (via the tier's exact
+    inner-simulation count, the unit runtime is proportional to) and the
+    relative SCR error of every tier, then choosing the cheapest tier
+    that meets the deadline *and* the error tolerance.
+
+    Parameters
+    ----------
+    seconds_per_inner_sim:
+        Measured (or predicted) seconds per exact inner simulation on
+        the target configuration — the bridge from the cost model's
+        abstract unit to wall-clock.
+    overhead_seconds:
+        Fixed per-run cost added to every tier (outer stage, fitting,
+        reporting).
+    gate_tolerance, n_train, n_validation:
+        Proxy-tier budget assumed when pricing it.
+    mlmc_base_inner, mlmc_levels:
+        MLMC geometry assumed when pricing that tier.
+    """
+
+    def __init__(
+        self,
+        seconds_per_inner_sim: float,
+        overhead_seconds: float = 0.0,
+        gate_tolerance: float = 0.02,
+        n_train: int = 64,
+        n_validation: int = 32,
+        mlmc_base_inner: int = 4,
+        mlmc_levels: int = 2,
+    ) -> None:
+        if seconds_per_inner_sim <= 0.0:
+            raise ValueError(
+                f"seconds_per_inner_sim must be positive, got "
+                f"{seconds_per_inner_sim}"
+            )
+        if overhead_seconds < 0.0:
+            raise ValueError(
+                f"overhead_seconds must be >= 0, got {overhead_seconds}"
+            )
+        self.seconds_per_inner_sim = float(seconds_per_inner_sim)
+        self.overhead_seconds = float(overhead_seconds)
+        self.gate_tolerance = float(gate_tolerance)
+        self.n_train = int(n_train)
+        self.n_validation = int(n_validation)
+        self.mlmc_base_inner = int(mlmc_base_inner)
+        self.mlmc_levels = int(mlmc_levels)
+
+    def _inner_sims(self, tier: str, n_outer: int, n_inner: int) -> int:
+        if tier == "exact":
+            return exact_tier_inner_sims(n_outer, n_inner)
+        if tier == "proxy":
+            return proxy_tier_inner_sims(
+                self.n_train, self.n_validation, n_inner
+            )
+        return mlmc_tier_inner_sims(
+            n_outer, self.mlmc_base_inner, self.mlmc_levels
+        )
+
+    def evaluate_all(
+        self,
+        n_outer: int,
+        n_inner: int,
+        tmax_seconds: float,
+        error_tolerance: float,
+    ) -> list[TierChoice]:
+        """Price every tier for one ``(n_outer, n_inner)`` workload."""
+        if tmax_seconds <= 0.0 or error_tolerance <= 0.0:
+            raise ValueError(
+                "tmax_seconds and error_tolerance must be positive"
+            )
+        choices = []
+        for tier in TIERS:
+            sims = self._inner_sims(tier, n_outer, n_inner)
+            seconds = self.overhead_seconds + sims * self.seconds_per_inner_sim
+            error = predicted_relative_error(
+                tier,
+                n_outer,
+                n_inner,
+                gate_tolerance=self.gate_tolerance,
+                base_inner=self.mlmc_base_inner,
+                n_levels=self.mlmc_levels,
+            )
+            choices.append(
+                TierChoice(
+                    tier=tier,
+                    predicted_seconds=float(seconds),
+                    predicted_error=float(error),
+                    inner_sims=sims,
+                    feasible=bool(seconds <= tmax_seconds),
+                    accurate=bool(error <= error_tolerance),
+                )
+            )
+        return choices
+
+    def select(
+        self,
+        n_outer: int,
+        n_inner: int,
+        tmax_seconds: float,
+        error_tolerance: float,
+    ) -> TierChoice:
+        """Cheapest tier meeting both the deadline and the tolerance.
+
+        When no tier meets both, accuracy wins over the deadline (a
+        wrong SCR is worse than a late one under Solvency II): the
+        planner returns the lowest-error tier, fastest first on ties.
+        """
+        choices = self.evaluate_all(
+            n_outer, n_inner, tmax_seconds, error_tolerance
+        )
+        admissible = [c for c in choices if c.feasible and c.accurate]
+        if admissible:
+            return min(admissible, key=lambda c: c.predicted_seconds)
+        return min(
+            choices,
+            key=lambda c: (c.predicted_error, c.predicted_seconds),
+        )
+
+    def apply(
+        self, settings: SimulationSettings, choice: TierChoice
+    ) -> SimulationSettings:
+        """``settings`` re-targeted at the chosen tier.
+
+        The proxy budget and MLMC geometry the planner priced are
+        written into the settings, so the run executes exactly the
+        configuration that was costed.
+        """
+        if choice.tier == "proxy":
+            return replace(
+                settings,
+                tier="proxy",
+                proxy_train=self.n_train,
+                proxy_validation=self.n_validation,
+                proxy_tolerance=self.gate_tolerance,
+            )
+        if choice.tier == "mlmc":
+            return replace(
+                settings,
+                tier="mlmc",
+                mlmc_levels=self.mlmc_levels,
+                mlmc_base_inner=self.mlmc_base_inner,
+            )
+        return replace(settings, tier="exact")

@@ -31,6 +31,9 @@ from repro.disar.eeb import EEBType, ElementaryElaborationBlock
 from repro.montecarlo.lsmc import LSMCEngine
 from repro.montecarlo.nested import NestedMonteCarloEngine
 from repro.montecarlo.scr import SCRCalculator, SCRReport
+from repro.proxy.engine import ProxySCREngine
+from repro.proxy.gate import GateReport, ValidationGate
+from repro.proxy.mlmc import MLMCEngine
 
 if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
     from repro.runtime.checkpoint import ChunkStore
@@ -48,6 +51,13 @@ class ALMResult:
     scr_report: SCRReport
     elapsed_seconds: float
     n_ranks: int = 1
+    #: SCR tier that produced the figures (``settings.tier``).
+    tier: str = "exact"
+    #: Validation-gate outcome of a proxy-tier run (``None`` otherwise).
+    gate: GateReport | None = None
+    #: True when the proxy tier breached its gate and recomputed the
+    #: block exactly — the result is then bitwise the exact tier's.
+    fell_back: bool = False
 
     @property
     def n_outer(self) -> int:
@@ -83,12 +93,19 @@ class ALMEngine:
 
         ``chunk_store`` resumes the block's conditional-stage chunks from
         a :class:`~repro.runtime.checkpoint.RunCheckpoint` and stores the
-        freshly computed ones.
+        freshly computed ones.  The proxy and MLMC tiers ignore
+        ``chunk_store``: their exact budgets are index-keyed subsets, so
+        caching them under exact-tier chunk ids would collide with a
+        full run's cache.
         """
         self._check_type(eeb)
         start = time.perf_counter()
         settings = eeb.settings
         engine = self._build_engine(eeb)
+        if settings.tier == "proxy":
+            return self._process_proxy(eeb, engine, start)
+        if settings.tier == "mlmc":
+            return self._process_mlmc(eeb, engine, start)
         if settings.use_lsmc:
             lsmc = LSMCEngine(engine, degree=settings.lsmc_degree)
             result = lsmc.run(
@@ -131,6 +148,70 @@ class ALMEngine:
             elapsed_seconds=time.perf_counter() - start,
         )
 
+    # -- proxy / MLMC tiers ---------------------------------------------------
+
+    def _process_proxy(
+        self,
+        eeb: ElementaryElaborationBlock,
+        engine: NestedMonteCarloEngine,
+        start: float,
+    ) -> ALMResult:
+        settings = eeb.settings
+        proxy = ProxySCREngine(
+            engine,
+            valuator=settings.proxy_kind,
+            n_train=settings.proxy_train,
+            n_validation=settings.proxy_validation,
+            gate=ValidationGate(
+                tolerance=settings.proxy_tolerance, level=self._scr.level
+            ),
+            proxy_seed=settings.seed,
+        )
+        result = proxy.run(
+            n_outer=settings.n_outer,
+            n_inner=settings.n_inner,
+            rng=settings.seed,
+            steps_per_year=settings.steps_per_year,
+        )
+        return ALMResult(
+            eeb_id=eeb.eeb_id,
+            base_value=result.nested.base_value,
+            outer_values=result.nested.outer_values,
+            scr_report=self._scr.from_nested(result.nested),
+            elapsed_seconds=time.perf_counter() - start,
+            tier="proxy",
+            gate=result.gate,
+            fell_back=result.fell_back,
+        )
+
+    def _process_mlmc(
+        self,
+        eeb: ElementaryElaborationBlock,
+        engine: NestedMonteCarloEngine,
+        start: float,
+    ) -> ALMResult:
+        settings = eeb.settings
+        mlmc = MLMCEngine(
+            engine,
+            n_levels=settings.mlmc_levels,
+            base_inner=settings.mlmc_base_inner,
+            level=self._scr.level,
+        )
+        result = mlmc.run(
+            n_outer=settings.n_outer,
+            rng=settings.seed,
+            steps_per_year=settings.steps_per_year,
+            n_inner_reference=settings.n_inner,
+        )
+        return ALMResult(
+            eeb_id=eeb.eeb_id,
+            base_value=result.base_value,
+            outer_values=result.level0_values,
+            scr_report=result.to_scr_report(),
+            elapsed_seconds=time.perf_counter() - start,
+            tier="mlmc",
+        )
+
     # -- distributed execution ------------------------------------------------
 
     def process_distributed(
@@ -152,10 +233,22 @@ class ALMEngine:
         :class:`ALMResult` this returns on rank 0 is **bit-identical**
         to :meth:`process` for any rank count.  Returns ``None`` on the
         other ranks.
+
+        The proxy and MLMC tiers spend so few exact inner simulations
+        that spreading them over ranks is not worth the coordination:
+        rank 0 computes the block sequentially (bit-equal to
+        :meth:`process` by construction) and the other ranks return
+        ``None`` immediately.
         """
         self._check_type(eeb)
         start = time.perf_counter()
         settings = eeb.settings
+        if settings.tier != "exact":
+            if comm.rank != 0:
+                return None
+            result = self.process(eeb)
+            result.n_ranks = comm.size
+            return result
         engine = self._build_engine(eeb)
         if settings.use_lsmc:
             lsmc = LSMCEngine(engine, degree=settings.lsmc_degree)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exec.backends import backend_from
 from repro.financial.contracts import PolicyContract
+from repro.proxy.costs import mlmc_tier_inner_sims, proxy_tier_inner_sims
 from repro.financial.segregated_fund import SegregatedFund
 from repro.stochastic.scenario import RiskDriverSpec
 
@@ -46,16 +47,26 @@ def estimate_complexity(
     The dominant cost of a type-B block is the ``n_outer x n_inner``
     trajectory grid, each trajectory simulating every risk factor over
     the horizon and valuing every representative contract; LSMC replaces
-    the full inner stage with a fixed calibration share.  Type-A blocks
-    only sweep the decrement tables.
+    the full inner stage with a fixed calibration share, and the proxy
+    and MLMC tiers (:mod:`repro.proxy`) shrink the exact inner budget
+    further.  Type-A blocks only sweep the decrement tables.
     """
     if eeb_type is EEBType.ACTUARIAL:
         return float(params.n_contracts * params.max_horizon)
-    inner_cost = (
-        settings.n_inner
-        if not settings.use_lsmc
-        else settings.n_inner * settings.lsmc_outer_calibration / settings.n_outer
-    )
+    if settings.tier == "proxy":
+        inner_cost = proxy_tier_inner_sims(
+            settings.proxy_train, settings.proxy_validation, settings.n_inner
+        ) / settings.n_outer
+    elif settings.tier == "mlmc":
+        inner_cost = mlmc_tier_inner_sims(
+            settings.n_outer, settings.mlmc_base_inner, settings.mlmc_levels
+        ) / settings.n_outer
+    elif settings.use_lsmc:
+        inner_cost = (
+            settings.n_inner * settings.lsmc_outer_calibration / settings.n_outer
+        )
+    else:
+        inner_cost = settings.n_inner
     per_trajectory = params.max_horizon * (
         params.n_risk_factors + 0.05 * params.n_fund_assets
     )
@@ -130,6 +141,28 @@ class SimulationSettings:
     lsmc_degree: int = 2
     steps_per_year: int = 4
     seed: int = 0
+    #: SCR tier (Algorithm 1's tier axis): ``"exact"`` runs the full
+    #: nested / LSMC valuation per ``use_lsmc``; ``"proxy"`` trains an
+    #: inner-loop replacement on a small exact budget behind a
+    #: validation gate (:mod:`repro.proxy`); ``"mlmc"`` telescopes the
+    #: loss quantile over inner resolutions.  Every tier is
+    #: deterministic at a fixed ``(seed, budget, tier)``.
+    tier: str = "exact"
+    #: Proxy valuator kind: ``"lsmc"`` (polynomial regression) or
+    #: ``"mlp"`` (neural network).
+    proxy_kind: str = "lsmc"
+    #: Exact-budget scenarios used to train the proxy.
+    proxy_train: int = 64
+    #: Held-out exact scenarios the validation gate checks the proxy on.
+    proxy_validation: int = 32
+    #: Gate tolerance: maximum relative error of the held-out loss
+    #: quantile before the tier falls back to exact valuation.
+    proxy_tolerance: float = 0.02
+    #: MLMC correction levels on top of the base level.
+    mlmc_levels: int = 2
+    #: Inner paths of the MLMC base level; the finest resolution is
+    #: ``mlmc_base_inner * 2**mlmc_levels``.
+    mlmc_base_inner: int = 4
     #: Execution backend spec for the Monte Carlo engine — see
     #: :func:`repro.exec.backends.backend_from` (``"serial"``,
     #: ``"chunked"``, ``"batched"``, ``"process[:N]"``, ``"thread[:N]"``,
@@ -146,6 +179,29 @@ class SimulationSettings:
             raise ValueError("lsmc_degree must be >= 1")
         if self.steps_per_year < 1:
             raise ValueError("steps_per_year must be >= 1")
+        if self.tier not in ("exact", "proxy", "mlmc"):
+            raise ValueError(
+                f"tier must be 'exact', 'proxy' or 'mlmc', got {self.tier!r}"
+            )
+        if self.proxy_kind not in ("lsmc", "mlp"):
+            raise ValueError(
+                f"proxy_kind must be 'lsmc' or 'mlp', got {self.proxy_kind!r}"
+            )
+        if self.proxy_train <= 0 or self.proxy_validation <= 0:
+            raise ValueError("proxy_train and proxy_validation must be positive")
+        if self.tier == "proxy" and (
+            self.proxy_train + self.proxy_validation > self.n_outer
+        ):
+            raise ValueError(
+                f"proxy budget {self.proxy_train + self.proxy_validation} "
+                f"exceeds n_outer={self.n_outer}"
+            )
+        if self.proxy_tolerance <= 0.0:
+            raise ValueError("proxy_tolerance must be positive")
+        if self.mlmc_levels < 1:
+            raise ValueError("mlmc_levels must be >= 1")
+        if self.mlmc_base_inner < 2:
+            raise ValueError("mlmc_base_inner must be >= 2")
         # Fail fast on unknown backend specs (raises ValueError).
         backend_from(self.backend)
 

@@ -66,6 +66,18 @@ class ElaborationReport:
         return self.recovered_failures > 0
 
     @property
+    def n_proxy_fallbacks(self) -> int:
+        """Blocks whose proxy tier breached its validation gate.
+
+        Each such block silently degraded to exact valuation — correct
+        figures, lost speedup — so the count is surfaced campaign-wide,
+        like ``recovered_failures`` is for fault recovery.
+        """
+        return sum(
+            1 for result in self.alm_results.values() if result.fell_back
+        )
+
+    @property
     def total_scr(self) -> float:
         """Aggregate SCR across blocks (no inter-fund diversification)."""
         return float(
@@ -89,6 +101,11 @@ class ElaborationReport:
             lines.append(
                 f"  degraded     : {self.recovered_failures} dispatch(es) "
                 f"recovered over {self.rounds} round(s)"
+            )
+        if self.n_proxy_fallbacks:
+            lines.append(
+                f"  proxy gate   : {self.n_proxy_fallbacks} block(s) "
+                f"fell back to exact valuation"
             )
         return "\n".join(lines)
 

@@ -320,6 +320,23 @@ class SerialBackend(ExecutionBackend):
         return [fn(payload) for payload in payloads]
 
 
+def _default_pool_workers() -> int:
+    """Worker count when a pool backend doesn't pin one explicitly.
+
+    The ``REPRO_EXEC_WORKERS`` environment variable overrides the CPU
+    autodetect, so worker-count-sensitive tests (and CI) can exercise
+    real pool spread on single-core containers.  An explicit
+    ``max_workers`` on the backend always wins over the environment.
+    """
+    env = os.environ.get("REPRO_EXEC_WORKERS")
+    if env:
+        workers = int(env)
+        if workers < 1:
+            raise ValueError(f"REPRO_EXEC_WORKERS must be >= 1, got {env!r}")
+        return workers
+    return os.cpu_count() or 1
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Chunks run as tasks of a :class:`concurrent.futures` process pool.
 
@@ -350,7 +367,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     @property
     def effective_workers(self) -> int:
-        return self.max_workers if self.max_workers else (os.cpu_count() or 1)
+        return self.max_workers if self.max_workers else _default_pool_workers()
 
     def map(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -424,7 +441,7 @@ class ThreadPoolBackend(ExecutionBackend):
 
     @property
     def effective_workers(self) -> int:
-        return self.max_workers if self.max_workers else (os.cpu_count() or 1)
+        return self.max_workers if self.max_workers else _default_pool_workers()
 
     def map(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]

@@ -52,8 +52,42 @@ from repro.stochastic.scenario import MarketScenario, RiskDriverSpec, ScenarioGe
 if TYPE_CHECKING:  # avoid the repro.runtime -> repro.disar import cycle
     from repro.cluster.comm import Communicator
     from repro.runtime.checkpoint import ChunkStore
+    from repro.stochastic.scenario import ScenarioSet
 
-__all__ = ["NestedMonteCarloEngine", "NestedResult"]
+__all__ = [
+    "NestedMonteCarloEngine",
+    "NestedResult",
+    "OuterStage",
+    "scenario_from_features",
+]
+
+
+@dataclass
+class OuterStage:
+    """Deterministic outer-stage state of a nested simulation.
+
+    Everything the inner stage (and any inner-loop *replacement* — see
+    :mod:`repro.proxy`) needs about the outer scenarios: the terminal
+    feature matrix, per-scenario shocked actuarial models and the
+    scenario-index-keyed inner seed streams.  Built by
+    :meth:`NestedMonteCarloEngine.outer_stage` from the same generator
+    streams :meth:`NestedMonteCarloEngine.run` uses, so two callers with
+    the same seed see bit-identical outer state regardless of what they
+    do with it afterwards.
+    """
+
+    scenarios: "ScenarioSet"
+    features: np.ndarray
+    outer_discount: np.ndarray
+    market_returns: np.ndarray
+    credited_y1: np.ndarray
+    mortalities: list[MortalityModel]
+    lapses: list[LapseModel]
+    seeds: list[np.random.SeedSequence]
+
+    @property
+    def n_outer(self) -> int:
+        return int(self.features.shape[0])
 
 
 @dataclass
@@ -111,7 +145,7 @@ class NestedResult:
         return bof0 - self.outer_discount * bof1
 
 
-def _scenario_from_features(spec: RiskDriverSpec, row: np.ndarray) -> MarketScenario:
+def scenario_from_features(spec: RiskDriverSpec, row: np.ndarray) -> MarketScenario:
     """Rebuild a :class:`MarketScenario` from one feature-matrix row."""
     n_equities = len(spec.equities)
     col = 1 + n_equities
@@ -171,7 +205,7 @@ def _conditional_chunk_serial(
     values = np.empty(n_scenarios)
     std_errors = np.empty(n_scenarios)
     for j in range(n_scenarios):
-        state = _scenario_from_features(engine.spec, features[j])
+        state = scenario_from_features(engine.spec, features[j])
         values[j], std_errors[j] = engine.conditional_value(
             state,
             n_inner,
@@ -378,17 +412,22 @@ class NestedMonteCarloEngine:
         )
         return float(np.concatenate(values).mean())
 
-    def conditional_value(
+    def conditional_pathwise(
         self,
         state: MarketScenario,
         n_inner: int,
         rng: np.random.Generator,
         mortality: MortalityModel | None = None,
         lapse: LapseModel | None = None,
-    ) -> tuple[float, float]:
-        """Risk-neutral value ``V_1`` given an outer terminal ``state``.
+    ) -> np.ndarray:
+        """Pathwise inner-sample values behind :meth:`conditional_value`.
 
-        Returns ``(value, standard_error)``.
+        Returns the ``n_inner`` individual risk-neutral path values given
+        an outer terminal ``state`` (their mean is ``V_1``).  The MLMC
+        estimator consumes these directly: averaging the first half of
+        the *same* paths yields the coupled coarse estimator of a level
+        pair, so exposing the path values — rather than only their mean —
+        is what makes the level decomposition reproducible.
         """
         mortality = mortality if mortality is not None else self.mortality
         lapse = lapse if lapse is not None else self.lapse
@@ -404,8 +443,24 @@ class NestedMonteCarloEngine:
         )
         credited = self.fund.credited_returns(scenario)
         discount = scenario.discount_factors()
-        values = self._portfolio_value(
+        return self._portfolio_value(
             credited, discount, mortality, lapse, age_shift=1
+        )
+
+    def conditional_value(
+        self,
+        state: MarketScenario,
+        n_inner: int,
+        rng: np.random.Generator,
+        mortality: MortalityModel | None = None,
+        lapse: LapseModel | None = None,
+    ) -> tuple[float, float]:
+        """Risk-neutral value ``V_1`` given an outer terminal ``state``.
+
+        Returns ``(value, standard_error)``.
+        """
+        values = self.conditional_pathwise(
+            state, n_inner, rng, mortality=mortality, lapse=lapse
         )
         std_error = float(values.std(ddof=1) / np.sqrt(n_inner)) if n_inner > 1 else 0.0
         return float(values.mean()), std_error
@@ -488,6 +543,91 @@ class NestedMonteCarloEngine:
             lapses.append(self.lapse.shocked(float(lapse_mult[k])))
         return mortalities, lapses
 
+    def outer_stage(
+        self,
+        n_outer: int,
+        outer_rng: np.random.Generator,
+        shock_rng: np.random.Generator,
+        inner_master: np.random.Generator,
+        steps_per_year: int = 4,
+    ) -> OuterStage:
+        """Generate the deterministic outer-stage state.
+
+        The three generators are consumed exactly as :meth:`run` consumes
+        them (``outer_rng`` for the outer paths, ``shock_rng`` for the
+        actuarial shocks, ``inner_master`` for the scenario-index-keyed
+        inner seed streams), so any caller spawning the same streams from
+        the same seed — the exact tier, the proxy tier, an MLMC level —
+        observes bit-identical outer state.
+        """
+        outer = self._generator.generate(
+            n_outer, 1.0, outer_rng, steps_per_year=steps_per_year, measure="P"
+        )
+        outer_discount = outer.discount_factors()[:, -1]
+        # Year-1 asset growth: the fund's market return over the outer year
+        # (the fund helpers subsample any grid that divides years evenly).
+        market_returns = self.fund.market_returns(outer)[:, 0]
+        features = outer.terminal_features()
+        # Year-1 liability flows (paid at end of year 1): use the credited
+        # return realised on the outer paths.
+        credited_y1 = self.fund.credited_returns(outer)
+        mortalities, lapses = self._actuarial_shocks(n_outer, shock_rng)
+        # One child stream per outer scenario, keyed by scenario index.
+        seeds = chunk_seed_sequences(inner_master, n_outer)
+        return OuterStage(
+            scenarios=outer,
+            features=features,
+            outer_discount=outer_discount,
+            market_returns=market_returns,
+            credited_y1=credited_y1,
+            mortalities=mortalities,
+            lapses=lapses,
+            seeds=seeds,
+        )
+
+    def outer_asset_values(
+        self, stage: OuterStage, base_assets: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(outer_assets, year_one_flows)`` at ``t=1`` for a stage."""
+        year_one_flows = self._year_one_flows(
+            stage.credited_y1, stage.mortalities, stage.lapses
+        )
+        outer_assets = base_assets * (1.0 + stage.market_returns) - year_one_flows
+        return outer_assets, year_one_flows
+
+    def conditional_values(
+        self,
+        features: np.ndarray,
+        seeds: Sequence[np.random.SeedSequence],
+        mortalities: Sequence[MortalityModel],
+        lapses: Sequence[LapseModel],
+        n_inner: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Conditional values for an arbitrary subset of outer scenarios.
+
+        The subset (typically gathered from an :class:`OuterStage` by
+        index — the proxy tier's exact training/validation budget) is
+        chunked and dispatched through the engine's backend exactly like
+        the full workload in :meth:`run`.  Because each scenario's inner
+        stream is keyed by its own seed — not by its position in the
+        workload — the values returned here are bitwise equal to the
+        same scenarios' values inside a full :meth:`run`.
+
+        Returns ``(values, std_errors)`` in subset order.
+        """
+        chunks = partition(len(seeds), self.backend.chunk_size)
+        results = self._conditional_stage(
+            np.asarray(features, dtype=float),
+            list(seeds),
+            list(mortalities),
+            list(lapses),
+            n_inner,
+            chunks,
+        )
+        values = np.concatenate([v for v, _ in results])
+        std_errors = np.concatenate([s for _, s in results])
+        return values, std_errors
+
     def run(
         self,
         n_outer: int,
@@ -530,43 +670,32 @@ class NestedMonteCarloEngine:
         base_value = self.value_at_zero(n_inner, rng=base_rng)
         base_assets = 1.05 * base_value if initial_assets is None else initial_assets
 
-        outer = self._generator.generate(
-            n_outer, 1.0, outer_rng, steps_per_year=steps_per_year, measure="P"
+        stage = self.outer_stage(
+            n_outer, outer_rng, shock_rng, inner_master,
+            steps_per_year=steps_per_year,
         )
-        outer_discount = outer.discount_factors()[:, -1]
-        # Year-1 asset growth: the fund's market return over the outer year
-        # (the fund helpers subsample any grid that divides years evenly).
-        market_returns = self.fund.market_returns(outer)[:, 0]
-        features = outer.terminal_features()
-
-        # Year-1 liability flows (paid at end of year 1): use the credited
-        # return realised on the outer paths.
-        credited_y1 = self.fund.credited_returns(outer)
-        mortalities, lapses = self._actuarial_shocks(n_outer, shock_rng)
-
-        # One child stream per outer scenario, keyed by scenario index.
-        seeds = chunk_seed_sequences(inner_master, n_outer)
         chunks = partition(n_outer, self.backend.chunk_size)
         results = self._conditional_stage(
-            features, seeds, mortalities, lapses, n_inner, chunks,
-            chunk_store=chunk_store,
+            stage.features, stage.seeds, stage.mortalities, stage.lapses,
+            n_inner, chunks, chunk_store=chunk_store,
         )
         outer_values = np.concatenate([values for values, _ in results])
         inner_std = np.concatenate([std for _, std in results])
 
-        year_one_flows = self._year_one_flows(credited_y1, mortalities, lapses)
-        outer_assets = base_assets * (1.0 + market_returns) - year_one_flows
+        outer_assets, year_one_flows = self.outer_asset_values(
+            stage, base_assets
+        )
         return NestedResult(
             base_value=base_value,
             base_assets=base_assets,
             outer_values=outer_values,
             outer_assets=outer_assets,
-            outer_discount=outer_discount,
-            outer_states=outer.terminal_states(),
+            outer_discount=stage.outer_discount,
+            outer_states=stage.scenarios.terminal_states(),
             year_one_flows=year_one_flows,
             n_inner=n_inner,
             inner_std_error=inner_std,
-            outer_features=features,
+            outer_features=stage.features,
         )
 
     def _conditional_stage(
@@ -757,23 +886,17 @@ class NestedMonteCarloEngine:
         base_value = comm.bcast(base_value, root=0)
         base_assets = 1.05 * base_value if initial_assets is None else initial_assets
 
-        outer = self._generator.generate(
-            n_outer, 1.0, outer_rng, steps_per_year=steps_per_year, measure="P"
+        stage = self.outer_stage(
+            n_outer, outer_rng, shock_rng, inner_master,
+            steps_per_year=steps_per_year,
         )
-        outer_discount = outer.discount_factors()[:, -1]
-        market_returns = self.fund.market_returns(outer)[:, 0]
-        features = outer.terminal_features()
-        credited_y1 = self.fund.credited_returns(outer)
-        mortalities, lapses = self._actuarial_shocks(n_outer, shock_rng)
-
-        seeds = chunk_seed_sequences(inner_master, n_outer)
         chunks = partition(n_outer, self.backend.chunk_size)
         mine = [
             chunk for chunk in chunks if chunk.index % comm.size == comm.rank
         ]
         results = self._conditional_stage(
-            features, seeds, mortalities, lapses, n_inner, mine,
-            chunk_store=chunk_store,
+            stage.features, stage.seeds, stage.mortalities, stage.lapses,
+            n_inner, mine, chunk_store=chunk_store,
         )
         local = [
             (chunk.index, values, std)
@@ -795,17 +918,18 @@ class NestedMonteCarloEngine:
         outer_values = np.concatenate([values for _, values, _ in by_index])
         inner_std = np.concatenate([std for _, _, std in by_index])
 
-        year_one_flows = self._year_one_flows(credited_y1, mortalities, lapses)
-        outer_assets = base_assets * (1.0 + market_returns) - year_one_flows
+        outer_assets, year_one_flows = self.outer_asset_values(
+            stage, base_assets
+        )
         return NestedResult(
             base_value=base_value,
             base_assets=base_assets,
             outer_values=outer_values,
             outer_assets=outer_assets,
-            outer_discount=outer_discount,
-            outer_states=outer.terminal_states(),
+            outer_discount=stage.outer_discount,
+            outer_states=stage.scenarios.terminal_states(),
             year_one_flows=year_one_flows,
             n_inner=n_inner,
             inner_std_error=inner_std,
-            outer_features=features,
+            outer_features=stage.features,
         )

@@ -1,0 +1,61 @@
+"""The proxy-valuator contract.
+
+A proxy valuator learns the map from outer terminal state features to
+conditional liability values ``V_1`` from a *budget* of exact inner
+simulations, then evaluates that map on every remaining outer scenario
+for the cost of a matrix product.  Implementations must be deterministic
+at fixed hyperparameters: fitting the same ``(features, values)`` twice
+must produce bit-identical predictions, because the proxy tier's
+reproducibility contract rests on it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.ml.base import FloatArray
+
+__all__ = ["ProxyValuator", "proxy_from"]
+
+
+@runtime_checkable
+class ProxyValuator(Protocol):
+    """Fit/predict contract for inner-loop replacement proxies.
+
+    ``fit`` receives the outer-state feature matrix ``(n, d)`` of the
+    exact-budget scenarios and their exact conditional values ``(n,)``;
+    ``predict`` maps any feature matrix to conditional values.  ``name``
+    identifies the proxy in reports and the knowledge base.
+    """
+
+    name: str
+
+    def fit(self, features: FloatArray, values: FloatArray) -> object:
+        """Train on exact conditional values; returns are ignored."""
+        ...
+
+    def predict(self, features: FloatArray) -> FloatArray:
+        """Predicted conditional values for ``features`` of shape ``(m, d)``."""
+        ...
+
+
+def proxy_from(kind: str | ProxyValuator, seed: int = 0) -> ProxyValuator:
+    """Resolve a proxy-valuator spec.
+
+    ``kind`` may already be a :class:`ProxyValuator` (returned as is) or
+    one of the shipped kinds: ``"lsmc"`` (orthonormal-polynomial
+    regression, the ML-LSMC family) or ``"mlp"`` (neural-network
+    valuator).  ``seed`` feeds the stochastic trainers; the LSMC proxy
+    ignores it (its fit is a closed-form solve).
+    """
+    if not isinstance(kind, str):
+        return kind
+    # Imported here: the implementations import this module's protocol.
+    from repro.proxy.lsmc_proxy import LSMCProxyValuator
+    from repro.proxy.mlp_proxy import MLPProxyValuator
+
+    if kind == "lsmc":
+        return LSMCProxyValuator()
+    if kind == "mlp":
+        return MLPProxyValuator(seed=seed)
+    raise ValueError(f"unknown proxy kind {kind!r}; expected 'lsmc' or 'mlp'")

@@ -1,0 +1,313 @@
+"""The proxy SCR tier: exact inner simulations on a budget, proxy elsewhere.
+
+:class:`ProxySCREngine` reproduces the *outer* stage of a nested run bit
+for bit (same spawned streams, same scenario-index-keyed inner seeds as
+:meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.run` at the same
+seed), spends the exact inner-simulation budget on a deterministic,
+evenly spread subset of outer scenarios, trains a
+:class:`~repro.proxy.base.ProxyValuator` on part of that subset and
+validates it on the rest through the :class:`~repro.proxy.gate.ValidationGate`.
+
+On a gate pass, the remaining scenarios get proxy values — except the
+predicted *tail*: the SCR is a 99.5% loss quantile, so the scenarios
+that decide it are re-simulated exactly (Broadie-style adaptive
+allocation).  Every scenario's inner stream is keyed by its original
+index, not by when (or whether) the proxy tier decided to simulate it,
+so tail scenarios carry the exact tier's values bit for bit and the
+hybrid quantile typically *equals* the exact tier's.  On a gate breach
+the tier computes every scenario exactly — producing a result bitwise
+equal to the exact tier at the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.montecarlo.nested import (
+    NestedMonteCarloEngine,
+    NestedResult,
+    OuterStage,
+)
+from repro.montecarlo.quantile import empirical_quantile
+from repro.proxy.base import ProxyValuator, proxy_from
+from repro.proxy.gate import GateReport, ValidationGate
+from repro.stochastic.rng import generator_from, spawn_generators
+
+if TYPE_CHECKING:
+    from repro.ml.base import FloatArray
+
+__all__ = ["ProxyResult", "ProxySCREngine", "budget_indices"]
+
+
+def budget_indices(
+    n_outer: int, n_train: int, n_validation: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic train/validation scenario indices.
+
+    The exact budget is spread evenly over ``[0, n_outer)`` so it sees
+    the same outer-state range the proxy must later cover, and the
+    validation points are in turn spread evenly through the budget (they
+    interleave with the training points rather than clustering).  Pure
+    arithmetic — no RNG — so the split is a function of the three sizes
+    alone.
+    """
+    total = n_train + n_validation
+    if n_train <= 0 or n_validation <= 0:
+        raise ValueError("train and validation budgets must be positive")
+    if total > n_outer:
+        raise ValueError(
+            f"exact budget {total} exceeds n_outer={n_outer}"
+        )
+    budget = np.round(np.linspace(0, n_outer - 1, total)).astype(np.intp)
+    val_positions = np.round(np.linspace(0, total - 1, n_validation)).astype(np.intp)
+    val_mask = np.zeros(total, dtype=bool)
+    val_mask[val_positions] = True
+    return budget[~val_mask], budget[val_mask]
+
+
+@dataclass
+class ProxyResult:
+    """Output of a proxy-tier SCR run.
+
+    ``nested`` carries the hybrid (exact-budget + proxy) conditional
+    values in the standard :class:`~repro.montecarlo.nested.NestedResult`
+    shape, so every downstream consumer (SCR calculator, reports) works
+    unchanged.  ``fell_back`` marks a gate breach: ``nested`` then holds
+    exclusively exact values and is bitwise equal to the exact tier.
+    """
+
+    nested: NestedResult
+    gate: GateReport
+    fell_back: bool
+    proxy_name: str
+    train_indices: np.ndarray
+    validation_indices: np.ndarray
+    refined_indices: np.ndarray
+    n_exact_scenarios: int
+    n_exact_inner_sims: int
+    n_full_inner_sims: int
+
+    @property
+    def n_outer(self) -> int:
+        return self.nested.n_outer
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times fewer exact inner simulations than the exact tier."""
+        if self.n_exact_inner_sims <= 0:
+            return float("inf")
+        return self.n_full_inner_sims / self.n_exact_inner_sims
+
+    def own_funds_change(self) -> np.ndarray:
+        return self.nested.own_funds_change()
+
+
+class ProxySCREngine:
+    """Proxy tier around a :class:`~repro.montecarlo.nested.NestedMonteCarloEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The nested engine whose inner loop is being replaced; its
+        backend executes the exact-budget simulations.
+    valuator:
+        A :class:`~repro.proxy.base.ProxyValuator` or a kind string for
+        :func:`~repro.proxy.base.proxy_from` (``"lsmc"``/``"mlp"``).
+    n_train, n_validation:
+        Exact-budget split: scenarios simulated exactly for training and
+        for the held-out gate check.
+    gate:
+        The :class:`~repro.proxy.gate.ValidationGate`; ``None`` builds
+        one with ``tolerance``.
+    tolerance:
+        Gate tolerance used when ``gate`` is not supplied.
+    tail_z:
+        Width of the tail-refinement margin in units of the held-out
+        residual RMSE: every scenario whose predicted loss lies within
+        ``tail_z`` residual deviations of the predicted 99.5% threshold
+        is re-simulated exactly, so inner-noise can no longer promote a
+        proxy-valued scenario past the quantile unnoticed.  The RMSE is
+        itself inflated by the validation scenarios' inner noise, so the
+        default stays moderate; raise it (with ``tail_floor_multiple``)
+        when the outer set is small and the quantile rests on a handful
+        of order statistics.
+    tail_floor_multiple:
+        Lower bound on the refined set as a multiple of the expected
+        tail count ``(1 - level) * n_outer``.
+    """
+
+    def __init__(
+        self,
+        engine: NestedMonteCarloEngine,
+        valuator: ProxyValuator | str = "lsmc",
+        n_train: int = 64,
+        n_validation: int = 32,
+        gate: ValidationGate | None = None,
+        tolerance: float = 0.01,
+        proxy_seed: int = 0,
+        tail_z: float = 2.0,
+        tail_floor_multiple: float = 4.0,
+    ) -> None:
+        if tail_z < 0.0 or tail_floor_multiple < 0.0:
+            raise ValueError("tail_z and tail_floor_multiple must be >= 0")
+        self.engine = engine
+        self.valuator = proxy_from(valuator, seed=proxy_seed)
+        self.n_train = int(n_train)
+        self.n_validation = int(n_validation)
+        self.gate = gate if gate is not None else ValidationGate(tolerance=tolerance)
+        self.tail_z = float(tail_z)
+        self.tail_floor_multiple = float(tail_floor_multiple)
+
+    def run(
+        self,
+        n_outer: int,
+        n_inner: int,
+        rng: np.random.Generator | int | None = 0,
+        steps_per_year: int = 4,
+        initial_assets: float | None = None,
+    ) -> ProxyResult:
+        """Proxy-tier SCR simulation.
+
+        Mirrors :meth:`~repro.montecarlo.nested.NestedMonteCarloEngine.run`
+        argument for argument; at the same ``rng`` seed the outer stage
+        (scenarios, actuarial shocks, inner seed streams, ``V_0``) is
+        bitwise identical to the exact tier's.
+        """
+        if n_outer <= 0 or n_inner <= 0:
+            raise ValueError("n_outer and n_inner must be positive")
+        rng = generator_from(rng)
+        outer_rng, inner_master, shock_rng, base_rng = spawn_generators(rng, 4)
+
+        base_value = self.engine.value_at_zero(n_inner, rng=base_rng)
+        base_assets = (
+            1.05 * base_value if initial_assets is None else initial_assets
+        )
+        stage = self.engine.outer_stage(
+            n_outer, outer_rng, shock_rng, inner_master,
+            steps_per_year=steps_per_year,
+        )
+        outer_assets, year_one_flows = self.engine.outer_asset_values(
+            stage, base_assets
+        )
+
+        train_idx, val_idx = budget_indices(
+            n_outer, self.n_train, self.n_validation
+        )
+        budget_idx = np.sort(np.concatenate([train_idx, val_idx]))
+        exact_values = np.full(n_outer, np.nan)
+        exact_std = np.zeros(n_outer)
+        values, std = self._exact_subset(stage, budget_idx, n_inner)
+        exact_values[budget_idx] = values
+        exact_std[budget_idx] = std
+
+        self.valuator.fit(stage.features[train_idx], exact_values[train_idx])
+        proxy_val = np.asarray(
+            self.valuator.predict(stage.features[val_idx]), dtype=float
+        )
+
+        bof0 = base_assets - base_value
+
+        def subset_losses(vals: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            return bof0 - stage.outer_discount[idx] * (outer_assets[idx] - vals)
+
+        gate_report = self.gate.evaluate(
+            subset_losses(exact_values[val_idx], val_idx),
+            subset_losses(proxy_val, val_idx),
+        )
+
+        outer_values = np.empty(n_outer)
+        outer_values[budget_idx] = exact_values[budget_idx]
+        rest = np.setdiff1d(np.arange(n_outer), budget_idx, assume_unique=True)
+        n_exact = len(budget_idx)
+        refined = np.empty(0, dtype=np.intp)
+        if gate_report.breached and len(rest):
+            rest_values, rest_std = self._exact_subset(stage, rest, n_inner)
+            outer_values[rest] = rest_values
+            exact_std[rest] = rest_std
+            n_exact = n_outer
+        elif len(rest):
+            outer_values[rest] = np.asarray(
+                self.valuator.predict(stage.features[rest]), dtype=float
+            )
+            refined = self._tail_refinement(
+                subset_losses(outer_values, np.arange(n_outer)), rest, gate_report
+            )
+            if len(refined):
+                tail_values, tail_std = self._exact_subset(
+                    stage, refined, n_inner
+                )
+                outer_values[refined] = tail_values
+                exact_std[refined] = tail_std
+                n_exact += len(refined)
+
+        nested = NestedResult(
+            base_value=base_value,
+            base_assets=base_assets,
+            outer_values=outer_values,
+            outer_assets=outer_assets,
+            outer_discount=stage.outer_discount,
+            outer_states=stage.scenarios.terminal_states(),
+            year_one_flows=year_one_flows,
+            n_inner=n_inner,
+            inner_std_error=exact_std,
+            outer_features=stage.features,
+        )
+        return ProxyResult(
+            nested=nested,
+            gate=gate_report,
+            fell_back=bool(gate_report.breached),
+            proxy_name=self.valuator.name,
+            train_indices=train_idx,
+            validation_indices=val_idx,
+            refined_indices=refined,
+            n_exact_scenarios=n_exact,
+            n_exact_inner_sims=n_exact * n_inner,
+            n_full_inner_sims=n_outer * n_inner,
+        )
+
+    def _tail_refinement(
+        self,
+        hybrid_losses: np.ndarray,
+        candidates: np.ndarray,
+        gate_report: GateReport,
+    ) -> np.ndarray:
+        """Scenario indices whose proxy value must be replaced exactly.
+
+        A scenario is refined when its predicted loss lies within
+        ``tail_z`` held-out residual deviations of the predicted SCR
+        threshold — those are the scenarios whose (noisy) exact loss
+        could plausibly cross the quantile.  A floor of
+        ``tail_floor_multiple`` times the expected tail count keeps the
+        refined set meaningful when the residuals are tiny.  Only
+        ``candidates`` (proxy-valued scenarios) are returned; the
+        selection is pure arithmetic on deterministic inputs.
+        """
+        n_outer = len(hybrid_losses)
+        threshold = empirical_quantile(hybrid_losses, self.gate.level)
+        sigma = gate_report.rmse * gate_report.scale
+        margin_set = candidates[
+            hybrid_losses[candidates] >= threshold - self.tail_z * sigma
+        ]
+        floor = int(
+            np.ceil(self.tail_floor_multiple * (1.0 - self.gate.level) * n_outer)
+        )
+        if len(margin_set) >= floor or not len(candidates):
+            return np.sort(margin_set)
+        order = np.argsort(hybrid_losses[candidates], kind="stable")
+        top = candidates[order[-min(floor, len(candidates)):]]
+        return np.sort(np.union1d(margin_set, top))
+
+    def _exact_subset(
+        self, stage: OuterStage, indices: "FloatArray | np.ndarray", n_inner: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact conditional values for a subset of the stage's scenarios."""
+        return self.engine.conditional_values(
+            stage.features[indices],
+            [stage.seeds[int(i)] for i in indices],
+            [stage.mortalities[int(i)] for i in indices],
+            [stage.lapses[int(i)] for i in indices],
+            n_inner,
+        )

@@ -1,0 +1,136 @@
+"""Validation gate: exact-vs-proxy error bound on held-out scenarios.
+
+The proxy tier never trusts a proxy blindly: part of the exact budget is
+held out of training, and the gate compares exact and proxy own-funds
+losses on that held-out set.  If the observed error exceeds the
+tolerance the tier *falls back* to exact valuation — accuracy degrades
+to cost, never to a wrong SCR — and the breach is recorded in the
+knowledge base (like the fault-runtime's ``degraded`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.montecarlo.quantile import empirical_quantile
+
+__all__ = ["GateReport", "ValidationGate"]
+
+#: Gate metrics: ``quantile`` compares the held-out loss quantiles
+#: (direct proxy for the SCR error), ``worst`` bounds the largest
+#: per-scenario loss error (stricter; dominated by inner MC noise at
+#: small ``n_inner``).
+GATE_METRICS = ("quantile", "worst")
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of one validation-gate evaluation.
+
+    All error figures are relative to ``scale`` — the magnitude of the
+    held-out exact loss quantile, floored to keep near-zero SCRs from
+    exploding the ratio.
+    """
+
+    breached: bool
+    metric: str
+    relative_error: float
+    tolerance: float
+    exact_quantile: float
+    proxy_quantile: float
+    quantile_error: float
+    worst_error: float
+    rmse: float
+    scale: float
+    n_validation: int
+    level: float
+
+    def describe(self) -> str:
+        status = "BREACH" if self.breached else "pass"
+        return (
+            f"gate[{self.metric}] {status}: "
+            f"error {self.relative_error:.3%} vs tolerance {self.tolerance:.3%} "
+            f"(quantile {self.quantile_error:.3%}, worst {self.worst_error:.3%}, "
+            f"rmse {self.rmse:.3%}; n_val={self.n_validation})"
+        )
+
+
+class ValidationGate:
+    """Accept or reject a fitted proxy on held-out exact scenarios.
+
+    Parameters
+    ----------
+    tolerance:
+        Maximum accepted relative error of the chosen ``metric``.
+    level:
+        Quantile level of the loss comparison (the SCR level).
+    metric:
+        ``"quantile"`` (default) gates on the relative difference of the
+        held-out exact and proxy loss quantiles; ``"worst"`` gates on
+        the largest per-scenario loss error.
+    scale_floor:
+        Lower bound on the normalising scale, as a fraction of the
+        held-out losses' standard deviation — guards the division when
+        the loss quantile is near zero.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = 0.01,
+        level: float = 0.995,
+        metric: str = "quantile",
+        scale_floor: float = 0.1,
+    ) -> None:
+        if tolerance <= 0.0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        if metric not in GATE_METRICS:
+            raise ValueError(
+                f"metric must be one of {GATE_METRICS}, got {metric!r}"
+            )
+        if scale_floor < 0.0:
+            raise ValueError(f"scale_floor must be >= 0, got {scale_floor}")
+        self.tolerance = float(tolerance)
+        self.level = float(level)
+        self.metric = metric
+        self.scale_floor = float(scale_floor)
+
+    def evaluate(
+        self, exact_losses: np.ndarray, proxy_losses: np.ndarray
+    ) -> GateReport:
+        """Compare exact and proxy losses on the same held-out scenarios."""
+        exact_losses = np.asarray(exact_losses, dtype=float)
+        proxy_losses = np.asarray(proxy_losses, dtype=float)
+        if exact_losses.shape != proxy_losses.shape or exact_losses.ndim != 1:
+            raise ValueError(
+                "exact and proxy losses must be 1-D arrays of equal length, "
+                f"got {exact_losses.shape} and {proxy_losses.shape}"
+            )
+        if len(exact_losses) < 2:
+            raise ValueError("gate needs at least two held-out scenarios")
+        exact_q = empirical_quantile(exact_losses, self.level)
+        proxy_q = empirical_quantile(proxy_losses, self.level)
+        spread = float(exact_losses.std())
+        scale = max(abs(exact_q), self.scale_floor * spread, 1e-12)
+        diff = proxy_losses - exact_losses
+        quantile_error = abs(proxy_q - exact_q) / scale
+        worst_error = float(np.max(np.abs(diff))) / scale
+        rmse = float(np.sqrt(np.mean(diff**2))) / scale
+        observed = quantile_error if self.metric == "quantile" else worst_error
+        return GateReport(
+            breached=bool(observed > self.tolerance),
+            metric=self.metric,
+            relative_error=float(observed),
+            tolerance=self.tolerance,
+            exact_quantile=float(exact_q),
+            proxy_quantile=float(proxy_q),
+            quantile_error=float(quantile_error),
+            worst_error=worst_error,
+            rmse=rmse,
+            scale=float(scale),
+            n_validation=int(len(exact_losses)),
+            level=self.level,
+        )

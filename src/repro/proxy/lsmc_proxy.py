@@ -1,0 +1,77 @@
+"""ML-LSMC regression proxy.
+
+Extends the orthonormal-polynomial basis machinery of
+:mod:`repro.montecarlo.lsmc` into a standalone
+:class:`~repro.proxy.base.ProxyValuator`: where :class:`~repro.montecarlo.lsmc.LSMCEngine`
+owns its own calibration nested run, this valuator is fit on whatever
+exact budget the proxy tier hands it — which is what lets the
+:class:`~repro.proxy.gate.ValidationGate` hold out part of that budget
+for an out-of-sample check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import FloatArray, NotFittedError
+from repro.montecarlo.lsmc import LSMCEngine, PolynomialBasis
+
+__all__ = ["LSMCProxyValuator"]
+
+
+class LSMCProxyValuator:
+    """Ridge regression on an orthonormal polynomial basis.
+
+    The polynomial degree is reduced automatically when the training
+    budget is too small to support it (at least two samples per basis
+    term, the same guard :class:`~repro.montecarlo.lsmc.LSMCEngine`
+    applies): an over-parameterised proxy extrapolates catastrophically
+    on fresh outer states.  Fitting is a closed-form linear solve — no
+    randomness — so the proxy is trivially deterministic.
+    """
+
+    name = "lsmc"
+
+    def __init__(self, degree: int = 2, ridge: float = 1e-8) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if ridge < 0.0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.degree = int(degree)
+        self.ridge = float(ridge)
+        self._basis: PolynomialBasis | None = None
+        self._coefficients: FloatArray | None = None
+
+    @property
+    def fitted_degree(self) -> int:
+        """Degree actually used after budget-driven reduction."""
+        if self._basis is None:
+            raise NotFittedError("proxy must be fitted first")
+        return self._basis.degree
+
+    def fit(self, features: FloatArray, values: FloatArray) -> "LSMCProxyValuator":
+        features = np.asarray(features, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if len(features) != len(values):
+            raise ValueError(
+                f"{len(features)} feature rows but {len(values)} values"
+            )
+        n_samples, n_features = features.shape
+        degree = self.degree
+        while degree > 1 and 2 * LSMCEngine._n_terms(n_features, degree) > n_samples:
+            degree -= 1
+        basis = PolynomialBasis(degree)
+        design = basis.fit(features)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._coefficients = np.linalg.solve(gram, design.T @ values)
+        self._basis = basis
+        return self
+
+    def predict(self, features: FloatArray) -> FloatArray:
+        if self._basis is None or self._coefficients is None:
+            raise NotFittedError("proxy must be fitted before predict")
+        design = self._basis.transform(np.asarray(features, dtype=float))
+        result: FloatArray = design @ self._coefficients
+        return result

@@ -12,6 +12,23 @@ from repro.stochastic.scenario import RiskDriverSpec, ScenarioGenerator
 from repro.workload.campaign import Campaign, CampaignGenerator
 
 
+_TIER_MARKERS = ("tier1", "tier2", "nightly")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Every test carries exactly one tier marker.
+
+    Unmarked tests default to ``tier1`` (the fast always-on gate);
+    slower tests opt into ``tier2`` or ``nightly`` explicitly.  The
+    default keeps ``-m tier1`` meaningful without touching every test
+    module.
+    """
+    del config
+    for item in items:
+        if not any(item.get_closest_marker(m) for m in _TIER_MARKERS):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

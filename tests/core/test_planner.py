@@ -97,3 +97,91 @@ class TestAcceleration:
         plan = planner.plan(workloads, 1e9, budget_usd=1e9)
         text = plan.summary()
         assert "Season plan: 6 runs" in text
+
+
+class TestTierPlanner:
+    """Algorithm 1's tier axis: time AND error, per tier."""
+
+    @pytest.fixture
+    def tier_planner(self):
+        from repro.core.planner import TierPlanner
+
+        return TierPlanner(
+            seconds_per_inner_sim=1e-3,
+            overhead_seconds=1.0,
+            gate_tolerance=0.02,
+            n_train=64,
+            n_validation=32,
+            mlmc_base_inner=4,
+            mlmc_levels=2,
+        )
+
+    def test_prices_every_tier(self, tier_planner):
+        choices = tier_planner.evaluate_all(
+            4096, 256, tmax_seconds=3600.0, error_tolerance=0.05
+        )
+        assert [c.tier for c in choices] == ["exact", "proxy", "mlmc"]
+        by_tier = {c.tier: c for c in choices}
+        assert by_tier["exact"].inner_sims == 4096 * 256
+        assert by_tier["proxy"].inner_sims == 96 * 256
+        for choice in choices:
+            assert choice.predicted_seconds == pytest.approx(
+                1.0 + choice.inner_sims * 1e-3
+            )
+            assert choice.predicted_error > 0.0
+
+    def test_selects_cheapest_admissible_tier(self, tier_planner):
+        # Loose tolerance: the proxy tier is both admissible and by far
+        # the cheapest, so the planner must pick it.
+        choice = tier_planner.select(
+            4096, 256, tmax_seconds=3600.0, error_tolerance=0.08
+        )
+        assert choice.tier == "proxy"
+        assert choice.feasible and choice.accurate
+
+    def test_tight_tolerance_forces_the_exact_tier(self, tier_planner):
+        # Below the gate tolerance + outer noise, only exact qualifies.
+        choice = tier_planner.select(
+            4096, 256, tmax_seconds=3600.0, error_tolerance=0.025
+        )
+        assert choice.tier == "exact"
+
+    def test_accuracy_wins_over_the_deadline(self, tier_planner):
+        # No tier fits in one second; the planner refuses to trade
+        # accuracy for the deadline and returns the lowest-error tier.
+        choice = tier_planner.select(
+            4096, 256, tmax_seconds=1.0, error_tolerance=0.025
+        )
+        assert not choice.feasible
+        assert choice.tier == "exact"
+
+    def test_apply_writes_the_priced_configuration(self, tier_planner):
+        from dataclasses import replace
+
+        from repro.disar.eeb import SimulationSettings
+
+        settings = SimulationSettings(n_outer=4096, n_inner=256, use_lsmc=False)
+        proxy = tier_planner.select(4096, 256, 3600.0, 0.08)
+        applied = tier_planner.apply(settings, proxy)
+        assert applied.tier == "proxy"
+        assert applied.proxy_train == 64
+        assert applied.proxy_validation == 32
+        assert applied.proxy_tolerance == 0.02
+        mlmc_choice = replace(proxy, tier="mlmc")
+        applied = tier_planner.apply(settings, mlmc_choice)
+        assert applied.tier == "mlmc"
+        assert applied.mlmc_levels == 2
+        assert applied.mlmc_base_inner == 4
+        exact_choice = replace(proxy, tier="exact")
+        assert tier_planner.apply(settings, exact_choice).tier == "exact"
+
+    def test_validation(self, tier_planner):
+        from repro.core.planner import TierPlanner
+
+        with pytest.raises(ValueError):
+            TierPlanner(seconds_per_inner_sim=0.0)
+        with pytest.raises(ValueError):
+            TierPlanner(seconds_per_inner_sim=1e-3, overhead_seconds=-1.0)
+        with pytest.raises(ValueError):
+            tier_planner.evaluate_all(256, 16, tmax_seconds=0.0,
+                                      error_tolerance=0.05)

@@ -9,7 +9,6 @@ the SCR inputs.
 """
 
 import json
-import os
 from pathlib import Path
 
 import numpy as np
@@ -30,18 +29,6 @@ from repro.runtime import RunCheckpoint
 from repro.workload.portfolio_gen import PortfolioGenerator
 
 CHUNK = 4  # several chunks even at the tiny test sizes
-
-_N_CORES = os.cpu_count() or 1
-#: Worker-count-sensitive assertions need real parallel workers; on a
-#: single-core host the pool's processes run sequentially and such
-#: assertions would pass vacuously — skip them with an explicit reason
-#: instead.
-needs_multicore = pytest.mark.skipif(
-    _N_CORES < 2,
-    reason=f"host has {_N_CORES} CPU core(s); process-pool workers run "
-    "sequentially, so this worker-count-sensitive test would pass "
-    "vacuously",
-)
 
 
 @pytest.fixture(scope="module")
@@ -187,10 +174,11 @@ class TestRankRoutedBitIdentity:
         )
         assert_nested_equal(reference, results[0])
 
-    @needs_multicore
     def test_run_distributed_with_process_pool_backend(self, portfolio):
-        # Each rank drives its own process pool: genuine nested
-        # parallelism, meaningful only with real cores underneath.
+        # Each rank drives its own process pool: nested parallelism.
+        # The worker count is pinned, so the determinism assertion holds
+        # on any host (CI additionally sets REPRO_EXEC_WORKERS=2 so
+        # env-defaulted pools exercise real spread on 1-core runners).
         reference = make_engine(
             portfolio, ChunkedVectorBackend(chunk_size=CHUNK)
         ).run(10, 6, rng=11)

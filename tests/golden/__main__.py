@@ -1,0 +1,81 @@
+"""Golden-corpus maintenance entry point.
+
+``python -m tests.golden --update`` regenerates ``golden_scr.json`` from
+the current code (commit the diff deliberately); ``--check`` recomputes
+every case on every backend and exits non-zero on any mismatch, so CI
+refuses silent drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tests.golden import (
+    BACKENDS,
+    GOLDEN_PATH,
+    case_key,
+    compare_case,
+    compute_corpus,
+    compute_scr,
+    load_corpus,
+    save_corpus,
+)
+
+
+def _update() -> int:
+    save_corpus(compute_corpus())
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+def _check() -> int:
+    if not GOLDEN_PATH.exists():
+        print(f"missing corpus {GOLDEN_PATH}; run --update", file=sys.stderr)
+        return 1
+    corpus = load_corpus()
+    failures = 0
+    for key, expected in sorted(corpus.items()):
+        for backend in BACKENDS:
+            observed = compute_scr(
+                expected["tier"], expected["seed"], backend=backend
+            )
+            message = compare_case(expected, observed)
+            if message is not None:
+                failures += 1
+                print(f"FAIL {key} [{backend}]: {message}", file=sys.stderr)
+    expected_keys = {
+        case_key(entry["tier"], entry["seed"]) for entry in corpus.values()
+    }
+    if expected_keys != set(corpus):
+        failures += 1
+        print("corpus keys are inconsistent with their entries", file=sys.stderr)
+    if failures:
+        print(
+            f"{failures} golden mismatch(es); if the change is intended, "
+            "regenerate with `python -m tests.golden --update` and commit "
+            "the diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"golden corpus OK ({len(corpus)} cases x {len(BACKENDS)} backends)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tests.golden")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--update", action="store_true",
+        help="regenerate golden_scr.json from the current code",
+    )
+    group.add_argument(
+        "--check", action="store_true",
+        help="recompute every case and fail on any drift",
+    )
+    args = parser.parse_args(argv)
+    return _update() if args.update else _check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

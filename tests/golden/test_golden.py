@@ -1,0 +1,43 @@
+"""The pinned corpus must reproduce on every backend."""
+
+import pytest
+
+from tests.golden import (
+    BACKENDS,
+    GOLDEN_PATH,
+    SEEDS,
+    TIERS,
+    case_key,
+    compare_case,
+    compute_scr,
+    load_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    assert GOLDEN_PATH.exists(), (
+        "golden corpus missing; regenerate with `python -m tests.golden --update`"
+    )
+    return load_corpus()
+
+
+def test_corpus_covers_the_full_grid(corpus):
+    assert set(corpus) == {
+        case_key(tier, seed) for tier in TIERS for seed in SEEDS
+    }
+    for entry in corpus.values():
+        # The stored hex must decode to the stored float — a hand-edited
+        # corpus fails here before any simulation runs.
+        assert float.fromhex(entry["scr_hex"]) == entry["scr"]
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("tier", TIERS)
+def test_case_reproduces(corpus, tier, seed, backend):
+    expected = corpus[case_key(tier, seed)]
+    observed = compute_scr(tier, seed, backend=backend)
+    message = compare_case(expected, observed)
+    assert message is None, f"{tier}/seed{seed} on {backend}: {message}"

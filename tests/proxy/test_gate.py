@@ -1,0 +1,79 @@
+"""Unit tests for the validation gate."""
+
+import numpy as np
+import pytest
+
+from repro.proxy.gate import GATE_METRICS, ValidationGate
+
+
+def _losses(seed: int = 0, n: int = 64):
+    rng = np.random.default_rng(seed)
+    return rng.normal(loc=1000.0, scale=300.0, size=n)
+
+
+class TestValidationGateConstruction:
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            ValidationGate(tolerance=0.0)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            ValidationGate(level=1.0)
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            ValidationGate(metric="mse")
+
+    def test_rejects_negative_scale_floor(self):
+        with pytest.raises(ValueError):
+            ValidationGate(scale_floor=-0.1)
+
+
+class TestValidationGateEvaluate:
+    def test_perfect_proxy_passes(self):
+        exact = _losses()
+        report = ValidationGate(tolerance=0.01).evaluate(exact, exact.copy())
+        assert not report.breached
+        assert report.relative_error == 0.0
+        assert report.rmse == 0.0
+        assert report.n_validation == len(exact)
+
+    def test_large_quantile_shift_breaches(self):
+        exact = _losses()
+        report = ValidationGate(tolerance=0.01).evaluate(exact, exact * 1.5)
+        assert report.breached
+        assert report.relative_error > 0.01
+
+    def test_worst_metric_is_stricter_than_quantile(self):
+        exact = _losses()
+        proxy = exact.copy()
+        # Corrupt the smallest scenario by less than its distance to the
+        # maximum: the top order statistic (the 99.5% quantile of 64
+        # samples) is untouched, but the worst per-scenario error is large.
+        proxy[np.argmin(exact)] += 400.0
+        quantile = ValidationGate(tolerance=0.01, metric="quantile")
+        worst = ValidationGate(tolerance=0.01, metric="worst")
+        assert not quantile.evaluate(exact, proxy).breached
+        assert worst.evaluate(exact, proxy).breached
+
+    def test_report_carries_both_error_figures(self):
+        exact = _losses()
+        report = ValidationGate(tolerance=0.5).evaluate(exact, exact * 1.1)
+        assert report.metric in GATE_METRICS
+        assert report.worst_error >= report.quantile_error >= 0.0
+        assert report.scale > 0.0
+        assert "gate[quantile]" in report.describe()
+
+    def test_scale_floor_guards_near_zero_quantiles(self):
+        exact = _losses() - np.quantile(_losses(), 0.995)  # quantile ~ 0
+        report = ValidationGate(tolerance=0.01).evaluate(exact, exact + 1e-9)
+        assert np.isfinite(report.relative_error)
+        assert report.scale >= 0.1 * exact.std() * 0.999
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ValidationGate().evaluate(np.zeros(4), np.zeros(5))
+
+    def test_rejects_single_scenario(self):
+        with pytest.raises(ValueError):
+            ValidationGate().evaluate(np.zeros(1), np.zeros(1))

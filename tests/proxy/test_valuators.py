@@ -1,0 +1,81 @@
+"""Unit tests for the proxy valuators and the valuator registry."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.proxy.base import ProxyValuator, proxy_from
+from repro.proxy.lsmc_proxy import LSMCProxyValuator
+from repro.proxy.mlp_proxy import MLPProxyValuator
+
+
+def _toy_regression(n: int = 64, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 3))
+    values = (
+        2.0 + features @ np.array([1.5, -0.7, 0.3]) + 0.2 * features[:, 0] ** 2
+    )
+    return features, values
+
+
+class TestProxyFrom:
+    def test_resolves_kind_strings(self):
+        assert isinstance(proxy_from("lsmc"), LSMCProxyValuator)
+        assert isinstance(proxy_from("mlp"), MLPProxyValuator)
+
+    def test_passes_instances_through(self):
+        valuator = LSMCProxyValuator(degree=4)
+        assert proxy_from(valuator) is valuator
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown proxy"):
+            proxy_from("forest")
+
+    def test_valuators_satisfy_protocol(self):
+        assert isinstance(LSMCProxyValuator(), ProxyValuator)
+        assert isinstance(MLPProxyValuator(), ProxyValuator)
+
+
+class TestLSMCProxyValuator:
+    def test_fits_a_polynomial_relationship(self):
+        features, values = _toy_regression()
+        valuator = LSMCProxyValuator(degree=2)
+        predicted = valuator.fit(features, values).predict(features)
+        assert np.allclose(predicted, values, rtol=1e-6, atol=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LSMCProxyValuator().predict(np.zeros((2, 3)))
+
+    def test_degree_reduces_when_samples_are_scarce(self):
+        features, values = _toy_regression(n=8)
+        valuator = LSMCProxyValuator(degree=5)
+        valuator.fit(features, values)
+        assert valuator.fitted_degree < 5
+
+    def test_refit_is_deterministic(self):
+        features, values = _toy_regression()
+        one = LSMCProxyValuator(degree=3).fit(features, values).predict(features)
+        two = LSMCProxyValuator(degree=3).fit(features, values).predict(features)
+        assert np.array_equal(one, two)
+
+
+class TestMLPProxyValuator:
+    def test_refit_is_bit_deterministic(self):
+        # fit() builds a fresh network from the stored hyperparameters
+        # and seed, so refitting the same data reproduces every bit.
+        features, values = _toy_regression()
+        valuator = MLPProxyValuator(epochs=50, seed=9)
+        one = valuator.fit(features, values).predict(features)
+        two = valuator.fit(features, values).predict(features)
+        assert np.array_equal(one, two)
+
+    def test_distinct_seeds_give_distinct_fits(self):
+        features, values = _toy_regression()
+        one = MLPProxyValuator(epochs=50, seed=0).fit(features, values).predict(features)
+        two = MLPProxyValuator(epochs=50, seed=1).fit(features, values).predict(features)
+        assert not np.array_equal(one, two)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MLPProxyValuator().predict(np.zeros((2, 3)))

@@ -90,8 +90,10 @@ class TestBenchNested:
         assert args.tolerance == 0.25
         assert args.chunk_size == 8
         assert args.value_chunk_size == 64
-        assert args.outer == 256
-        assert args.json_out == "BENCH_nested.json"
+        # Size and JSON-path defaults are per-target (nested vs proxy),
+        # so the parser leaves them unset.
+        assert args.outer is None
+        assert args.json_out is None
         assert not args.smoke
 
     def test_smoke_run_writes_json_report(self, capsys, tmp_path):
