@@ -26,7 +26,16 @@ package enforces those invariants statically on every PR:
   global-``random`` bans);
 - :mod:`repro.analysis.rules.concurrency` — the ``CONC`` pack (lock
   discipline, shared mutable class state, unbounded threads in the
-  comm/runtime layers).
+  comm/runtime layers);
+- :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow` — the
+  flow-sensitive substrate: per-function control-flow graphs with
+  exceptional edges and a generic forward/backward fixpoint solver;
+- :mod:`repro.analysis.rules.resources` — the ``RES`` pack
+  (CFG-backed release-on-every-path leak detection, atomic-write
+  discipline, exception-masking ``finally`` blocks);
+- :mod:`repro.analysis.rules.numerics` — the ``NUM`` pack
+  (low-precision dtypes, float equality, set-order and chunk-fusion
+  reduction nondeterminism on the SCR path).
 
 Cross-module rules read the whole-program model of
 :mod:`repro.analysis.project` (module/import graph, call-graph
@@ -42,6 +51,14 @@ Run it as ``repro lint [paths]`` or through
 finding in ``src/repro``.
 """
 
+from repro.analysis.cfg import CFG, build_cfg, function_cfg
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    GenKillProblem,
+    solve,
+    solve_closure,
+)
 from repro.analysis.engine import (
     AnalysisEngine,
     FileRule,
@@ -69,7 +86,9 @@ from repro.analysis.rules import (
     consistency_rules,
     default_rules,
     determinism_rules,
+    numerics_rules,
     perf_rules,
+    resources_rules,
     robustness_rules,
     seeding_rules,
 )
@@ -100,4 +119,14 @@ __all__ = [
     "architecture_rules",
     "seeding_rules",
     "concurrency_rules",
+    "resources_rules",
+    "numerics_rules",
+    "CFG",
+    "build_cfg",
+    "function_cfg",
+    "DataflowProblem",
+    "DataflowResult",
+    "GenKillProblem",
+    "solve",
+    "solve_closure",
 ]

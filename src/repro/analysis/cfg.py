@@ -1,0 +1,618 @@
+"""Per-function control-flow graphs for the dataflow rule packs.
+
+The AST rule packs reason about *statements*; the RES/NUM packs reason
+about *paths* — "is ``slab.unlink()`` reached on the exception path?"
+cannot be answered by a visitor.  This module builds a statement-level
+CFG for any statement list (a function body, a module body):
+
+- every simple statement becomes one node; compound statements
+  contribute a *header* node (the ``if``/``while`` test, the ``for``
+  iterable, the ``with`` items, the ``match`` subject) plus the nodes of
+  their bodies;
+- edges carry a kind: ``normal`` for fall-through/branching control
+  flow, ``exception`` for exceptional propagation.  Every node inside a
+  ``try`` body gets exception edges to its handlers (and, unmatched,
+  onward through the ``finally`` to the enclosing context or the
+  synthetic ``<raise>`` exit);
+- ``break``/``continue``/``return`` are routed through every enclosing
+  ``finally`` they traverse.  Like CPython's compiler, traversed
+  ``finally`` bodies are *duplicated* per continuation kind, so each
+  path through a finally is explicit in the graph and path-sensitive
+  analyses need no special cases;
+- two synthetic terminals close the graph: ``<exit>`` (normal return)
+  and ``<raise>`` (exceptional function exit).  Unreachable statements
+  still get nodes — they simply have no predecessors.
+
+The graph is deliberately conservative where static knowledge ends:
+``while True`` loops get no false-exit edge (their ``else`` is
+unreachable), but any other test is assumed to go both ways.  Nested
+``def``/``class`` statements are single nodes — their bodies are
+separate scopes with their own CFGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CFGNode",
+    "CFGEdge",
+    "CFG",
+    "build_cfg",
+    "function_cfg",
+]
+
+#: Edge kinds.
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """One directed control-flow edge between node indices."""
+
+    src: int
+    dst: int
+    kind: str = NORMAL
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement occurrence or a synthetic terminal.
+
+    The same AST statement can back several nodes (``finally`` bodies
+    are duplicated per traversing continuation), so identity is the
+    node *index*, not the statement.
+    """
+
+    index: int
+    stmt: ast.stmt | None
+    kind: str  # "entry" | "exit" | "raise" | "stmt"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def label(self) -> str:
+        """Stable human-readable label used by the golden edge lists."""
+        if self.kind != "stmt":
+            return f"<{self.kind}>"
+        assert self.stmt is not None
+        return f"{type(self.stmt).__name__}@{self.stmt.lineno}"
+
+
+class CFG:
+    """The control-flow graph of one statement list."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: list[CFGNode] = []
+        self.edges: list[CFGEdge] = []
+        self._succs: dict[int, list[CFGEdge]] = {}
+        self._preds: dict[int, list[CFGEdge]] = {}
+        self.entry = self._add_node(None, "entry")
+        self.exit = self._add_node(None, "exit")
+        self.raise_exit = self._add_node(None, "raise")
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_node(self, stmt: ast.stmt | None, kind: str) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, stmt=stmt, kind=kind))
+        return index
+
+    def _add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        for existing in self._succs.get(src, ()):
+            if existing.dst == dst and existing.kind == kind:
+                return
+        edge = CFGEdge(src, dst, kind)
+        self.edges.append(edge)
+        self._succs.setdefault(src, []).append(edge)
+        self._preds.setdefault(dst, []).append(edge)
+
+    # -- queries ---------------------------------------------------------------
+
+    def successors(self, index: int) -> list[CFGEdge]:
+        return self._succs.get(index, [])
+
+    def predecessors(self, index: int) -> list[CFGEdge]:
+        return self._preds.get(index, [])
+
+    @property
+    def exit_points(self) -> tuple[int, int]:
+        """Both terminals: the normal exit and the raise exit."""
+        return (self.exit, self.raise_exit)
+
+    def stmt_nodes(self) -> list[CFGNode]:
+        return [node for node in self.nodes if node.kind == "stmt"]
+
+    def nodes_for(self, stmt: ast.stmt) -> list[int]:
+        """Every node occurrence of ``stmt`` (finally bodies duplicate)."""
+        return [
+            node.index for node in self.nodes if node.stmt is stmt
+        ]
+
+    def reachable(self) -> set[int]:
+        """Node indices reachable from the entry (any edge kind)."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            for edge in self.successors(current):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen
+
+    def edge_list(self) -> list[str]:
+        """Deterministic ``src -> dst [kind]`` lines for golden tests.
+
+        Labels are statement type + line; an occurrence counter
+        disambiguates duplicated finally statements.
+        """
+        occurrence: dict[int, str] = {}
+        seen_labels: dict[str, int] = {}
+        for node in self.nodes:
+            base = node.label()
+            count = seen_labels.get(base, 0)
+            seen_labels[base] = count + 1
+            occurrence[node.index] = base if count == 0 else f"{base}#{count}"
+        lines = []
+        for edge in self.edges:
+            suffix = "" if edge.kind == NORMAL else f" [{edge.kind}]"
+            lines.append(
+                f"{occurrence[edge.src]} -> {occurrence[edge.dst]}{suffix}"
+            )
+        return lines
+
+
+# -- builder ----------------------------------------------------------------------
+
+
+@dataclass
+class _Loop:
+    """An enclosing loop: where ``break``/``continue`` jump to."""
+
+    continue_target: int
+    break_sources: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _TryLevel:
+    """One enclosing ``try`` whose protected region we are inside.
+
+    ``handler_heads`` is ``None`` once we moved from the body into a
+    handler/else region (a raise there skips the sibling handlers).
+    ``f_exc`` lazily holds the exceptional duplicate of the finally
+    body: ``(entry, exits)``.
+    """
+
+    stmt: ast.Try
+    handler_heads: list[int] | None
+    catches_all: bool
+    final_body: list[ast.stmt] | None
+    f_exc: tuple[int, list[int]] | None = None
+
+
+def _catches_everything(handlers: list[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        name = handler.type
+        if isinstance(name, ast.Name) and name.id in (
+            "Exception",
+            "BaseException",
+        ):
+            return True
+    return False
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _has_wildcard_case(node: ast.Match) -> bool:
+    for case in node.cases:
+        if case.guard is not None:
+            continue
+        pattern = case.pattern
+        if isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+            return True
+    return False
+
+
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+)
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative "can this statement raise?" used by the RES pack.
+
+    Nested ``def``/``class`` statements bind without running their
+    bodies, so they are treated as non-raising; anything touching a
+    call, attribute, subscript or arithmetic can raise.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for child in ast.walk(stmt):
+        if isinstance(child, _RAISING_EXPRS):
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive CFG construction with a control stack.
+
+    ``_ctrl`` holds the enclosing :class:`_Loop` and :class:`_TryLevel`
+    frames in nesting order; jumps and exceptions are routed by walking
+    it from the innermost frame outward.
+
+    With ``conservative_raises`` every possibly-raising statement gets
+    an exception edge even outside ``try`` regions (straight to the
+    ``<raise>`` terminal).  Path-sensitive resource rules need this —
+    an unprotected raise between acquire and release is exactly the
+    leak they exist to catch — while the default graphs stay lean for
+    golden tests and forward analyses.
+    """
+
+    def __init__(self, name: str, *, conservative_raises: bool = False) -> None:
+        self.cfg = CFG(name)
+        self._ctrl: list[_Loop | _TryLevel] = []
+        self._conservative = conservative_raises
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _node(self, stmt: ast.stmt) -> int:
+        index = self.cfg._add_node(stmt, "stmt")
+        self._route_exception(index, len(self._ctrl))
+        if self._conservative and _may_raise(stmt):
+            in_try = any(
+                isinstance(frame, _TryLevel) for frame in self._ctrl
+            )
+            if not in_try:
+                self.cfg._add_edge(index, self.cfg.raise_exit, EXCEPTION)
+        return index
+
+    def _connect(self, sources: list[int], dst: int) -> None:
+        for src in sources:
+            self.cfg._add_edge(src, dst)
+
+    def _route_exception(self, src: int, depth: int) -> None:
+        """Exceptional propagation of ``src`` through the control stack.
+
+        Only statements inside some ``try`` region get exception edges
+        (plus explicit ``raise``, routed by its own visitor); the walk
+        adds edges to every possibly-matching handler and, unmatched,
+        through each finally duplicate out to the enclosing level or the
+        ``<raise>`` terminal.
+        """
+        levels = [
+            frame
+            for frame in self._ctrl[:depth]
+            if isinstance(frame, _TryLevel)
+        ]
+        if not levels:
+            return
+        self._propagate_exception(src, levels)
+
+    def _propagate_exception(
+        self, src: int, levels: list[_TryLevel], force: bool = False
+    ) -> None:
+        if not levels:
+            if force:
+                self.cfg._add_edge(src, self.cfg.raise_exit, EXCEPTION)
+            return
+        level = levels[-1]
+        outer = levels[:-1]
+        for head in level.handler_heads or ():
+            self.cfg._add_edge(src, head, EXCEPTION)
+        if level.handler_heads and level.catches_all:
+            return
+        if level.final_body is not None:
+            entry, exits = self._exceptional_finally(level, outer)
+            self.cfg._add_edge(src, entry, EXCEPTION)
+            return
+        self._propagate_exception(src, outer, force=True)
+
+    def _exceptional_finally(
+        self, level: _TryLevel, outer: list[_TryLevel]
+    ) -> tuple[int, list[int]]:
+        """The (lazily built) exceptional duplicate of a finally body.
+
+        All exceptional sources of one ``try`` share one duplicate; its
+        exits keep propagating the in-flight exception outward.
+        """
+        if level.f_exc is None:
+            assert level.final_body is not None
+            entry, exits = self._duplicate_region(level.final_body, outer)
+            level.f_exc = (entry, exits)
+            for tail in exits:
+                self._propagate_exception(tail, outer, force=True)
+        return level.f_exc
+
+    def _duplicate_region(
+        self, body: list[ast.stmt], ctrl: list[_TryLevel | _Loop]
+    ) -> tuple[int, list[int]]:
+        """Build a fresh copy of ``body`` under the given control stack.
+
+        Returns ``(entry, open_exits)``.  ``entry`` is a synthetic pass
+        anchor when the body's own first node is not determinable ahead
+        of building (duplicates are always entered via their first
+        statement, so the first created node is the entry).
+        """
+        saved = self._ctrl
+        self._ctrl = list(ctrl)
+        first = len(self.cfg.nodes)
+        try:
+            exits = self._stmts(body, incoming=[])
+        finally:
+            self._ctrl = saved
+        if len(self.cfg.nodes) == first:  # empty finally body
+            anchor = self.cfg._add_node(None, "stmt")
+            return anchor, [anchor, *exits]
+        return first, exits
+
+    def _jump_through_finallies(
+        self, src: int, stop_at: _Loop | None
+    ) -> int | None:
+        """Route a jump through every traversed ``finally``.
+
+        Walks the control stack innermost-out until ``stop_at`` (the
+        target loop; ``None`` means the function boundary), duplicating
+        each traversed finally body on the way.  Returns the node the
+        caller must connect to the jump's real destination — the tail of
+        the last duplicate, or ``src`` when no finally intervenes.
+        ``None`` means the chain ended in a dead finally (no exits).
+        """
+        current: int | None = src
+        for position in range(len(self._ctrl) - 1, -1, -1):
+            frame = self._ctrl[position]
+            if frame is stop_at:
+                break
+            if isinstance(frame, _TryLevel) and frame.final_body is not None:
+                entry, exits = self._duplicate_region(
+                    frame.final_body, self._ctrl[:position]
+                )
+                assert current is not None
+                self.cfg._add_edge(current, entry)
+                if not exits:
+                    return None
+                # Chain linearly through a single representative tail;
+                # connect the other exits to it so all paths continue.
+                current = exits[0]
+                for extra in exits[1:]:
+                    self.cfg._add_edge(extra, current)
+        return current
+
+    def _innermost_loop(self) -> _Loop | None:
+        for frame in reversed(self._ctrl):
+            if isinstance(frame, _Loop):
+                return frame
+        return None
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def _stmts(self, body: list[ast.stmt], incoming: list[int]) -> list[int]:
+        """Build ``body``; returns the open (fall-through) node ends."""
+        open_ends = incoming
+        for stmt in body:
+            open_ends = self._stmt(stmt, open_ends)
+        return open_ends
+
+    def _stmt(self, stmt: ast.stmt, incoming: list[int]) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, incoming)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, incoming)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, incoming)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, incoming)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, incoming)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, incoming)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, incoming)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, incoming)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, incoming)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, incoming)
+        # Simple statements (and nested def/class, treated as opaque).
+        node = self._node(stmt)
+        self._connect(incoming, node)
+        return [node]
+
+    def _if(self, stmt: ast.If, incoming: list[int]) -> list[int]:
+        test = self._node(stmt)
+        self._connect(incoming, test)
+        exits = self._stmts(stmt.body, [test])
+        if stmt.orelse:
+            exits += self._stmts(stmt.orelse, [test])
+        else:
+            exits.append(test)
+        return exits
+
+    def _while(self, stmt: ast.While, incoming: list[int]) -> list[int]:
+        test = self._node(stmt)
+        self._connect(incoming, test)
+        loop = _Loop(continue_target=test)
+        self._ctrl.append(loop)
+        try:
+            body_exits = self._stmts(stmt.body, [test])
+        finally:
+            self._ctrl.pop()
+        self._connect(body_exits, test)  # back edge
+        exits: list[int] = list(loop.break_sources)
+        if not _is_constant_true(stmt.test):
+            # The test can be false: fall through (via else when given).
+            if stmt.orelse:
+                exits += self._stmts(stmt.orelse, [test])
+            else:
+                exits.append(test)
+        return exits
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, incoming: list[int]) -> list[int]:
+        head = self._node(stmt)
+        self._connect(incoming, head)
+        loop = _Loop(continue_target=head)
+        self._ctrl.append(loop)
+        try:
+            body_exits = self._stmts(stmt.body, [head])
+        finally:
+            self._ctrl.pop()
+        self._connect(body_exits, head)  # next iteration
+        exits: list[int] = list(loop.break_sources)
+        if stmt.orelse:
+            exits += self._stmts(stmt.orelse, [head])
+        else:
+            exits.append(head)  # iterator exhausted
+        return exits
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, incoming: list[int]) -> list[int]:
+        head = self._node(stmt)
+        self._connect(incoming, head)
+        return self._stmts(stmt.body, [head])
+
+    def _match(self, stmt: ast.Match, incoming: list[int]) -> list[int]:
+        subject = self._node(stmt)
+        self._connect(incoming, subject)
+        exits: list[int] = []
+        for case in stmt.cases:
+            exits += self._stmts(case.body, [subject])
+        if not _has_wildcard_case(stmt):
+            exits.append(subject)  # no case matched
+        return exits
+
+    def _return(self, stmt: ast.Return, incoming: list[int]) -> list[int]:
+        node = self._node(stmt)
+        self._connect(incoming, node)
+        tail = self._jump_through_finallies(node, stop_at=None)
+        if tail is not None:
+            self.cfg._add_edge(tail, self.cfg.exit)
+        return []
+
+    def _raise(self, stmt: ast.Raise, incoming: list[int]) -> list[int]:
+        node = self._node(stmt)
+        self._connect(incoming, node)
+        # _node only routes statements inside try regions; an uncovered
+        # raise still terminates exceptionally.
+        levels = [f for f in self._ctrl if isinstance(f, _TryLevel)]
+        if not levels:
+            self.cfg._add_edge(node, self.cfg.raise_exit, EXCEPTION)
+        return []
+
+    def _break(self, stmt: ast.Break, incoming: list[int]) -> list[int]:
+        node = self._node(stmt)
+        self._connect(incoming, node)
+        loop = self._innermost_loop()
+        if loop is not None:
+            tail = self._jump_through_finallies(node, stop_at=loop)
+            if tail is not None:
+                loop.break_sources.append(tail)
+        return []
+
+    def _continue(self, stmt: ast.Continue, incoming: list[int]) -> list[int]:
+        node = self._node(stmt)
+        self._connect(incoming, node)
+        loop = self._innermost_loop()
+        if loop is not None:
+            tail = self._jump_through_finallies(node, stop_at=loop)
+            if tail is not None:
+                self.cfg._add_edge(tail, loop.continue_target)
+        return []
+
+    def _try(self, stmt: ast.Try, incoming: list[int]) -> list[int]:
+        level = _TryLevel(
+            stmt=stmt,
+            handler_heads=[],
+            catches_all=_catches_everything(stmt.handlers),
+            final_body=stmt.finalbody or None,
+        )
+        # Handlers are built first so body statements can point their
+        # exception edges at real header nodes.
+        handler_regions: list[tuple[int, list[int]]] = []
+        post_handler_level = _TryLevel(
+            stmt=stmt,
+            handler_heads=None,
+            catches_all=False,
+            final_body=stmt.finalbody or None,
+            f_exc=None,
+        )
+        for handler in stmt.handlers:
+            head = self.cfg._add_node(handler, "stmt")  # type: ignore[arg-type]
+            level.handler_heads.append(head)  # type: ignore[union-attr]
+            self._ctrl.append(post_handler_level)
+            try:
+                # The handler header itself may re-raise on a failed
+                # match; model that via the post-handler level.
+                self._route_exception(head, len(self._ctrl))
+                handler_exits = self._stmts(handler.body, [head])
+            finally:
+                self._ctrl.pop()
+            handler_regions.append((head, handler_exits))
+
+        self._ctrl.append(level)
+        try:
+            body_exits = self._stmts(stmt.body, incoming)
+        finally:
+            self._ctrl.pop()
+
+        if stmt.orelse:
+            self._ctrl.append(post_handler_level)
+            try:
+                body_exits = self._stmts(stmt.orelse, body_exits)
+            finally:
+                self._ctrl.pop()
+
+        # Post-handler exception routing shares the lazily-built
+        # exceptional finally duplicate with the body level.
+        if post_handler_level.f_exc is not None and level.f_exc is None:
+            level.f_exc = post_handler_level.f_exc
+
+        normal_sources = body_exits + [
+            exit_node for _, exits in handler_regions for exit_node in exits
+        ]
+        if stmt.finalbody:
+            entry, exits = self._duplicate_region(
+                stmt.finalbody, self._ctrl
+            )
+            self._connect(normal_sources, entry)
+            return exits
+        return normal_sources
+
+
+def build_cfg(
+    body: list[ast.stmt],
+    name: str = "<scope>",
+    *,
+    conservative_raises: bool = False,
+) -> CFG:
+    """The CFG of an arbitrary statement list (function or module body)."""
+    builder = _Builder(name, conservative_raises=conservative_raises)
+    exits = builder._stmts(body, incoming=[builder.cfg.entry])
+    builder._connect(exits, builder.cfg.exit)
+    return builder.cfg
+
+
+def function_cfg(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    conservative_raises: bool = False,
+) -> CFG:
+    """The CFG of one function's body."""
+    return build_cfg(
+        node.body, name=node.name, conservative_raises=conservative_raises
+    )

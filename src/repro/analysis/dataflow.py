@@ -1,0 +1,228 @@
+"""Generic dataflow solving over :mod:`repro.analysis.cfg` graphs.
+
+One engine serves every flow-sensitive rule: a problem declares its
+direction, lattice operations and transfer function; :func:`solve`
+runs worklist iteration over a CFG to the fixpoint.  Two convenience
+layers cover the common cases:
+
+- :class:`GenKillProblem` — the classic bit-vector shape (sets of
+  facts, per-node gen/kill, union join for *may* analyses or
+  intersection join for *must* analyses).  RES001's "is the release
+  reached on every path?" is a backward must-problem in this shape.
+- :func:`solve_closure` — chaotic iteration for *flow-insensitive*
+  closures: re-run a monotone absorption pass until its state measure
+  stops growing.  The SEED001 taint scope and its derived-returns
+  summary both run on this driver; flow-insensitivity is what makes
+  its verdicts independent of statement order, which the seeding
+  contract relies on (a seed threaded through a loop-carried variable
+  must taint uses textually *above* the binding).
+
+Must-analyses use ``TOP`` (``None``) as the optimistic initial state;
+:func:`solve` joins only the non-``TOP`` predecessor states, so
+unreachable nodes stay at ``TOP`` and never pollute reachable facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, TypeVar
+
+from repro.analysis.cfg import CFG, CFGNode
+
+__all__ = [
+    "FORWARD",
+    "BACKWARD",
+    "DataflowProblem",
+    "DataflowResult",
+    "GenKillProblem",
+    "solve",
+    "solve_closure",
+]
+
+S = TypeVar("S")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+#: Optimistic initial state for must-analyses: "no path seen yet".
+TOP = None
+
+
+class DataflowProblem(Generic[S]):
+    """One dataflow problem: direction, lattice, transfer.
+
+    ``boundary()`` is the state at the graph boundary — the entry node
+    for forward problems, both exit terminals for backward ones.
+    ``join`` receives the (non-``TOP``) states flowing into a node and
+    must be monotone; ``transfer`` maps a node's input state to its
+    output state and must be monotone as well, or the worklist will
+    not terminate.
+    """
+
+    direction: str = FORWARD
+
+    def boundary(self) -> S:
+        raise NotImplementedError
+
+    def join(self, states: list[S]) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        raise NotImplementedError
+
+    def relevant_edge(self, kind: str) -> bool:
+        """Which edge kinds carry this problem's facts (default: all)."""
+        return True
+
+
+class DataflowResult(Generic[S]):
+    """Fixpoint states per node index.
+
+    ``before[i]`` is the state entering node ``i`` along the problem's
+    direction (for backward problems: the state *after* the node in
+    program order); ``after[i]`` is the transferred state.  ``TOP``
+    (``None``) marks nodes no relevant path reaches.
+    """
+
+    def __init__(
+        self, before: dict[int, S | None], after: dict[int, S | None]
+    ) -> None:
+        self.before = before
+        self.after = after
+
+
+def solve(cfg: CFG, problem: DataflowProblem[S]) -> DataflowResult[S]:
+    """Worklist iteration of ``problem`` over ``cfg`` to the fixpoint."""
+    backward = problem.direction == BACKWARD
+    if backward:
+        boundary_nodes = [cfg.exit, cfg.raise_exit]
+        flow_into = cfg.successors  # facts flow against the edges
+        flow_out_of = cfg.predecessors
+    else:
+        boundary_nodes = [cfg.entry]
+        flow_into = cfg.predecessors
+        flow_out_of = cfg.successors
+
+    before: dict[int, S | None] = {node.index: TOP for node in cfg.nodes}
+    after: dict[int, S | None] = {node.index: TOP for node in cfg.nodes}
+    boundary_state = problem.boundary()
+    worklist: list[int] = []
+    queued: set[int] = set()
+
+    def enqueue(index: int) -> None:
+        if index not in queued:
+            queued.add(index)
+            worklist.append(index)
+
+    for index in boundary_nodes:
+        before[index] = boundary_state
+        enqueue(index)
+    # Seed every node once so finite graphs always reach a fixpoint
+    # even when the boundary is disconnected (e.g. dead code).
+    for node in cfg.nodes:
+        enqueue(node.index)
+
+    iterations = 0
+    limit = max(64, len(cfg.nodes) * len(cfg.nodes) * 4)
+    while worklist:
+        iterations += 1
+        if iterations > limit:  # monotone transfers should never trip this
+            raise RuntimeError(
+                f"dataflow did not converge on {cfg.name!r} "
+                f"after {iterations} iterations"
+            )
+        index = worklist.pop(0)
+        queued.discard(index)
+        # A fact flows from the edge's far end: the source node for
+        # forward problems, the destination node for backward ones.
+        incoming = [
+            after[edge.dst if backward else edge.src]
+            for edge in flow_into(index)
+            if problem.relevant_edge(edge.kind)
+        ]
+        states = [state for state in incoming if state is not TOP]
+        if index in boundary_nodes:
+            in_state: S | None = boundary_state
+            if states:
+                in_state = problem.join([boundary_state, *states])
+        elif states:
+            in_state = problem.join(states)
+        else:
+            in_state = TOP
+        before[index] = in_state
+        out_state = (
+            TOP
+            if in_state is TOP
+            else problem.transfer(cfg.nodes[index], in_state)
+        )
+        if out_state != after[index]:
+            after[index] = out_state
+            for edge in flow_out_of(index):
+                if problem.relevant_edge(edge.kind):
+                    enqueue(edge.dst if not backward else edge.src)
+    return DataflowResult(before, after)
+
+
+class GenKillProblem(DataflowProblem[frozenset]):
+    """Set-of-facts problems: ``out = (in - kill(node)) | gen(node)``.
+
+    ``must=True`` gives intersection join (a fact holds only when it
+    holds on *every* incoming path) — the shape of RES001's
+    release-reachability.  ``must=False`` gives union join (*may*
+    analyses such as taint reachability).
+    """
+
+    def __init__(
+        self,
+        gen: Callable[[CFGNode], Iterable[str]],
+        kill: Callable[[CFGNode], Iterable[str]],
+        *,
+        direction: str = FORWARD,
+        must: bool = False,
+        boundary_facts: Iterable[str] = (),
+    ) -> None:
+        self.direction = direction
+        self._gen = gen
+        self._kill = kill
+        self._must = must
+        self._boundary = frozenset(boundary_facts)
+
+    def boundary(self) -> frozenset:
+        return self._boundary
+
+    def join(self, states: list[frozenset]) -> frozenset:
+        result = states[0]
+        for state in states[1:]:
+            result = result & state if self._must else result | state
+        return result
+
+    def transfer(self, node: CFGNode, state: frozenset) -> frozenset:
+        return (state - frozenset(self._kill(node))) | frozenset(
+            self._gen(node)
+        )
+
+
+def solve_closure(
+    step: Callable[[], None],
+    measure: Callable[[], int],
+    *,
+    max_rounds: int = 32,
+) -> int:
+    """Chaotic iteration: run ``step`` until ``measure`` stops growing.
+
+    The driver behind every flow-insensitive closure in the rule packs
+    (seed-taint absorption, derived-returns summaries, dtype-name
+    propagation).  ``step`` must be monotone in ``measure`` — it only
+    ever *adds* facts — so the loop terminates as soon as one round
+    adds nothing.  Returns the number of rounds executed; raises if the
+    closure is still growing after ``max_rounds`` (a monotone pass over
+    a finite fact domain cannot, so tripping this means the pass is
+    oscillating).
+    """
+    for round_number in range(1, max_rounds + 1):
+        before = measure()
+        step()
+        if measure() == before:
+            return round_number
+    raise RuntimeError(
+        f"closure still growing after {max_rounds} rounds"
+    )

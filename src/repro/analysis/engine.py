@@ -394,6 +394,7 @@ class AnalysisEngine:
         self,
         rules: Iterable[Rule] | None = None,
         audit_suppressions: bool | None = None,
+        jobs: int = 1,
     ) -> None:
         if rules is None:
             from repro.analysis.rules import default_rules
@@ -402,6 +403,7 @@ class AnalysisEngine:
             if audit_suppressions is None:
                 audit_suppressions = True
         self.audit_suppressions = bool(audit_suppressions)
+        self.jobs = max(1, int(jobs))
         self.file_rules: list[FileRule] = []
         self.project_rules: list[ProjectRule] = []
         for rule in rules:
@@ -443,6 +445,54 @@ class AnalysisEngine:
                 raw.extend(rule.finish_module(module))
         return self._apply_suppressions(raw, {module.relpath: module})
 
+    def _file_passes(
+        self, modules: list[ParsedModule], context: AnalysisContext
+    ) -> list[tuple[list[Finding], _UsedSuppressions]]:
+        """File-rule passes over ``modules``, optionally thread-parallel.
+
+        Parallelism is invisible in the output: results come back in
+        module order, and every worker runs *fresh* rule instances (all
+        built-in file rules construct with no arguments and keep only
+        per-module state), so no mutable rule state is ever shared
+        across threads.  Rules that cannot be cloned that way force the
+        serial path.
+        """
+        if self.jobs > 1 and len(modules) > 1:
+            try:
+                prototypes = [
+                    [type(rule)() for rule in self.file_rules]
+                    for _ in range(min(self.jobs, len(modules)))
+                ]
+            except TypeError:
+                prototypes = []
+            if prototypes:
+                from concurrent.futures import ThreadPoolExecutor
+
+                workers = [
+                    AnalysisEngine(
+                        clones, audit_suppressions=self.audit_suppressions
+                    )
+                    for clones in prototypes
+                ]
+                for worker in workers:
+                    for rule in worker.file_rules:
+                        rule.bind(context)
+                free = list(workers)
+
+                def run(module: ParsedModule):
+                    worker = free.pop()
+                    try:
+                        return worker._file_pass(module)
+                    finally:
+                        free.append(worker)
+
+                with ThreadPoolExecutor(
+                    max_workers=len(workers),
+                    thread_name_prefix="repro-lint",
+                ) as pool:
+                    return list(pool.map(run, modules))
+        return [self._file_pass(module) for module in modules]
+
     def check_module(self, module: ParsedModule) -> list[Finding]:
         """All file-rule findings for one parsed module (noqa applied,
         unused suppressions audited when enabled)."""
@@ -482,8 +532,10 @@ class AnalysisEngine:
         try:
             findings: list[Finding] = []
             used: _UsedSuppressions = set()
-            for parsed in project.modules.values():
-                kept, file_used = self._file_pass(parsed)
+            modules_in_order = list(project.modules.values())
+            for kept, file_used in self._file_passes(
+                modules_in_order, context
+            ):
                 findings.extend(kept)
                 used.update(file_used)
             raw_project: list[Finding] = []

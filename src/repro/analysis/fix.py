@@ -1,0 +1,184 @@
+"""Autofix for unused ``# repro: noqa`` suppressions (``SUP001``).
+
+The suppression audit makes stale noqa comments *findings*; this module
+makes them *editable*.  Given the SUP001 findings of a run, it plans
+minimal text edits:
+
+- a blanket ``# repro: noqa`` that absorbed nothing — delete the
+  comment (and the whole line if nothing else is on it);
+- a bracketed ``# repro: noqa[A, B]`` where only some ids are stale —
+  narrow the bracket to the ids that still absorb a finding;
+- a bracket where *every* id is stale or unregistered — delete the
+  comment.
+
+The fix never touches anything outside the noqa marker itself: code
+left of the comment, other comments, and suppressions that absorbed a
+finding are preserved byte-for-byte.  ``repro lint --fix`` applies the
+plans in place; ``--dry-run`` renders them as unified diffs instead and
+leaves the tree untouched.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import Finding
+
+__all__ = ["FilePlan", "plan_suppression_fixes", "render_diff"]
+
+#: The noqa marker, mirroring the engine's collector (minus the quote
+#: lookbehind: here we match inside a real comment we located by line).
+_NOQA_RE = re.compile(
+    r"\s*#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: Rule-id tokens inside a SUP001 message ("SEED001, PERF002 no longer
+#: fires...", "XXX999 is not a registered rule id").
+_RULE_TOKEN_RE = re.compile(r"\b[A-Z][A-Z0-9]*\d{3}\b")
+
+
+@dataclass
+class FilePlan:
+    """All suppression edits for one on-disk file."""
+
+    path: Path
+    display_path: str
+    original: str
+    fixed: str
+    removed: int = 0
+    narrowed: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+
+@dataclass
+class _LineEdit:
+    stale: set[str] = field(default_factory=set)
+    blanket: bool = False
+
+
+def _stale_ids(message: str) -> set[str]:
+    """Every stale/unregistered rule id named by a SUP001 message."""
+    return set(_RULE_TOKEN_RE.findall(message)) - {"SUP001"}
+
+
+def plan_suppression_fixes(
+    findings: Iterable["Finding"],
+    locate: "dict[str, Path]",
+) -> list[FilePlan]:
+    """Edit plans for the SUP001 findings, one per affected file.
+
+    ``locate`` maps a finding's report path to the real file on disk
+    (the CLI rebuilds it from its path arguments).  Findings whose file
+    cannot be located or re-read are skipped — an autofix must never
+    guess at targets.
+    """
+    from repro.analysis.engine import UNUSED_SUPPRESSION_ID
+
+    per_file: dict[str, dict[int, _LineEdit]] = {}
+    for finding in findings:
+        if finding.rule_id != UNUSED_SUPPRESSION_ID:
+            continue
+        edit = per_file.setdefault(finding.path, {}).setdefault(
+            finding.line, _LineEdit()
+        )
+        if finding.message.startswith("blanket"):
+            edit.blanket = True
+        else:
+            edit.stale.update(_stale_ids(finding.message))
+
+    plans: list[FilePlan] = []
+    for display_path in sorted(per_file):
+        real = locate.get(display_path)
+        if real is None or not real.is_file():
+            continue
+        try:
+            original = real.read_text()
+        except OSError:
+            continue
+        plan = _apply_edits(real, display_path, original, per_file[display_path])
+        if plan.changed:
+            plans.append(plan)
+    return plans
+
+
+def _apply_edits(
+    path: Path,
+    display_path: str,
+    original: str,
+    edits: dict[int, _LineEdit],
+) -> FilePlan:
+    lines = original.splitlines(keepends=True)
+    plan = FilePlan(
+        path=path, display_path=display_path, original=original, fixed=original
+    )
+    for lineno, edit in sorted(edits.items(), reverse=True):
+        if not 1 <= lineno <= len(lines):
+            continue
+        line = lines[lineno - 1]
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        declared = _declared_ids(match)
+        if edit.blanket or declared is None:
+            replacement = ""
+            plan.removed += 1
+        else:
+            remaining = sorted(declared - edit.stale)
+            if remaining:
+                replacement = _rebuild_marker(match, remaining)
+                plan.narrowed += 1
+            else:
+                replacement = ""
+                plan.removed += 1
+        new_line = line[: match.start()] + replacement + line[match.end():]
+        if not new_line.strip():
+            # Nothing but the suppression lived here; drop the line.
+            del lines[lineno - 1]
+        else:
+            lines[lineno - 1] = new_line
+    plan.fixed = "".join(lines)
+    return plan
+
+
+def _declared_ids(match: "re.Match[str]") -> frozenset[str] | None:
+    """The bracketed rule ids of a matched marker; ``None`` if blanket."""
+    rules = match.group("rules")
+    if rules is None:
+        return None
+    return frozenset(
+        token.strip() for token in rules.split(",") if token.strip()
+    )
+
+
+def _rebuild_marker(match: "re.Match[str]", remaining: list[str]) -> str:
+    """The marker text with its bracket narrowed to ``remaining``."""
+    text = match.group(0)
+    bracket_open = text.index("[")
+    bracket_close = text.rindex("]")
+    return (
+        text[: bracket_open + 1]
+        + ", ".join(remaining)
+        + text[bracket_close:]
+    )
+
+
+def render_diff(plans: Iterable[FilePlan]) -> str:
+    """Unified diffs for every planned change (the ``--dry-run`` view)."""
+    chunks: list[str] = []
+    for plan in plans:
+        diff = difflib.unified_diff(
+            plan.original.splitlines(keepends=True),
+            plan.fixed.splitlines(keepends=True),
+            fromfile=f"a/{plan.display_path}",
+            tofile=f"b/{plan.display_path}",
+        )
+        chunks.append("".join(diff))
+    return "".join(chunks)

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:
+    from repro.analysis.cfg import CFG
     from repro.analysis.engine import ParsedModule, Project
 
 __all__ = [
@@ -458,6 +459,29 @@ class AnalysisContext:
     module_graph: ModuleGraph
     functions: FunctionIndex
     layers: LayersDeclaration | None
+    _cfgs: dict[tuple[int, bool], "CFG"] = field(default_factory=dict)
+
+    def cfg_of(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        *,
+        conservative_raises: bool = False,
+    ) -> "CFG":
+        """The (cached) CFG of one function body.
+
+        Several rules walk the same functions; keying on the AST node's
+        identity keeps construction once-per-function-per-run.  The
+        cache dies with the context, so stale graphs cannot outlive a
+        reparse.
+        """
+        from repro.analysis.cfg import function_cfg
+
+        key = (id(node), conservative_raises)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            cfg = function_cfg(node, conservative_raises=conservative_raises)
+            self._cfgs[key] = cfg
+        return cfg
 
 
 def build_context(project: "Project") -> AnalysisContext:

@@ -58,6 +58,21 @@ from repro.analysis.rules.concurrency import (
     UnjoinedThreadRule,
     concurrency_rules,
 )
+from repro.analysis.rules.resources import (
+    RESOURCE_PACKAGES,
+    FinallyMasksExceptionRule,
+    NonAtomicWriteRule,
+    ResourceLeakRule,
+    resources_rules,
+)
+from repro.analysis.rules.numerics import (
+    NUMERIC_PACKAGES,
+    FloatComparisonRule,
+    FusedAxisReductionRule,
+    LowPrecisionDtypeRule,
+    SetOrderReductionRule,
+    numerics_rules,
+)
 from repro.analysis.engine import FileRule, ProjectRule
 
 __all__ = [
@@ -92,6 +107,15 @@ __all__ = [
     "BareAcquireRule",
     "SharedMutableClassAttrRule",
     "UnjoinedThreadRule",
+    "RESOURCE_PACKAGES",
+    "ResourceLeakRule",
+    "NonAtomicWriteRule",
+    "FinallyMasksExceptionRule",
+    "NUMERIC_PACKAGES",
+    "LowPrecisionDtypeRule",
+    "FloatComparisonRule",
+    "SetOrderReductionRule",
+    "FusedAxisReductionRule",
     "determinism_rules",
     "consistency_rules",
     "perf_rules",
@@ -99,6 +123,8 @@ __all__ = [
     "architecture_rules",
     "seeding_rules",
     "concurrency_rules",
+    "resources_rules",
+    "numerics_rules",
     "default_rules",
 ]
 
@@ -113,4 +139,6 @@ def default_rules() -> list[FileRule | ProjectRule]:
         *architecture_rules(),
         *seeding_rules(),
         *concurrency_rules(),
+        *resources_rules(),
+        *numerics_rules(),
     ]

@@ -1,0 +1,565 @@
+"""Numerical-determinism rule pack (``NUM``).
+
+The 99.5% SCR quantile the regulator sees is a claim about *bits*: the
+golden corpus, the chaos gate and the cross-backend checksums all
+assert exact equality.  That guarantee dies quietly — a float32 cast
+halves the mantissa, a set-ordered reduction reorders a non-associative
+sum, a fused-axis reduction changes the accumulation tree — and no
+test notices until the corpus drifts.  These rules flag the constructs
+that introduce value- or order-nondeterminism into the numeric core:
+
+- ``NUM001`` — float32/float16 introduced in the SCR numeric packages
+  (``np.float32``/``np.float16`` calls, ``dtype=`` arguments,
+  ``.astype`` casts, dtype-name strings), with flow-insensitive
+  dtype-name propagation (``dt = np.float32; np.zeros(n, dtype=dt)``)
+  on the shared closure driver;
+- ``NUM002`` — ``==``/``!=`` between two float-typed *values* (names,
+  calls — never literals, which DET004 owns): bit-exact float equality
+  is platform- and optimisation-dependent; ``x != x`` NaN probes
+  belong to ``math.isnan``;
+- ``NUM003`` — reductions over ``set``/``frozenset`` iteration feeding
+  a float accumulator: set order follows the hash seed, and float
+  addition is not associative, so the same elements can sum to
+  different bits run-to-run; iterate ``sorted(s)`` instead;
+- ``NUM004`` — an explicit-``axis`` reduction (``np.sum``/``np.dot``/
+  ``np.einsum``/``.sum(axis=...)``) over an operand assembled by
+  chunk fusion (``np.concatenate``/``stack``/``vstack``/``hstack``) in
+  a hot-path module, without a documented tolerance: fusing chunks
+  changes the accumulation order, so either the enclosing function
+  documents the tolerance (mention ``tolerance`` or ``bit-identical``
+  in its docstring) or the reduction must happen per-chunk.
+
+NUM001/NUM003 apply to the numeric packages (``montecarlo``,
+``financial``, ``stochastic``, ``solvency``, ``proxy``); NUM004 to the
+registered hot-path modules; NUM002 everywhere — a float equality is
+as wrong in the scheduler as in the kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import solve_closure
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+from repro.analysis.rules.determinism import _ImportTrackingRule
+from repro.analysis.rules.perf import HOT_PATH_MODULES
+
+__all__ = [
+    "NUMERIC_PACKAGES",
+    "LowPrecisionDtypeRule",
+    "FloatComparisonRule",
+    "SetOrderReductionRule",
+    "FusedAxisReductionRule",
+    "numerics_rules",
+]
+
+#: Package segments forming the SCR numeric core.
+NUMERIC_PACKAGES: tuple[str, ...] = (
+    "montecarlo",
+    "financial",
+    "stochastic",
+    "solvency",
+    "proxy",
+)
+
+
+def _in_numeric_scope(module: ParsedModule) -> bool:
+    return any(
+        package in module.module.split(".")
+        for package in NUMERIC_PACKAGES
+    )
+
+
+def _is_hot_path(module: ParsedModule) -> bool:
+    return any(
+        module.module == suffix
+        or module.module.endswith("." + suffix)
+        or suffix.endswith("." + module.module)
+        for suffix in HOT_PATH_MODULES
+    )
+
+
+# -- NUM001 ----------------------------------------------------------------------
+
+_LOW_PRECISION_DOTTED = frozenset(
+    {"numpy.float32", "numpy.float16", "numpy.half", "numpy.single"}
+)
+_LOW_PRECISION_STRINGS = frozenset(
+    {"float32", "float16", "f4", "f2", "<f4", "<f2", ">f4", ">f2"}
+)
+
+
+class LowPrecisionDtypeRule(_ImportTrackingRule):
+    """NUM001: float32/float16 on the SCR numeric path."""
+
+    rule_id = "NUM001"
+    description = (
+        "float32/float16 dtypes halve the mantissa of every SCR "
+        "figure; the numeric core is float64 end to end"
+    )
+    pack = "numerics"
+    interests = (ast.Module,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Module)
+        if not _in_numeric_scope(module):
+            return
+        # Flow-insensitive dtype-name closure: a name assigned a
+        # low-precision dtype anywhere in the module carries it.
+        self._low_names: set[str] = set()
+
+        def absorb() -> None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) and self._is_low(sub.value):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            self._low_names.add(target.id)
+
+        solve_closure(absorb, lambda: len(self._low_names))
+        yield from self._flag_sites(node, module)
+
+    def _is_low(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return (
+                isinstance(expr.value, str)
+                and expr.value in _LOW_PRECISION_STRINGS
+            )
+        if isinstance(expr, ast.Name):
+            return expr.id in self._low_names
+        dotted = self.resolve(expr)
+        return dotted in _LOW_PRECISION_DOTTED
+
+    def _flag_sites(
+        self, tree: ast.Module, module: ParsedModule
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(tree):
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = self.resolve(sub.func)
+            if dotted in _LOW_PRECISION_DOTTED:
+                leaf = dotted.rpartition(".")[2]
+                yield self.finding(
+                    module,
+                    sub,
+                    f"np.{leaf}() introduces a low-precision value on "
+                    "the SCR path; the numeric core is float64 end to "
+                    "end — drop the cast or keep it out of the "
+                    "quantile pipeline",
+                )
+                continue
+            if (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "astype"
+                and sub.args
+                and self._is_low(sub.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    sub,
+                    ".astype() to float32/float16 halves the mantissa "
+                    "of every downstream SCR figure; stay in float64",
+                )
+                continue
+            for kw in sub.keywords:
+                if kw.arg == "dtype" and self._is_low(kw.value):
+                    yield self.finding(
+                        module,
+                        kw.value,
+                        "dtype=float32/float16 builds a low-precision "
+                        "array on the SCR path; the numeric core is "
+                        "float64 end to end",
+                    )
+
+
+# -- NUM002 ----------------------------------------------------------------------
+
+
+class FloatComparisonRule(FileRule):
+    """NUM002: ``==``/``!=`` between two float-typed values."""
+
+    rule_id = "NUM002"
+    description = (
+        "bit-exact ==/!= between floats is platform- and "
+        "optimisation-dependent; use math.isclose/np.isclose (or "
+        "math.isnan for x != x probes)"
+    )
+    pack = "numerics"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _FLOAT_CALLS = frozenset(
+        {"float", "numpy.float64", "numpy.double", "math.fsum"}
+    )
+    _FLOAT_ANNOTATIONS = frozenset({"float", "np.float64", "numpy.float64"})
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        floatish = self._float_names(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            if len(sub.ops) != 1 or not isinstance(
+                sub.ops[0], (ast.Eq, ast.NotEq)
+            ):
+                continue
+            left, right = sub.left, sub.comparators[0]
+            # Literal comparisons are DET004's territory; NUM002 only
+            # speaks when both sides are computed float values.
+            if isinstance(left, ast.Constant) or isinstance(
+                right, ast.Constant
+            ):
+                continue
+            if not (
+                self._is_float(left, floatish)
+                and self._is_float(right, floatish)
+            ):
+                continue
+            if ast.dump(left) == ast.dump(right):
+                yield self.finding(
+                    module,
+                    sub,
+                    "x != x / x == x on a float is a NaN probe by "
+                    "side effect; say math.isnan(x) explicitly",
+                )
+            else:
+                yield self.finding(
+                    module,
+                    sub,
+                    "bit-exact ==/!= between two floats depends on "
+                    "platform and optimisation level; use "
+                    "math.isclose/np.isclose with an explicit "
+                    "tolerance",
+                )
+
+    def _float_names(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+        for arg in [
+            *fn.args.posonlyargs,
+            *fn.args.args,
+            *fn.args.kwonlyargs,
+        ]:
+            if arg.annotation is not None and self._annotation_is_float(
+                arg.annotation
+            ):
+                names.add(arg.arg)
+
+        def absorb() -> None:
+            for sub in ast.walk(fn):
+                value: ast.expr | None = None
+                target: ast.expr | None = None
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    value, target = sub.value, sub.targets[0]
+                elif isinstance(sub, ast.AnnAssign):
+                    target = sub.target
+                    if self._annotation_is_float(sub.annotation):
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                        continue
+                    value = sub.value
+                elif isinstance(sub, ast.AugAssign):
+                    value, target = sub.value, sub.target
+                if (
+                    value is not None
+                    and isinstance(target, ast.Name)
+                    and self._is_float(value, names)
+                ):
+                    names.add(target.id)
+
+        solve_closure(absorb, lambda: len(names))
+        return names
+
+    def _annotation_is_float(self, annotation: ast.expr) -> bool:
+        try:
+            text = ast.unparse(annotation)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return False
+        return text in self._FLOAT_ANNOTATIONS
+
+    def _is_float(self, expr: ast.expr, floatish: set[str]) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, float)
+        if isinstance(expr, ast.Name):
+            return expr.id in floatish
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return True
+            return self._is_float(expr.left, floatish) or self._is_float(
+                expr.right, floatish
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_float(expr.operand, floatish)
+        if isinstance(expr, ast.IfExp):
+            return self._is_float(expr.body, floatish) and self._is_float(
+                expr.orelse, floatish
+            )
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted is None:
+                return False
+            if dotted in self._FLOAT_CALLS:
+                return True
+            return dotted.rpartition(".")[2] in ("float", "fsum")
+        return False
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# -- NUM003 ----------------------------------------------------------------------
+
+
+class SetOrderReductionRule(_ImportTrackingRule):
+    """NUM003: order-nondeterministic reduction over set iteration."""
+
+    rule_id = "NUM003"
+    description = (
+        "set iteration order follows the hash seed and float addition "
+        "is not associative; reduce over sorted(s) for reproducible "
+        "bits"
+    )
+    pack = "numerics"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _REDUCERS = frozenset({"sum", "numpy.sum", "math.fsum", "numpy.prod"})
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not _in_numeric_scope(module):
+            return
+        set_names = self._set_names(node)
+        float_inits = self._float_initialised_names(node)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.For, ast.AsyncFor)):
+                if self._is_set(sub.iter, set_names) and self._accumulates(
+                    sub.body, float_inits
+                ):
+                    yield self.finding(
+                        module,
+                        sub.iter,
+                        "iterating a set in hash order while "
+                        "accumulating floats gives different bits "
+                        "run-to-run; iterate sorted(...) instead",
+                    )
+            elif isinstance(sub, ast.Call):
+                dotted = self.resolve(sub.func)
+                if (
+                    dotted in self._REDUCERS
+                    and sub.args
+                    and self._is_set(sub.args[0], set_names)
+                ):
+                    yield self.finding(
+                        module,
+                        sub,
+                        "reducing directly over a set visits elements "
+                        "in hash order; float accumulation is not "
+                        "associative — reduce over sorted(...) for "
+                        "reproducible bits",
+                    )
+
+    def _set_names(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+
+        def absorb() -> None:
+            for sub in ast.walk(fn):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target = sub.targets[0]
+                    if isinstance(target, ast.Name) and self._is_set(
+                        sub.value, names
+                    ):
+                        names.add(target.id)
+
+        solve_closure(absorb, lambda: len(names))
+        return names
+
+    def _is_set(self, expr: ast.expr, set_names: set[str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in set_names
+        if isinstance(expr, ast.Call):
+            dotted = self.resolve(expr.func)
+            if dotted in ("set", "frozenset"):
+                return True
+            # s.union(...) / s | t style derivations.
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr
+                in ("union", "intersection", "difference", "copy")
+                and self._is_set(expr.func.value, set_names)
+            ):
+                return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            return self._is_set(expr.left, set_names) or self._is_set(
+                expr.right, set_names
+            )
+        return False
+
+    @staticmethod
+    def _float_initialised_names(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        names: set[str] = set()
+        for sub in ast.walk(fn):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+                and isinstance(sub.value, ast.Constant)
+                and isinstance(sub.value.value, float)
+            ):
+                names.add(sub.targets[0].id)
+        return names
+
+    @staticmethod
+    def _accumulates(body: list[ast.stmt], float_inits: set[str]) -> bool:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.op, (ast.Add, ast.Mult))
+                    and isinstance(sub.target, ast.Name)
+                    and sub.target.id in float_inits
+                ):
+                    return True
+        return False
+
+
+# -- NUM004 ----------------------------------------------------------------------
+
+_FUSION_LEAVES = frozenset(
+    {"concatenate", "vstack", "hstack", "stack", "block", "r_", "c_"}
+)
+_FUSED_NAME_HINTS = ("fused", "stacked", "concat", "merged")
+
+
+class FusedAxisReductionRule(_ImportTrackingRule):
+    """NUM004: axis reductions over fused chunks need a tolerance."""
+
+    rule_id = "NUM004"
+    description = (
+        "an explicit-axis reduction over a chunk-fused array changes "
+        "the accumulation order vs per-chunk reduction; document the "
+        "tolerance in the function docstring or reduce per chunk"
+    )
+    pack = "numerics"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _REDUCER_LEAVES = frozenset({"sum", "dot", "matmul", "einsum", "prod"})
+    _TOLERANCE_MARKERS = ("tolerance", "bit-identical", "bitwise")
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not _is_hot_path(module):
+            return
+        docstring = ast.get_docstring(node) or ""
+        if any(
+            marker in docstring.lower()
+            for marker in self._TOLERANCE_MARKERS
+        ):
+            return
+        fused = self._fused_names(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if not self._has_axis(sub):
+                continue
+            operand = self._reduced_operand(sub)
+            if operand is None:
+                continue
+            if self._is_fused(operand, fused):
+                yield self.finding(
+                    module,
+                    sub,
+                    "explicit-axis reduction over a chunk-fused array: "
+                    "fusing changes the accumulation order, so results "
+                    "can differ from per-chunk reduction in the last "
+                    "bits; document the accepted tolerance in the "
+                    "function docstring or reduce per chunk",
+                )
+
+    def _fused_names(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+
+        def absorb() -> None:
+            for sub in ast.walk(fn):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target = sub.targets[0]
+                    if isinstance(target, ast.Name) and self._is_fused(
+                        sub.value, names
+                    ):
+                        names.add(target.id)
+
+        solve_closure(absorb, lambda: len(names))
+        return names
+
+    def _is_fused(self, expr: ast.expr, fused: set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            if expr.id in fused:
+                return True
+            lowered = expr.id.lower()
+            return any(hint in lowered for hint in _FUSED_NAME_HINTS)
+        if isinstance(expr, ast.Call):
+            dotted = self.resolve(expr.func)
+            if dotted is not None:
+                leaf = dotted.rpartition(".")[2]
+                if (
+                    dotted.startswith("numpy.")
+                    and leaf in _FUSION_LEAVES
+                ):
+                    return True
+            # Transformations keep the fused provenance.
+            if isinstance(expr.func, ast.Attribute) and self._is_fused(
+                expr.func.value, fused
+            ):
+                return True
+            if expr.args and self._is_fused(expr.args[0], fused):
+                dotted_leaf = (
+                    dotted.rpartition(".")[2] if dotted else ""
+                )
+                if dotted_leaf in ("asarray", "ascontiguousarray", "array"):
+                    return True
+        if isinstance(expr, ast.Subscript):
+            return self._is_fused(expr.value, fused)
+        if isinstance(expr, ast.Attribute):
+            return self._is_fused(expr.value, fused)
+        return False
+
+    @staticmethod
+    def _has_axis(call: ast.Call) -> bool:
+        return any(kw.arg == "axis" for kw in call.keywords)
+
+    def _reduced_operand(self, call: ast.Call) -> ast.expr | None:
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in self._REDUCER_LEAVES:
+                dotted = self.resolve(call.func)
+                if dotted is not None and dotted.startswith("numpy."):
+                    return call.args[0] if call.args else None
+                # Method form: arr.sum(axis=...).
+                return call.func.value
+        return None
+
+
+def numerics_rules() -> list[FileRule]:
+    """Fresh instances of the whole numerics pack."""
+    return [
+        LowPrecisionDtypeRule(),
+        FloatComparisonRule(),
+        SetOrderReductionRule(),
+        FusedAxisReductionRule(),
+    ]

@@ -1,0 +1,501 @@
+"""Resource-lifecycle rule pack (``RES``).
+
+The elasticity loop leases resources by the thousand — shared-memory
+slabs, worker pools, checkpoint files — and the paper's cost model
+assumes every one of them is returned.  A slab leaked on an exception
+path survives the process (``/dev/shm`` is not reclaimed on crash on
+all platforms); a half-written checkpoint bricks the resume that the
+deadline guard depends on.  These rules are *path-sensitive*: they run
+the shared CFG/dataflow engine (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`) so "released on every path, including
+exceptional ones" is a computed fact, not a pattern match:
+
+- ``RES001`` — a resource acquired (``open``, ``SharedMemory``,
+  executor/pool construction, bare ``lock.acquire()``) whose required
+  release calls (``close``/``unlink``/``shutdown``/``release``) are
+  *not* reached on all CFG paths out of the acquisition, exceptional
+  paths included.  A backward must-analysis computes the set of release
+  calls guaranteed from each point; ``with``-managed and escaping
+  resources (returned, stored, passed on — ownership moved elsewhere)
+  are out of scope by construction.
+- ``RES002`` — a persistent write (``open(path, "w")``,
+  ``write_text``/``write_bytes``) in a function with no
+  rename/replace: a crash mid-write leaves a torn file where a
+  checkpoint or bench history used to be.  Write a tmp sibling and
+  ``os.replace`` it over the target.
+- ``RES003`` — a ``raise``/``return``/``break``/``continue`` inside a
+  ``finally`` block: it silently replaces (or swallows) whatever
+  exception was in flight from the ``try`` body.
+
+RES001/RES002 apply to the resource-handling packages (``exec``,
+``runtime``, ``cluster``, ``cloud``); RES003 applies everywhere —
+a masked exception is a bug in any layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.cfg import CFG, CFGNode, function_cfg
+from repro.analysis.dataflow import BACKWARD, GenKillProblem, solve
+from repro.analysis.engine import FileRule, Finding, ParsedModule
+from repro.analysis.rules.determinism import _ImportTrackingRule
+
+__all__ = [
+    "RESOURCE_PACKAGES",
+    "ResourceLeakRule",
+    "NonAtomicWriteRule",
+    "FinallyMasksExceptionRule",
+    "resources_rules",
+]
+
+#: Package segments in which RES001/RES002 police resource handling —
+#: the layers that lease slabs, pools, files and locks.
+RESOURCE_PACKAGES: tuple[str, ...] = ("exec", "runtime", "cluster", "cloud")
+
+
+def _in_resource_scope(module: ParsedModule) -> bool:
+    return any(
+        package in module.module.split(".")
+        for package in RESOURCE_PACKAGES
+    )
+
+
+_OPAQUE_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested def/class/lambda.
+
+    A ``fh.close()`` inside a nested function does not run where it is
+    written, so neither release detection nor call collection may see
+    through scope boundaries.
+    """
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _OPAQUE_SCOPES):
+                continue
+            stack.append(child)
+
+
+# -- RES001 ----------------------------------------------------------------------
+
+
+@dataclass
+class _Acquisition:
+    """One tracked resource acquisition inside a function body."""
+
+    name: str
+    stmt: ast.stmt
+    site: ast.AST
+    #: Required releases: every group must have >= 1 alternative reached.
+    required: tuple[tuple[str, ...], ...]
+    what: str
+
+
+#: Pool/executor constructors and the release they demand.
+_POOL_LEAVES = {
+    "ProcessPoolExecutor": (("shutdown",),),
+    "ThreadPoolExecutor": (("shutdown",),),
+    "Pool": (("close", "terminate"),),
+}
+
+
+class ResourceLeakRule(_ImportTrackingRule):
+    """RES001: releases must be reached on every CFG path."""
+
+    rule_id = "RES001"
+    description = (
+        "resources acquired in exec/runtime/cluster/cloud must reach "
+        "their release (close/unlink/shutdown/release) on all CFG "
+        "paths, exceptional ones included; use try/finally or with"
+    )
+    pack = "resources"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not _in_resource_scope(module):
+            return
+        acquisitions = self._acquisitions(node)
+        if not acquisitions:
+            return
+        cfg = self._cfg(node)
+        tracked = {acq.name for acq in acquisitions}
+        result = solve(
+            cfg,
+            GenKillProblem(
+                lambda n: self._releases(n, tracked),
+                lambda n: self._rebindings(n, tracked),
+                direction=BACKWARD,
+                must=True,
+            ),
+        )
+        for acq in acquisitions:
+            missing = self._missing_releases(cfg, result, acq)
+            if missing:
+                released = " and ".join(
+                    "/".join(f"{acq.name}.{m}()" for m in group)
+                    for group in missing
+                )
+                yield self.finding(
+                    module,
+                    acq.site,
+                    f"{acq.what} {acq.name!r} is acquired here but "
+                    f"{released} is not reached on every path out of "
+                    "this statement (exceptional paths included); "
+                    "release in a try/finally or a with-block",
+                )
+
+    # -- acquisition discovery -------------------------------------------------
+
+    def _acquisitions(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[_Acquisition]:
+        escaping = self._escaping_names(fn)
+        found: list[_Acquisition] = []
+        for node in _walk_scope(fn):
+            acq = None
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    acq = self._classify(
+                        node.targets[0].id, node, node.value
+                    )
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "acquire"
+                    and isinstance(call.func.value, ast.Name)
+                    and not call.args
+                    and not call.keywords
+                ):
+                    acq = _Acquisition(
+                        name=call.func.value.id,
+                        stmt=node,
+                        site=call,
+                        required=(("release",),),
+                        what="lock",
+                    )
+            if acq is not None and acq.name not in escaping:
+                found.append(acq)
+        return found
+
+    def _classify(
+        self, name: str, stmt: ast.stmt, call: ast.Call
+    ) -> _Acquisition | None:
+        dotted = self.resolve(call.func)
+        if dotted is None:
+            return None
+        leaf = dotted.rpartition(".")[2]
+        if dotted == "open":
+            return _Acquisition(name, stmt, call, (("close",),), "file handle")
+        if leaf == "SharedMemory":
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in call.keywords
+            )
+            required = (
+                (("close",), ("unlink",)) if creates else (("close",),)
+            )
+            return _Acquisition(name, stmt, call, required, "shared-memory slab")
+        if leaf in _POOL_LEAVES:
+            return _Acquisition(name, stmt, call, _POOL_LEAVES[leaf], "worker pool")
+        return None
+
+    def _escaping_names(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Names whose resource ownership leaves this function.
+
+        A bare ``Load`` of the name anywhere except as a method/attr
+        receiver (``fh.read()``) moves ownership somewhere the CFG
+        cannot see — returned, yielded, aliased, passed to a callee,
+        registered with atexit — so the rule stays silent.  ``global``/
+        ``nonlocal`` declarations escape by definition.
+        """
+        escaping: set[str] = set()
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(fn):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                escaping.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                parent = parents.get(node)
+                if not (
+                    isinstance(parent, ast.Attribute) and parent.value is node
+                ):
+                    escaping.add(node.id)
+        return escaping
+
+    # -- dataflow facts --------------------------------------------------------
+
+    def _cfg(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        if self.context is not None:
+            return self.context.cfg_of(fn, conservative_raises=True)
+        return function_cfg(fn, conservative_raises=True)
+
+    @staticmethod
+    def _releases(node: CFGNode, tracked: set[str]) -> set[str]:
+        if node.stmt is None:
+            return set()
+        facts: set[str] = set()
+        for sub in _walk_scope(node.stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in tracked
+            ):
+                facts.add(f"{sub.func.value.id}.{sub.func.attr}")
+        return facts
+
+    @staticmethod
+    def _rebindings(node: CFGNode, tracked: set[str]) -> set[str]:
+        """Rebinding a tracked name orphans the old resource: kill its
+        facts so releases of the *new* binding do not excuse the leak."""
+        if node.stmt is None or not isinstance(node.stmt, ast.Assign):
+            return set()
+        killed: set[str] = set()
+        for target in node.stmt.targets:
+            if isinstance(target, ast.Name) and target.id in tracked:
+                killed.update(
+                    f"{target.id}.{method}"
+                    for method in (
+                        "close",
+                        "unlink",
+                        "shutdown",
+                        "release",
+                        "terminate",
+                    )
+                )
+        return killed
+
+    def _missing_releases(
+        self, cfg: CFG, result: "object", acq: _Acquisition
+    ) -> list[tuple[str, ...]]:
+        """Release groups not guaranteed from just after the acquisition.
+
+        Joins over the *normal* out-edges only: if the acquisition call
+        itself raises there is nothing to release.  ``finally``
+        duplication can give the statement several occurrences; every
+        one must guarantee the releases.
+        """
+        after = result.after  # type: ignore[attr-defined]
+        for index in cfg.nodes_for(acq.stmt):
+            states = [
+                after[edge.dst]
+                for edge in cfg.successors(index)
+                if edge.kind == "normal" and after[edge.dst] is not None
+            ]
+            if not states:
+                continue  # no path leaves (e.g. into an infinite loop)
+            guaranteed = states[0]
+            for state in states[1:]:
+                guaranteed = guaranteed & state
+            missing = [
+                group
+                for group in acq.required
+                if not any(f"{acq.name}.{m}" in guaranteed for m in group)
+            ]
+            if missing:
+                return missing
+        return []
+
+
+# -- RES002 ----------------------------------------------------------------------
+
+
+class NonAtomicWriteRule(_ImportTrackingRule):
+    """RES002: persistent writes must be write-then-rename."""
+
+    rule_id = "RES002"
+    description = (
+        "persistent writes in exec/runtime/cluster/cloud must be "
+        "atomic: write a tmp sibling, then os.replace() it over the "
+        "target, so a crash never leaves a torn file"
+    )
+    pack = "resources"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _RENAME_LEAVES = frozenset({"replace", "rename", "renames"})
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not _in_resource_scope(module):
+            return
+        writes: list[tuple[ast.AST, ast.expr | None]] = []
+        renames = False
+        for sub in _walk_scope(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Attribute):
+                if sub.func.attr in self._RENAME_LEAVES:
+                    renames = True
+                    continue
+                if sub.func.attr in ("write_text", "write_bytes"):
+                    writes.append((sub, sub.func.value))
+                    continue
+            if self.resolve(sub.func) == "open" and self._write_mode(sub):
+                writes.append((sub, sub.args[0] if sub.args else None))
+        if renames:
+            return
+        for site, target in writes:
+            if target is not None and self._is_tmp_target(target):
+                continue
+            yield self.finding(
+                module,
+                site,
+                "persistent write is not atomic: a crash mid-write "
+                "leaves a torn file; write to a tmp sibling and "
+                "os.replace() it over the target",
+            )
+
+    @staticmethod
+    def _write_mode(call: ast.Call) -> bool:
+        mode: ast.expr | None = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if not isinstance(mode, ast.Constant) or not isinstance(
+            mode.value, str
+        ):
+            return False
+        return "w" in mode.value or "x" in mode.value
+
+    @staticmethod
+    def _is_tmp_target(target: ast.expr) -> bool:
+        try:
+            text = ast.unparse(target).lower()
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return False
+        return "tmp" in text or "temp" in text
+
+
+# -- RES003 ----------------------------------------------------------------------
+
+
+class FinallyMasksExceptionRule(FileRule):
+    """RES003: control flow out of a ``finally`` masks exceptions."""
+
+    rule_id = "RES003"
+    description = (
+        "raise/return/break/continue inside a finally block replaces "
+        "or swallows any in-flight exception from the try body"
+    )
+    pack = "resources"
+    interests = (ast.Try,)
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Try)
+        if not node.finalbody:
+            return
+        for stmt in node.finalbody:
+            yield from self._scan(module, stmt, loop_depth=0, guarded=False)
+
+    def _scan(
+        self,
+        module: ParsedModule,
+        stmt: ast.stmt,
+        *,
+        loop_depth: int,
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, _OPAQUE_SCOPES):
+            return
+        if isinstance(stmt, ast.Raise):
+            # A bare re-raise propagates the in-flight exception itself;
+            # raising a *new* exception (unguarded) replaces it.
+            if stmt.exc is not None and not guarded:
+                yield self.finding(
+                    module,
+                    stmt,
+                    "raise inside finally replaces any in-flight "
+                    "exception from the try body; re-raise with "
+                    "`raise exc from original` outside the finally, or "
+                    "guard the cleanup so it cannot throw over the "
+                    "original error",
+                )
+            return
+        if isinstance(stmt, ast.Return):
+            yield self.finding(
+                module,
+                stmt,
+                "return inside finally swallows any in-flight "
+                "exception from the try body; move the return after "
+                "the try statement",
+            )
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"{kind} inside finally swallows any in-flight "
+                    "exception from the try body; restructure so the "
+                    "loop jump happens outside the finally",
+                )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for sub in [*stmt.body, *stmt.orelse]:
+                yield from self._scan(
+                    module, sub, loop_depth=loop_depth + 1, guarded=guarded
+                )
+            return
+        if isinstance(stmt, ast.Try):
+            # A raise under an inner try with handlers may be caught
+            # before it can mask anything.
+            inner_guarded = guarded or bool(stmt.handlers)
+            for sub in stmt.body:
+                yield from self._scan(
+                    module, sub, loop_depth=loop_depth, guarded=inner_guarded
+                )
+            for region in (stmt.orelse, stmt.finalbody):
+                for sub in region:
+                    yield from self._scan(
+                        module, sub, loop_depth=loop_depth, guarded=guarded
+                    )
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    yield from self._scan(
+                        module, sub, loop_depth=loop_depth, guarded=guarded
+                    )
+            return
+        if isinstance(stmt, (ast.If, ast.With, ast.AsyncWith)):
+            for sub in [
+                *stmt.body,
+                *(stmt.orelse if isinstance(stmt, ast.If) else []),
+            ]:
+                yield from self._scan(
+                    module, sub, loop_depth=loop_depth, guarded=guarded
+                )
+            return
+        if isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                for sub in case.body:
+                    yield from self._scan(
+                        module, sub, loop_depth=loop_depth, guarded=guarded
+                    )
+
+
+def resources_rules() -> list[FileRule]:
+    """Fresh instances of the whole resources pack."""
+    return [
+        ResourceLeakRule(),
+        NonAtomicWriteRule(),
+        FinallyMasksExceptionRule(),
+    ]

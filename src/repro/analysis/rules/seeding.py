@@ -39,6 +39,7 @@ import ast
 import re
 from typing import Iterator
 
+from repro.analysis.dataflow import solve_closure
 from repro.analysis.engine import (
     FileRule,
     Finding,
@@ -152,12 +153,16 @@ class _TaintScope:
     # -- statement pass: grow the tainted-name set ---------------------------
 
     def absorb(self, body: list[ast.stmt]) -> None:
-        """Propagate taint through assignments until stable."""
-        for _ in range(4):  # loops rarely need more than two passes
-            before = len(self.tainted)
-            self._absorb_once(body)
-            if len(self.tainted) == before:
-                break
+        """Propagate taint through assignments until stable.
+
+        Flow-insensitive by design — a seed threaded through a
+        loop-carried variable must taint uses textually above the
+        binding — so the chaotic-iteration driver from the shared
+        dataflow engine is the right solver, not the CFG worklist.
+        """
+        solve_closure(
+            lambda: self._absorb_once(body), lambda: len(self.tainted)
+        )
 
     def _absorb_once(self, stmts: list[ast.stmt]) -> None:
         for stmt in stmts:
@@ -357,8 +362,7 @@ class SeedProvenanceRule(ProjectRule):
             ]
             if values:
                 returns_of[key] = values
-        for _ in range(8):
-            grew = False
+        def sweep() -> None:
             for key, values in returns_of.items():
                 if key in self.derived_returns:
                     continue
@@ -369,9 +373,11 @@ class SeedProvenanceRule(ProjectRule):
                 scope = self._scope_for(module, info)
                 if all(scope.is_tainted(value) for value in values):
                     self.derived_returns.add(key)
-                    grew = True
-            if not grew:
-                break
+
+        # Derived-returns is the interprocedural closure: one sweep can
+        # unlock another (f returns g()'s value), so iterate to the
+        # fixpoint on the shared chaotic-iteration driver.
+        solve_closure(sweep, lambda: len(self.derived_returns))
 
     # -- the check ------------------------------------------------------------
 

@@ -194,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="always analyse from scratch",
     )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-parallel file analysis; output is byte-identical "
+             "to the serial run (default: 1)",
+    )
+    lint.add_argument(
+        "--changed",
+        default=None,
+        metavar="BASE",
+        help="only report findings in files changed vs the git ref "
+             "BASE (plus untracked files); the analysis itself still "
+             "covers the whole tree so cross-module rules stay exact",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="delete/narrow unused '# repro: noqa' suppressions "
+             "(SUP001) in place",
+    )
+    lint.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff instead of writing; "
+             "exit 1 if fixes are pending",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -475,7 +503,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.engine import UNUSED_SUPPRESSION_ID
     from repro.analysis.sarif import render_sarif
 
-    engine = AnalysisEngine()
+    engine = AnalysisEngine(jobs=args.jobs)
     if args.list_rules:
         for rule in engine.rules:
             print(f"{rule.rule_id}  {rule.description}")
@@ -500,6 +528,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if cache is not None:
         cache.save()
     findings.sort()
+
+    if args.changed is not None:
+        try:
+            changed = _git_changed_files(args.changed)
+        except RuntimeError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        findings = [
+            finding
+            for finding in findings
+            if any(
+                path.endswith(finding.path) or finding.path.endswith(path)
+                for path in changed
+            )
+        ]
+
+    if args.fix:
+        return _lint_fix(args, findings)
 
     if args.update_baseline:
         count = Baseline(frozenset()).write(args.update_baseline, findings)
@@ -531,6 +577,96 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{finding.format()}  [baselined]")
         print(render_text(findings))
     return 1 if findings else 0
+
+
+def _git_changed_files(base: str) -> list[str]:
+    """Paths changed vs ``base`` plus untracked files, git-relative.
+
+    Raises :class:`RuntimeError` when git is unavailable or the ref
+    does not resolve, so the CLI can exit 2 with a clear message.
+    """
+    import subprocess
+
+    changed: list[str] = []
+    for command in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, check=False
+            )
+        except OSError as exc:
+            raise RuntimeError(f"cannot run git: {exc}") from exc
+        if result.returncode != 0:
+            detail = result.stderr.strip() or f"git exited {result.returncode}"
+            raise RuntimeError(f"--changed {base}: {detail}")
+        changed.extend(
+            line.strip()
+            for line in result.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
+
+
+def _lint_locate_map(paths) -> dict:
+    """Report-path -> on-disk path for every analysed file.
+
+    Mirrors how the engine derives report paths: directory trees are
+    addressed as ``<root.name>/<relative>``, standalone files exactly
+    as given.
+    """
+    from pathlib import Path
+
+    locate: dict = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file_path in sorted(path.rglob("*.py")):
+                report = str(Path(path.name) / file_path.relative_to(path))
+                locate[report] = file_path
+        else:
+            locate[str(path)] = path
+    return locate
+
+
+def _lint_fix(args: argparse.Namespace, findings) -> int:
+    """Apply (or preview) SUP001 suppression autofixes."""
+    from repro.analysis.engine import UNUSED_SUPPRESSION_ID
+    from repro.analysis.fix import plan_suppression_fixes, render_diff
+
+    plans = plan_suppression_fixes(findings, _lint_locate_map(args.paths))
+    removed = sum(plan.removed for plan in plans)
+    narrowed = sum(plan.narrowed for plan in plans)
+    if args.dry_run:
+        diff = render_diff(plans)
+        if diff:
+            print(diff, end="")
+        print(
+            f"would remove {removed} and narrow {narrowed} "
+            f"suppression(s) across {len(plans)} file(s)"
+        )
+        return 1 if plans else 0
+    for plan in plans:
+        plan.path.write_text(plan.fixed)
+    print(
+        f"removed {removed} and narrowed {narrowed} suppression(s) "
+        f"across {len(plans)} file(s)"
+    )
+    fixed_paths = {plan.display_path for plan in plans}
+    remaining = [
+        finding
+        for finding in findings
+        if not (
+            finding.rule_id == UNUSED_SUPPRESSION_ID
+            and finding.path in fixed_paths
+        )
+    ]
+    if remaining:
+        from repro.analysis import render_text
+
+        print(render_text(remaining))
+    return 1 if remaining else 0
 
 
 def _report_checksum(report) -> str:

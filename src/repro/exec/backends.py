@@ -570,8 +570,12 @@ class SharedMemoryBackend(ProcessPoolBackend):
                 )
                 results.append(parts if len(parts) > 1 else parts[0])
         finally:
-            slab.close()
-            slab.unlink()
+            # close() can itself raise (e.g. a dead mmap); nesting keeps
+            # unlink() guaranteed so the slab never outlives the call.
+            try:
+                slab.close()
+            finally:
+                slab.unlink()
         return results
 
 

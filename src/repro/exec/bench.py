@@ -172,8 +172,12 @@ class BenchReport:
                 if not prior and previous.get("timings"):
                     prior = [history_entry_from(previous)]
             payload["history"] = prior + [history_entry_from(payload)]
-        with open(path, "w", encoding="utf-8") as handle:
+        # Atomic write: the bench history is the regression gate's input,
+        # so a crash mid-write must never leave a torn file behind.
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp_path, path)
 
     def to_text(self) -> str:
         lines = ["Execution-backend benchmark (nested Monte Carlo hot paths)"]

@@ -13,6 +13,7 @@ re-provision and still finish in time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.disar.monitoring import ProgressMonitor
@@ -123,7 +124,7 @@ class DeadlineGuard:
         fraction comes from the monitor's events.
         """
         fraction = monitor.completion_fraction()
-        if fraction != fraction:  # no total registered yet
+        if math.isnan(fraction):  # no total registered yet
             fraction = 0.0
         return self.evaluate(max(now - started_at, 0.0), fraction)
 

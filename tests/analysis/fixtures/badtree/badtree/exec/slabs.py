@@ -1,0 +1,28 @@
+"""RES001-RES003 carriers: resource-lifecycle hazards."""
+
+__all__ = ["bad_leak", "bad_checkpoint", "bad_mask", "good_with"]
+
+
+def bad_leak(path):
+    fh = open(path)  # RES001: close() unreachable if read() raises
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def bad_checkpoint(path, payload):
+    with open(path, "w") as fh:  # RES002: torn file on crash mid-write
+        fh.write(payload)
+
+
+def bad_mask(task, slab):
+    try:
+        return task()
+    finally:
+        slab.close()
+        raise RuntimeError("cleanup failed")  # RES003: masks in-flight error
+
+
+def good_with(path):
+    with open(path) as fh:  # clean: with-managed handle
+        return fh.read()

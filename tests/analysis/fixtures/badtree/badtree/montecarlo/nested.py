@@ -9,6 +9,7 @@ __all__ = [
     "bad_accumulate",
     "bad_reserialize",
     "bad_slab_copy",
+    "bad_fused_reduce",
     "good_batched",
 ]
 
@@ -38,6 +39,11 @@ def bad_reserialize(engine, chunks):
 def bad_slab_copy(buf, n):
     view = np.ndarray((n,), dtype=float, buffer=buf)
     return view.copy()  # PERF004: copying a shared-memory view
+
+
+def bad_fused_reduce(chunks):
+    fused = np.concatenate(chunks)
+    return fused.sum(axis=0)  # NUM004: no documented fusion tolerance
 
 
 def good_batched(rows, engine):

@@ -1,0 +1,26 @@
+"""NUM001-NUM003 carriers: precision and ordering hazards."""
+
+import math
+
+import numpy as np
+
+__all__ = ["bad_narrow", "bad_equal", "bad_hash_order", "good_sorted"]
+
+
+def bad_narrow(values):
+    compact = np.float32  # clean here: the dtype closure chases the alias
+    return np.asarray(values).astype(compact)  # NUM001: mantissa halved
+
+
+def bad_equal(scr: float, reference: float) -> bool:
+    return scr == reference  # NUM002: bit-exact float equality
+
+
+def bad_hash_order(values):
+    shocks = {float(v) for v in values}
+    return math.fsum(shocks)  # NUM003: set iterated in hash order
+
+
+def good_sorted(values):
+    shocks = {float(v) for v in values}
+    return math.fsum(sorted(shocks))  # clean: sorted order is reproducible

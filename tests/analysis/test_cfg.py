@@ -1,0 +1,248 @@
+"""Golden edge lists for the CFG builder.
+
+Each test pins the complete ``src -> dst [kind]`` edge set of one
+tricky construct, sorted for readability.  Any change to exception
+routing, ``finally`` duplication or loop wiring shows up as an exact
+diff against these lists.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, function_cfg
+
+
+def cfg_of(source, **kwargs):
+    fn = ast.parse(textwrap.dedent(source)).body[0]
+    return function_cfg(fn, **kwargs)
+
+
+def edges(source, **kwargs):
+    return sorted(cfg_of(source, **kwargs).edge_list())
+
+
+class TestTryExceptElseFinally:
+    SOURCE = """
+    def f(path):
+        try:
+            fh = open(path)
+        except OSError:
+            return None
+        else:
+            data = fh.read()
+        finally:
+            log()
+        return data
+    """
+
+    def test_golden_edges(self):
+        assert edges(self.SOURCE) == [
+            "<entry> -> Assign@4",
+            "Assign@4 -> Assign@8",
+            "Assign@4 -> ExceptHandler@5 [exception]",
+            "Assign@4 -> Expr@10#2 [exception]",
+            "Assign@8 -> Expr@10 [exception]",
+            "Assign@8 -> Expr@10#3",
+            "ExceptHandler@5 -> Expr@10 [exception]",
+            "ExceptHandler@5 -> Return@6",
+            "Expr@10 -> <raise> [exception]",
+            "Expr@10#1 -> <exit>",
+            "Expr@10#2 -> <raise> [exception]",
+            "Expr@10#3 -> Return@11",
+            "Return@11 -> <exit>",
+            "Return@6 -> Expr@10 [exception]",
+            "Return@6 -> Expr@10#1",
+        ]
+
+    def test_finally_is_duplicated_per_continuation(self):
+        cfg = cfg_of(self.SOURCE)
+        fn = [n for n in cfg.nodes if n.stmt is not None and n.stmt.lineno == 10]
+        # Normal fall-through, return, and two exception copies.
+        assert len(fn) == 4
+        stmt = fn[0].stmt
+        assert sorted(cfg.nodes_for(stmt)) == sorted(n.index for n in fn)
+
+
+class TestNestedWith:
+    SOURCE = """
+    def f(a, b):
+        with a() as x:
+            with b() as y:
+                work(x, y)
+        done()
+    """
+
+    def test_golden_edges(self):
+        assert edges(self.SOURCE) == [
+            "<entry> -> With@3",
+            "Expr@5 -> Expr@6",
+            "Expr@6 -> <exit>",
+            "With@3 -> With@4",
+            "With@4 -> Expr@5",
+        ]
+
+
+class TestWhileElse:
+    SOURCE = """
+    def f(items):
+        i = 0
+        while i < 3:
+            consume(i)
+            i = i + 1
+        else:
+            wrap()
+        return i
+    """
+
+    def test_golden_edges(self):
+        assert edges(self.SOURCE) == [
+            "<entry> -> Assign@3",
+            "Assign@3 -> While@4",
+            "Assign@6 -> While@4",
+            "Expr@5 -> Assign@6",
+            "Expr@8 -> Return@9",
+            "Return@9 -> <exit>",
+            "While@4 -> Expr@5",
+            "While@4 -> Expr@8",
+        ]
+
+    def test_while_true_has_no_false_exit(self):
+        source = """
+        def f(q):
+            while True:
+                item = q.get()
+                if item is None:
+                    return item
+        """
+        assert edges(source) == [
+            "<entry> -> While@3",
+            "Assign@4 -> If@5",
+            "If@5 -> Return@6",
+            "If@5 -> While@3",
+            "Return@6 -> <exit>",
+            "While@3 -> Assign@4",
+        ]
+
+
+class TestBreakThroughFinally:
+    SOURCE = """
+    def f(jobs):
+        for job in jobs:
+            try:
+                if job:
+                    break
+            finally:
+                release(job)
+        return jobs
+    """
+
+    def test_golden_edges(self):
+        # Three finally copies: break continuation (#1 -> loop exit),
+        # normal continuation (#2 -> loop head), exception (-> raise).
+        assert edges(self.SOURCE) == [
+            "<entry> -> For@3",
+            "Break@6 -> Expr@8 [exception]",
+            "Break@6 -> Expr@8#1",
+            "Expr@8 -> <raise> [exception]",
+            "Expr@8#1 -> Return@9",
+            "Expr@8#2 -> For@3",
+            "For@3 -> If@5",
+            "For@3 -> Return@9",
+            "If@5 -> Break@6",
+            "If@5 -> Expr@8 [exception]",
+            "If@5 -> Expr@8#2",
+            "Return@9 -> <exit>",
+        ]
+
+
+class TestComprehensionsAndMatch:
+    def test_comprehension_is_one_node(self):
+        # The comprehension's internal loop is an expression detail,
+        # not statement-level control flow.
+        source = """
+        def f(rows):
+            out = [r * 2 for r in rows]
+            return out
+        """
+        assert edges(source) == [
+            "<entry> -> Assign@3",
+            "Assign@3 -> Return@4",
+            "Return@4 -> <exit>",
+        ]
+
+    def test_match_with_wildcard_cannot_fall_through(self):
+        source = """
+        def f(cmd):
+            match cmd:
+                case "go":
+                    return 1
+                case _:
+                    return 0
+        """
+        assert edges(source) == [
+            "<entry> -> Match@3",
+            "Match@3 -> Return@5",
+            "Match@3 -> Return@7",
+            "Return@5 -> <exit>",
+            "Return@7 -> <exit>",
+        ]
+
+    def test_match_without_wildcard_falls_through(self):
+        source = """
+        def f(cmd):
+            match cmd:
+                case "go":
+                    return 1
+            return 2
+        """
+        assert edges(source) == [
+            "<entry> -> Match@3",
+            "Match@3 -> Return@5",
+            "Match@3 -> Return@6",
+            "Return@5 -> <exit>",
+            "Return@6 -> <exit>",
+        ]
+
+
+class TestUnreachableAndModes:
+    def test_statement_after_return_has_no_predecessors(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                cleanup()
+            """
+        )
+        dead = [
+            node.label()
+            for node in cfg.nodes
+            if node.kind == "stmt" and not cfg.predecessors(node.index)
+        ]
+        assert dead == ["Expr@4"]
+        reachable = cfg.reachable()
+        labels = {
+            node.label(): node.index in reachable
+            for node in cfg.nodes
+            if node.kind == "stmt"
+        }
+        assert labels == {"Return@3": True, "Expr@4": False}
+
+    def test_conservative_raises_adds_exception_edges_outside_try(self):
+        source = """
+        def f(path):
+            fh = open(path)
+            fh.close()
+        """
+        assert "Assign@3 -> <raise> [exception]" not in edges(source)
+        conservative = edges(source, conservative_raises=True)
+        assert "Assign@3 -> <raise> [exception]" in conservative
+        assert "Expr@4 -> <raise> [exception]" in conservative
+
+    def test_build_cfg_accepts_a_bare_statement_list(self):
+        body = ast.parse("x = 1\ny = x + 1\n").body
+        cfg = build_cfg(body, name="<module>")
+        assert sorted(cfg.edge_list()) == [
+            "<entry> -> Assign@1",
+            "Assign@1 -> Assign@2",
+            "Assign@2 -> <exit>",
+        ]

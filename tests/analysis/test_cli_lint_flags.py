@@ -1,0 +1,133 @@
+"""``repro lint --jobs`` parallelism and ``--changed`` filtering."""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import engine_fingerprint
+from repro.analysis.engine import AnalysisEngine
+from repro.cli import main
+
+BADTREE = Path(__file__).resolve().parent / "fixtures" / "badtree"
+
+
+def lint_output(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestJobs:
+    def test_parallel_output_is_byte_identical(self, capsys):
+        base = ["lint", "--no-cache", str(BADTREE)]
+        serial_code, serial_out = lint_output(capsys, base)
+        parallel_code, parallel_out = lint_output(
+            capsys, [*base, "--jobs", "4"]
+        )
+        assert serial_code == parallel_code == 1
+        assert serial_out == parallel_out
+
+    def test_jobs_does_not_change_the_cache_fingerprint(self):
+        serial = engine_fingerprint(AnalysisEngine(jobs=1))
+        parallel = engine_fingerprint(AnalysisEngine(jobs=4))
+        assert serial == parallel
+
+    def test_warm_cache_run_matches_cold_parallel_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "lint-cache.json")
+        _, cold = lint_output(
+            capsys, ["lint", "--cache", cache, str(BADTREE)]
+        )
+        _, warm = lint_output(
+            capsys, ["lint", "--cache", cache, "--jobs", "4", str(BADTREE)]
+        )
+        assert cold == warm
+
+    def test_unclonable_rule_falls_back_to_serial(self, tmp_path):
+        from repro.analysis.rules import UnseededGeneratorRule
+
+        class PinnedRule(UnseededGeneratorRule):
+            def __init__(self, marker):  # no zero-arg clone possible
+                super().__init__()
+                self.marker = marker
+
+        (tmp_path / "a.py").write_text(
+            "__all__ = []\nimport numpy as np\ng = np.random.default_rng()\n"
+        )
+        (tmp_path / "b.py").write_text("__all__ = ['x']\nx = 1\n")
+        engine = AnalysisEngine(
+            [PinnedRule("m")], jobs=4, audit_suppressions=False
+        )
+        findings = engine.run_path(tmp_path)
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    def git(*argv):
+        subprocess.run(
+            [
+                "git",
+                "-c", "user.name=t",
+                "-c", "user.email=t@t",
+                *argv,
+            ],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    monkeypatch.chdir(tmp_path)
+    git("init", "-q")
+    dirty = "__all__ = []\nimport numpy as np\ng = np.random.default_rng()\n"
+    (tmp_path / "stable.py").write_text(dirty)
+    (tmp_path / "touched.py").write_text("__all__ = ['x']\nx = 1\n")
+    git("add", ".")
+    git("commit", "-qm", "seed")
+    (tmp_path / "touched.py").write_text(dirty)
+    return tmp_path
+
+
+class TestChanged:
+    def test_only_changed_files_report(self, capsys, git_tree):
+        code, out = lint_output(
+            capsys,
+            ["lint", "--no-cache", "--changed", "HEAD", str(git_tree)],
+        )
+        assert code == 1
+        assert "touched.py" in out
+        assert "stable.py" not in out
+
+    def test_untracked_files_count_as_changed(self, capsys, git_tree):
+        (git_tree / "fresh.py").write_text(
+            "__all__ = []\nimport numpy as np\ng = np.random.default_rng()\n"
+        )
+        _, out = lint_output(
+            capsys,
+            ["lint", "--no-cache", "--changed", "HEAD", str(git_tree)],
+        )
+        assert "fresh.py" in out
+        assert "stable.py" not in out
+
+    def test_clean_diff_exits_zero(self, capsys, git_tree):
+        (git_tree / "touched.py").write_text("__all__ = ['x']\nx = 1\n")
+        code, out = lint_output(
+            capsys,
+            ["lint", "--no-cache", "--changed", "HEAD", str(git_tree)],
+        )
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_bad_ref_is_a_usage_error(self, capsys, git_tree):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--no-cache",
+                    "--changed",
+                    "no-such-ref",
+                    str(git_tree),
+                ]
+            )
+            == 2
+        )
+        assert "no-such-ref" in capsys.readouterr().err

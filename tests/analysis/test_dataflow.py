@@ -1,0 +1,185 @@
+"""The generic dataflow solver: directions, lattices, convergence."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import function_cfg
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    GenKillProblem,
+    solve,
+    solve_closure,
+)
+
+
+def cfg_of(source, **kwargs):
+    fn = ast.parse(textwrap.dedent(source)).body[0]
+    return function_cfg(fn, **kwargs)
+
+
+def node_named(cfg, label):
+    for node in cfg.nodes:
+        if node.label() == label:
+            return node.index
+    raise AssertionError(f"no node labelled {label}")
+
+
+def assigned_names(node):
+    if node.stmt is None or not isinstance(node.stmt, ast.Assign):
+        return ()
+    return tuple(
+        target.id
+        for target in node.stmt.targets
+        if isinstance(target, ast.Name)
+    )
+
+
+class TestForwardMay:
+    def test_definitions_reach_the_exit_through_branches(self):
+        cfg = cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    y = 2
+                z = 3
+            """
+        )
+        result = solve(
+            cfg,
+            GenKillProblem(assigned_names, lambda node: ()),
+        )
+        # Union join: both branch definitions may reach the exit.
+        assert result.before[cfg.exit] == frozenset({"x", "y", "z"})
+
+    def test_kill_removes_facts_along_the_path(self):
+        cfg = cfg_of(
+            """
+            def f():
+                x = 1
+                x = 2
+            """
+        )
+        gen = {2: ("x@2",), 3: ("x@3",)}
+        result = solve(
+            cfg,
+            GenKillProblem(
+                lambda node: gen.get(
+                    node.stmt.lineno if node.stmt else 0, ()
+                ),
+                lambda node: ("x@2",) if node.stmt and node.stmt.lineno == 3 else (),
+            ),
+        )
+        assert result.before[cfg.exit] == frozenset({"x@3"})
+
+
+class TestBackwardMust:
+    def test_release_guaranteed_only_on_the_covered_path(self):
+        cfg = cfg_of(
+            """
+            def f(flag, fh):
+                if flag:
+                    fh.close()
+                done()
+            """
+        )
+
+        def gen(node):
+            return (
+                ("close",)
+                if node.stmt is not None and "close" in ast.dump(node.stmt)
+                else ()
+            )
+
+        result = solve(
+            cfg,
+            GenKillProblem(gen, lambda node: (), direction=BACKWARD, must=True),
+        )
+        # Intersection join at the branch point: the close is not
+        # guaranteed from before the if (the else path skips it).
+        assert result.before[node_named(cfg, "If@3")] == frozenset()
+        assert result.after[node_named(cfg, "Expr@4")] == frozenset({"close"})
+
+    def test_unreachable_node_stays_top_and_does_not_pollute(self):
+        cfg = cfg_of(
+            """
+            def f(fh):
+                fh.close()
+                return None
+                orphan()
+            """
+        )
+        result = solve(
+            cfg,
+            GenKillProblem(
+                lambda node: ("close",)
+                if node.stmt is not None and "close" in ast.dump(node.stmt)
+                else (),
+                lambda node: (),
+                direction=BACKWARD,
+                must=True,
+            ),
+        )
+        # The must-fact survives at the entry even though a dead node
+        # exists: TOP states never join.
+        assert result.before[cfg.entry] == frozenset({"close"})
+
+    def test_exception_edges_break_the_guarantee(self):
+        source = """
+        def f(path):
+            fh = open(path)
+            work(fh)
+            fh.close()
+        """
+
+        def gen(node):
+            return (
+                ("close",)
+                if node.stmt is not None
+                and isinstance(node.stmt, ast.Expr)
+                and "close" in ast.dump(node.stmt)
+                else ()
+            )
+
+        def guaranteed(cfg):
+            result = solve(
+                cfg,
+                GenKillProblem(
+                    gen, lambda node: (), direction=BACKWARD, must=True
+                ),
+            )
+            return result.before[node_named(cfg, "Expr@4")]
+
+        # Plain graph: work() cannot raise, so close is guaranteed.
+        assert guaranteed(cfg_of(source)) == frozenset({"close"})
+        # Conservative graph: work()'s raise path skips the close.
+        assert guaranteed(
+            cfg_of(source, conservative_raises=True)
+        ) == frozenset()
+
+
+class TestSolveClosure:
+    def test_runs_until_the_measure_stops_growing(self):
+        facts = {1}
+
+        def step():
+            if len(facts) < 4:
+                facts.add(len(facts) + 1)
+
+        rounds = solve_closure(step, lambda: len(facts))
+        assert facts == {1, 2, 3, 4}
+        # Three growing rounds plus the final no-growth round.
+        assert rounds == 4
+
+    def test_raises_when_the_closure_never_settles(self):
+        counter = [0]
+
+        def step():
+            counter[0] += 1
+
+        with pytest.raises(RuntimeError, match="still growing"):
+            solve_closure(step, lambda: counter[0], max_rounds=5)

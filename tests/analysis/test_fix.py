@@ -1,0 +1,144 @@
+"""Suppression autofix planning (``repro.analysis.fix``)."""
+
+import textwrap
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.fix import plan_suppression_fixes, render_diff
+
+
+def plans_for(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    findings = AnalysisEngine().run_path(path)
+    return plan_suppression_fixes(findings, {str(path): path}), path
+
+
+class TestPlanSuppressionFixes:
+    def test_stale_bracket_line_is_dropped_entirely(self, tmp_path):
+        plans, path = plans_for(
+            tmp_path,
+            """
+            __all__ = []
+
+            def stale():
+                return 1  # repro: noqa[DET001]
+            """,
+        )
+        assert len(plans) == 1
+        assert plans[0].removed == 1
+        assert plans[0].narrowed == 0
+        assert "# repro: noqa" not in plans[0].fixed
+        assert "return 1\n" in plans[0].fixed
+
+    def test_blanket_suppression_is_removed(self, tmp_path):
+        plans, _ = plans_for(
+            tmp_path,
+            """
+            __all__ = []
+            x = 1  # repro: noqa
+            """,
+        )
+        assert len(plans) == 1
+        assert plans[0].removed == 1
+        assert "x = 1\n" in plans[0].fixed
+
+    def test_partially_stale_bracket_is_narrowed(self, tmp_path):
+        plans, _ = plans_for(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+            g = np.random.default_rng()  # repro: noqa[DET001, PERF001]
+            """,
+        )
+        assert len(plans) == 1
+        assert plans[0].narrowed == 1
+        assert plans[0].removed == 0
+        assert "# repro: noqa[DET001]" in plans[0].fixed
+
+    def test_live_suppression_is_untouched(self, tmp_path):
+        plans, _ = plans_for(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+            g = np.random.default_rng()  # repro: noqa[DET001]
+            """,
+        )
+        assert plans == []
+
+    def test_unlocatable_file_is_skipped(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("__all__ = []\nx = 1  # repro: noqa\n")
+        findings = AnalysisEngine().run_path(path)
+        assert plan_suppression_fixes(findings, {}) == []
+
+    def test_render_diff_is_a_unified_diff(self, tmp_path):
+        plans, path = plans_for(
+            tmp_path,
+            """
+            __all__ = []
+            x = 1  # repro: noqa
+            """,
+        )
+        diff = render_diff(plans)
+        assert diff.startswith(f"--- a/{path}")
+        assert "-x = 1  # repro: noqa\n" in diff
+        assert "+x = 1\n" in diff
+
+
+class TestLintFixCli:
+    STALE = (
+        "__all__ = []\n"
+        "\n"
+        "def stale():\n"
+        "    return 1  # repro: noqa[DET001]\n"
+    )
+
+    def test_dry_run_prints_diff_and_leaves_the_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "mod.py"
+        path.write_text(self.STALE)
+        assert main(
+            ["lint", "--no-cache", "--fix", "--dry-run", str(path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "would remove 1 and narrow 0" in out
+        assert "-    return 1  # repro: noqa[DET001]" in out
+        assert path.read_text() == self.STALE
+
+    def test_fix_rewrites_the_file_and_exits_clean(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "mod.py"
+        path.write_text(self.STALE)
+        assert main(["lint", "--no-cache", "--fix", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 and narrowed 0" in out
+        assert "# repro: noqa" not in path.read_text()
+        # The tree is clean after the fix.
+        assert main(["lint", "--no-cache", str(path)]) == 0
+
+    def test_fix_reports_findings_it_cannot_fix(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "__all__ = []\n"
+            "import numpy as np\n"
+            "g = np.random.default_rng()\n"
+            "x = 1  # repro: noqa\n"
+        )
+        assert main(["lint", "--no-cache", "--fix", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "removed 1 and narrowed 0" in out
+        assert "DET001" in out
+
+    def test_fix_on_a_clean_tree_is_a_no_op(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "mod.py"
+        path.write_text("__all__ = ['x']\nx = 1\n")
+        assert main(["lint", "--no-cache", "--fix", str(path)]) == 0
+        assert "removed 0 and narrowed 0" in capsys.readouterr().out

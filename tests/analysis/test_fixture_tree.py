@@ -25,10 +25,17 @@ EXPECTED = {
     ("montecarlo/util.py", 10, "SEED002"),
     ("montecarlo/util.py", 14, "SEED003"),
     ("montecarlo/util.py", 18, "SUP001"),
-    ("montecarlo/nested.py", 19, "PERF001"),
-    ("montecarlo/nested.py", 27, "PERF002"),
-    ("montecarlo/nested.py", 34, "PERF003"),
-    ("montecarlo/nested.py", 40, "PERF004"),
+    ("montecarlo/nested.py", 20, "PERF001"),
+    ("montecarlo/nested.py", 28, "PERF002"),
+    ("montecarlo/nested.py", 35, "PERF003"),
+    ("montecarlo/nested.py", 41, "PERF004"),
+    ("montecarlo/nested.py", 46, "NUM004"),
+    ("montecarlo/precision.py", 12, "NUM001"),
+    ("montecarlo/precision.py", 16, "NUM002"),
+    ("montecarlo/precision.py", 21, "NUM003"),
+    ("exec/slabs.py", 7, "RES001"),
+    ("exec/slabs.py", 14, "RES002"),
+    ("exec/slabs.py", 23, "RES003"),
     ("cluster/comm.py", 10, "CONC003"),
     ("cluster/comm.py", 17, "CONC001"),
     ("cluster/comm.py", 20, "CONC002"),
@@ -54,9 +61,34 @@ def test_fixture_findings_carry_pack_and_fingerprint():
     assert packs["SEED001"] == "seeding"
     assert packs["CONC001"] == "concurrency"
     assert packs["SUP001"] == "suppressions"
+    assert packs["RES001"] == "resources"
+    assert packs["NUM001"] == "numerics"
     fingerprints = [finding.fingerprint for finding in findings]
     assert all(len(fp) == 16 for fp in fingerprints)
     assert len(set(fingerprints)) == len(fingerprints)
+
+
+def test_seed_fingerprints_survived_the_dataflow_port():
+    """SEED verdicts are pinned bit-for-bit across solver refactors.
+
+    The seeding pack's closure passes now run on
+    :func:`repro.analysis.dataflow.solve_closure`; these fingerprints
+    were captured before that port, so any behavioural drift in the
+    shared driver shows up as an exact mismatch here.
+    """
+    findings = AnalysisEngine().run_path(FIXTURE_ROOT)
+    seeded = {
+        (finding.rule_id, finding.line): finding.fingerprint
+        for finding in findings
+        if finding.pack == "seeding"
+    }
+    assert seeded == {
+        ("SEED001", 9): "0ef77c192d1133c1",
+        ("SEED001", 14): "8278db3e81ec3224",
+        ("SEED001", 31): "fc2c47be61459e80",
+        ("SEED002", 10): "9bde6a22875f6e23",
+        ("SEED003", 14): "a87c8812130f133b",
+    }
 
 
 def test_fixture_findings_are_stable_across_runs():

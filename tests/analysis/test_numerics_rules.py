@@ -1,0 +1,254 @@
+"""The NUM pack: precision, float equality and ordering determinism.
+
+``check_source`` snippets use ``filename="montecarlo.py"`` so the
+module lands in ``NUMERIC_PACKAGES``; NUM004 snippets use
+``filename="nested.py"`` to match the ``montecarlo.nested`` hot-path
+registration.
+"""
+
+import textwrap
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import (
+    FloatComparisonRule,
+    FusedAxisReductionRule,
+    LowPrecisionDtypeRule,
+    SetOrderReductionRule,
+)
+
+
+def lint(rule, source, filename="montecarlo.py"):
+    engine = AnalysisEngine([rule], audit_suppressions=False)
+    return engine.check_source(textwrap.dedent(source), filename=filename)
+
+
+class TestLowPrecisionDtype:
+    def test_direct_cast_call_flags(self):
+        snippet = """
+        import numpy as np
+
+        def narrow(x):
+            return np.float32(x)
+        """
+        findings = lint(LowPrecisionDtypeRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM001"]
+
+    def test_astype_with_string_dtype_flags(self):
+        snippet = """
+        def narrow(arr):
+            return arr.astype("float32")
+        """
+        findings = lint(LowPrecisionDtypeRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM001"]
+
+    def test_dtype_kwarg_flags(self):
+        snippet = """
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, dtype=np.float16)
+        """
+        findings = lint(LowPrecisionDtypeRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM001"]
+
+    def test_dtype_name_closure_chases_aliases(self):
+        snippet = """
+        import numpy as np
+
+        compact = "f4"
+
+        def alloc(n):
+            return np.zeros(n, dtype=compact)
+        """
+        findings = lint(LowPrecisionDtypeRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM001"]
+
+    def test_float64_is_clean(self):
+        snippet = """
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, dtype=np.float64)
+        """
+        assert lint(LowPrecisionDtypeRule(), snippet) == []
+
+    def test_out_of_scope_module_silent(self):
+        snippet = """
+        import numpy as np
+
+        def thumbnail(img):
+            return img.astype(np.float32)
+        """
+        assert lint(LowPrecisionDtypeRule(), snippet, filename="plots.py") == []
+
+
+class TestFloatComparison:
+    def test_annotated_floats_flag(self):
+        snippet = """
+        def same(scr: float, reference: float) -> bool:
+            return scr == reference
+        """
+        findings = lint(FloatComparisonRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM002"]
+        assert "isclose" in findings[0].message
+
+    def test_self_comparison_is_called_out_as_a_nan_probe(self):
+        snippet = """
+        def weird(x: float) -> bool:
+            return x != x
+        """
+        findings = lint(FloatComparisonRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM002"]
+        assert "math.isnan" in findings[0].message
+
+    def test_literal_comparisons_belong_to_det004(self):
+        snippet = """
+        def probe(x: float) -> bool:
+            return x == 0.5
+        """
+        assert lint(FloatComparisonRule(), snippet) == []
+
+    def test_unannotated_names_are_not_assumed_float(self):
+        snippet = """
+        def same(a, b):
+            return a == b
+        """
+        assert lint(FloatComparisonRule(), snippet) == []
+
+    def test_float_propagates_through_assignments(self):
+        snippet = """
+        def drift(total: float, n):
+            mean = total / n
+            other = mean
+            return mean == other
+        """
+        findings = lint(FloatComparisonRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM002"]
+
+    def test_applies_outside_the_numeric_packages(self):
+        snippet = """
+        def same(scr: float, reference: float) -> bool:
+            return scr == reference
+        """
+        findings = lint(FloatComparisonRule(), snippet, filename="plots.py")
+        assert [f.rule_id for f in findings] == ["NUM002"]
+
+
+class TestSetOrderReduction:
+    def test_sum_over_set_literal_flags(self):
+        snippet = """
+        def total(values):
+            return sum({float(v) for v in values})
+        """
+        findings = lint(SetOrderReductionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM003"]
+
+    def test_loop_accumulation_over_set_flags(self):
+        snippet = """
+        def total(values):
+            shocks = set(values)
+            acc = 0.0
+            for shock in shocks:
+                acc += shock
+            return acc
+        """
+        findings = lint(SetOrderReductionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["NUM003"]
+
+    def test_sorted_iteration_is_clean(self):
+        snippet = """
+        def total(values):
+            shocks = set(values)
+            acc = 0.0
+            for shock in sorted(shocks):
+                acc += shock
+            return sum(sorted(shocks))
+        """
+        assert lint(SetOrderReductionRule(), snippet) == []
+
+    def test_list_iteration_is_clean(self):
+        snippet = """
+        def total(values):
+            acc = 0.0
+            for value in values:
+                acc += value
+            return acc
+        """
+        assert lint(SetOrderReductionRule(), snippet) == []
+
+    def test_out_of_scope_module_silent(self):
+        snippet = """
+        def total(values):
+            return sum({float(v) for v in values})
+        """
+        assert lint(SetOrderReductionRule(), snippet, filename="plots.py") == []
+
+
+class TestFusedAxisReduction:
+    FUSED = """
+    import numpy as np
+
+    def collect(chunks):
+        merged = np.concatenate(chunks)
+        return merged.sum(axis=0)
+    """
+
+    def test_axis_reduction_over_fused_array_flags(self):
+        findings = lint(FusedAxisReductionRule(), self.FUSED, filename="nested.py")
+        assert [f.rule_id for f in findings] == ["NUM004"]
+
+    def test_np_sum_form_flags(self):
+        snippet = """
+        import numpy as np
+
+        def collect(chunks):
+            return np.sum(np.vstack(chunks), axis=0)
+        """
+        findings = lint(FusedAxisReductionRule(), snippet, filename="nested.py")
+        assert [f.rule_id for f in findings] == ["NUM004"]
+
+    def test_documented_tolerance_exempts_the_function(self):
+        snippet = """
+        import numpy as np
+
+        def collect(chunks):
+            \"\"\"Fused reduction; tolerance 1e-12 vs per-chunk sums.\"\"\"
+            merged = np.concatenate(chunks)
+            return merged.sum(axis=0)
+        """
+        assert lint(FusedAxisReductionRule(), snippet, filename="nested.py") == []
+
+    def test_per_chunk_reduction_is_clean(self):
+        snippet = """
+        import numpy as np
+
+        def collect(chunks):
+            return [chunk.sum(axis=0) for chunk in chunks]
+        """
+        assert lint(FusedAxisReductionRule(), snippet, filename="nested.py") == []
+
+    def test_axisless_reduction_is_clean(self):
+        snippet = """
+        import numpy as np
+
+        def collect(chunks):
+            merged = np.concatenate(chunks)
+            return merged.sum()
+        """
+        assert lint(FusedAxisReductionRule(), snippet, filename="nested.py") == []
+
+    def test_asarray_of_plain_rows_is_not_fused(self):
+        snippet = """
+        import numpy as np
+
+        def collect(rows):
+            matrix = np.asarray(rows)
+            return matrix.sum(axis=0)
+        """
+        assert lint(FusedAxisReductionRule(), snippet, filename="nested.py") == []
+
+    def test_non_hot_path_module_silent(self):
+        assert (
+            lint(FusedAxisReductionRule(), self.FUSED, filename="helpers.py")
+            == []
+        )

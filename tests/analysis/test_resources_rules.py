@@ -1,0 +1,262 @@
+"""The RES pack: CFG-backed resource lifecycle and write atomicity.
+
+``check_source`` snippets use ``filename="exec.py"`` so the module
+name lands inside ``RESOURCE_PACKAGES`` and the scope check passes.
+"""
+
+import textwrap
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.rules import (
+    FinallyMasksExceptionRule,
+    NonAtomicWriteRule,
+    ResourceLeakRule,
+)
+
+
+def lint(rule, source, filename="exec.py"):
+    engine = AnalysisEngine([rule], audit_suppressions=False)
+    return engine.check_source(textwrap.dedent(source), filename=filename)
+
+
+class TestResourceLeak:
+    LEAKY = """
+    def load(path):
+        fh = open(path)
+        data = fh.read()
+        fh.close()
+        return data
+    """
+
+    def test_close_missing_on_exception_path(self):
+        findings = lint(ResourceLeakRule(), self.LEAKY)
+        assert [f.rule_id for f in findings] == ["RES001"]
+        assert "fh.close()" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_try_finally_covers_every_path(self):
+        snippet = """
+        def load(path):
+            fh = open(path)
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+        """
+        assert lint(ResourceLeakRule(), snippet) == []
+
+    def test_with_managed_handle_is_out_of_scope(self):
+        snippet = """
+        def load(path):
+            with open(path) as fh:
+                return fh.read()
+        """
+        assert lint(ResourceLeakRule(), snippet) == []
+
+    def test_escaping_handle_moves_ownership(self):
+        snippet = """
+        def load(path):
+            fh = open(path)
+            return fh
+        """
+        assert lint(ResourceLeakRule(), snippet) == []
+
+    def test_created_slab_needs_close_and_unlink(self):
+        snippet = """
+        from multiprocessing import shared_memory
+
+        def lease(n):
+            slab = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                fill(slab.buf)
+            finally:
+                slab.close()
+        """
+        findings = lint(ResourceLeakRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES001"]
+        assert "slab.unlink()" in findings[0].message
+
+    def test_attached_slab_needs_close_only(self):
+        snippet = """
+        from multiprocessing import shared_memory
+
+        def attach(name):
+            slab = shared_memory.SharedMemory(name=name)
+            try:
+                consume(slab.buf)
+            finally:
+                slab.close()
+        """
+        assert lint(ResourceLeakRule(), snippet) == []
+
+    def test_pool_terminate_is_an_accepted_alternative(self):
+        snippet = """
+        from multiprocessing import Pool
+
+        def run(tasks):
+            pool = Pool(4)
+            try:
+                pool.map(len, tasks)
+            finally:
+                pool.terminate()
+        """
+        assert lint(ResourceLeakRule(), snippet) == []
+
+    def test_bare_lock_acquire_needs_release(self):
+        snippet = """
+        def tick(lock, state):
+            lock.acquire()
+            state.bump()
+        """
+        findings = lint(ResourceLeakRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES001"]
+        assert "lock.release()" in findings[0].message
+
+    def test_rebinding_orphans_the_first_acquisition(self):
+        snippet = """
+        def shuffle(a, b):
+            fh = open(a)
+            fh = open(b)
+            fh.close()
+        """
+        findings = lint(ResourceLeakRule(), snippet)
+        assert [f.line for f in findings] == [3]
+
+    def test_out_of_scope_module_silent(self):
+        assert lint(ResourceLeakRule(), self.LEAKY, filename="plots.py") == []
+
+
+class TestNonAtomicWrite:
+    TORN = """
+    def checkpoint(path, payload):
+        with open(path, "w") as fh:
+            fh.write(payload)
+    """
+
+    def test_plain_write_mode_flags(self):
+        findings = lint(NonAtomicWriteRule(), self.TORN)
+        assert [f.rule_id for f in findings] == ["RES002"]
+
+    def test_rename_in_the_function_is_atomic(self):
+        snippet = """
+        import os
+
+        def checkpoint(path, payload):
+            with open(path + ".tmp", "w") as fh:
+                fh.write(payload)
+            os.replace(path + ".tmp", path)
+        """
+        assert lint(NonAtomicWriteRule(), snippet) == []
+
+    def test_tmp_sibling_target_is_exempt(self):
+        snippet = """
+        def stage(tmp_path, payload):
+            with open(tmp_path, "w") as fh:
+                fh.write(payload)
+        """
+        assert lint(NonAtomicWriteRule(), snippet) == []
+
+    def test_write_text_counts_as_a_persistent_write(self):
+        snippet = """
+        def save(path, payload):
+            path.write_text(payload)
+        """
+        findings = lint(NonAtomicWriteRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES002"]
+
+    def test_read_mode_open_is_silent(self):
+        snippet = """
+        def load(path):
+            with open(path) as fh:
+                return fh.read()
+        """
+        assert lint(NonAtomicWriteRule(), snippet) == []
+
+    def test_out_of_scope_module_silent(self):
+        assert lint(NonAtomicWriteRule(), self.TORN, filename="plots.py") == []
+
+
+class TestFinallyMasksException:
+    def test_raise_in_finally_flags(self):
+        snippet = """
+        def f(task, slab):
+            try:
+                return task()
+            finally:
+                raise RuntimeError("cleanup failed")
+        """
+        findings = lint(FinallyMasksExceptionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES003"]
+
+    def test_return_in_finally_flags(self):
+        snippet = """
+        def f(task):
+            try:
+                task()
+            finally:
+                return None
+        """
+        findings = lint(FinallyMasksExceptionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES003"]
+
+    def test_applies_in_any_module(self):
+        snippet = """
+        def f(task):
+            try:
+                task()
+            finally:
+                return None
+        """
+        findings = lint(FinallyMasksExceptionRule(), snippet, filename="plots.py")
+        assert [f.rule_id for f in findings] == ["RES003"]
+
+    def test_guarded_raise_cannot_mask(self):
+        snippet = """
+        def f(task, slab):
+            try:
+                return task()
+            finally:
+                try:
+                    slab.close()
+                    raise RuntimeError("probe")
+                except Exception:
+                    pass
+        """
+        assert lint(FinallyMasksExceptionRule(), snippet) == []
+
+    def test_break_inside_a_loop_in_the_finally_is_local(self):
+        snippet = """
+        def f(task, handles):
+            try:
+                task()
+            finally:
+                for handle in handles:
+                    if handle.done():
+                        break
+                    handle.close()
+        """
+        assert lint(FinallyMasksExceptionRule(), snippet) == []
+
+    def test_break_escaping_the_finally_flags(self):
+        snippet = """
+        def f(tasks):
+            for task in tasks:
+                try:
+                    task()
+                finally:
+                    break
+        """
+        findings = lint(FinallyMasksExceptionRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RES003"]
+
+    def test_nested_function_body_is_opaque(self):
+        snippet = """
+        def f(task):
+            try:
+                task()
+            finally:
+                def fallback():
+                    return None
+                fallback()
+        """
+        assert lint(FinallyMasksExceptionRule(), snippet) == []

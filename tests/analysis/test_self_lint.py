@@ -2,10 +2,11 @@
 
 This is the enforcement point of the whole subsystem — every future PR
 runs the complete determinism, consistency, performance, robustness,
-architecture, seeding and concurrency packs over the entire source
-tree, so an unseeded RNG, an undeclared cross-layer import or a
-blocking call under a lock fails the suite with a precise
-``file:line`` finding instead of silently corrupting results.
+architecture, seeding, concurrency, resource-lifecycle and numerics
+packs over the entire source tree, so an unseeded RNG, an undeclared
+cross-layer import, a blocking call under a lock or a leaked slab
+fails the suite with a precise ``file:line`` finding instead of
+silently corrupting results.
 
 The gate is strict: zero findings *and* zero suppressions.  The tree
 earns its clean bill without a single ``# repro: noqa``.
@@ -33,6 +34,8 @@ def test_all_packs_are_loaded():
         "ARCH001", "ARCH002", "ARCH003", "ARCH004",
         "SEED001", "SEED002", "SEED003",
         "CONC001", "CONC002", "CONC003", "CONC004",
+        "RES001", "RES002", "RES003",
+        "NUM001", "NUM002", "NUM003", "NUM004",
     ):
         assert expected in rule_ids, f"{expected} missing from default set"
 

@@ -165,6 +165,39 @@ def _scale_array(context, payload):
     return np.asarray(payload, dtype=float) * context
 
 
+def _explode_on_marked(context, payload):
+    """Raises on the marked payload: the failure lands mid-gather,
+    after the result slab was created and other tasks succeeded."""
+    arr = np.asarray(payload, dtype=float)
+    if arr[0] == 1.0:
+        raise RuntimeError("mid-gather failure injected")
+    return arr
+
+
+def _install_recording_shm(monkeypatch, backends_module, close_raises=False):
+    """Swap the backend module's SharedMemory for a name-recording (and
+    optionally close-poisoned) subclass; returns the created-names list."""
+    created: list[str] = []
+    real_cls = multiprocessing.shared_memory.SharedMemory
+
+    class _RecordingShm(real_cls):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(self.name)
+
+        if close_raises:
+
+            def close(self):
+                super().close()
+                raise OSError("close failed")
+
+    monkeypatch.setattr(
+        backends_module.shared_memory, "SharedMemory", _RecordingShm
+    )
+    return created
+
+
 def _stats_pair(context, payload):
     """Two 1-D float64 results — the (values, std_errors) chunk shape."""
     arr = np.asarray(payload[1], dtype=float)
@@ -288,6 +321,37 @@ class TestSharedMemoryBackend:
             lambda ctx, p: p * ctx, 5.0, [np.ones(4)], out_sizes=[(4,)]
         )
         assert np.array_equal(result[0], np.full(4, 5.0))
+
+    def test_worker_failure_mid_gather_leaks_no_slab(self, monkeypatch):
+        """A task raising while results are gathered must still unlink
+        the result slab — a leaked /dev/shm segment outlives the run."""
+        from repro.exec import backends as backends_module
+
+        created = _install_recording_shm(monkeypatch, backends_module)
+        backend = SharedMemoryBackend(max_workers=2)
+        with pytest.raises(RuntimeError, match="mid-gather"):
+            backend.map_tasks(
+                _explode_on_marked,
+                1.0,
+                [np.zeros(3), np.ones(3), np.zeros(3)],
+            )
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            multiprocessing.shared_memory.SharedMemory(name=created[0])
+
+    def test_close_failure_still_unlinks_the_slab(self, monkeypatch):
+        """close() raising inside the cleanup must not mask unlink()."""
+        from repro.exec import backends as backends_module
+
+        created = _install_recording_shm(
+            monkeypatch, backends_module, close_raises=True
+        )
+        backend = SharedMemoryBackend(max_workers=2)
+        with pytest.raises(OSError, match="close failed"):
+            backend.map_tasks(_scale_array, 2.0, [np.ones(2), np.ones(2)])
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            multiprocessing.shared_memory.SharedMemory(name=created[0])
 
 
 class TestProcessPoolWorkers:
