@@ -34,6 +34,7 @@ from repro.analysis.rules.robustness import (
     RESILIENT_PACKAGES,
     BroadExceptRule,
     UnboundedRetryRule,
+    WallClockWaitRule,
     robustness_rules,
 )
 from repro.analysis.rules.architecture import (
@@ -94,6 +95,7 @@ __all__ = [
     "RESILIENT_PACKAGES",
     "BroadExceptRule",
     "UnboundedRetryRule",
+    "WallClockWaitRule",
     "UndeclaredImportRule",
     "UndeclaredPackageRule",
     "StaleAllowanceRule",

@@ -17,8 +17,16 @@ classes of regression are policed:
   never backs off hammers the provider.  Retries must be budgeted and
   paced — that is what :class:`repro.runtime.breaker.RetryPolicy`
   exists for.
+- ``RB003`` — a wall-clock stall in virtual-clock code.  The simulated
+  provider's :class:`~repro.cloud.provider.VirtualClock` is what lets a
+  thousand-run campaign replay in milliseconds; a ``time.sleep`` (or a
+  ``wait``/``join``/``acquire`` with no bound at all) blocks the *host*
+  instead, freezing the harness without moving simulated time.  Pacing
+  belongs on ``clock.advance``; real blocking calls must carry a
+  timeout.  Reading ``time.perf_counter`` is fine — measuring wall
+  time is not waiting on it.
 
-Both rules apply only to the resilient packages; elsewhere the
+The rules apply only to the resilient packages; elsewhere the
 determinism pack's rules still apply but failure-handling style is not
 policed.  Deliberate exceptions carry ``# repro: noqa[RB001]`` with a
 justification.
@@ -36,12 +44,13 @@ __all__ = [
     "RESILIENT_PACKAGES",
     "BroadExceptRule",
     "UnboundedRetryRule",
+    "WallClockWaitRule",
     "robustness_rules",
 ]
 
 #: Package names whose modules the RB pack polices — the deadline-guard
-#: runtime and the simulated cloud layer.
-RESILIENT_PACKAGES: tuple[str, ...] = ("runtime", "cloud")
+#: runtime, the simulated cloud layer and the spot certification tier.
+RESILIENT_PACKAGES: tuple[str, ...] = ("runtime", "cloud", "spot")
 
 #: Blanket exception names RB001 flags when caught without a re-raise.
 _BLANKET_EXCEPTIONS = frozenset({"Exception", "BaseException"})
@@ -187,6 +196,52 @@ class UnboundedRetryRule(_ResilientModuleRule):
         return self.resolve(call.func) in {"range", "builtins.range"}
 
 
+#: Blocking leaves RB003 flags when called with no bound at all.
+_UNBOUNDED_WAIT_LEAVES = frozenset({"wait", "join", "acquire"})
+
+
+class WallClockWaitRule(_ResilientModuleRule):
+    """RB003: wall-clock sleep / unbounded wait bypassing the virtual clock."""
+
+    rule_id = "RB003"
+    description = (
+        "simulation code paces itself on the VirtualClock; time.sleep "
+        "stalls the host without advancing simulated time, and a "
+        "wait/join/acquire without a timeout can stall it forever"
+    )
+    interests = (ast.Call,)
+
+    def _leaf(self, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        dotted = self.resolve(node.func)
+        return dotted.rsplit(".", 1)[-1] if dotted else None
+
+    def visit(self, node: ast.AST, module: ParsedModule) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if self.resolve(node.func) == "time.sleep":
+            yield self.finding(
+                module,
+                node,
+                "time.sleep blocks the host without moving simulated "
+                "time; pace the run with clock.advance (or take the "
+                "delay as virtual seconds)",
+            )
+            return
+        leaf = self._leaf(node)
+        if (
+            leaf in _UNBOUNDED_WAIT_LEAVES
+            and not node.args
+            and not node.keywords
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"{leaf}() with no timeout can stall the harness "
+                "forever; pass a timeout and handle its expiry",
+            )
+
+
 def robustness_rules() -> list[FileRule]:
     """Fresh instances of the whole robustness pack."""
-    return [BroadExceptRule(), UnboundedRetryRule()]
+    return [BroadExceptRule(), UnboundedRetryRule(), WallClockWaitRule()]

@@ -71,12 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default="nested",
-        choices=["nested", "proxy", "table1", "table2", "fig2", "fig3",
-                 "fig4", "tradeoff", "all"],
+        choices=["nested", "proxy", "spot", "table1", "table2", "fig2",
+                 "fig3", "fig4", "tradeoff", "all"],
         help="'nested' (default) times the Monte Carlo kernels across "
              "execution backends; 'proxy' compares the exact/proxy/MLMC "
-             "SCR tiers; the other targets regenerate paper "
-             "tables/figures",
+             "SCR tiers; 'spot' traces the certified-vs-point "
+             "cost-vs-P(deadline) frontier over seeded spot markets; "
+             "the other targets regenerate paper tables/figures",
     )
     bench.add_argument("--runs", type=int, default=1500,
                        help="knowledge-base size (default 1500)")
@@ -137,6 +138,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--backend", default="chunked",
                        help="proxy target: execution backend spec "
                             "(default chunked)")
+    bench.add_argument("--spot-runs", type=int, default=20,
+                       help="spot target: seeded markets per frontier "
+                            "row (default 20)")
+    bench.add_argument("--targets", default="0.5,0.9,0.99",
+                       help="spot target: comma-separated certification "
+                            "targets (default 0.5,0.9,0.99)")
+    bench.add_argument("--tmax-factor", type=float, default=1.25,
+                       help="spot target: Tmax as a multiple of the "
+                            "fleet's expected duration (default 1.25)")
+    bench.add_argument("--nodes", type=int, default=4,
+                       help="spot target: fleet size (default 4)")
+    bench.add_argument("--hazard", type=float, default=1.5,
+                       help="spot target: base reclaim hazard, events "
+                            "per hour (default 1.5)")
 
     kb = sub.add_parser("kb", help="build and save a knowledge base")
     kb.add_argument("--runs", type=int, default=500)
@@ -251,6 +266,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay every *.json fault-schedule file in "
                             "DIR through the guarded runtime and assert "
                             "bit-identical SCRs")
+    chaos.add_argument("--spot-storm", action="store_true",
+                       help="spot-market scenario: a hostile reclaim "
+                            "hazard strips a spot fleet (>= 3 reclaims), "
+                            "the storm breaker trips, the rescue falls "
+                            "back to on-demand, and the SCR is asserted "
+                            "bit-identical to the fault-free run")
+    chaos.add_argument("--market-hazard", type=float, default=2000.0,
+                       help="--spot-storm: base reclaim hazard, events "
+                            "per hour (default 2000 — hostile by "
+                            "design: the campaign only runs for virtual "
+                            "minutes, so the storm must land within the "
+                            "first work segment)")
     return parser
 
 
@@ -431,11 +458,87 @@ def _cmd_bench_proxy(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_bench_spot(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exec.bench import compare_against
+    from repro.spot.bench import frontier_text, run_spot_bench
+
+    try:
+        targets = tuple(
+            float(part) for part in args.targets.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"repro bench: invalid --targets {args.targets!r}",
+              file=sys.stderr)
+        return 2
+    # Load the regression baseline before write_json: --against may name
+    # the very file this run is about to append to.
+    baseline = None
+    if args.against:
+        try:
+            with open(args.against, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro bench: cannot read baseline {args.against}: {error}",
+                  file=sys.stderr)
+            return 2
+    report = run_spot_bench(
+        seed=args.seed,
+        n_runs=args.spot_runs,
+        targets=targets,
+        tmax_factor=args.tmax_factor,
+        n_nodes=args.nodes,
+        base_hazard_per_hour=args.hazard,
+        smoke=args.smoke,
+    )
+    text = frontier_text(report)
+    print(text)
+    shortfalls = [
+        row for row in report.config["frontier"]
+        if row["certified_compliance"] < row["target"]
+    ]
+    for row in shortfalls:
+        print(
+            f"SHORTFALL: target {row['target']:.2f} measured only "
+            f"{row['certified_compliance']:.2%} compliance",
+            file=sys.stderr,
+        )
+    json_out = args.json_out if args.json_out is not None else "BENCH_spot.json"
+    if json_out:
+        report.write_json(json_out)
+        print(f"(JSON report written to {json_out})")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"(written to {args.output})")
+    regressions = []
+    if baseline is not None:
+        regressions = compare_against(
+            report.to_dict(), baseline, tolerance=args.tolerance
+        )
+        for regression in regressions:
+            print(
+                "REGRESSION: {kernel}/{backend} fell to "
+                "{current_paths_per_second:.0f} paths/s from "
+                "{baseline_paths_per_second:.0f} "
+                "({drop:.0%} > {tolerance:.0%} tolerance)".format(**regression),
+                file=sys.stderr,
+            )
+        if not regressions:
+            print(f"(no throughput regression vs {args.against} "
+                  f"at {args.tolerance:.0%} tolerance)")
+    return 1 if regressions or shortfalls else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.target == "nested":
         return _cmd_bench_nested(args)
     if args.target == "proxy":
         return _cmd_bench_proxy(args)
+    if args.target == "spot":
+        return _cmd_bench_spot(args)
 
     from repro.benchlib import (
         build_dataset,
@@ -710,10 +813,11 @@ def _chaos_blocks(seed: int, n_blocks: int, quick: bool):
     return campaign.blocks
 
 
-def _guard_choice():
-    """Deliberately small initial fleet: 2 nodes of the second-cheapest
-    type, so an injected straggler genuinely threatens the deadline and
-    a rescue has room to scale out."""
+def _guard_choice(nodes=2, market="on_demand"):
+    """Deliberately small initial fleet: ``nodes`` nodes of the
+    second-cheapest type, so an injected straggler genuinely threatens
+    the deadline and a rescue has room to scale out.  ``market="spot"``
+    buys the fleet on the simulated spot market instead."""
     import math
 
     from repro.cloud.instance_types import INSTANCE_CATALOG
@@ -724,29 +828,45 @@ def _guard_choice():
     )
     return DeployChoice(
         instance_type=catalog[1],
-        n_nodes=2,
+        n_nodes=nodes,
         predicted_seconds=math.nan,
         predicted_cost_usd=math.nan,
         feasible=True,
+        market=market,
     )
 
 
 def _guarded_run(blocks, seed, schedule, tmax_seconds, max_retries,
-                 spmd_timeout):
+                 spmd_timeout, nodes=2, market="on_demand",
+                 market_hazard=None):
     """One deadline-guarded campaign on a fresh manager/checkpoint.
 
     A fresh seeded manager per run keeps the virtual clock and the
     provider ledger independent across the clean/faulted/replayed runs,
-    which is what makes their checksums comparable.
+    which is what makes their checksums comparable.  ``market_hazard``
+    (events/hour) equips the provider with a seeded spot market, so
+    ``market="spot"`` fleets face real price paths and reclaims.
     """
     from repro.cloud.cluster import StarClusterManager
     from repro.runtime import DeadlineGuardedRunner, RunCheckpoint
 
-    runner = DeadlineGuardedRunner(
-        StarClusterManager(seed=seed), checkpoint=RunCheckpoint()
-    )
+    if market_hazard is not None:
+        from repro.cloud.provider import SimulatedEC2
+        from repro.cloud.spot import SpotMarketModel
+
+        manager = StarClusterManager(
+            provider=SimulatedEC2(
+                spot_market=SpotMarketModel(
+                    seed=seed, base_hazard_per_hour=market_hazard
+                )
+            ),
+            seed=seed,
+        )
+    else:
+        manager = StarClusterManager(seed=seed)
+    runner = DeadlineGuardedRunner(manager, checkpoint=RunCheckpoint())
     result = runner.run(
-        _guard_choice(),
+        _guard_choice(nodes, market),
         blocks,
         tmax_seconds=tmax_seconds,
         compute_results=True,
@@ -830,14 +950,96 @@ def _cmd_chaos_rescue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_spot_storm(args: argparse.Namespace) -> int:
+    """The spot-market acceptance scenario.
+
+    A 5-node spot fleet runs the campaign under a deliberately hostile
+    reclaim hazard.  The market must strip at least three nodes, the
+    reclaim-storm breaker must trip, the guard must rescue onto
+    reclaim-free capacity, and the recovered SCR must be bit-identical
+    to the fault-free on-demand run — on the first run and on a replay.
+    """
+    blocks = _chaos_blocks(args.seed, args.blocks, args.quick)
+    nodes = 5
+    choice = _guard_choice(nodes, "spot")
+    print(f"campaign: {len(blocks)} blocks, seed {args.seed}; spot "
+          f"fleet {nodes} x {choice.instance_type.api_name}, hazard "
+          f"{args.market_hazard:g}/h")
+
+    _, clean = _guarded_run(
+        blocks, args.seed, None, 1e9, 0, args.spmd_timeout
+    )
+    checksum_base = _report_checksum(clean.report)
+    nominal = clean.execution_seconds
+    print(f"fault-free : {nominal:,.0f}s on-demand, cost "
+          f"${clean.cost_usd:.3f}, SCR {clean.report.total_scr:,.2f}  "
+          f"checksum {checksum_base}")
+
+    tmax = args.tmax_factor * nominal
+    print(f"Tmax = {args.tmax_factor:g} x nominal = {tmax:,.0f}s\n")
+
+    runner, stormy = _guarded_run(
+        blocks, args.seed, None, tmax, args.max_retries,
+        args.spmd_timeout, nodes=nodes, market="spot",
+        market_hazard=args.market_hazard,
+    )
+    checksum_storm = _report_checksum(stormy.report)
+    print(f"spot storm : {stormy.describe()}")
+    print(f"             SCR {stormy.report.total_scr:,.2f}  "
+          f"checksum {checksum_storm}")
+
+    _, replayed = _guarded_run(
+        blocks, args.seed, None, tmax, args.max_retries,
+        args.spmd_timeout, nodes=nodes, market="spot",
+        market_hazard=args.market_hazard,
+    )
+    checksum_replay = _report_checksum(replayed.report)
+    print(f"replayed   : SCR {replayed.report.total_scr:,.2f}  "
+          f"checksum {checksum_replay}")
+
+    failures = []
+    if stormy.n_reclaims < 3:
+        failures.append(
+            f"only {stormy.n_reclaims} reclaim(s) fired — the storm "
+            f"never materialised (raise --market-hazard)"
+        )
+    if stormy.n_storms < 1:
+        failures.append("the reclaim-storm breaker never tripped")
+    if stormy.n_rescues < 1:
+        failures.append("no rescue fired — the fleet was never replaced")
+    if not stormy.deadline_met:
+        failures.append("stormy run missed its deadline")
+    if checksum_storm != checksum_base:
+        failures.append("stormy run is NOT bit-identical to fault-free")
+    if checksum_replay != checksum_storm:
+        failures.append("replay is NOT bit-identical to the stormy run")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    rescued_to = ", ".join(
+        f"{c.n_nodes}x{c.instance_type.api_name}[{c.market}]"
+        for c in stormy.rescue_choices
+    )
+    print(f"\nOK: {stormy.n_reclaims} spot reclaim(s) tripped "
+          f"{stormy.n_storms} storm(s); rescued to {rescued_to} inside "
+          f"Tmax; SCR bit-identical to the fault-free run and across "
+          f"replays.")
+    return 0
+
+
 def _cmd_chaos_corpus(args: argparse.Namespace) -> int:
     """Replay every fault-schedule file in a corpus directory.
 
     Each ``*.json`` entry carries a serialized
     :class:`~repro.faults.schedule.FaultSchedule` plus the campaign
-    parameters to replay it against.  Every entry must (a) observably
-    perturb the run and (b) end with an SCR bit-identical to its
-    fault-free baseline — on the original run and on a replay.
+    parameters to replay it against.  Optional ``nodes``, ``market``
+    and ``market_hazard`` keys size the fleet, buy it on the spot
+    market and set the market's reclaim hazard (events/hour) — spot
+    entries face market reclaims on top of the scheduled faults.
+    Every entry must (a) observably perturb the run and (b) end with an
+    SCR bit-identical to its fault-free baseline — on the original run
+    and on a replay.
     """
     import json
     from pathlib import Path
@@ -858,9 +1060,15 @@ def _cmd_chaos_corpus(args: argparse.Namespace) -> int:
         seed = int(entry.get("seed", args.seed))
         n_blocks = int(entry.get("blocks", args.blocks))
         tmax_factor = entry.get("tmax_factor")
+        nodes = int(entry.get("nodes", 2))
+        market = entry.get("market", "on_demand")
+        market_hazard = entry.get("market_hazard")
         schedule = FaultSchedule.from_dict(entry["schedule"])
         blocks = _chaos_blocks(seed, n_blocks, args.quick)
 
+        # The fault-free baseline always runs on-demand without a
+        # market: the reclaim-free reference the recovered SCR must
+        # match bit-for-bit.
         key = (seed, n_blocks)
         if key not in baselines:
             _, clean = _guarded_run(
@@ -876,11 +1084,13 @@ def _cmd_chaos_corpus(args: argparse.Namespace) -> int:
 
         runner, faulted = _guarded_run(
             blocks, seed, schedule, tmax, args.max_retries,
-            args.spmd_timeout
+            args.spmd_timeout, nodes=nodes, market=market,
+            market_hazard=market_hazard,
         )
         _, replayed = _guarded_run(
             blocks, seed, schedule, tmax, args.max_retries,
-            args.spmd_timeout
+            args.spmd_timeout, nodes=nodes, market=market,
+            market_hazard=market_hazard,
         )
         checksum_fault = _report_checksum(faulted.report)
         checksum_replay = _report_checksum(replayed.report)
@@ -888,10 +1098,17 @@ def _cmd_chaos_corpus(args: argparse.Namespace) -> int:
         observed = (
             faulted.n_faults + faulted.n_rescues
             + faulted.n_fallback_launches + runner.breaker.n_failures
+            + faulted.n_reclaims
         )
         failures = []
         if observed == 0:
             failures.append("schedule had no observable effect")
+        min_reclaims = int(entry.get("min_reclaims", 0))
+        if faulted.n_reclaims < min_reclaims:
+            failures.append(
+                f"only {faulted.n_reclaims} spot reclaim(s) fired, "
+                f"entry demands >= {min_reclaims}"
+            )
         if not faulted.deadline_met:
             failures.append("faulted run missed its deadline")
         if checksum_fault != checksum_base:
@@ -916,6 +1133,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.corpus is not None:
         return _cmd_chaos_corpus(args)
+    if args.spot_storm:
+        return _cmd_chaos_spot_storm(args)
     if args.rescue:
         return _cmd_chaos_rescue(args)
     if args.units < 2:

@@ -15,7 +15,10 @@ substitutes a calibrated simulation:
 - :mod:`repro.cloud.provider` — a discrete-event EC2 provider (launch /
   run / terminate, boot latency, a virtual clock, per-instance billing);
 - :mod:`repro.cloud.cluster` — a StarCluster-like manager that
-  activates homogeneous VM clusters and runs DISAR campaigns on them.
+  activates homogeneous VM clusters and runs DISAR campaigns on them;
+- :mod:`repro.cloud.spot` — a seeded stochastic spot market: per-family
+  mean-reverting price paths plus a price-correlated reclaim hazard, so
+  fleets can run on cheap reclaimable capacity and lose nodes mid-run.
 """
 
 from repro.cloud.instance_types import (
@@ -27,8 +30,11 @@ from repro.cloud.pricing import BillingModel, BillingRecord
 from repro.cloud.performance import PerformanceModel
 from repro.cloud.provider import SimulatedEC2, SimulatedInstance, VirtualClock
 from repro.cloud.cluster import ClusterHandle, StarClusterManager
+from repro.cloud.spot import NodeReclaim, SpotMarketModel
 
 __all__ = [
+    "NodeReclaim",
+    "SpotMarketModel",
     "InstanceType",
     "INSTANCE_CATALOG",
     "get_instance_type",

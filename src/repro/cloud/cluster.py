@@ -20,6 +20,7 @@ from repro.cloud.instance_types import InstanceType
 from repro.cloud.performance import PerformanceModel
 from repro.cloud.pricing import BillingRecord
 from repro.cloud.provider import SimulatedEC2, SimulatedInstance
+from repro.cloud.spot import NodeReclaim
 from repro.disar.eeb import ElementaryElaborationBlock
 from repro.disar.master import DisarMasterService, ElaborationReport
 from repro.faults.injector import FaultInjector
@@ -56,6 +57,10 @@ class ClusterHandle:
     instance_type: InstanceType
     instances: list[SimulatedInstance]
     started_at: float
+    #: Purchasing market every node was launched in.
+    market: str = "on_demand"
+    #: Deterministic key for this fleet's market-reclaim draws.
+    stream: int = 0
 
     @property
     def n_nodes(self) -> int:
@@ -78,6 +83,8 @@ class CloudRunResult:
     n_faults: int = 0
     #: Bills of VMs reclaimed mid-run (spot terminations).
     extra_billing: list[BillingRecord] = field(default_factory=list)
+    #: Purchasing market of the fleet.
+    market: str = "on_demand"
 
     @property
     def cost_usd(self) -> float:
@@ -85,6 +92,12 @@ class CloudRunResult:
             self.billing.cost_usd
             + sum(record.cost_usd for record in self.extra_billing)
         )
+
+    @property
+    def n_reclaims(self) -> int:
+        """VMs reclaimed mid-run (scheduled or market-driven) — each one
+        produced its own mid-run bill."""
+        return len(self.extra_billing)
 
     @property
     def degraded(self) -> bool:
@@ -110,18 +123,28 @@ class StarClusterManager:
     # -- cluster lifecycle ------------------------------------------------------
 
     def start_cluster(
-        self, instance_type: InstanceType, n_nodes: int
+        self,
+        instance_type: InstanceType,
+        n_nodes: int,
+        market: str = "on_demand",
     ) -> ClusterHandle:
-        """Activate ``n_nodes`` VMs of ``instance_type``."""
+        """Activate ``n_nodes`` VMs of ``instance_type``.
+
+        ``market="spot"`` activates reclaimable capacity: the fleet is
+        billed at the spot quote and may lose nodes mid-run to the
+        market's reclaim hazard (see :meth:`run_blocks`).
+        """
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
-        instances = self.provider.launch(instance_type, n_nodes)
+        instances = self.provider.launch(instance_type, n_nodes, market=market)
         self._counter += 1
         handle = ClusterHandle(
             name=f"cluster-{self._counter:04d}",
             instance_type=instance_type,
             instances=instances,
             started_at=self.provider.clock.now,
+            market=market,
+            stream=self._counter,
         )
         self._clusters[handle.name] = handle
         return handle
@@ -140,6 +163,28 @@ class StarClusterManager:
 
     def active_clusters(self) -> list[ClusterHandle]:
         return list(self._clusters.values())
+
+    def sample_market_reclaims(
+        self, handle: ClusterHandle, horizon: float
+    ) -> list[NodeReclaim]:
+        """The reclaims the spot market has in store for ``handle`` over
+        ``[now, now + horizon]``.
+
+        Deterministic per fleet: the draws are keyed on the market seed
+        and the fleet's ``stream``, so a replay reproduces the same
+        reclaim schedule.  Empty for on-demand fleets or when the
+        provider has no spot market.
+        """
+        market = self.provider.spot_market
+        if handle.market != "spot" or market is None or horizon <= 0:
+            return []
+        return market.sample_reclaims(
+            handle.instance_type.family,
+            handle.n_nodes,
+            self.provider.clock.now,
+            horizon,
+            stream=handle.stream,
+        )
 
     # -- campaign execution --------------------------------------------------------
 
@@ -207,6 +252,35 @@ class StarClusterManager:
             victim = alive[spot.node_index % len(alive)]
             self.provider.terminate([victim])
             n_faults += 1
+        if handle.market == "spot" and self.provider.spot_market is not None:
+            # Market-driven reclaims: the hazard model has already fixed
+            # each node's fate (keyed on the fleet stream); play out the
+            # ones landing before the campaign completes.  As with
+            # scheduled spot events, at least one VM always survives and
+            # the chunk bit-identity contract keeps the numbers intact.
+            alive_now = len([i for i in handle.instances if i.is_running])
+            horizon = 16.0 * self.performance.expected_seconds(
+                remaining_work, handle.instance_type, max(1, alive_now)
+            )
+            for reclaim in self.sample_market_reclaims(handle, horizon):
+                alive = [i for i in handle.instances if i.is_running]
+                if len(alive) <= 1:
+                    break
+                victim = handle.instances[reclaim.node_index]
+                if not victim.is_running:
+                    continue
+                segment = self.performance.measured_seconds(
+                    remaining_work, handle.instance_type, len(alive), self._rng
+                )
+                dt = reclaim.at_seconds - self.provider.clock.now
+                if dt >= segment:
+                    break
+                if dt > 0:
+                    self.provider.clock.advance(dt)
+                    elapsed += dt
+                    remaining_work *= 1.0 - dt / segment
+                self.provider.terminate([victim])
+                n_faults += 1
         alive_n = len([i for i in handle.instances if i.is_running])
         final = self.performance.measured_seconds(
             remaining_work, handle.instance_type, alive_n, self._rng
@@ -245,13 +319,15 @@ class StarClusterManager:
         faults: FaultSchedule | None = None,
         max_retries: int = 3,
         injector: FaultInjector | None = None,
+        market: str = "on_demand",
     ) -> CloudRunResult:
         """Full lifecycle: start cluster, run ``blocks``, terminate, bill.
 
         ``faults`` stages a deterministic fault schedule against the run;
-        see :meth:`run_blocks`.
+        see :meth:`run_blocks`.  ``market="spot"`` runs on reclaimable
+        capacity: cheaper, but the fleet may shrink mid-run.
         """
-        handle = self.start_cluster(instance_type, n_nodes)
+        handle = self.start_cluster(instance_type, n_nodes, market=market)
         ledger_mark = len(self.provider.ledger())
         try:
             seconds, report, n_faults = self.run_blocks(
@@ -276,6 +352,7 @@ class StarClusterManager:
             report=report,
             n_faults=n_faults,
             extra_billing=extra_billing,
+            market=market,
         )
 
     def run_campaign_mixed(

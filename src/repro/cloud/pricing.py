@@ -55,6 +55,9 @@ class BillingRecord:
     seconds_used: float
     billed_seconds: float
     cost_usd: float
+    #: Purchasing market the usage was billed in: ``"on_demand"`` at the
+    #: catalog rate, or ``"spot"`` at the time-averaged spot quote.
+    market: str = "on_demand"
 
 
 class BillingModel:

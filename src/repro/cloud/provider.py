@@ -11,15 +11,20 @@ experiment campaigns finish in seconds of host time.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.cloud.instance_types import InstanceType
 from repro.cloud.pricing import BillingModel, BillingRecord
+from repro.cloud.spot import SpotMarketModel
+
+#: Valid purchasing markets for a launch.
+MARKETS = ("on_demand", "spot")
 
 __all__ = [
+    "MARKETS",
     "ProviderError",
     "VirtualClock",
     "SimulatedInstance",
@@ -62,6 +67,8 @@ class SimulatedInstance:
     launched_at: float
     ready_at: float
     terminated_at: float | None = None
+    #: Purchasing market the instance was launched in.
+    market: str = "on_demand"
 
     @property
     def is_running(self) -> bool:
@@ -91,6 +98,9 @@ class SimulatedEC2:
     billing: BillingModel = field(default_factory=BillingModel)
     boot_latency_range: tuple[float, float] = (60.0, 120.0)
     seed: int = 0
+    #: The spot market quoting reclaimable capacity.  ``None`` disables
+    #: spot launches (the provider sells on-demand only).
+    spot_market: SpotMarketModel | None = None
 
     def __post_init__(self) -> None:
         low, high = self.boot_latency_range
@@ -110,12 +120,25 @@ class SimulatedEC2:
     # -- lifecycle -------------------------------------------------------------
 
     def launch(
-        self, instance_type: InstanceType, count: int = 1
+        self,
+        instance_type: InstanceType,
+        count: int = 1,
+        market: str = "on_demand",
     ) -> list[SimulatedInstance]:
         """Launch ``count`` instances; the clock advances to the moment
-        the slowest one is ready (cluster-style blocking launch)."""
+        the slowest one is ready (cluster-style blocking launch).
+
+        ``market="spot"`` launches reclaimable capacity billed at the
+        spot quote; it requires :attr:`spot_market` to be configured.
+        """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        if market not in MARKETS:
+            raise ValueError(f"market must be one of {MARKETS}, got {market!r}")
+        if market == "spot" and self.spot_market is None:
+            raise ProviderError(
+                "spot launch refused: provider has no spot market configured"
+            )
         if self.launch_hook is not None:
             self.launch_hook(instance_type.api_name, count)
         low, high = self.boot_latency_range
@@ -130,6 +153,7 @@ class SimulatedEC2:
                 instance_type=instance_type,
                 launched_at=launched_at,
                 ready_at=launched_at + boot,
+                market=market,
             )
             self._instances[instance.instance_id] = instance
             instances.append(instance)
@@ -150,6 +174,11 @@ class SimulatedEC2:
             raise ValueError(
                 f"terminate expects a homogeneous group, got {sorted(types)}"
             )
+        markets = {i.market for i in instances}
+        if len(markets) != 1:
+            raise ValueError(
+                f"terminate expects a single-market group, got {sorted(markets)}"
+            )
         now = self.clock.now
         seconds = 0.0
         for instance in instances:
@@ -163,6 +192,18 @@ class SimulatedEC2:
         record = self.billing.cost(
             instances[0].instance_type, seconds, n_instances=len(instances)
         )
+        market = instances[0].market
+        if market == "spot":
+            if self.spot_market is None:
+                raise ProviderError(
+                    "cannot bill spot usage: spot market was removed mid-run"
+                )
+            ratio = self.spot_market.mean_ratio(
+                instances[0].instance_type.family, now - seconds, now
+            )
+            record = replace(
+                record, cost_usd=record.cost_usd * ratio, market="spot"
+            )
         self._ledger.append(record)
         return record
 

@@ -1,0 +1,292 @@
+"""Seeded stochastic spot market for the simulated provider.
+
+2016-era EC2 sold reclaimable "spot" capacity at a steep discount to the
+on-demand rate, with the catch that instances could be reclaimed by the
+provider when demand for the family rose.  This module models both
+halves of that bargain:
+
+- **Price paths.**  Each instance *family* (m4 / c3 / c4) carries a
+  mean-reverting log-price ratio path: the spot price is the on-demand
+  rate times ``exp(x_k)``, where ``x_k`` follows an AR(1) process around
+  ``log(discount)`` on a fixed tick grid.  Every tick's innovation is
+  drawn from a :class:`numpy.random.SeedSequence` keyed on
+  ``(seed, family, tick)``, so the path is a pure function of the market
+  seed — extending it is query-order independent and two market objects
+  with the same seed agree bit-for-bit no matter who asked first.
+
+- **Reclaim hazard.**  Reclaims correlate with price pressure: the
+  per-node hazard rate is ``base_hazard * (ratio / discount) ** k`` — at
+  the long-run mean it equals the calibrated base hazard, and a price
+  spike to twice the mean multiplies the hazard by ``2**k``.  Reclaim
+  times are sampled per node by inverting the piecewise-constant
+  integrated hazard, again from tick-keyed seeds, so a fleet's reclaim
+  schedule replays exactly.
+
+No wall-clock time is involved anywhere: positions on the price path
+are virtual-clock seconds (:class:`repro.cloud.provider.VirtualClock`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cloud.pricing import catalog_hourly_rate
+
+__all__ = [
+    "SPOT_FAMILIES",
+    "SpotMarketModel",
+    "NodeReclaim",
+]
+
+#: Instance families the market quotes, in catalog order.  The index of
+#: a family in this tuple keys its price-path seed stream.
+SPOT_FAMILIES: tuple[str, ...] = tuple(
+    dict.fromkeys(t.family for t in INSTANCE_CATALOG.values())
+)
+
+# Domain-separation tags so the price-path and reclaim streams of one
+# seed can never collide even for equal (family, tick) keys.
+_PRICE_STREAM = 1
+_RECLAIM_STREAM = 2
+
+
+@dataclass(frozen=True)
+class NodeReclaim:
+    """One sampled spot reclaim: ``node_index`` dies at ``at_seconds``
+    (absolute virtual-clock time)."""
+
+    node_index: int
+    at_seconds: float
+
+
+@dataclass
+class SpotMarketModel:
+    """Per-family spot price paths with a price-correlated reclaim hazard.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; the entire market (every family's path and every
+        reclaim draw) is a deterministic function of it.
+    tick_seconds:
+        Grid spacing of the price path, virtual seconds.
+    discount:
+        Long-run mean spot/on-demand price ratio (2016 spot markets
+        hovered around a third of the on-demand rate).
+    volatility:
+        Standard deviation of the per-tick log-ratio innovation.
+    reversion:
+        AR(1) pull toward ``log(discount)`` per tick, in (0, 1].
+    base_hazard_per_hour:
+        Per-node reclaim hazard (events/hour) when the price sits at the
+        long-run mean.  Calibrate from knowledge-base reclaim counts via
+        :meth:`calibrated_base_hazard`.
+    hazard_elasticity:
+        Exponent coupling hazard to price pressure; 0 decouples them.
+    """
+
+    seed: int = 0
+    tick_seconds: float = 300.0
+    discount: float = 0.35
+    volatility: float = 0.12
+    reversion: float = 0.15
+    base_hazard_per_hour: float = 0.05
+    hazard_elasticity: float = 3.0
+    #: Log-ratio clamp keeping paths inside a sane band: spot never
+    #: quotes above the on-demand rate nor below 5% of it.
+    min_ratio: float = 0.05
+    max_ratio: float = 1.0
+
+    _paths: dict[str, list[float]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be > 0, got {self.tick_seconds}")
+        if not 0.0 < self.discount <= 1.0:
+            raise ValueError(f"discount must be in (0, 1], got {self.discount}")
+        if not 0.0 < self.reversion <= 1.0:
+            raise ValueError(f"reversion must be in (0, 1], got {self.reversion}")
+        if self.volatility < 0:
+            raise ValueError(f"volatility must be >= 0, got {self.volatility}")
+        if self.base_hazard_per_hour < 0:
+            raise ValueError(
+                f"base_hazard_per_hour must be >= 0, got {self.base_hazard_per_hour}"
+            )
+        if not 0.0 < self.min_ratio <= self.max_ratio <= 1.0:
+            raise ValueError(
+                f"need 0 < min_ratio <= max_ratio <= 1, got "
+                f"({self.min_ratio}, {self.max_ratio})"
+            )
+
+    # -- price paths -----------------------------------------------------------
+
+    def _family_index(self, family: str) -> int:
+        try:
+            return SPOT_FAMILIES.index(family)
+        except ValueError:
+            raise KeyError(
+                f"unknown instance family {family!r}; "
+                f"market quotes {SPOT_FAMILIES}"
+            ) from None
+
+    def _tick_innovation(self, family_index: int, tick: int) -> float:
+        seq = np.random.SeedSequence(
+            (self.seed, _PRICE_STREAM, family_index, tick)
+        )
+        return float(np.random.default_rng(seq).standard_normal())
+
+    def _ratio_path(self, family: str, up_to_tick: int) -> list[float]:
+        """The ratio path for ``family`` through tick ``up_to_tick``
+        inclusive, extending the cache as needed."""
+        idx = self._family_index(family)
+        mu = math.log(self.discount)
+        path = self._paths.setdefault(family, [self.discount])
+        x = math.log(path[-1])
+        for tick in range(len(path), up_to_tick + 1):
+            eps = self._tick_innovation(idx, tick)
+            x = x + self.reversion * (mu - x) + self.volatility * eps
+            ratio = min(self.max_ratio, max(self.min_ratio, math.exp(x)))
+            # Re-anchor on the clamped value so the cached path and the
+            # recurrence state can never drift apart.
+            x = math.log(ratio)
+            path.append(ratio)
+        return path
+
+    def _tick_of(self, t: float) -> int:
+        if t < 0:
+            raise ValueError(f"time must be >= 0, got {t}")
+        return int(t // self.tick_seconds)
+
+    def price_ratio(self, family: str, t: float) -> float:
+        """Spot/on-demand price ratio of ``family`` at virtual time ``t``."""
+        tick = self._tick_of(t)
+        return self._ratio_path(family, tick)[tick]
+
+    def spot_hourly_price(self, api_name: str, t: float) -> float:
+        """Spot USD/hour quote for ``api_name`` at virtual time ``t``."""
+        family = api_name.split(".")[0]
+        return catalog_hourly_rate(api_name) * self.price_ratio(family, t)
+
+    def mean_ratio(self, family: str, t0: float, t1: float) -> float:
+        """Time-weighted mean price ratio over ``[t0, t1]`` — the rate a
+        spot instance alive over that window is billed at."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        if t1 <= t0:  # degenerate window: the instantaneous quote
+            return self.price_ratio(family, t0)
+        first, last = self._tick_of(t0), self._tick_of(t1)
+        path = self._ratio_path(family, last)
+        total = 0.0
+        for tick in range(first, last + 1):
+            lo = max(t0, tick * self.tick_seconds)
+            hi = min(t1, (tick + 1) * self.tick_seconds)
+            total += path[tick] * max(0.0, hi - lo)
+        return total / (t1 - t0)
+
+    # -- reclaim hazard --------------------------------------------------------
+
+    def hazard_per_second(self, family: str, t: float) -> float:
+        """Instantaneous per-node reclaim hazard (events/second)."""
+        pressure = self.price_ratio(family, t) / self.discount
+        return (
+            self.base_hazard_per_hour
+            / 3600.0
+            * pressure**self.hazard_elasticity
+        )
+
+    def integrated_hazard(self, family: str, t0: float, horizon: float) -> float:
+        """``∫ hazard dt`` over ``[t0, t0 + horizon]`` (piecewise constant)."""
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        if horizon == 0:
+            return 0.0
+        t1 = t0 + horizon
+        first, last = self._tick_of(t0), self._tick_of(t1)
+        total = 0.0
+        for tick in range(first, last + 1):
+            lo = max(t0, tick * self.tick_seconds)
+            hi = min(t1, (tick + 1) * self.tick_seconds)
+            if hi > lo:
+                total += self.hazard_per_second(
+                    family, tick * self.tick_seconds
+                ) * (hi - lo)
+        return total
+
+    def survival_probability(
+        self, family: str, t0: float, horizon: float
+    ) -> float:
+        """P(a spot node of ``family`` alive at ``t0`` survives ``horizon``)."""
+        return math.exp(-self.integrated_hazard(family, t0, horizon))
+
+    def sample_reclaims(
+        self,
+        family: str,
+        n_nodes: int,
+        t0: float,
+        horizon: float,
+        stream: int,
+    ) -> list[NodeReclaim]:
+        """Sample reclaim times for a fleet of ``n_nodes`` over
+        ``[t0, t0 + horizon]``.
+
+        ``stream`` identifies the fleet (e.g. the cluster counter) so
+        distinct fleets get independent draws while a replay with the
+        same key reproduces the schedule bit-for-bit.  Nodes without a
+        reclaim inside the horizon are omitted; the result is sorted by
+        reclaim time.
+        """
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        reclaims: list[NodeReclaim] = []
+        for node in range(n_nodes):
+            seq = np.random.SeedSequence(
+                (self.seed, _RECLAIM_STREAM, stream, node)
+            )
+            u = float(np.random.default_rng(seq).random())
+            target = -math.log(max(u, 1e-300))
+            offset = self._invert_hazard(family, t0, horizon, target)
+            if offset is not None:
+                reclaims.append(NodeReclaim(node, t0 + offset))
+        reclaims.sort(key=lambda r: (r.at_seconds, r.node_index))
+        return reclaims
+
+    def _invert_hazard(
+        self, family: str, t0: float, horizon: float, target: float
+    ) -> float | None:
+        """Smallest offset where the integrated hazard from ``t0``
+        reaches ``target``, or ``None`` if it stays below over the
+        horizon."""
+        t1 = t0 + horizon
+        first, last = self._tick_of(t0), self._tick_of(t1)
+        acc = 0.0
+        for tick in range(first, last + 1):
+            lo = max(t0, tick * self.tick_seconds)
+            hi = min(t1, (tick + 1) * self.tick_seconds)
+            if hi <= lo:
+                continue
+            rate = self.hazard_per_second(family, tick * self.tick_seconds)
+            span = (hi - lo) * rate
+            if acc + span >= target:
+                if rate <= 0.0:
+                    return None
+                return (lo - t0) + (target - acc) / rate
+            acc += span
+        return None
+
+    # -- calibration -----------------------------------------------------------
+
+    @staticmethod
+    def calibrated_base_hazard(
+        reclaims: int, instance_seconds: float, prior_per_hour: float = 0.05
+    ) -> float:
+        """Maximum-likelihood base hazard (events/hour) from observed
+        exposure, shrunk toward ``prior_per_hour`` with one pseudo-hour
+        of prior exposure so tiny samples stay sane."""
+        if reclaims < 0 or instance_seconds < 0:
+            raise ValueError("reclaims and instance_seconds must be >= 0")
+        hours = instance_seconds / 3600.0
+        return (reclaims + prior_per_hour) / (hours + 1.0)

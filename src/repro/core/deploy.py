@@ -19,7 +19,7 @@ all behind one call, so the cloud migration is invisible to DiInt users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -69,6 +69,13 @@ class DeployOutcome:
     #: Blocks whose proxy tier breached its validation gate and fell
     #: back to exact valuation (``compute_results`` runs only).
     n_proxy_fallbacks: int = 0
+    #: Spot VMs reclaimed mid-run (spot-market deploys).
+    n_reclaims: int = 0
+    #: Purchasing market the final fleet ran in.
+    market: str = "on_demand"
+    #: ``P(deadline met)`` the spot verification gate certified for the
+    #: committed plan (``nan`` when no gate ran).
+    certified_p_deadline: float = float("nan")
 
     @property
     def deadline_met(self) -> bool:
@@ -103,6 +110,10 @@ class DeployOutcome:
                 f", {self.n_proxy_fallbacks} proxy gate breach(es) "
                 f"fell back to exact"
             )
+        if self.n_reclaims:
+            text += f", {self.n_reclaims} spot reclaim(s)"
+        if self.market != "on_demand":
+            text += f", market={self.market}"
         return text
 
 
@@ -224,6 +235,8 @@ class TransparentDeploySystem:
         fault_schedule: FaultSchedule | None = None,
         use_guard: bool = False,
         checkpoint: "RunCheckpoint | None" = None,
+        market: str = "on_demand",
+        verify_deadline_p: float | None = None,
     ) -> DeployOutcome:
         """Deploy and run one simulation campaign transparently.
 
@@ -243,15 +256,42 @@ class TransparentDeploySystem:
         chunks resume from ``checkpoint`` (a fresh one when omitted).
         The extra rescue accounting lands on the outcome's
         ``n_rescues`` / ``n_resumed_chunks`` / ``wasted_cost_usd``.
+
+        ``market="spot"`` buys the fleet on the provider's spot market
+        (reclaimable, cheaper; requires the provider to carry a
+        :class:`~repro.cloud.spot.SpotMarketModel`).  ``verify_deadline_p``
+        arms the **verification gate**: before committing the fleet,
+        the plan is model-checked (:mod:`repro.spot.verify`) and
+        escalated — spot, then spot-with-on-demand-rescue, then pure
+        on-demand — until ``P(deadline met) >= verify_deadline_p``; the
+        certified probability lands on ``certified_p_deadline``.
         """
         if tmax_seconds <= 0:
             raise ValueError(f"tmax_seconds must be positive, got {tmax_seconds}")
         params = self.aggregate_parameters(blocks)
         choice, bootstrap = self.choose(params, tmax_seconds, force=force)
+        if market != choice.market:
+            choice = replace(choice, market=market)
+        certified_p = float("nan")
+        if verify_deadline_p is not None:
+            # Imported lazily: repro.spot builds on repro.core, so a
+            # module-level import here would be circular.
+            from repro.spot.verify import SpotPlanVerifier
+
+            verifier = SpotPlanVerifier(
+                self.manager,
+                target_probability=verify_deadline_p,
+                knowledge_base=self.knowledge_base,
+            )
+            verified = verifier.verify(choice, blocks, tmax_seconds)
+            choice = verified.choice
+            certified_p = verified.certificate.p_deadline
+            use_guard = True  # the certified policy assumes the guard
 
         n_rescues = 0
         n_resumed = 0
         wasted_cost = 0.0
+        n_reclaims = 0
         if use_guard:
             # Imported lazily: repro.runtime imports from repro.core, so
             # a module-level import here would be circular.
@@ -277,6 +317,8 @@ class TransparentDeploySystem:
             n_rescues = guarded.n_rescues
             n_resumed = guarded.n_resumed_chunks
             wasted_cost = guarded.wasted_cost_usd
+            n_reclaims = guarded.n_reclaims
+            final_market = guarded.final_choice.market
         else:
             result = self.manager.run_campaign(
                 choice.instance_type,
@@ -284,12 +326,15 @@ class TransparentDeploySystem:
                 blocks,
                 compute_results=compute_results,
                 faults=fault_schedule,
+                market=choice.market,
             )
             measured_seconds = result.execution_seconds
             cost_usd = result.cost_usd
             report = result.report
             degraded = result.degraded
             n_faults = result.n_faults
+            n_reclaims = result.n_reclaims
+            final_market = result.market
 
         n_proxy_fallbacks = (
             report.n_proxy_fallbacks if report is not None else 0
@@ -304,6 +349,8 @@ class TransparentDeploySystem:
             virtual_timestamp=self.manager.provider.clock.now,
             degraded=degraded,
             proxy_fallback=n_proxy_fallbacks > 0,
+            market=choice.market,
+            n_reclaims=n_reclaims,
         )
         self.knowledge_base.add(record)
 
@@ -325,6 +372,9 @@ class TransparentDeploySystem:
             n_resumed_chunks=n_resumed,
             wasted_cost_usd=wasted_cost,
             n_proxy_fallbacks=n_proxy_fallbacks,
+            n_reclaims=n_reclaims,
+            market=final_market,
+            certified_p_deadline=certified_p,
         )
         self._history.append(outcome)
         return outcome

@@ -52,6 +52,11 @@ class RunRecord:
     #: timing reflects exact-tier cost, not the proxy speedup the tier
     #: planner priced.
     proxy_fallback: bool = False
+    #: Purchasing market of the fleet (``"on_demand"`` or ``"spot"``).
+    market: str = "on_demand"
+    #: Spot VMs reclaimed mid-run; exposure data the spot verifier uses
+    #: to calibrate the reclaim hazard (see :meth:`KnowledgeBase.reclaim_stats`).
+    n_reclaims: int = 0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -115,6 +120,8 @@ class KnowledgeBase:
                 "virtual_timestamp": record.virtual_timestamp,
                 "degraded": record.degraded,
                 "proxy_fallback": record.proxy_fallback,
+                "market": record.market,
+                "n_reclaims": record.n_reclaims,
             },
         )
 
@@ -187,6 +194,8 @@ class KnowledgeBase:
             virtual_timestamp=row.get("virtual_timestamp", 0.0),
             degraded=bool(row.get("degraded", False)),
             proxy_fallback=bool(row.get("proxy_fallback", False)),
+            market=str(row.get("market", "on_demand")),
+            n_reclaims=int(row.get("n_reclaims", 0)),
         )
 
     def training_matrices(self) -> tuple[FloatArray, FloatArray]:
@@ -243,6 +252,24 @@ class KnowledgeBase:
     def proxy_fallback_count(self) -> int:
         """Structured runs whose proxy tier fell back to exact valuation."""
         return sum(record.proxy_fallback for record in self.records())
+
+    def reclaim_stats(self) -> tuple[int, float]:
+        """``(total reclaims, spot instance-seconds of exposure)`` over
+        the structured spot runs.
+
+        Exposure approximates each run's spot fleet-time as
+        ``execution_seconds * n_nodes``; together with the reclaim count
+        this is the sufficient statistic for the hazard-rate calibration
+        in :meth:`repro.cloud.spot.SpotMarketModel.calibrated_base_hazard`.
+        """
+        reclaims = 0
+        exposure = 0.0
+        for record in self.records():
+            if record.market != "spot":
+                continue
+            reclaims += record.n_reclaims
+            exposure += record.execution_seconds * record.n_nodes
+        return reclaims, exposure
 
     def per_instance_counts(self) -> dict[str, int]:
         """Sample counts per instance type (coverage diagnostics)."""

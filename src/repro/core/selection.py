@@ -49,12 +49,16 @@ class DeployChoice:
     feasible: bool
     explored: bool = False
     predicted_std_seconds: float = 0.0
+    #: Purchasing market the fleet is bought in (``"on_demand"`` at
+    #: catalog rates, ``"spot"`` at the reclaimable-capacity quote).
+    market: str = "on_demand"
 
     def describe(self) -> str:
         flag = " (exploration)" if self.explored else ""
         status = "" if self.feasible else " [DEADLINE AT RISK]"
+        tag = "" if self.market == "on_demand" else f" [{self.market}]"
         return (
-            f"{self.n_nodes} x {self.instance_type.api_name}: "
+            f"{self.n_nodes} x {self.instance_type.api_name}{tag}: "
             f"~{self.predicted_seconds:,.0f}s, "
             f"~${self.predicted_cost_usd:.3f}{flag}{status}"
         )
@@ -90,6 +94,16 @@ class ConfigurationSelector:
         real bills (every instance is billed from launch, not from the
         first MPI message); setting this to the provider's typical boot
         time (~90 s for 2016 EC2) closes that gap.
+    exploration_headroom:
+        Guard-aware ε-greedy bound in ``(0, 1]``: an exploration pick
+        must satisfy the deadline check against
+        ``tmax * exploration_headroom`` — the same margin the
+        :class:`~repro.runtime.guard.DeadlineGuard` will enforce
+        mid-run — so exploration never commits a configuration the
+        guard already projects to breach Tmax (it would be rescued
+        immediately, wasting the boot and poisoning the knowledge base
+        with a doomed sample).  ``1.0`` recovers the paper's behaviour:
+        any feasible configuration may be explored.
     """
 
     def __init__(
@@ -100,6 +114,7 @@ class ConfigurationSelector:
         epsilon: float = 0.05,
         risk_aversion: float = 0.0,
         boot_overhead_seconds: float = 0.0,
+        exploration_headroom: float = 1.0,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
         if max_nodes < 1:
@@ -115,6 +130,11 @@ class ConfigurationSelector:
                 f"boot_overhead_seconds must be non-negative, got "
                 f"{boot_overhead_seconds}"
             )
+        if not 0.0 < exploration_headroom <= 1.0:
+            raise ValueError(
+                f"exploration_headroom must be in (0, 1], got "
+                f"{exploration_headroom}"
+            )
         self.predictor = predictor
         self.catalog = dict(catalog) if catalog is not None else dict(INSTANCE_CATALOG)
         if not self.catalog:
@@ -123,6 +143,7 @@ class ConfigurationSelector:
         self.epsilon = float(epsilon)
         self.risk_aversion = float(risk_aversion)
         self.boot_overhead_seconds = float(boot_overhead_seconds)
+        self.exploration_headroom = float(exploration_headroom)
         self._rng = generator_from(seed)
 
     # -- enumeration -------------------------------------------------------------
@@ -179,17 +200,31 @@ class ConfigurationSelector:
             fallback = min(choices, key=lambda c: c.predicted_seconds)
             return fallback
         if self._rng.random() < self.epsilon:
-            index = int(self._rng.integers(0, len(feasible)))
-            chosen = feasible[index]
-            return DeployChoice(
-                instance_type=chosen.instance_type,
-                n_nodes=chosen.n_nodes,
-                predicted_seconds=chosen.predicted_seconds,
-                predicted_cost_usd=chosen.predicted_cost_usd,
-                feasible=True,
-                explored=True,
-                predicted_std_seconds=chosen.predicted_std_seconds,
-            )
+            # Guard-aware exploration: only configurations the deadline
+            # guard would also accept mid-run (projection under
+            # tmax * exploration_headroom) may be tried.  An empty pool
+            # falls back to exploitation rather than picking a doomed
+            # configuration.
+            explorable = [
+                c
+                for c in feasible
+                if c.predicted_seconds
+                + self.boot_overhead_seconds
+                + self.risk_aversion * c.predicted_std_seconds
+                <= tmax_seconds * self.exploration_headroom
+            ]
+            if explorable:
+                index = int(self._rng.integers(0, len(explorable)))
+                chosen = explorable[index]
+                return DeployChoice(
+                    instance_type=chosen.instance_type,
+                    n_nodes=chosen.n_nodes,
+                    predicted_seconds=chosen.predicted_seconds,
+                    predicted_cost_usd=chosen.predicted_cost_usd,
+                    feasible=True,
+                    explored=True,
+                    predicted_std_seconds=chosen.predicted_std_seconds,
+                )
         return min(feasible, key=lambda c: c.predicted_cost_usd)
 
     def select_fastest(

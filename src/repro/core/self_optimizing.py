@@ -55,6 +55,16 @@ class LoopReport:
         """Monte Carlo chunks resumed from checkpoints across the loop."""
         return sum(outcome.n_resumed_chunks for outcome in self.outcomes)
 
+    @property
+    def n_reclaims(self) -> int:
+        """Spot VMs reclaimed by the market across the loop."""
+        return sum(outcome.n_reclaims for outcome in self.outcomes)
+
+    @property
+    def n_spot_runs(self) -> int:
+        """Runs whose fleet was purchased (at least initially) on spot."""
+        return sum(outcome.market == "spot" for outcome in self.outcomes)
+
     def wasted_cost_usd(self) -> float:
         """Dollars spent on clusters abandoned by elastic rescues."""
         return float(
@@ -114,6 +124,11 @@ class LoopReport:
                 f"{self.n_resumed} chunk(s) resumed, wasted "
                 f"${self.wasted_cost_usd():.2f}"
             )
+        if self.n_spot_runs:
+            lines.append(
+                f"  spot runs           : {self.n_spot_runs} run(s), "
+                f"{self.n_reclaims} reclaim(s)"
+            )
         return "\n".join(lines)
 
 
@@ -130,6 +145,8 @@ class SelfOptimizingLoop:
         compute_results: bool = False,
         fault_schedules: list[FaultSchedule | None] | None = None,
         use_guard: bool = False,
+        market: str = "on_demand",
+        verify_deadline_p: float | None = None,
     ) -> LoopReport:
         """Execute every workload in sequence, retraining as configured.
 
@@ -140,7 +157,10 @@ class SelfOptimizingLoop:
         ``use_guard`` runs every campaign under the deadline-guard
         runtime (checkpointing, elastic rescue, circuit breaker); the
         report then also aggregates ``n_rescued`` / ``n_resumed`` /
-        ``wasted_cost_usd``.
+        ``wasted_cost_usd``.  ``market`` buys each fleet on the given
+        market (``"spot"`` fleets may be reclaimed mid-run; the report
+        aggregates ``n_reclaims``), and ``verify_deadline_p`` routes
+        every plan through the :mod:`repro.spot` certification gate.
         """
         if not workloads:
             raise ValueError("no workloads to run")
@@ -159,6 +179,8 @@ class SelfOptimizingLoop:
                     fault_schedules[i] if fault_schedules is not None else None
                 ),
                 use_guard=use_guard,
+                market=market,
+                verify_deadline_p=verify_deadline_p,
             )
             report.outcomes.append(outcome)
         return report

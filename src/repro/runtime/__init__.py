@@ -17,7 +17,10 @@ filter; this package makes it an *enforced runtime SLA*:
 - :mod:`repro.runtime.breaker` — a
   :class:`~repro.runtime.breaker.CircuitBreaker` with bounded retry,
   exponential backoff and seeded jitter around the provider's control
-  plane, opening after N consecutive failures.
+  plane, opening after N consecutive failures; plus a
+  :class:`~repro.runtime.breaker.ReclaimStormDetector` that trips a
+  per-market condition when spot reclaims arrive in bursts, steering
+  rescue purchases away from the hostile family.
 - :mod:`repro.runtime.runner` — the
   :class:`~repro.runtime.runner.DeadlineGuardedRunner` tying the three
   together: it provisions through the breaker, simulates the run on the
@@ -26,7 +29,12 @@ filter; this package makes it an *enforced runtime SLA*:
   the guard trips.
 """
 
-from repro.runtime.breaker import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.runtime.breaker import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ReclaimStormDetector,
+    RetryPolicy,
+)
 from repro.runtime.checkpoint import ChunkStore, RunCheckpoint
 from repro.runtime.guard import DeadlineGuard, GuardDecision
 from repro.runtime.runner import DeadlineGuardedRunner, GuardedRunResult
@@ -38,6 +46,7 @@ __all__ = [
     "GuardDecision",
     "CircuitBreaker",
     "CircuitOpenError",
+    "ReclaimStormDetector",
     "RetryPolicy",
     "DeadlineGuardedRunner",
     "GuardedRunResult",

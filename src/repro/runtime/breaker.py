@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.cloud.provider import ProviderError, VirtualClock
 
-__all__ = ["CircuitOpenError", "RetryPolicy", "CircuitBreaker"]
+__all__ = [
+    "CircuitOpenError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReclaimStormDetector",
+]
 
 T = TypeVar("T")
 
@@ -197,4 +202,93 @@ class CircuitBreaker:
             f"CircuitBreaker(state={self.state}, "
             f"calls={self.n_calls}, failures={self.n_failures}, "
             f"opens={self.n_opens})"
+        )
+
+
+class ReclaimStormDetector:
+    """Per-market trip condition for spot *reclaim storms*.
+
+    Spot reclaims arrive in bursts — a demand spike in one instance
+    family reclaims much of its fleet within minutes.  One reclaim is
+    business as usual (the rescue path absorbs it); ``threshold``
+    reclaims of the same market key inside ``window_seconds`` mean the
+    market has turned hostile, and replacement capacity bought there
+    would most likely be reclaimed too.  When a storm trips, the key is
+    held *open* for ``cooldown_seconds``: :meth:`allow_spot` answers
+    ``False`` and the runner's rescue re-plan must shop elsewhere
+    (another family's spot, or on-demand).
+
+    Keys are instance families (``"c3"``) — the granularity the spot
+    market quotes prices and hazards at.  All timestamps live on the
+    virtual clock, like the :class:`CircuitBreaker` it complements.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        threshold: int = 3,
+        window_seconds: float = 900.0,
+        cooldown_seconds: float = 1800.0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if window_seconds <= 0.0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if cooldown_seconds < 0.0:
+            raise ValueError(
+                f"cooldown_seconds must be non-negative, got {cooldown_seconds}"
+            )
+        self.clock = clock
+        self.threshold = int(threshold)
+        self.window_seconds = float(window_seconds)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._reclaims: dict[str, list[float]] = {}
+        self._open_until: dict[str, float] = {}
+        self.n_reclaims = 0
+        self.n_storms = 0
+
+    def record_reclaim(self, market_key: str) -> bool:
+        """Record one reclaim of ``market_key`` now; returns ``True``
+        when this reclaim trips (or re-arms) the storm condition."""
+        now = self.clock.now
+        self.n_reclaims += 1
+        recent = [
+            t
+            for t in self._reclaims.get(market_key, [])
+            if now - t < self.window_seconds
+        ]
+        recent.append(now)
+        self._reclaims[market_key] = recent
+        if len(recent) >= self.threshold:
+            if not self.storm_active(market_key):
+                self.n_storms += 1
+            self._open_until[market_key] = now + self.cooldown_seconds
+            return True
+        return False
+
+    def storm_active(self, market_key: str) -> bool:
+        """True while ``market_key`` is inside a storm cooldown."""
+        until = self._open_until.get(market_key)
+        return until is not None and self.clock.now < until
+
+    def allow_spot(self, market_key: str) -> bool:
+        """Should the runner buy spot capacity in ``market_key`` now?"""
+        return not self.storm_active(market_key)
+
+    def recent_reclaims(self, market_key: str) -> int:
+        """Reclaims of ``market_key`` inside the current window."""
+        now = self.clock.now
+        return sum(
+            1
+            for t in self._reclaims.get(market_key, [])
+            if now - t < self.window_seconds
+        )
+
+    def describe(self) -> str:
+        storms = sorted(k for k in self._open_until if self.storm_active(k))
+        return (
+            f"ReclaimStormDetector(reclaims={self.n_reclaims}, "
+            f"storms={self.n_storms}, active={storms})"
         )

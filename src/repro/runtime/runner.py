@@ -24,19 +24,24 @@ pace — and the penalty disappears once a rescue replaces the fleet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cloud.cluster import ClusterHandle, StarClusterManager
 from repro.cloud.instance_types import INSTANCE_CATALOG
 from repro.cloud.pricing import BillingRecord
 from repro.cloud.provider import ProviderError
+from repro.cloud.spot import NodeReclaim
 from repro.core.selection import ConfigurationSelector, DeployChoice
 from repro.disar.eeb import CharacteristicParameters, ElementaryElaborationBlock
 from repro.disar.master import DisarMasterService, ElaborationReport
 from repro.disar.monitoring import ProgressMonitor
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
-from repro.runtime.breaker import CircuitBreaker, CircuitOpenError
+from repro.runtime.breaker import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ReclaimStormDetector,
+)
 from repro.runtime.checkpoint import RunCheckpoint
 from repro.runtime.guard import DeadlineGuard
 
@@ -64,6 +69,10 @@ class GuardedRunResult:
     rescue_choices: list[DeployChoice] = field(default_factory=list)
     guard: DeadlineGuard | None = None
     monitor: ProgressMonitor | None = None
+    #: Spot VMs reclaimed mid-run (scheduled events + market-driven).
+    n_reclaims: int = 0
+    #: Reclaim storms that tripped during the run (per-market bursts).
+    n_storms: int = 0
 
     @property
     def cost_usd(self) -> float:
@@ -97,6 +106,10 @@ class GuardedRunResult:
             text += f", {self.n_resumed_chunks} chunk(s) resumed"
         if self.n_fallback_launches:
             text += f", {self.n_fallback_launches} fallback launch(es)"
+        if self.n_reclaims:
+            text += f", {self.n_reclaims} spot reclaim(s)"
+        if self.n_storms:
+            text += f", {self.n_storms} reclaim storm(s)"
         return text
 
 
@@ -142,6 +155,22 @@ class DeadlineGuardedRunner:
     max_rescues:
         Elastic rescues allowed per run (1 keeps the accounting simple
         and matches the paper's single-deadline setting).
+    storm:
+        Per-market reclaim-storm detector; a default one on the
+        manager's clock is created when omitted.  A storm in a spot
+        fleet's family triggers a rescue even before the deadline guard
+        projects a breach, and bars the rescue re-plan from buying
+        replacement capacity in that family while the storm cooldown
+        holds.
+    spot_rescue_survival:
+        The spot-rescue policy's safety bar for *heuristic* re-plans
+        (no fitted predictor): a rescue of a spot fleet buys replacement
+        spot capacity only when each node's probability of surviving
+        the remaining deadline budget is at least this value; otherwise
+        the rescue falls back to on-demand — a breached deadline is no
+        time to gamble on the same market again.  (Predictor-backed
+        re-plans price the risk instead, via the survival premium in
+        :meth:`_spot_priced`.)
     """
 
     def __init__(
@@ -154,11 +183,18 @@ class DeadlineGuardedRunner:
         min_fraction: float = 0.05,
         n_segments: int = 8,
         max_rescues: int = 1,
+        storm: ReclaimStormDetector | None = None,
+        spot_rescue_survival: float = 0.7,
     ) -> None:
         if n_segments < 2:
             raise ValueError(f"n_segments must be >= 2, got {n_segments}")
         if max_rescues < 0:
             raise ValueError(f"max_rescues must be >= 0, got {max_rescues}")
+        if not 0.0 <= spot_rescue_survival <= 1.0:
+            raise ValueError(
+                f"spot_rescue_survival must be in [0, 1], got "
+                f"{spot_rescue_survival}"
+            )
         self.manager = manager
         self.selector = selector
         self.checkpoint = checkpoint if checkpoint is not None else RunCheckpoint()
@@ -167,10 +203,16 @@ class DeadlineGuardedRunner:
             if breaker is not None
             else CircuitBreaker(manager.provider.clock)
         )
+        self.storm = (
+            storm
+            if storm is not None
+            else ReclaimStormDetector(manager.provider.clock)
+        )
         self.headroom = float(headroom)
         self.min_fraction = float(min_fraction)
         self.n_segments = int(n_segments)
         self.max_rescues = int(max_rescues)
+        self.spot_rescue_survival = float(spot_rescue_survival)
 
     # -- configuration ranking -----------------------------------------------
 
@@ -194,6 +236,53 @@ class DeadlineGuardedRunner:
             self.selector is not None and self.selector.predictor.is_fitted
         )
 
+    def _spot_allowed(self, family: str) -> bool:
+        """Can a spot fleet of ``family`` be bought right now?  Requires
+        a quoting market and no active reclaim storm in the family."""
+        return (
+            self.manager.provider.spot_market is not None
+            and self.storm.allow_spot(family)
+        )
+
+    def _in_market(self, candidate: DeployChoice, market: str) -> DeployChoice:
+        """``candidate`` purchased in ``market``, demoted to on-demand
+        when spot capacity in its family is unavailable or stormy."""
+        if market == "spot" and not self._spot_allowed(
+            candidate.instance_type.family
+        ):
+            market = "on_demand"
+        if candidate.market == market:
+            return candidate
+        return replace(candidate, market=market)
+
+    def _rescue_market(
+        self, current: DeployChoice, family: str, horizon_seconds: float
+    ) -> str:
+        """Market a heuristic (predictor-less) rescue should buy into.
+
+        A non-spot fleet is rescued in its own market.  A spot fleet is
+        re-bought on the spot market only when each replacement node's
+        probability of surviving the remaining deadline budget clears
+        ``spot_rescue_survival``; a hostile quote (or a storm, or no
+        market at all) demotes the rescue to on-demand — matching the
+        pessimism of the certification MDP's ``mixed`` rung, which
+        assumes rescues reach for reclaim-free capacity when the market
+        is the reason the fleet needed rescuing.
+        """
+        if current.market != "spot":
+            return current.market
+        market_model = self.manager.provider.spot_market
+        if market_model is None or not self._spot_allowed(family):
+            return "on_demand"
+        survival = market_model.survival_probability(
+            family,
+            self.manager.provider.clock.now,
+            max(horizon_seconds, 0.0),
+        )
+        if survival >= self.spot_rescue_survival:
+            return "spot"
+        return "on_demand"
+
     def _fallback_candidates(
         self,
         choice: DeployChoice,
@@ -204,7 +293,9 @@ class DeadlineGuardedRunner:
 
         With a fitted predictor the ranking is Algorithm 1's (feasible
         under the deadline, cheapest first); otherwise the catalog is
-        walked by hourly price at the chosen node count.
+        walked by hourly price at the chosen node count.  Candidates
+        inherit the market of ``choice`` where spot capacity is
+        available and storm-free.
         """
         if self._predictor_ready():
             assert self.selector is not None
@@ -224,7 +315,7 @@ class DeadlineGuardedRunner:
                 for instance_type in self._catalog()
             ]
         return [
-            c
+            self._in_market(c, choice.market)
             for c in ranked
             if (c.instance_type.api_name, c.n_nodes)
             != (choice.instance_type.api_name, choice.n_nodes)
@@ -243,8 +334,14 @@ class DeadlineGuardedRunner:
         remaining work fraction and checked against the remaining
         deadline budget (with guard headroom); the cheapest feasible
         rescue wins, the fastest one is the fallback when nothing fits.
-        Without a fitted predictor: scale out (double the nodes, capped),
-        then upgrade to the next-faster architecture.
+        With a spot market configured the re-plan **prices both
+        markets**: every configuration is also offered at the current
+        spot quote, with a survival premium (expected rework makes a
+        high-hazard family effectively dearer) — families inside a
+        reclaim-storm cooldown are not offered at all.  Without a
+        fitted predictor: scale out (double the nodes, capped), then
+        upgrade to the next-faster architecture, staying in the current
+        market when it is still buyable.
         """
         if self._predictor_ready():
             assert self.selector is not None
@@ -259,29 +356,38 @@ class DeadlineGuardedRunner:
                     * scaled
                     / 3600.0
                 )
-                candidates.append(
-                    DeployChoice(
-                        instance_type=c.instance_type,
-                        n_nodes=c.n_nodes,
-                        predicted_seconds=scaled,
-                        predicted_cost_usd=cost,
-                        feasible=scaled <= budget,
-                        predicted_std_seconds=c.predicted_std_seconds
-                        * remaining_fraction,
-                    )
+                rescue = DeployChoice(
+                    instance_type=c.instance_type,
+                    n_nodes=c.n_nodes,
+                    predicted_seconds=scaled,
+                    predicted_cost_usd=cost,
+                    feasible=scaled <= budget,
+                    predicted_std_seconds=c.predicted_std_seconds
+                    * remaining_fraction,
                 )
+                candidates.append(rescue)
+                spot = self._spot_priced(rescue)
+                if spot is not None:
+                    candidates.append(spot)
             feasible = [c for c in candidates if c.feasible]
             if feasible:
                 return min(feasible, key=lambda c: c.predicted_cost_usd)
             return min(candidates, key=lambda c: c.predicted_seconds)
         cap = self._max_nodes(current.n_nodes)
         if current.n_nodes < cap:
-            return DeployChoice(
-                instance_type=current.instance_type,
-                n_nodes=min(current.n_nodes * 2, cap),
-                predicted_seconds=float("nan"),
-                predicted_cost_usd=float("nan"),
-                feasible=True,
+            return self._in_market(
+                DeployChoice(
+                    instance_type=current.instance_type,
+                    n_nodes=min(current.n_nodes * 2, cap),
+                    predicted_seconds=float("nan"),
+                    predicted_cost_usd=float("nan"),
+                    feasible=True,
+                ),
+                self._rescue_market(
+                    current,
+                    current.instance_type.family,
+                    remaining_budget_seconds,
+                ),
             )
         faster = [
             t
@@ -291,12 +397,42 @@ class DeadlineGuardedRunner:
             * current.instance_type.relative_core_speed
         ]
         upgrade = faster[0] if faster else current.instance_type
-        return DeployChoice(
-            instance_type=upgrade,
-            n_nodes=current.n_nodes,
-            predicted_seconds=float("nan"),
-            predicted_cost_usd=float("nan"),
-            feasible=True,
+        return self._in_market(
+            DeployChoice(
+                instance_type=upgrade,
+                n_nodes=current.n_nodes,
+                predicted_seconds=float("nan"),
+                predicted_cost_usd=float("nan"),
+                feasible=True,
+            ),
+            self._rescue_market(
+                current, upgrade.family, remaining_budget_seconds
+            ),
+        )
+
+    def _spot_priced(self, rescue: DeployChoice) -> DeployChoice | None:
+        """``rescue`` offered at the current spot quote, or ``None``
+        when its family's spot capacity is unavailable or stormy.
+
+        The quoted cost carries a survival premium: dividing by the
+        fleet's probability of surviving the predicted duration prices
+        in the expected rework after a reclaim, so a cheap but hostile
+        market does not win the re-plan on sticker price.
+        """
+        market_model = self.manager.provider.spot_market
+        family = rescue.instance_type.family
+        if market_model is None or not self._spot_allowed(family):
+            return None
+        now = self.manager.provider.clock.now
+        ratio = market_model.price_ratio(family, now)
+        survival = market_model.survival_probability(
+            family, now, max(rescue.predicted_seconds, 0.0)
+        )
+        premium = 1.0 / max(survival, 0.05)
+        return replace(
+            rescue,
+            predicted_cost_usd=rescue.predicted_cost_usd * ratio * premium,
+            market="spot",
         )
 
     # -- provisioning through the breaker ------------------------------------
@@ -327,9 +463,11 @@ class DeadlineGuardedRunner:
                     self.manager.start_cluster,
                     candidate.instance_type,
                     candidate.n_nodes,
+                    market=candidate.market,
                     label=(
                         f"launch {candidate.n_nodes} x "
-                        f"{candidate.instance_type.api_name}"
+                        f"{candidate.instance_type.api_name} "
+                        f"({candidate.market})"
                     ),
                 )
             except (CircuitOpenError, ProviderError) as error:
@@ -341,6 +479,21 @@ class DeadlineGuardedRunner:
         raise RuntimeError(
             f"no configuration could be provisioned: {last_error}"
         ) from last_error
+
+    def _pending_market_reclaims(
+        self,
+        handle: ClusterHandle,
+        current: DeployChoice,
+        remaining_work: float,
+    ) -> list[NodeReclaim]:
+        """The reclaims the spot market has in store for this fleet,
+        sampled once at provision time (empty for on-demand fleets)."""
+        if handle.market != "spot":
+            return []
+        horizon = 16.0 * self.manager.performance.expected_seconds(
+            max(remaining_work, 1e-9), current.instance_type, handle.n_nodes
+        )
+        return list(self.manager.sample_market_reclaims(handle, horizon))
 
     # -- the guarded run -----------------------------------------------------
 
@@ -386,10 +539,13 @@ class DeadlineGuardedRunner:
         n_faults = 0
         n_rescues = 0
         n_fallbacks = 0
+        n_reclaims = 0
+        storms_before = self.storm.n_storms
         wasted_cost = 0.0
         rescue_choices: list[DeployChoice] = []
         handle: ClusterHandle | None = None
         try:
+            choice = self._in_market(choice, choice.market)
             fallbacks = self._fallback_candidates(choice, params, tmax_seconds)
             current, handle, used = self._provision(choice, fallbacks, injector)
             n_fallbacks += used
@@ -403,6 +559,12 @@ class DeadlineGuardedRunner:
                 )
                 / work
             )
+            # The market's verdict on this spot fleet: reclaim times are
+            # fixed (per-fleet seeded) the moment the fleet launches.
+            market_reclaims = self._pending_market_reclaims(
+                handle, current, work
+            )
+            storm_rescue = False
             segment = 0
             while segment < self.n_segments:
                 alive = [i for i in handle.instances if i.is_running]
@@ -429,6 +591,37 @@ class DeadlineGuardedRunner:
                     provider.terminate([victim])
                     alive = [i for i in handle.instances if i.is_running]
                     n_faults += 1
+                    n_reclaims += 1
+                    tripped = self.storm.record_reclaim(
+                        current.instance_type.family
+                    )
+                    storm_rescue |= tripped and handle.market == "spot"
+                    rate = (
+                        performance.measured_seconds(
+                            remaining_work,
+                            current.instance_type,
+                            len(alive),
+                            self.manager._rng,
+                        )
+                        / remaining_work
+                    )
+                # Market-driven reclaims that landed inside the segment.
+                while market_reclaims and len(alive) > 1:
+                    reclaim = market_reclaims[0]
+                    if reclaim.at_seconds > provider.clock.now:
+                        break
+                    market_reclaims.pop(0)
+                    victim = handle.instances[reclaim.node_index]
+                    if not victim.is_running:
+                        continue
+                    provider.terminate([victim])
+                    alive = [i for i in handle.instances if i.is_running]
+                    n_faults += 1
+                    n_reclaims += 1
+                    tripped = self.storm.record_reclaim(
+                        current.instance_type.family
+                    )
+                    storm_rescue |= tripped
                     rate = (
                         performance.measured_seconds(
                             remaining_work,
@@ -441,7 +634,9 @@ class DeadlineGuardedRunner:
                 decision = guard.check(
                     monitor, now=provider.clock.now, started_at=started_at
                 )
-                if decision.breached and n_rescues < self.max_rescues:
+                if (
+                    decision.breached or storm_rescue
+                ) and n_rescues < self.max_rescues:
                     n_rescues += 1
                     monitor.record(
                         -1,
@@ -469,6 +664,7 @@ class DeadlineGuardedRunner:
                     n_fallbacks += used
                     rescue_choices.append(current)
                     slow_penalty = 1.0
+                    storm_rescue = False
                     rate = (
                         performance.measured_seconds(
                             remaining_work,
@@ -477,6 +673,9 @@ class DeadlineGuardedRunner:
                             self.manager._rng,
                         )
                         / remaining_work
+                    )
+                    market_reclaims = self._pending_market_reclaims(
+                        handle, current, remaining_work
                     )
             report = None
             if compute_results:
@@ -514,4 +713,6 @@ class DeadlineGuardedRunner:
             rescue_choices=rescue_choices,
             guard=guard,
             monitor=monitor,
+            n_reclaims=n_reclaims,
+            n_storms=self.storm.n_storms - storms_before,
         )

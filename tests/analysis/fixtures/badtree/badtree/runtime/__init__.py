@@ -1,0 +1,3 @@
+"""Fixture package."""
+
+__all__: list[str] = []

@@ -1,0 +1,27 @@
+"""RB carriers: failure handling the robustness pack must catch."""
+
+import threading
+import time
+
+__all__ = ["hammer", "stall_for_rescue", "swallow"]
+
+
+def stall_for_rescue(event: threading.Event) -> None:
+    time.sleep(30.0)  # RB003: wall-clock sleep in virtual-clock code
+    event.wait()  # RB003: wait with no timeout
+
+
+def swallow(action) -> None:
+    try:
+        action()
+    except Exception:  # RB001: blanket except without re-raise
+        pass
+
+
+def hammer(action) -> None:
+    for _ in range(3):  # RB002: bounded retry without backoff
+        try:
+            action()
+            return
+        except ValueError:
+            pass

@@ -40,6 +40,10 @@ EXPECTED = {
     ("cluster/comm.py", 17, "CONC001"),
     ("cluster/comm.py", 20, "CONC002"),
     ("cluster/comm.py", 31, "CONC004"),
+    ("runtime/guard.py", 10, "RB003"),
+    ("runtime/guard.py", 11, "RB003"),
+    ("runtime/guard.py", 17, "RB001"),
+    ("runtime/guard.py", 22, "RB002"),
 }
 
 

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.analysis import AnalysisEngine
-from repro.analysis.rules import BroadExceptRule, UnboundedRetryRule
+from repro.analysis.rules import (
+    BroadExceptRule,
+    UnboundedRetryRule,
+    WallClockWaitRule,
+)
 
 #: Snippets lint as a standalone file named like a resilient package.
 RESILIENT = "runtime.py"
@@ -178,9 +182,83 @@ class TestUnboundedRetry:
         assert lint(UnboundedRetryRule(), snippet) == []
 
 
+class TestWallClockWait:
+    def test_flags_time_sleep(self):
+        snippet = (
+            "import time\n"
+            "def pace():\n"
+            "    time.sleep(30.0)\n"
+        )
+        findings = lint(WallClockWaitRule(), snippet)
+        assert [f.rule_id for f in findings] == ["RB003"]
+        assert findings[0].line == 3
+
+    def test_flags_aliased_sleep_import(self):
+        snippet = (
+            "from time import sleep\n"
+            "def pace():\n"
+            "    sleep(1.0)\n"
+        )
+        assert [f.rule_id for f in lint(WallClockWaitRule(), snippet)] == [
+            "RB003"
+        ]
+
+    @pytest.mark.parametrize("call", ["wait()", "join()", "acquire()"])
+    def test_flags_unbounded_wait(self, call):
+        snippet = (
+            "def stall(thing):\n"
+            f"    thing.{call}\n"
+        )
+        assert [f.rule_id for f in lint(WallClockWaitRule(), snippet)] == [
+            "RB003"
+        ]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "thing.wait(timeout=5.0)",
+            "thing.wait(5.0)",
+            "thing.join(timeout=deadline)",
+            "thing.acquire(timeout=1.0)",
+        ],
+    )
+    def test_allows_bounded_waits(self, call):
+        snippet = (
+            "def stall(thing, deadline):\n"
+            f"    {call}\n"
+        )
+        assert lint(WallClockWaitRule(), snippet) == []
+
+    def test_allows_perf_counter_measurement(self):
+        snippet = (
+            "import time\n"
+            "def measure(work):\n"
+            "    start = time.perf_counter()\n"
+            "    work()\n"
+            "    return time.perf_counter() - start\n"
+        )
+        assert lint(WallClockWaitRule(), snippet) == []
+
+    def test_allows_virtual_clock_advance(self):
+        snippet = (
+            "def pace(clock, delay):\n"
+            "    clock.advance(delay)\n"
+        )
+        assert lint(WallClockWaitRule(), snippet) == []
+
+    def test_polices_spot_package_too(self):
+        snippet = (
+            "import time\n"
+            "def pace():\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert lint(WallClockWaitRule(), snippet, filename="spot.py") != []
+        assert lint(WallClockWaitRule(), snippet, filename="report.py") == []
+
+
 class TestPackRegistration:
     def test_rb_rules_are_in_the_default_set(self):
         from repro.analysis import default_rules
 
         rule_ids = {rule.rule_id for rule in default_rules()}
-        assert {"RB001", "RB002"} <= rule_ids
+        assert {"RB001", "RB002", "RB003"} <= rule_ids

@@ -1,0 +1,93 @@
+"""Spot-market campaigns: discounted billing, mid-run reclaims, survivors."""
+
+import pytest
+
+from repro.cloud.cluster import StarClusterManager
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.provider import SimulatedEC2
+from repro.cloud.spot import SpotMarketModel
+from repro.disar import SimulationSettings
+from repro.workload import CampaignGenerator
+
+TYPE = get_instance_type("c3.4")
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    settings = SimulationSettings(
+        n_outer=20_000, n_inner=100, lsmc_outer_calibration=100
+    )
+    campaign = CampaignGenerator(seed=0).paper_campaign(
+        n_portfolios=2, n_eebs=3, settings=settings
+    )
+    return campaign.blocks
+
+
+def manager(hazard: float, seed: int = 0) -> StarClusterManager:
+    provider = SimulatedEC2(
+        boot_latency_range=(0.0, 0.0),
+        spot_market=SpotMarketModel(seed=seed, base_hazard_per_hour=hazard),
+    )
+    return StarClusterManager(provider=provider, seed=seed)
+
+
+class TestSpotBilling:
+    def test_calm_spot_is_cheaper_than_on_demand(self, blocks):
+        spot = manager(hazard=0.001).run_campaign(
+            TYPE, 4, blocks, market="spot"
+        )
+        on_demand = manager(hazard=0.001).run_campaign(
+            TYPE, 4, blocks, market="on_demand"
+        )
+        assert spot.n_reclaims == 0
+        assert spot.cost_usd < on_demand.cost_usd
+        # The market never quotes above the model's discount ceiling.
+        market = SpotMarketModel(seed=0, base_hazard_per_hour=0.001)
+        assert spot.cost_usd <= on_demand.cost_usd * market.max_ratio
+
+    def test_results_are_market_independent(self, blocks):
+        spot = manager(hazard=0.001).run_campaign(
+            TYPE, 4, blocks, compute_results=True, market="spot"
+        )
+        on_demand = manager(hazard=0.001).run_campaign(
+            TYPE, 4, blocks, compute_results=True, market="on_demand"
+        )
+        assert spot.report is not None and on_demand.report is not None
+        assert spot.report.total_scr == on_demand.report.total_scr
+
+
+class TestMarketReclaims:
+    def test_hostile_market_reclaims_but_spares_one(self, blocks):
+        result = manager(hazard=200.0).run_campaign(
+            TYPE, 4, blocks, market="spot"
+        )
+        assert result.n_reclaims > 0
+        # The provider always spares the last node, so the campaign
+        # still finishes (slower, on the surviving fleet).
+        assert result.n_reclaims <= 3
+        assert result.execution_seconds > 0.0
+
+    def test_on_demand_fleet_draws_no_reclaims(self, blocks):
+        m = manager(hazard=200.0)
+        handle = m.start_cluster(TYPE, 4, market="on_demand")
+        assert m.sample_market_reclaims(handle, 36_000.0) == []
+        m.terminate_cluster(handle)
+
+    def test_spot_launch_refused_without_a_market(self, blocks):
+        from repro.cloud.provider import ProviderError
+
+        m = StarClusterManager(provider=SimulatedEC2(), seed=0)
+        with pytest.raises(ProviderError, match="no spot market"):
+            m.start_cluster(TYPE, 4, market="spot")
+
+    def test_reclaim_schedule_is_replayable(self, blocks):
+        first = manager(hazard=200.0).run_campaign(
+            TYPE, 4, blocks, compute_results=True, market="spot"
+        )
+        again = manager(hazard=200.0).run_campaign(
+            TYPE, 4, blocks, compute_results=True, market="spot"
+        )
+        assert first.n_reclaims == again.n_reclaims
+        assert first.execution_seconds == again.execution_seconds
+        assert first.report is not None and again.report is not None
+        assert first.report.total_scr == again.report.total_scr

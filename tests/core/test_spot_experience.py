@@ -1,0 +1,147 @@
+"""Spot experience plumbing: KB reclaim stats, loop accounting, exploration."""
+
+import math
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.deploy import DeployOutcome
+from repro.core.knowledge_base import KnowledgeBase, RunRecord
+from repro.core.selection import DeployChoice, ConfigurationSelector
+from repro.core.self_optimizing import LoopReport
+from repro.disar.eeb import CharacteristicParameters
+
+
+def params():
+    return CharacteristicParameters(
+        n_contracts=100, max_horizon=20, n_fund_assets=100, n_risk_factors=4
+    )
+
+
+def record(market="on_demand", n_reclaims=0, seconds=1000.0, n_nodes=4):
+    return RunRecord(
+        params=params(),
+        instance_type="c3.4xlarge",
+        n_nodes=n_nodes,
+        execution_seconds=seconds,
+        market=market,
+        n_reclaims=n_reclaims,
+    )
+
+
+class TestReclaimStats:
+    def test_sums_only_spot_records(self):
+        kb = KnowledgeBase()
+        kb.add(record(market="spot", n_reclaims=2, seconds=3600.0, n_nodes=4))
+        kb.add(record(market="spot", n_reclaims=1, seconds=1800.0, n_nodes=2))
+        kb.add(record(market="on_demand", n_reclaims=0, seconds=9999.0))
+        reclaims, exposure = kb.reclaim_stats()
+        assert reclaims == 3
+        assert exposure == pytest.approx(4 * 3600.0 + 2 * 1800.0)
+
+    def test_empty_kb_has_no_exposure(self):
+        assert KnowledgeBase().reclaim_stats() == (0, 0.0)
+
+    def test_market_fields_round_trip_through_records(self):
+        kb = KnowledgeBase()
+        kb.add(record(market="spot", n_reclaims=5))
+        (got,) = kb.records()
+        assert got.market == "spot"
+        assert got.n_reclaims == 5
+
+    def test_default_record_is_on_demand(self):
+        (got,) = [record()]
+        assert got.market == "on_demand"
+        assert got.n_reclaims == 0
+
+
+def outcome(market="on_demand", n_reclaims=0):
+    choice = DeployChoice(
+        instance_type=get_instance_type("c3.4"),
+        n_nodes=4,
+        predicted_seconds=1000.0,
+        predicted_cost_usd=2.0,
+        feasible=True,
+        market=market,
+    )
+    return DeployOutcome(
+        choice=choice,
+        measured_seconds=900.0,
+        cost_usd=2.0,
+        deadline_seconds=1500.0,
+        report=None,
+        knowledge_base_size=1,
+        bootstrap=False,
+        market=market,
+        n_reclaims=n_reclaims,
+    )
+
+
+class TestLoopReport:
+    def test_reclaim_accounting(self):
+        report = LoopReport(
+            outcomes=[
+                outcome(market="spot", n_reclaims=3),
+                outcome(market="spot", n_reclaims=0),
+                outcome(market="on_demand"),
+            ]
+        )
+        assert report.n_spot_runs == 2
+        assert report.n_reclaims == 3
+
+    def test_summary_mentions_spot_only_when_used(self):
+        spotless = LoopReport(outcomes=[outcome()])
+        spotty = LoopReport(outcomes=[outcome(market="spot", n_reclaims=2)])
+        assert "spot runs" not in spotless.summary()
+        text = spotty.summary()
+        assert "spot runs" in text
+        assert "2 reclaim(s)" in text
+
+
+class TestGuardAwareExploration:
+    def test_tiny_headroom_falls_back_to_exploitation(
+        self, fitted_family, sample_params
+    ):
+        tmax = 50_000.0
+        exploit = ConfigurationSelector(fitted_family, epsilon=0.0, seed=3).select(
+            sample_params, tmax
+        )
+        guarded = ConfigurationSelector(
+            fitted_family,
+            epsilon=1.0,
+            exploration_headroom=1e-6,
+            seed=3,
+        ).select(sample_params, tmax)
+        # Nothing fits inside tmax * 1e-6, so the empty explorable pool
+        # must collapse to the exploitation choice.
+        assert not guarded.explored
+        assert guarded.instance_type == exploit.instance_type
+        assert guarded.n_nodes == exploit.n_nodes
+
+    def test_full_headroom_explores(self, fitted_family, sample_params):
+        choice = ConfigurationSelector(
+            fitted_family, epsilon=1.0, exploration_headroom=1.0, seed=3
+        ).select(sample_params, 50_000.0)
+        assert choice.explored
+        assert choice.feasible
+
+    def test_explored_pool_respects_the_headroom(
+        self, fitted_family, sample_params
+    ):
+        tmax = 50_000.0
+        headroom = 0.5
+        selector = ConfigurationSelector(
+            fitted_family,
+            epsilon=1.0,
+            exploration_headroom=headroom,
+            seed=7,
+        )
+        for _ in range(20):
+            choice = selector.select(sample_params, tmax)
+            if choice.explored:
+                assert choice.predicted_seconds <= tmax * headroom
+
+    @pytest.mark.parametrize("headroom", [0.0, -0.5, 1.5, math.nan])
+    def test_rejects_bad_headroom(self, fitted_family, headroom):
+        with pytest.raises(ValueError):
+            ConfigurationSelector(fitted_family, exploration_headroom=headroom)

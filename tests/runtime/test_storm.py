@@ -1,0 +1,111 @@
+"""Unit tests for the reclaim-storm detector (spot market trip wire)."""
+
+import pytest
+
+from repro.cloud.provider import VirtualClock
+from repro.runtime import ReclaimStormDetector
+
+
+def detector(**kwargs):
+    clock = VirtualClock()
+    return clock, ReclaimStormDetector(clock, **kwargs)
+
+
+class TestTripCondition:
+    def test_below_threshold_never_trips(self):
+        clock, storm = detector(threshold=3)
+        assert not storm.record_reclaim("c3")
+        clock.advance(10.0)
+        assert not storm.record_reclaim("c3")
+        assert storm.allow_spot("c3")
+        assert not storm.storm_active("c3")
+
+    def test_third_reclaim_in_window_trips(self):
+        clock, storm = detector(threshold=3, window_seconds=900.0)
+        storm.record_reclaim("c3")
+        clock.advance(100.0)
+        storm.record_reclaim("c3")
+        clock.advance(100.0)
+        assert storm.record_reclaim("c3")
+        assert storm.storm_active("c3")
+        assert not storm.allow_spot("c3")
+
+    def test_window_expiry_forgets_old_reclaims(self):
+        clock, storm = detector(threshold=3, window_seconds=900.0)
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")
+        # The first two scroll out of the window before the third lands.
+        clock.advance(901.0)
+        assert not storm.record_reclaim("c3")
+        assert storm.recent_reclaims("c3") == 1
+
+    def test_keys_are_independent(self):
+        clock, storm = detector(threshold=2)
+        storm.record_reclaim("c3")
+        storm.record_reclaim("m3")
+        assert not storm.storm_active("c3")
+        assert not storm.storm_active("m3")
+        assert storm.record_reclaim("c3")
+        assert not storm.allow_spot("c3")
+        assert storm.allow_spot("m3")
+
+
+class TestCooldown:
+    def test_cooldown_expires_on_the_virtual_clock(self):
+        clock, storm = detector(threshold=2, cooldown_seconds=1800.0)
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")
+        assert not storm.allow_spot("c3")
+        clock.advance(1799.0)
+        assert not storm.allow_spot("c3")
+        clock.advance(2.0)
+        assert storm.allow_spot("c3")
+
+    def test_rearm_extends_the_cooldown(self):
+        clock, storm = detector(
+            threshold=2, window_seconds=900.0, cooldown_seconds=1000.0
+        )
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")
+        clock.advance(500.0)
+        # Another reclaim mid-storm pushes the open window out again.
+        assert storm.record_reclaim("c3")
+        clock.advance(999.0)
+        assert storm.storm_active("c3")
+        clock.advance(2.0)
+        assert not storm.storm_active("c3")
+
+
+class TestAccounting:
+    def test_counters(self):
+        clock, storm = detector(threshold=2, cooldown_seconds=100.0)
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")  # re-arm, not a second storm
+        assert storm.n_reclaims == 3
+        assert storm.n_storms == 1
+        clock.advance(5000.0)
+        storm.record_reclaim("c3")
+        storm.record_reclaim("c3")
+        assert storm.n_storms == 2
+
+    def test_describe_lists_active_storms(self):
+        clock, storm = detector(threshold=1)
+        storm.record_reclaim("m3")
+        text = storm.describe()
+        assert "m3" in text
+        assert "reclaims=1" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0},
+            {"window_seconds": 0.0},
+            {"cooldown_seconds": -1.0},
+        ],
+    )
+    def test_rejects_degenerate_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            ReclaimStormDetector(VirtualClock(), **kwargs)

@@ -1,0 +1,128 @@
+"""Seeded spot market: price paths, hazard coupling, reclaim draws."""
+
+import math
+
+import pytest
+
+from repro.cloud.instance_types import INSTANCE_CATALOG
+from repro.cloud.spot import SPOT_FAMILIES, SpotMarketModel
+
+FAMILY = sorted(INSTANCE_CATALOG.values(), key=lambda t: t.hourly_price_usd)[
+    1
+].family
+
+
+class TestPricePath:
+    def test_same_seed_same_path(self):
+        a = SpotMarketModel(seed=3)
+        b = SpotMarketModel(seed=3)
+        times = [0.0, 600.0, 7200.0, 86_400.0]
+        assert [a.price_ratio(FAMILY, t) for t in times] == [
+            b.price_ratio(FAMILY, t) for t in times
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = SpotMarketModel(seed=3)
+        b = SpotMarketModel(seed=4)
+        times = [600.0 * k for k in range(1, 50)]
+        assert any(
+            a.price_ratio(FAMILY, t) != b.price_ratio(FAMILY, t)
+            for t in times
+        )
+
+    def test_ratio_stays_in_band(self):
+        market = SpotMarketModel(seed=11)
+        for family in SPOT_FAMILIES:
+            for t in [300.0 * k for k in range(200)]:
+                ratio = market.price_ratio(family, t)
+                assert market.min_ratio <= ratio <= market.max_ratio
+
+    def test_spot_quote_scales_the_catalog_rate(self):
+        market = SpotMarketModel(seed=5)
+        api_name = f"{FAMILY}.4xlarge"
+        quote = market.spot_hourly_price(api_name, 3600.0)
+        ratio = market.price_ratio(FAMILY, 3600.0)
+        on_demand = INSTANCE_CATALOG[api_name].hourly_price_usd
+        assert quote == pytest.approx(on_demand * ratio)
+        assert quote < on_demand
+
+
+class TestHazard:
+    def test_hazard_couples_to_price_pressure(self):
+        market = SpotMarketModel(seed=9, volatility=0.4)
+        times = [300.0 * k for k in range(300)]
+        ratios = [market.price_ratio(FAMILY, t) for t in times]
+        hazards = [market.hazard_per_second(FAMILY, t) for t in times]
+        hi, lo = ratios.index(max(ratios)), ratios.index(min(ratios))
+        assert ratios[hi] > ratios[lo]
+        assert hazards[hi] > hazards[lo]
+
+    def test_survival_decreases_with_horizon(self):
+        market = SpotMarketModel(seed=2, base_hazard_per_hour=1.0)
+        s1 = market.survival_probability(FAMILY, 0.0, 3600.0)
+        s8 = market.survival_probability(FAMILY, 0.0, 8 * 3600.0)
+        assert 0.0 < s8 < s1 <= 1.0
+
+    def test_integrated_hazard_additive(self):
+        market = SpotMarketModel(seed=2, base_hazard_per_hour=1.0)
+        whole = market.integrated_hazard(FAMILY, 0.0, 7200.0)
+        split = market.integrated_hazard(
+            FAMILY, 0.0, 3600.0
+        ) + market.integrated_hazard(FAMILY, 3600.0, 3600.0)
+        assert whole == pytest.approx(split)
+
+
+class TestReclaimDraws:
+    def test_deterministic_per_fleet_stream(self):
+        market = SpotMarketModel(seed=6, base_hazard_per_hour=50.0)
+        first = market.sample_reclaims(FAMILY, 8, 0.0, 36_000.0, stream=1)
+        again = market.sample_reclaims(FAMILY, 8, 0.0, 36_000.0, stream=1)
+        other = market.sample_reclaims(FAMILY, 8, 0.0, 36_000.0, stream=2)
+        assert first == again
+        assert first != other
+
+    def test_sorted_and_inside_horizon(self):
+        market = SpotMarketModel(seed=6, base_hazard_per_hour=50.0)
+        reclaims = market.sample_reclaims(FAMILY, 8, 100.0, 36_000.0, stream=3)
+        times = [r.at_seconds for r in reclaims]
+        assert times == sorted(times)
+        assert all(100.0 <= t <= 100.0 + 36_000.0 for t in times)
+        assert all(0 <= r.node_index < 8 for r in reclaims)
+
+    def test_hostile_market_reclaims_more(self):
+        calm = SpotMarketModel(seed=6, base_hazard_per_hour=0.01)
+        storm = SpotMarketModel(seed=6, base_hazard_per_hour=500.0)
+        horizon = 4 * 3600.0
+        n_calm = len(calm.sample_reclaims(FAMILY, 8, 0.0, horizon, stream=1))
+        n_storm = len(storm.sample_reclaims(FAMILY, 8, 0.0, horizon, stream=1))
+        assert n_storm > n_calm
+
+
+class TestCalibration:
+    def test_matches_observed_rate_at_scale(self):
+        # 50 reclaims over 100 instance-hours, prior drowned out.
+        hazard = SpotMarketModel.calibrated_base_hazard(
+            50, 100 * 3600.0, prior_per_hour=0.05
+        )
+        assert hazard == pytest.approx(50.05 / 101.0)
+        assert abs(hazard - 0.5) < 0.01
+
+    def test_shrinks_to_prior_without_exposure(self):
+        hazard = SpotMarketModel.calibrated_base_hazard(
+            0, 0.0, prior_per_hour=0.7
+        )
+        assert hazard == pytest.approx(0.7)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            SpotMarketModel.calibrated_base_hazard(-1, 10.0)
+        with pytest.raises(ValueError):
+            SpotMarketModel.calibrated_base_hazard(1, -10.0)
+
+    def test_mean_ratio_bounds_and_degenerate_window(self):
+        market = SpotMarketModel(seed=8)
+        mean = market.mean_ratio(FAMILY, 0.0, 7200.0)
+        assert market.min_ratio <= mean <= market.max_ratio
+        point = market.mean_ratio(FAMILY, 500.0, 500.0)
+        assert point == pytest.approx(market.price_ratio(FAMILY, 500.0))
+        assert not math.isnan(mean)

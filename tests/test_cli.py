@@ -172,6 +172,56 @@ class TestChaosRescue:
         assert len(set(checksums)) == 1
 
 
+class TestChaosSpotStorm:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--spot-storm", "--market-hazard", "1500"]
+        )
+        assert args.spot_storm
+        assert args.market_hazard == 1500.0
+
+    def test_storm_recovers_bit_identically(self, capsys):
+        import re
+
+        code = main(["chaos", "--spot-storm", "--quick", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reclaim storm" in out
+        assert "inside Tmax" in out
+        assert "bit-identical" in out
+        checksums = re.findall(r"checksum (\w+)", out)
+        assert len(checksums) == 3
+        assert len(set(checksums)) == 1
+
+
+class TestBenchSpot:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "spot"])
+        assert args.target == "spot"
+        assert args.spot_runs == 20
+        assert args.targets == "0.5,0.9,0.99"
+        assert args.tmax_factor == 1.25
+        assert args.nodes == 4
+        assert args.hazard == 1.5
+
+    def test_smoke_run_writes_frontier_json(self, capsys, tmp_path):
+        json_path = tmp_path / "spot.json"
+        code = main([
+            "bench", "spot", "--smoke", "--spot-runs", "3",
+            "--targets", "0.5", "--json-out", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["config"]["smoke"] is True
+        assert len(payload["config"]["frontier"]) == 1
+
+    def test_bad_target_list_rejected(self, capsys):
+        code = main(["bench", "spot", "--smoke", "--targets", "0.5,nope"])
+        assert code == 2
+
+
 class TestChaosCorpus:
     CORPUS = Path(__file__).parent / "faults" / "corpus"
 
@@ -190,7 +240,9 @@ class TestChaosCorpus:
         for path in entries:
             entry = json.loads(path.read_text())
             schedule = FaultSchedule.from_dict(entry["schedule"])
-            assert schedule.events, path.name
+            # Market-driven entries stage no scheduled events: their
+            # faults come from the spot market's reclaim hazard.
+            assert schedule.events or entry.get("market") == "spot", path.name
             assert entry["name"] == path.stem
             schedules[path.stem] = schedule
         # The corpus must exercise the provider-failure path too.
